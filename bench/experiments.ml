@@ -1,0 +1,502 @@
+(* One function per paper table/figure. Each prints the paper-shaped rows
+   from live measurements, then a measured-vs-paper summary. *)
+
+open Runner
+
+let r_total (r : Powerrchol.Solver.result) = r.Powerrchol.Solver.t_total
+let r_iters (r : Powerrchol.Solver.result) = r.Powerrchol.Solver.iterations
+
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  header
+    "Table 1: LT-RChol (Alg. 3) vs original RChol (Alg. 1), both under AMD \
+     reordering";
+  printf "%-6s %9s %9s | %8s %8s %8s %4s %8s | %8s %8s %4s %8s | %5s %s\n"
+    "case" "|V|" "nnz" "Tr" "Tf(R)" "Ti(R)" "Ni" "Ttot(R)" "Tf(LT)" "Ti(LT)"
+    "Ni" "Ttot(LT)" "Sp" "(paper Sp)";
+  hr 130;
+  let speedups = ref [] in
+  Array.iter
+    (fun case ->
+      let p = problem_of case in
+      let rc = run case Rchol_amd in
+      let lt = run case Ltrchol_amd in
+      let sp = r_total rc /. r_total lt in
+      speedups := sp :: !speedups;
+      let paper_row =
+        List.find_opt
+          (fun (row : Paper.table1_row) -> row.case = case.Powergrid.Suite.id)
+          Paper.table1
+      in
+      let paper_sp =
+        match paper_row with
+        | Some row -> fmt_opt_speedup row.Paper.paper_speedup
+        | None -> "    -"
+      in
+      printf
+        "%-6s %9d %9d | %s %s %s %4d%s %s | %s %s %4d%s %s | %5.2f %s\n"
+        case.Powergrid.Suite.id (Sddm.Problem.n p) (Sddm.Problem.nnz p)
+        (fmt_time rc.Powerrchol.Solver.t_reorder)
+        (fmt_time rc.Powerrchol.Solver.t_precond)
+        (fmt_time rc.Powerrchol.Solver.t_iterate)
+        (r_iters rc) (conv_mark rc) (fmt_time (r_total rc))
+        (fmt_time lt.Powerrchol.Solver.t_precond)
+        (fmt_time lt.Powerrchol.Solver.t_iterate)
+        (r_iters lt) (conv_mark lt) (fmt_time (r_total lt))
+        sp paper_sp)
+    (Lazy.force pg_cases);
+  hr 130;
+  summary_line ~label:"Table 1 avg speedup (LT-RChol vs RChol)"
+    ~measured:(geomean !speedups) ~paper:Paper.table1_avg_speedup
+
+(* ---------------------------------------------------------------- *)
+
+let table2 () =
+  header
+    "Table 2: matrix reordering strategies before LT-RChol (AMD vs natural \
+     vs Alg. 4)";
+  printf "%-6s | %8s %9s %8s %4s %8s | %9s %8s %4s %8s | %8s %9s %8s %4s %8s | %5s %5s\n"
+    "case" "Tr(amd)" "NNZ" "Ti" "Ni" "Ttot" "NNZ(nat)" "Ti" "Ni" "Ttot"
+    "Tr(a4)" "NNZ" "Ti" "Ni" "Ttot" "Sp_a" "Sp_b";
+  hr 150;
+  let sp_a = ref [] and sp_b = ref [] in
+  let nnz_nat = ref [] and nnz_a4 = ref [] in
+  Array.iter
+    (fun case ->
+      let amd = run case Ltrchol_amd in
+      let nat = run case Ltrchol_natural in
+      let a4 = run case Powerrchol_s in
+      let rc = run case Rchol_amd in
+      let spa = r_total amd /. r_total a4 in
+      let spb = r_total rc /. r_total a4 in
+      sp_a := spa :: !sp_a;
+      sp_b := spb :: !sp_b;
+      let fnnz (r : Powerrchol.Solver.result) =
+        float_of_int r.Powerrchol.Solver.factor_nnz
+      in
+      nnz_nat := (fnnz nat /. fnnz amd) :: !nnz_nat;
+      nnz_a4 := (fnnz a4 /. fnnz amd) :: !nnz_a4;
+      printf
+        "%-6s | %s %9d %s %4d %s | %9d %s %4d %s | %s %9d %s %4d %s | %5.2f %5.2f\n"
+        case.Powergrid.Suite.id
+        (fmt_time amd.Powerrchol.Solver.t_reorder)
+        amd.Powerrchol.Solver.factor_nnz
+        (fmt_time amd.Powerrchol.Solver.t_iterate)
+        (r_iters amd) (fmt_time (r_total amd))
+        nat.Powerrchol.Solver.factor_nnz
+        (fmt_time nat.Powerrchol.Solver.t_iterate)
+        (r_iters nat) (fmt_time (r_total nat))
+        (fmt_time a4.Powerrchol.Solver.t_reorder)
+        a4.Powerrchol.Solver.factor_nnz
+        (fmt_time a4.Powerrchol.Solver.t_iterate)
+        (r_iters a4) (fmt_time (r_total a4))
+        spa spb)
+    (Lazy.force pg_cases);
+  hr 150;
+  let paper_a, paper_b = Paper.table2_avg in
+  summary_line ~label:"Table 2 avg Sp_a (Alg.4 vs AMD, both LT-RChol)"
+    ~measured:(geomean !sp_a) ~paper:paper_a;
+  summary_line ~label:"Table 2 avg Sp_b (PowerRChol vs AMD+RChol)"
+    ~measured:(geomean !sp_b) ~paper:paper_b;
+  let _, paper_nat, _, paper_a4 = Paper.table2_nnz_growth in
+  printf "%-46s measured %5.2fx   (paper: %.2fx)\n"
+    "NNZ growth, natural order vs AMD" (mean !nnz_nat) paper_nat;
+  printf "%-46s measured %5.2fx   (paper: %.2fx)\n"
+    "NNZ growth, Alg. 4 vs AMD" (mean !nnz_a4) paper_a4
+
+(* ---------------------------------------------------------------- *)
+
+let table3 () =
+  header
+    "Table 3: PowerRChol vs feGRASS-PCG, feGRASS-IChol-PCG and AMG-PCG";
+  printf
+    "%-6s | %8s %4s %8s | %8s %4s %8s | %8s | %8s %4s %8s | %5s %5s %5s\n"
+    "case" "Ti(feG)" "Ni" "Ttot" "Ti(feI)" "Ni" "Ttot" "Ttot(AMG)" "Ti(PRC)"
+    "Ni" "Ttot" "Sp1" "Sp2" "Sp3";
+  hr 130;
+  let sp1 = ref [] and sp2 = ref [] and sp3 = ref [] in
+  Array.iter
+    (fun case ->
+      let feg = run case Fegrass_s in
+      let fei = run case Fegrass_ichol_s in
+      let amg = run case Amg_s in
+      let prc = run case Powerrchol_s in
+      let s1 = r_total feg /. r_total prc in
+      let s2 = r_total fei /. r_total prc in
+      sp1 := s1 :: !sp1;
+      sp2 := s2 :: !sp2;
+      let s3 =
+        if amg.Powerrchol.Solver.converged then begin
+          let s = r_total amg /. r_total prc in
+          sp3 := s :: !sp3;
+          Printf.sprintf "%5.2f" s
+        end
+        else "    -"
+      in
+      printf
+        "%-6s | %s %4d%s %s | %s %4d%s %s | %s%s | %s %4d %s | %5.2f %5.2f %s\n"
+        case.Powergrid.Suite.id
+        (fmt_time feg.Powerrchol.Solver.t_iterate)
+        (r_iters feg) (conv_mark feg) (fmt_time (r_total feg))
+        (fmt_time fei.Powerrchol.Solver.t_iterate)
+        (r_iters fei) (conv_mark fei) (fmt_time (r_total fei))
+        (fmt_time (r_total amg)) (conv_mark amg)
+        (fmt_time prc.Powerrchol.Solver.t_iterate)
+        (r_iters prc) (fmt_time (r_total prc))
+        s1 s2 s3)
+    (Lazy.force pg_cases);
+  hr 130;
+  let p1, p2, p3 = Paper.table3_avg in
+  summary_line ~label:"Table 3 avg Sp1 (vs feGRASS)" ~measured:(geomean !sp1)
+    ~paper:p1;
+  summary_line ~label:"Table 3 avg Sp2 (vs feGRASS-IChol)"
+    ~measured:(geomean !sp2) ~paper:p2;
+  summary_line ~label:"Table 3 avg Sp3 (vs AMG-PCG, converged cases)"
+    ~measured:(geomean !sp3) ~paper:p3
+
+(* ---------------------------------------------------------------- *)
+
+let table4 () =
+  header "Table 4: robustness on non-power-grid SDDM (SuiteSparse analogs)";
+  printf "%-10s %9s %9s | %8s %8s %8s %8s %8s | %5s %5s %5s %5s\n" "case"
+    "|V|" "nnz" "feGRASS" "feG-IC" "AMG" "RChol" "Ours" "Sp1" "Sp2" "Sp3"
+    "Sp4";
+  hr 120;
+  let sp1 = ref [] and sp2 = ref [] and sp3 = ref [] and sp4 = ref [] in
+  Array.iter
+    (fun case ->
+      let p = problem_of case in
+      let feg = run case Fegrass_s in
+      let fei = run case Fegrass_ichol_s in
+      let amg = run case Amg_s in
+      let rc = run case Rchol_amd in
+      let ours = run case Powerrchol_s in
+      let record acc (r : Powerrchol.Solver.result) =
+        if r.Powerrchol.Solver.converged then begin
+          let s = r_total r /. r_total ours in
+          acc := s :: !acc;
+          Printf.sprintf "%5.2f" s
+        end
+        else "    -"
+      in
+      let s1 = record sp1 feg in
+      let s2 = record sp2 fei in
+      let s3 = record sp3 amg in
+      let s4 = record sp4 rc in
+      printf "%-10s %9d %9d | %s%s %s%s %s%s %s%s %s | %s %s %s %s\n"
+        case.Powergrid.Suite.id (Sddm.Problem.n p) (Sddm.Problem.nnz p)
+        (fmt_time (r_total feg)) (conv_mark feg)
+        (fmt_time (r_total fei)) (conv_mark fei)
+        (fmt_time (r_total amg)) (conv_mark amg)
+        (fmt_time (r_total rc)) (conv_mark rc)
+        (fmt_time (r_total ours))
+        s1 s2 s3 s4)
+    (Lazy.force other_cases);
+  hr 120;
+  let p1, p2, p3, p4 = Paper.table4_avg in
+  summary_line ~label:"Table 4 avg Sp1 (vs feGRASS)" ~measured:(geomean !sp1)
+    ~paper:p1;
+  summary_line ~label:"Table 4 avg Sp2 (vs feGRASS-IChol)"
+    ~measured:(geomean !sp2) ~paper:p2;
+  summary_line ~label:"Table 4 avg Sp3 (vs AMG-PCG, converged cases)"
+    ~measured:(geomean !sp3) ~paper:p3;
+  summary_line ~label:"Table 4 avg Sp4 (vs RChol)" ~measured:(geomean !sp4)
+    ~paper:p4
+
+(* ---------------------------------------------------------------- *)
+
+let fig1 () =
+  header
+    "Fig. 1: PowerRChol vs PowerRush (AMG-PCG), both with small-resistor \
+     merging";
+  printf "%-6s %9s %10s | %10s %10s | %5s\n" "case" "|V|" "|V|merged"
+    "PowerRush" "PowerRChol" "Sp";
+  hr 80;
+  let speedups = ref [] in
+  Array.iter
+    (fun case ->
+      let p = problem_of case in
+      let merged = Powergrid.Merge.merge p in
+      let mp = merged.Powergrid.Merge.problem in
+      let rush =
+        Powerrchol.Solver.run ~rtol (Powerrchol.Solver.amg_pcg ()) mp
+      in
+      let ours = Powerrchol.Solver.run ~rtol (Powerrchol.Solver.powerrchol ()) mp in
+      let sp = r_total rush /. r_total ours in
+      if rush.Powerrchol.Solver.converged then speedups := sp :: !speedups;
+      printf "%-6s %9d %10d | %s%s %s | %5.2f\n" case.Powergrid.Suite.id
+        (Sddm.Problem.n p) (Sddm.Problem.n mp)
+        (fmt_time (r_total rush)) (conv_mark rush)
+        (fmt_time (r_total ours)) sp)
+    (Lazy.force pg_cases);
+  hr 80;
+  summary_line ~label:"Fig. 1 avg speedup (vs PowerRush, merged)"
+    ~measured:(geomean !speedups) ~paper:Paper.fig1_avg_speedup
+
+(* ---------------------------------------------------------------- *)
+
+let fig2 () =
+  header
+    "Fig. 2: total solution time vs PCG relative tolerance (thupg1 analog, \
+     pg07)";
+  let case = (Lazy.force pg_cases).(6) in
+  let p = problem_of case in
+  let solvers =
+    [
+      (Powerrchol_s, instantiate Powerrchol_s);
+      (Fegrass_s, instantiate Fegrass_s);
+      (Fegrass_ichol_s, instantiate Fegrass_ichol_s);
+      (Amg_s, instantiate Amg_s);
+    ]
+  in
+  printf "%-10s" "tol";
+  List.iter (fun (id, _) -> printf " %14s" (solver_name id)) solvers;
+  printf "\n";
+  hr 80;
+  (* preparation happens once per solver; each tolerance reuses it, like a
+     simulator sweeping accuracy requirements *)
+  let prepared =
+    List.map (fun (id, s) -> (id, s, s.Powerrchol.Solver.prepare p)) solvers
+  in
+  let best_count = ref 0 and rows = ref 0 in
+  let csv_rows = ref [] in
+  List.iter
+    (fun tol ->
+      printf "%-10.0e" tol;
+      let times =
+        List.map
+          (fun (_, s, prep) ->
+            let r = Powerrchol.Solver.iterate ~rtol:tol s prep p in
+            (r_total r, r.Powerrchol.Solver.converged))
+          prepared
+      in
+      List.iter
+        (fun (t, conv) -> printf " %13.3f%s" t (if conv then " " else "*"))
+        times;
+      printf "\n";
+      csv_rows := (tol, List.map fst times) :: !csv_rows;
+      incr rows;
+      (match times with
+       | (t_ours, true) :: rest ->
+         if List.for_all (fun (t, _) -> t_ours <= t) rest then
+           incr best_count
+       | _ -> ())
+      )
+    Paper.fig2_tolerances;
+  hr 80;
+  with_csv "fig2_tolerance_sweep.csv" (fun oc ->
+      Printf.fprintf oc "tolerance%s\n"
+        (String.concat ""
+           (List.map (fun (id, _) -> "," ^ solver_name id) solvers));
+      List.iter
+        (fun (tol, times) ->
+          Printf.fprintf oc "%.0e%s\n" tol
+            (String.concat ""
+               (List.map (fun t -> Printf.sprintf ",%.6f" t) times)))
+        (List.rev !csv_rows));
+  printf
+    "PowerRChol fastest at %d/%d tolerance levels (paper: best at all \
+     levels)\n"
+    !best_count !rows
+
+(* ---------------------------------------------------------------- *)
+
+let fig3 () =
+  header
+    "Fig. 3: total solution time per million nonzeros, all 28 cases, all \
+     solvers";
+  printf "%-10s %9s |" "case" "nnz";
+  let solvers = [ Fegrass_s; Fegrass_ichol_s; Amg_s; Rchol_amd; Powerrchol_s ] in
+  List.iter (fun id -> printf " %13s" (solver_name id)) solvers;
+  printf "\n";
+  hr 110;
+  let ours_max = ref 0.0 in
+  let all = Array.append (Lazy.force pg_cases) (Lazy.force other_cases) in
+  let csv_rows = ref [] in
+  Array.iter
+    (fun case ->
+      let p = problem_of case in
+      let mnnz = float_of_int (Sddm.Problem.nnz p) /. 1e6 in
+      printf "%-10s %9d |" case.Powergrid.Suite.id (Sddm.Problem.nnz p);
+      let row = ref [] in
+      List.iter
+        (fun id ->
+          let r = run case id in
+          let per = r_total r /. mnnz in
+          if id = Powerrchol_s && per > !ours_max then ours_max := per;
+          row := per :: !row;
+          printf " %12.3f%s" per (conv_mark r))
+        solvers;
+      csv_rows :=
+        (case.Powergrid.Suite.id, Sddm.Problem.nnz p, List.rev !row)
+        :: !csv_rows;
+      printf "\n")
+    all;
+  hr 110;
+  with_csv "fig3_seconds_per_mnnz.csv" (fun oc ->
+      Printf.fprintf oc "case,nnz%s\n"
+        (String.concat ""
+           (List.map (fun id -> "," ^ solver_name id) solvers));
+      List.iter
+        (fun (id, nnz, row) ->
+          Printf.fprintf oc "%s,%d%s\n" id nnz
+            (String.concat ""
+               (List.map (fun t -> Printf.sprintf ",%.6f" t) row)))
+        (List.rev !csv_rows));
+  printf
+    "PowerRChol max seconds/Mnnz: %.3f   (paper claims < %.1f on a 2.4 GHz \
+     Xeon; absolute values differ with hardware, the flat profile is the \
+     claim)\n"
+    !ours_max Paper.fig3_claim_seconds_per_mnnz
+
+(* ---------------------------------------------------------------- *)
+(* Ablations of the design choices in DESIGN.md *)
+
+let ablation () =
+  header "Ablation 1: counting-sort bucket count in LT-RChol (case pg10)";
+  let case = (Lazy.force pg_cases).(9) in
+  let p = problem_of case in
+  printf "%-10s %10s %8s %6s %10s\n" "buckets" "factor nnz" "Tf" "Ni" "Ttot";
+  List.iter
+    (fun buckets ->
+      let s =
+        Powerrchol.Solver.rand_chol_custom
+          ~name:(Printf.sprintf "lt-rchol-b%d" buckets)
+          ~sort:(Factor.Rand_chol.Counting_sort { buckets })
+          ~sampling:Factor.Rand_chol.Shared_random
+          ~ordering:Powerrchol.Solver.Degree_sort ()
+      in
+      let r = Powerrchol.Solver.run ~rtol s p in
+      printf "%-10d %10d %s %6d %s\n" buckets r.Powerrchol.Solver.factor_nnz
+        (fmt_time r.Powerrchol.Solver.t_precond)
+        (r_iters r) (fmt_time (r_total r)))
+    [ 4; 16; 64; 256; 4096 ];
+
+  header "Ablation 2: heavy-edge threshold in Alg. 4 (case pg10)";
+  printf "%-12s %10s %6s %10s\n" "heavy_factor" "factor nnz" "Ni" "Ttot";
+  List.iter
+    (fun hf ->
+      let s = Powerrchol.Solver.powerrchol ~heavy_factor:hf () in
+      let r = Powerrchol.Solver.run ~rtol s p in
+      printf "%-12s %10d %6d %s\n"
+        (if hf = infinity then "off" else Printf.sprintf "%.0fx" hf)
+        r.Powerrchol.Solver.factor_nnz (r_iters r)
+        (fmt_time (r_total r)))
+    [ 2.0; 10.0; 100.0; infinity ];
+
+  header "Ablation 3: sampling strategy (counting sort fixed, case pg10)";
+  printf "%-22s %8s %6s %10s\n" "sampling" "Tf" "Ni" "Ttot";
+  List.iter
+    (fun (name, sampling) ->
+      let s =
+        Powerrchol.Solver.rand_chol_custom ~name
+          ~sort:(Factor.Rand_chol.Counting_sort { buckets = 256 })
+          ~sampling ~ordering:Powerrchol.Solver.Degree_sort ()
+      in
+      let r = Powerrchol.Solver.run ~rtol s p in
+      printf "%-22s %s %6d %s\n" name
+        (fmt_time r.Powerrchol.Solver.t_precond)
+        (r_iters r) (fmt_time (r_total r)))
+    [
+      ("shared-random (Alg.3)", Factor.Rand_chol.Shared_random);
+      ("per-neighbor (Alg.1)", Factor.Rand_chol.Per_neighbor);
+    ];
+
+  header "Ablation 4: neighbor sort strategy (shared sampling, case pg10)";
+  printf "%-22s %8s %6s %10s\n" "sort" "Tf" "Ni" "Ttot";
+  List.iter
+    (fun (name, sort) ->
+      let s =
+        Powerrchol.Solver.rand_chol_custom ~name ~sort
+          ~sampling:Factor.Rand_chol.Shared_random
+          ~ordering:Powerrchol.Solver.Degree_sort ()
+      in
+      let r = Powerrchol.Solver.run ~rtol s p in
+      printf "%-22s %s %6d %s\n" name
+        (fmt_time r.Powerrchol.Solver.t_precond)
+        (r_iters r) (fmt_time (r_total r)))
+    [
+      ("exact sort", Factor.Rand_chol.Exact_sort);
+      ("counting sort b=256", Factor.Rand_chol.Counting_sort { buckets = 256 });
+      ("no sort", Factor.Rand_chol.No_sort);
+    ];
+
+  header
+    "Ablation 5: ordering family under LT-RChol (case pg10; natural, RCM, \
+     nested dissection, AMD, Alg. 4)";
+  printf "%-20s %8s %10s %8s %6s %10s\n" "ordering" "Tr" "factor nnz" "Tf"
+    "Ni" "Ttot";
+  List.iter
+    (fun ordering ->
+      let s =
+        Powerrchol.Solver.lt_rchol ~ordering ()
+      in
+      let r = Powerrchol.Solver.run ~rtol s p in
+      printf "%-20s %s %10d %s %6d %s\n"
+        (Powerrchol.Solver.ordering_name ordering)
+        (fmt_time r.Powerrchol.Solver.t_reorder)
+        r.Powerrchol.Solver.factor_nnz
+        (fmt_time r.Powerrchol.Solver.t_precond)
+        (r_iters r) (fmt_time (r_total r)))
+    [
+      Powerrchol.Solver.Natural;
+      Powerrchol.Solver.Rcm;
+      Powerrchol.Solver.Nested_dissection;
+      Powerrchol.Solver.Amd;
+      Powerrchol.Solver.Degree_sort;
+    ];
+
+  header "Ablation 6: AMG variants (case pg10)";
+  printf "%-26s %10s %8s %6s %10s\n" "variant" "op-cx" "Tbuild" "Ni" "Ttot";
+  List.iter
+    (fun (name, build) ->
+      let t0 = Unix.gettimeofday () in
+      let h = build p.Sddm.Problem.a in
+      let t_build = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let res =
+        Krylov.Pcg.solve ~rtol ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+          ~precond:(Amg.preconditioner h) ()
+      in
+      let t_iter = Unix.gettimeofday () -. t1 in
+      printf "%-26s %10.2f %s %6d%s %s\n" name (Amg.operator_complexity h)
+        (fmt_time t_build) res.Krylov.Pcg.iterations
+        (if res.Krylov.Pcg.converged then "" else "*")
+        (fmt_time (t_build +. t_iter)))
+    [
+      ("plain aggregation + SGS", fun a -> Amg.build a);
+      ("smoothed aggregation", fun a -> Amg.build ~smooth_prolongation:0.66 a);
+      ("jacobi smoother", fun a -> Amg.build ~smoother:(Amg.Jacobi 0.67) a);
+      ("theta = 0.25", fun a -> Amg.build ~theta:0.25 a);
+    ];
+
+  header
+    "Ablation 7: preconditioner quality as estimated condition number of \
+     M^-1 A (case pg10, from CG's Lanczos coefficients at rtol 1e-10)";
+  printf "%-16s %6s %12s\n" "preconditioner" "Ni" "kappa(M^-1A)";
+  List.iter
+    (fun (name, solver) ->
+      let prep = solver.Powerrchol.Solver.prepare p in
+      let res =
+        Krylov.Pcg.solve ~rtol:1e-10 ~max_iter:3000 ~a:p.Sddm.Problem.a
+          ~b:p.Sddm.Problem.b ~precond:prep.Powerrchol.Solver.precond ()
+      in
+      printf "%-16s %6d %12.1f\n" name res.Krylov.Pcg.iterations
+        res.Krylov.Pcg.condition_estimate)
+    [
+      ("powerrchol", Powerrchol.Solver.powerrchol ());
+      ("rchol(amd)", Powerrchol.Solver.rchol ());
+      ("fegrass", Powerrchol.Solver.fegrass ());
+      ("fegrass-ichol", Powerrchol.Solver.fegrass_ichol ());
+      ("amg", Powerrchol.Solver.amg_pcg ());
+      ("jacobi", Powerrchol.Solver.jacobi ());
+    ];
+  printf "%-16s" "schwarz-1024/1";
+  (let pc = Krylov.Schwarz.preconditioner ~block_size:1024 ~overlap:1 p in
+   let res =
+     Krylov.Pcg.solve ~rtol:1e-10 ~max_iter:3000 ~a:p.Sddm.Problem.a
+       ~b:p.Sddm.Problem.b ~precond:pc ()
+   in
+   printf " %6d %12.1f\n" res.Krylov.Pcg.iterations
+     res.Krylov.Pcg.condition_estimate);

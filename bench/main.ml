@@ -1,0 +1,55 @@
+(* Benchmark driver regenerating every table and figure of the paper.
+
+   Usage:
+     dune exec bench/main.exe              # everything (tables, figures, ablations)
+     dune exec bench/main.exe table1       # one experiment
+     dune exec bench/main.exe micro        # bechamel kernel micro-benchmarks
+   Environment:
+     BENCH_SCALE   multiply case sizes (default 1.0)
+     BENCH_RTOL    PCG relative tolerance (default 1e-6) *)
+
+let experiments =
+  [
+    ("table1", Experiments.table1);
+    ("table2", Experiments.table2);
+    ("table3", Experiments.table3);
+    ("table4", Experiments.table4);
+    ("fig1", Experiments.fig1);
+    ("fig2", Experiments.fig2);
+    ("fig3", Experiments.fig3);
+    ("ablation", Experiments.ablation);
+    ("micro", Micro.run);
+  ]
+
+let run_all () =
+  Printf.printf
+    "PowerRChol benchmark harness (scale %.2f, rtol %.0e)\n"
+    Runner.scale Runner.rtol;
+  Printf.printf
+    "Reproduces DAC'24 Tables 1-4 and Figures 1-3 on synthetic analogs; \
+     see DESIGN.md and EXPERIMENTS.md.\n";
+  List.iter
+    (fun (name, f) ->
+      if name <> "micro" then begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s completed in %.1f s]\n%!" name
+          (Unix.gettimeofday () -. t0)
+      end)
+    experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | [ _; name ] -> (
+    match List.assoc_opt name experiments with
+    | Some f ->
+      f ();
+      flush stdout
+    | None ->
+      Printf.eprintf "unknown experiment %S; available: %s all\n" name
+        (String.concat " " (List.map fst experiments));
+      exit 1)
+  | _ ->
+    Printf.eprintf "usage: main.exe [table1|...|fig3|ablation|micro|all]\n";
+    exit 1

@@ -1,0 +1,159 @@
+(* Bechamel kernel micro-benchmarks: one Test.make per paper table/figure,
+   exercising the kernel that dominates that experiment. Results are
+   printed as OLS time-per-run estimates. *)
+
+open Bechamel
+open Toolkit
+
+let small_grid =
+  lazy
+    (Powergrid.Generate.generate
+       (Powergrid.Generate.default ~nx:60 ~ny:60 ~seed:7001))
+
+let graph_and_d () =
+  let p = Lazy.force small_grid in
+  (p.Sddm.Problem.graph, p.Sddm.Problem.d)
+
+(* Table 1 kernel: the two randomized factorizations *)
+let test_table1 =
+  Test.make_grouped ~name:"table1-factorization"
+    [
+      Test.make ~name:"rchol"
+        (Staged.stage (fun () ->
+             let g, d = graph_and_d () in
+             ignore (Factor.Rchol.factorize ~rng:(Rng.create 1) g ~d)));
+      Test.make ~name:"lt-rchol"
+        (Staged.stage (fun () ->
+             let g, d = graph_and_d () in
+             ignore (Factor.Lt_rchol.factorize ~rng:(Rng.create 1) g ~d)));
+    ]
+
+(* Table 2 kernel: the reordering algorithms *)
+let test_table2 =
+  Test.make_grouped ~name:"table2-reordering"
+    [
+      Test.make ~name:"amd"
+        (Staged.stage (fun () ->
+             let g, _ = graph_and_d () in
+             ignore (Ordering.Amd.order g)));
+      Test.make ~name:"alg4-degree-sort"
+        (Staged.stage (fun () ->
+             let g, _ = graph_and_d () in
+             ignore (Ordering.Degree_sort.order g)));
+      Test.make ~name:"rcm"
+        (Staged.stage (fun () ->
+             let g, _ = graph_and_d () in
+             ignore (Ordering.Rcm.order g)));
+    ]
+
+(* Table 3 kernel: preconditioner construction of the competitors *)
+let test_table3 =
+  Test.make_grouped ~name:"table3-preconditioner-setup"
+    [
+      Test.make ~name:"fegrass-sparsify"
+        (Staged.stage (fun () ->
+             let g, _ = graph_and_d () in
+             ignore (Fegrass.sparsify g)));
+      Test.make ~name:"amg-build"
+        (Staged.stage (fun () ->
+             let p = Lazy.force small_grid in
+             ignore (Amg.build p.Sddm.Problem.a)));
+      Test.make ~name:"powerrchol-prepare"
+        (Staged.stage (fun () ->
+             let p = Lazy.force small_grid in
+             let s = Powerrchol.Solver.powerrchol () in
+             ignore (s.Powerrchol.Solver.prepare p)));
+    ]
+
+(* Table 4 kernel: factorization on a scale-free graph (hub handling) *)
+let test_table4 =
+  Test.make ~name:"table4-powerlaw-factorization"
+    (Staged.stage (fun () ->
+         let g =
+           Powergrid.Gen_graphs.power_law ~n:4000 ~avg_degree:6.0 ~alpha:2.0
+             ~seed:7002
+         in
+         let d = Array.make 4000 0.0 in
+         d.(0) <- 1.0;
+         let perm = Ordering.Degree_sort.order g in
+         let gp = Sddm.Graph.permute g perm in
+         let dp = Sparse.Perm.apply_vec perm d in
+         ignore (Factor.Lt_rchol.factorize ~rng:(Rng.create 2) gp ~d:dp)))
+
+(* Fig. 1 kernel: the merging preprocessing *)
+let test_fig1 =
+  Test.make ~name:"fig1-resistor-merge"
+    (Staged.stage (fun () ->
+         ignore (Powergrid.Merge.merge (Lazy.force small_grid))))
+
+(* Fig. 2 kernel: one PCG iteration (spmv + preconditioner apply) *)
+let test_fig2 =
+  let p = Lazy.force small_grid in
+  let s = Powerrchol.Solver.powerrchol () in
+  let prep = s.Powerrchol.Solver.prepare p in
+  let n = Sddm.Problem.n p in
+  let r = Array.init n (fun i -> float_of_int (i mod 17) /. 17.0) in
+  let z = Array.make n 0.0 in
+  let y = Array.make n 0.0 in
+  Test.make_grouped ~name:"fig2-pcg-iteration"
+    [
+      Test.make ~name:"spmv"
+        (Staged.stage (fun () -> Sparse.Csc.spmv_into p.Sddm.Problem.a r y));
+      Test.make ~name:"precond-apply"
+        (Staged.stage (fun () -> prep.Powerrchol.Solver.precond.Krylov.Precond.apply r z));
+    ]
+
+(* Fig. 3 kernel: Alg. 2 locate vs repeated binary search *)
+let test_fig3 =
+  let n = 4096 in
+  let a = Array.init n (fun i -> float_of_int (i + 1)) in
+  let targets = Array.init n (fun i -> float_of_int i +. 0.5) in
+  Test.make_grouped ~name:"fig3-locate"
+    [
+      Test.make ~name:"two-pointer (Alg.2)"
+        (Staged.stage (fun () -> ignore (Factor.Locate.locate ~a ~targets)));
+      Test.make ~name:"binary-search"
+        (Staged.stage (fun () ->
+             ignore (Factor.Locate.locate_reference ~a ~targets)));
+    ]
+
+let all_tests =
+  [ test_table1; test_table2; test_table3; test_table4; test_fig1; test_fig2; test_fig3 ]
+
+let run () =
+  (* force fixture construction outside the timed region *)
+  ignore (Lazy.force small_grid);
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+  in
+  Printf.printf "\n%-50s %15s %8s\n" "kernel" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 80 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square result with
+            | Some r -> r
+            | None -> nan
+          in
+          let time_str =
+            if estimate > 1e9 then Printf.sprintf "%10.3f s" (estimate /. 1e9)
+            else if estimate > 1e6 then
+              Printf.sprintf "%10.3f ms" (estimate /. 1e6)
+            else Printf.sprintf "%10.3f us" (estimate /. 1e3)
+          in
+          Printf.printf "%-50s %15s %8.4f\n" (Test.Elt.name elt) time_str r2)
+        (Test.elements test))
+    all_tests

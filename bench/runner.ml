@@ -1,0 +1,123 @@
+(* Shared machinery for the paper-table experiments: build suite cases
+   once, run (case, solver) pairs once, cache the results, format rows. *)
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1.0)
+  | None -> 1.0
+
+let rtol =
+  match Sys.getenv_opt "BENCH_RTOL" with
+  | Some s -> (try float_of_string s with Failure _ -> 1e-6)
+  | None -> 1e-6
+
+let printf = Printf.printf
+
+(* ---- solver registry ---- *)
+
+type solver_id =
+  | Powerrchol_s
+  | Rchol_amd
+  | Ltrchol_amd
+  | Ltrchol_natural
+  | Fegrass_s
+  | Fegrass_ichol_s
+  | Amg_s
+
+let solver_name = function
+  | Powerrchol_s -> "PowerRChol"
+  | Rchol_amd -> "RChol(AMD)"
+  | Ltrchol_amd -> "LT-RChol(AMD)"
+  | Ltrchol_natural -> "LT-RChol(nat)"
+  | Fegrass_s -> "feGRASS"
+  | Fegrass_ichol_s -> "feGRASS-IChol"
+  | Amg_s -> "AMG-PCG"
+
+let instantiate = function
+  | Powerrchol_s -> Powerrchol.Solver.powerrchol ()
+  | Rchol_amd -> Powerrchol.Solver.rchol ()
+  | Ltrchol_amd -> Powerrchol.Solver.lt_rchol ()
+  | Ltrchol_natural ->
+    Powerrchol.Solver.lt_rchol ~ordering:Powerrchol.Solver.Natural ()
+  | Fegrass_s -> Powerrchol.Solver.fegrass ()
+  | Fegrass_ichol_s -> Powerrchol.Solver.fegrass_ichol ()
+  | Amg_s -> Powerrchol.Solver.amg_pcg ()
+
+(* ---- caches ---- *)
+
+let problem_cache : (string, Sddm.Problem.t) Hashtbl.t = Hashtbl.create 32
+
+let problem_of (case : Powergrid.Suite.case) =
+  match Hashtbl.find_opt problem_cache case.Powergrid.Suite.id with
+  | Some p -> p
+  | None ->
+    let p = case.Powergrid.Suite.build () in
+    Hashtbl.replace problem_cache case.Powergrid.Suite.id p;
+    p
+
+let result_cache : (string * solver_id, Powerrchol.Solver.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let run case solver_id =
+  let key = (case.Powergrid.Suite.id, solver_id) in
+  match Hashtbl.find_opt result_cache key with
+  | Some r -> r
+  | None ->
+    let p = problem_of case in
+    let r = Powerrchol.Solver.run ~rtol (instantiate solver_id) p in
+    Hashtbl.replace result_cache key r;
+    r
+
+let drop_cached_problem case =
+  Hashtbl.remove problem_cache case.Powergrid.Suite.id
+
+(* ---- case lists (computed once so every table sees the same sizes) ---- *)
+
+let pg_cases = lazy (Powergrid.Suite.power_grid_cases ~scale ())
+let other_cases = lazy (Powergrid.Suite.other_cases ~scale ())
+
+(* ---- formatting ---- *)
+
+let hr width = printf "%s\n" (String.make width '-')
+
+let header title =
+  printf "\n";
+  hr 100;
+  printf "%s\n" title;
+  hr 100
+
+let fmt_time t = Printf.sprintf "%8.3f" t
+let fmt_opt_speedup = function
+  | Some s -> Printf.sprintf "%5.2f" s
+  | None -> "    -"
+
+let conv_mark (r : Powerrchol.Solver.result) =
+  if r.Powerrchol.Solver.converged then "" else "*"
+
+(* geometric mean over the available pairs *)
+let geomean values =
+  let logs = List.filter_map (fun v -> if v > 0.0 then Some (log v) else None) values in
+  match logs with
+  | [] -> nan
+  | _ -> exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs))
+
+let mean values =
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let summary_line ~label ~measured ~paper =
+  printf "%-46s measured %5.2fx   (paper: %.2fx)\n" label measured paper
+
+(* ---- CSV artifacts for plotting ---- *)
+
+let artifact_dir =
+  match Sys.getenv_opt "BENCH_ARTIFACTS" with
+  | Some d -> d
+  | None -> "bench_artifacts"
+
+let with_csv name f =
+  if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
+  let path = Filename.concat artifact_dir name in
+  Out_channel.with_open_text path f;
+  printf "[csv written: %s]\n" path

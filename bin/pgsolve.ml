@@ -1,0 +1,270 @@
+(* pgsolve: command-line power-grid / SDDM solver.
+
+   Subcommands:
+     generate   synthesize a power grid and write it as a SPICE netlist
+     solve      solve a netlist (or a generated grid) and report IR drop
+     compare    run every solver on a problem and print the timing table
+     bench-case solve a named suite case (pg01..pg16, youtube, ...)
+
+   Examples:
+     pgsolve generate -o grid.sp --nx 200 --ny 200 --seed 42
+     pgsolve solve grid.sp --solver powerrchol --rtol 1e-8
+     pgsolve compare --case pg07
+     pgsolve solve --mtx matrix.mtx *)
+
+open Cmdliner
+
+(* ---- shared argument definitions ---- *)
+
+let rtol_arg =
+  let doc = "PCG relative residual tolerance." in
+  Arg.(value & opt float 1e-6 & info [ "rtol" ] ~docv:"TOL" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (grid generation and factorization)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let solver_names =
+  [
+    ("powerrchol", `Powerrchol);
+    ("rchol", `Rchol);
+    ("lt-rchol", `Lt_rchol);
+    ("fegrass", `Fegrass);
+    ("fegrass-ichol", `Fegrass_ichol);
+    ("amg", `Amg);
+    ("direct", `Direct);
+  ]
+
+let solver_of_tag ~seed = function
+  | `Powerrchol -> Powerrchol.Solver.powerrchol ~seed ()
+  | `Rchol -> Powerrchol.Solver.rchol ~seed ()
+  | `Lt_rchol -> Powerrchol.Solver.lt_rchol ~seed ()
+  | `Fegrass -> Powerrchol.Solver.fegrass ()
+  | `Fegrass_ichol -> Powerrchol.Solver.fegrass_ichol ()
+  | `Amg -> Powerrchol.Solver.amg_pcg ()
+  | `Direct -> Powerrchol.Solver.direct ()
+
+let solver_arg =
+  let doc =
+    Printf.sprintf "Solver to use: %s."
+      (String.concat ", " (List.map fst solver_names))
+  in
+  Arg.(
+    value
+    & opt (enum solver_names) `Powerrchol
+    & info [ "solver"; "s" ] ~docv:"SOLVER" ~doc)
+
+let report_result r =
+  Format.printf "%a@." Powerrchol.Pipeline.pp_result r
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let nx =
+    Arg.(value & opt int 100 & info [ "nx" ] ~docv:"N" ~doc:"Grid width.")
+  in
+  let ny =
+    Arg.(value & opt int 100 & info [ "ny" ] ~docv:"N" ~doc:"Grid height.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output netlist path.")
+  in
+  let run nx ny seed out =
+    let spec = Powergrid.Generate.default ~nx ~ny ~seed in
+    let circuit = Powergrid.Generate.generate_circuit spec in
+    Powergrid.Netlist.write_circuit_file out circuit;
+    Printf.printf "wrote %s: %d nodes, %d resistors, %d pads, %d loads\n" out
+      circuit.Powergrid.Generate.n_nodes
+      (Array.length circuit.Powergrid.Generate.resistors)
+      (Array.length circuit.Powergrid.Generate.pads)
+      (Array.length circuit.Powergrid.Generate.loads)
+  in
+  let doc = "Synthesize a power grid and write it as a SPICE netlist." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ nx $ ny $ seed_arg $ out)
+
+(* ---- problem loading shared by solve/compare ---- *)
+
+let load_problem ?rhs netlist mtx case scale =
+  match (netlist, mtx, case) with
+  | Some path, None, None ->
+    let parsed = Powergrid.Netlist.parse_file path in
+    let { Powergrid.Netlist.problem; _ } =
+      Powergrid.Netlist.to_problem ~name:(Filename.basename path) parsed
+    in
+    problem
+  | None, Some path, None ->
+    let a = Sparse.Matrix_market.read path in
+    let n, _ = Sparse.Csc.dims a in
+    let b =
+      match rhs with
+      | Some rhs_path -> Sparse.Matrix_market.read_vector rhs_path
+      | None ->
+        let rng = Rng.create 1 in
+        Array.init n (fun _ -> Rng.float rng -. 0.5)
+    in
+    Sddm.Problem.of_matrix ~name:(Filename.basename path) ~a ~b
+  | None, None, Some id ->
+    let c = Powergrid.Suite.find ~scale id in
+    c.Powergrid.Suite.build ()
+  | None, None, None ->
+    (* default demo problem *)
+    let c = Powergrid.Suite.find ~scale "pg01" in
+    c.Powergrid.Suite.build ()
+  | _ ->
+    prerr_endline "specify at most one of NETLIST, --mtx, --case";
+    exit 2
+
+let netlist_pos =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"NETLIST" ~doc:"SPICE netlist to solve.")
+
+let mtx_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mtx" ] ~docv:"FILE" ~doc:"MatrixMarket SDDM matrix to solve.")
+
+let rhs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rhs" ] ~docv:"FILE"
+        ~doc:
+          "MatrixMarket array-format right-hand side (used with --mtx; \
+           default: deterministic random loads).")
+
+let case_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "case" ] ~docv:"ID"
+        ~doc:"Benchmark suite case id (pg01..pg16, youtube, ecology, ...).")
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Suite case size multiplier.")
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let budget =
+    Arg.(
+      value & opt float 0.05
+      & info [ "budget" ] ~docv:"V" ~doc:"IR-drop violation budget (volts).")
+  in
+  let run netlist mtx rhs case scale solver_tag rtol seed budget =
+    let problem = load_problem ?rhs netlist mtx case scale in
+    Printf.printf "%s\n" (Sddm.Problem.describe problem);
+    let solver = solver_of_tag ~seed solver_tag in
+    let r = Powerrchol.Solver.run ~rtol solver problem in
+    report_result r;
+    if r.Powerrchol.Solver.converged && netlist = None && mtx = None then begin
+      (* suite power-grid cases use the drop formulation: report IR drop *)
+      let report = Powergrid.Ir_drop.analyze ~budget r.Powerrchol.Solver.x in
+      Format.printf "%a@." Powergrid.Ir_drop.pp report
+    end;
+    if not r.Powerrchol.Solver.converged then exit 1
+  in
+  let doc = "Solve a power-grid system and report timing and IR drop." in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(
+      const run $ netlist_pos $ mtx_arg $ rhs_arg $ case_arg $ scale_arg
+      $ solver_arg $ rtol_arg $ seed_arg $ budget)
+
+(* ---- compare ---- *)
+
+let compare_cmd =
+  let run netlist mtx case scale rtol seed =
+    let problem = load_problem netlist mtx case scale in
+    Printf.printf "%s\n" (Sddm.Problem.describe problem);
+    Printf.printf "%-15s %9s %9s %9s %9s %5s %10s %6s\n" "solver" "Tr" "Tf"
+      "Ti" "Ttot" "Ni" "factor-nnz" "conv";
+    List.iter
+      (fun (name, tag) ->
+        let solver = solver_of_tag ~seed tag in
+        let r = Powerrchol.Solver.run ~rtol solver problem in
+        Printf.printf "%-15s %9.3f %9.3f %9.3f %9.3f %5d %10d %6b\n" name
+          r.Powerrchol.Solver.t_reorder r.Powerrchol.Solver.t_precond
+          r.Powerrchol.Solver.t_iterate r.Powerrchol.Solver.t_total
+          r.Powerrchol.Solver.iterations r.Powerrchol.Solver.factor_nnz
+          r.Powerrchol.Solver.converged)
+      solver_names
+  in
+  let doc = "Run every solver on one problem and tabulate the results." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ netlist_pos $ mtx_arg $ case_arg $ scale_arg $ rtol_arg
+      $ seed_arg)
+
+(* ---- transient ---- *)
+
+let transient_cmd =
+  let nx =
+    Arg.(value & opt int 80 & info [ "nx" ] ~docv:"N" ~doc:"Grid width.")
+  in
+  let ny =
+    Arg.(value & opt int 80 & info [ "ny" ] ~docv:"N" ~doc:"Grid height.")
+  in
+  let step =
+    Arg.(
+      value & opt float 1e-11
+      & info [ "step" ] ~docv:"SEC" ~doc:"Backward-Euler step size.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 200
+      & info [ "steps" ] ~docv:"N" ~doc:"Number of time steps.")
+  in
+  let period =
+    Arg.(
+      value & opt float 5e-10
+      & info [ "period" ] ~docv:"SEC" ~doc:"Load pulse period.")
+  in
+  let duty =
+    Arg.(
+      value & opt float 0.5
+      & info [ "duty" ] ~docv:"D" ~doc:"Load pulse duty cycle in [0,1].")
+  in
+  let run nx ny seed rtol step steps period duty =
+    let spec = Powergrid.Generate.default ~nx ~ny ~seed in
+    let circuit = Powergrid.Generate.generate_circuit spec in
+    Printf.printf "grid: %d nodes, %d decap sites; h = %.3g s, %d steps
+"
+      circuit.Powergrid.Generate.n_nodes
+      (Array.length circuit.Powergrid.Generate.caps)
+      step steps;
+    let t = Powerrchol.Transient.prepare ~rtol ~seed ~circuit ~h:step () in
+    let waveform = Powerrchol.Transient.Waveform.pulse ~period ~duty in
+    let res = Powerrchol.Transient.simulate t ~steps ~waveform in
+    Printf.printf
+      "prepare %.3f s; march %.3f s; %d PCG iterations (%.1f per step)
+"
+      res.Powerrchol.Transient.t_prepare res.Powerrchol.Transient.t_march
+      res.Powerrchol.Transient.total_iterations
+      (float_of_int res.Powerrchol.Transient.total_iterations
+      /. float_of_int steps);
+    Printf.printf "peak drop %.4f V at t = %.3g s; DC bound %.4f V
+"
+      res.Powerrchol.Transient.peak_drop res.Powerrchol.Transient.peak_time
+      (Sparse.Vec.norm_inf (Powerrchol.Transient.dc_drop t))
+  in
+  let doc = "Transient (backward-Euler) simulation of a generated grid." in
+  Cmd.v (Cmd.info "transient" ~doc)
+    Term.(
+      const run $ nx $ ny $ seed_arg $ rtol_arg $ step $ steps $ period
+      $ duty)
+
+let main_cmd =
+  let doc = "power-grid analysis via fast randomized Cholesky (PowerRChol)" in
+  let info = Cmd.info "pgsolve" ~version:"1.0.0" ~doc in
+  Cmd.group info [ generate_cmd; solve_cmd; compare_cmd; transient_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,16 @@
+let solve ?rtol ?max_iter ?seed ?buckets ?heavy_factor problem =
+  let solver = Solver.powerrchol ?buckets ?heavy_factor ?seed () in
+  Solver.run ?rtol ?max_iter solver problem
+
+let solve_matrix ?rtol ?max_iter ?seed ?(name = "matrix") ~a ~b () =
+  let problem = Sddm.Problem.of_matrix ~name ~a ~b in
+  solve ?rtol ?max_iter ?seed problem
+
+let pp_result fmt (r : Solver.result) =
+  Format.fprintf fmt
+    "@[<v>solver     : %s@,converged  : %b (%d iterations, residual %.3e)@,\
+     reordering : %.3f s@,factorize  : %.3f s (factor nnz %d)@,\
+     iteration  : %.3f s@,total      : %.3f s@]"
+    r.Solver.solver r.Solver.converged r.Solver.iterations r.Solver.residual
+    r.Solver.t_reorder r.Solver.t_precond r.Solver.factor_nnz
+    r.Solver.t_iterate r.Solver.t_total

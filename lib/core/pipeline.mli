@@ -1,0 +1,21 @@
+(** High-level entry points: "give me the node voltages".
+
+    This is the API a power-grid tool would embed: hand over an SDDM system
+    (or a raw matrix), get the solution plus the phase timing that the
+    paper's tables report. *)
+
+val solve :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?buckets:int ->
+  ?heavy_factor:float -> Sddm.Problem.t -> Solver.result
+(** Run the full PowerRChol pipeline (§3.3 of the paper): Alg. 4
+    reordering, LT-RChol factorization, PCG to [rtol] (default 1e-6). *)
+
+val solve_matrix :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?name:string ->
+  a:Sparse.Csc.t -> b:float array -> unit -> Solver.result
+(** Like {!solve} but validates and splits a raw matrix first. Raises
+    [Invalid_argument] if [a] is not SDDM. *)
+
+val pp_result : Format.formatter -> Solver.result -> unit
+(** One-paragraph human-readable report (phase times, iterations,
+    residual). *)

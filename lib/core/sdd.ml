@@ -1,0 +1,63 @@
+let is_sdd a =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  if n_rows <> n_cols then false
+  else if not (Sparse.Csc.symmetrize_check a) then false
+  else begin
+    let n = n_cols in
+    let off = Array.make n 0.0 in
+    let diag = Array.make n 0.0 in
+    Sparse.Csc.fold_nonzeros a ~init:() ~f:(fun () i j v ->
+        if i = j then diag.(j) <- v
+        else off.(j) <- off.(j) +. Float.abs v);
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let scale = Float.max diag.(i) 1.0 in
+      if diag.(i) < off.(i) -. (1e-12 *. scale) then ok := false
+    done;
+    !ok
+  end
+
+(* Doubled system: index i is node i, index n+i its mirror i'. *)
+let reduce a ~b =
+  if not (is_sdd a) then invalid_arg "Sdd.reduce: matrix is not SDD";
+  let _, n = Sparse.Csc.dims a in
+  assert (Array.length b = n);
+  let edges = ref [] in
+  let off_abs = Array.make n 0.0 in
+  let diag = Array.make n 0.0 in
+  Sparse.Csc.fold_nonzeros a ~init:() ~f:(fun () i j v ->
+      if i = j then diag.(j) <- v
+      else begin
+        off_abs.(j) <- off_abs.(j) +. Float.abs v;
+        if i < j then
+          if v < 0.0 then begin
+            (* ordinary SDDM edge, duplicated on the mirror side *)
+            edges := (i, j, -.v) :: (n + i, n + j, -.v) :: !edges
+          end
+          else if v > 0.0 then begin
+            (* positive coupling crosses to the mirror *)
+            edges := (i, n + j, v) :: (j, n + i, v) :: !edges
+          end
+      end);
+  let d = Array.make (2 * n) 0.0 in
+  for i = 0 to n - 1 do
+    let excess = Float.max (diag.(i) -. off_abs.(i)) 0.0 in
+    d.(i) <- excess;
+    d.(n + i) <- excess
+  done;
+  let graph =
+    Sddm.Graph.create ~n:(2 * n) ~edges:(Array.of_list !edges)
+  in
+  let bb = Array.append b (Array.map (fun v -> -.v) b) in
+  Sddm.Problem.of_graph ~name:"sdd-doubled" ~graph ~d ~b:bb
+
+let recover y =
+  let n2 = Array.length y in
+  assert (n2 mod 2 = 0);
+  let n = n2 / 2 in
+  Array.init n (fun i -> (y.(i) -. y.(n + i)) /. 2.0)
+
+let solve ?rtol ?seed ~a ~b () =
+  let doubled = reduce a ~b in
+  let result = Pipeline.solve ?rtol ?seed doubled in
+  (recover result.Solver.x, result)

@@ -1,0 +1,32 @@
+(** General SDD systems via the doubling reduction.
+
+    A symmetric diagonally dominant matrix may carry {e positive}
+    off-diagonals, which the Laplacian-based factorizations cannot ingest
+    directly. The classic reduction (used by the original RChol [3])
+    embeds the SDD system [A x = b] into an SDDM system of twice the
+    size:
+
+    - a negative off-diagonal [a_uv < 0] couples [(u, v)] and [(u', v')];
+    - a positive off-diagonal [a_uv > 0] couples [(u, v')] and [(u', v)];
+    - excess diagonal splits evenly between [u] and its mirror [u'].
+
+    Solving [M y = (b; -b)] gives [x = (y_head - y_tail)/2] exactly when
+    [A] is nonsingular (the skew-symmetric part of [y] carries the
+    solution). *)
+
+val is_sdd : Sparse.Csc.t -> bool
+(** Symmetric with [a_ii >= sum_j |a_ij|] (up to rounding). *)
+
+val reduce : Sparse.Csc.t -> b:float array -> Sddm.Problem.t
+(** [reduce a ~b] builds the doubled SDDM problem (size [2n]). Raises
+    [Invalid_argument] if [a] is not SDD. *)
+
+val recover : float array -> float array
+(** [recover y] maps the doubled solution back: length [2n] -> [n]. *)
+
+val solve :
+  ?rtol:float -> ?seed:int -> a:Sparse.Csc.t -> b:float array -> unit ->
+  float array * Solver.result
+(** Solve a general SDD system with the PowerRChol pipeline through the
+    reduction; returns the recovered solution and the raw solver result
+    on the doubled system. *)

@@ -1,0 +1,216 @@
+type prepared = {
+  precond : Krylov.Precond.t;
+  t_reorder : float;
+  t_precond : float;
+  factor_nnz : int;
+}
+
+type t = {
+  name : string;
+  prepare : Sddm.Problem.t -> prepared;
+}
+
+type result = {
+  solver : string;
+  x : float array;
+  iterations : int;
+  converged : bool;
+  residual : float;
+  t_reorder : float;
+  t_precond : float;
+  t_iterate : float;
+  t_total : float;
+  factor_nnz : int;
+}
+
+let default_seed = 20240623
+
+let now = Unix.gettimeofday
+
+let iterate ?rtol ?(max_iter = 500) solver prepared problem =
+  let t0 = now () in
+  let pcg =
+    Krylov.Pcg.solve ?rtol ~max_iter ~a:problem.Sddm.Problem.a
+      ~b:problem.Sddm.Problem.b ~precond:prepared.precond ()
+  in
+  let t_iterate = now () -. t0 in
+  {
+    solver = solver.name;
+    x = pcg.Krylov.Pcg.x;
+    iterations = pcg.Krylov.Pcg.iterations;
+    converged = pcg.Krylov.Pcg.converged;
+    residual = Sddm.Problem.residual_norm problem pcg.Krylov.Pcg.x;
+    t_reorder = prepared.t_reorder;
+    t_precond = prepared.t_precond;
+    t_iterate;
+    t_total = prepared.t_reorder +. prepared.t_precond +. t_iterate;
+    factor_nnz = prepared.factor_nnz;
+  }
+
+let run ?rtol ?max_iter solver problem =
+  iterate ?rtol ?max_iter solver (solver.prepare problem) problem
+
+(* ---- orderings ---- *)
+
+type ordering = Amd | Natural | Degree_sort | Rcm | Nested_dissection
+
+let ordering_name = function
+  | Amd -> "amd"
+  | Natural -> "natural"
+  | Degree_sort -> "alg4"
+  | Rcm -> "rcm"
+  | Nested_dissection -> "nd"
+
+let apply_ordering ordering g =
+  match ordering with
+  | Amd -> Ordering.Amd.order g
+  | Natural -> Ordering.Natural.order g
+  | Degree_sort -> Ordering.Degree_sort.order g
+  | Rcm -> Ordering.Rcm.order g
+  | Nested_dissection -> Ordering.Nested_dissection.order g
+
+(* ---- randomized-Cholesky solvers ---- *)
+
+let rand_chol_custom ~name ~sort ~sampling ~ordering ?(seed = default_seed)
+    () =
+  let prepare problem =
+    let g = problem.Sddm.Problem.graph in
+    let t0 = now () in
+    let perm = apply_ordering ordering g in
+    let t1 = now () in
+    let gp = Sddm.Graph.permute g perm in
+    let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+    let rng = Rng.create seed in
+    let l = Factor.Rand_chol.factorize ~sort ~sampling ~rng gp ~d:dp in
+    let t2 = now () in
+    {
+      precond = Krylov.Precond.of_factor ~name ~perm l;
+      t_reorder = t1 -. t0;
+      t_precond = t2 -. t1;
+      factor_nnz = Factor.Lower.nnz l;
+    }
+  in
+  { name; prepare }
+
+let rchol ?(ordering = Amd) ?seed () =
+  rand_chol_custom
+    ~name:(Printf.sprintf "rchol(%s)" (ordering_name ordering))
+    ~sort:Factor.Rand_chol.Exact_sort ~sampling:Factor.Rand_chol.Per_neighbor
+    ~ordering ?seed ()
+
+let lt_rchol ?(ordering = Amd) ?(buckets = Factor.Lt_rchol.default_buckets)
+    ?seed () =
+  rand_chol_custom
+    ~name:(Printf.sprintf "lt-rchol(%s)" (ordering_name ordering))
+    ~sort:(Factor.Rand_chol.Counting_sort { buckets })
+    ~sampling:Factor.Rand_chol.Shared_random ~ordering ?seed ()
+
+let powerrchol ?(buckets = Factor.Lt_rchol.default_buckets)
+    ?(heavy_factor = 10.0) ?(seed = default_seed) () =
+  let prepare problem =
+    let g = problem.Sddm.Problem.graph in
+    let t0 = now () in
+    let perm = Ordering.Degree_sort.order ~heavy_factor g in
+    let t1 = now () in
+    let gp = Sddm.Graph.permute g perm in
+    let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+    let rng = Rng.create seed in
+    let l = Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp in
+    let t2 = now () in
+    {
+      precond = Krylov.Precond.of_factor ~name:"powerrchol" ~perm l;
+      t_reorder = t1 -. t0;
+      t_precond = t2 -. t1;
+      factor_nnz = Factor.Lower.nnz l;
+    }
+  in
+  { name = "powerrchol"; prepare }
+
+(* ---- feGRASS solvers ---- *)
+
+let fegrass_prepare ~recover_fraction ~factorize problem =
+  let g = problem.Sddm.Problem.graph in
+  let t0 = now () in
+  let sp = Fegrass.sparsify ~recover_fraction g in
+  let sparsifier_a =
+    Sddm.Graph.to_sddm sp.Fegrass.graph problem.Sddm.Problem.d
+  in
+  let t1 = now () in
+  (* The sparsifier is near-tree; AMD keeps its exact factor sparse. The
+     reordering time is charged to t_reorder like the paper's tables. *)
+  let perm = Ordering.Amd.order sp.Fegrass.graph in
+  let t2 = now () in
+  let reordered = Sparse.Csc.permute_sym sparsifier_a perm in
+  let l = factorize reordered in
+  let t3 = now () in
+  {
+    precond = Krylov.Precond.of_factor ~name:"fegrass" ~perm l;
+    t_reorder = t2 -. t1;
+    t_precond = t3 -. t2 +. (t1 -. t0);
+    factor_nnz = Factor.Lower.nnz l;
+  }
+
+let fegrass ?(recover_fraction = 0.02) () =
+  {
+    name = "fegrass";
+    prepare =
+      fegrass_prepare ~recover_fraction ~factorize:Factor.Chol.factorize;
+  }
+
+let fegrass_ichol ?(recover_fraction = 0.5) ?(drop_tol = 8.5e-6) () =
+  {
+    name = "fegrass-ichol";
+    prepare =
+      fegrass_prepare ~recover_fraction
+        ~factorize:(Factor.Ichol.factorize ~drop_tol);
+  }
+
+(* ---- AMG ---- *)
+
+let amg_pcg ?(theta = 0.08) ?smoother () =
+  let prepare problem =
+    let t0 = now () in
+    let hierarchy = Amg.build ~theta ?smoother problem.Sddm.Problem.a in
+    let t1 = now () in
+    let precond = Amg.preconditioner hierarchy in
+    {
+      precond;
+      t_reorder = 0.0;
+      t_precond = t1 -. t0;
+      factor_nnz = precond.Krylov.Precond.nnz;
+    }
+  in
+  { name = "amg-pcg"; prepare }
+
+(* ---- direct & trivial baselines ---- *)
+
+let direct () =
+  let prepare problem =
+    let g = problem.Sddm.Problem.graph in
+    let t0 = now () in
+    let perm = Ordering.Amd.order g in
+    let t1 = now () in
+    let reordered = Sparse.Csc.permute_sym problem.Sddm.Problem.a perm in
+    let l = Factor.Chol.factorize reordered in
+    let t2 = now () in
+    {
+      precond = Krylov.Precond.of_factor ~name:"direct" ~perm l;
+      t_reorder = t1 -. t0;
+      t_precond = t2 -. t1;
+      factor_nnz = Factor.Lower.nnz l;
+    }
+  in
+  { name = "direct"; prepare }
+
+let jacobi () =
+  let prepare problem =
+    let t0 = now () in
+    let precond = Krylov.Precond.jacobi problem.Sddm.Problem.a in
+    {
+      precond;
+      t_reorder = 0.0;
+      t_precond = now () -. t0;
+      factor_nnz = precond.Krylov.Precond.nnz;
+    }
+  in
+  { name = "jacobi"; prepare }

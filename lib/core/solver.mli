@@ -1,0 +1,85 @@
+(** Uniform solver interface over PowerRChol and all baselines.
+
+    Every solver is a {e preparation} step (reordering + preconditioner
+    construction, timed separately as the paper's [T_r] and [T_f]) followed
+    by PCG iteration ([T_i], [N_i]). The benchmark tables are produced by
+    running the same problems through each [t]. *)
+
+type prepared = {
+  precond : Krylov.Precond.t;
+  t_reorder : float;  (** seconds spent computing the permutation *)
+  t_precond : float;  (** seconds spent building the preconditioner *)
+  factor_nnz : int;  (** stored nonzeros of the preconditioner *)
+}
+
+type t = {
+  name : string;
+  prepare : Sddm.Problem.t -> prepared;
+}
+
+type result = {
+  solver : string;
+  x : float array;
+  iterations : int;
+  converged : bool;
+  residual : float;  (** true relative residual, recomputed from [x] *)
+  t_reorder : float;
+  t_precond : float;
+  t_iterate : float;
+  t_total : float;
+  factor_nnz : int;
+}
+
+val run : ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t -> result
+(** Prepare, iterate, time, and verify. [rtol] defaults to 1e-6 and
+    [max_iter] to 500, the paper's settings. *)
+
+val iterate :
+  ?rtol:float -> ?max_iter:int -> t -> prepared -> Sddm.Problem.t -> result
+(** Reuse a preparation (used by the Fig. 2 tolerance sweep). *)
+
+(** {1 Solver constructors}
+
+    All randomized solvers are deterministic given [seed]
+    (default [20240623]). *)
+
+type ordering = Amd | Natural | Degree_sort | Rcm | Nested_dissection
+
+val ordering_name : ordering -> string
+val apply_ordering : ordering -> Sddm.Graph.t -> Sparse.Perm.t
+
+val powerrchol : ?buckets:int -> ?heavy_factor:float -> ?seed:int -> unit -> t
+(** The paper's solver: Alg. 4 reordering + LT-RChol (Alg. 3) + PCG. *)
+
+val rchol : ?ordering:ordering -> ?seed:int -> unit -> t
+(** Original RChol (Alg. 1) preconditioner; default AMD ordering, the
+    configuration of [3] used as baseline in Table 1. *)
+
+val lt_rchol : ?ordering:ordering -> ?buckets:int -> ?seed:int -> unit -> t
+(** LT-RChol with a chosen ordering — the Table 2 rows. *)
+
+val rand_chol_custom :
+  name:string -> sort:Factor.Rand_chol.sort ->
+  sampling:Factor.Rand_chol.sampling -> ordering:ordering -> ?seed:int ->
+  unit -> t
+(** Fully custom randomized-Cholesky solver (ablation benches). *)
+
+val fegrass : ?recover_fraction:float -> unit -> t
+(** feGRASS-PCG [11]: sparsifier (2%·|V| recovered edges) factorized
+    exactly under AMD. *)
+
+val fegrass_ichol : ?recover_fraction:float -> ?drop_tol:float -> unit -> t
+(** feGRASS-IChol-PCG [9]: 50%·|V| recovery + ICT(8.5e-6). *)
+
+val amg_pcg : ?theta:float -> ?smoother:Amg.smoother -> unit -> t
+(** AMG-PCG [14] (the PowerRush solver core). [smoother] defaults to
+    symmetric Gauss-Seidel; see {!Amg.build}. *)
+
+val direct : unit -> t
+(** AMD + exact Cholesky as a "preconditioner": PCG converges in one
+    iteration; total time is dominated by factorization. Sanity baseline. *)
+
+val jacobi : unit -> t
+(** Diagonal preconditioning; the weak baseline. *)
+
+val default_seed : int

@@ -1,0 +1,20 @@
+(** Exact sparse Cholesky factorization [A = L L^T] (up-looking,
+    CSparse-style). Serves as the direct-solver baseline and as the exact
+    factorizer for feGRASS sparsifiers.
+
+    The input must be symmetric positive definite; SDDM matrices with a
+    nonempty excess diagonal per component qualify. *)
+
+exception Not_positive_definite of int
+(** Raised with the offending column when a pivot is nonpositive. *)
+
+val factorize : Sparse.Csc.t -> Lower.t
+(** Factor without reordering (apply {!Sparse.Csc.permute_sym} first if a
+    fill-reducing permutation is wanted). Raises
+    {!Not_positive_definite}. *)
+
+val solve : Sparse.Csc.t -> float array -> float array
+(** [solve a b] factors and solves in one call (no reuse). *)
+
+val solve_factored : Lower.t -> float array -> float array
+(** Triangular solve pair with a precomputed factor. *)

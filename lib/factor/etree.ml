@@ -1,0 +1,97 @@
+(* Elimination tree with path-compressed ancestors. *)
+let etree a =
+  let _, n = Sparse.Csc.dims a in
+  let parent = Array.make n (-1) in
+  let ancestor = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    Sparse.Csc.iter_col a k (fun i _ ->
+        if i < k then begin
+          let node = ref i in
+          let continue_ = ref true in
+          while !continue_ do
+            let next = ancestor.(!node) in
+            ancestor.(!node) <- k;
+            if next = -1 then begin
+              parent.(!node) <- k;
+              continue_ := false
+            end
+            else if next = k then continue_ := false
+            else node := next
+          done
+        end)
+  done;
+  parent
+
+let postorder parent =
+  let n = Array.length parent in
+  (* children lists, built in reverse so iteration is in ascending order *)
+  let child = Array.make n [] in
+  for i = n - 1 downto 0 do
+    if parent.(i) >= 0 then child.(parent.(i)) <- i :: child.(parent.(i))
+  done;
+  let post = Array.make n 0 in
+  let out = ref 0 in
+  let stack = Stack.create () in
+  for root = 0 to n - 1 do
+    if parent.(root) = -1 then begin
+      (* iterative DFS emitting nodes in postorder *)
+      Stack.push (root, child.(root)) stack;
+      while not (Stack.is_empty stack) do
+        let node, pending = Stack.pop stack in
+        match pending with
+        | [] ->
+          post.(!out) <- node;
+          incr out
+        | c :: rest ->
+          Stack.push (node, rest) stack;
+          Stack.push (c, child.(c)) stack
+      done
+    end
+  done;
+  assert (!out = n);
+  post
+
+(* Pattern of row k of L: walk the etree upward from each below-diagonal
+   entry of column k of A, stopping at already-marked nodes; each walked
+   path is emitted in reverse into stack.(top..n-1), which yields a
+   topological order (descendants before ancestors). *)
+let ereach a k ~parent ~mark ~stamp ~stack =
+  let n = Array.length parent in
+  let path = ref (Array.make 64 0) in
+  let top = ref n in
+  mark.(k) <- stamp;
+  Sparse.Csc.iter_col a k (fun i _ ->
+      if i < k then begin
+        let len = ref 0 in
+        let node = ref i in
+        while !node <> -1 && mark.(!node) <> stamp do
+          if !len = Array.length !path then begin
+            let bigger = Array.make (2 * !len) 0 in
+            Array.blit !path 0 bigger 0 !len;
+            path := bigger
+          end;
+          !path.(!len) <- !node;
+          incr len;
+          mark.(!node) <- stamp;
+          node := parent.(!node)
+        done;
+        for q = !len - 1 downto 0 do
+          decr top;
+          stack.(!top) <- !path.(q)
+        done
+      end);
+  !top
+
+let row_counts a =
+  let _, n = Sparse.Csc.dims a in
+  let parent = etree a in
+  let mark = Array.make n (-1) in
+  let stack = Array.make n 0 in
+  let counts = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let top = ereach a k ~parent ~mark ~stamp:k ~stack in
+    for q = top to n - 1 do
+      counts.(stack.(q)) <- counts.(stack.(q)) + 1
+    done
+  done;
+  counts

@@ -1,0 +1,25 @@
+(** Elimination tree utilities for sparse symmetric factorization
+    (Davis, "Direct Methods for Sparse Linear Systems", ch. 4). *)
+
+val etree : Sparse.Csc.t -> int array
+(** [etree a] is the elimination-tree parent array of the symmetric matrix
+    [a] (using its upper triangle); roots have parent [-1]. *)
+
+val postorder : int array -> int array
+(** Depth-first postorder of a forest given as a parent array; returns the
+    permutation (position -> node). *)
+
+val ereach :
+  Sparse.Csc.t -> int -> parent:int array -> mark:int array -> stamp:int ->
+  stack:int array -> int
+(** [ereach a k ~parent ~mark ~stamp ~stack] computes the nonzero pattern of
+    row [k] of the Cholesky factor: the columns [j < k] with [L(k,j) <> 0],
+    stored topologically (ancestors last) in [stack.(top .. n-1)], returning
+    [top]. [mark] must be an int workspace (length n) whose entries differ
+    from [stamp] on entry for unvisited nodes; the caller supplies a fresh
+    [stamp] per call. [mark.(k)] is set to [stamp]. *)
+
+val row_counts : Sparse.Csc.t -> int array
+(** [row_counts a] gives, per column [j], the number of subdiagonal nonzeros
+    of column [j] of the exact factor [L] (diagonal excluded). Computed by
+    repeated [ereach]; O(|L|). *)

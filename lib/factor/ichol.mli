@@ -1,0 +1,19 @@
+(** Threshold-based incomplete Cholesky factorization (ICT).
+
+    Left-looking column factorization that drops subdiagonal entries whose
+    magnitude falls below [drop_tol] times the 1-norm of the corresponding
+    column of [A] (MATLAB [ichol(.,'ict')] semantics). Used by the
+    feGRASS-IChol baseline [Li et al., TCAD'23], which factors a 50%-edge
+    sparsifier with drop tolerance 8.5e-6.
+
+    Breakdown (a nonpositive pivot, possible for incomplete factorization
+    even on SPD input) is handled by the standard diagonal-shift retry:
+    factor [A + alpha diag(A)] with geometrically growing [alpha]. *)
+
+val factorize :
+  ?drop_tol:float -> ?initial_shift:float -> ?max_tries:int ->
+  Sparse.Csc.t -> Lower.t
+(** [factorize a] returns an incomplete factor [L] with [L L^T ≈ A].
+    [drop_tol] defaults to [1e-4]; [initial_shift] (first nonzero alpha
+    tried after the unshifted attempt) to [1e-3]; [max_tries] to [12].
+    Raises [Failure] if every shift attempt breaks down. *)

@@ -1,0 +1,88 @@
+exception Not_positive_definite of int
+
+type t = {
+  l : Lower.t;
+  d : float array;
+}
+
+(* Up-looking LDL^T: same pattern machinery as Chol.factorize, different
+   recurrences — x holds A(0..k-1, k); processing column j of the pattern
+   uses l_kj = x_j / d_j and updates d_k -= l_kj^2 d_j. *)
+let factorize a =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  assert (n_rows = n_cols);
+  let n = n_cols in
+  let parent = Etree.etree a in
+  let mark = Array.make n (-1) in
+  let stack = Array.make n 0 in
+  let counts = Array.make n 1 in
+  for k = 0 to n - 1 do
+    let top = Etree.ereach a k ~parent ~mark ~stamp:k ~stack in
+    for q = top to n - 1 do
+      counts.(stack.(q)) <- counts.(stack.(q)) + 1
+    done
+  done;
+  let col_ptr = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    col_ptr.(j + 1) <- col_ptr.(j) + counts.(j)
+  done;
+  let total = col_ptr.(n) in
+  let rows = Array.make total 0 in
+  let vals = Array.make total 0.0 in
+  let cursor = Array.init n (fun j -> col_ptr.(j)) in
+  let d = Array.make n 0.0 in
+  let x = Array.make n 0.0 in
+  Array.fill mark 0 n (-1);
+  for k = 0 to n - 1 do
+    let top = Etree.ereach a k ~parent ~mark ~stamp:(n + k) ~stack in
+    let dk = ref 0.0 in
+    Sparse.Csc.iter_col a k (fun i v ->
+        if i < k then x.(i) <- v else if i = k then dk := v);
+    for q = top to n - 1 do
+      let j = stack.(q) in
+      let y = x.(j) in
+      x.(j) <- 0.0;
+      let lkj = y /. d.(j) in
+      for p = col_ptr.(j) + 1 to cursor.(j) - 1 do
+        x.(rows.(p)) <- x.(rows.(p)) -. (vals.(p) *. y)
+      done;
+      dk := !dk -. (lkj *. y);
+      rows.(cursor.(j)) <- k;
+      vals.(cursor.(j)) <- lkj;
+      cursor.(j) <- cursor.(j) + 1
+    done;
+    if !dk <= 0.0 then raise (Not_positive_definite k);
+    d.(k) <- !dk;
+    rows.(cursor.(k)) <- k;
+    vals.(cursor.(k)) <- 1.0;
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  { l = Lower.of_raw ~n ~col_ptr ~rows ~vals; d }
+
+(* Note on the update loop above: column j of L stores l_ij while x carried
+   y = (L D)_kj-ish partial sums; using y (not lkj) against stored l_ij
+   implements x_i -= l_ij * d_j * l_kj since vals are l_ij and y = d_j l_kj. *)
+
+let solve_factored f b =
+  let x = Array.copy b in
+  Lower.solve_in_place f.l x;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) /. f.d.(i)
+  done;
+  Lower.solve_transpose_in_place f.l x;
+  x
+
+let solve a b = solve_factored (factorize a) b
+
+let to_cholesky f =
+  let n = Lower.dim f.l in
+  let col_ptr = Array.copy f.l.Lower.col_ptr in
+  let rows = Array.copy f.l.Lower.rows in
+  let vals = Array.copy f.l.Lower.vals in
+  for j = 0 to n - 1 do
+    let s = sqrt f.d.(j) in
+    for p = col_ptr.(j) to col_ptr.(j + 1) - 1 do
+      vals.(p) <- vals.(p) *. s
+    done
+  done;
+  Lower.of_raw ~n ~col_ptr ~rows ~vals

@@ -1,0 +1,27 @@
+(** Square-root-free [A = L D L^T] factorization (unit lower-triangular
+    [L], positive diagonal [D]).
+
+    Same up-looking sparse scheme as {!Chol}; some power-grid direct
+    solvers prefer LDL^T because it avoids [sqrt] in the inner loop and
+    extends to the quasi-definite systems transient analysis with inductors
+    produces. Numerically [L_chol = L_ldl * sqrt(D)]. *)
+
+exception Not_positive_definite of int
+
+type t = {
+  l : Lower.t;  (** unit lower-triangular (diagonal entries all 1.0) *)
+  d : float array;  (** positive pivots *)
+}
+
+val factorize : Sparse.Csc.t -> t
+(** Factor a symmetric positive definite matrix in natural order. *)
+
+val solve_factored : t -> float array -> float array
+(** [solve_factored f b] solves [A x = b] as
+    [L^T x = D^-1 (L^-1 b)]. *)
+
+val solve : Sparse.Csc.t -> float array -> float array
+
+val to_cholesky : t -> Lower.t
+(** Rescale into the Cholesky factor [L * sqrt(D)] — useful for comparing
+    against {!Chol.factorize} and for the preconditioner interface. *)

@@ -1,0 +1,32 @@
+let locate_into ~a ~a_len ~targets ~t_len ~out =
+  assert (a_len <= Array.length a);
+  assert (t_len <= Array.length targets && t_len <= Array.length out);
+  let c = ref 0 in
+  for j = 0 to t_len - 1 do
+    while !c < a_len && a.(!c) < targets.(j) do
+      incr c
+    done;
+    assert (!c < a_len);
+    out.(j) <- !c
+  done
+
+let locate ~a ~targets =
+  let out = Array.make (Array.length targets) 0 in
+  locate_into ~a ~a_len:(Array.length a) ~targets
+    ~t_len:(Array.length targets) ~out;
+  out
+
+let locate_reference ~a ~targets =
+  let n = Array.length a in
+  let find t =
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) >= t then bisect lo mid else bisect (mid + 1) hi
+    in
+    let i = bisect 0 n in
+    assert (i < n);
+    i
+  in
+  Array.map find targets

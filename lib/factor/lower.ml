@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  col_ptr : int array;
+  rows : int array;
+  vals : float array;
+}
+
+let of_raw ~n ~col_ptr ~rows ~vals =
+  if Array.length col_ptr <> n + 1 then invalid_arg "Lower: bad col_ptr";
+  if col_ptr.(0) <> 0 then invalid_arg "Lower: col_ptr.(0) <> 0";
+  let len = col_ptr.(n) in
+  if Array.length rows < len || Array.length vals < len then
+    invalid_arg "Lower: rows/vals too short";
+  for j = 0 to n - 1 do
+    let lo = col_ptr.(j) and hi = col_ptr.(j + 1) in
+    if lo >= hi then invalid_arg "Lower: empty column (missing diagonal)";
+    if rows.(lo) <> j then invalid_arg "Lower: first entry must be diagonal";
+    if not (vals.(lo) > 0.0) then invalid_arg "Lower: nonpositive diagonal";
+    for k = lo + 1 to hi - 1 do
+      if rows.(k) <= j || rows.(k) >= n then
+        invalid_arg "Lower: subdiagonal row out of range"
+    done
+  done;
+  { n; col_ptr; rows; vals }
+
+let nnz l = l.col_ptr.(l.n)
+let dim l = l.n
+
+let diag l = Array.init l.n (fun j -> l.vals.(l.col_ptr.(j)))
+
+let to_csc l =
+  let t =
+    Sparse.Triplet.create ~capacity:(max (nnz l) 1) ~n_rows:l.n ~n_cols:l.n ()
+  in
+  for j = 0 to l.n - 1 do
+    for k = l.col_ptr.(j) to l.col_ptr.(j + 1) - 1 do
+      Sparse.Triplet.add t l.rows.(k) j l.vals.(k)
+    done
+  done;
+  Sparse.Csc.of_triplet t
+
+let of_csc a =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  if n_rows <> n_cols then invalid_arg "Lower.of_csc: not square";
+  let lower = Sparse.Csc.lower a in
+  of_raw ~n:n_cols ~col_ptr:lower.Sparse.Csc.col_ptr
+    ~rows:lower.Sparse.Csc.row_idx ~vals:lower.Sparse.Csc.values
+
+let solve_in_place l x =
+  assert (Array.length x = l.n);
+  for j = 0 to l.n - 1 do
+    let lo = l.col_ptr.(j) in
+    let xj = x.(j) /. l.vals.(lo) in
+    x.(j) <- xj;
+    if xj <> 0.0 then
+      for k = lo + 1 to l.col_ptr.(j + 1) - 1 do
+        x.(l.rows.(k)) <- x.(l.rows.(k)) -. (l.vals.(k) *. xj)
+      done
+  done
+
+let solve_transpose_in_place l x =
+  assert (Array.length x = l.n);
+  for j = l.n - 1 downto 0 do
+    let lo = l.col_ptr.(j) in
+    let acc = ref x.(j) in
+    for k = lo + 1 to l.col_ptr.(j + 1) - 1 do
+      acc := !acc -. (l.vals.(k) *. x.(l.rows.(k)))
+    done;
+    x.(j) <- !acc /. l.vals.(lo)
+  done
+
+let apply_preconditioner l ~perm ~scratch r z =
+  let n = l.n in
+  assert (Array.length perm = n);
+  assert (Array.length scratch = n);
+  assert (Array.length r = n && Array.length z = n);
+  (* scratch <- P r *)
+  for k = 0 to n - 1 do
+    scratch.(k) <- r.(perm.(k))
+  done;
+  solve_in_place l scratch;
+  solve_transpose_in_place l scratch;
+  (* z <- P^T scratch *)
+  for k = 0 to n - 1 do
+    z.(perm.(k)) <- scratch.(k)
+  done
+
+let multiply l =
+  let csc = to_csc l in
+  Sparse.Csc.mul csc (Sparse.Csc.transpose csc)

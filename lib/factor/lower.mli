@@ -1,0 +1,50 @@
+(** Storage for lower-triangular Cholesky-type factors.
+
+    Unlike {!Sparse.Csc}, rows within a column are {e not} required to be
+    sorted — the randomized factorizations emit neighbors in weight order
+    and sorting them would break LT-RChol's linear-time bound. The only
+    structural invariant is that each column's {e first} stored entry is its
+    diagonal. Triangular solves do not need sorted columns. *)
+
+type t = private {
+  n : int;
+  col_ptr : int array;  (** length [n + 1] *)
+  rows : int array;
+  vals : float array;
+}
+
+val of_raw :
+  n:int -> col_ptr:int array -> rows:int array -> vals:float array -> t
+(** Validates: diagonal-first columns, in-bounds subdiagonal rows, strictly
+    positive diagonal values. *)
+
+val nnz : t -> int
+val dim : t -> int
+
+val diag : t -> float array
+
+val to_csc : t -> Sparse.Csc.t
+(** Sorted CSC copy, for tests and inspection. *)
+
+val of_csc : Sparse.Csc.t -> t
+(** From a lower-triangular CSC matrix with positive diagonal. *)
+
+val solve_in_place : t -> float array -> unit
+(** [solve_in_place l x] overwrites [x] with [L^-1 x] (forward
+    substitution). *)
+
+val solve_transpose_in_place : t -> float array -> unit
+(** [solve_transpose_in_place l x] overwrites [x] with [L^-T x] (backward
+    substitution). *)
+
+val apply_preconditioner :
+  t -> perm:Sparse.Perm.t -> scratch:float array -> float array -> float array -> unit
+(** [apply_preconditioner l ~perm ~scratch r z] computes
+    [z <- P^T L^-T L^-1 P r] — the PCG preconditioning step of the paper
+    (§3.3 step 4), where [perm] maps new indices to old and [l] factors the
+    reordered matrix. [scratch] must have length [n]; [r] and [z] may not
+    alias. *)
+
+val multiply : t -> Sparse.Csc.t
+(** [multiply l] forms [L * L^T] as CSC — the preconditioner matrix itself.
+    Test helper for factorization-accuracy checks. *)

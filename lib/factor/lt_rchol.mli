@@ -1,0 +1,11 @@
+(** Linear-time randomized Cholesky factorization — Algorithm 3 of the
+    paper (LT-RChol): approximate counting sort of neighbors plus
+    shared-random two-pointer sampling (Alg. 2), O(|L|) total. *)
+
+val default_buckets : int
+(** Bucket count used by {!factorize} when not overridden (256). *)
+
+val factorize :
+  ?buckets:int -> rng:Rng.t -> Sddm.Graph.t -> d:float array -> Lower.t
+(** See {!Rand_chol.factorize}; this is
+    [factorize ~sort:(Counting_sort ...) ~sampling:Shared_random]. *)

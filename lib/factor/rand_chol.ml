@@ -1,0 +1,338 @@
+type sort =
+  | Exact_sort
+  | Counting_sort of { buckets : int }
+  | No_sort
+
+type sampling = Per_neighbor | Shared_random
+
+exception Singular of int
+
+let expected_clique_weight ~d_k ~w_i ~w_j = w_i *. w_j /. d_k
+
+(* ------------------------------------------------------------------ *)
+(* Per-column dynamic edge lists: edge (a,b) with a<b lives in column a.
+   Two parallel growable arrays per column.                             *)
+
+type column = { mutable rows : int array; mutable wgts : float array; mutable len : int }
+
+let column_push c i w =
+  if c.len = Array.length c.rows then begin
+    let cap = max (2 * c.len) 4 in
+    let r = Array.make cap 0 and v = Array.make cap 0.0 in
+    Array.blit c.rows 0 r 0 c.len;
+    Array.blit c.wgts 0 v 0 c.len;
+    c.rows <- r;
+    c.wgts <- v
+  end;
+  c.rows.(c.len) <- i;
+  c.wgts.(c.len) <- w;
+  c.len <- c.len + 1
+
+let empty_ints = [||]
+let empty_floats = [||]
+
+(* ------------------------------------------------------------------ *)
+(* In-place insertion/quick sort of idx.(lo..hi) keyed by key.(idx.(.)),
+   ascending; avoids per-column allocation in the Exact_sort path.      *)
+
+let rec quicksort_by idx key lo hi =
+  if hi - lo < 12 then
+    (* insertion sort for small ranges *)
+    for i = lo + 1 to hi do
+      let x = idx.(i) in
+      let kx = key.(x) in
+      let j = ref (i - 1) in
+      while !j >= lo && key.(idx.(!j)) > kx do
+        idx.(!j + 1) <- idx.(!j);
+        decr j
+      done;
+      idx.(!j + 1) <- x
+    done
+  else begin
+    (* median-of-three pivot *)
+    let mid = (lo + hi) / 2 in
+    let swap a b =
+      let t = idx.(a) in
+      idx.(a) <- idx.(b);
+      idx.(b) <- t
+    in
+    if key.(idx.(mid)) < key.(idx.(lo)) then swap mid lo;
+    if key.(idx.(hi)) < key.(idx.(lo)) then swap hi lo;
+    if key.(idx.(hi)) < key.(idx.(mid)) then swap hi mid;
+    let pivot = key.(idx.(mid)) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while key.(idx.(!i)) < pivot do incr i done;
+      while key.(idx.(!j)) > pivot do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if lo < !j then quicksort_by idx key lo !j;
+    if !i < hi then quicksort_by idx key !i hi
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  mutable nbrs : int array;        (* gathered unique neighbors *)
+  mutable sorted : int array;      (* counting-sort output *)
+  mutable pfs : float array;       (* inclusive prefix sums of weights *)
+  mutable targets : float array;   (* Eq. 6 targets *)
+  mutable locs : int array;        (* Alg. 2 output *)
+  wval : float array;              (* coalesced weight per neighbor id *)
+  wmark : int array;               (* stamp per neighbor id *)
+  mutable bucket_count : int array;
+  mutable bucket_stamp : int array;
+}
+
+let make_workspace n =
+  {
+    nbrs = Array.make 16 0;
+    sorted = Array.make 16 0;
+    pfs = Array.make 16 0.0;
+    targets = Array.make 16 0.0;
+    locs = Array.make 16 0;
+    wval = Array.make n 0.0;
+    wmark = Array.make n 0;
+    bucket_count = Array.make 16 0;
+    bucket_stamp = Array.make 16 0;
+  }
+
+let ensure_capacity ws m =
+  if Array.length ws.nbrs < m then begin
+    let cap = max (2 * Array.length ws.nbrs) m in
+    ws.nbrs <- Array.make cap 0;
+    ws.sorted <- Array.make cap 0;
+    ws.pfs <- Array.make cap 0.0;
+    ws.targets <- Array.make cap 0.0;
+    ws.locs <- Array.make cap 0
+  end
+
+let ensure_buckets ws b =
+  if Array.length ws.bucket_count < b + 2 then begin
+    ws.bucket_count <- Array.make (b + 2) 0;
+    ws.bucket_stamp <- Array.make (b + 2) 0
+  end
+
+(* Approximate counting sort (paper §3.1): normalize weights by the column
+   maximum, quantize into [min buckets (4 m)] buckets, output bucket by
+   bucket. Capping the bucket count at a multiple of the neighbor count
+   keeps the per-column cost O(m) even for tiny degrees while leaving the
+   quantization unchanged for large columns. Stamped counters avoid paying
+   O(buckets) to clear. *)
+let counting_sort ws ~buckets ~m ~stamp =
+  let b = max 1 (min buckets (4 * m)) in
+  ensure_buckets ws b;
+  let count = ws.bucket_count and bstamp = ws.bucket_stamp in
+  let nbrs = ws.nbrs and wval = ws.wval in
+  let m_k = ref 0.0 in
+  let w_min = ref infinity in
+  for q = 0 to m - 1 do
+    let w = wval.(nbrs.(q)) in
+    if w > !m_k then m_k := w;
+    if w < !w_min then w_min := w
+  done;
+  let fb = float_of_int b in
+  (* Quantization: the paper buckets linearly by w / w_max. When weights
+     span several orders of magnitude (realistic power grids) that
+     collapses all light edges into bucket 1 and destroys the ordering, so
+     for spreads beyond one decade we switch to logarithmic buckets. The
+     log key uses frexp: w = mant * 2^exp with mant in [0.5, 1) makes
+     (exp + mant) monotone in w and far cheaper than log. Bucket ids are
+     cached in ws.locs (free until the sampling phase). *)
+  let log_scale = !m_k > 10.0 *. !w_min in
+  let key w =
+    if log_scale then begin
+      let mant, exp = Float.frexp w in
+      float_of_int exp +. mant
+    end
+    else w
+  in
+  let key_min = key !w_min and key_max = key !m_k in
+  let span = Float.max (key_max -. key_min) 1e-300 in
+  let buckets_of_elts = ws.locs in
+  for q = 0 to m - 1 do
+    let x = int_of_float (ceil ((key wval.(nbrs.(q)) -. key_min) /. span *. fb)) in
+    let bu = if x < 1 then 1 else if x > b then b else x in
+    buckets_of_elts.(q) <- bu;
+    if bstamp.(bu) <> stamp then begin
+      bstamp.(bu) <- stamp;
+      count.(bu) <- 0
+    end;
+    count.(bu) <- count.(bu) + 1
+  done;
+  (* prefix offsets: b <= 4m keeps this O(m) *)
+  let offset = ref 0 in
+  for bu = 1 to b do
+    if bstamp.(bu) = stamp then begin
+      let c = count.(bu) in
+      count.(bu) <- !offset;
+      offset := !offset + c
+    end
+  done;
+  for q = 0 to m - 1 do
+    let bu = buckets_of_elts.(q) in
+    ws.sorted.(count.(bu)) <- nbrs.(q);
+    count.(bu) <- count.(bu) + 1
+  done;
+  (* copy back so nbrs holds the (approximately) sorted order *)
+  Array.blit ws.sorted 0 ws.nbrs 0 m
+
+let factorize ~sort ~sampling ~rng g ~d =
+  let g = Sddm.Graph.coalesce g in
+  let n = Sddm.Graph.n_vertices g in
+  assert (Array.length d = n);
+  (* --- initial per-column edge lists --- *)
+  let init_count = Array.make n 0 in
+  Sddm.Graph.iter_edges g (fun u v _ ->
+      init_count.(min u v) <- init_count.(min u v) + 1);
+  let cols =
+    Array.init n (fun k ->
+        {
+          rows = (if init_count.(k) = 0 then empty_ints else Array.make init_count.(k) 0);
+          wgts = (if init_count.(k) = 0 then empty_floats else Array.make init_count.(k) 0.0);
+          len = 0;
+        })
+  in
+  Sddm.Graph.iter_edges g (fun u v w ->
+      let a = min u v and b = max u v in
+      column_push cols.(a) b w);
+  let dvec = Array.copy d in
+  let ws = make_workspace n in
+  (* --- output factor, built incrementally --- *)
+  let cap0 = max (Sddm.Graph.n_edges g + n) 16 in
+  let l_rows = ref (Array.make cap0 0) in
+  let l_vals = ref (Array.make cap0 0.0) in
+  let l_len = ref 0 in
+  let col_ptr = Array.make (n + 1) 0 in
+  let l_push i v =
+    if !l_len = Array.length !l_rows then begin
+      let cap = 2 * !l_len in
+      let r = Array.make cap 0 and x = Array.make cap 0.0 in
+      Array.blit !l_rows 0 r 0 !l_len;
+      Array.blit !l_vals 0 x 0 !l_len;
+      l_rows := r;
+      l_vals := x
+    end;
+    !l_rows.(!l_len) <- i;
+    !l_vals.(!l_len) <- v;
+    l_len := !l_len + 1
+  in
+  let stamp = ref 0 in
+
+  for k = 0 to n - 1 do
+    col_ptr.(k) <- !l_len;
+    let c = cols.(k) in
+    (* ---- gather and coalesce the live neighbors of k ---- *)
+    incr stamp;
+    let tag = !stamp in
+    let m = ref 0 in
+    ensure_capacity ws c.len;
+    for q = 0 to c.len - 1 do
+      let i = c.rows.(q) and w = c.wgts.(q) in
+      if ws.wmark.(i) = tag then ws.wval.(i) <- ws.wval.(i) +. w
+      else begin
+        ws.wmark.(i) <- tag;
+        ws.wval.(i) <- w;
+        ws.nbrs.(!m) <- i;
+        incr m
+      end
+    done;
+    let m = !m in
+    (* release column k's storage *)
+    c.rows <- empty_ints;
+    c.wgts <- empty_floats;
+    c.len <- 0;
+    (* ---- pivot ---- *)
+    let d_k = ref dvec.(k) in
+    for q = 0 to m - 1 do
+      d_k := !d_k +. ws.wval.(ws.nbrs.(q))
+    done;
+    let d_k = !d_k in
+    if not (d_k > 0.0) then raise (Singular k);
+    (* ---- sort neighbors by weight (ascending) ---- *)
+    (match sort with
+     | No_sort -> ()
+     | Exact_sort -> if m > 1 then quicksort_by ws.nbrs ws.wval 0 (m - 1)
+     | Counting_sort { buckets } ->
+       (* hybrid cutoff: insertion sort is both exact and faster for the
+          tiny columns that dominate power grids; the O(m) bound is kept
+          because the cutoff is constant *)
+       if m > 1 && m <= 16 then quicksort_by ws.nbrs ws.wval 0 (m - 1)
+       else if m > 1 then counting_sort ws ~buckets ~m ~stamp:tag);
+    (* ---- emit column k of L ---- *)
+    let sqrt_dk = sqrt d_k in
+    l_push k sqrt_dk;
+    for q = 0 to m - 1 do
+      let i = ws.nbrs.(q) in
+      l_push i (-.ws.wval.(i) /. sqrt_dk)
+    done;
+    if m > 0 then begin
+      (* ---- excess-diagonal update ----
+         Alg. 1 line 7 as printed updates D(n_j) proportionally to D(n_j)
+         itself, which cannot propagate ground coupling out of D(k): a path
+         graph grounded at one end would go singular at the last pivot. The
+         exact Schur complement of the implicit ground edge (weight D(k,k))
+         is D(n_j) += D(k,k) * w_j / d_k — the ground-node formulation of
+         the original RChol — so that is what we compute. *)
+      let d_excess_k = dvec.(k) in
+      for q = 0 to m - 1 do
+        let i = ws.nbrs.(q) in
+        dvec.(i) <- dvec.(i) +. (d_excess_k *. ws.wval.(i) /. d_k)
+      done;
+      if m > 1 then begin
+        (* ---- prefix sums ---- *)
+        let acc = ref 0.0 in
+        for q = 0 to m - 1 do
+          acc := !acc +. ws.wval.(ws.nbrs.(q));
+          ws.pfs.(q) <- !acc
+        done;
+        let total = ws.pfs.(m - 1) in
+        (* ---- partner selection ---- *)
+        (match sampling with
+         | Per_neighbor ->
+           for j = 0 to m - 2 do
+             (* With ascending weights the suffix mass is always positive;
+                without sorting (ablation) a dominant early weight can make
+                the suffix vanish in floating point — the sampled edge
+                weight would be 0 anyway, so skip via the self-partner
+                sentinel. *)
+             if ws.pfs.(m - 1) -. ws.pfs.(j) > 0.0 then
+               ws.locs.(j) <- Rng.discrete_prefix rng ws.pfs ~lo:j ~hi:(m - 1)
+             else ws.locs.(j) <- j
+           done
+         | Shared_random ->
+           let r = Rng.float_open rng in
+           let fm = float_of_int m in
+           for j = 0 to m - 2 do
+             ws.targets.(j) <-
+               ws.pfs.(j)
+               +. ((float_of_int j +. r) /. fm *. (total -. ws.pfs.(j)))
+           done;
+           Locate.locate_into ~a:ws.pfs ~a_len:m ~targets:ws.targets
+             ~t_len:(m - 1) ~out:ws.locs);
+        (* ---- add the sampled fill edges ---- *)
+        for j = 0 to m - 2 do
+          (* locate can land at j itself when rounding makes the target
+             collapse onto pfs.(j); the true partner index is strictly
+             greater, so bump it. *)
+          let lj = if ws.locs.(j) <= j then j + 1 else ws.locs.(j) in
+          let n_j = ws.nbrs.(j) in
+          let n_l = ws.nbrs.(lj) in
+          let s_j = total -. ws.pfs.(j) in
+          let w_new = s_j *. ws.wval.(n_j) /. d_k in
+          if w_new > 0.0 && n_j <> n_l then begin
+            let a = min n_j n_l and b = max n_j n_l in
+            column_push cols.(a) b w_new
+          end
+        done
+      end
+    end
+  done;
+  col_ptr.(n) <- !l_len;
+  Lower.of_raw ~n ~col_ptr
+    ~rows:(Array.sub !l_rows 0 (max !l_len 1))
+    ~vals:(Array.sub !l_vals 0 (max !l_len 1))

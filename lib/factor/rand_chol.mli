@@ -1,0 +1,47 @@
+(** Randomized Cholesky factorization engine.
+
+    Implements the node-elimination scheme of RChol [Chen, Liang, Biros '21]:
+    eliminating node [k] replaces the clique its neighbors would form in
+    exact Cholesky by a sampled spanning structure — one sampled edge per
+    neighbor — whose expectation equals the clique (unbiased), keeping the
+    intermediate matrices SDDM throughout (breakdown-free).
+
+    The two axes that differentiate the paper's algorithms are exposed as
+    parameters:
+
+    - {!sort}: how neighbors are ordered by edge weight before sampling.
+      [Exact_sort] is Alg. 1 line 5 (comparison sort, O(d log d));
+      [Counting_sort] is Alg. 3 line 5 (approximate counting sort, O(d));
+      [No_sort] skips ordering (ablation).
+    - {!sampling}: how each neighbor picks its partner among heavier
+      neighbors. [Per_neighbor] draws a fresh random number and binary-
+      searches the prefix-sum array (Alg. 1 line 9, O(log d) each);
+      [Shared_random] derives all targets from one draw (Eq. 6) and locates
+      them with the two-pointer merge of Alg. 2 (O(d) total).
+
+    RChol = [Exact_sort] + [Per_neighbor];
+    LT-RChol = [Counting_sort] + [Shared_random]. *)
+
+type sort =
+  | Exact_sort
+  | Counting_sort of { buckets : int }
+  | No_sort
+
+type sampling = Per_neighbor | Shared_random
+
+exception Singular of int
+(** Raised when an elimination pivot is nonpositive — the input was not a
+    nonsingular SDDM (e.g. a pure Laplacian component with no connection to
+    ground). Carries the offending position in elimination order. *)
+
+val factorize :
+  sort:sort -> sampling:sampling -> rng:Rng.t -> Sddm.Graph.t ->
+  d:float array -> Lower.t
+(** [factorize ~sort ~sampling ~rng g ~d] factors [laplacian g + diag d]
+    in natural vertex order (permute the graph first for reordering).
+    Returns the lower-triangular factor with [L L^T ≈ A]. Deterministic
+    given [rng]'s state. *)
+
+val expected_clique_weight : d_k:float -> w_i:float -> w_j:float -> float
+(** The exact clique edge weight [w_i * w_j / d_k] that the sampled edge is
+    an unbiased estimator of. Exposed for the unbiasedness property test. *)

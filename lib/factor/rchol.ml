@@ -1,0 +1,3 @@
+let factorize ~rng g ~d =
+  Rand_chol.factorize ~sort:Rand_chol.Exact_sort
+    ~sampling:Rand_chol.Per_neighbor ~rng g ~d

@@ -1,0 +1,47 @@
+(** feGRASS-style graph spectral sparsification
+    [Liu, Yu, Feng, TCAD'22].
+
+    The sparsifier is built in two phases, following the feGRASS recipe:
+
+    + {b Maximum-weight spanning tree}: Kruskal over raw edge weights.
+      (A degree-normalized effective weight [w_e / sqrt(W_u * W_v)] was
+      also evaluated and lost by ~2.5x in PCG iterations on power grids,
+      where the heaviest edges — vias — must be in the tree.)
+    + {b Off-tree edge recovery}: off-tree edges are ranked by approximate
+      stretch [w_e * R_tree(u,v)] ([R_tree] = tree-path effective
+      resistance, computed by binary-lifting LCA over resistance prefix
+      sums), and the top [recover_fraction * |V|] are added back. A
+      per-vertex quota spreads recovered edges across the graph, standing in
+      for feGRASS's similarity-based diversification.
+
+    The sparsifier's Laplacian (plus the original excess diagonal) is then
+    factorized — exactly for the feGRASS-PCG baseline [11], or incompletely
+    (ICT, drop tolerance 8.5e-6) for the feGRASS-IChol baseline [9]. Those
+    compositions live in the [Powerrchol] solver layer; this module is pure
+    graph work. *)
+
+type sparsifier = {
+  graph : Sddm.Graph.t;  (** tree plus recovered off-tree edges *)
+  in_tree : bool array;  (** per input-edge flag (after coalescing) *)
+  n_tree_edges : int;
+  n_recovered : int;
+}
+
+val spanning_tree : Sddm.Graph.t -> bool array
+(** [spanning_tree g] marks a maximum-weight spanning forest:
+    one flag per edge of [Sddm.Graph.coalesce g]. *)
+
+val stretches : Sddm.Graph.t -> bool array -> float array
+(** [stretches g in_tree] returns, for every edge, its approximate stretch
+    [w_e * R_tree(u,v)] with respect to the marked forest (tree edges get
+    stretch 1 by definition). *)
+
+val sparsify :
+  ?recover_fraction:float -> ?per_vertex_quota:int -> Sddm.Graph.t ->
+  sparsifier
+(** [sparsify g] builds the sparsifier. [recover_fraction] defaults to 0.02
+    (the paper recovers 2%·|V| off-tree edges for feGRASS);
+    [per_vertex_quota] (default 1) bounds how many recovered edges may touch
+    one vertex before lower-ranked candidates are preferred; the tight
+    default spreads recovery across the graph and measurably improves
+    convergence. *)

@@ -1,0 +1,124 @@
+type result = {
+  x : float array;
+  iterations : int;
+  converged : bool;
+  relative_residual : float;
+}
+
+(* All iterations run on the symmetrically Jacobi-scaled operator
+   As = D^-1/2 A D^-1/2, solving As y = D^-1/2 b, x = D^-1/2 y.
+   Scaling squeezes the spectrum of diagonally dominant matrices into an
+   O(1) interval, which is what makes fixed Chebyshev bounds usable. *)
+
+let scaled_operator a =
+  let d = Sparse.Csc.diag a in
+  let s = Array.map (fun v -> if v > 0.0 then 1.0 /. sqrt v else 1.0) d in
+  let n = Array.length d in
+  let tmp = Array.make n 0.0 in
+  let apply x y =
+    for i = 0 to n - 1 do
+      tmp.(i) <- x.(i) *. s.(i)
+    done;
+    Sparse.Csc.spmv_into a tmp y;
+    for i = 0 to n - 1 do
+      y.(i) <- y.(i) *. s.(i)
+    done
+  in
+  (apply, s)
+
+let estimate_bounds ?(iters = 30) ?rng a =
+  let _, n = Sparse.Csc.dims a in
+  let rng = match rng with Some r -> r | None -> Rng.create 1234 in
+  let apply, s = scaled_operator a in
+  (* power method for lambda_max *)
+  let v = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let w = Array.make n 0.0 in
+  let lambda = ref 1.0 in
+  for _ = 1 to iters do
+    apply v w;
+    let norm = Sparse.Vec.norm2 w in
+    if norm > 0.0 then begin
+      lambda := norm /. Sparse.Vec.norm2 v;
+      Array.blit w 0 v 0 n;
+      Sparse.Vec.scale v (1.0 /. norm)
+    end
+  done;
+  let lambda_max = 1.05 *. !lambda in
+  (* lower bound: scaled excess diagonal floor. For As = I + D^-1/2 (A - D)
+     D^-1/2 the smallest eigenvalue is >= min_i (excess_i / a_ii) over the
+     worst row; use the matrix-wide floor, clamped. *)
+  let diag = Sparse.Csc.diag a in
+  let floor_ =
+    Sparse.Csc.fold_nonzeros a ~init:(Array.map (fun x -> x) diag)
+      ~f:(fun acc i j v ->
+        if i <> j then acc.(j) <- acc.(j) -. Float.abs v;
+        acc)
+  in
+  let lambda_min = ref infinity in
+  for i = 0 to n - 1 do
+    let scaled = floor_.(i) *. s.(i) *. s.(i) in
+    if scaled < !lambda_min then lambda_min := scaled
+  done;
+  let lambda_min = Float.max !lambda_min (1e-6 *. lambda_max) in
+  (lambda_min, lambda_max)
+
+let solve ?(rtol = 1e-6) ?(max_iter = 1000) ?bounds ~a ~b () =
+  let _, n = Sparse.Csc.dims a in
+  assert (Array.length b = n);
+  let lambda_min, lambda_max =
+    match bounds with Some bs -> bs | None -> estimate_bounds a
+  in
+  assert (lambda_min > 0.0 && lambda_max >= lambda_min);
+  let apply, s = scaled_operator a in
+  let bs = Array.mapi (fun i bi -> bi *. s.(i)) b in
+  let b_norm = Sparse.Vec.norm2 bs in
+  if b_norm = 0.0 then
+    { x = Array.make n 0.0; iterations = 0; converged = true; relative_residual = 0.0 }
+  else begin
+    (* standard Chebyshev iteration (Templates, alg. on p. 48):
+       theta = center, delta = half-width, sigma = theta/delta;
+       d_1 = r/theta; thereafter
+       rho_k = 1/(2 sigma - rho_{k-1});
+       d_k = rho_k rho_{k-1} d_{k-1} + (2 rho_k / delta) r. *)
+    let theta = (lambda_max +. lambda_min) /. 2.0 in
+    let delta = (lambda_max -. lambda_min) /. 2.0 in
+    let y = Array.make n 0.0 in
+    let r = Array.copy bs in
+    let d_vec = Array.make n 0.0 in
+    let w = Array.make n 0.0 in
+    let sigma = if delta > 0.0 then theta /. delta else infinity in
+    let rho = ref (1.0 /. sigma) in
+    let iter = ref 0 in
+    let rel = ref 1.0 in
+    while !rel > rtol && !iter < max_iter do
+      if !iter = 0 then
+        for i = 0 to n - 1 do
+          d_vec.(i) <- r.(i) /. theta
+        done
+      else if delta = 0.0 then
+        (* degenerate single-point spectrum: Richardson iteration *)
+        for i = 0 to n - 1 do
+          d_vec.(i) <- r.(i) /. theta
+        done
+      else begin
+        let rho' = 1.0 /. ((2.0 *. sigma) -. !rho) in
+        let c1 = rho' *. !rho in
+        let c2 = 2.0 *. rho' /. delta in
+        for i = 0 to n - 1 do
+          d_vec.(i) <- (c1 *. d_vec.(i)) +. (c2 *. r.(i))
+        done;
+        rho := rho'
+      end;
+      for i = 0 to n - 1 do
+        y.(i) <- y.(i) +. d_vec.(i)
+      done;
+      apply d_vec w;
+      for i = 0 to n - 1 do
+        r.(i) <- r.(i) -. w.(i)
+      done;
+      incr iter;
+      rel := Sparse.Vec.norm2 r /. b_norm
+    done;
+    let x = Array.mapi (fun i yi -> yi *. s.(i)) y in
+    { x; iterations = !iter; converged = !rel <= rtol; relative_residual = !rel }
+  end

@@ -1,0 +1,91 @@
+type result = {
+  x : float array;
+  iterations : int;
+  converged : bool;
+  relative_residual : float;
+}
+
+(* Preconditioned MINRES (Elman/Silvester/Wathen). The Lanczos recurrence
+   is kept in residual space with explicitly normalized vectors:
+   vn_j = v_j / gamma_j, zn_j = M^-1 v_j / gamma_j,
+   v_{j+1} = A zn_j - delta_j vn_j - (gamma_j / gamma_{j-1}) vn_{j-1}.
+   Givens rotations turn the tridiagonal least-squares problem into the
+   three-term direction recurrence for x; |eta| tracks the
+   preconditioned residual norm. *)
+let solve ?(rtol = 1e-6) ?(max_iter = 500) ~a ~b ~(precond : Precond.t) () =
+  let _, n = Sparse.Csc.dims a in
+  assert (Array.length b = n);
+  let x = Array.make n 0.0 in
+  let b_norm = Sparse.Vec.norm2 b in
+  if b_norm = 0.0 then
+    { x; iterations = 0; converged = true; relative_residual = 0.0 }
+  else begin
+    let v = Array.copy b in
+    let z = Array.make n 0.0 in
+    precond.Precond.apply v z;
+    let gamma = ref (sqrt (Sparse.Vec.dot z v)) in
+    assert (!gamma > 0.0);
+    let eta = ref !gamma in
+    let s_old = ref 0.0 and s = ref 0.0 in
+    let c_old = ref 1.0 and c = ref 1.0 in
+    let vn = Array.make n 0.0 in
+    (* the previous normalized Lanczos vector vn_{j-1} *)
+    let zn = Array.make n 0.0 in
+    let w = Array.make n 0.0 in
+    (* w = w_{j-1}, w_old = w_{j-2} entering each step *)
+    let w_old = Array.make n 0.0 in
+    let az = Array.make n 0.0 in
+    let iter = ref 0 in
+    let rel = ref 1.0 in
+    let gamma1 = !gamma in
+    while !rel > rtol && !iter < max_iter do
+      for i = 0 to n - 1 do
+        zn.(i) <- z.(i) /. !gamma
+      done;
+      Sparse.Csc.spmv_into a zn az;
+      let delta = Sparse.Vec.dot zn az in
+      (* three-term Lanczos: v_{j+1} = A zn_j - delta vn_j - gamma_j
+         vn_{j-1}; vn holds vn_{j-1} on entry (zero on the first step) and
+         receives vn_j for the next one *)
+      for i = 0 to n - 1 do
+        let vni = v.(i) /. !gamma in
+        v.(i) <- az.(i) -. (delta *. vni) -. (!gamma *. vn.(i));
+        vn.(i) <- vni
+      done;
+      precond.Precond.apply v z;
+      let gamma_new = sqrt (Float.max (Sparse.Vec.dot z v) 0.0) in
+      let alpha0 = (!c *. delta) -. (!c_old *. !s *. !gamma) in
+      let alpha1 = sqrt ((alpha0 *. alpha0) +. (gamma_new *. gamma_new)) in
+      let alpha2 = (!s *. delta) +. (!c_old *. !c *. !gamma) in
+      let alpha3 = !s_old *. !gamma in
+      let c_new = alpha0 /. alpha1 in
+      let s_new = gamma_new /. alpha1 in
+      for i = 0 to n - 1 do
+        let next =
+          (zn.(i) -. (alpha3 *. w_old.(i)) -. (alpha2 *. w.(i))) /. alpha1
+        in
+        w_old.(i) <- w.(i);
+        w.(i) <- next
+      done;
+      let step = c_new *. !eta in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (step *. w.(i))
+      done;
+      eta := -.s_new *. !eta;
+      s_old := !s;
+      s := s_new;
+      c_old := !c;
+      c := c_new;
+      gamma := Float.max gamma_new 1e-300;
+      incr iter;
+      rel := Float.abs !eta /. gamma1
+    done;
+    let r = Sparse.Vec.sub b (Sparse.Csc.spmv a x) in
+    let true_rel = Sparse.Vec.norm2 r /. b_norm in
+    {
+      x;
+      iterations = !iter;
+      converged = !rel <= rtol;
+      relative_residual = true_rel;
+    }
+  end

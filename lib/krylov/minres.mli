@@ -1,0 +1,21 @@
+(** Preconditioned MINRES (Paige–Saunders).
+
+    Minimizes the preconditioned residual over the Krylov space using a
+    three-term Lanczos recurrence with on-the-fly Givens rotations. For SPD
+    systems it tracks PCG closely; its value is robustness — it also
+    handles symmetric {e indefinite} systems, which CG does not, so it
+    serves as a safety net and as a cross-check baseline in the benches.
+
+    The preconditioner must be SPD (same requirement as PCG). *)
+
+type result = {
+  x : float array;
+  iterations : int;
+  converged : bool;
+  relative_residual : float;
+      (** estimated preconditioned residual at exit, relative *)
+}
+
+val solve :
+  ?rtol:float -> ?max_iter:int -> a:Sparse.Csc.t -> b:float array ->
+  precond:Precond.t -> unit -> result

@@ -1,0 +1,147 @@
+type result = {
+  x : float array;
+  iterations : int;
+  converged : bool;
+  relative_residual : float;
+  history : float array;
+  condition_estimate : float;
+}
+
+(* CG implicitly runs Lanczos: with step sizes alpha_k and direction
+   updates beta_k, the tridiagonal T has
+   diag_k   = 1/alpha_k + beta_{k-1}/alpha_{k-1}   (beta_0/alpha_0 := 0)
+   offdiag_k = sqrt(beta_k)/alpha_k.
+   Its extreme eigenvalues estimate the spectrum of M^-1 A; we extract
+   them with a few rounds of bisection on the Sturm sequence. *)
+let condition_from_coefficients alphas betas =
+  let k = List.length alphas in
+  if k < 2 then 1.0
+  else begin
+    let alpha = Array.of_list (List.rev alphas) in
+    let beta = Array.of_list (List.rev betas) in
+    let diag =
+      Array.init k (fun i ->
+          (1.0 /. alpha.(i))
+          +. (if i = 0 then 0.0 else beta.(i - 1) /. alpha.(i - 1)))
+    in
+    let off =
+      Array.init (k - 1) (fun i -> sqrt (Float.max beta.(i) 0.0) /. alpha.(i))
+    in
+    (* Sturm count: number of eigenvalues of T below x *)
+    let count_below x =
+      let count = ref 0 in
+      let d = ref 1.0 in
+      for i = 0 to k - 1 do
+        let off2 = if i = 0 then 0.0 else off.(i - 1) *. off.(i - 1) in
+        let q = diag.(i) -. x -. (off2 /. !d) in
+        (* guard against exact zero pivots *)
+        let q = if Float.abs q < 1e-300 then -1e-300 else q in
+        if q < 0.0 then incr count;
+        d := q
+      done;
+      !count
+    in
+    (* Gershgorin bracket *)
+    let lo = ref infinity and hi = ref neg_infinity in
+    for i = 0 to k - 1 do
+      let r =
+        (if i > 0 then Float.abs off.(i - 1) else 0.0)
+        +. if i < k - 1 then Float.abs off.(i) else 0.0
+      in
+      lo := Float.min !lo (diag.(i) -. r);
+      hi := Float.max !hi (diag.(i) +. r)
+    done;
+    let bisect target =
+      let a = ref !lo and b = ref !hi in
+      for _ = 1 to 60 do
+        let mid = ( !a +. !b ) /. 2.0 in
+        if count_below mid >= target then b := mid else a := mid
+      done;
+      ( !a +. !b ) /. 2.0
+    in
+    let lambda_min = bisect 1 in
+    let lambda_max = bisect k in
+    if lambda_min > 0.0 then lambda_max /. lambda_min else infinity
+  end
+
+let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
+    ~(precond : Precond.t) () =
+  assert (Array.length b = n);
+  let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  let b_norm = Sparse.Vec.norm2 b in
+  if b_norm = 0.0 then
+    {
+      x = Array.make n 0.0;
+      iterations = 0;
+      converged = true;
+      relative_residual = 0.0;
+      history = [||];
+      condition_estimate = 1.0;
+    }
+  else begin
+    let r = Array.make n 0.0 in
+    (* r = b - A x0 *)
+    if x0 = None then Array.blit b 0 r 0 n
+    else begin
+      apply_a x r;
+      for i = 0 to n - 1 do
+        r.(i) <- b.(i) -. r.(i)
+      done
+    end;
+    let z = Array.make n 0.0 in
+    let p = Array.make n 0.0 in
+    let q = Array.make n 0.0 in
+    let history = ref [] in
+    let alphas = ref [] in
+    let betas = ref [] in
+    precond.apply r z;
+    Array.blit z 0 p 0 n;
+    let rho = ref (Sparse.Vec.dot r z) in
+    let iter = ref 0 in
+    let rel = ref (Sparse.Vec.norm2 r /. b_norm) in
+    let converged = ref (!rel <= rtol) in
+    while (not !converged) && !iter < max_iter do
+      apply_a p q;
+      let pq = Sparse.Vec.dot p q in
+      if pq <= 0.0 then
+        (* loss of positive definiteness (should not happen for SPD
+           input); bail out reporting non-convergence *)
+        iter := max_iter
+      else begin
+        let alpha = !rho /. pq in
+        alphas := alpha :: !alphas;
+        Sparse.Vec.axpy ~alpha ~x:p ~y:x;
+        Sparse.Vec.axpy ~alpha:(-.alpha) ~x:q ~y:r;
+        incr iter;
+        rel := Sparse.Vec.norm2 r /. b_norm;
+        history := !rel :: !history;
+        if !rel <= rtol then converged := true
+        else begin
+          precond.apply r z;
+          let rho' = Sparse.Vec.dot r z in
+          let beta = rho' /. !rho in
+          betas := beta :: !betas;
+          rho := rho';
+          Sparse.Vec.xpby ~x:z ~beta ~y:p
+        end
+      end
+    done;
+    (* betas lags alphas by one when the loop exits after an alpha *)
+    let n_beta = List.length !betas and n_alpha = List.length !alphas in
+    let alphas_trimmed =
+      if n_alpha > n_beta + 1 then List.tl !alphas else !alphas
+    in
+    {
+      x;
+      iterations = !iter;
+      converged = !converged;
+      relative_residual = !rel;
+      history = Array.of_list (List.rev !history);
+      condition_estimate = condition_from_coefficients alphas_trimmed !betas;
+    }
+  end
+
+let solve ?rtol ?max_iter ?x0 ~a ~b ~precond () =
+  let n = Array.length b in
+  let apply_a x y = Sparse.Csc.spmv_into a x y in
+  solve_operator ?rtol ?max_iter ?x0 ~n ~apply_a ~b ~precond ()

@@ -1,0 +1,34 @@
+(** Preconditioned conjugate gradient for SPD systems.
+
+    Stopping criterion matches the paper: relative residual
+    [||b - A x||_2 / ||b||_2 <= rtol] (the recurrence residual is used
+    during iteration; it tracks the true residual closely for the
+    well-conditioned preconditioned systems at hand). *)
+
+type result = {
+  x : float array;
+  iterations : int;
+  converged : bool;
+  relative_residual : float;  (** recurrence residual at exit *)
+  history : float array;  (** relative residual after each iteration *)
+  condition_estimate : float;
+      (** estimate of kappa(M^-1 A) from the extreme eigenvalues of the
+          Lanczos tridiagonal implicitly built by CG (alpha/beta
+          coefficients); 1.0 when fewer than 2 iterations ran. This is the
+          quantity a preconditioner is trying to shrink, reported
+          independently of the iteration count. *)
+}
+
+val solve :
+  ?rtol:float -> ?max_iter:int -> ?x0:float array ->
+  a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
+(** [solve ~a ~b ~precond ()] runs PCG. [rtol] defaults to [1e-6] (the
+    paper's setting), [max_iter] to [500] (the paper's divergence cutoff),
+    [x0] to the zero vector. If [b] is zero the zero solution is returned
+    immediately. *)
+
+val solve_operator :
+  ?rtol:float -> ?max_iter:int -> ?x0:float array ->
+  n:int -> apply_a:(float array -> float array -> unit) ->
+  b:float array -> precond:Precond.t -> unit -> result
+(** Matrix-free variant: [apply_a x y] computes [y <- A x]. *)

@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  nnz : int;
+  apply : float array -> float array -> unit;
+}
+
+let identity n =
+  ignore n;
+  { name = "identity"; nnz = 0; apply = (fun r z -> Array.blit r 0 z 0 (Array.length r)) }
+
+let jacobi a =
+  let d = Sparse.Csc.diag a in
+  let inv = Array.map (fun x ->
+      if x > 0.0 then 1.0 /. x else 1.0) d
+  in
+  {
+    name = "jacobi";
+    nnz = Array.length d;
+    apply =
+      (fun r z ->
+        for i = 0 to Array.length r - 1 do
+          z.(i) <- r.(i) *. inv.(i)
+        done);
+  }
+
+let of_factor ?(name = "factor") ~perm l =
+  let scratch = Array.make (Factor.Lower.dim l) 0.0 in
+  {
+    name;
+    nnz = Factor.Lower.nnz l;
+    apply =
+      (fun r z -> Factor.Lower.apply_preconditioner l ~perm ~scratch r z);
+  }
+
+let of_apply ~name ~nnz apply = { name; nnz; apply }

@@ -1,0 +1,26 @@
+(** Preconditioner abstraction for PCG.
+
+    A preconditioner is an [apply] function computing [z <- M^-1 r] for an
+    SPD operator [M], plus bookkeeping used by the benchmark tables (nnz of
+    the underlying factor, a descriptive name). *)
+
+type t = {
+  name : string;
+  nnz : int;  (** stored nonzeros (factor or hierarchy); 0 for identity *)
+  apply : float array -> float array -> unit;
+      (** [apply r z] writes [M^-1 r] into [z]; must not alias. *)
+}
+
+val identity : int -> t
+(** No preconditioning (plain CG). *)
+
+val jacobi : Sparse.Csc.t -> t
+(** Diagonal scaling. *)
+
+val of_factor : ?name:string -> perm:Sparse.Perm.t -> Factor.Lower.t -> t
+(** [of_factor ~perm l] applies [P^T L^-T L^-1 P] — a Cholesky-type factor
+    of the reordered matrix, as produced by RChol / LT-RChol / IChol /
+    exact Cholesky. *)
+
+val of_apply : name:string -> nnz:int -> (float array -> float array -> unit) -> t
+(** Wrap an arbitrary application function (used by the AMG V-cycle). *)

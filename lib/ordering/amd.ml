@@ -1,0 +1,343 @@
+(* Quotient-graph approximate minimum degree.
+
+   Naming follows the AMD paper: the pivot p becomes element p with variable
+   list L_p; A_i is variable i's remaining explicit adjacency; E_i its
+   adjacent elements. All set arithmetic is by timestamped markers; degrees
+   are supervariable-weighted (nv counts merged originals). *)
+
+module Dyn = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create capacity = { data = Array.make (max capacity 1) 0; len = 0 }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let d = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 d 0 t.len;
+      t.data <- d
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t k = t.data.(k)
+  let set t k x = t.data.(k) <- x
+  let length t = t.len
+  let truncate t len = t.len <- len
+  let clear t = t.len <- 0
+
+  (* Keep elements satisfying [keep], preserving order. *)
+  let filter_in_place t keep =
+    let out = ref 0 in
+    for k = 0 to t.len - 1 do
+      let x = t.data.(k) in
+      if keep x then begin
+        t.data.(!out) <- x;
+        incr out
+      end
+    done;
+    t.len <- !out
+end
+
+type state = Live | Merged of int | Eliminated
+
+let order_of_adjacency n adj_of =
+  (* --- quotient graph state --- *)
+  let state = Array.make n Live in
+  let nv = Array.make n 1 in
+  let adj = Array.init n (fun i -> adj_of i) in
+  let elems = Array.init n (fun _ -> Dyn.create 4) in
+  let elem_vars : Dyn.t array = Array.make n (Dyn.create 0) in
+  let elem_alive = Array.make n false in
+  (* --- markers --- *)
+  let mark = Array.make n 0 in
+  let stamp = ref 0 in
+  let new_stamp () = incr stamp; !stamp in
+  let in_lp = Array.make n false in
+  (* --- |L_e \ L_p| workspace --- *)
+  let w = Array.make n 0 in
+  let w_stamp = Array.make n 0 in
+  (* --- degree buckets (doubly linked lists) --- *)
+  let degree = Array.make n 0 in
+  let head = Array.make (n + 1) (-1) in
+  let next = Array.make n (-1) in
+  let prev = Array.make n (-1) in
+  let min_degree = ref 0 in
+  let in_list = Array.make n false in
+  let list_remove i =
+    if in_list.(i) then begin
+      if prev.(i) >= 0 then next.(prev.(i)) <- next.(i)
+      else head.(degree.(i)) <- next.(i);
+      if next.(i) >= 0 then prev.(next.(i)) <- prev.(i);
+      in_list.(i) <- false
+    end
+  in
+  let list_insert i d =
+    let d = min d (n - 1) in
+    degree.(i) <- d;
+    prev.(i) <- -1;
+    next.(i) <- head.(d);
+    if head.(d) >= 0 then prev.(head.(d)) <- i;
+    head.(d) <- i;
+    in_list.(i) <- true;
+    if d < !min_degree then min_degree := d
+  in
+  (* Resolve a possibly-merged variable to its principal representative,
+     with path compression. *)
+  let rec principal i =
+    match state.(i) with
+    | Live | Eliminated -> i
+    | Merged parent ->
+      let root = principal parent in
+      if root <> parent then state.(i) <- Merged root;
+      root
+  in
+  let is_live i = match state.(i) with Live -> true | Merged _ | Eliminated -> false in
+  (* --- initial degrees --- *)
+  for i = 0 to n - 1 do
+    list_insert i (Dyn.length adj.(i))
+  done;
+  (* --- merge bookkeeping for output --- *)
+  let merge_children = Array.make n [] in
+  let elim_order = Dyn.create n in
+  let eliminated_weight = ref 0 in
+  (* --- scratch for L_p --- *)
+  let lp = Dyn.create 64 in
+
+  while !eliminated_weight < n do
+    (* pick pivot: smallest nonempty bucket *)
+    while !min_degree <= n - 1 && head.(!min_degree) < 0 do
+      incr min_degree
+    done;
+    assert (!min_degree <= n - 1);
+    let p = head.(!min_degree) in
+    list_remove p;
+
+    (* ---- form L_p = (A_p ∪ ⋃_{e∈E_p} L_e) \ {p} over live principals ---- *)
+    in_lp.(p) <- true;
+    Dyn.clear lp;
+    let consider j =
+      let j = principal j in
+      if is_live j && not in_lp.(j) then begin
+        in_lp.(j) <- true;
+        Dyn.push lp j
+      end
+    in
+    for k = 0 to Dyn.length adj.(p) - 1 do
+      consider (Dyn.get adj.(p) k)
+    done;
+    for k = 0 to Dyn.length elems.(p) - 1 do
+      let e = Dyn.get elems.(p) k in
+      if elem_alive.(e) then begin
+        let le = elem_vars.(e) in
+        for q = 0 to Dyn.length le - 1 do
+          consider (Dyn.get le q)
+        done;
+        (* absorb e into the new element p *)
+        elem_alive.(e) <- false;
+        Dyn.truncate elem_vars.(e) 0
+      end
+    done;
+    Dyn.clear elems.(p);
+
+    (* ---- eliminate p ---- *)
+    state.(p) <- Eliminated;
+    eliminated_weight := !eliminated_weight + nv.(p);
+    Dyn.push elim_order p;
+    let lp_size = Dyn.length lp in
+    let lp_weight = ref 0 in
+    for k = 0 to lp_size - 1 do
+      lp_weight := !lp_weight + nv.(Dyn.get lp k)
+    done;
+    if lp_size > 0 then begin
+      (* materialize element p *)
+      let store = Dyn.create lp_size in
+      for k = 0 to lp_size - 1 do
+        Dyn.push store (Dyn.get lp k)
+      done;
+      elem_vars.(p) <- store;
+      elem_alive.(p) <- true
+    end;
+
+    (* ---- first pass: compute w(e) = |L_e| - |L_e ∩ L_p| (weighted) ---- *)
+    let wtag = new_stamp () in
+    for k = 0 to lp_size - 1 do
+      let i = Dyn.get lp k in
+      let es = elems.(i) in
+      for q = 0 to Dyn.length es - 1 do
+        let e = Dyn.get es q in
+        if elem_alive.(e) && e <> p then begin
+          if w_stamp.(e) <> wtag then begin
+            (* weighted |L_e|, filtering stale entries on the fly *)
+            let le = elem_vars.(e) in
+            Dyn.filter_in_place le (fun j -> is_live (principal j));
+            let total = ref 0 in
+            for r = 0 to Dyn.length le - 1 do
+              let j = principal (Dyn.get le r) in
+              Dyn.set le r j;
+              total := !total + nv.(j)
+            done;
+            w.(e) <- !total;
+            w_stamp.(e) <- wtag
+          end;
+          w.(e) <- w.(e) - nv.(i)
+        end
+      done
+    done;
+
+    (* ---- second pass: prune adjacency, update degrees ---- *)
+    for k = 0 to lp_size - 1 do
+      let i = Dyn.get lp k in
+      (* A_i := A_i \ (L_p ∪ {p}), resolving merges and dropping dead;
+         the [seen] stamp dedupes entries that merged into one principal *)
+      let ai = adj.(i) in
+      let out = ref 0 in
+      let seen = new_stamp () in
+      for q = 0 to Dyn.length ai - 1 do
+        let j = principal (Dyn.get ai q) in
+        if is_live j && (not in_lp.(j)) && mark.(j) <> seen then begin
+          mark.(j) <- seen;
+          Dyn.set ai !out j;
+          incr out
+        end
+      done;
+      Dyn.truncate ai !out;
+      (* E_i := live elements ∪ {p} *)
+      let es = elems.(i) in
+      Dyn.filter_in_place es (fun e -> elem_alive.(e) && e <> p);
+      Dyn.push es p;
+      (* approximate external degree:
+         d_i = |A_i| + |L_p \ i| + Σ_{e∈E_i, e≠p} |L_e \ L_p| *)
+      let d = ref 0 in
+      for q = 0 to Dyn.length ai - 1 do
+        d := !d + nv.(Dyn.get ai q)
+      done;
+      d := !d + (!lp_weight - nv.(i));
+      (* Sum |L_e \ L_p| using the first-pass counters: e ∈ E_i and i ∈ L_p
+         guarantee the counter was initialized this pivot. *)
+      for q = 0 to Dyn.length es - 1 do
+        let e = Dyn.get es q in
+        if e <> p && elem_alive.(e) then begin
+          assert (w_stamp.(e) = wtag);
+          d := !d + max w.(e) 0
+        end
+      done;
+      list_remove i;
+      list_insert i (min !d (n - 1))
+    done;
+
+    (* ---- supervariable detection within L_p ---- *)
+    if lp_size > 1 then begin
+      let bucket = Hashtbl.create (2 * lp_size) in
+      for k = 0 to lp_size - 1 do
+        let i = Dyn.get lp k in
+        if is_live i then begin
+          let h = ref 0 in
+          let ai = adj.(i) in
+          for q = 0 to Dyn.length ai - 1 do
+            h := !h + Dyn.get ai q
+          done;
+          let es = elems.(i) in
+          for q = 0 to Dyn.length es - 1 do
+            h := !h + Dyn.get es q
+          done;
+          let key = !h land max_int in
+          let same_lists a b =
+            (* exact set equality of (A ∪ E) adjacency, checked by marking *)
+            let da = adj.(a) and db = adj.(b) in
+            let ea = elems.(a) and eb = elems.(b) in
+            if
+              Dyn.length da <> Dyn.length db
+              || Dyn.length ea <> Dyn.length eb
+            then false
+            else begin
+              let m = new_stamp () in
+              for q = 0 to Dyn.length da - 1 do
+                mark.(Dyn.get da q) <- m
+              done;
+              let ok = ref true in
+              for q = 0 to Dyn.length db - 1 do
+                if mark.(Dyn.get db q) <> m then ok := false
+              done;
+              if !ok then begin
+                let m2 = new_stamp () in
+                for q = 0 to Dyn.length ea - 1 do
+                  w_stamp.(Dyn.get ea q) <- m2
+                done;
+                for q = 0 to Dyn.length eb - 1 do
+                  if w_stamp.(Dyn.get eb q) <> m2 then ok := false
+                done
+              end;
+              !ok
+            end
+          in
+          (* Two indistinguishable variables see each other in A: they are
+             adjacent via L_p (element p), and A excludes L_p members, so
+             mutual absence from A lists is fine. *)
+          match Hashtbl.find_opt bucket key with
+          | Some candidates
+            when List.exists (fun j -> is_live j && same_lists i j) candidates
+            ->
+            let j =
+              List.find (fun j -> is_live j && same_lists i j) candidates
+            in
+            (* merge i into j *)
+            let nv_i = nv.(i) in
+            list_remove i;
+            state.(i) <- Merged j;
+            in_lp.(i) <- false;
+            nv.(j) <- nv.(j) + nv_i;
+            nv.(i) <- 0;
+            merge_children.(j) <- i :: merge_children.(j);
+            (* j's external degree shrinks by nv(i): i is now internal *)
+            let d_j = max (degree.(j) - nv_i) 0 in
+            list_remove j;
+            list_insert j d_j
+          | Some candidates -> Hashtbl.replace bucket key (i :: candidates)
+          | None -> Hashtbl.add bucket key [ i ]
+        end
+      done
+    end;
+
+    (* reset the L_p membership flags for the next pivot *)
+    in_lp.(p) <- false;
+    for k = 0 to lp_size - 1 do
+      in_lp.(Dyn.get lp k) <- false
+    done
+  done;
+
+  (* ---- expand supervariables into the final order ---- *)
+  let p_out = Array.make n 0 in
+  let out = ref 0 in
+  let rec emit i =
+    p_out.(!out) <- i;
+    incr out;
+    List.iter emit merge_children.(i)
+  in
+  for k = 0 to Dyn.length elim_order - 1 do
+    emit (Dyn.get elim_order k)
+  done;
+  assert (!out = n);
+  p_out
+
+let order g =
+  let n = Sddm.Graph.n_vertices g in
+  let g = Sddm.Graph.coalesce g in
+  let adj_of i =
+    let d = Dyn.create (max (Sddm.Graph.degree g i) 1) in
+    Sddm.Graph.iter_neighbors g i (fun v _ -> Dyn.push d v);
+    d
+  in
+  order_of_adjacency n adj_of
+
+let order_csc a =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  assert (n_rows = n_cols);
+  (* Symmetrize the pattern and drop the diagonal. *)
+  let at = Sparse.Csc.transpose a in
+  let pattern = Sparse.Csc.add a at in
+  let adj_of j =
+    let d = Dyn.create 4 in
+    Sparse.Csc.iter_col pattern j (fun i _ -> if i <> j then Dyn.push d i);
+    d
+  in
+  order_of_adjacency n_cols adj_of

@@ -1,0 +1,23 @@
+(** Approximate minimum degree ordering (Amestoy, Davis, Duff, 1996).
+
+    This is the reordering the original RChol paper [3] found best for
+    randomized factorization, and the quality yardstick for Alg. 4 in
+    Table 2. The implementation follows the classic quotient-graph scheme:
+
+    - eliminated pivots become {e elements}; a variable's neighborhood is
+      its remaining explicit edges plus the union of its adjacent elements'
+      variable lists;
+    - degrees are the AMD {e approximate external degrees}, computed with
+      the one-pass [|L_e \ L_p|] trick;
+    - indistinguishable variables (equal adjacency) are detected by hashing
+      and merged into supervariables;
+    - elements adjacent to the pivot are absorbed into the new element.
+
+    Runs in roughly O(|E| + |V| log |V|)-ish time in practice; asymptotically
+    the dominant cost is the quotient-graph scans, like the reference AMD. *)
+
+val order : Sddm.Graph.t -> Sparse.Perm.t
+(** [order g] returns the elimination order (new index -> old index). *)
+
+val order_csc : Sparse.Csc.t -> Sparse.Perm.t
+(** Order from a symmetric sparse matrix's pattern (diagonal ignored). *)

@@ -1,0 +1,13 @@
+(** LT-RChol-oriented matrix reordering — Algorithm 4 of the paper.
+
+    Nodes are sorted by degree ascending; within each degree class, nodes
+    adjacent to a "heavy" edge (weight greater than [heavy_factor] times the
+    average edge weight, 10x in the paper) are moved to the front, because
+    eliminating such a node late makes its heaviest neighbor's degree blow up
+    (Eq. 12). Runs in O(|V| + |E|). *)
+
+val order : ?heavy_factor:float -> Sddm.Graph.t -> Sparse.Perm.t
+(** [order g] returns the permutation (new index -> old index).
+    [heavy_factor] defaults to 10 (the paper's choice); pass [infinity] to
+    disable heavy-edge promotion (plain degree sort), which the ablation
+    bench uses. *)

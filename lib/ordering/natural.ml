@@ -1,0 +1,1 @@
+let order g = Sparse.Perm.identity (Sddm.Graph.n_vertices g)

@@ -1,0 +1,4 @@
+(** The identity (natural) ordering — the "no reordering" baseline of
+    Table 2. *)
+
+val order : Sddm.Graph.t -> Sparse.Perm.t

@@ -1,0 +1,108 @@
+(* Work queue of vertex subsets; each subset is bisected or (if small)
+   ordered by AMD. Output positions are assigned so that separators come
+   after both halves, which is what makes the elimination tree shallow. *)
+
+(* BFS level structure over a subset (members flagged in [in_set]);
+   returns levels and the eccentric vertex. *)
+let bfs_levels g in_set level start =
+  let far = ref start in
+  let q = Queue.create () in
+  level.(start) <- 0;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if level.(u) > level.(!far) then far := u;
+    Sddm.Graph.iter_neighbors g u (fun v _ ->
+        if in_set.(v) && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  !far
+
+let order ?(leaf_size = 64) g =
+  let g = Sddm.Graph.coalesce g in
+  let n = Sddm.Graph.n_vertices g in
+  let perm = Array.make n 0 in
+  let in_set = Array.make n false in
+  let level = Array.make n (-1) in
+  (* order a subset with AMD on its induced subgraph *)
+  let order_leaf members ~base =
+    let count = Array.length members in
+    let local = Hashtbl.create (2 * count) in
+    Array.iteri (fun i v -> Hashtbl.replace local v i) members;
+    let edges = ref [] in
+    Array.iter
+      (fun v ->
+        Sddm.Graph.iter_neighbors g v (fun u w ->
+            if u > v then
+              match Hashtbl.find_opt local u with
+              | Some _ -> edges := (Hashtbl.find local v, Hashtbl.find local u, w) :: !edges
+              | None -> ()))
+      members;
+    let sub =
+      Sddm.Graph.create ~n:count ~edges:(Array.of_list !edges)
+    in
+    let p = Amd.order sub in
+    Array.iteri (fun k local_idx -> perm.(base + k) <- members.(local_idx)) p
+  in
+  (* recursive dissection over explicit work list to avoid deep stacks *)
+  let rec dissect members ~base =
+    let count = Array.length members in
+    if count <= leaf_size then order_leaf members ~base
+    else begin
+      Array.iter (fun v -> in_set.(v) <- true) members;
+      Array.iter (fun v -> level.(v) <- -1) members;
+      (* pseudo-peripheral start: two BFS passes *)
+      let far = bfs_levels g in_set level members.(0) in
+      Array.iter (fun v -> level.(v) <- -1) members;
+      let _ = bfs_levels g in_set level far in
+      (* unreached vertices (disconnected subset) go to side A *)
+      let max_level = ref 0 in
+      Array.iter
+        (fun v -> if level.(v) > !max_level then max_level := level.(v))
+        members;
+      if !max_level = 0 then begin
+        (* complete graph-ish or disconnected singleton levels: leaf it *)
+        Array.iter (fun v -> in_set.(v) <- false) members;
+        order_leaf members ~base
+      end
+      else begin
+        let cut = !max_level / 2 in
+        (* A = levels <= cut (and unreached), B = levels > cut;
+           separator = vertices of A adjacent to B *)
+        let side_a = ref [] and side_b = ref [] and sep = ref [] in
+        Array.iter
+          (fun v ->
+            if level.(v) >= 0 && level.(v) > cut then side_b := v :: !side_b)
+          members;
+        Array.iter
+          (fun v ->
+            if level.(v) < 0 || level.(v) <= cut then begin
+              let boundary = ref false in
+              Sddm.Graph.iter_neighbors g v (fun u _ ->
+                  if in_set.(u) && level.(u) > cut then boundary := true);
+              if !boundary then sep := v :: !sep else side_a := v :: !side_a
+            end)
+          members;
+        Array.iter (fun v -> in_set.(v) <- false) members;
+        let a = Array.of_list !side_a in
+        let b = Array.of_list !side_b in
+        let s = Array.of_list !sep in
+        (* a degenerate cut (everything in the separator) would loop: fall
+           back to a leaf *)
+        if Array.length a = 0 && Array.length b = 0 then
+          order_leaf members ~base
+        else begin
+          dissect a ~base;
+          dissect b ~base:(base + Array.length a);
+          (* separator last *)
+          Array.iteri
+            (fun k v -> perm.(base + Array.length a + Array.length b + k) <- v)
+            s
+        end
+      end
+    end
+  in
+  dissect (Array.init n (fun i -> i)) ~base:0;
+  perm

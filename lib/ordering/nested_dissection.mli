@@ -1,0 +1,15 @@
+(** Nested dissection ordering.
+
+    Recursive graph bisection: a BFS level structure from a
+    pseudo-peripheral vertex is cut at the median level; the cut's boundary
+    vertices form the separator, which is ordered {e last}, after both
+    halves are ordered recursively. Small subgraphs fall back to AMD.
+
+    Nested dissection is the third reordering family the original RChol
+    paper [3] evaluated against AMD; it is included here as an ordering
+    baseline and for the ablation benches. *)
+
+val order : ?leaf_size:int -> Sddm.Graph.t -> Sparse.Perm.t
+(** [order g] returns the permutation (new index -> old index).
+    [leaf_size] (default 64) is the subgraph size below which AMD
+    finishes the job. *)

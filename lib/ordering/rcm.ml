@@ -1,0 +1,64 @@
+(* Pseudo-peripheral start: from the minimum-degree vertex of the component,
+   repeat BFS to the farthest vertex until eccentricity stops growing. *)
+
+let bfs_farthest g start visited_scratch =
+  let n = Sddm.Graph.n_vertices g in
+  let dist = visited_scratch in
+  Array.fill dist 0 n (-1);
+  let q = Queue.create () in
+  Queue.add start q;
+  dist.(start) <- 0;
+  let far = ref start in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if dist.(u) > dist.(!far) then far := u;
+    Sddm.Graph.iter_neighbors g u (fun v _ ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  (!far, dist.(!far))
+
+let pseudo_peripheral g start scratch =
+  let rec improve u ecc =
+    let v, ecc' = bfs_farthest g u scratch in
+    if ecc' > ecc then improve v ecc' else u
+  in
+  improve start (-1)
+
+let order g =
+  let n = Sddm.Graph.n_vertices g in
+  let deg = Sddm.Graph.degrees g in
+  let visited = Array.make n false in
+  let scratch = Array.make n (-1) in
+  let seq = Array.make n 0 in
+  let out = ref 0 in
+  let q = Queue.create () in
+  (* Process components in order of their minimum-degree vertex. *)
+  for s = 0 to n - 1 do
+    if not visited.(s) then begin
+      let root = pseudo_peripheral g s scratch in
+      Queue.add root q;
+      visited.(root) <- true;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        seq.(!out) <- u;
+        incr out;
+        let nbrs = ref [] in
+        Sddm.Graph.iter_neighbors g u (fun v _ ->
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              nbrs := v :: !nbrs
+            end);
+        let nbrs = List.sort (fun a b -> compare deg.(a) deg.(b)) !nbrs in
+        List.iter (fun v -> Queue.add v q) nbrs
+      done
+    end
+  done;
+  (* Reverse the Cuthill–McKee sequence. *)
+  let p = Array.make n 0 in
+  for k = 0 to n - 1 do
+    p.(k) <- seq.(n - 1 - k)
+  done;
+  p

@@ -1,0 +1,6 @@
+(** Reverse Cuthill–McKee ordering: breadth-first layers from a
+    pseudo-peripheral start, neighbors visited by ascending degree, sequence
+    reversed. A bandwidth-reducing baseline included for the ordering
+    comparison benches. *)
+
+val order : Sddm.Graph.t -> Sparse.Perm.t

@@ -1,0 +1,176 @@
+let mesh2d ?(weight = 1.0) ~nx ~ny () =
+  let n = nx * ny in
+  let edges = ref [] in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let i = (y * nx) + x in
+      if x + 1 < nx then edges := (i, i + 1, weight) :: !edges;
+      if y + 1 < ny then edges := (i, i + nx, weight) :: !edges
+    done
+  done;
+  Sddm.Graph.create ~n ~edges:(Array.of_list !edges)
+
+let mesh2d_9pt ?(weight = 1.0) ~nx ~ny () =
+  let n = nx * ny in
+  let diag_w = weight /. sqrt 2.0 in
+  let edges = ref [] in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let i = (y * nx) + x in
+      if x + 1 < nx then edges := (i, i + 1, weight) :: !edges;
+      if y + 1 < ny then edges := (i, i + nx, weight) :: !edges;
+      if x + 1 < nx && y + 1 < ny then
+        edges := (i, i + nx + 1, diag_w) :: !edges;
+      if x > 0 && y + 1 < ny then edges := (i, i + nx - 1, diag_w) :: !edges
+    done
+  done;
+  Sddm.Graph.create ~n ~edges:(Array.of_list !edges)
+
+let mesh3d ?(weight = 1.0) ~nx ~ny ~nz () =
+  let n = nx * ny * nz in
+  let idx x y z = (z * nx * ny) + (y * nx) + x in
+  let edges = ref [] in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let i = idx x y z in
+        if x + 1 < nx then edges := (i, idx (x + 1) y z, weight) :: !edges;
+        if y + 1 < ny then edges := (i, idx x (y + 1) z, weight) :: !edges;
+        if z + 1 < nz then edges := (i, idx x y (z + 1), weight) :: !edges
+      done
+    done
+  done;
+  Sddm.Graph.create ~n ~edges:(Array.of_list !edges)
+
+let random_spanning_backbone rng g =
+  let n = Sddm.Graph.n_vertices g in
+  let labels, n_comp = Sddm.Graph.connected_components g in
+  if n_comp <= 1 then g
+  else begin
+    (* pick one representative per component and chain them randomly *)
+    let reps = Array.make n_comp (-1) in
+    for v = 0 to n - 1 do
+      if reps.(labels.(v)) < 0 then reps.(labels.(v)) <- v
+    done;
+    Rng.shuffle rng reps;
+    let w = max (Sddm.Graph.average_weight g) 1e-6 in
+    let extra =
+      Array.init (n_comp - 1) (fun k -> (reps.(k), reps.(k + 1), w))
+    in
+    let all =
+      Array.append extra
+        (Array.init (Sddm.Graph.n_edges g) (fun e -> Sddm.Graph.edge g e))
+    in
+    Sddm.Graph.create ~n ~edges:all
+  end
+
+let power_law ~n ~avg_degree ~alpha ~seed =
+  let rng = Rng.create seed in
+  (* Chung–Lu: edge (u,v) appears with prob ~ w_u w_v / W. Sample via the
+     weighted "fitness" list trick: draw both endpoints proportionally to
+     their weight, m = avg_degree * n / 2 times. *)
+  let weights = Array.init n (fun _ -> Rng.pareto rng ~alpha ~x_min:1.0) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  (* cumulative table for O(log n) sampling *)
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. weights.(i);
+    cum.(i) <- !acc
+  done;
+  let draw () =
+    let t = Rng.float rng *. total in
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cum.(mid) >= t then bisect lo mid else bisect (mid + 1) hi
+    in
+    bisect 0 (n - 1)
+  in
+  let m = int_of_float (avg_degree *. float_of_int n /. 2.0) in
+  let edges = ref [] in
+  let count = ref 0 in
+  while !count < m do
+    let u = draw () and v = draw () in
+    if u <> v then begin
+      edges := (u, v, 1.0) :: !edges;
+      incr count
+    end
+  done;
+  let g =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.create ~n ~edges:(Array.of_list !edges))
+  in
+  random_spanning_backbone rng g
+
+let community ~n ~communities ~p_in ~inter_degree ~seed =
+  let rng = Rng.create seed in
+  assert (communities >= 1 && communities <= n);
+  let edges = ref [] in
+  (* intra-community: Erdos-Renyi blocks; boundaries by rounding so block
+     sizes differ by at most one (no giant remainder block) *)
+  for c = 0 to communities - 1 do
+    let lo = c * n / communities in
+    let hi = (((c + 1) * n) / communities) - 1 in
+    (* expected edges: p_in * k(k-1)/2; sample that many random pairs *)
+    let k = hi - lo + 1 in
+    let target =
+      int_of_float (p_in *. float_of_int (k * (k - 1)) /. 2.0)
+    in
+    for _ = 1 to target do
+      let u = lo + Rng.int rng k and v = lo + Rng.int rng k in
+      if u <> v then edges := (u, v, 1.0) :: !edges
+    done
+  done;
+  (* inter-community *)
+  let inter = int_of_float (inter_degree *. float_of_int n /. 2.0) in
+  for _ = 1 to inter do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then edges := (u, v, 0.5) :: !edges
+  done;
+  let g =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.create ~n ~edges:(Array.of_list !edges))
+  in
+  random_spanning_backbone rng g
+
+let geometric ~n ~radius ~seed =
+  let rng = Rng.create seed in
+  let xs = Array.init n (fun _ -> Rng.float rng) in
+  let ys = Array.init n (fun _ -> Rng.float rng) in
+  (* cell grid of pitch radius *)
+  let cells = max 1 (int_of_float (1.0 /. radius)) in
+  let cell_of x = min (cells - 1) (int_of_float (x *. float_of_int cells)) in
+  let grid = Hashtbl.create (2 * n) in
+  for i = 0 to n - 1 do
+    let key = (cell_of xs.(i), cell_of ys.(i)) in
+    Hashtbl.replace grid key
+      (i :: (try Hashtbl.find grid key with Not_found -> []))
+  done;
+  let edges = ref [] in
+  let r2 = radius *. radius in
+  for i = 0 to n - 1 do
+    let ci = cell_of xs.(i) and cj = cell_of ys.(i) in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt grid (ci + dx, cj + dy) with
+        | None -> ()
+        | Some others ->
+          List.iter
+            (fun j ->
+              if j > i then begin
+                let ddx = xs.(i) -. xs.(j) and ddy = ys.(i) -. ys.(j) in
+                let d2 = (ddx *. ddx) +. (ddy *. ddy) in
+                if d2 <= r2 && d2 > 0.0 then
+                  edges := (i, j, 1.0 /. sqrt d2) :: !edges
+              end)
+            others
+      done
+    done
+  done;
+  let g =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.create ~n ~edges:(Array.of_list !edges))
+  in
+  random_spanning_backbone rng g

@@ -1,0 +1,37 @@
+(** Synthetic graph families standing in for the SuiteSparse test matrices
+    of the paper's Table 4 (see DESIGN.md §2 for the substitution
+    rationale). All generators are deterministic given the seed and return
+    connected graphs (a spanning backbone is added where the random model
+    alone could disconnect). *)
+
+val mesh2d : ?weight:float -> nx:int -> ny:int -> unit -> Sddm.Graph.t
+(** 5-point 2-D grid ([ecology2]-like). *)
+
+val mesh2d_9pt : ?weight:float -> nx:int -> ny:int -> unit -> Sddm.Graph.t
+(** 9-point 2-D grid with diagonals ([thermal2]-like FE stencil). *)
+
+val mesh3d : ?weight:float -> nx:int -> ny:int -> nz:int -> unit -> Sddm.Graph.t
+(** 7-point 3-D grid ([G3_circuit]-like; that matrix is a 3-D circuit
+    structure). *)
+
+val power_law : n:int -> avg_degree:float -> alpha:float -> seed:int -> Sddm.Graph.t
+(** Chung–Lu style scale-free graph with Pareto degree targets
+    ([com-Youtube]/[com-DBLP]-like); unit weights. [alpha] is the Pareto
+    exponent (2–3 typical). *)
+
+val community : n:int -> communities:int -> p_in:float -> inter_degree:float ->
+  seed:int -> Sddm.Graph.t
+(** Planted-partition graph: dense cliques-ish blocks plus sparse
+    inter-community edges ([com-Amazon]/[coPapersDBLP]-like). [p_in] is the
+    intra-community edge probability; [inter_degree] the expected number of
+    inter-community edges per vertex. *)
+
+val geometric : n:int -> radius:float -> seed:int -> Sddm.Graph.t
+(** Random geometric graph in the unit square with inverse-distance
+    weights ([NACA0015]/[fe_*]/census-tract-like planar meshes). Uses a
+    cell grid, O(n) expected. *)
+
+val random_spanning_backbone : Rng.t -> Sddm.Graph.t -> Sddm.Graph.t
+(** Returns the graph with a random-permutation path added over any
+    disconnected parts so the result is connected (weight = average edge
+    weight). Exposed for reuse in tests. *)

@@ -1,0 +1,227 @@
+type spec = {
+  nx : int;
+  ny : int;
+  coarse_pitch : int;
+  wire_conductance : float;
+  top_conductance : float;
+  via_conductance : float;
+  pad_pitch : int;
+  pad_conductance : float;
+  load_fraction : float;
+  load_max : float;
+  jitter : float;
+  missing_fraction : float;
+  region_decades : float;
+  region_block : int;
+  seed : int;
+}
+
+let default ~nx ~ny ~seed =
+  {
+    nx;
+    ny;
+    coarse_pitch = 4;
+    wire_conductance = 1.0;
+    top_conductance = 5.0;
+    via_conductance = 100.0;
+    pad_pitch = 8;
+    pad_conductance = 1000.0;
+    load_fraction = 0.1;
+    load_max = 0.01;
+    jitter = 0.1;
+    missing_fraction = 0.02;
+    region_decades = 2.5;
+    region_block = 16;
+    seed;
+  }
+
+type circuit = {
+  n_nodes : int;
+  resistors : (int * int * float) array;
+  pads : (int * float) array;
+  loads : (int * float) array;
+  caps : (int * float) array;
+  vdd : float;
+}
+
+let top_dims spec =
+  let cx = ((spec.nx - 1) / spec.coarse_pitch) + 1 in
+  let cy = ((spec.ny - 1) / spec.coarse_pitch) + 1 in
+  (cx, cy)
+
+let node_count spec =
+  let cx, cy = top_dims spec in
+  (spec.nx * spec.ny) + (cx * cy)
+
+let generate_circuit spec =
+  assert (spec.nx >= 2 && spec.ny >= 2);
+  assert (spec.coarse_pitch >= 2);
+  assert (spec.pad_pitch >= 1);
+  assert (spec.jitter >= 0.0 && spec.jitter < 1.0);
+  let rng = Rng.create spec.seed in
+  let nx = spec.nx and ny = spec.ny in
+  let cx, cy = top_dims spec in
+  let bottom x y = (y * nx) + x in
+  let top_base = nx * ny in
+  let top i j = top_base + (j * cx) + i in
+  let n_nodes = top_base + (cx * cy) in
+  let resistors = ref [] in
+  let jittered g =
+    g *. (1.0 +. (spec.jitter *. ((2.0 *. Rng.float rng) -. 1.0)))
+  in
+  let add_res u v g =
+    let g = jittered g in
+    resistors := (u, v, 1.0 /. g) :: !resistors
+  in
+  (* Regional wire-width heterogeneity: real grids route different blocks
+     with different wire widths, so segment conductance varies by orders
+     of magnitude across regions (log-uniform over region_decades). This
+     is what stresses strength-of-connection heuristics in AMG-style
+     solvers while weight-aware randomized sampling absorbs it. *)
+  let block = max 1 spec.region_block in
+  let bx = ((nx - 1) / block) + 1 in
+  let by = ((ny - 1) / block) + 1 in
+  let region =
+    Array.init (bx * by) (fun _ ->
+        10.0 ** (spec.region_decades *. (Rng.float rng -. 0.5)))
+  in
+  let region_of x y = region.(((y / block) * bx) + (x / block)) in
+  (* Bottom-layer mesh with random blockages. Removal keeps the grid
+     connected in practice because the missing fraction is small and vias
+     tie the layers together; connectivity is validated at the end. *)
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let g_here = spec.wire_conductance *. region_of x y in
+      if x + 1 < nx && Rng.float rng >= spec.missing_fraction then
+        add_res (bottom x y) (bottom (x + 1) y) g_here;
+      if y + 1 < ny && Rng.float rng >= spec.missing_fraction then
+        add_res (bottom x y) (bottom x (y + 1)) g_here
+    done
+  done;
+  (* Top-layer coarse mesh (no blockages: thick global metal). *)
+  for j = 0 to cy - 1 do
+    for i = 0 to cx - 1 do
+      if i + 1 < cx then add_res (top i j) (top (i + 1) j) spec.top_conductance;
+      if j + 1 < cy then add_res (top i j) (top i (j + 1)) spec.top_conductance
+    done
+  done;
+  (* Vias: every top node connects straight down. Via conductance is
+     heavy-tailed (exponential around the nominal value) so a minority of
+     vias are extremely strong, like merged multi-cut vias in real grids. *)
+  for j = 0 to cy - 1 do
+    for i = 0 to cx - 1 do
+      let x = min (i * spec.coarse_pitch) (nx - 1) in
+      let y = min (j * spec.coarse_pitch) (ny - 1) in
+      let g = spec.via_conductance *. (0.5 +. Rng.exponential rng 1.0) in
+      resistors := (top i j, bottom x y, 1.0 /. g) :: !resistors
+    done
+  done;
+  (* Pads on the top layer, every pad_pitch-th node of the top mesh. *)
+  let pads = ref [] in
+  let pad_index = ref 0 in
+  for j = 0 to cy - 1 do
+    for i = 0 to cx - 1 do
+      if !pad_index mod spec.pad_pitch = 0 then
+        pads := (top i j, 1.0 /. spec.pad_conductance) :: !pads;
+      incr pad_index
+    done
+  done;
+  (* Loads on random bottom nodes; each load site also carries decoupling
+     capacitance (on-die decap sits next to the switching cells). *)
+  let loads = ref [] in
+  let caps = ref [] in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      if Rng.float rng < spec.load_fraction then begin
+        loads := (bottom x y, spec.load_max *. Rng.float_open rng) :: !loads;
+        caps := (bottom x y, 1e-12 *. (0.5 +. Rng.float rng)) :: !caps
+      end
+    done
+  done;
+  (* Repair pass: random blockages can isolate a pocket of the bottom
+     mesh from every via. Stitch each such component back to the top
+     layer with one extra via, like the stitching vias inserted during
+     physical verification. *)
+  let parent = Array.init n_nodes (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  List.iter
+    (fun (u, v, _) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then parent.(ru) <- rv)
+    !resistors;
+  let main = find (top 0 0) in
+  let stitched = Hashtbl.create 8 in
+  for y = 0 to ny - 1 do
+    for x = 0 to nx - 1 do
+      let node = bottom x y in
+      let root = find node in
+      if root <> main && not (Hashtbl.mem stitched root) then begin
+        Hashtbl.replace stitched root ();
+        let i = min ((x + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cx - 1) in
+        let j = min ((y + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cy - 1) in
+        resistors := (top i j, node, 1.0 /. spec.via_conductance) :: !resistors;
+        parent.(root) <- main
+      end
+    done
+  done;
+  {
+    n_nodes;
+    resistors = Array.of_list !resistors;
+    pads = Array.of_list !pads;
+    loads = Array.of_list !loads;
+    caps = Array.of_list !caps;
+    vdd = 1.8;
+  }
+
+let circuit_to_problem ~name c =
+  let edges =
+    Array.map (fun (u, v, r) -> (u, v, 1.0 /. r)) c.resistors
+  in
+  let graph = Sddm.Graph.coalesce (Sddm.Graph.create ~n:c.n_nodes ~edges) in
+  let d = Array.make c.n_nodes 0.0 in
+  Array.iter (fun (node, r) -> d.(node) <- d.(node) +. (1.0 /. r)) c.pads;
+  let b = Array.make c.n_nodes 0.0 in
+  Array.iter (fun (node, amps) -> b.(node) <- b.(node) +. amps) c.loads;
+  (* Sanity: every component must contain a pad, otherwise the system is
+     singular. The generator's pad placement guarantees this for the top
+     mesh; bottom components are tied in through vias. *)
+  let labels, n_comp = Sddm.Graph.connected_components graph in
+  if n_comp > 1 then begin
+    let has_pad = Array.make n_comp false in
+    Array.iteri (fun i di -> if di > 0.0 then has_pad.(labels.(i)) <- true) d;
+    Array.iteri
+      (fun comp ok ->
+        if not ok then
+          invalid_arg
+            (Printf.sprintf
+               "Generate: component %d has no pad (grid disconnected)" comp))
+      has_pad
+  end;
+  Sddm.Problem.of_graph ~name ~graph ~d ~b
+
+let generate spec =
+  let name = Printf.sprintf "pg-%dx%d-s%d" spec.nx spec.ny spec.seed in
+  circuit_to_problem ~name (generate_circuit spec)
+
+type dual = {
+  vdd_grid : circuit;
+  gnd_grid : circuit;
+}
+
+let generate_dual spec =
+  let vdd_grid = generate_circuit spec in
+  let gnd_raw = generate_circuit { spec with seed = spec.seed + 104729 } in
+  (* the return current of each load flows through the ground grid at the
+     same cell *)
+  let gnd_grid = { gnd_raw with loads = vdd_grid.loads } in
+  { vdd_grid; gnd_grid }
+
+let dual_to_problems d =
+  ( circuit_to_problem ~name:"vdd-drop" d.vdd_grid,
+    circuit_to_problem ~name:"gnd-bounce" d.gnd_grid )

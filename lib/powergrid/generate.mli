@@ -1,0 +1,94 @@
+(** Synthetic multi-layer power-grid generator.
+
+    Produces DC power-grid analysis problems with the structural features of
+    the IBM/THU benchmark grids that drive solver behavior:
+
+    - a fine bottom-layer mesh (M1/M2 routing pair) with moderate segment
+      conductance and small random variation;
+    - a coarser, thicker top-layer mesh with higher conductance;
+    - via connections between the layers with {e much} larger conductance —
+      the heavy edges the paper's Alg. 4 reordering targets;
+    - VDD pads on the top layer (excess diagonal [D]);
+    - current-source loads on a random subset of bottom-layer nodes
+      (the right-hand side);
+    - a fraction of randomly missing segments (routing blockages), which
+      keeps the mesh irregular without disconnecting it.
+
+    The formulation is the IR-drop one: [A x = b] with [A = L + D_pads] and
+    [b] the load currents, so [x] is the per-node voltage drop. Everything
+    is deterministic given [spec.seed]. *)
+
+type spec = {
+  nx : int;  (** bottom-layer nodes per row *)
+  ny : int;  (** bottom-layer nodes per column *)
+  coarse_pitch : int;  (** top-layer pitch in bottom-layer cells (>= 2) *)
+  wire_conductance : float;  (** bottom-layer segment conductance (S) *)
+  top_conductance : float;  (** top-layer segment conductance (S) *)
+  via_conductance : float;  (** via conductance (S); heavy edges *)
+  pad_pitch : int;  (** a pad every [pad_pitch] top-layer nodes (>= 1) *)
+  pad_conductance : float;  (** pad-to-VDD conductance (S) *)
+  load_fraction : float;  (** fraction of bottom nodes drawing current *)
+  load_max : float;  (** maximum load current (A) *)
+  jitter : float;  (** relative conductance variation in [0, 1) *)
+  missing_fraction : float;  (** fraction of bottom segments removed *)
+  region_decades : float;
+      (** regional wire-width heterogeneity: bottom-layer segment
+          conductance is scaled per routing block by a log-uniform factor
+          spanning this many decades (real grids mix wire widths across
+          blocks; 0 disables) *)
+  region_block : int;  (** routing-block side length in grid cells *)
+  seed : int;
+}
+
+val default : nx:int -> ny:int -> seed:int -> spec
+(** Engineering-plausible defaults: 1 S segments, 5 S top metal, 100 S
+    vias, pads every 8 top nodes at 1000 S, 10% loads up to 10 mA, 10%
+    jitter, 2% missing segments, 2.5 decades of regional wire-width
+    variation over 16-cell blocks, and ~1 pF of decap at every load. *)
+
+val generate : spec -> Sddm.Problem.t
+(** Build the problem. The name encodes nx, ny and the seed. *)
+
+val node_count : spec -> int
+(** Number of unknowns [generate] will produce (both layers). *)
+
+type circuit = {
+  n_nodes : int;
+  resistors : (int * int * float) array;  (** (node, node, ohms) *)
+  pads : (int * float) array;  (** (node, pad resistance to VDD) *)
+  loads : (int * float) array;  (** (node, amps drawn) *)
+  caps : (int * float) array;
+      (** (node, farads to ground): decoupling capacitance, used by
+          transient analysis and ignored by DC *)
+  vdd : float;
+}
+(** Explicit circuit view, for netlist export. *)
+
+val generate_circuit : spec -> circuit
+(** The same grid as {!generate}, as circuit elements. *)
+
+val circuit_to_problem : name:string -> circuit -> Sddm.Problem.t
+(** Stamp a circuit into the drop-formulation SDDM system (pads become
+    excess diagonal, loads become the right-hand side). *)
+
+(** {1 Dual-rail (VDD + GND) grids}
+
+    Real designs have both a supply grid and a return grid; every load
+    draws its current from the VDD net and returns it through the GND net,
+    so total rail collapse at a cell is (VDD drop + ground bounce). With
+    ideal pads the two nets decouple into two independent SDDM systems
+    driven by the same load currents. *)
+
+type dual = {
+  vdd_grid : circuit;  (** pads tie to the VDD rail *)
+  gnd_grid : circuit;  (** same loads, pads tie to ground *)
+}
+
+val generate_dual : spec -> dual
+(** Two structurally independent grids (different blockage/jitter
+    randomness) carrying identical load currents at the same bottom-mesh
+    positions. *)
+
+val dual_to_problems : dual -> Sddm.Problem.t * Sddm.Problem.t
+(** (vdd-drop problem, ground-bounce problem), both in the drop
+    formulation. *)

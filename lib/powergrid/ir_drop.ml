@@ -1,0 +1,34 @@
+type report = {
+  max_drop : float;
+  mean_drop : float;
+  p99_drop : float;
+  worst_nodes : (int * float) array;
+  violations : int;
+}
+
+let analyze ?(budget = 0.05) ?(top = 10) drops =
+  let n = Array.length drops in
+  assert (n > 0);
+  let sorted = Array.mapi (fun i v -> (i, v)) drops in
+  Array.sort (fun (_, a) (_, b) -> compare b a) sorted;
+  let mean = Sparse.Vec.mean drops in
+  let p99_index = min (n - 1) (n / 100) in
+  let violations = ref 0 in
+  Array.iter (fun v -> if v > budget then incr violations) drops;
+  {
+    max_drop = snd sorted.(0);
+    mean_drop = mean;
+    p99_drop = snd sorted.(p99_index);
+    worst_nodes = Array.sub sorted 0 (min top n);
+    violations = !violations;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>max drop   : %.4f V@,mean drop  : %.4f V@,p99 drop   : %.4f V@,\
+     violations : %d@,worst nodes:@,"
+    r.max_drop r.mean_drop r.p99_drop r.violations;
+  Array.iter
+    (fun (node, v) -> Format.fprintf fmt "  node %-8d %.4f V@," node v)
+    r.worst_nodes;
+  Format.fprintf fmt "@]"

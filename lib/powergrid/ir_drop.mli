@@ -1,0 +1,20 @@
+(** IR-drop post-analysis of a power-grid solution.
+
+    In the drop formulation the solution vector {e is} the per-node IR
+    drop; this module summarizes it the way sign-off reports do. *)
+
+type report = {
+  max_drop : float;
+  mean_drop : float;
+  p99_drop : float;  (** 99th-percentile drop *)
+  worst_nodes : (int * float) array;  (** top offenders, worst first *)
+  violations : int;  (** nodes above the budget *)
+}
+
+val analyze : ?budget:float -> ?top:int -> float array -> report
+(** [analyze drops] computes the summary. [budget] (default 0.05 V, a
+    typical 3–5% of a 1.8 V supply) sets the violation threshold; [top]
+    (default 10) the number of worst nodes reported. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable multi-line rendering. *)

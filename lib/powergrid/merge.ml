@@ -1,0 +1,79 @@
+type t = {
+  problem : Sddm.Problem.t;
+  representative : int array;
+  n_merged_edges : int;
+}
+
+let median_weight g =
+  let m = Sddm.Graph.n_edges g in
+  if m = 0 then 0.0
+  else begin
+    let ws = Array.init m (fun e -> let _, _, w = Sddm.Graph.edge g e in w) in
+    Array.sort compare ws;
+    ws.(m / 2)
+  end
+
+let merge ?(factor = 200.0) p =
+  let g = p.Sddm.Problem.graph in
+  let n = Sddm.Graph.n_vertices g in
+  let m = Sddm.Graph.n_edges g in
+  let threshold = factor *. median_weight g in
+  (* union-find over heavy edges *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let n_merged = ref 0 in
+  for e = 0 to m - 1 do
+    let u, v, w = Sddm.Graph.edge g e in
+    if w > threshold then begin
+      let ru = find u and rv = find v in
+      if ru <> rv then begin
+        parent.(max ru rv) <- min ru rv;
+        incr n_merged
+      end
+    end
+  done;
+  (* compact representative ids *)
+  let representative = Array.make n (-1) in
+  let next_id = ref 0 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    if representative.(r) < 0 then begin
+      representative.(r) <- !next_id;
+      incr next_id
+    end;
+    representative.(i) <- representative.(r)
+  done;
+  let nc = !next_id in
+  (* contracted graph: drop intra-group edges, sum the rest *)
+  let edges = ref [] in
+  for e = 0 to m - 1 do
+    let u, v, w = Sddm.Graph.edge g e in
+    let cu = representative.(u) and cv = representative.(v) in
+    if cu <> cv then edges := (cu, cv, w) :: !edges
+  done;
+  let graph =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.create ~n:nc ~edges:(Array.of_list !edges))
+  in
+  let d = Array.make nc 0.0 in
+  let b = Array.make nc 0.0 in
+  for i = 0 to n - 1 do
+    let c = representative.(i) in
+    d.(c) <- d.(c) +. p.Sddm.Problem.d.(i);
+    b.(c) <- b.(c) +. p.Sddm.Problem.b.(i)
+  done;
+  let name = p.Sddm.Problem.name ^ "+merged" in
+  {
+    problem = Sddm.Problem.of_graph ~name ~graph ~d ~b;
+    representative;
+    n_merged_edges = !n_merged;
+  }
+
+let expand t xc =
+  Array.map (fun c -> xc.(c)) t.representative

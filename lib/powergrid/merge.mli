@@ -1,0 +1,31 @@
+(** PowerRush's small-resistor merging trick [Yang et al., TVLSI'14].
+
+    Resistors far smaller than typical (large conductance — mostly vias)
+    contribute negligible voltage drop but inflate both the matrix size and
+    its condition number. Contracting them shrinks the problem: endpoints
+    of every edge with weight above [factor] times the median weight are
+    merged by union-find; parallel edges arising from the contraction are
+    summed; excess diagonal and right-hand side accumulate onto
+    representatives.
+
+    The merged solution is expanded by giving every original node its
+    representative's voltage — exact up to the (tiny) drop across merged
+    resistors, which is why the trick is acceptable at the paper's 1e-6
+    relative-residual target (the residual is measured on the merged
+    system, like PowerRush does). *)
+
+type t = {
+  problem : Sddm.Problem.t;  (** the contracted system *)
+  representative : int array;
+      (** original node -> contracted unknown index *)
+  n_merged_edges : int;
+}
+
+val merge : ?factor:float -> Sddm.Problem.t -> t
+(** [merge p] contracts heavy edges. [factor] defaults to 200 (weight
+    > 200x median is contracted): on grids with multiple decades of
+    regional wire-conductance variation, a lower threshold starts merging
+    ordinary wires that carry real voltage gradients, not just vias. *)
+
+val expand : t -> float array -> float array
+(** Map a contracted solution back to all original nodes. *)

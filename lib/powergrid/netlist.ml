@@ -1,0 +1,257 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type card = { name : string; n_plus : string; n_minus : string; value : float }
+
+type t = {
+  resistors : card list;
+  currents : card list;
+  vsources : card list;
+  capacitors : card list;
+}
+
+(* engineering-suffix number parsing: 1k, 2.2meg, 10u, ... *)
+let parse_value token =
+  let token = String.lowercase_ascii token in
+  let len = String.length token in
+  let split i = (String.sub token 0 i, String.sub token i (len - i)) in
+  let rec digits_end i =
+    if i < len
+       && (match token.[i] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+           | _ -> i > 0 && token.[i - 1] = 'e' && token.[i] = '-')
+    then digits_end (i + 1)
+    else i
+  in
+  (* careful: 'e' may start an exponent or be part of 'meg'; try longest
+     numeric prefix that parses *)
+  let rec try_prefix i =
+    if i = 0 then fail "bad numeric value %S" token
+    else
+      let num, suffix = split i in
+      match float_of_string_opt num with
+      | Some v -> (v, suffix)
+      | None -> try_prefix (i - 1)
+  in
+  let v, suffix = try_prefix (digits_end len) in
+  let scale =
+    match suffix with
+    | "" -> 1.0
+    | "t" -> 1e12
+    | "g" -> 1e9
+    | "meg" -> 1e6
+    | "k" -> 1e3
+    | "m" -> 1e-3
+    | "u" -> 1e-6
+    | "n" -> 1e-9
+    | "p" -> 1e-12
+    | "f" -> 1e-15
+    | s -> fail "unknown unit suffix %S in %S" s token
+  in
+  v *. scale
+
+let parse_line line acc =
+  let line =
+    match String.index_opt line '*' with
+    | Some 0 -> ""
+    | _ -> line
+  in
+  let tokens =
+    String.split_on_char ' ' (String.trim line)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [] -> acc
+  | directive :: _ when directive.[0] = '.' -> acc
+  | name :: n_plus :: n_minus :: value :: _ ->
+    let card = { name; n_plus; n_minus; value = parse_value value } in
+    (match Char.lowercase_ascii name.[0] with
+     | 'r' -> { acc with resistors = card :: acc.resistors }
+     | 'i' -> { acc with currents = card :: acc.currents }
+     | 'v' -> { acc with vsources = card :: acc.vsources }
+     | 'c' -> { acc with capacitors = card :: acc.capacitors }
+     | c -> fail "unsupported element type '%c' in line %S" c line)
+  | _ -> fail "malformed line %S" line
+
+let parse_string text =
+  let empty =
+    { resistors = []; currents = []; vsources = []; capacitors = [] }
+  in
+  let lines = String.split_on_char '\n' text in
+  List.fold_left (fun acc l -> parse_line l acc) empty lines
+
+let parse_file path =
+  parse_string (In_channel.with_open_text path In_channel.input_all)
+
+let n_resistors t = List.length t.resistors
+let n_current_sources t = List.length t.currents
+let n_voltage_sources t = List.length t.vsources
+let n_capacitors t = List.length t.capacitors
+
+type problem_with_names = {
+  problem : Sddm.Problem.t;
+  node_names : string array;
+  fixed_voltage : (string * float) list;
+}
+
+let grounded_capacitances t =
+  List.filter_map
+    (fun c ->
+      if c.n_minus = "0" then Some (c.n_plus, c.value)
+      else if c.n_plus = "0" then Some (c.n_minus, c.value)
+      else None)
+    t.capacitors
+
+let to_problem ?(name = "netlist") t =
+  (* fixed node voltages from grounded V sources *)
+  let fixed = Hashtbl.create 16 in
+  Hashtbl.replace fixed "0" 0.0;
+  List.iter
+    (fun c ->
+      let node, voltage =
+        if c.n_minus = "0" then (c.n_plus, c.value)
+        else if c.n_plus = "0" then (c.n_minus, -.c.value)
+        else
+          fail "voltage source %s has no grounded terminal (unsupported)"
+            c.name
+      in
+      match Hashtbl.find_opt fixed node with
+      | Some v when v <> voltage ->
+        fail "conflicting voltage sources on node %s" node
+      | _ -> Hashtbl.replace fixed node voltage)
+    t.vsources;
+  (* index the free nodes in order of first appearance *)
+  let index = Hashtbl.create 64 in
+  let names = ref [] in
+  let count = ref 0 in
+  let intern node =
+    if Hashtbl.mem fixed node then -1
+    else
+      match Hashtbl.find_opt index node with
+      | Some i -> i
+      | None ->
+        let i = !count in
+        Hashtbl.replace index node i;
+        names := node :: !names;
+        incr count;
+        i
+  in
+  List.iter
+    (fun c ->
+      ignore (intern c.n_plus);
+      ignore (intern c.n_minus))
+    t.resistors;
+  List.iter
+    (fun c ->
+      ignore (intern c.n_plus);
+      ignore (intern c.n_minus))
+    t.currents;
+  let n = !count in
+  if n = 0 then fail "netlist has no free nodes";
+  let node_names = Array.of_list (List.rev !names) in
+  let edges = ref [] in
+  let d = Array.make n 0.0 in
+  let b = Array.make n 0.0 in
+  List.iter
+    (fun c ->
+      if c.value <= 0.0 then
+        fail "resistor %s has nonpositive resistance" c.name;
+      let g = 1.0 /. c.value in
+      let u = intern c.n_plus and v = intern c.n_minus in
+      match (u, v) with
+      | -1, -1 -> ()
+      | -1, v ->
+        d.(v) <- d.(v) +. g;
+        b.(v) <- b.(v) +. (g *. Hashtbl.find fixed c.n_plus)
+      | u, -1 ->
+        d.(u) <- d.(u) +. g;
+        b.(u) <- b.(u) +. (g *. Hashtbl.find fixed c.n_minus)
+      | u, v when u = v -> ()
+      | u, v -> edges := (u, v, g) :: !edges)
+    t.resistors;
+  List.iter
+    (fun c ->
+      (* current c.value flows from n_plus through the source to n_minus *)
+      let u = intern c.n_plus and v = intern c.n_minus in
+      if u >= 0 then b.(u) <- b.(u) -. c.value;
+      if v >= 0 then b.(v) <- b.(v) +. c.value)
+    t.currents;
+  let graph =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.create ~n ~edges:(Array.of_list !edges))
+  in
+  (* every free component needs a DC path to a fixed node *)
+  let labels, n_comp = Sddm.Graph.connected_components graph in
+  let grounded = Array.make n_comp false in
+  Array.iteri (fun i di -> if di > 0.0 then grounded.(labels.(i)) <- true) d;
+  Array.iteri
+    (fun comp ok ->
+      if not ok then fail "floating subcircuit (component %d)" comp)
+    grounded;
+  let fixed_voltage =
+    Hashtbl.fold (fun k v acc -> if k = "0" then acc else (k, v) :: acc) fixed []
+  in
+  {
+    problem = Sddm.Problem.of_graph ~name ~graph ~d ~b;
+    node_names;
+    fixed_voltage;
+  }
+
+let write_circuit oc (c : Generate.circuit) =
+  Printf.fprintf oc "* synthetic power grid: %d nodes, %d resistors\n"
+    c.Generate.n_nodes
+    (Array.length c.Generate.resistors);
+  Printf.fprintf oc "Vdd vdd 0 %.6g\n" c.Generate.vdd;
+  Array.iteri
+    (fun k (u, v, r) -> Printf.fprintf oc "R%d n%d n%d %.17g\n" k u v r)
+    c.Generate.resistors;
+  Array.iteri
+    (fun k (node, r) ->
+      Printf.fprintf oc "Rpad%d n%d vdd %.17g\n" k node r)
+    c.Generate.pads;
+  Array.iteri
+    (fun k (node, amps) ->
+      Printf.fprintf oc "I%d n%d 0 %.17g\n" k node amps)
+    c.Generate.loads;
+  Array.iteri
+    (fun k (node, farads) ->
+      Printf.fprintf oc "C%d n%d 0 %.17g\n" k node farads)
+    c.Generate.caps;
+  Printf.fprintf oc ".op\n.end\n"
+
+let write_circuit_file path c =
+  Out_channel.with_open_text path (fun oc -> write_circuit oc c)
+
+let write_dual_circuit oc (d : Generate.dual) =
+  let v = d.Generate.vdd_grid and g = d.Generate.gnd_grid in
+  Printf.fprintf oc
+    "* dual-rail power grid: %d vdd nodes, %d gnd nodes\n"
+    v.Generate.n_nodes g.Generate.n_nodes;
+  Printf.fprintf oc "Vdd vdd 0 %.6g\n" v.Generate.vdd;
+  Array.iteri
+    (fun k (a, b, r) -> Printf.fprintf oc "RV%d nV%d nV%d %.17g\n" k a b r)
+    v.Generate.resistors;
+  Array.iteri
+    (fun k (node, r) -> Printf.fprintf oc "RVpad%d nV%d vdd %.17g\n" k node r)
+    v.Generate.pads;
+  Array.iteri
+    (fun k (a, b, r) -> Printf.fprintf oc "RG%d nG%d nG%d %.17g\n" k a b r)
+    g.Generate.resistors;
+  Array.iteri
+    (fun k (node, r) -> Printf.fprintf oc "RGpad%d nG%d 0 %.17g\n" k node r)
+    g.Generate.pads;
+  (* each load draws from the VDD net and returns into the GND net *)
+  Array.iteri
+    (fun k (node, amps) ->
+      Printf.fprintf oc "I%d nV%d nG%d %.17g\n" k node node amps)
+    v.Generate.loads;
+  Array.iteri
+    (fun k (node, farads) ->
+      Printf.fprintf oc "CV%d nV%d 0 %.17g\n" k node farads)
+    v.Generate.caps;
+  Printf.fprintf oc ".op\n.end\n"
+
+let write_dual_circuit_file path d =
+  Out_channel.with_open_text path (fun oc -> write_dual_circuit oc d)

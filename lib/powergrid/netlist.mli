@@ -1,0 +1,57 @@
+(** SPICE-subset netlist reader/writer in the style of the IBM power grid
+    benchmarks: [R]/[I]/[V]/[C] cards, ground node ["0"], [.op]/[.end]
+    directives, [*] comments, engineering suffixes (k, meg, m, u, n, p).
+    Capacitors are carried through for transient analysis and ignored in
+    the DC formulation.
+
+    Voltage sources must have one terminal grounded (that is how the IBM
+    grids model VDD pads); the driven nodes are eliminated as Dirichlet
+    boundary conditions when building the SDDM system, so the unknowns are
+    the free node voltages. *)
+
+exception Parse_error of string
+
+type t
+
+val parse_string : string -> t
+val parse_file : string -> t
+
+val n_resistors : t -> int
+val n_current_sources : t -> int
+val n_voltage_sources : t -> int
+val n_capacitors : t -> int
+
+type problem_with_names = {
+  problem : Sddm.Problem.t;
+  node_names : string array;  (** unknown index -> netlist node name *)
+  fixed_voltage : (string * float) list;  (** eliminated nodes *)
+}
+
+val grounded_capacitances : t -> (string * float) list
+(** Capacitors with one grounded terminal, as (node name, farads); the
+    transient front end maps these onto unknown indices. Capacitors are
+    ignored by DC {!to_problem}. *)
+
+val to_problem : ?name:string -> t -> problem_with_names
+(** Build [A v = b] over the free nodes (voltage formulation). Raises
+    [Parse_error] on unsupported topology: a voltage source with both
+    terminals ungrounded, conflicting sources on one node, nonpositive
+    resistance, or a floating free component (no DC path to any fixed
+    node). *)
+
+val write_circuit : out_channel -> Generate.circuit -> unit
+(** Emit a generated power grid as a netlist ([vdd] rail driven by one
+    voltage source; pads as resistors to the rail; loads as current sources
+    to ground). *)
+
+val write_circuit_file : string -> Generate.circuit -> unit
+
+val write_dual_circuit : out_channel -> Generate.dual -> unit
+(** Emit a dual-rail netlist in the style of the IBM power-grid
+    benchmarks: VDD-net nodes are named [nV<i>], GND-net nodes [nG<i>],
+    loads are current sources {e between} the two nets, VDD pads resistors
+    to the driven [vdd] rail, GND pads resistors to node ["0"]. Parsing it
+    back with {!to_problem} yields one block-diagonal SDDM system holding
+    both nets. *)
+
+val write_dual_circuit_file : string -> Generate.dual -> unit

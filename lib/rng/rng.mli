@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generation.
+
+    Randomized Cholesky factorization must be reproducible: the same seed has
+    to produce the same factor, the same fill pattern, and therefore the same
+    PCG iteration counts. This module wraps a xoshiro256++ generator seeded
+    through splitmix64, with the sampling primitives the factorizations and
+    workload generators need. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. Used
+    to give each benchmark case its own stream. *)
+
+val copy : t -> t
+(** Duplicate the state; the copy evolves independently. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val float_open : t -> float
+(** Uniform float in the open interval (0, 1): never returns 0. The
+    LT-RChol target array (Eq. 6 of the paper) requires [r > 0]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [lo, hi). Requires [lo < hi]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound-1]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val discrete : t -> float array -> int
+(** [discrete t weights] samples index [i] with probability proportional to
+    [weights.(i)]. Requires at least one strictly positive weight; zero
+    weights are never selected. Linear time. *)
+
+val discrete_prefix : t -> float array -> lo:int -> hi:int -> int
+(** [discrete_prefix t pfs ~lo ~hi] samples from a prefix-sum array:
+    given ascending [pfs] (exclusive prefix sums are not accepted; [pfs.(i)]
+    is the inclusive sum of weights [0..i]), draws index [i] in
+    [lo+1 .. hi] with probability proportional to [pfs.(i) - pfs.(i-1)],
+    conditioned on the suffix after [lo]. Binary search, O(log n). This is
+    the per-neighbor sampling primitive of original RChol (Alg. 1 line 9). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from Exp(lambda). Used by workload
+    generators for heavy-tailed via conductances. *)
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Pareto draw, for power-law community graph degrees. *)

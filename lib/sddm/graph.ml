@@ -1,0 +1,250 @@
+type adjacency = {
+  ptr : int array;  (* length n+1 *)
+  nbr : int array;  (* neighbor vertex per half-edge *)
+  wgt : float array;
+}
+
+type t = {
+  n : int;
+  us : int array;  (* us.(e) < vs.(e) *)
+  vs : int array;
+  ws : float array;
+  mutable adj : adjacency option;  (* cache, built from coalesced edges *)
+  mutable coalesced : bool;
+}
+
+let of_arrays ~n ~us ~vs ~ws =
+  let m = Array.length us in
+  assert (Array.length vs = m && Array.length ws = m);
+  let us' = Array.make m 0 and vs' = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let u = us.(e) and v = vs.(e) in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph: vertex out of range";
+    if u = v then invalid_arg "Graph: self loop";
+    if ws.(e) <= 0.0 then invalid_arg "Graph: nonpositive weight";
+    if u < v then begin us'.(e) <- u; vs'.(e) <- v end
+    else begin us'.(e) <- v; vs'.(e) <- u end
+  done;
+  { n; us = us'; vs = vs'; ws = Array.copy ws; adj = None; coalesced = false }
+
+let create ~n ~edges =
+  let m = Array.length edges in
+  let us = Array.make m 0 and vs = Array.make m 0 and ws = Array.make m 0.0 in
+  Array.iteri
+    (fun e (u, v, w) ->
+      us.(e) <- u;
+      vs.(e) <- v;
+      ws.(e) <- w)
+    edges;
+  of_arrays ~n ~us ~vs ~ws
+
+let n_vertices g = g.n
+let n_edges g = Array.length g.us
+
+let edge g e = (g.us.(e), g.vs.(e), g.ws.(e))
+
+let iter_edges g f =
+  for e = 0 to n_edges g - 1 do
+    f g.us.(e) g.vs.(e) g.ws.(e)
+  done
+
+(* Coalesce parallel edges: sort by (u,v) with a key, then sum runs. *)
+let coalesce g =
+  if g.coalesced then g
+  else begin
+    let m = n_edges g in
+    let order = Array.init m (fun e -> e) in
+    let key e = (g.us.(e), g.vs.(e)) in
+    Array.sort (fun a b -> compare (key a) (key b)) order;
+    let us = Array.make m 0 and vs = Array.make m 0 and ws = Array.make m 0.0 in
+    let out = ref 0 in
+    let k = ref 0 in
+    while !k < m do
+      let e0 = order.(!k) in
+      let u = g.us.(e0) and v = g.vs.(e0) in
+      let acc = ref 0.0 in
+      while !k < m && g.us.(order.(!k)) = u && g.vs.(order.(!k)) = v do
+        acc := !acc +. g.ws.(order.(!k));
+        incr k
+      done;
+      us.(!out) <- u;
+      vs.(!out) <- v;
+      ws.(!out) <- !acc;
+      incr out
+    done;
+    {
+      n = g.n;
+      us = Array.sub us 0 !out;
+      vs = Array.sub vs 0 !out;
+      ws = Array.sub ws 0 !out;
+      adj = None;
+      coalesced = true;
+    }
+  end
+
+let build_adjacency g =
+  let g = coalesce g in
+  let n = g.n and m = n_edges g in
+  let ptr = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    ptr.(g.us.(e) + 1) <- ptr.(g.us.(e) + 1) + 1;
+    ptr.(g.vs.(e) + 1) <- ptr.(g.vs.(e) + 1) + 1
+  done;
+  for i = 1 to n do
+    ptr.(i) <- ptr.(i) + ptr.(i - 1)
+  done;
+  let nbr = Array.make (max (2 * m) 1) 0 in
+  let wgt = Array.make (max (2 * m) 1) 0.0 in
+  let cursor = Array.copy ptr in
+  for e = 0 to m - 1 do
+    let u = g.us.(e) and v = g.vs.(e) and w = g.ws.(e) in
+    nbr.(cursor.(u)) <- v;
+    wgt.(cursor.(u)) <- w;
+    cursor.(u) <- cursor.(u) + 1;
+    nbr.(cursor.(v)) <- u;
+    wgt.(cursor.(v)) <- w;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  { ptr; nbr; wgt }
+
+let adjacency g =
+  match g.adj with
+  | Some a -> a
+  | None ->
+    let a = build_adjacency g in
+    g.adj <- Some a;
+    a
+
+let degree g u =
+  let a = adjacency g in
+  a.ptr.(u + 1) - a.ptr.(u)
+
+let degrees g =
+  let a = adjacency g in
+  Array.init g.n (fun u -> a.ptr.(u + 1) - a.ptr.(u))
+
+let iter_neighbors g u f =
+  let a = adjacency g in
+  for k = a.ptr.(u) to a.ptr.(u + 1) - 1 do
+    f a.nbr.(k) a.wgt.(k)
+  done
+
+let max_incident_weight g =
+  let best = Array.make g.n 0.0 in
+  iter_edges g (fun u v w ->
+      if w > best.(u) then best.(u) <- w;
+      if w > best.(v) then best.(v) <- w);
+  best
+
+let total_weight g =
+  let acc = ref 0.0 in
+  iter_edges g (fun _ _ w -> acc := !acc +. w);
+  !acc
+
+let average_weight g =
+  let m = n_edges g in
+  if m = 0 then 0.0 else total_weight g /. float_of_int m
+
+let connected_components g =
+  let label = Array.make g.n (-1) in
+  let count = ref 0 in
+  let stack = Stack.create () in
+  for s = 0 to g.n - 1 do
+    if label.(s) < 0 then begin
+      let c = !count in
+      incr count;
+      Stack.push s stack;
+      label.(s) <- c;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        iter_neighbors g u (fun v _ ->
+            if label.(v) < 0 then begin
+              label.(v) <- c;
+              Stack.push v stack
+            end)
+      done
+    end
+  done;
+  (label, !count)
+
+let laplacian g =
+  let t =
+    Sparse.Triplet.create
+      ~capacity:(max (4 * n_edges g) 1)
+      ~n_rows:g.n ~n_cols:g.n ()
+  in
+  iter_edges g (fun u v w -> Sparse.Triplet.stamp_conductance t u v w);
+  Sparse.Csc.of_triplet t
+
+let to_sddm g d =
+  assert (Array.length d = g.n);
+  Array.iter (fun x -> assert (x >= 0.0)) d;
+  let t =
+    Sparse.Triplet.create
+      ~capacity:(max ((4 * n_edges g) + g.n) 1)
+      ~n_rows:g.n ~n_cols:g.n ()
+  in
+  iter_edges g (fun u v w -> Sparse.Triplet.stamp_conductance t u v w);
+  for i = 0 to g.n - 1 do
+    (* Stamp the diagonal even when d.(i) = 0 so every vertex appears in the
+       matrix pattern, matching circuit-simulator conventions. *)
+    Sparse.Triplet.add t i i d.(i)
+  done;
+  Sparse.Csc.of_triplet t
+
+let split_sddm a =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  if n_rows <> n_cols then invalid_arg "of_sddm: matrix not square";
+  let n = n_rows in
+  let edges = ref [] in
+  let off_sum = Array.make n 0.0 in
+  let diag = Array.make n 0.0 in
+  let bad = ref None in
+  Sparse.Csc.fold_nonzeros a ~init:() ~f:(fun () i j v ->
+      if i = j then diag.(j) <- v
+      else begin
+        if v > 0.0 && !bad = None then bad := Some "positive off-diagonal";
+        if v < 0.0 then begin
+          off_sum.(j) <- off_sum.(j) -. v;
+          (* Keep each undirected edge once, from its upper-triangle copy;
+             symmetry of the value is checked against the mirror entry. *)
+          if i < j then edges := (i, j, -.v) :: !edges
+        end
+      end);
+  (match !bad with Some m -> invalid_arg ("of_sddm: " ^ m) | None -> ());
+  (* Verify symmetry of the off-diagonal pattern/values. *)
+  List.iter
+    (fun (i, j, w) ->
+      let mirror = Sparse.Csc.get a j i in
+      let scale = max (Float.abs w) 1.0 in
+      if Float.abs (mirror +. w) > 1e-12 *. scale then
+        invalid_arg "of_sddm: matrix not symmetric")
+    !edges;
+  let d = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let excess = diag.(i) -. off_sum.(i) in
+    let scale = max diag.(i) 1.0 in
+    if excess < -1e-10 *. scale then
+      invalid_arg "of_sddm: not diagonally dominant";
+    d.(i) <- max excess 0.0
+  done;
+  (create ~n ~edges:(Array.of_list !edges), d)
+
+let of_sddm a = split_sddm a
+
+let is_sddm a =
+  match split_sddm a with
+  | _ -> true
+  | exception Invalid_argument _ -> false
+
+let permute g p =
+  assert (Array.length p = g.n);
+  let pinv = Sparse.Perm.inverse p in
+  let m = n_edges g in
+  let us = Array.make m 0 and vs = Array.make m 0 in
+  for e = 0 to m - 1 do
+    us.(e) <- pinv.(g.us.(e));
+    vs.(e) <- pinv.(g.vs.(e))
+  done;
+  of_arrays ~n:g.n ~us ~vs ~ws:g.ws

@@ -1,0 +1,73 @@
+(** Weighted undirected graphs backing SDDM matrices.
+
+    A graph holds [n] vertices and a multiset of weighted undirected edges
+    with strictly positive weights. Parallel edges are allowed at
+    construction and coalesced by {!coalesce} (the Laplacian is identical
+    either way). Self-loops are rejected. *)
+
+type t
+
+val create : n:int -> edges:(int * int * float) array -> t
+(** [create ~n ~edges] validates 0 <= u,v < n, u <> v, w > 0. *)
+
+val of_arrays : n:int -> us:int array -> vs:int array -> ws:float array -> t
+(** Zero-copy variant; arrays must have equal lengths and valid contents. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val edge : t -> int -> int * int * float
+(** [edge g e] is the e-th edge as [(u, v, w)] with [u < v]. *)
+
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+
+val coalesce : t -> t
+(** Merge parallel edges by summing weights. *)
+
+(** {1 Adjacency view}
+
+    Built lazily on first use and cached. *)
+
+val degree : t -> int -> int
+(** Number of (coalesced) incident edges. *)
+
+val degrees : t -> int array
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** [iter_neighbors g u f] calls [f v w] for every neighbor (after
+    coalescing). *)
+
+val max_incident_weight : t -> float array
+(** Per-vertex maximum incident edge weight ([w_max(i)] in Alg. 4);
+    0. for isolated vertices. *)
+
+val average_weight : t -> float
+(** Mean edge weight ([w_avg] in Alg. 4); 0. for edgeless graphs. *)
+
+val total_weight : t -> float
+
+val connected_components : t -> int array * int
+(** [connected_components g] labels every vertex with its component id in
+    [0 .. c-1] and returns the count [c]. *)
+
+(** {1 Laplacian / SDDM conversions} *)
+
+val laplacian : t -> Sparse.Csc.t
+(** The graph Laplacian [L_G] (Eq. 1 of the paper). *)
+
+val to_sddm : t -> float array -> Sparse.Csc.t
+(** [to_sddm g d] is [L_G + diag d]; requires [d] nonnegative of length [n].
+    The result is SDDM whenever some [d.(i) > 0] in every component. *)
+
+val of_sddm : Sparse.Csc.t -> t * float array
+(** Split a symmetric matrix with nonpositive off-diagonals into
+    [(graph, excess_diagonal)] with [A = L_G + diag d]. Raises
+    [Invalid_argument] if the matrix is not of that shape (asymmetric
+    pattern, positive off-diagonal, or negative excess diagonal beyond a
+    relative tolerance; tiny negative round-off is clamped to 0). *)
+
+val is_sddm : Sparse.Csc.t -> bool
+(** True when {!of_sddm} would succeed. *)
+
+val permute : t -> Sparse.Perm.t -> t
+(** Relabel vertices: vertex [p.(k)] of the input becomes vertex [k]. *)

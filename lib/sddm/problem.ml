@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  a : Sparse.Csc.t;
+  b : float array;
+  graph : Graph.t;
+  d : float array;
+}
+
+let of_matrix ~name ~a ~b =
+  let n_rows, n_cols = Sparse.Csc.dims a in
+  assert (n_rows = n_cols);
+  assert (Array.length b = n_rows);
+  let graph, d = Graph.of_sddm a in
+  { name; a; b; graph; d }
+
+let of_graph ~name ~graph ~d ~b =
+  assert (Array.length d = Graph.n_vertices graph);
+  assert (Array.length b = Graph.n_vertices graph);
+  { name; a = Graph.to_sddm graph d; b; graph; d }
+
+let n p = Graph.n_vertices p.graph
+let nnz p = Sparse.Csc.nnz p.a
+
+let residual_norm p x =
+  let r = Sparse.Vec.sub p.b (Sparse.Csc.spmv p.a x) in
+  let bn = Sparse.Vec.norm2 p.b in
+  let rn = Sparse.Vec.norm2 r in
+  if bn > 0.0 then rn /. bn else rn
+
+let describe p =
+  Printf.sprintf "%s: |V|=%d nnz=%d" p.name (n p) (nnz p)

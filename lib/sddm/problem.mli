@@ -1,0 +1,28 @@
+(** A named SDDM linear system [A x = b], the unit of work every solver and
+    benchmark consumes. Keeps both the matrix view and the graph/excess-
+    diagonal split, since the randomized factorizations work on the latter. *)
+
+type t = private {
+  name : string;
+  a : Sparse.Csc.t;
+  b : float array;
+  graph : Graph.t;
+  d : float array;  (** excess diagonal: [a = laplacian graph + diag d] *)
+}
+
+val of_matrix : name:string -> a:Sparse.Csc.t -> b:float array -> t
+(** Validates that [a] is SDDM (via {!Graph.of_sddm}) and splits it. *)
+
+val of_graph : name:string -> graph:Graph.t -> d:float array -> b:float array -> t
+(** Builds the matrix from the split; cheaper when the graph is the native
+    representation (generators). *)
+
+val n : t -> int
+val nnz : t -> int
+
+val residual_norm : t -> float array -> float
+(** [residual_norm p x] is [||b - A x||_2 / ||b||_2] (absolute norm if
+    [b = 0]). *)
+
+val describe : t -> string
+(** One-line summary: name, |V|, nnz. *)

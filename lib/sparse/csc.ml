@@ -1,0 +1,344 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  col_ptr : int array;
+  row_idx : int array;
+  values : float array;
+}
+
+let dims a = (a.n_rows, a.n_cols)
+let nnz a = a.col_ptr.(a.n_cols)
+
+let validate a =
+  let { n_rows; n_cols; col_ptr; row_idx; values } = a in
+  if Array.length col_ptr <> n_cols + 1 then
+    invalid_arg "Csc: col_ptr length must be n_cols + 1";
+  if col_ptr.(0) <> 0 then invalid_arg "Csc: col_ptr.(0) must be 0";
+  let len = col_ptr.(n_cols) in
+  if Array.length row_idx < len || Array.length values < len then
+    invalid_arg "Csc: row_idx/values shorter than col_ptr.(n_cols)";
+  for j = 0 to n_cols - 1 do
+    if col_ptr.(j) > col_ptr.(j + 1) then
+      invalid_arg "Csc: col_ptr must be monotone";
+    for k = col_ptr.(j) to col_ptr.(j + 1) - 1 do
+      let i = row_idx.(k) in
+      if i < 0 || i >= n_rows then invalid_arg "Csc: row index out of bounds";
+      if k > col_ptr.(j) && row_idx.(k - 1) >= i then
+        invalid_arg "Csc: rows must be strictly ascending within a column"
+    done
+  done
+
+let of_raw ~n_rows ~n_cols ~col_ptr ~row_idx ~values =
+  let a = { n_rows; n_cols; col_ptr; row_idx; values } in
+  validate a;
+  a
+
+(* Compress COO to CSC: bucket by column, then sort each column's rows and
+   sum duplicates in a single pass. *)
+let of_triplet t =
+  let n_rows = Triplet.n_rows t and n_cols = Triplet.n_cols t in
+  let count = Array.make (n_cols + 1) 0 in
+  Triplet.iter t (fun _ j _ -> count.(j + 1) <- count.(j + 1) + 1);
+  for j = 1 to n_cols do
+    count.(j) <- count.(j) + count.(j - 1)
+  done;
+  let col_ptr_raw = Array.copy count in
+  let len = count.(n_cols) in
+  let rows_raw = Array.make (max len 1) 0 in
+  let vals_raw = Array.make (max len 1) 0.0 in
+  let cursor = Array.sub count 0 (n_cols + 1) in
+  Triplet.iter t (fun i j v ->
+      let k = cursor.(j) in
+      rows_raw.(k) <- i;
+      vals_raw.(k) <- v;
+      cursor.(j) <- k + 1);
+  (* Sort within each column and coalesce duplicates. *)
+  let col_ptr = Array.make (n_cols + 1) 0 in
+  let rows = Array.make (max len 1) 0 in
+  let vals = Array.make (max len 1) 0.0 in
+  let out = ref 0 in
+  for j = 0 to n_cols - 1 do
+    col_ptr.(j) <- !out;
+    let lo = col_ptr_raw.(j) and hi = col_ptr_raw.(j + 1) in
+    let m = hi - lo in
+    if m > 0 then begin
+      let order = Array.init m (fun k -> lo + k) in
+      Array.sort (fun a b -> compare rows_raw.(a) rows_raw.(b)) order;
+      let k = ref 0 in
+      while !k < m do
+        let row = rows_raw.(order.(!k)) in
+        let acc = ref 0.0 in
+        while !k < m && rows_raw.(order.(!k)) = row do
+          acc := !acc +. vals_raw.(order.(!k));
+          incr k
+        done;
+        rows.(!out) <- row;
+        vals.(!out) <- !acc;
+        incr out
+      done
+    end
+  done;
+  col_ptr.(n_cols) <- !out;
+  {
+    n_rows;
+    n_cols;
+    col_ptr;
+    row_idx = Array.sub rows 0 (max !out 1);
+    values = Array.sub vals 0 (max !out 1);
+  }
+
+let of_dense rows =
+  let n_rows = Array.length rows in
+  let n_cols = if n_rows = 0 then 0 else Array.length rows.(0) in
+  let t = Triplet.create ~n_rows ~n_cols () in
+  for i = 0 to n_rows - 1 do
+    assert (Array.length rows.(i) = n_cols);
+    for j = 0 to n_cols - 1 do
+      if rows.(i).(j) <> 0.0 then Triplet.add t i j rows.(i).(j)
+    done
+  done;
+  of_triplet t
+
+let to_dense a =
+  let d = Array.make_matrix a.n_rows a.n_cols 0.0 in
+  for j = 0 to a.n_cols - 1 do
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      d.(a.row_idx.(k)).(j) <- d.(a.row_idx.(k)).(j) +. a.values.(k)
+    done
+  done;
+  d
+
+let identity n =
+  {
+    n_rows = n;
+    n_cols = n;
+    col_ptr = Array.init (n + 1) (fun i -> i);
+    row_idx = Array.init (max n 1) (fun i -> i);
+    values = Array.make (max n 1) 1.0;
+  }
+
+let get a i j =
+  assert (0 <= i && i < a.n_rows && 0 <= j && j < a.n_cols);
+  let lo = a.col_ptr.(j) and hi = a.col_ptr.(j + 1) - 1 in
+  let rec bisect lo hi =
+    if lo > hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      let r = a.row_idx.(mid) in
+      if r = i then a.values.(mid)
+      else if r < i then bisect (mid + 1) hi
+      else bisect lo (mid - 1)
+  in
+  bisect lo hi
+
+let spmv_into a x y =
+  assert (Array.length x = a.n_cols && Array.length y = a.n_rows);
+  Array.fill y 0 a.n_rows 0.0;
+  for j = 0 to a.n_cols - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+        y.(a.row_idx.(k)) <- y.(a.row_idx.(k)) +. (a.values.(k) *. xj)
+      done
+  done
+
+let spmv a x =
+  let y = Array.make a.n_rows 0.0 in
+  spmv_into a x y;
+  y
+
+let spmv_t a x =
+  assert (Array.length x = a.n_rows);
+  let y = Array.make a.n_cols 0.0 in
+  for j = 0 to a.n_cols - 1 do
+    let acc = ref 0.0 in
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      acc := !acc +. (a.values.(k) *. x.(a.row_idx.(k)))
+    done;
+    y.(j) <- !acc
+  done;
+  y
+
+let transpose a =
+  let count = Array.make (a.n_rows + 1) 0 in
+  let len = nnz a in
+  for k = 0 to len - 1 do
+    count.(a.row_idx.(k) + 1) <- count.(a.row_idx.(k) + 1) + 1
+  done;
+  for i = 1 to a.n_rows do
+    count.(i) <- count.(i) + count.(i - 1)
+  done;
+  let col_ptr = Array.copy count in
+  let row_idx = Array.make (max len 1) 0 in
+  let values = Array.make (max len 1) 0.0 in
+  let cursor = Array.copy count in
+  (* Visiting columns in order keeps rows ascending in the transpose. *)
+  for j = 0 to a.n_cols - 1 do
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      let i = a.row_idx.(k) in
+      let pos = cursor.(i) in
+      row_idx.(pos) <- j;
+      values.(pos) <- a.values.(k);
+      cursor.(i) <- pos + 1
+    done
+  done;
+  { n_rows = a.n_cols; n_cols = a.n_rows; col_ptr; row_idx; values }
+
+let symmetrize_check a =
+  if a.n_rows <> a.n_cols then false
+  else begin
+    let at = transpose a in
+    let same = ref (nnz a = nnz at) in
+    if !same then
+      for k = 0 to nnz a - 1 do
+        if a.row_idx.(k) <> at.row_idx.(k) || a.values.(k) <> at.values.(k)
+        then same := false
+      done;
+    !same && a.col_ptr = at.col_ptr
+  end
+
+let permute_sym a p =
+  assert (a.n_rows = a.n_cols);
+  assert (Array.length p = a.n_cols);
+  let n = a.n_cols in
+  let pinv = Perm.inverse p in
+  let t = Triplet.create ~capacity:(max (nnz a) 1) ~n_rows:n ~n_cols:n () in
+  for j = 0 to n - 1 do
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      let i = a.row_idx.(k) in
+      Triplet.add t pinv.(i) pinv.(j) a.values.(k)
+    done
+  done;
+  of_triplet t
+
+let drop a keep =
+  let t = Triplet.create ~capacity:(max (nnz a) 1) ~n_rows:a.n_rows ~n_cols:a.n_cols () in
+  for j = 0 to a.n_cols - 1 do
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      let i = a.row_idx.(k) in
+      if keep i j a.values.(k) then Triplet.add t i j a.values.(k)
+    done
+  done;
+  of_triplet t
+
+let lower a = drop a (fun i j _ -> i >= j)
+let upper a = drop a (fun i j _ -> i <= j)
+
+let diag a =
+  assert (a.n_rows = a.n_cols);
+  let d = Array.make a.n_cols 0.0 in
+  for j = 0 to a.n_cols - 1 do
+    d.(j) <- get a j j
+  done;
+  d
+
+let map a f =
+  { a with values = Array.map f (Array.sub a.values 0 (max (nnz a) 1)) }
+
+let add a b =
+  assert (a.n_rows = b.n_rows && a.n_cols = b.n_cols);
+  let t =
+    Triplet.create ~capacity:(max (nnz a + nnz b) 1) ~n_rows:a.n_rows
+      ~n_cols:a.n_cols ()
+  in
+  let push m =
+    for j = 0 to m.n_cols - 1 do
+      for k = m.col_ptr.(j) to m.col_ptr.(j + 1) - 1 do
+        Triplet.add t m.row_idx.(k) j m.values.(k)
+      done
+    done
+  in
+  push a;
+  push b;
+  of_triplet t
+
+let scale a alpha = map a (fun v -> alpha *. v)
+
+(* Gustavson's row-merging product, column version: column j of a*b is a
+   linear combination of columns of a selected by column j of b. *)
+let mul a b =
+  assert (a.n_cols = b.n_rows);
+  let n_rows = a.n_rows and n_cols = b.n_cols in
+  let work = Array.make n_rows 0.0 in
+  let marker = Array.make n_rows (-1) in
+  let col_ptr = Array.make (n_cols + 1) 0 in
+  let rows_buf = ref (Array.make (max (nnz a + nnz b) 16) 0) in
+  let vals_buf = ref (Array.make (Array.length !rows_buf) 0.0) in
+  let len = ref 0 in
+  let ensure extra =
+    if !len + extra > Array.length !rows_buf then begin
+      let cap = max (2 * Array.length !rows_buf) (!len + extra) in
+      let r = Array.make cap 0 and v = Array.make cap 0.0 in
+      Array.blit !rows_buf 0 r 0 !len;
+      Array.blit !vals_buf 0 v 0 !len;
+      rows_buf := r;
+      vals_buf := v
+    end
+  in
+  for j = 0 to n_cols - 1 do
+    col_ptr.(j) <- !len;
+    let head = ref [] in
+    let count = ref 0 in
+    for kb = b.col_ptr.(j) to b.col_ptr.(j + 1) - 1 do
+      let k = b.row_idx.(kb) in
+      let bv = b.values.(kb) in
+      for ka = a.col_ptr.(k) to a.col_ptr.(k + 1) - 1 do
+        let i = a.row_idx.(ka) in
+        if marker.(i) <> j then begin
+          marker.(i) <- j;
+          work.(i) <- a.values.(ka) *. bv;
+          head := i :: !head;
+          incr count
+        end
+        else work.(i) <- work.(i) +. (a.values.(ka) *. bv)
+      done
+    done;
+    let rows_j = Array.of_list !head in
+    Array.sort compare rows_j;
+    ensure !count;
+    Array.iter
+      (fun i ->
+        !rows_buf.(!len) <- i;
+        !vals_buf.(!len) <- work.(i);
+        incr len)
+      rows_j
+  done;
+  col_ptr.(n_cols) <- !len;
+  {
+    n_rows;
+    n_cols;
+    col_ptr;
+    row_idx = Array.sub !rows_buf 0 (max !len 1);
+    values = Array.sub !vals_buf 0 (max !len 1);
+  }
+
+let iter_col a j f =
+  assert (0 <= j && j < a.n_cols);
+  for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+    f a.row_idx.(k) a.values.(k)
+  done
+
+let fold_nonzeros a ~init ~f =
+  let acc = ref init in
+  for j = 0 to a.n_cols - 1 do
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      acc := f !acc a.row_idx.(k) j a.values.(k)
+    done
+  done;
+  !acc
+
+let frobenius_diff a b =
+  assert (dims a = dims b);
+  let d = add a (scale b (-1.0)) in
+  sqrt (fold_nonzeros d ~init:0.0 ~f:(fun acc _ _ v -> acc +. (v *. v)))
+
+let one_norm a =
+  let best = ref 0.0 in
+  for j = 0 to a.n_cols - 1 do
+    let s = ref 0.0 in
+    for k = a.col_ptr.(j) to a.col_ptr.(j + 1) - 1 do
+      s := !s +. Float.abs a.values.(k)
+    done;
+    if !s > !best then best := !s
+  done;
+  !best

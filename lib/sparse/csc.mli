@@ -1,0 +1,93 @@
+(** Compressed sparse column matrices.
+
+    The storage convention is the classic CSC triple: [col_ptr] has
+    [n_cols + 1] entries; the entries of column [j] live at positions
+    [col_ptr.(j) .. col_ptr.(j+1) - 1] of [row_idx] / [values], with row
+    indices sorted strictly ascending within each column (guaranteed by every
+    constructor here). Explicit zeros are permitted but constructors drop
+    them unless noted. *)
+
+type t = private {
+  n_rows : int;
+  n_cols : int;
+  col_ptr : int array;
+  row_idx : int array;
+  values : float array;
+}
+
+val dims : t -> int * int
+val nnz : t -> int
+
+val of_triplet : Triplet.t -> t
+(** Compress a COO builder; duplicate entries are summed, entries that sum
+    to exactly [0.] are kept (they are structurally meaningful), entries
+    added as [0.] are kept too. Rows sorted per column. *)
+
+val of_dense : float array array -> t
+(** Build from a row-major dense matrix, dropping exact zeros. Test helper. *)
+
+val to_dense : t -> float array array
+(** Expand to row-major dense. Test helper; O(n_rows * n_cols). *)
+
+val of_raw :
+  n_rows:int -> n_cols:int -> col_ptr:int array -> row_idx:int array ->
+  values:float array -> t
+(** Wrap pre-built arrays. Validates the CSC invariants (monotone pointers,
+    in-bounds sorted rows); raises [Invalid_argument] on violation. *)
+
+val identity : int -> t
+
+val get : t -> int -> int -> float
+(** [get a i j] is [a(i,j)], 0. if not stored. Binary search per call. *)
+
+val spmv : t -> float array -> float array
+(** [spmv a x] allocates [a * x]. *)
+
+val spmv_into : t -> float array -> float array -> unit
+(** [spmv_into a x y] computes [y <- a * x] without allocating. *)
+
+val spmv_t : t -> float array -> float array
+(** [spmv_t a x] is [a^T * x]. *)
+
+val transpose : t -> t
+
+val symmetrize_check : t -> bool
+(** True when the matrix equals its transpose exactly (pattern and values). *)
+
+val permute_sym : t -> Perm.t -> t
+(** [permute_sym a p] is [P A P^T] for a square [a]: entry [(i,j)] of the
+    result is [a(p.(i), p.(j))]. The permutation maps new indices to old. *)
+
+val lower : t -> t
+(** Keep entries with [row >= col] (lower triangle incl. diagonal). *)
+
+val upper : t -> t
+(** Keep entries with [row <= col]. *)
+
+val diag : t -> float array
+(** Diagonal as a dense vector (0. where absent); square matrices only. *)
+
+val map : t -> (float -> float) -> t
+(** Apply a function to all stored values (pattern unchanged). *)
+
+val add : t -> t -> t
+(** Sparse matrix sum; dimensions must agree. *)
+
+val scale : t -> float -> t
+
+val mul : t -> t -> t
+(** General sparse matrix product [a * b]. Gustavson's algorithm. *)
+
+val drop : t -> (int -> int -> float -> bool) -> t
+(** [drop a keep] retains entries where [keep i j v] is true. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col a j f] calls [f row value] over column [j]'s stored entries. *)
+
+val fold_nonzeros : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+
+val frobenius_diff : t -> t -> float
+(** Frobenius norm of the difference; dimensions must agree. Test helper. *)
+
+val one_norm : t -> float
+(** Maximum column sum of absolute values. *)

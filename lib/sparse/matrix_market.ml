@@ -1,0 +1,129 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type symmetry = General | Symmetric
+
+let parse_header line =
+  let lowered = String.lowercase_ascii line in
+  let tokens =
+    String.split_on_char ' ' lowered |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | "%%matrixmarket" :: "matrix" :: "coordinate" :: field :: sym :: [] ->
+    if field <> "real" && field <> "integer" then
+      fail "unsupported field %S (only real/integer)" field;
+    (match sym with
+     | "general" -> General
+     | "symmetric" -> Symmetric
+     | s -> fail "unsupported symmetry %S" s)
+  | _ -> fail "malformed MatrixMarket header: %S" line
+
+let read_channel ic =
+  let header =
+    match In_channel.input_line ic with
+    | Some l -> l
+    | None -> fail "empty file"
+  in
+  let sym = parse_header header in
+  let rec next_data_line () =
+    match In_channel.input_line ic with
+    | None -> None
+    | Some l ->
+      let l = String.trim l in
+      if l = "" || l.[0] = '%' then next_data_line () else Some l
+  in
+  let size_line =
+    match next_data_line () with
+    | Some l -> l
+    | None -> fail "missing size line"
+  in
+  let n_rows, n_cols, entries =
+    try Scanf.sscanf size_line " %d %d %d" (fun a b c -> (a, b, c))
+    with Scanf.Scan_failure _ | Failure _ ->
+      fail "malformed size line %S" size_line
+  in
+  let t = Triplet.create ~capacity:(max entries 1) ~n_rows ~n_cols () in
+  for k = 1 to entries do
+    match next_data_line () with
+    | None -> fail "expected %d entries, file ended at %d" entries (k - 1)
+    | Some l ->
+      let i, j, v =
+        try Scanf.sscanf l " %d %d %f" (fun a b c -> (a, b, c))
+        with Scanf.Scan_failure _ | Failure _ ->
+          fail "malformed entry line %S" l
+      in
+      if i < 1 || i > n_rows || j < 1 || j > n_cols then
+        fail "entry (%d,%d) out of bounds" i j;
+      let i = i - 1 and j = j - 1 in
+      (match sym with
+       | General -> Triplet.add t i j v
+       | Symmetric -> Triplet.add_symmetric t i j v)
+  done;
+  Csc.of_triplet t
+
+let read path = In_channel.with_open_text path read_channel
+
+let write_channel ?(symmetric = false) oc a =
+  let n_rows, n_cols = Csc.dims a in
+  let header_sym = if symmetric then "symmetric" else "general" in
+  Printf.fprintf oc "%%%%MatrixMarket matrix coordinate real %s\n" header_sym;
+  let emit = if symmetric then Csc.lower a else a in
+  Printf.fprintf oc "%d %d %d\n" n_rows n_cols (Csc.nnz emit);
+  for j = 0 to n_cols - 1 do
+    Csc.iter_col emit j (fun i v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v)
+  done
+
+let write ?symmetric path a =
+  Out_channel.with_open_text path (fun oc -> write_channel ?symmetric oc a)
+
+let parse_array_header line =
+  let lowered = String.lowercase_ascii line in
+  let tokens =
+    String.split_on_char ' ' lowered |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | "%%matrixmarket" :: "matrix" :: "array" :: field :: "general" :: [] ->
+    if field <> "real" && field <> "integer" then
+      fail "unsupported array field %S" field
+  | _ -> fail "malformed MatrixMarket array header: %S" line
+
+let read_vector path =
+  In_channel.with_open_text path (fun ic ->
+      let header =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> fail "empty file"
+      in
+      parse_array_header header;
+      let rec next_data_line () =
+        match In_channel.input_line ic with
+        | None -> None
+        | Some l ->
+          let l = String.trim l in
+          if l = "" || l.[0] = '%' then next_data_line () else Some l
+      in
+      let size_line =
+        match next_data_line () with
+        | Some l -> l
+        | None -> fail "missing size line"
+      in
+      let n_rows, n_cols =
+        try Scanf.sscanf size_line " %d %d" (fun a b -> (a, b))
+        with Scanf.Scan_failure _ | Failure _ ->
+          fail "malformed size line %S" size_line
+      in
+      if n_cols <> 1 then fail "expected a single column, got %d" n_cols;
+      Array.init n_rows (fun k ->
+          match next_data_line () with
+          | None -> fail "expected %d entries, file ended at %d" n_rows k
+          | Some l -> (
+            match float_of_string_opt (String.trim l) with
+            | Some v -> v
+            | None -> fail "malformed value %S" l)))
+
+let write_vector path v =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "%%%%MatrixMarket matrix array real general\n";
+      Printf.fprintf oc "%d 1\n" (Array.length v);
+      Array.iter (fun x -> Printf.fprintf oc "%.17g\n" x) v)

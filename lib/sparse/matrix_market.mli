@@ -1,0 +1,28 @@
+(** Minimal MatrixMarket (.mtx) coordinate-format reader/writer.
+
+    Supports [matrix coordinate real general|symmetric] headers, which covers
+    the SuiteSparse SDDM matrices the paper's Table 4 uses, so locally
+    downloaded copies can be fed to the solvers. Symmetric files store the
+    lower triangle; reading expands to the full matrix. *)
+
+exception Parse_error of string
+
+val read : string -> Csc.t
+(** [read path] loads an .mtx file. Raises [Parse_error] on malformed input
+    and [Sys_error] on I/O failure. *)
+
+val read_channel : in_channel -> Csc.t
+
+val write : ?symmetric:bool -> string -> Csc.t -> unit
+(** [write ~symmetric path a] stores [a]; with [~symmetric:true] (default
+    false) only the lower triangle is emitted under a [symmetric] header
+    (the matrix must actually be symmetric). *)
+
+val write_channel : ?symmetric:bool -> out_channel -> Csc.t -> unit
+
+val read_vector : string -> float array
+(** [read_vector path] loads a dense vector stored as
+    [matrix array real general] with one column (the format SuiteSparse
+    uses for right-hand sides). *)
+
+val write_vector : string -> float array -> unit

@@ -1,0 +1,30 @@
+(** Coordinate-format (COO) builder for sparse matrices.
+
+    A [Triplet.t] is an append-only list of [(row, col, value)] entries;
+    duplicates are allowed and are summed when compressing to CSC. This is the
+    entry point for matrix assembly: power-grid stamping, test fixtures and
+    MatrixMarket reading all go through it. *)
+
+type t
+
+val create : ?capacity:int -> n_rows:int -> n_cols:int -> unit -> t
+
+val n_rows : t -> int
+val n_cols : t -> int
+val length : t -> int
+(** Number of stored entries (before duplicate summing). *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] appends entry [(i, j, v)]. Bounds-checked. *)
+
+val add_symmetric : t -> int -> int -> float -> unit
+(** [add_symmetric t i j v] appends both [(i,j,v)] and [(j,i,v)] when
+    [i <> j], just [(i,i,v)] otherwise. *)
+
+val stamp_conductance : t -> int -> int -> float -> unit
+(** Circuit stamp of a conductance [g] between nodes [i] and [j]
+    (both in [0..n-1]): adds [g] to both diagonals and [-g] to both
+    off-diagonals. If either index is [-1] (ground), only the other node's
+    diagonal is stamped. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit

@@ -1,0 +1,70 @@
+let create n = Array.make n 0.0
+
+let copy = Array.copy
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let blit ~src ~dst =
+  assert (Array.length src = Array.length dst);
+  Array.blit src 0 dst 0 (Array.length src)
+
+let dot x y =
+  assert (Array.length x = Array.length y);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let a = Float.abs x.(i) in
+    if a > !acc then acc := a
+  done;
+  !acc
+
+let axpy ~alpha ~x ~y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale x alpha =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) *. alpha
+  done
+
+let add x y =
+  assert (Array.length x = Array.length y);
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  assert (Array.length x = Array.length y);
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let xpby ~x ~beta ~y =
+  assert (Array.length x = Array.length y);
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- x.(i) +. (beta *. y.(i))
+  done
+
+let max_abs_diff x y =
+  assert (Array.length x = Array.length y);
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = Float.abs (x.(i) -. y.(i)) in
+    if d > !acc then acc := d
+  done;
+  !acc
+
+let mean x =
+  let n = Array.length x in
+  assert (n > 0);
+  let acc = ref 0.0 in
+  Array.iter (fun v -> acc := !acc +. v) x;
+  !acc /. float_of_int n
+
+let init = Array.init

@@ -1,0 +1,44 @@
+(** Dense vector kernels used throughout the solvers.
+
+    All functions operate on [float array] and check dimensions with
+    assertions; none of them allocates unless the name says so ([map],
+    [copy], ...). *)
+
+val create : int -> float array
+(** [create n] is a zero vector of length [n]. *)
+
+val copy : float array -> float array
+
+val fill : float array -> float -> unit
+
+val blit : src:float array -> dst:float array -> unit
+(** Copy [src] into [dst]; lengths must match. *)
+
+val dot : float array -> float array -> float
+
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val norm_inf : float array -> float
+
+val axpy : alpha:float -> x:float array -> y:float array -> unit
+(** [y <- alpha * x + y]. *)
+
+val scale : float array -> float -> unit
+(** [x <- alpha * x], in place. *)
+
+val add : float array -> float array -> float array
+(** Fresh vector [x + y]. *)
+
+val sub : float array -> float array -> float array
+(** Fresh vector [x - y]. *)
+
+val xpby : x:float array -> beta:float -> y:float array -> unit
+(** [y <- x + beta * y]; the PCG direction update. *)
+
+val max_abs_diff : float array -> float array -> float
+(** Componentwise infinity distance between two vectors. *)
+
+val mean : float array -> float
+
+val init : int -> (int -> float) -> float array

@@ -1,0 +1,228 @@
+(* Tests for the extension layer: SDD reduction, adjoint sensitivity, and
+   incremental (ECO) re-solves. *)
+
+module Csc = Sparse.Csc
+
+(* ---- SDD reduction ---- *)
+
+let random_sdd ~seed ~n =
+  (* symmetric diagonally dominant with mixed-sign off-diagonals *)
+  let rng = Rng.create seed in
+  let dense = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng < 0.25 then begin
+        let v = Rng.float rng -. 0.5 in
+        dense.(i).(j) <- v;
+        dense.(j).(i) <- v
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    let off = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then off := !off +. Float.abs dense.(i).(j)
+    done;
+    dense.(i).(i) <- !off +. 0.1 +. Rng.float rng
+  done;
+  Csc.of_dense dense
+
+let test_is_sdd () =
+  let a = random_sdd ~seed:1001 ~n:15 in
+  Alcotest.(check bool) "random sdd recognized" true (Powerrchol.Sdd.is_sdd a);
+  let not_dd = Csc.of_dense [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.(check bool) "not dominant rejected" false
+    (Powerrchol.Sdd.is_sdd not_dd);
+  let asym = Csc.of_dense [| [| 2.0; 1.0 |]; [| 0.0; 2.0 |] |] in
+  Alcotest.(check bool) "asymmetric rejected" false (Powerrchol.Sdd.is_sdd asym)
+
+let test_sdd_solve_matches_dense () =
+  let n = 25 in
+  let a = random_sdd ~seed:1003 ~n in
+  let rng = Rng.create 1005 in
+  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let x, r = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b () in
+  Alcotest.(check bool) "doubled system converged" true
+    r.Powerrchol.Solver.converged;
+  let x_ref = Test_util.dense_solve (Csc.to_dense a) b in
+  Alcotest.(check bool) "matches dense solve" true
+    (Sparse.Vec.max_abs_diff x x_ref < 1e-8)
+
+let test_sdd_reduce_of_sddm_is_two_copies () =
+  (* a matrix that is already SDDM: the doubled system is block diagonal
+     with two copies, and recovery returns the original solution *)
+  let p = Test_util.random_problem ~seed:1007 ~n:20 ~m:50 in
+  let doubled = Powerrchol.Sdd.reduce p.Sddm.Problem.a ~b:p.Sddm.Problem.b in
+  Alcotest.(check int) "doubled size" 40 (Sddm.Problem.n doubled);
+  let x, _ = Powerrchol.Sdd.solve ~rtol:1e-12 ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b () in
+  let direct = Factor.Chol.solve p.Sddm.Problem.a p.Sddm.Problem.b in
+  Alcotest.(check bool) "recovers original solution" true
+    (Sparse.Vec.max_abs_diff x direct < 1e-8)
+
+let test_sdd_rejects_non_sdd () =
+  let a = Csc.of_dense [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  Alcotest.(check bool) "raises" true
+    (match Powerrchol.Sdd.reduce a ~b:[| 1.0; 1.0 |] with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let prop_sdd_solve =
+  QCheck.Test.make ~name:"sdd doubling solves random SDD systems" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 3 25))
+    (fun (seed, n) ->
+      let a = random_sdd ~seed ~n in
+      let rng = Rng.create (seed + 9) in
+      let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+      let x, _ = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b () in
+      let x_ref = Test_util.dense_solve (Csc.to_dense a) b in
+      Sparse.Vec.max_abs_diff x x_ref
+      < 1e-6 *. (1.0 +. Sparse.Vec.norm_inf x_ref))
+
+(* ---- adjoint sensitivity ---- *)
+
+let fd_check ~p ~node ~grad ~edge =
+  let g = Sddm.Graph.coalesce p.Sddm.Problem.graph in
+  let u, v, w = Sddm.Graph.edge g edge in
+  ignore (u, v);
+  let eps = 1e-6 *. w in
+  let edges =
+    Array.init (Sddm.Graph.n_edges g) (fun i ->
+        let a, b, w0 = Sddm.Graph.edge g i in
+        if i = edge then (a, b, w0 +. eps) else (a, b, w0))
+  in
+  let g2 = Sddm.Graph.create ~n:(Sddm.Graph.n_vertices g) ~edges in
+  let p2 =
+    Sddm.Problem.of_graph ~name:"fd" ~graph:g2 ~d:p.Sddm.Problem.d
+      ~b:p.Sddm.Problem.b
+  in
+  let x2 = Factor.Chol.solve p2.Sddm.Problem.a p2.Sddm.Problem.b in
+  let fd = (x2.(node) -. grad.Powerrchol.Sensitivity.objective) /. eps in
+  (grad.Powerrchol.Sensitivity.d_edges.(edge), fd)
+
+let test_gradient_matches_finite_difference () =
+  let p =
+    Powergrid.Generate.generate (Powergrid.Generate.default ~nx:10 ~ny:10 ~seed:1011)
+  in
+  let node, grad = Powerrchol.Sensitivity.worst_node_drop ~rtol:1e-12 p in
+  List.iter
+    (fun edge ->
+      let adj, fd = fd_check ~p ~node ~grad ~edge in
+      let scale = Float.max (Float.abs fd) 1e-9 in
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d: adjoint %.3e vs fd %.3e" edge adj fd)
+        true
+        (Float.abs (adj -. fd) < 1e-3 *. scale +. 1e-10))
+    [ 0; 7; 33; 77 ]
+
+let test_gradient_signs () =
+  (* widening any wire can only lower (or not change) the worst drop;
+     the pad sensitivities are likewise nonpositive *)
+  let p =
+    Powergrid.Generate.generate (Powergrid.Generate.default ~nx:12 ~ny:12 ~seed:1013)
+  in
+  let _, grad = Powerrchol.Sensitivity.worst_node_drop ~rtol:1e-10 p in
+  (* x >= 0 and lambda >= 0 hold for M-matrices with nonnegative loads,
+     so d_pads = -x lambda <= 0 *)
+  Array.iter
+    (fun d -> Alcotest.(check bool) "pad sensitivity <= 0" true (d <= 1e-12))
+    grad.Powerrchol.Sensitivity.d_pads
+
+let test_critical_edges_sorted () =
+  let p =
+    Powergrid.Generate.generate (Powergrid.Generate.default ~nx:12 ~ny:12 ~seed:1017)
+  in
+  let _, grad = Powerrchol.Sensitivity.worst_node_drop p in
+  let critical = Powerrchol.Sensitivity.most_critical_edges p grad 10 in
+  Alcotest.(check int) "ten edges" 10 (List.length critical);
+  let rec monotone = function
+    | (_, _, _, d1) :: ((_, _, _, d2) :: _ as rest) ->
+      Alcotest.(check bool) "ascending derivative" true (d1 <= d2);
+      monotone rest
+    | _ -> ()
+  in
+  monotone critical
+
+let test_objective_linear_form () =
+  (* gradient of sum of drops = adjoint with c = ones *)
+  let p = Test_util.random_problem ~seed:1019 ~n:60 ~m:150 in
+  let n = Sddm.Problem.n p in
+  let grad =
+    Powerrchol.Sensitivity.of_objective ~rtol:1e-12 p ~c:(Array.make n 1.0)
+  in
+  let x = Factor.Chol.solve p.Sddm.Problem.a p.Sddm.Problem.b in
+  let total = Array.fold_left ( +. ) 0.0 x in
+  Alcotest.(check bool) "objective is sum of solution" true
+    (Float.abs (grad.Powerrchol.Sensitivity.objective -. total)
+     < 1e-8 *. (1.0 +. Float.abs total))
+
+(* ---- incremental (ECO) re-solve ---- *)
+
+let test_eco_preconditioner_reuse () =
+  (* change a handful of wire conductances by 20% and re-solve with the
+     stale preconditioner: PCG must still converge quickly *)
+  let p =
+    Powergrid.Generate.generate (Powergrid.Generate.default ~nx:40 ~ny:40 ~seed:1021)
+  in
+  let solver = Powerrchol.Solver.powerrchol () in
+  let prepared = solver.Powerrchol.Solver.prepare p in
+  let baseline = Powerrchol.Solver.iterate solver prepared p in
+  (* ECO: perturb 10 edges *)
+  let g = Sddm.Graph.coalesce p.Sddm.Problem.graph in
+  let rng = Rng.create 1023 in
+  let module Es = Set.Make (Int) in
+  let chosen = ref Es.empty in
+  for _ = 1 to 10 do
+    chosen := Es.add (Rng.int rng (Sddm.Graph.n_edges g)) !chosen
+  done;
+  let edges =
+    Array.init (Sddm.Graph.n_edges g) (fun e ->
+        let u, v, w = Sddm.Graph.edge g e in
+        if Es.mem e !chosen then (u, v, w *. 1.2) else (u, v, w))
+  in
+  let g2 = Sddm.Graph.create ~n:(Sddm.Graph.n_vertices g) ~edges in
+  let p2 =
+    Sddm.Problem.of_graph ~name:"eco" ~graph:g2 ~d:p.Sddm.Problem.d
+      ~b:p.Sddm.Problem.b
+  in
+  let eco = Powerrchol.Solver.iterate solver prepared p2 in
+  Alcotest.(check bool) "eco re-solve converged" true
+    eco.Powerrchol.Solver.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "stale preconditioner still cheap (%d vs %d baseline)"
+       eco.Powerrchol.Solver.iterations baseline.Powerrchol.Solver.iterations)
+    true
+    (eco.Powerrchol.Solver.iterations
+     <= (2 * baseline.Powerrchol.Solver.iterations) + 10);
+  (* and the answer is right *)
+  let direct = Factor.Chol.solve p2.Sddm.Problem.a p2.Sddm.Problem.b in
+  Alcotest.(check bool) "eco solution correct" true
+    (Sparse.Vec.max_abs_diff eco.Powerrchol.Solver.x direct
+     < 1e-4 *. Sparse.Vec.norm_inf direct)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "sdd",
+        [
+          Alcotest.test_case "is_sdd" `Quick test_is_sdd;
+          Alcotest.test_case "matches dense" `Quick test_sdd_solve_matches_dense;
+          Alcotest.test_case "sddm embeds trivially" `Quick
+            test_sdd_reduce_of_sddm_is_two_copies;
+          Alcotest.test_case "rejects non-sdd" `Quick test_sdd_rejects_non_sdd;
+        ]
+        @ Test_util.qcheck [ prop_sdd_solve ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "matches finite differences" `Quick
+            test_gradient_matches_finite_difference;
+          Alcotest.test_case "signs" `Quick test_gradient_signs;
+          Alcotest.test_case "critical edges sorted" `Quick
+            test_critical_edges_sorted;
+          Alcotest.test_case "linear objective" `Quick test_objective_linear_form;
+        ] );
+      ( "eco",
+        [
+          Alcotest.test_case "preconditioner reuse" `Quick
+            test_eco_preconditioner_reuse;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+module G = Sddm.Graph
+
+let test_spanning_tree_is_forest () =
+  let g = Test_util.random_graph ~seed:701 ~n:80 ~m:240 in
+  let g = G.coalesce g in
+  let in_tree = Fegrass.spanning_tree g in
+  let tree_edges =
+    Array.to_list in_tree |> List.filter (fun b -> b) |> List.length
+  in
+  let _, n_comp = G.connected_components g in
+  Alcotest.(check int) "spanning forest size" (G.n_vertices g - n_comp)
+    tree_edges;
+  (* the marked edges alone must connect each component: build the
+     tree-only graph and compare component counts *)
+  let tree_only = ref [] in
+  Array.iteri
+    (fun e flag -> if flag then tree_only := G.edge g e :: !tree_only)
+    in_tree;
+  let tg = G.create ~n:(G.n_vertices g) ~edges:(Array.of_list !tree_only) in
+  let _, tree_comp = G.connected_components tg in
+  Alcotest.(check int) "tree spans" n_comp tree_comp
+
+let test_tree_prefers_heavy_edges () =
+  (* triangle with one light edge: tree takes the two heavy ones *)
+  let g =
+    G.create ~n:3 ~edges:[| (0, 1, 10.0); (1, 2, 10.0); (0, 2, 0.1) |]
+  in
+  let in_tree = Fegrass.spanning_tree (G.coalesce g) in
+  let g = G.coalesce g in
+  for e = 0 to 2 do
+    let _, _, w = G.edge g e in
+    if w > 1.0 then
+      Alcotest.(check bool) "heavy in tree" true in_tree.(e)
+    else Alcotest.(check bool) "light out of tree" false in_tree.(e)
+  done
+
+let brute_tree_resistance g in_tree u v =
+  (* BFS through tree edges accumulating resistance *)
+  let n = G.n_vertices g in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun e flag ->
+      if flag then begin
+        let a, b, w = G.edge g e in
+        adj.(a) <- (b, w) :: adj.(a);
+        adj.(b) <- (a, w) :: adj.(b)
+      end)
+    in_tree;
+  let dist = Array.make n nan in
+  let q = Queue.create () in
+  dist.(u) <- 0.0;
+  Queue.add u q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    List.iter
+      (fun (y, w) ->
+        if Float.is_nan dist.(y) then begin
+          dist.(y) <- dist.(x) +. (1.0 /. w);
+          Queue.add y q
+        end)
+      adj.(x)
+  done;
+  dist.(v)
+
+let test_stretches_match_brute_force () =
+  let g = G.coalesce (Test_util.random_graph ~seed:703 ~n:40 ~m:100) in
+  let in_tree = Fegrass.spanning_tree g in
+  let stretch = Fegrass.stretches g in_tree in
+  for e = 0 to G.n_edges g - 1 do
+    if not in_tree.(e) then begin
+      let u, v, w = G.edge g e in
+      let expected = w *. brute_tree_resistance g in_tree u v in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "stretch of edge %d" e)
+        expected stretch.(e)
+    end
+  done
+
+let test_tree_edges_have_unit_stretch () =
+  let g = G.coalesce (Test_util.random_graph ~seed:707 ~n:30 ~m:80) in
+  let in_tree = Fegrass.spanning_tree g in
+  let stretch = Fegrass.stretches g in_tree in
+  Array.iteri
+    (fun e flag ->
+      if flag then Test_util.check_float "tree stretch" 1.0 stretch.(e))
+    in_tree
+
+let test_sparsify_counts () =
+  let g = G.coalesce (Test_util.random_graph ~seed:709 ~n:200 ~m:900) in
+  let sp = Fegrass.sparsify ~recover_fraction:0.05 g in
+  let _, n_comp = G.connected_components g in
+  Alcotest.(check int) "tree size" (200 - n_comp) sp.Fegrass.n_tree_edges;
+  let budget = int_of_float (0.05 *. 200.0) in
+  Alcotest.(check int) "recovered = budget" budget sp.Fegrass.n_recovered;
+  Alcotest.(check int) "sparsifier edge count"
+    (sp.Fegrass.n_tree_edges + sp.Fegrass.n_recovered)
+    (G.n_edges sp.Fegrass.graph)
+
+let test_sparsify_subgraph () =
+  let g = G.coalesce (Test_util.random_graph ~seed:711 ~n:60 ~m:200) in
+  let sp = Fegrass.sparsify g in
+  (* every sparsifier edge exists in the original with the same weight *)
+  let index = Hashtbl.create 64 in
+  G.iter_edges g (fun u v w -> Hashtbl.replace index (u, v) w);
+  G.iter_edges sp.Fegrass.graph (fun u v w ->
+      match Hashtbl.find_opt index (u, v) with
+      | Some w0 -> Test_util.check_float "same weight" w0 w
+      | None -> Alcotest.fail "edge not in original")
+
+let test_sparsifier_preconditions () =
+  let p = Test_util.random_problem ~seed:713 ~n:400 ~m:1600 in
+  let sp = Fegrass.sparsify ~recover_fraction:0.1 p.Sddm.Problem.graph in
+  let sa = G.to_sddm sp.Fegrass.graph p.Sddm.Problem.d in
+  let perm = Ordering.Amd.order sp.Fegrass.graph in
+  let l = Factor.Chol.factorize (Sparse.Csc.permute_sym sa perm) in
+  let pc = Krylov.Precond.of_factor ~perm l in
+  let res =
+    Krylov.Pcg.solve ~max_iter:1000 ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+      ~precond:pc ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "converged in %d" res.Krylov.Pcg.iterations)
+    true res.Krylov.Pcg.converged
+
+let test_tree_only_preconditions () =
+  (* recover_fraction 0: pure tree preconditioner must still converge *)
+  let p = Test_util.random_problem ~seed:717 ~n:150 ~m:500 in
+  let sp = Fegrass.sparsify ~recover_fraction:0.0 p.Sddm.Problem.graph in
+  Alcotest.(check int) "no recovery" 0 sp.Fegrass.n_recovered;
+  let sa = G.to_sddm sp.Fegrass.graph p.Sddm.Problem.d in
+  let perm = Ordering.Amd.order sp.Fegrass.graph in
+  let l = Factor.Chol.factorize (Sparse.Csc.permute_sym sa perm) in
+  let pc = Krylov.Precond.of_factor ~perm l in
+  let res =
+    Krylov.Pcg.solve ~max_iter:2000 ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+      ~precond:pc ()
+  in
+  Alcotest.(check bool) "tree preconditioner converges" true
+    res.Krylov.Pcg.converged
+
+let test_recovery_improves_convergence () =
+  let p = Test_util.random_problem ~seed:719 ~n:300 ~m:1200 in
+  let iterations frac =
+    let sp = Fegrass.sparsify ~recover_fraction:frac p.Sddm.Problem.graph in
+    let sa = G.to_sddm sp.Fegrass.graph p.Sddm.Problem.d in
+    let perm = Ordering.Amd.order sp.Fegrass.graph in
+    let l = Factor.Chol.factorize (Sparse.Csc.permute_sym sa perm) in
+    let pc = Krylov.Precond.of_factor ~perm l in
+    (Krylov.Pcg.solve ~max_iter:2000 ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+       ~precond:pc ())
+      .Krylov.Pcg.iterations
+  in
+  let tree = iterations 0.0 and rich = iterations 0.3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "30%% recovery (%d) beats tree (%d)" rich tree)
+    true (rich < tree)
+
+let prop_forest_size =
+  QCheck.Test.make ~name:"spanning forest has n - components edges"
+    ~count:60
+    QCheck.(triple (int_bound 10000) (int_range 2 60) (int_bound 150))
+    (fun (seed, n, m) ->
+      let g = G.coalesce (Test_util.random_graph ~seed ~n ~m:(m + 1)) in
+      let in_tree = Fegrass.spanning_tree g in
+      let count = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_tree in
+      let _, n_comp = G.connected_components g in
+      count = n - n_comp)
+
+let () =
+  Alcotest.run "fegrass"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "spanning forest" `Quick test_spanning_tree_is_forest;
+          Alcotest.test_case "prefers heavy edges" `Quick
+            test_tree_prefers_heavy_edges;
+        ] );
+      ( "stretch",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_stretches_match_brute_force;
+          Alcotest.test_case "tree edges unit" `Quick
+            test_tree_edges_have_unit_stretch;
+        ] );
+      ( "sparsify",
+        [
+          Alcotest.test_case "edge counts" `Quick test_sparsify_counts;
+          Alcotest.test_case "is a subgraph" `Quick test_sparsify_subgraph;
+          Alcotest.test_case "preconditions PCG" `Quick
+            test_sparsifier_preconditions;
+          Alcotest.test_case "tree-only preconditioner" `Quick
+            test_tree_only_preconditions;
+          Alcotest.test_case "recovery helps" `Quick
+            test_recovery_improves_convergence;
+        ] );
+      ("property", Test_util.qcheck [ prop_forest_size ]);
+    ]

@@ -1,0 +1,230 @@
+module Perm = Sparse.Perm
+
+let orderings =
+  [
+    ("natural", Ordering.Natural.order);
+    ("amd", Ordering.Amd.order);
+    ("rcm", Ordering.Rcm.order);
+    ("degree_sort", fun g -> Ordering.Degree_sort.order g);
+    ("nested_dissection", fun g -> Ordering.Nested_dissection.order g);
+  ]
+
+let test_all_valid_on name graph =
+  List.map
+    (fun (oname, order) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s valid on %s" oname name)
+        `Quick
+        (fun () ->
+          Alcotest.(check bool) "valid permutation" true
+            (Perm.is_valid (order graph))))
+    orderings
+
+let test_amd_beats_natural_mesh () =
+  let g = Test_util.mesh_graph 18 18 in
+  let amd_fill = Test_util.fill_count g (Ordering.Amd.order g) in
+  let nat_fill = Test_util.fill_count g (Ordering.Natural.order g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "amd fill %d < natural fill %d" amd_fill nat_fill)
+    true
+    (amd_fill < nat_fill)
+
+let test_amd_beats_natural_random () =
+  let g, _ = Test_util.random_sddm ~seed:301 ~n:200 ~m:600 in
+  let amd_fill = Test_util.fill_count g (Ordering.Amd.order g) in
+  let nat_fill = Test_util.fill_count g (Ordering.Natural.order g) in
+  Alcotest.(check bool) "amd reduces fill" true (amd_fill < nat_fill)
+
+let test_amd_tree_no_fill () =
+  (* a tree ordered by AMD must factor with zero fill: leaves first *)
+  let g = Test_util.path_graph 64 in
+  let fill = Test_util.fill_count g (Ordering.Amd.order g) in
+  (* nnz(L) for a zero-fill tree factorization: n + (n-1) edges *)
+  Alcotest.(check int) "tree factors without fill" (64 + 63) fill
+
+let test_amd_star () =
+  (* star: the hub must survive until only it and one leaf remain (the
+     final 2-clique can be eliminated in either order) *)
+  let g = Test_util.star_graph 30 in
+  let p = Ordering.Amd.order g in
+  Alcotest.(check bool) "hub among last two" true (p.(29) = 0 || p.(28) = 0)
+
+let test_rcm_bandwidth () =
+  let g = Test_util.mesh_graph 15 15 in
+  let bandwidth p =
+    let pinv = Perm.inverse p in
+    let best = ref 0 in
+    Sddm.Graph.iter_edges g (fun u v _ ->
+        best := max !best (abs (pinv.(u) - pinv.(v))));
+    !best
+  in
+  let nat = bandwidth (Ordering.Natural.order g) in
+  let rcm = bandwidth (Ordering.Rcm.order g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rcm bandwidth %d <= natural %d" rcm nat)
+    true (rcm <= nat)
+
+let test_degree_sort_ascending () =
+  let g, _ = Test_util.random_sddm ~seed:303 ~n:100 ~m:300 in
+  let p = Ordering.Degree_sort.order g in
+  let deg = Sddm.Graph.degrees g in
+  for k = 0 to 98 do
+    Alcotest.(check bool) "degrees ascending" true
+      (deg.(p.(k)) <= deg.(p.(k + 1)))
+  done
+
+let test_degree_sort_heavy_first () =
+  (* two degree-2 chains; one has a heavy edge: its endpoints must come
+     before the equal-degree light nodes *)
+  let edges =
+    [|
+      (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0);  (* light path *)
+      (4, 5, 1.0); (5, 6, 1000.0); (6, 7, 1.0);  (* heavy middle edge *)
+    |]
+  in
+  let g = Sddm.Graph.create ~n:8 ~edges in
+  (* w_avg includes the heavy edge itself (~167.5), so use a factor that
+     puts the threshold between the light and heavy weights *)
+  let p = Ordering.Degree_sort.order ~heavy_factor:2.0 g in
+  let pos = Perm.inverse p in
+  (* nodes 5 and 6 have degree 2 and touch the heavy edge; 1, 2 have degree
+     2 and do not *)
+  Alcotest.(check bool) "5 before 1" true (pos.(5) < pos.(1));
+  Alcotest.(check bool) "6 before 2" true (pos.(6) < pos.(2))
+
+let test_degree_sort_disable_heavy () =
+  let g, _ = Test_util.random_sddm ~seed:307 ~n:80 ~m:240 in
+  let p = Ordering.Degree_sort.order ~heavy_factor:infinity g in
+  Alcotest.(check bool) "valid without promotion" true (Perm.is_valid p);
+  (* with promotion disabled, equal-degree nodes stay in index order *)
+  let deg = Sddm.Graph.degrees g in
+  let ok = ref true in
+  for k = 0 to 78 do
+    if deg.(p.(k)) = deg.(p.(k + 1)) && p.(k) > p.(k + 1) then ok := false
+  done;
+  Alcotest.(check bool) "stable within degree class" true !ok
+
+let test_amd_csc_matches_graph () =
+  let g, d = Test_util.random_sddm ~seed:311 ~n:60 ~m:150 in
+  let a = Sddm.Graph.to_sddm g d in
+  let p1 = Ordering.Amd.order (Sddm.Graph.coalesce g) in
+  let p2 = Ordering.Amd.order_csc a in
+  Alcotest.(check bool) "csc variant valid" true (Perm.is_valid p2);
+  (* both should give similar fill quality (identical adjacency) *)
+  let f1 = Test_util.fill_count g p1 and f2 = Test_util.fill_count g p2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "similar quality (%d vs %d)" f1 f2)
+    true
+    (float_of_int (abs (f1 - f2)) < 0.2 *. float_of_int (max f1 f2))
+
+let test_amd_handles_disconnected () =
+  let g =
+    Sddm.Graph.create ~n:9
+      ~edges:[| (0, 1, 1.0); (1, 2, 1.0); (4, 5, 1.0); (5, 6, 1.0) |]
+  in
+  Alcotest.(check bool) "valid on forest with isolated vertices" true
+    (Perm.is_valid (Ordering.Amd.order g))
+
+let test_amd_dense_block () =
+  (* complete graph: any order works, permutation must still be valid and
+     supervariable merging must fire (all vertices indistinguishable) *)
+  let n = 12 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j, 1.0) :: !edges
+    done
+  done;
+  let g = Sddm.Graph.create ~n ~edges:(Array.of_list !edges) in
+  Alcotest.(check bool) "valid on clique" true
+    (Perm.is_valid (Ordering.Amd.order g))
+
+let test_nd_beats_natural_on_mesh () =
+  let g = Test_util.mesh_graph 24 24 in
+  let nd_fill = Test_util.fill_count g (Ordering.Nested_dissection.order g) in
+  let nat_fill = Test_util.fill_count g (Ordering.Natural.order g) in
+  Alcotest.(check bool)
+    (Printf.sprintf "nd fill %d < natural %d" nd_fill nat_fill)
+    true (nd_fill < nat_fill)
+
+let test_nd_leaf_size_extremes () =
+  let g = Test_util.mesh_graph 12 12 in
+  List.iter
+    (fun leaf_size ->
+      Alcotest.(check bool)
+        (Printf.sprintf "valid at leaf_size %d" leaf_size)
+        true
+        (Perm.is_valid (Ordering.Nested_dissection.order ~leaf_size g)))
+    [ 2; 16; 1000 ]
+
+let test_nd_disconnected () =
+  let g =
+    Sddm.Graph.create ~n:40
+      ~edges:(Array.init 19 (fun i -> (2 * i, (2 * i) + 1, 1.0)))
+  in
+  Alcotest.(check bool) "valid on matching graph" true
+    (Perm.is_valid (Ordering.Nested_dissection.order ~leaf_size:4 g))
+
+let prop_all_orderings_valid =
+  QCheck.Test.make ~name:"every ordering is a valid permutation" ~count:60
+    QCheck.(triple (int_bound 10000) (int_range 2 40) (int_bound 100))
+    (fun (seed, n, m) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
+      List.for_all (fun (_, order) -> Perm.is_valid (order g)) orderings)
+
+let prop_amd_not_worse_than_natural =
+  QCheck.Test.make
+    ~name:"amd fill <= 1.5x natural fill (quality guardrail)" ~count:30
+    QCheck.(pair (int_bound 10000) (int_range 20 80))
+    (fun (seed, n) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(3 * n) in
+      let amd_fill = Test_util.fill_count g (Ordering.Amd.order g) in
+      let nat_fill = Test_util.fill_count g (Ordering.Natural.order g) in
+      float_of_int amd_fill <= 1.5 *. float_of_int nat_fill)
+
+let () =
+  let mesh = Test_util.mesh_graph 10 10 in
+  let star = Test_util.star_graph 20 in
+  let path = Test_util.path_graph 30 in
+  Alcotest.run "ordering"
+    [
+      ( "validity",
+        test_all_valid_on "mesh" mesh
+        @ test_all_valid_on "star" star
+        @ test_all_valid_on "path" path );
+      ( "amd",
+        [
+          Alcotest.test_case "beats natural (mesh)" `Quick
+            test_amd_beats_natural_mesh;
+          Alcotest.test_case "beats natural (random)" `Quick
+            test_amd_beats_natural_random;
+          Alcotest.test_case "zero fill on trees" `Quick test_amd_tree_no_fill;
+          Alcotest.test_case "star hub last" `Quick test_amd_star;
+          Alcotest.test_case "csc variant" `Quick test_amd_csc_matches_graph;
+          Alcotest.test_case "disconnected input" `Quick
+            test_amd_handles_disconnected;
+          Alcotest.test_case "dense block" `Quick test_amd_dense_block;
+        ] );
+      ( "rcm",
+        [ Alcotest.test_case "reduces bandwidth" `Quick test_rcm_bandwidth ] );
+      ( "nested-dissection",
+        [
+          Alcotest.test_case "beats natural on mesh" `Quick
+            test_nd_beats_natural_on_mesh;
+          Alcotest.test_case "leaf size extremes" `Quick
+            test_nd_leaf_size_extremes;
+          Alcotest.test_case "disconnected input" `Quick test_nd_disconnected;
+        ] );
+      ( "degree-sort (Alg. 4)",
+        [
+          Alcotest.test_case "degrees ascending" `Quick
+            test_degree_sort_ascending;
+          Alcotest.test_case "heavy-edge promotion" `Quick
+            test_degree_sort_heavy_first;
+          Alcotest.test_case "promotion disabled" `Quick
+            test_degree_sort_disable_heavy;
+        ] );
+      ( "property",
+        Test_util.qcheck
+          [ prop_all_orderings_valid; prop_amd_not_worse_than_natural ] );
+    ]

@@ -1,0 +1,186 @@
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Rng.int64 a) (Rng.int64 b);
+  ignore (Rng.int64 a);
+  let x = Rng.int64 a and y = Rng.int64 b in
+  Alcotest.(check bool) "copies diverge after different use" true (x <> y)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = Array.init 32 (fun _ -> Rng.int64 a) in
+  let ys = Array.init 32 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_open_positive () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float_open rng in
+    Alcotest.(check bool) "in (0,1)" true (x > 0.0 && x < 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 5 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_int_bounds () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 500 do
+        let x = Rng.int rng bound in
+        Alcotest.(check bool) "in range" true (x >= 0 && x < bound)
+      done)
+    [ 1; 2; 7; 16; 1000 ]
+
+let test_int_uniform () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 10 0 in
+  let n = 50000 in
+  for _ = 1 to n do
+    let x = Rng.int rng 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (Float.abs (freq -. 0.1) < 0.01))
+    counts
+
+let test_discrete_distribution () =
+  let rng = Rng.create 13 in
+  let weights = [| 1.0; 0.0; 3.0; 6.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 40000 in
+  for _ = 1 to n do
+    let i = Rng.discrete rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never sampled" 0 counts.(1);
+  let freq i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "p0 ~ 0.1" true (Float.abs (freq 0 -. 0.1) < 0.02);
+  Alcotest.(check bool) "p2 ~ 0.3" true (Float.abs (freq 2 -. 0.3) < 0.02);
+  Alcotest.(check bool) "p3 ~ 0.6" true (Float.abs (freq 3 -. 0.6) < 0.02)
+
+let test_discrete_prefix_matches_discrete () =
+  let rng = Rng.create 17 in
+  let weights = [| 2.0; 1.0; 5.0; 2.0; 0.5 |] in
+  let pfs = Array.make 5 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      pfs.(i) <- !acc)
+    weights;
+  (* sampling from suffix after index 1: indices 2..4, weights 5,2,0.5 *)
+  let counts = Array.make 5 0 in
+  let n = 30000 in
+  for _ = 1 to n do
+    let i = Rng.discrete_prefix rng pfs ~lo:1 ~hi:4 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "lo never sampled" 0 counts.(1);
+  Alcotest.(check int) "below lo never sampled" 0 counts.(0);
+  let total = 7.5 in
+  let freq i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "p2" true (Float.abs (freq 2 -. (5.0 /. total)) < 0.02);
+  Alcotest.(check bool) "p3" true (Float.abs (freq 3 -. (2.0 /. total)) < 0.02);
+  Alcotest.(check bool) "p4" true (Float.abs (freq 4 -. (0.5 /. total)) < 0.01)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 19 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_exponential_mean () =
+  let rng = Rng.create 23 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng 2.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/lambda" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_pareto_bounds () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 1000 do
+    let x = Rng.pareto rng ~alpha:2.5 ~x_min:1.5 in
+    Alcotest.(check bool) "above x_min" true (x >= 1.5)
+  done
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_discrete_positive_weight =
+  QCheck.Test.make ~name:"discrete only returns positive-weight indices"
+    ~count:300
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 20) (float_range 0.0 5.0)))
+    (fun (seed, ws) ->
+      QCheck.assume (List.exists (fun w -> w > 0.0) ws);
+      let rng = Rng.create seed in
+      let weights = Array.of_list ws in
+      let i = Rng.discrete rng weights in
+      weights.(i) > 0.0)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+          Alcotest.test_case "float_open in (0,1)" `Quick test_float_open_positive;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniform;
+          Alcotest.test_case "discrete distribution" `Quick test_discrete_distribution;
+          Alcotest.test_case "discrete_prefix suffix sampling" `Quick
+            test_discrete_prefix_matches_discrete;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds;
+        ] );
+      ("property", Test_util.qcheck [ prop_int_in_bounds; prop_discrete_positive_weight ]);
+    ]

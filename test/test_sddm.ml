@@ -1,0 +1,194 @@
+module G = Sddm.Graph
+module Csc = Sparse.Csc
+
+let test_create_validation () =
+  Alcotest.check_raises "self loop rejected" (Invalid_argument "Graph: self loop")
+    (fun () -> ignore (G.create ~n:3 ~edges:[| (1, 1, 1.0) |]));
+  Alcotest.check_raises "bad weight rejected"
+    (Invalid_argument "Graph: nonpositive weight") (fun () ->
+      ignore (G.create ~n:3 ~edges:[| (0, 1, 0.0) |]));
+  Alcotest.check_raises "oob rejected"
+    (Invalid_argument "Graph: vertex out of range") (fun () ->
+      ignore (G.create ~n:3 ~edges:[| (0, 3, 1.0) |]))
+
+let test_edge_normalized () =
+  let g = G.create ~n:4 ~edges:[| (3, 1, 2.5) |] in
+  let u, v, w = G.edge g 0 in
+  Alcotest.(check int) "u < v" 1 u;
+  Alcotest.(check int) "v" 3 v;
+  Test_util.check_float "w" 2.5 w
+
+let test_coalesce () =
+  let g = G.create ~n:3 ~edges:[| (0, 1, 1.0); (1, 0, 2.0); (1, 2, 3.0) |] in
+  let c = G.coalesce g in
+  Alcotest.(check int) "merged edges" 2 (G.n_edges c);
+  let found = ref 0.0 in
+  G.iter_edges c (fun u v w -> if u = 0 && v = 1 then found := w);
+  Test_util.check_float "weights summed" 3.0 !found
+
+let test_degrees_neighbors () =
+  let g = Test_util.star_graph 6 in
+  Alcotest.(check int) "hub degree" 5 (G.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (G.degree g 3);
+  let seen = ref [] in
+  G.iter_neighbors g 0 (fun v w -> seen := (v, w) :: !seen);
+  Alcotest.(check int) "hub sees all leaves" 5 (List.length !seen)
+
+let test_weight_stats () =
+  let g = G.create ~n:3 ~edges:[| (0, 1, 1.0); (1, 2, 3.0) |] in
+  Test_util.check_float "average" 2.0 (G.average_weight g);
+  Test_util.check_float "total" 4.0 (G.total_weight g);
+  let mw = G.max_incident_weight g in
+  Alcotest.(check (array (float 0.0))) "max incident" [| 1.0; 3.0; 3.0 |] mw
+
+let test_components () =
+  let g =
+    G.create ~n:6 ~edges:[| (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0) |]
+  in
+  let labels, c = G.connected_components g in
+  Alcotest.(check int) "three components" 3 c;
+  Alcotest.(check bool) "0~2 same" true (labels.(0) = labels.(2));
+  Alcotest.(check bool) "3~4 same" true (labels.(3) = labels.(4));
+  Alcotest.(check bool) "5 isolated" true
+    (labels.(5) <> labels.(0) && labels.(5) <> labels.(3))
+
+let test_laplacian_rowsums () =
+  let g, _ = Test_util.random_sddm ~seed:3 ~n:12 ~m:30 in
+  let l = G.laplacian g in
+  let ones = Array.make 12 1.0 in
+  let y = Csc.spmv l ones in
+  Alcotest.(check bool) "L 1 = 0" true (Sparse.Vec.norm_inf y < 1e-12)
+
+let test_to_of_sddm_roundtrip () =
+  let g, d = Test_util.random_sddm ~seed:5 ~n:15 ~m:40 in
+  let a = G.to_sddm g d in
+  let g', d' = G.of_sddm a in
+  Alcotest.(check (array (float 1e-12))) "d roundtrip" d d';
+  Test_util.check_float "graph roundtrip" 0.0
+    (Csc.frobenius_diff (G.laplacian (G.coalesce g)) (G.laplacian g'))
+
+let test_is_sddm () =
+  let g, d = Test_util.random_sddm ~seed:7 ~n:10 ~m:20 in
+  Alcotest.(check bool) "valid" true (G.is_sddm (G.to_sddm g d));
+  let bad = Csc.of_dense [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |] in
+  Alcotest.(check bool) "positive off-diag rejected" false (G.is_sddm bad);
+  let not_dd = Csc.of_dense [| [| 1.0; -2.0 |]; [| -2.0; 1.0 |] |] in
+  Alcotest.(check bool) "not diagonally dominant" false (G.is_sddm not_dd);
+  let asym = Csc.of_dense [| [| 2.0; -1.0 |]; [| 0.0; 2.0 |] |] in
+  Alcotest.(check bool) "asymmetric rejected" false (G.is_sddm asym)
+
+let test_permute_preserves_laplacian () =
+  let g, _ = Test_util.random_sddm ~seed:11 ~n:14 ~m:30 in
+  let rng = Rng.create 13 in
+  let p = Sparse.Perm.random rng 14 in
+  let gp = G.permute g p in
+  let l = G.laplacian g and lp = G.laplacian gp in
+  Test_util.check_float "permuted laplacian" 0.0
+    (Csc.frobenius_diff (Csc.permute_sym l p) lp)
+
+let test_problem_residual () =
+  let p = Test_util.random_problem ~seed:17 ~n:12 ~m:25 in
+  let n = Sddm.Problem.n p in
+  Alcotest.(check int) "n" 12 n;
+  (* residual of the exact solution is ~0 *)
+  let dense = Csc.to_dense p.Sddm.Problem.a in
+  let x = Test_util.dense_solve dense p.Sddm.Problem.b in
+  Alcotest.(check bool) "exact solution residual" true
+    (Sddm.Problem.residual_norm p x < 1e-10);
+  (* residual of zero is 1 *)
+  Test_util.check_float ~eps:1e-12 "zero residual" 1.0
+    (Sddm.Problem.residual_norm p (Array.make n 0.0))
+
+let test_problem_of_matrix_rejects_non_sddm () =
+  let bad = Csc.of_dense [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |] in
+  Alcotest.(check bool) "rejected" true
+    (match Sddm.Problem.of_matrix ~name:"bad" ~a:bad ~b:[| 1.0; 1.0 |] with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let prop_sddm_roundtrip =
+  QCheck.Test.make ~name:"to_sddm . of_sddm = id" ~count:100
+    QCheck.(triple (int_bound 10000) (int_range 2 25) (int_bound 60))
+    (fun (seed, n, m) ->
+      let g, d = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
+      let a = G.to_sddm g d in
+      let g', d' = G.of_sddm a in
+      let a' = G.to_sddm g' d' in
+      Csc.frobenius_diff a a' < 1e-10)
+
+let prop_laplacian_psd_proxy =
+  QCheck.Test.make ~name:"x^T L x >= 0 (Laplacian PSD)" ~count:100
+    QCheck.(triple (int_bound 10000) (int_range 2 20) (int_bound 50))
+    (fun (seed, n, m) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
+      let l = G.laplacian g in
+      let rng = Rng.create (seed + 99) in
+      let x = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+      Sparse.Vec.dot x (Csc.spmv l x) >= -1e-10)
+
+let prop_coalesce_idempotent =
+  QCheck.Test.make ~name:"coalesce is idempotent" ~count:100
+    QCheck.(triple (int_bound 10000) (int_range 2 30) (int_bound 80))
+    (fun (seed, n, m) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
+      let c1 = G.coalesce g in
+      let c2 = G.coalesce c1 in
+      G.n_edges c1 = G.n_edges c2
+      && Csc.frobenius_diff (G.laplacian c1) (G.laplacian c2) = 0.0)
+
+let prop_permute_involution =
+  QCheck.Test.make ~name:"permute by p then inverse p is identity" ~count:100
+    QCheck.(pair (int_bound 10000) (int_range 2 40))
+    (fun (seed, n) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(3 * n) in
+      let rng = Rng.create (seed + 1) in
+      let p = Sparse.Perm.random rng n in
+      let back = G.permute (G.permute g p) (Sparse.Perm.inverse p) in
+      Csc.frobenius_diff
+        (G.laplacian (G.coalesce g))
+        (G.laplacian (G.coalesce back))
+      < 1e-12)
+
+let prop_degrees_sum_twice_edges =
+  QCheck.Test.make ~name:"sum of degrees = 2|E|" ~count:100
+    QCheck.(triple (int_bound 10000) (int_range 2 40) (int_bound 120))
+    (fun (seed, n, m) ->
+      let g, _ = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
+      let g = G.coalesce g in
+      Array.fold_left ( + ) 0 (G.degrees g) = 2 * G.n_edges g)
+
+let () =
+  Alcotest.run "sddm"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "creation validation" `Quick test_create_validation;
+          Alcotest.test_case "edge normalization" `Quick test_edge_normalized;
+          Alcotest.test_case "coalesce" `Quick test_coalesce;
+          Alcotest.test_case "degrees/neighbors" `Quick test_degrees_neighbors;
+          Alcotest.test_case "weight stats" `Quick test_weight_stats;
+          Alcotest.test_case "components" `Quick test_components;
+        ] );
+      ( "sddm",
+        [
+          Alcotest.test_case "laplacian row sums" `Quick test_laplacian_rowsums;
+          Alcotest.test_case "to/of roundtrip" `Quick test_to_of_sddm_roundtrip;
+          Alcotest.test_case "is_sddm" `Quick test_is_sddm;
+          Alcotest.test_case "permute" `Quick test_permute_preserves_laplacian;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "residual norm" `Quick test_problem_residual;
+          Alcotest.test_case "non-SDDM rejected" `Quick
+            test_problem_of_matrix_rejects_non_sddm;
+        ] );
+      ( "property",
+        Test_util.qcheck
+          [
+            prop_sddm_roundtrip;
+            prop_laplacian_psd_proxy;
+            prop_coalesce_idempotent;
+            prop_permute_involution;
+            prop_degrees_sum_twice_edges;
+          ] );
+    ]

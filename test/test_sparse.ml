@@ -1,0 +1,359 @@
+module Csc = Sparse.Csc
+module Triplet = Sparse.Triplet
+module Perm = Sparse.Perm
+module Vec = Sparse.Vec
+
+(* random dense matrix and its sparse twin *)
+let random_pair ~seed ~n_rows ~n_cols ~density =
+  let rng = Rng.create seed in
+  let dense = Array.make_matrix n_rows n_cols 0.0 in
+  for i = 0 to n_rows - 1 do
+    for j = 0 to n_cols - 1 do
+      if Rng.float rng < density then
+        dense.(i).(j) <- Rng.float rng -. 0.5
+    done
+  done;
+  (dense, Csc.of_dense dense)
+
+(* ---- Vec ---- *)
+
+let test_vec_dot () =
+  Test_util.check_float "dot" 32.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |])
+
+let test_vec_norms () =
+  Test_util.check_float "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
+  Test_util.check_float "norm_inf" 4.0 (Vec.norm_inf [| 3.0; -4.0 |])
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 ~x:[| 1.0; 3.0 |] ~y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 3.0; 7.0 |] y
+
+let test_vec_xpby () =
+  let y = [| 1.0; 2.0 |] in
+  Vec.xpby ~x:[| 10.0; 20.0 |] ~beta:0.5 ~y;
+  Alcotest.(check (array (float 1e-12))) "xpby" [| 10.5; 21.0 |] y
+
+let test_vec_misc () =
+  Test_util.check_float "mean" 2.0 (Vec.mean [| 1.0; 2.0; 3.0 |]);
+  Test_util.check_float "max_abs_diff" 3.0
+    (Vec.max_abs_diff [| 1.0; 5.0 |] [| 2.0; 2.0 |]);
+  let x = [| 1.0; -2.0 |] in
+  Vec.scale x (-2.0);
+  Alcotest.(check (array (float 1e-12))) "scale" [| -2.0; 4.0 |] x
+
+(* ---- Perm ---- *)
+
+let test_perm_inverse () =
+  let p = [| 2; 0; 3; 1 |] in
+  let inv = Perm.inverse p in
+  for k = 0 to 3 do
+    Alcotest.(check int) "inv(p(k))=k" k inv.(p.(k))
+  done
+
+let test_perm_validity () =
+  Alcotest.(check bool) "valid" true (Perm.is_valid [| 1; 0; 2 |]);
+  Alcotest.(check bool) "repeat invalid" false (Perm.is_valid [| 1; 1; 2 |]);
+  Alcotest.(check bool) "oob invalid" false (Perm.is_valid [| 0; 3; 1 |])
+
+let test_perm_apply_roundtrip () =
+  let rng = Rng.create 31 in
+  let p = Perm.random rng 20 in
+  let x = Array.init 20 (fun i -> float_of_int i) in
+  let y = Perm.apply_vec p x in
+  let x' = Perm.apply_inv_vec p y in
+  Alcotest.(check (array (float 0.0))) "roundtrip" x x'
+
+let test_perm_of_order () =
+  let p = Perm.of_order [| 3.0; 1.0; 2.0; 1.0 |] in
+  (* stable: the two 1.0 keys keep index order *)
+  Alcotest.(check (array int)) "sorted stable" [| 1; 3; 2; 0 |] p
+
+(* ---- Triplet / Csc construction ---- *)
+
+let test_triplet_duplicates_sum () =
+  let t = Triplet.create ~n_rows:3 ~n_cols:3 () in
+  Triplet.add t 0 0 1.0;
+  Triplet.add t 0 0 2.0;
+  Triplet.add t 2 1 5.0;
+  let a = Csc.of_triplet t in
+  Test_util.check_float "dup summed" 3.0 (Csc.get a 0 0);
+  Test_util.check_float "other" 5.0 (Csc.get a 2 1);
+  Alcotest.(check int) "nnz" 2 (Csc.nnz a)
+
+let test_stamp_conductance () =
+  let t = Triplet.create ~n_rows:3 ~n_cols:3 () in
+  Triplet.stamp_conductance t 0 2 4.0;
+  Triplet.stamp_conductance t 1 (-1) 3.0;
+  let a = Csc.of_triplet t in
+  Test_util.check_float "diag 0" 4.0 (Csc.get a 0 0);
+  Test_util.check_float "diag 2" 4.0 (Csc.get a 2 2);
+  Test_util.check_float "off" (-4.0) (Csc.get a 0 2);
+  Test_util.check_float "grounded diag" 3.0 (Csc.get a 1 1)
+
+let test_dense_roundtrip () =
+  let dense, a = random_pair ~seed:37 ~n_rows:13 ~n_cols:9 ~density:0.3 in
+  let back = Csc.to_dense a in
+  Test_util.check_float "roundtrip" 0.0
+    (Test_util.max_abs_2d (Test_util.dense_diff dense back))
+
+let test_of_raw_validation () =
+  let bad () =
+    ignore
+      (Csc.of_raw ~n_rows:2 ~n_cols:2 ~col_ptr:[| 0; 2; 2 |]
+         ~row_idx:[| 1; 0 |] ~values:[| 1.0; 2.0 |])
+  in
+  Alcotest.check_raises "unsorted rows rejected"
+    (Invalid_argument "Csc: rows must be strictly ascending within a column")
+    bad
+
+let test_identity () =
+  let i5 = Csc.identity 5 in
+  let x = Array.init 5 (fun i -> float_of_int i) in
+  Alcotest.(check (array (float 0.0))) "I x = x" x (Csc.spmv i5 x)
+
+(* ---- Csc kernels vs dense reference ---- *)
+
+let test_spmv () =
+  let dense, a = random_pair ~seed:41 ~n_rows:15 ~n_cols:10 ~density:0.4 in
+  let rng = Rng.create 43 in
+  let x = Array.init 10 (fun _ -> Rng.float rng) in
+  let expected = Test_util.dense_matvec dense x in
+  Alcotest.(check (array (float 1e-12))) "spmv" expected (Csc.spmv a x)
+
+let test_spmv_t () =
+  let dense, a = random_pair ~seed:47 ~n_rows:12 ~n_cols:8 ~density:0.4 in
+  let rng = Rng.create 49 in
+  let x = Array.init 12 (fun _ -> Rng.float rng) in
+  let expected = Test_util.dense_matvec (Test_util.dense_transpose dense) x in
+  Alcotest.(check (array (float 1e-12))) "spmv_t" expected (Csc.spmv_t a x)
+
+let test_transpose () =
+  let dense, a = random_pair ~seed:53 ~n_rows:11 ~n_cols:14 ~density:0.3 in
+  let at = Csc.transpose a in
+  let expected = Test_util.dense_transpose dense in
+  Test_util.check_float "transpose" 0.0
+    (Test_util.max_abs_2d (Test_util.dense_diff expected (Csc.to_dense at)))
+
+let test_transpose_involution () =
+  let _, a = random_pair ~seed:59 ~n_rows:9 ~n_cols:16 ~density:0.25 in
+  let att = Csc.transpose (Csc.transpose a) in
+  Test_util.check_float "A^TT = A" 0.0 (Csc.frobenius_diff a att)
+
+let test_add_scale () =
+  let da, a = random_pair ~seed:61 ~n_rows:10 ~n_cols:10 ~density:0.3 in
+  let db, b = random_pair ~seed:67 ~n_rows:10 ~n_cols:10 ~density:0.3 in
+  let sum = Csc.add a (Csc.scale b 2.0) in
+  let expected =
+    Array.init 10 (fun i ->
+        Array.init 10 (fun j -> da.(i).(j) +. (2.0 *. db.(i).(j))))
+  in
+  Test_util.check_float "add+scale" 0.0
+    (Test_util.max_abs_2d (Test_util.dense_diff expected (Csc.to_dense sum)))
+
+let test_mul () =
+  let da, a = random_pair ~seed:71 ~n_rows:9 ~n_cols:7 ~density:0.4 in
+  let db, b = random_pair ~seed:73 ~n_rows:7 ~n_cols:11 ~density:0.4 in
+  let prod = Csc.mul a b in
+  let expected = Test_util.dense_matmul da db in
+  Alcotest.(check bool) "mul matches dense" true
+    (Test_util.max_abs_2d (Test_util.dense_diff expected (Csc.to_dense prod))
+     < 1e-12)
+
+let test_permute_sym () =
+  let g, d = Test_util.random_sddm ~seed:79 ~n:20 ~m:40 in
+  let a = Sddm.Graph.to_sddm g d in
+  let rng = Rng.create 83 in
+  let p = Perm.random rng 20 in
+  let pa = Csc.permute_sym a p in
+  let dense = Csc.to_dense a in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      Test_util.check_float "P A P^T entry" dense.(p.(i)).(p.(j))
+        (Csc.get pa i j)
+    done
+  done
+
+let test_lower_upper () =
+  let _, a = random_pair ~seed:89 ~n_rows:8 ~n_cols:8 ~density:0.5 in
+  let l = Csc.lower a and u = Csc.upper a in
+  Csc.fold_nonzeros l ~init:() ~f:(fun () i j _ ->
+      Alcotest.(check bool) "lower" true (i >= j));
+  Csc.fold_nonzeros u ~init:() ~f:(fun () i j _ ->
+      Alcotest.(check bool) "upper" true (i <= j));
+  (* lower + upper - diag = a *)
+  let d = Csc.diag a in
+  let total = Csc.add l u in
+  let fixed =
+    Csc.add total
+      (Csc.of_dense
+         (Array.init 8 (fun i ->
+              Array.init 8 (fun j -> if i = j then -.d.(i) else 0.0))))
+  in
+  Test_util.check_float "split" 0.0 (Csc.frobenius_diff a fixed)
+
+let test_diag_one_norm () =
+  let a = Csc.of_dense [| [| 2.0; -3.0 |]; [| 1.0; 4.0 |] |] in
+  Alcotest.(check (array (float 0.0))) "diag" [| 2.0; 4.0 |] (Csc.diag a);
+  Test_util.check_float "one_norm" 7.0 (Csc.one_norm a)
+
+let test_symmetrize_check () =
+  let g, d = Test_util.random_sddm ~seed:97 ~n:15 ~m:30 in
+  let a = Sddm.Graph.to_sddm g d in
+  Alcotest.(check bool) "sddm symmetric" true (Csc.symmetrize_check a);
+  let _, ns = random_pair ~seed:101 ~n_rows:6 ~n_cols:6 ~density:0.5 in
+  Alcotest.(check bool) "random not symmetric" false (Csc.symmetrize_check ns)
+
+(* ---- MatrixMarket ---- *)
+
+let test_mtx_roundtrip_general () =
+  let _, a = random_pair ~seed:103 ~n_rows:12 ~n_cols:7 ~density:0.3 in
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Sparse.Matrix_market.write path a;
+  let b = Sparse.Matrix_market.read path in
+  Sys.remove path;
+  Test_util.check_float "roundtrip" 0.0 (Csc.frobenius_diff a b)
+
+let test_mtx_roundtrip_symmetric () =
+  let g, d = Test_util.random_sddm ~seed:107 ~n:18 ~m:40 in
+  let a = Sddm.Graph.to_sddm g d in
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Sparse.Matrix_market.write ~symmetric:true path a;
+  let b = Sparse.Matrix_market.read path in
+  Sys.remove path;
+  Test_util.check_float "symmetric roundtrip" 0.0 (Csc.frobenius_diff a b)
+
+let test_mtx_vector_roundtrip () =
+  let rng = Rng.create 109 in
+  let v = Array.init 37 (fun _ -> Rng.float rng -. 0.5) in
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Sparse.Matrix_market.write_vector path v;
+  let v' = Sparse.Matrix_market.read_vector path in
+  Sys.remove path;
+  Alcotest.(check (array (float 0.0))) "vector roundtrip" v v'
+
+let test_mtx_vector_rejects_matrix () =
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  let rejected =
+    match Sparse.Matrix_market.read_vector path with
+    | _ -> false
+    | exception Sparse.Matrix_market.Parse_error _ -> true
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "multi-column rejected" true rejected
+
+let test_mtx_rejects_garbage () =
+  Alcotest.(check bool) "parse error raised" true
+    (match Sparse.Matrix_market.read "/dev/null" with
+     | _ -> false
+     | exception Sparse.Matrix_market.Parse_error _ -> true)
+
+(* ---- properties ---- *)
+
+let sddm_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, n, m) -> Test_util.random_sddm ~seed ~n:(n + 2) ~m:(m + 1))
+      (triple (int_bound 10000) (int_bound 30) (int_bound 80)))
+
+let arb_sddm =
+  QCheck.make ~print:(fun (g, _) ->
+      Printf.sprintf "graph n=%d m=%d" (Sddm.Graph.n_vertices g)
+        (Sddm.Graph.n_edges g))
+    sddm_gen
+
+let prop_spmv_linear =
+  QCheck.Test.make ~name:"spmv is linear" ~count:100 arb_sddm
+    (fun (g, d) ->
+      let a = Sddm.Graph.to_sddm g d in
+      let n = Sddm.Graph.n_vertices g in
+      let rng = Rng.create 1 in
+      let x = Array.init n (fun _ -> Rng.float rng) in
+      let y = Array.init n (fun _ -> Rng.float rng) in
+      let lhs = Csc.spmv a (Vec.add x y) in
+      let rhs = Vec.add (Csc.spmv a x) (Csc.spmv a y) in
+      Vec.max_abs_diff lhs rhs < 1e-10)
+
+let prop_permute_preserves_spectrum_proxy =
+  QCheck.Test.make ~name:"symmetric permutation preserves Frobenius norm"
+    ~count:100 arb_sddm (fun (g, d) ->
+      let a = Sddm.Graph.to_sddm g d in
+      let n = Sddm.Graph.n_vertices g in
+      let rng = Rng.create 2 in
+      let p = Perm.random rng n in
+      let pa = Csc.permute_sym a p in
+      let frob m =
+        Csc.fold_nonzeros m ~init:0.0 ~f:(fun acc _ _ v -> acc +. (v *. v))
+      in
+      Float.abs (frob a -. frob pa) < 1e-9 *. (1.0 +. frob a))
+
+let prop_transpose_spmv =
+  QCheck.Test.make ~name:"x^T (A y) = (A^T x)^T y" ~count:100 arb_sddm
+    (fun (g, d) ->
+      let a = Sddm.Graph.to_sddm g d in
+      let n = Sddm.Graph.n_vertices g in
+      let rng = Rng.create 3 in
+      let x = Array.init n (fun _ -> Rng.float rng) in
+      let y = Array.init n (fun _ -> Rng.float rng) in
+      let lhs = Vec.dot x (Csc.spmv a y) in
+      let rhs = Vec.dot (Csc.spmv_t a x) y in
+      Float.abs (lhs -. rhs) < 1e-9 *. (1.0 +. Float.abs lhs))
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "norms" `Quick test_vec_norms;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "xpby" `Quick test_vec_xpby;
+          Alcotest.test_case "misc" `Quick test_vec_misc;
+        ] );
+      ( "perm",
+        [
+          Alcotest.test_case "inverse" `Quick test_perm_inverse;
+          Alcotest.test_case "validity" `Quick test_perm_validity;
+          Alcotest.test_case "apply roundtrip" `Quick test_perm_apply_roundtrip;
+          Alcotest.test_case "of_order stable" `Quick test_perm_of_order;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "duplicates sum" `Quick test_triplet_duplicates_sum;
+          Alcotest.test_case "conductance stamps" `Quick test_stamp_conductance;
+          Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+          Alcotest.test_case "of_raw validation" `Quick test_of_raw_validation;
+          Alcotest.test_case "identity" `Quick test_identity;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "spmv" `Quick test_spmv;
+          Alcotest.test_case "spmv_t" `Quick test_spmv_t;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          Alcotest.test_case "add/scale" `Quick test_add_scale;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "permute_sym" `Quick test_permute_sym;
+          Alcotest.test_case "lower/upper" `Quick test_lower_upper;
+          Alcotest.test_case "diag/one_norm" `Quick test_diag_one_norm;
+          Alcotest.test_case "symmetrize_check" `Quick test_symmetrize_check;
+        ] );
+      ( "matrix-market",
+        [
+          Alcotest.test_case "general roundtrip" `Quick test_mtx_roundtrip_general;
+          Alcotest.test_case "symmetric roundtrip" `Quick test_mtx_roundtrip_symmetric;
+          Alcotest.test_case "garbage rejected" `Quick test_mtx_rejects_garbage;
+          Alcotest.test_case "vector roundtrip" `Quick test_mtx_vector_roundtrip;
+          Alcotest.test_case "vector rejects matrix" `Quick
+            test_mtx_vector_rejects_matrix;
+        ] );
+      ( "property",
+        Test_util.qcheck
+          [
+            prop_spmv_linear;
+            prop_permute_preserves_spectrum_proxy;
+            prop_transpose_spmv;
+          ] );
+    ]

@@ -1,0 +1,142 @@
+(* Shared fixtures and reference implementations for the test suites. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ---- graph fixtures ---- *)
+
+let mesh_graph w h =
+  let n = w * h in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let i = (y * w) + x in
+      if x + 1 < w then edges := (i, i + 1, 1.0) :: !edges;
+      if y + 1 < h then edges := (i, i + w, 1.0) :: !edges
+    done
+  done;
+  Sddm.Graph.create ~n ~edges:(Array.of_list !edges)
+
+let path_graph n =
+  Sddm.Graph.create ~n
+    ~edges:(Array.init (n - 1) (fun i -> (i, i + 1, 1.0 +. float_of_int (i mod 4))))
+
+let star_graph n =
+  Sddm.Graph.create ~n
+    ~edges:(Array.init (n - 1) (fun i -> (0, i + 1, float_of_int (i + 1))))
+
+let random_graph ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let edges =
+    Array.init m (fun _ ->
+        let u = Rng.int rng n in
+        let v = Rng.int rng n in
+        let v = if u = v then (v + 1) mod n else v in
+        (u, v, 0.1 +. Rng.float rng))
+  in
+  (* chain backbone keeps it connected *)
+  let backbone = Array.init (n - 1) (fun i -> (i, i + 1, 0.5)) in
+  Sddm.Graph.coalesce
+    (Sddm.Graph.create ~n ~edges:(Array.append edges backbone))
+
+let random_sddm ~seed ~n ~m =
+  let g = random_graph ~seed ~n ~m in
+  let rng = Rng.create (seed + 1) in
+  let d =
+    Array.init n (fun _ -> if Rng.float rng < 0.2 then Rng.float rng else 0.0)
+  in
+  if Array.for_all (fun x -> x = 0.0) d then d.(0) <- 1.0;
+  (g, d)
+
+let random_problem ~seed ~n ~m =
+  let g, d = random_sddm ~seed ~n ~m in
+  let rng = Rng.create (seed + 2) in
+  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  Sddm.Problem.of_graph ~name:(Printf.sprintf "rand-%d" seed) ~graph:g ~d ~b
+
+(* ---- dense reference linear algebra ---- *)
+
+let dense_matmul a b =
+  let n = Array.length a and p = Array.length b.(0) in
+  let k = Array.length b in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref 0.0 in
+          for q = 0 to k - 1 do
+            acc := !acc +. (a.(i).(q) *. b.(q).(j))
+          done;
+          !acc))
+
+let dense_matvec a x =
+  Array.init (Array.length a) (fun i ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) a.(i);
+      !acc)
+
+let dense_transpose a =
+  let n = Array.length a and m = Array.length a.(0) in
+  Array.init m (fun i -> Array.init n (fun j -> a.(j).(i)))
+
+(* Gaussian elimination solve for the reference solution (no pivot search
+   needed for the diagonally dominant test matrices). *)
+let dense_solve a b =
+  let n = Array.length b in
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for k = 0 to n - 1 do
+    let piv = m.(k).(k) in
+    assert (Float.abs piv > 1e-14);
+    for i = k + 1 to n - 1 do
+      let f = m.(i).(k) /. piv in
+      if f <> 0.0 then begin
+        for j = k to n - 1 do
+          m.(i).(j) <- m.(i).(j) -. (f *. m.(k).(j))
+        done;
+        x.(i) <- x.(i) -. (f *. x.(k))
+      end
+    done
+  done;
+  for k = n - 1 downto 0 do
+    let acc = ref x.(k) in
+    for j = k + 1 to n - 1 do
+      acc := !acc -. (m.(k).(j) *. x.(j))
+    done;
+    x.(k) <- !acc /. m.(k).(k)
+  done;
+  x
+
+let max_abs_2d a =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> max acc (Float.abs v)) acc row)
+    0.0 a
+
+let dense_diff a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init (Array.length a.(i)) (fun j -> a.(i).(j) -. b.(i).(j)))
+
+(* naive symbolic fill count for ordering-quality tests *)
+let fill_count g p =
+  let n = Sddm.Graph.n_vertices g in
+  let gp = Sddm.Graph.permute g p in
+  let adj = Array.make n [] in
+  Sddm.Graph.iter_edges gp (fun u v _ ->
+      let a = min u v and b = max u v in
+      adj.(a) <- b :: adj.(a));
+  let module Is = Set.Make (Int) in
+  let sets = Array.map Is.of_list adj in
+  let total = ref 0 in
+  for k = 0 to n - 1 do
+    let nbrs = Is.elements sets.(k) in
+    total := !total + List.length nbrs + 1;
+    let rec clique = function
+      | [] -> ()
+      | x :: xs ->
+        List.iter (fun y -> sets.(x) <- Is.add y sets.(x)) xs;
+        clique xs
+    in
+    clique nbrs
+  done;
+  !total
+
+let qcheck cases = List.map QCheck_alcotest.to_alcotest cases
