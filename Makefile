@@ -1,0 +1,17 @@
+.PHONY: build check test test-robust clean
+
+build:
+	dune build
+
+# Tier-1 verification: full build plus the complete test suite.
+check:
+	dune build && dune runtest
+
+test: check
+
+# Only the robustness / fault-injection suite.
+test-robust:
+	dune build @runtest-robust
+
+clean:
+	dune clean

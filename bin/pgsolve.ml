@@ -89,6 +89,20 @@ let generate_cmd =
 
 (* ---- problem loading shared by solve/compare ---- *)
 
+(* Raw (name, A, b) triple: used by --robust/--diagnose, which must see a
+   possibly-corrupted matrix BEFORE SDDM validation rejects it. *)
+let load_mtx_raw ?rhs path =
+  let a = Sparse.Matrix_market.read path in
+  let n, _ = Sparse.Csc.dims a in
+  let b =
+    match rhs with
+    | Some rhs_path -> Sparse.Matrix_market.read_vector rhs_path
+    | None ->
+      let rng = Rng.create 1 in
+      Array.init n (fun _ -> Rng.float rng -. 0.5)
+  in
+  (Filename.basename path, a, b)
+
 let load_problem ?rhs netlist mtx case scale =
   match (netlist, mtx, case) with
   | Some path, None, None ->
@@ -98,16 +112,8 @@ let load_problem ?rhs netlist mtx case scale =
     in
     problem
   | None, Some path, None ->
-    let a = Sparse.Matrix_market.read path in
-    let n, _ = Sparse.Csc.dims a in
-    let b =
-      match rhs with
-      | Some rhs_path -> Sparse.Matrix_market.read_vector rhs_path
-      | None ->
-        let rng = Rng.create 1 in
-        Array.init n (fun _ -> Rng.float rng -. 0.5)
-    in
-    Sddm.Problem.of_matrix ~name:(Filename.basename path) ~a ~b
+    let name, a, b = load_mtx_raw ?rhs path in
+    Sddm.Problem.of_matrix ~name ~a ~b
   | None, None, Some id ->
     let c = Powergrid.Suite.find ~scale id in
     c.Powergrid.Suite.build ()
@@ -160,24 +166,75 @@ let solve_cmd =
       value & opt float 0.05
       & info [ "budget" ] ~docv:"V" ~doc:"IR-drop violation budget (volts).")
   in
-  let run netlist mtx rhs case scale solver_tag rtol seed budget =
-    let problem = load_problem ?rhs netlist mtx case scale in
-    Printf.printf "%s\n" (Sddm.Problem.describe problem);
-    let solver = solver_of_tag ~seed solver_tag in
-    let r = Powerrchol.Solver.run ~rtol solver problem in
-    report_result r;
-    if r.Powerrchol.Solver.converged && netlist = None && mtx = None then begin
-      (* suite power-grid cases use the drop formulation: report IR drop *)
-      let report = Powergrid.Ir_drop.analyze ~budget r.Powerrchol.Solver.x in
-      Format.printf "%a@." Powergrid.Ir_drop.pp report
+  let robust_flag =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:
+            "Solve via the hardened path: pre-flight diagnostics, per-island \
+             solving of disconnected grids, and a deterministic fallback \
+             chain (powerrchol, reseed-and-retry, rchol, jacobi, direct) \
+             verified against the true residual. Bad input yields a \
+             structured report instead of garbage voltages.")
+  in
+  let diagnose_flag =
+    Arg.(
+      value & flag
+      & info [ "diagnose" ]
+          ~doc:
+            "Run pre-flight diagnostics only (NaN/Inf entries, asymmetry, \
+             lost diagonal dominance, zero rows, floating islands) and print \
+             the report without solving. Exits 1 when fatal issues are \
+             found.")
+  in
+  let run netlist mtx rhs case scale solver_tag rtol seed budget robust
+      diagnose =
+    if diagnose then begin
+      let report =
+        match mtx with
+        | Some path ->
+          let _, a, b = load_mtx_raw ?rhs path in
+          Robust.Diagnose.run ~a ~b
+        | None ->
+          Robust.Diagnose.of_problem (load_problem ?rhs netlist mtx case scale)
+      in
+      Format.printf "%a@." Robust.Diagnose.pp_report report;
+      exit (if Robust.Diagnose.has_fatal report then 1 else 0)
     end;
-    if not r.Powerrchol.Solver.converged then exit 1
+    if robust then begin
+      let r =
+        match mtx with
+        | Some path ->
+          let name, a, b = load_mtx_raw ?rhs path in
+          Powerrchol.Pipeline.solve_matrix_robust ~rtol ~seed ~name ~a ~b ()
+        | None ->
+          let problem = load_problem ?rhs netlist mtx case scale in
+          Printf.printf "%s\n" (Sddm.Problem.describe problem);
+          Powerrchol.Pipeline.solve_robust ~rtol ~seed problem
+      in
+      Format.printf "%a@." Powerrchol.Pipeline.pp_robust r;
+      if not (Powerrchol.Solver.robust_ok r) then exit 1
+    end
+    else begin
+      let problem = load_problem ?rhs netlist mtx case scale in
+      Printf.printf "%s\n" (Sddm.Problem.describe problem);
+      let solver = solver_of_tag ~seed solver_tag in
+      let r = Powerrchol.Solver.run ~rtol solver problem in
+      report_result r;
+      if r.Powerrchol.Solver.converged && netlist = None && mtx = None then begin
+        (* suite power-grid cases use the drop formulation: report IR drop *)
+        let report = Powergrid.Ir_drop.analyze ~budget r.Powerrchol.Solver.x in
+        Format.printf "%a@." Powergrid.Ir_drop.pp report
+      end;
+      if not r.Powerrchol.Solver.converged then exit 1
+    end
   in
   let doc = "Solve a power-grid system and report timing and IR drop." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const run $ netlist_pos $ mtx_arg $ rhs_arg $ case_arg $ scale_arg
-      $ solver_arg $ rtol_arg $ seed_arg $ budget)
+      $ solver_arg $ rtol_arg $ seed_arg $ budget $ robust_flag
+      $ diagnose_flag)
 
 (* ---- compare ---- *)
 

@@ -19,3 +19,27 @@ val solve_matrix :
 val pp_result : Format.formatter -> Solver.result -> unit
 (** One-paragraph human-readable report (phase times, iterations,
     residual). *)
+
+(** {1 Hardened entry points}
+
+    Production variants that never return a silent wrong answer: input is
+    diagnosed before solving, disconnected grids are solved island by
+    island, and solver failures escalate down a deterministic fallback
+    chain with every rung verified against the true residual. See
+    {!Solver.solve_robust}. *)
+
+val solve_robust :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
+  Sddm.Problem.t -> Solver.robust_result
+
+val solve_matrix_robust :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
+  ?name:string -> a:Sparse.Csc.t -> b:float array -> unit ->
+  Solver.robust_result
+(** Like {!solve_robust} but accepts a raw, possibly corrupted matrix: the
+    pre-flight diagnostics run {e before} SDDM validation, so NaN entries,
+    asymmetry, lost dominance, zero rows, and floating islands come back as
+    a structured [Robust_rejected] report instead of an exception. *)
+
+val pp_robust : Format.formatter -> Solver.robust_result -> unit
+(** Human-readable diagnostic report plus fallback trace. *)

@@ -14,6 +14,7 @@ type result = {
   solver : string;
   x : float array;
   iterations : int;
+  status : Krylov.Pcg.status;
   converged : bool;
   residual : float;
   t_reorder : float;
@@ -38,6 +39,7 @@ let iterate ?rtol ?(max_iter = 500) solver prepared problem =
     solver = solver.name;
     x = pcg.Krylov.Pcg.x;
     iterations = pcg.Krylov.Pcg.iterations;
+    status = pcg.Krylov.Pcg.status;
     converged = pcg.Krylov.Pcg.converged;
     residual = Sddm.Problem.residual_norm problem pcg.Krylov.Pcg.x;
     t_reorder = prepared.t_reorder;
@@ -214,3 +216,179 @@ let jacobi () =
     }
   in
   { name = "jacobi"; prepare }
+
+(* ---- hardened solve path: diagnose, escalate, verify ---- *)
+
+type robust_result = {
+  diagnostics : Robust.Diagnose.report;
+  outcome : robust_outcome;
+}
+
+and robust_outcome =
+  | Robust_solved of {
+      x : float array;
+      winner : string;
+      iterations : int;
+      residual : float;
+      attempts : Robust.Fallback.attempt list;
+    }
+  | Robust_rejected of { reasons : string list }
+  | Robust_exhausted of { attempts : Robust.Fallback.attempt list }
+
+let robust_ok r = match r.outcome with Robust_solved _ -> true | _ -> false
+
+let rung_of_solver ?name ~rtol ~max_iter solver =
+  {
+    Robust.Fallback.name =
+      (match name with Some n -> n | None -> solver.name);
+    solve =
+      (fun problem ->
+        let r = run ~rtol ~max_iter solver problem in
+        {
+          Robust.Fallback.x = r.x;
+          iterations = r.iterations;
+          note = Krylov.Pcg.status_to_string r.status;
+        });
+  }
+
+(* Deterministic seed derivation for the reseed-and-retry rungs. *)
+let reseed seed i = seed + (1000003 * (i + 1))
+
+let robust_rungs ?(seed = default_seed) ?(retries = 2) ~rtol ~max_iter () =
+  rung_of_solver ~rtol ~max_iter (powerrchol ~seed ())
+  :: List.init retries (fun i ->
+         rung_of_solver
+           ~name:(Printf.sprintf "powerrchol(reseed %d)" (i + 1))
+           ~rtol ~max_iter
+           (powerrchol ~seed:(reseed seed i) ()))
+  @ [
+      rung_of_solver ~rtol ~max_iter (rchol ~ordering:Amd ~seed ());
+      rung_of_solver ~rtol ~max_iter (jacobi ());
+      rung_of_solver ~rtol ~max_iter (direct ());
+    ]
+
+let solve_robust ?(rtol = 1e-6) ?(max_iter = 500) ?(seed = default_seed)
+    ?(retries = 2) problem =
+  let diagnostics = Robust.Diagnose.of_problem problem in
+  if Robust.Diagnose.has_fatal diagnostics then
+    {
+      diagnostics;
+      outcome =
+        Robust_rejected
+          {
+            reasons =
+              List.map Robust.Diagnose.issue_to_string
+                (Robust.Diagnose.fatal_issues diagnostics);
+          };
+    }
+  else begin
+    let rungs = robust_rungs ~seed ~retries ~rtol ~max_iter () in
+    let comps = Robust.Diagnose.split_components problem in
+    if Array.length comps = 1 then begin
+      let o = Robust.Fallback.run ~rtol ~rungs problem in
+      match (o.Robust.Fallback.x, o.Robust.Fallback.winner) with
+      | Some x, Some winner ->
+        {
+          diagnostics;
+          outcome =
+            Robust_solved
+              {
+                x;
+                winner;
+                iterations = o.Robust.Fallback.iterations;
+                residual = o.Robust.Fallback.residual;
+                attempts = o.Robust.Fallback.attempts;
+              };
+        }
+      | _ ->
+        {
+          diagnostics;
+          outcome = Robust_exhausted { attempts = o.Robust.Fallback.attempts };
+        }
+    end
+    else begin
+      (* clean but disconnected: solve every grounded island independently
+         and scatter the solutions back (per-island rtol implies the global
+         rtol because the islands are orthogonal blocks of A) *)
+      let n = Sddm.Problem.n problem in
+      let parts =
+        Array.map
+          (fun c ->
+            (c, Robust.Fallback.run ~rtol ~rungs c.Robust.Diagnose.problem))
+          comps
+      in
+      let attempts =
+        Array.to_list parts
+        |> List.mapi (fun i ((_, o) : Robust.Diagnose.component * _) ->
+               List.map
+                 (fun (a : Robust.Fallback.attempt) ->
+                   {
+                     a with
+                     Robust.Fallback.rung =
+                       Printf.sprintf "c%d/%s" i a.Robust.Fallback.rung;
+                   })
+                 o.Robust.Fallback.attempts)
+        |> List.concat
+      in
+      if Array.for_all (fun (_, o) -> Robust.Fallback.succeeded o) parts then begin
+        let x =
+          Robust.Diagnose.assemble ~n
+            (Array.to_list parts
+            |> List.map (fun ((c, o) : _ * Robust.Fallback.outcome) ->
+                   (c, Option.get o.Robust.Fallback.x)))
+        in
+        let residual = Sddm.Problem.residual_norm problem x in
+        let iterations =
+          Array.fold_left
+            (fun acc (_, (o : Robust.Fallback.outcome)) ->
+              acc + o.Robust.Fallback.iterations)
+            0 parts
+        in
+        let winner =
+          Array.to_list parts
+          |> List.map (fun (_, (o : Robust.Fallback.outcome)) ->
+                 Option.get o.Robust.Fallback.winner)
+          |> List.sort_uniq compare |> String.concat "+"
+        in
+        {
+          diagnostics;
+          outcome = Robust_solved { x; winner; iterations; residual; attempts };
+        }
+      end
+      else { diagnostics; outcome = Robust_exhausted { attempts } }
+    end
+  end
+
+(* Deterministic one-line rendering of the whole robust run: diagnostic
+   summary, every failed rung with its reason, and the final verdict. Used
+   by the determinism tests (byte-identical across equal-seed runs) and the
+   CLI trace output. *)
+let robust_trace r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "diagnose: n=%d nnz=%d components=%d issues=[%s] | "
+       r.diagnostics.Robust.Diagnose.n r.diagnostics.Robust.Diagnose.nnz
+       r.diagnostics.Robust.Diagnose.components
+       (String.concat "; "
+          (List.map Robust.Diagnose.issue_to_string
+             r.diagnostics.Robust.Diagnose.issues)));
+  let add_attempts attempts =
+    List.iter
+      (fun (a : Robust.Fallback.attempt) ->
+        Buffer.add_string buf
+          (Printf.sprintf "failed %s: %s; " a.Robust.Fallback.rung
+             (Robust.Fallback.failure_to_string a.Robust.Fallback.failure)))
+      attempts
+  in
+  (match r.outcome with
+   | Robust_rejected { reasons } ->
+     Buffer.add_string buf ("rejected: " ^ String.concat "; " reasons)
+   | Robust_solved { winner; iterations; residual; attempts; _ } ->
+     add_attempts attempts;
+     Buffer.add_string buf
+       (Printf.sprintf "recovered by %s: %d iterations, residual %.6e" winner
+          iterations residual)
+   | Robust_exhausted { attempts } ->
+     add_attempts attempts;
+     Buffer.add_string buf "exhausted: no rung produced a verified solution");
+  Buffer.contents buf

@@ -21,7 +21,8 @@ type result = {
   solver : string;
   x : float array;
   iterations : int;
-  converged : bool;
+  status : Krylov.Pcg.status;  (** typed PCG exit status *)
+  converged : bool;  (** derived view: [status = Converged] *)
   residual : float;  (** true relative residual, recomputed from [x] *)
   t_reorder : float;
   t_precond : float;
@@ -83,3 +84,55 @@ val jacobi : unit -> t
 (** Diagonal preconditioning; the weak baseline. *)
 
 val default_seed : int
+
+(** {1 Hardened solve path}
+
+    The production entry point for untrusted input: pre-flight diagnostics
+    ({!Robust.Diagnose}), per-island solving for disconnected grids, and a
+    deterministic fallback chain
+    [powerrchol -> reseed-and-retry xk -> rchol(amd) -> jacobi -> direct]
+    whose every rung is verified against the {e true} residual. A bad input
+    yields a structured report — never a silent wrong answer. *)
+
+type robust_result = {
+  diagnostics : Robust.Diagnose.report;  (** the pre-flight report *)
+  outcome : robust_outcome;
+}
+
+and robust_outcome =
+  | Robust_solved of {
+      x : float array;
+      winner : string;
+          (** rung that produced the verified solution; for multi-island
+              solves, the distinct winning rungs joined with [+] *)
+      iterations : int;  (** summed over islands *)
+      residual : float;  (** verified true relative residual *)
+      attempts : Robust.Fallback.attempt list;
+          (** rungs that failed before the winner (prefixed [c<i>/] per
+              island on disconnected systems) *)
+    }
+  | Robust_rejected of { reasons : string list }
+      (** fatal pre-flight diagnostics: solving was not attempted *)
+  | Robust_exhausted of { attempts : Robust.Fallback.attempt list }
+      (** every rung failed; the trace says why, rung by rung *)
+
+val solve_robust :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
+  Sddm.Problem.t -> robust_result
+(** [rtol] defaults to 1e-6, [max_iter] to 500, [seed] to {!default_seed},
+    [retries] (reseed-and-retry rungs) to 2. Deterministic given [seed]:
+    two runs produce identical outcomes and byte-identical
+    {!robust_trace}s. *)
+
+val robust_ok : robust_result -> bool
+(** True iff the outcome is [Robust_solved]. *)
+
+val robust_rungs :
+  ?seed:int -> ?retries:int -> rtol:float -> max_iter:int -> unit ->
+  Robust.Fallback.rung list
+(** The default escalation chain, exposed for custom {!Robust.Fallback}
+    policies. *)
+
+val robust_trace : robust_result -> string
+(** Deterministic one-line trace: diagnostics summary, each failed rung
+    with its reason, final verdict. *)

@@ -10,6 +10,12 @@
     even on SPD input) is handled by the standard diagonal-shift retry:
     factor [A + alpha diag(A)] with geometrically growing [alpha]. *)
 
+exception Breakdown of int
+(** Nonpositive pivot at the carried column during one factorization
+    attempt. [factorize] retries with diagonal shifts internally; the
+    exception is exposed so robustness layers can classify breakdowns from
+    lower-level callers. *)
+
 val factorize :
   ?drop_tol:float -> ?initial_shift:float -> ?max_tries:int ->
   Sparse.Csc.t -> Lower.t

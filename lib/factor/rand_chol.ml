@@ -5,7 +5,7 @@ type sort =
 
 type sampling = Per_neighbor | Shared_random
 
-exception Singular of int
+exception Breakdown of { column : int; pivot : float }
 
 let expected_clique_weight ~d_k ~w_i ~w_j = w_i *. w_j /. d_k
 
@@ -252,7 +252,11 @@ let factorize ~sort ~sampling ~rng g ~d =
       d_k := !d_k +. ws.wval.(ws.nbrs.(q))
     done;
     let d_k = !d_k in
-    if not (d_k > 0.0) then raise (Singular k);
+    (* pivot guard: catches zero and negative pivots (ungrounded Laplacian
+       component, lost dominance) and, because NaN fails every comparison,
+       NaN-contaminated weights as well *)
+    if not (d_k > 0.0 && d_k < infinity) then
+      raise (Breakdown { column = k; pivot = d_k });
     (* ---- sort neighbors by weight (ascending) ---- *)
     (match sort with
      | No_sort -> ()

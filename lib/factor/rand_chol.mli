@@ -29,10 +29,13 @@ type sort =
 
 type sampling = Per_neighbor | Shared_random
 
-exception Singular of int
-(** Raised when an elimination pivot is nonpositive — the input was not a
-    nonsingular SDDM (e.g. a pure Laplacian component with no connection to
-    ground). Carries the offending position in elimination order. *)
+exception Breakdown of { column : int; pivot : float }
+(** Raised when an elimination pivot is nonpositive or non-finite — the
+    input was not a nonsingular SDDM (e.g. a pure Laplacian component with
+    no connection to ground, or NaN-contaminated weights). Carries the
+    offending position in elimination order and the pivot value, so the
+    robustness layer can report exactly where and how the factorization
+    broke down. *)
 
 val factorize :
   sort:sort -> sampling:sampling -> rng:Rng.t -> Sddm.Graph.t ->

@@ -1,6 +1,31 @@
+type breakdown_reason =
+  | Indefinite of { iteration : int; curvature : float }
+  | Nonfinite of { iteration : int }
+
+type status =
+  | Converged
+  | Max_iter
+  | Breakdown of breakdown_reason
+  | Stagnated of { iteration : int; best_residual : float }
+
+let status_to_string = function
+  | Converged -> "converged"
+  | Max_iter -> "max-iter"
+  | Breakdown (Indefinite { iteration; curvature }) ->
+    Printf.sprintf "breakdown: indefinite operator (p'Ap = %g at iteration %d)"
+      curvature iteration
+  | Breakdown (Nonfinite { iteration }) ->
+    Printf.sprintf "breakdown: non-finite residual at iteration %d" iteration
+  | Stagnated { iteration; best_residual } ->
+    Printf.sprintf "stagnated at iteration %d (best residual %.3e)" iteration
+      best_residual
+
+let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)
+
 type result = {
   x : float array;
   iterations : int;
+  status : status;
   converged : bool;
   relative_residual : float;
   history : float array;
@@ -64,8 +89,8 @@ let condition_from_coefficients alphas betas =
     if lambda_min > 0.0 then lambda_max /. lambda_min else infinity
   end
 
-let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
-    ~(precond : Precond.t) () =
+let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
+    ~n ~apply_a ~b ~(precond : Precond.t) () =
   assert (Array.length b = n);
   let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
   let b_norm = Sparse.Vec.norm2 b in
@@ -73,6 +98,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
     {
       x = Array.make n 0.0;
       iterations = 0;
+      status = Converged;
       converged = true;
       relative_residual = 0.0;
       history = [||];
@@ -99,14 +125,23 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
     let rho = ref (Sparse.Vec.dot r z) in
     let iter = ref 0 in
     let rel = ref (Sparse.Vec.norm2 r /. b_norm) in
-    let converged = ref (!rel <= rtol) in
-    while (not !converged) && !iter < max_iter do
+    let status = ref None in
+    let best = ref !rel in
+    let since_best = ref 0 in
+    if !rel <= rtol then status := Some Converged
+    else if not (Float.is_finite !rel) then
+      (* NaN/Inf in b, x0, or A: no amount of iterating recovers *)
+      status := Some (Breakdown (Nonfinite { iteration = 0 }));
+    while !status = None && !iter < max_iter do
       apply_a p q;
       let pq = Sparse.Vec.dot p q in
-      if pq <= 0.0 then
-        (* loss of positive definiteness (should not happen for SPD
-           input); bail out reporting non-convergence *)
-        iter := max_iter
+      if not (Float.is_finite pq) then
+        status := Some (Breakdown (Nonfinite { iteration = !iter }))
+      else if pq <= 0.0 then
+        (* loss of positive definiteness: the operator is not SPD (or the
+           preconditioner destroyed it); report the true iteration count
+           with a typed reason instead of masquerading as max_iter *)
+        status := Some (Breakdown (Indefinite { iteration = !iter; curvature = pq }))
       else begin
         let alpha = !rho /. pq in
         alphas := alpha :: !alphas;
@@ -115,17 +150,36 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
         incr iter;
         rel := Sparse.Vec.norm2 r /. b_norm;
         history := !rel :: !history;
-        if !rel <= rtol then converged := true
+        if not (Float.is_finite !rel) then
+          status := Some (Breakdown (Nonfinite { iteration = !iter }))
+        else if !rel <= rtol then status := Some Converged
         else begin
-          precond.apply r z;
-          let rho' = Sparse.Vec.dot r z in
-          let beta = rho' /. !rho in
-          betas := beta :: !betas;
-          rho := rho';
-          Sparse.Vec.xpby ~x:z ~beta ~y:p
+          if !rel < !best *. (1.0 -. 1e-6) then begin
+            best := !rel;
+            since_best := 0
+          end
+          else begin
+            incr since_best;
+            if !since_best >= stall_window then
+              status :=
+                Some (Stagnated { iteration = !iter; best_residual = !best })
+          end;
+          if !status = None then begin
+            precond.apply r z;
+            let rho' = Sparse.Vec.dot r z in
+            if not (Float.is_finite rho') then
+              status := Some (Breakdown (Nonfinite { iteration = !iter }))
+            else begin
+              let beta = rho' /. !rho in
+              betas := beta :: !betas;
+              rho := rho';
+              Sparse.Vec.xpby ~x:z ~beta ~y:p
+            end
+          end
         end
       end
     done;
+    let status = match !status with Some s -> s | None -> Max_iter in
     (* betas lags alphas by one when the loop exits after an alpha *)
     let n_beta = List.length !betas and n_alpha = List.length !alphas in
     let alphas_trimmed =
@@ -134,14 +188,15 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?x0 ~n ~apply_a ~b
     {
       x;
       iterations = !iter;
-      converged = !converged;
+      status;
+      converged = (status = Converged);
       relative_residual = !rel;
       history = Array.of_list (List.rev !history);
       condition_estimate = condition_from_coefficients alphas_trimmed !betas;
     }
   end
 
-let solve ?rtol ?max_iter ?x0 ~a ~b ~precond () =
+let solve ?rtol ?max_iter ?stall_window ?x0 ~a ~b ~precond () =
   let n = Array.length b in
   let apply_a x y = Sparse.Csc.spmv_into a x y in
-  solve_operator ?rtol ?max_iter ?x0 ~n ~apply_a ~b ~precond ()
+  solve_operator ?rtol ?max_iter ?stall_window ?x0 ~n ~apply_a ~b ~precond ()

@@ -3,12 +3,37 @@
     Stopping criterion matches the paper: relative residual
     [||b - A x||_2 / ||b||_2 <= rtol] (the recurrence residual is used
     during iteration; it tracks the true residual closely for the
-    well-conditioned preconditioned systems at hand). *)
+    well-conditioned preconditioned systems at hand).
+
+    Every exit carries a typed {!status} so callers can distinguish honest
+    slow convergence ([Max_iter]) from a numerical failure ([Breakdown]) or
+    a stalled iteration ([Stagnated]) — the robustness layer
+    ([Robust.Fallback]) escalates on the latter two. *)
+
+type breakdown_reason =
+  | Indefinite of { iteration : int; curvature : float }
+      (** [p' A p <= 0]: the (preconditioned) operator is not positive
+          definite. [curvature] is the offending inner product. *)
+  | Nonfinite of { iteration : int }
+      (** NaN/Inf appeared in the residual or a Krylov inner product
+          (NaN-contaminated input, or overflow). *)
+
+type status =
+  | Converged  (** relative residual reached [rtol] *)
+  | Max_iter  (** iteration budget exhausted while still making progress *)
+  | Breakdown of breakdown_reason
+  | Stagnated of { iteration : int; best_residual : float }
+      (** no residual improvement for [stall_window] consecutive
+          iterations; continuing is pointless *)
+
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
 
 type result = {
   x : float array;
-  iterations : int;
-  converged : bool;
+  iterations : int;  (** true count of completed iterations at exit *)
+  status : status;
+  converged : bool;  (** derived view: [status = Converged] *)
   relative_residual : float;  (** recurrence residual at exit *)
   history : float array;  (** relative residual after each iteration *)
   condition_estimate : float;
@@ -20,15 +45,16 @@ type result = {
 }
 
 val solve :
-  ?rtol:float -> ?max_iter:int -> ?x0:float array ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
   a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
 (** [solve ~a ~b ~precond ()] runs PCG. [rtol] defaults to [1e-6] (the
     paper's setting), [max_iter] to [500] (the paper's divergence cutoff),
-    [x0] to the zero vector. If [b] is zero the zero solution is returned
-    immediately. *)
+    [stall_window] to [200] (iterations without a new best residual before
+    declaring {!Stagnated}), [x0] to the zero vector. If [b] is zero the
+    zero solution is returned immediately. *)
 
 val solve_operator :
-  ?rtol:float -> ?max_iter:int -> ?x0:float array ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
   n:int -> apply_a:(float array -> float array -> unit) ->
   b:float array -> precond:Precond.t -> unit -> result
 (** Matrix-free variant: [apply_a x y] computes [y <- A x]. *)

@@ -1,0 +1,121 @@
+type solution = {
+  x : float array;
+  iterations : int;
+  note : string;
+}
+
+type rung = {
+  name : string;
+  solve : Sddm.Problem.t -> solution;
+}
+
+type failure =
+  | Breakdown of string
+  | Unverified of { residual : float; note : string }
+  | Crashed of string
+
+type attempt = {
+  rung : string;
+  failure : failure;
+}
+
+type outcome = {
+  x : float array option;
+  winner : string option;
+  iterations : int;
+  residual : float;
+  note : string;
+  attempts : attempt list;
+}
+
+let failure_to_string = function
+  | Breakdown detail -> "breakdown: " ^ detail
+  | Unverified { residual; note } ->
+    Printf.sprintf "unverified: true residual %.6e (%s)" residual note
+  | Crashed msg -> "crashed: " ^ msg
+
+let succeeded o = o.winner <> None
+
+(* The escalation engine: try each rung in order; a rung wins only when its
+   solution's TRUE residual (recomputed from scratch, never trusted from the
+   solver) meets rtol. Typed breakdown signals from the factorizations and
+   any exception a rung leaks are converted into structured trace entries
+   and the next rung is tried. Deterministic: no timing, no wall-clock state
+   enters the trace. *)
+let run ?(rtol = 1e-6) ~rungs problem =
+  let classify_exn = function
+    | Factor.Rand_chol.Breakdown { column; pivot } ->
+      Breakdown
+        (Printf.sprintf "randomized-Cholesky pivot %g at column %d" pivot
+           column)
+    | Factor.Ichol.Breakdown column ->
+      Breakdown
+        (Printf.sprintf "incomplete-Cholesky nonpositive pivot at column %d"
+           column)
+    | Failure msg -> Crashed msg
+    | Invalid_argument msg -> Crashed msg
+    | exn -> raise exn
+  in
+  let rec go attempts = function
+    | [] ->
+      {
+        x = None;
+        winner = None;
+        iterations = 0;
+        residual = Float.infinity;
+        note = "all rungs exhausted";
+        attempts = List.rev attempts;
+      }
+    | rung :: rest -> (
+      match rung.solve problem with
+      | sol ->
+        let residual = Sddm.Problem.residual_norm problem sol.x in
+        if Float.is_finite residual && residual <= rtol then
+          {
+            x = Some sol.x;
+            winner = Some rung.name;
+            iterations = sol.iterations;
+            residual;
+            note = sol.note;
+            attempts = List.rev attempts;
+          }
+        else
+          go
+            ({
+               rung = rung.name;
+               failure = Unverified { residual; note = sol.note };
+             }
+            :: attempts)
+            rest
+      | exception exn ->
+        go ({ rung = rung.name; failure = classify_exn exn } :: attempts) rest)
+  in
+  go [] rungs
+
+let trace_to_string o =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "failed %s: %s; " a.rung (failure_to_string a.failure)))
+    o.attempts;
+  (match o.winner with
+   | Some w ->
+     Buffer.add_string buf
+       (Printf.sprintf "recovered by %s: %d iterations, residual %.6e (%s)" w
+          o.iterations o.residual o.note)
+   | None -> Buffer.add_string buf "exhausted: no rung produced a verified solution");
+  Buffer.contents buf
+
+let pp fmt o =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun a ->
+      Format.fprintf fmt "  ✗ %s: %s@," a.rung (failure_to_string a.failure))
+    o.attempts;
+  (match o.winner with
+   | Some w ->
+     Format.fprintf fmt "  ✓ %s: %d iterations, residual %.3e (%s)" w
+       o.iterations o.residual o.note
+   | None -> Format.fprintf fmt "  ✗ all rungs exhausted");
+  Format.fprintf fmt "@]"

@@ -1,0 +1,54 @@
+(** Policy-driven solver escalation.
+
+    A {!rung} is one solver attempt; {!run} walks a list of rungs until one
+    produces a solution whose {e true} residual (recomputed from [A], [x],
+    [b] — never trusted from the solver) meets [rtol]. Typed breakdown
+    signals ({!Factor.Rand_chol.Breakdown}, {!Factor.Ichol.Breakdown}) and
+    leaked [Failure]/[Invalid_argument] exceptions become structured trace
+    entries recording why each rung failed. The engine is deterministic
+    given its rungs: no timing or wall-clock state enters the trace, so two
+    runs with the same seed produce byte-identical traces. *)
+
+type solution = {
+  x : float array;
+  iterations : int;
+  note : string;  (** solver-reported status, recorded in the trace *)
+}
+
+type rung = {
+  name : string;
+  solve : Sddm.Problem.t -> solution;
+      (** may raise; breakdown exceptions are caught and classified *)
+}
+
+type failure =
+  | Breakdown of string  (** typed factorization/iteration breakdown *)
+  | Unverified of { residual : float; note : string }
+      (** the rung returned, but its true residual misses [rtol] *)
+  | Crashed of string  (** leaked [Failure] / [Invalid_argument] *)
+
+type attempt = { rung : string; failure : failure }
+
+type outcome = {
+  x : float array option;  (** [Some] iff a rung succeeded *)
+  winner : string option;  (** name of the successful rung *)
+  iterations : int;
+  residual : float;  (** verified true relative residual, [inf] if none *)
+  note : string;
+  attempts : attempt list;  (** failed rungs, in attempt order *)
+}
+
+val run : ?rtol:float -> rungs:rung list -> Sddm.Problem.t -> outcome
+(** [rtol] defaults to 1e-6. Unknown exceptions (Out_of_memory, ...) are
+    re-raised, not swallowed. *)
+
+val succeeded : outcome -> bool
+
+val failure_to_string : failure -> string
+
+val trace_to_string : outcome -> string
+(** Single-line deterministic rendering of the full trace (every failed
+    rung with its reason, then the winner or exhaustion); byte-identical
+    across runs with the same seed. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -195,16 +195,31 @@ let to_sddm g d =
 
 let split_sddm a =
   let n_rows, n_cols = Sparse.Csc.dims a in
-  if n_rows <> n_cols then invalid_arg "of_sddm: matrix not square";
+  if n_rows <> n_cols then
+    invalid_arg
+      (Printf.sprintf "of_sddm: matrix not square (%d rows, %d columns)"
+         n_rows n_cols);
   let n = n_rows in
   let edges = ref [] in
   let off_sum = Array.make n 0.0 in
   let diag = Array.make n 0.0 in
-  let bad = ref None in
+  (* Each violation class records its first offender and a running count so
+     the error message tells the caller exactly where to look. *)
+  let pos_count = ref 0 in
+  let pos_first = ref (0, 0, 0.0) in
+  let nf_count = ref 0 in
+  let nf_first = ref (0, 0, 0.0) in
   Sparse.Csc.fold_nonzeros a ~init:() ~f:(fun () i j v ->
+      if not (Float.is_finite v) then begin
+        if !nf_count = 0 then nf_first := (i, j, v);
+        incr nf_count
+      end;
       if i = j then diag.(j) <- v
       else begin
-        if v > 0.0 && !bad = None then bad := Some "positive off-diagonal";
+        if v > 0.0 then begin
+          if !pos_count = 0 then pos_first := (i, j, v);
+          incr pos_count
+        end;
         if v < 0.0 then begin
           off_sum.(j) <- off_sum.(j) -. v;
           (* Keep each undirected edge once, from its upper-triangle copy;
@@ -212,23 +227,69 @@ let split_sddm a =
           if i < j then edges := (i, j, -.v) :: !edges
         end
       end);
-  (match !bad with Some m -> invalid_arg ("of_sddm: " ^ m) | None -> ());
+  if !nf_count > 0 then begin
+    let i, j, v = !nf_first in
+    invalid_arg
+      (Printf.sprintf
+         "of_sddm: %d non-finite entr%s (first: A(%d,%d) = %g)"
+         !nf_count
+         (if !nf_count = 1 then "y" else "ies")
+         i j v)
+  end;
+  if !pos_count > 0 then begin
+    let i, j, v = !pos_first in
+    invalid_arg
+      (Printf.sprintf
+         "of_sddm: %d positive off-diagonal entr%s (first: A(%d,%d) = %g); \
+          SDDM matrices need nonpositive off-diagonals"
+         !pos_count
+         (if !pos_count = 1 then "y" else "ies")
+         i j v)
+  end;
   (* Verify symmetry of the off-diagonal pattern/values. *)
+  let asym_count = ref 0 in
+  let asym_first = ref (0, 0, 0.0, 0.0) in
   List.iter
     (fun (i, j, w) ->
       let mirror = Sparse.Csc.get a j i in
       let scale = max (Float.abs w) 1.0 in
-      if Float.abs (mirror +. w) > 1e-12 *. scale then
-        invalid_arg "of_sddm: matrix not symmetric")
+      if Float.abs (mirror +. w) > 1e-12 *. scale then begin
+        if !asym_count = 0 then asym_first := (i, j, -.w, mirror);
+        incr asym_count
+      end)
     !edges;
+  if !asym_count > 0 then begin
+    let i, j, aij, aji = !asym_first in
+    invalid_arg
+      (Printf.sprintf
+         "of_sddm: matrix not symmetric at %d entr%s (first: A(%d,%d) = %g \
+          but A(%d,%d) = %g)"
+         !asym_count
+         (if !asym_count = 1 then "y" else "ies")
+         i j aij j i aji)
+  end;
   let d = Array.make n 0.0 in
+  let dom_count = ref 0 in
+  let dom_first = ref (0, 0.0, 0.0) in
   for i = 0 to n - 1 do
     let excess = diag.(i) -. off_sum.(i) in
     let scale = max diag.(i) 1.0 in
-    if excess < -1e-10 *. scale then
-      invalid_arg "of_sddm: not diagonally dominant";
+    if excess < -1e-10 *. scale then begin
+      if !dom_count = 0 then dom_first := (i, diag.(i), off_sum.(i));
+      incr dom_count
+    end;
     d.(i) <- max excess 0.0
   done;
+  if !dom_count > 0 then begin
+    let i, dg, os = !dom_first in
+    invalid_arg
+      (Printf.sprintf
+         "of_sddm: diagonal dominance lost at %d row%s (first: row %d has \
+          diagonal %g < off-diagonal sum %g)"
+         !dom_count
+         (if !dom_count = 1 then "" else "s")
+         i dg os)
+  end;
   (create ~n ~edges:(Array.of_list !edges), d)
 
 let of_sddm a = split_sddm a

@@ -8,14 +8,36 @@ type t = {
 
 let of_matrix ~name ~a ~b =
   let n_rows, n_cols = Sparse.Csc.dims a in
-  assert (n_rows = n_cols);
-  assert (Array.length b = n_rows);
-  let graph, d = Graph.of_sddm a in
+  if n_rows <> n_cols then
+    invalid_arg
+      (Printf.sprintf "Problem.of_matrix %S: matrix not square (%d x %d)" name
+         n_rows n_cols);
+  if Array.length b <> n_rows then
+    invalid_arg
+      (Printf.sprintf
+         "Problem.of_matrix %S: rhs length %d does not match matrix \
+          dimension %d"
+         name (Array.length b) n_rows);
+  let graph, d =
+    try Graph.of_sddm a
+    with Invalid_argument msg ->
+      invalid_arg (Printf.sprintf "Problem.of_matrix %S: %s" name msg)
+  in
   { name; a; b; graph; d }
 
 let of_graph ~name ~graph ~d ~b =
-  assert (Array.length d = Graph.n_vertices graph);
-  assert (Array.length b = Graph.n_vertices graph);
+  let n = Graph.n_vertices graph in
+  if Array.length d <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Problem.of_graph %S: excess-diagonal length %d does not match %d \
+          vertices"
+         name (Array.length d) n);
+  if Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Problem.of_graph %S: rhs length %d does not match %d vertices" name
+         (Array.length b) n);
   { name; a = Graph.to_sddm graph d; b; graph; d }
 
 let n p = Graph.n_vertices p.graph

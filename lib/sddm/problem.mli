@@ -11,7 +11,10 @@ type t = private {
 }
 
 val of_matrix : name:string -> a:Sparse.Csc.t -> b:float array -> t
-(** Validates that [a] is SDDM (via {!Graph.of_sddm}) and splits it. *)
+(** Validates that [a] is SDDM (via {!Graph.of_sddm}) and splits it. On
+    invalid input raises [Invalid_argument] with an actionable message
+    naming the first offending row/entry and the total violation count
+    (e.g. which entry is asymmetric, which row lost diagonal dominance). *)
 
 val of_graph : name:string -> graph:Graph.t -> d:float array -> b:float array -> t
 (** Builds the matrix from the split; cheaper when the graph is the native

@@ -4,11 +4,19 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
 type symmetry = General | Symmetric
 
+(* Real-world .mtx exports separate header tokens with tabs and may carry
+   CRLF line endings; tokenize on any ASCII whitespace after trimming. *)
+let header_tokens line =
+  let lowered = String.lowercase_ascii (String.trim line) in
+  String.fold_right
+    (fun c acc ->
+      match c with ' ' | '\t' | '\r' | '\012' -> ' ' :: acc | c -> c :: acc)
+    lowered []
+  |> List.to_seq |> String.of_seq |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
 let parse_header line =
-  let lowered = String.lowercase_ascii line in
-  let tokens =
-    String.split_on_char ' ' lowered |> List.filter (fun s -> s <> "")
-  in
+  let tokens = header_tokens line in
   match tokens with
   | "%%matrixmarket" :: "matrix" :: "coordinate" :: field :: sym :: [] ->
     if field <> "real" && field <> "integer" then
@@ -48,8 +56,12 @@ let read_channel ic =
     match next_data_line () with
     | None -> fail "expected %d entries, file ended at %d" entries (k - 1)
     | Some l ->
+      (* Scanf's %f rejects nan/inf tokens, which corrupted exports do
+         contain; parse the value via float_of_string so such entries load
+         and are reported by diagnostics instead of failing the parse. *)
       let i, j, v =
-        try Scanf.sscanf l " %d %d %f" (fun a b c -> (a, b, c))
+        try
+          Scanf.sscanf l " %d %d %s" (fun a b c -> (a, b, float_of_string c))
         with Scanf.Scan_failure _ | Failure _ ->
           fail "malformed entry line %S" l
       in
@@ -78,10 +90,7 @@ let write ?symmetric path a =
   Out_channel.with_open_text path (fun oc -> write_channel ?symmetric oc a)
 
 let parse_array_header line =
-  let lowered = String.lowercase_ascii line in
-  let tokens =
-    String.split_on_char ' ' lowered |> List.filter (fun s -> s <> "")
-  in
+  let tokens = header_tokens line in
   match tokens with
   | "%%matrixmarket" :: "matrix" :: "array" :: field :: "general" :: [] ->
     if field <> "real" && field <> "integer" then

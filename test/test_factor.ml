@@ -312,14 +312,16 @@ let test_rand_chol_deterministic () =
     (Csc.frobenius_diff (Factor.Lower.to_csc l1) (Factor.Lower.to_csc l2))
 
 let test_rand_chol_singular_detection () =
-  (* pure Laplacian with no ground: must raise Singular *)
+  (* pure Laplacian with no ground: must raise a typed Breakdown carrying
+     the offending pivot (zero, at the last elimination position) *)
   let g = Test_util.path_graph 10 in
   let d = Array.make 10 0.0 in
   let rng = Rng.create 429 in
-  Alcotest.(check bool) "raises Singular" true
+  Alcotest.(check bool) "raises Breakdown with zero pivot" true
     (match Factor.Rchol.factorize ~rng g ~d with
      | _ -> false
-     | exception Factor.Rand_chol.Singular _ -> true)
+     | exception Factor.Rand_chol.Breakdown { column; pivot } ->
+       column >= 0 && column < 10 && not (pivot > 0.0))
 
 let test_rand_chol_diag_positive () =
   let g, d = Test_util.random_sddm ~seed:431 ~n:150 ~m:500 in

@@ -250,6 +250,43 @@ let test_mtx_rejects_garbage () =
      | _ -> false
      | exception Sparse.Matrix_market.Parse_error _ -> true)
 
+let read_string content =
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Out_channel.with_open_text path (fun oc -> output_string oc content);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> Sparse.Matrix_market.read path)
+
+let test_mtx_header_whitespace () =
+  (* Real-world exports separate header tokens with tabs and carry CRLF
+     line endings; the parser must tolerate both. *)
+  let a =
+    read_string
+      "%%MatrixMarket\tmatrix\tcoordinate\treal\tgeneral\r\n2 2 2\r\n1 1 3.0\r\n2 2 4.0\r\n"
+  in
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Csc.dims a);
+  Test_util.check_float "a(0,0)" 3.0 (Csc.get a 0 0);
+  Test_util.check_float "a(1,1)" 4.0 (Csc.get a 1 1)
+
+let test_mtx_header_mixed_case () =
+  let a =
+    read_string
+      "%%MatrixMarket  MATRIX   Coordinate  Real  Symmetric\n2 2 2\n1 1 1.0\n2 1 -0.5\n"
+  in
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Csc.dims a);
+  Test_util.check_float "mirrored" (-0.5) (Csc.get a 0 1)
+
+let test_mtx_nonfinite_values_load () =
+  (* nan/inf entries must load (diagnostics report them); Scanf's %f used
+     to reject the tokens outright. *)
+  let a =
+    read_string
+      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 nan\n2 2 inf\n2 1 1.5\n"
+  in
+  Alcotest.(check bool) "nan stored" true (Float.is_nan (Csc.get a 0 0));
+  Test_util.check_float "inf stored" infinity (Csc.get a 1 1);
+  Test_util.check_float "finite neighbor" 1.5 (Csc.get a 1 0)
+
 (* ---- properties ---- *)
 
 let sddm_gen =
@@ -345,6 +382,12 @@ let () =
           Alcotest.test_case "general roundtrip" `Quick test_mtx_roundtrip_general;
           Alcotest.test_case "symmetric roundtrip" `Quick test_mtx_roundtrip_symmetric;
           Alcotest.test_case "garbage rejected" `Quick test_mtx_rejects_garbage;
+          Alcotest.test_case "tab/CRLF header tolerated" `Quick
+            test_mtx_header_whitespace;
+          Alcotest.test_case "mixed-case header tolerated" `Quick
+            test_mtx_header_mixed_case;
+          Alcotest.test_case "nan/inf values load" `Quick
+            test_mtx_nonfinite_values_load;
           Alcotest.test_case "vector roundtrip" `Quick test_mtx_vector_roundtrip;
           Alcotest.test_case "vector rejects matrix" `Quick
             test_mtx_vector_rejects_matrix;
