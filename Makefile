@@ -1,4 +1,4 @@
-.PHONY: build check test test-robust clean
+.PHONY: build check test test-robust bench-smoke fmt fmt-check clean
 
 build:
 	dune build
@@ -12,6 +12,23 @@ test: check
 # Only the robustness / fault-injection suite.
 test-robust:
 	dune build @runtest-robust
+
+# Scaled-down Table 1 + regression gate against the committed baseline —
+# the same thing the CI bench-smoke job runs.
+bench-smoke:
+	BENCH_SCALE=0.05 dune exec bench/main.exe table1
+	dune exec bench/compare.exe bench_artifacts/baseline.json \
+	  bench_artifacts/bench.json
+
+fmt:
+	dune fmt
+
+# Formatting check; skips gracefully on machines without ocamlformat
+# (the pinned version is in .ocamlformat; CI installs it).
+fmt-check:
+	@command -v ocamlformat >/dev/null 2>&1 \
+	  && dune build @fmt \
+	  || echo "ocamlformat not installed; skipping fmt-check"
 
 clean:
 	dune clean

@@ -1,0 +1,130 @@
+(* Bench-regression gate.
+
+   Usage: compare.exe BASELINE.json CURRENT.json
+
+   Both files follow the powerrchol-bench/v1 schema written by
+   Runner.write_bench_json. The gate fails (exit 1) when any (case,
+   solver) row present in both files shows a per-phase time regression
+   beyond the tolerance, or a case that converged in the baseline no
+   longer converges.
+
+   Tolerances are deliberately generous — CI machines are noisy and the
+   smoke run uses tiny cases — and tunable via environment:
+
+     BENCH_TOL_FACTOR   ratio above which a phase counts as regressed
+                        (default 2.0, i.e. >2x slower)
+     BENCH_TOL_ABS      absolute slack in seconds added on top, which
+                        also mutes phases too short to measure reliably
+                        (default 0.05)
+
+   A phase regresses only if  current > factor * baseline + abs_slack,
+   so microsecond-scale phases can never trip the gate on jitter alone.
+   Rows present on one side only are reported but never fatal: the case
+   list legitimately changes as the suite evolves. *)
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let tol_factor = getenv_float "BENCH_TOL_FACTOR" 2.0
+let tol_abs = getenv_float "BENCH_TOL_ABS" 0.05
+let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
+
+let read_json path =
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  match Obs.Json.parse contents with
+  | Ok j -> j
+  | Error msg ->
+    Printf.eprintf "compare: %s: %s\n" path msg;
+    exit 2
+
+let rows_of doc path =
+  match Obs.Json.member "rows" doc with
+  | Some (Obs.Json.List rows) -> rows
+  | _ ->
+    Printf.eprintf "compare: %s: missing \"rows\" list\n" path;
+    exit 2
+
+let str_field key row =
+  match Obs.Json.member key row with Some (Obs.Json.Str s) -> s | _ -> "?"
+
+let key_of row = (str_field "case" row, str_field "solver" row)
+
+let converged row =
+  match Obs.Json.member "converged" row with
+  | Some (Obs.Json.Bool b) -> b
+  | _ -> true
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: compare.exe BASELINE.json CURRENT.json";
+      exit 2
+  in
+  let baseline = rows_of (read_json baseline_path) baseline_path in
+  let current = rows_of (read_json current_path) current_path in
+  let index rows =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun row -> Hashtbl.replace tbl (key_of row) row) rows;
+    tbl
+  in
+  let base_tbl = index baseline in
+  let failures = ref [] in
+  let notes = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun row ->
+      let case, solver = key_of row in
+      match Hashtbl.find_opt base_tbl (case, solver) with
+      | None ->
+        notes := Printf.sprintf "new row (no baseline): %s/%s" case solver
+                 :: !notes
+      | Some base_row ->
+        incr compared;
+        List.iter
+          (fun phase ->
+            let get r =
+              Option.bind (Obs.Json.member phase r) Obs.Json.to_float
+            in
+            match (get base_row, get row) with
+            | Some old_t, Some new_t ->
+              if new_t > (tol_factor *. old_t) +. tol_abs then
+                failures :=
+                  Printf.sprintf
+                    "%s/%s %s regressed: %.4fs -> %.4fs (> %.1fx + %.2fs)"
+                    case solver phase old_t new_t tol_factor tol_abs
+                  :: !failures
+            | _ ->
+              notes := Printf.sprintf "%s/%s: missing %s" case solver phase
+                       :: !notes)
+          phases;
+        if converged base_row && not (converged row) then
+          failures :=
+            Printf.sprintf "%s/%s no longer converges" case solver
+            :: !failures)
+    current;
+  List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
+  if !compared = 0 then
+    (* an empty intersection means the gate compared nothing: make that
+       loud, because a silently green no-op gate is worse than none *)
+    Printf.printf
+      "warning: no (case, solver) rows in common between %s and %s\n"
+      baseline_path current_path;
+  match List.rev !failures with
+  | [] ->
+    Printf.printf
+      "bench gate OK: %d row(s) compared, tolerance %.1fx + %.2fs\n" !compared
+      tol_factor tol_abs
+  | fs ->
+    List.iter (fun f -> Printf.printf "FAIL: %s\n" f) fs;
+    Printf.printf "bench gate FAILED: %d regression(s) in %d row(s)\n"
+      (List.length fs) !compared;
+    exit 1

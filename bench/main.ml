@@ -39,17 +39,20 @@ let run_all () =
     experiments
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] -> run_all ()
-  | [ _; name ] -> (
-    match List.assoc_opt name experiments with
-    | Some f ->
-      f ();
-      flush stdout
-    | None ->
-      Printf.eprintf "unknown experiment %S; available: %s all\n" name
-        (String.concat " " (List.map fst experiments));
-      exit 1)
-  | _ ->
-    Printf.eprintf "usage: main.exe [table1|...|fig3|ablation|micro|all]\n";
-    exit 1
+  (match Array.to_list Sys.argv with
+   | [ _ ] | [ _; "all" ] -> run_all ()
+   | [ _; name ] -> (
+     match List.assoc_opt name experiments with
+     | Some f ->
+       f ();
+       flush stdout
+     | None ->
+       Printf.eprintf "unknown experiment %S; available: %s all\n" name
+         (String.concat " " (List.map fst experiments));
+       exit 1)
+   | _ ->
+     Printf.eprintf "usage: main.exe [table1|...|fig3|ablation|micro|all]\n";
+     exit 1);
+  (* machine-readable summary of every (case, solver) measurement this
+     run, diffed across commits by bench/compare.exe *)
+  Runner.write_bench_json ()

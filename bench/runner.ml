@@ -58,6 +58,18 @@ let problem_of (case : Powergrid.Suite.case) =
 let result_cache : (string * solver_id, Powerrchol.Solver.result) Hashtbl.t =
   Hashtbl.create 64
 
+(* Every (case, solver) measurement, in run order, for the bench.json
+   summary that CI diffs across commits. *)
+type bench_row = {
+  row_case : string;
+  row_solver : string;
+  row_n : int;
+  row_nnz : int;
+  row_result : Powerrchol.Solver.result;
+}
+
+let bench_rows : bench_row list ref = ref []
+
 let run case solver_id =
   let key = (case.Powergrid.Suite.id, solver_id) in
   match Hashtbl.find_opt result_cache key with
@@ -66,6 +78,15 @@ let run case solver_id =
     let p = problem_of case in
     let r = Powerrchol.Solver.run ~rtol (instantiate solver_id) p in
     Hashtbl.replace result_cache key r;
+    bench_rows :=
+      {
+        row_case = case.Powergrid.Suite.id;
+        row_solver = solver_name solver_id;
+        row_n = Sddm.Problem.n p;
+        row_nnz = Sddm.Problem.nnz p;
+        row_result = r;
+      }
+      :: !bench_rows;
     r
 
 let drop_cached_problem case =
@@ -121,3 +142,47 @@ let with_csv name f =
   let path = Filename.concat artifact_dir name in
   Out_channel.with_open_text path f;
   printf "[csv written: %s]\n" path
+
+(* ---- bench.json: machine-readable summary for the CI regression gate ----
+
+   Schema powerrchol-bench/v1 (see EXPERIMENTS.md): one row per
+   (case, solver) pair actually measured this run, with the per-phase
+   seconds, iteration count and true relative residual; bench/compare.ml
+   diffs two of these files and fails on phase-time regressions. *)
+
+let bench_row_json row =
+  let r = row.row_result in
+  Obs.Json.Obj
+    [
+      ("case", Obs.Json.Str row.row_case);
+      ("solver", Obs.Json.Str row.row_solver);
+      ("n", Obs.Json.Int row.row_n);
+      ("nnz", Obs.Json.Int row.row_nnz);
+      ("t_reorder", Obs.Json.Float r.Powerrchol.Solver.t_reorder);
+      ("t_factor", Obs.Json.Float r.Powerrchol.Solver.t_precond);
+      ("t_iterate", Obs.Json.Float r.Powerrchol.Solver.t_iterate);
+      ("t_total", Obs.Json.Float r.Powerrchol.Solver.t_total);
+      ("iterations", Obs.Json.Int r.Powerrchol.Solver.iterations);
+      ("relres", Obs.Json.Float r.Powerrchol.Solver.residual);
+      ("converged", Obs.Json.Bool r.Powerrchol.Solver.converged);
+      ("factor_nnz", Obs.Json.Int r.Powerrchol.Solver.factor_nnz);
+    ]
+
+let write_bench_json () =
+  if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
+  let path = Filename.concat artifact_dir "bench.json" in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "powerrchol-bench/v1");
+        ("scale", Obs.Json.Float scale);
+        ("rtol", Obs.Json.Float rtol);
+        ( "rows",
+          Obs.Json.List (List.rev_map bench_row_json !bench_rows) );
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Obs.Json.to_string ~indent:true doc);
+      output_char oc '\n');
+  printf "[bench json written: %s (%d rows)]\n" path
+    (List.length !bench_rows)

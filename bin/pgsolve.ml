@@ -160,11 +160,45 @@ let scale_arg =
 
 (* ---- solve ---- *)
 
+(* ---- telemetry emission shared by the solve paths ---- *)
+
+let emit_telemetry ~profile ~metrics_json record =
+  if profile then print_string (Obs.record_to_text record);
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc
+          (Obs.Json.to_string ~indent:true (Obs.record_to_json record));
+        output_char oc '\n');
+    Printf.printf "[metrics written: %s]\n" path
+
 let solve_cmd =
   let budget =
     Arg.(
       value & opt float 0.05
       & info [ "budget" ] ~docv:"V" ~doc:"IR-drop violation budget (volts).")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable the observability layer for this solve and print the \
+             telemetry report: hierarchical phase spans (reorder / factor / \
+             pcg with bucket-sort, target-merge and triangular-solve \
+             sub-spans) and counters (sampled clique edges, fill-in, \
+             preconditioner nnz ratio, PCG iterations).")
+  in
+  let metrics_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable telemetry record of the solve to \
+             $(docv) (implies instrumentation; schema \
+             powerrchol-telemetry/v1).")
   in
   let robust_flag =
     Arg.(
@@ -188,7 +222,8 @@ let solve_cmd =
              found.")
   in
   let run netlist mtx rhs case scale solver_tag rtol seed budget robust
-      diagnose =
+      diagnose profile metrics_json =
+    let instrument = profile || metrics_json <> None in
     if diagnose then begin
       let report =
         match mtx with
@@ -206,11 +241,26 @@ let solve_cmd =
         match mtx with
         | Some path ->
           let name, a, b = load_mtx_raw ?rhs path in
-          Powerrchol.Pipeline.solve_matrix_robust ~rtol ~seed ~name ~a ~b ()
+          if instrument then begin
+            let r, record =
+              Powerrchol.Pipeline.solve_matrix_robust_profiled ~rtol ~seed
+                ~name ~a ~b ()
+            in
+            emit_telemetry ~profile ~metrics_json record;
+            r
+          end
+          else Powerrchol.Pipeline.solve_matrix_robust ~rtol ~seed ~name ~a ~b ()
         | None ->
           let problem = load_problem ?rhs netlist mtx case scale in
           Printf.printf "%s\n" (Sddm.Problem.describe problem);
-          Powerrchol.Pipeline.solve_robust ~rtol ~seed problem
+          if instrument then begin
+            let r, record =
+              Powerrchol.Solver.solve_robust_profiled ~rtol ~seed problem
+            in
+            emit_telemetry ~profile ~metrics_json record;
+            r
+          end
+          else Powerrchol.Pipeline.solve_robust ~rtol ~seed problem
       in
       Format.printf "%a@." Powerrchol.Pipeline.pp_robust r;
       if not (Powerrchol.Solver.robust_ok r) then exit 1
@@ -219,7 +269,14 @@ let solve_cmd =
       let problem = load_problem ?rhs netlist mtx case scale in
       Printf.printf "%s\n" (Sddm.Problem.describe problem);
       let solver = solver_of_tag ~seed solver_tag in
-      let r = Powerrchol.Solver.run ~rtol solver problem in
+      let r =
+        if instrument then begin
+          let r, record = Powerrchol.Solver.run_profiled ~rtol solver problem in
+          emit_telemetry ~profile ~metrics_json record;
+          r
+        end
+        else Powerrchol.Solver.run ~rtol solver problem
+      in
       report_result r;
       if r.Powerrchol.Solver.converged && netlist = None && mtx = None then begin
         (* suite power-grid cases use the drop formulation: report IR drop *)
@@ -234,7 +291,7 @@ let solve_cmd =
     Term.(
       const run $ netlist_pos $ mtx_arg $ rhs_arg $ case_arg $ scale_arg
       $ solver_arg $ rtol_arg $ seed_arg $ budget $ robust_flag
-      $ diagnose_flag)
+      $ diagnose_flag $ profile_flag $ metrics_json_arg)
 
 (* ---- compare ---- *)
 

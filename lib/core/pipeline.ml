@@ -2,6 +2,10 @@ let solve ?rtol ?max_iter ?seed ?buckets ?heavy_factor problem =
   let solver = Solver.powerrchol ?buckets ?heavy_factor ?seed () in
   Solver.run ?rtol ?max_iter solver problem
 
+let solve_profiled ?rtol ?max_iter ?seed ?buckets ?heavy_factor problem =
+  let solver = Solver.powerrchol ?buckets ?heavy_factor ?seed () in
+  Solver.run_profiled ?rtol ?max_iter solver problem
+
 let solve_matrix ?rtol ?max_iter ?seed ?(name = "matrix") ~a ~b () =
   let problem = Sddm.Problem.of_matrix ~name ~a ~b in
   solve ?rtol ?max_iter ?seed problem
@@ -35,6 +39,13 @@ let solve_matrix_robust ?rtol ?max_iter ?seed ?retries ?(name = "matrix") ~a
         Solver.diagnostics;
         outcome = Solver.Robust_rejected { reasons = [ msg ] };
       }
+
+let solve_matrix_robust_profiled ?rtol ?max_iter ?seed ?retries
+    ?(name = "matrix") ~a ~b () =
+  let _, n = Sparse.Csc.dims a in
+  Solver.with_obs
+    ~meta_of:(Solver.robust_meta_of ~case:name ~n ~nnz:(Sparse.Csc.nnz a))
+    (fun () -> solve_matrix_robust ?rtol ?max_iter ?seed ?retries ~name ~a ~b ())
 
 let pp_result fmt (r : Solver.result) =
   Format.fprintf fmt

@@ -16,6 +16,14 @@ val solve_matrix :
 (** Like {!solve} but validates and splits a raw matrix first. Raises
     [Invalid_argument] if [a] is not SDDM. *)
 
+val solve_profiled :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?buckets:int ->
+  ?heavy_factor:float -> Sddm.Problem.t -> Solver.result * Obs.record
+(** {!solve} with the observability layer enabled: also returns the
+    structured telemetry record (hierarchical phase spans, counters, and
+    a meta header matching the result). Render with
+    {!Obs.record_to_text} or export with {!Obs.record_to_json}. *)
+
 val pp_result : Format.formatter -> Solver.result -> unit
 (** One-paragraph human-readable report (phase times, iterations,
     residual). *)
@@ -40,6 +48,15 @@ val solve_matrix_robust :
     pre-flight diagnostics run {e before} SDDM validation, so NaN entries,
     asymmetry, lost dominance, zero rows, and floating islands come back as
     a structured [Robust_rejected] report instead of an exception. *)
+
+val solve_matrix_robust_profiled :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
+  ?name:string -> a:Sparse.Csc.t -> b:float array -> unit ->
+  Solver.robust_result * Obs.record
+(** {!solve_matrix_robust} with the observability layer enabled (see
+    {!Solver.solve_robust_profiled}). Diagnostics-rejected inputs still
+    produce a record: [outcome = "rejected"] in the meta, with whatever
+    spans ran before rejection. *)
 
 val pp_robust : Format.formatter -> Solver.robust_result -> unit
 (** Human-readable diagnostic report plus fallback trace. *)

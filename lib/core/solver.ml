@@ -28,11 +28,21 @@ let default_seed = 20240623
 
 let now = Unix.gettimeofday
 
+(* Telemetry helper: every prepare ends here so the preconditioner size
+   ratio lands in the record regardless of which solver ran. *)
+let note_prepared problem (p : prepared) =
+  if Obs.enabled () then
+    Obs.gauge "precond_nnz_ratio"
+      (float_of_int p.factor_nnz
+      /. float_of_int (max 1 (Sddm.Problem.nnz problem)));
+  p
+
 let iterate ?rtol ?(max_iter = 500) solver prepared problem =
   let t0 = now () in
   let pcg =
-    Krylov.Pcg.solve ?rtol ~max_iter ~a:problem.Sddm.Problem.a
-      ~b:problem.Sddm.Problem.b ~precond:prepared.precond ()
+    Obs.span "pcg" (fun () ->
+        Krylov.Pcg.solve ?rtol ~max_iter ~a:problem.Sddm.Problem.a
+          ~b:problem.Sddm.Problem.b ~precond:prepared.precond ())
   in
   let t_iterate = now () -. t0 in
   {
@@ -78,19 +88,23 @@ let rand_chol_custom ~name ~sort ~sampling ~ordering ?(seed = default_seed)
   let prepare problem =
     let g = problem.Sddm.Problem.graph in
     let t0 = now () in
-    let perm = apply_ordering ordering g in
+    let perm = Obs.span "reorder" (fun () -> apply_ordering ordering g) in
     let t1 = now () in
-    let gp = Sddm.Graph.permute g perm in
-    let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
-    let rng = Rng.create seed in
-    let l = Factor.Rand_chol.factorize ~sort ~sampling ~rng gp ~d:dp in
+    let l =
+      Obs.span "factor" (fun () ->
+          let gp = Sddm.Graph.permute g perm in
+          let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+          let rng = Rng.create seed in
+          Factor.Rand_chol.factorize ~sort ~sampling ~rng gp ~d:dp)
+    in
     let t2 = now () in
-    {
-      precond = Krylov.Precond.of_factor ~name ~perm l;
-      t_reorder = t1 -. t0;
-      t_precond = t2 -. t1;
-      factor_nnz = Factor.Lower.nnz l;
-    }
+    note_prepared problem
+      {
+        precond = Krylov.Precond.of_factor ~name ~perm l;
+        t_reorder = t1 -. t0;
+        t_precond = t2 -. t1;
+        factor_nnz = Factor.Lower.nnz l;
+      }
   in
   { name; prepare }
 
@@ -112,19 +126,25 @@ let powerrchol ?(buckets = Factor.Lt_rchol.default_buckets)
   let prepare problem =
     let g = problem.Sddm.Problem.graph in
     let t0 = now () in
-    let perm = Ordering.Degree_sort.order ~heavy_factor g in
+    let perm =
+      Obs.span "reorder" (fun () -> Ordering.Degree_sort.order ~heavy_factor g)
+    in
     let t1 = now () in
-    let gp = Sddm.Graph.permute g perm in
-    let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
-    let rng = Rng.create seed in
-    let l = Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp in
+    let l =
+      Obs.span "factor" (fun () ->
+          let gp = Sddm.Graph.permute g perm in
+          let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+          let rng = Rng.create seed in
+          Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp)
+    in
     let t2 = now () in
-    {
-      precond = Krylov.Precond.of_factor ~name:"powerrchol" ~perm l;
-      t_reorder = t1 -. t0;
-      t_precond = t2 -. t1;
-      factor_nnz = Factor.Lower.nnz l;
-    }
+    note_prepared problem
+      {
+        precond = Krylov.Precond.of_factor ~name:"powerrchol" ~perm l;
+        t_reorder = t1 -. t0;
+        t_precond = t2 -. t1;
+        factor_nnz = Factor.Lower.nnz l;
+      }
   in
   { name = "powerrchol"; prepare }
 
@@ -133,24 +153,28 @@ let powerrchol ?(buckets = Factor.Lt_rchol.default_buckets)
 let fegrass_prepare ~recover_fraction ~factorize problem =
   let g = problem.Sddm.Problem.graph in
   let t0 = now () in
-  let sp = Fegrass.sparsify ~recover_fraction g in
-  let sparsifier_a =
-    Sddm.Graph.to_sddm sp.Fegrass.graph problem.Sddm.Problem.d
+  let sp, sparsifier_a =
+    Obs.span "factor" (fun () ->
+        let sp = Fegrass.sparsify ~recover_fraction g in
+        (sp, Sddm.Graph.to_sddm sp.Fegrass.graph problem.Sddm.Problem.d))
   in
   let t1 = now () in
   (* The sparsifier is near-tree; AMD keeps its exact factor sparse. The
      reordering time is charged to t_reorder like the paper's tables. *)
-  let perm = Ordering.Amd.order sp.Fegrass.graph in
+  let perm = Obs.span "reorder" (fun () -> Ordering.Amd.order sp.Fegrass.graph) in
   let t2 = now () in
-  let reordered = Sparse.Csc.permute_sym sparsifier_a perm in
-  let l = factorize reordered in
+  let l =
+    Obs.span "factor" (fun () ->
+        factorize (Sparse.Csc.permute_sym sparsifier_a perm))
+  in
   let t3 = now () in
-  {
-    precond = Krylov.Precond.of_factor ~name:"fegrass" ~perm l;
-    t_reorder = t2 -. t1;
-    t_precond = t3 -. t2 +. (t1 -. t0);
-    factor_nnz = Factor.Lower.nnz l;
-  }
+  note_prepared problem
+    {
+      precond = Krylov.Precond.of_factor ~name:"fegrass" ~perm l;
+      t_reorder = t2 -. t1;
+      t_precond = t3 -. t2 +. (t1 -. t0);
+      factor_nnz = Factor.Lower.nnz l;
+    }
 
 let fegrass ?(recover_fraction = 0.02) () =
   {
@@ -172,15 +196,19 @@ let fegrass_ichol ?(recover_fraction = 0.5) ?(drop_tol = 8.5e-6) () =
 let amg_pcg ?(theta = 0.08) ?smoother () =
   let prepare problem =
     let t0 = now () in
-    let hierarchy = Amg.build ~theta ?smoother problem.Sddm.Problem.a in
+    let hierarchy =
+      Obs.span "factor" (fun () ->
+          Amg.build ~theta ?smoother problem.Sddm.Problem.a)
+    in
     let t1 = now () in
     let precond = Amg.preconditioner hierarchy in
-    {
-      precond;
-      t_reorder = 0.0;
-      t_precond = t1 -. t0;
-      factor_nnz = precond.Krylov.Precond.nnz;
-    }
+    note_prepared problem
+      {
+        precond;
+        t_reorder = 0.0;
+        t_precond = t1 -. t0;
+        factor_nnz = precond.Krylov.Precond.nnz;
+      }
   in
   { name = "amg-pcg"; prepare }
 
@@ -190,30 +218,37 @@ let direct () =
   let prepare problem =
     let g = problem.Sddm.Problem.graph in
     let t0 = now () in
-    let perm = Ordering.Amd.order g in
+    let perm = Obs.span "reorder" (fun () -> Ordering.Amd.order g) in
     let t1 = now () in
-    let reordered = Sparse.Csc.permute_sym problem.Sddm.Problem.a perm in
-    let l = Factor.Chol.factorize reordered in
+    let l =
+      Obs.span "factor" (fun () ->
+          Factor.Chol.factorize
+            (Sparse.Csc.permute_sym problem.Sddm.Problem.a perm))
+    in
     let t2 = now () in
-    {
-      precond = Krylov.Precond.of_factor ~name:"direct" ~perm l;
-      t_reorder = t1 -. t0;
-      t_precond = t2 -. t1;
-      factor_nnz = Factor.Lower.nnz l;
-    }
+    note_prepared problem
+      {
+        precond = Krylov.Precond.of_factor ~name:"direct" ~perm l;
+        t_reorder = t1 -. t0;
+        t_precond = t2 -. t1;
+        factor_nnz = Factor.Lower.nnz l;
+      }
   in
   { name = "direct"; prepare }
 
 let jacobi () =
   let prepare problem =
     let t0 = now () in
-    let precond = Krylov.Precond.jacobi problem.Sddm.Problem.a in
-    {
-      precond;
-      t_reorder = 0.0;
-      t_precond = now () -. t0;
-      factor_nnz = precond.Krylov.Precond.nnz;
-    }
+    let precond =
+      Obs.span "factor" (fun () -> Krylov.Precond.jacobi problem.Sddm.Problem.a)
+    in
+    note_prepared problem
+      {
+        precond;
+        t_reorder = 0.0;
+        t_precond = now () -. t0;
+        factor_nnz = precond.Krylov.Precond.nnz;
+      }
   in
   { name = "jacobi"; prepare }
 
@@ -358,6 +393,88 @@ let solve_robust ?(rtol = 1e-6) ?(max_iter = 500) ?(seed = default_seed)
       else { diagnostics; outcome = Robust_exhausted { attempts } }
     end
   end
+
+(* ---- telemetry ---- *)
+
+(* A profiled run owns the global Obs store for its duration: reset,
+   enable, run, snapshot. The previous enabled state is restored so
+   nesting a profiled solve inside other instrumented code stays sane. *)
+let with_obs ~meta_of f =
+  let was = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  match f () with
+  | v ->
+    let record = Obs.capture ~meta:(meta_of v) () in
+    Obs.set_enabled was;
+    (v, record)
+  | exception exn ->
+    Obs.set_enabled was;
+    raise exn
+
+let result_meta problem (r : result) =
+  [
+    ("solver", Obs.Json.Str r.solver);
+    ("case", Obs.Json.Str problem.Sddm.Problem.name);
+    ("n", Obs.Json.Int (Sddm.Problem.n problem));
+    ("nnz", Obs.Json.Int (Sddm.Problem.nnz problem));
+    ("iterations", Obs.Json.Int r.iterations);
+    ("status", Obs.Json.Str (Krylov.Pcg.status_to_string r.status));
+    ("converged", Obs.Json.Bool r.converged);
+    ("relres", Obs.Json.Float r.residual);
+    ("t_reorder", Obs.Json.Float r.t_reorder);
+    ("t_factor", Obs.Json.Float r.t_precond);
+    ("t_iterate", Obs.Json.Float r.t_iterate);
+    ("t_total", Obs.Json.Float r.t_total);
+    ("factor_nnz", Obs.Json.Int r.factor_nnz);
+  ]
+
+let run_profiled ?rtol ?max_iter solver problem =
+  with_obs
+    ~meta_of:(result_meta problem)
+    (fun () -> run ?rtol ?max_iter solver problem)
+
+let robust_meta_of ~case ~n ~nnz (r : robust_result) =
+  let common =
+    [
+      ("mode", Obs.Json.Str "robust");
+      ("case", Obs.Json.Str case);
+      ("n", Obs.Json.Int n);
+      ("nnz", Obs.Json.Int nnz);
+    ]
+  in
+  common
+  @
+  match r.outcome with
+  | Robust_solved { winner; iterations; residual; attempts; _ } ->
+    [
+      ("outcome", Obs.Json.Str "solved");
+      ("winner", Obs.Json.Str winner);
+      ("iterations", Obs.Json.Int iterations);
+      ("relres", Obs.Json.Float residual);
+      ("failed_rungs", Obs.Json.Int (List.length attempts));
+    ]
+  | Robust_rejected { reasons } ->
+    [
+      ("outcome", Obs.Json.Str "rejected");
+      ("reasons", Obs.Json.List (List.map (fun m -> Obs.Json.Str m) reasons));
+    ]
+  | Robust_exhausted { attempts } ->
+    [
+      ("outcome", Obs.Json.Str "exhausted");
+      ("failed_rungs", Obs.Json.Int (List.length attempts));
+    ]
+
+let robust_meta problem =
+  robust_meta_of
+    ~case:problem.Sddm.Problem.name
+    ~n:(Sddm.Problem.n problem)
+    ~nnz:(Sddm.Problem.nnz problem)
+
+let solve_robust_profiled ?rtol ?max_iter ?seed ?retries problem =
+  with_obs
+    ~meta_of:(robust_meta problem)
+    (fun () -> solve_robust ?rtol ?max_iter ?seed ?retries problem)
 
 (* Deterministic one-line rendering of the whole robust run: diagnostic
    summary, every failed rung with its reason, and the final verdict. Used

@@ -136,3 +136,35 @@ val robust_rungs :
 val robust_trace : robust_result -> string
 (** Deterministic one-line trace: diagnostics summary, each failed rung
     with its reason, final verdict. *)
+
+(** {1 Telemetry}
+
+    Profiled variants enable the {!Obs} layer for the duration of one
+    solve and return the captured record alongside the result: phase
+    spans ([reorder] / [factor] / [pcg] with sub-spans for the bucket
+    sort, target-array merge, and triangular solves), counters (sampled
+    clique edges, fill-in nonzeros, [precond_nnz_ratio], PCG iterations,
+    fallback escalations), and a meta header whose [iterations], [status]
+    and phase times mirror the {!result}. *)
+
+val run_profiled :
+  ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t ->
+  result * Obs.record
+
+val solve_robust_profiled :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
+  Sddm.Problem.t -> robust_result * Obs.record
+
+val with_obs :
+  meta_of:('a -> (string * Obs.Json.t) list) -> (unit -> 'a) ->
+  'a * Obs.record
+(** Building block for profiled entry points over other solve paths
+    (e.g. {!Pipeline.solve_matrix_robust_profiled}): reset and enable the
+    {!Obs} store, run the thunk, capture the record with [meta_of]'s
+    header, and restore the previous enabled state (also on exception). *)
+
+val robust_meta_of :
+  case:string -> n:int -> nnz:int -> robust_result ->
+  (string * Obs.Json.t) list
+(** The meta header {!solve_robust_profiled} attaches, for callers that
+    only have the raw matrix dimensions (no {!Sddm.Problem.t}). *)

@@ -130,6 +130,7 @@ let attempt ~drop_tol ~alpha a =
   Lower.of_raw ~n ~col_ptr ~rows ~vals
 
 let factorize ?(drop_tol = 1e-4) ?(initial_shift = 1e-3) ?(max_tries = 12) a =
+  Obs.span "ichol" @@ fun () ->
   let rec go alpha tries =
     if tries >= max_tries then
       failwith "Ichol.factorize: breakdown persists after maximum shifts"
@@ -137,6 +138,7 @@ let factorize ?(drop_tol = 1e-4) ?(initial_shift = 1e-3) ?(max_tries = 12) a =
       match attempt ~drop_tol ~alpha a with
       | l -> l
       | exception Breakdown _ ->
+        Obs.count "shift_retries" 1;
         let alpha' = if alpha = 0.0 then initial_shift else 2.0 *. alpha in
         go alpha' (tries + 1)
   in

@@ -1,6 +1,7 @@
 let default_buckets = 256
 
 let factorize ?(buckets = default_buckets) ~rng g ~d =
+  Obs.span "lt_rchol" @@ fun () ->
   Rand_chol.factorize
     ~sort:(Rand_chol.Counting_sort { buckets })
     ~sampling:Rand_chol.Shared_random ~rng g ~d

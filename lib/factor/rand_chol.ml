@@ -185,6 +185,13 @@ let factorize ~sort ~sampling ~rng g ~d =
   let g = Sddm.Graph.coalesce g in
   let n = Sddm.Graph.n_vertices g in
   assert (Array.length d = n);
+  (* Telemetry: [obs] is read once so the disabled fast path costs a
+     branch per column and allocates nothing; sub-phase times accumulate
+     into local refs and flush as two aggregate spans at the end. *)
+  let obs = Obs.enabled () in
+  let t_sort = ref 0.0 and n_sort = ref 0 in
+  let t_merge = ref 0.0 and n_merge = ref 0 in
+  let sampled = ref 0 in
   (* --- initial per-column edge lists --- *)
   let init_count = Array.make n 0 in
   Sddm.Graph.iter_edges g (fun u v _ ->
@@ -258,6 +265,7 @@ let factorize ~sort ~sampling ~rng g ~d =
     if not (d_k > 0.0 && d_k < infinity) then
       raise (Breakdown { column = k; pivot = d_k });
     (* ---- sort neighbors by weight (ascending) ---- *)
+    let st0 = if obs then Obs.now () else 0.0 in
     (match sort with
      | No_sort -> ()
      | Exact_sort -> if m > 1 then quicksort_by ws.nbrs ws.wval 0 (m - 1)
@@ -267,6 +275,10 @@ let factorize ~sort ~sampling ~rng g ~d =
           because the cutoff is constant *)
        if m > 1 && m <= 16 then quicksort_by ws.nbrs ws.wval 0 (m - 1)
        else if m > 1 then counting_sort ws ~buckets ~m ~stamp:tag);
+    if obs && m > 1 then begin
+      t_sort := !t_sort +. (Obs.now () -. st0);
+      incr n_sort
+    end;
     (* ---- emit column k of L ---- *)
     let sqrt_dk = sqrt d_k in
     l_push k sqrt_dk;
@@ -296,6 +308,7 @@ let factorize ~sort ~sampling ~rng g ~d =
         done;
         let total = ws.pfs.(m - 1) in
         (* ---- partner selection ---- *)
+        let mt0 = if obs then Obs.now () else 0.0 in
         (match sampling with
          | Per_neighbor ->
            for j = 0 to m - 2 do
@@ -318,6 +331,10 @@ let factorize ~sort ~sampling ~rng g ~d =
            done;
            Locate.locate_into ~a:ws.pfs ~a_len:m ~targets:ws.targets
              ~t_len:(m - 1) ~out:ws.locs);
+        if obs then begin
+          t_merge := !t_merge +. (Obs.now () -. mt0);
+          incr n_merge
+        end;
         (* ---- add the sampled fill edges ---- *)
         for j = 0 to m - 2 do
           (* locate can land at j itself when rounding makes the target
@@ -330,13 +347,21 @@ let factorize ~sort ~sampling ~rng g ~d =
           let w_new = s_j *. ws.wval.(n_j) /. d_k in
           if w_new > 0.0 && n_j <> n_l then begin
             let a = min n_j n_l and b = max n_j n_l in
-            column_push cols.(a) b w_new
+            column_push cols.(a) b w_new;
+            incr sampled
           end
         done
       end
     end
   done;
   col_ptr.(n) <- !l_len;
+  if obs then begin
+    Obs.record_span "sort" ~seconds:!t_sort ~calls:!n_sort;
+    Obs.record_span "merge" ~seconds:!t_merge ~calls:!n_merge;
+    Obs.count "sampled_edges" !sampled;
+    Obs.count "factor_nnz" !l_len;
+    Obs.count "fill_nnz" (max 0 (!l_len - n - Sddm.Graph.n_edges g))
+  end;
   Lower.of_raw ~n ~col_ptr
     ~rows:(Array.sub !l_rows 0 (max !l_len 1))
     ~vals:(Array.sub !l_vals 0 (max !l_len 1))

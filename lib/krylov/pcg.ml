@@ -92,9 +92,41 @@ let condition_from_coefficients alphas betas =
 let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
     ~n ~apply_a ~b ~(precond : Precond.t) () =
   assert (Array.length b = n);
+  (* Telemetry: read the flag once; the hot loop then pays one branch per
+     operator application and nothing else. The preconditioner span covers
+     the triangular solves (or whatever [precond.apply] does). *)
+  let obs = Obs.enabled () in
+  let t_pre = ref 0.0 and n_pre = ref 0 in
+  let t_op = ref 0.0 and n_op = ref 0 in
+  let apply_precond r z =
+    if obs then begin
+      let t0 = Obs.now () in
+      precond.apply r z;
+      t_pre := !t_pre +. (Obs.now () -. t0);
+      incr n_pre
+    end
+    else precond.apply r z
+  in
+  let apply_op v w =
+    if obs then begin
+      let t0 = Obs.now () in
+      apply_a v w;
+      t_op := !t_op +. (Obs.now () -. t0);
+      incr n_op
+    end
+    else apply_a v w
+  in
+  let flush_obs iterations =
+    if obs then begin
+      Obs.record_span "precond" ~seconds:!t_pre ~calls:!n_pre;
+      Obs.record_span "spmv" ~seconds:!t_op ~calls:!n_op;
+      Obs.count "iterations" iterations
+    end
+  in
   let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
   let b_norm = Sparse.Vec.norm2 b in
-  if b_norm = 0.0 then
+  if b_norm = 0.0 then begin
+    flush_obs 0;
     {
       x = Array.make n 0.0;
       iterations = 0;
@@ -104,12 +136,13 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
       history = [||];
       condition_estimate = 1.0;
     }
+  end
   else begin
     let r = Array.make n 0.0 in
     (* r = b - A x0 *)
     if x0 = None then Array.blit b 0 r 0 n
     else begin
-      apply_a x r;
+      apply_op x r;
       for i = 0 to n - 1 do
         r.(i) <- b.(i) -. r.(i)
       done
@@ -120,7 +153,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
     let history = ref [] in
     let alphas = ref [] in
     let betas = ref [] in
-    precond.apply r z;
+    apply_precond r z;
     Array.blit z 0 p 0 n;
     let rho = ref (Sparse.Vec.dot r z) in
     let iter = ref 0 in
@@ -133,7 +166,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
       (* NaN/Inf in b, x0, or A: no amount of iterating recovers *)
       status := Some (Breakdown (Nonfinite { iteration = 0 }));
     while !status = None && !iter < max_iter do
-      apply_a p q;
+      apply_op p q;
       let pq = Sparse.Vec.dot p q in
       if not (Float.is_finite pq) then
         status := Some (Breakdown (Nonfinite { iteration = !iter }))
@@ -165,7 +198,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
                 Some (Stagnated { iteration = !iter; best_residual = !best })
           end;
           if !status = None then begin
-            precond.apply r z;
+            apply_precond r z;
             let rho' = Sparse.Vec.dot r z in
             if not (Float.is_finite rho') then
               status := Some (Breakdown (Nonfinite { iteration = !iter }))
@@ -180,6 +213,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
       end
     done;
     let status = match !status with Some s -> s | None -> Max_iter in
+    flush_obs !iter;
     (* betas lags alphas by one when the loop exits after an alpha *)
     let n_beta = List.length !betas and n_alpha = List.length !alphas in
     let alphas_trimmed =

@@ -1,0 +1,473 @@
+(* Observability layer: span timers, counters, telemetry records.
+
+   Everything funnels through one global, single-threaded store. The
+   contract that matters for performance: when [enabled_flag] is false,
+   every entry point is a single load-and-branch with no allocation, so
+   instrumented code paths cost nothing in benchmark runs. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Finite floats must survive a print/parse round trip exactly:
+     integral values keep a ".0" so they stay floats, everything else
+     gets 17 significant digits (enough for any IEEE double). *)
+  let float_repr f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string ?(indent = false) t =
+    let buf = Buffer.create 256 in
+    let pad depth =
+      if indent then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * depth) ' ')
+      end
+    in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_repr f)
+      | Str s -> escape buf s
+      | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        if items <> [] then pad depth;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            pad (depth + 1);
+            escape buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            go (depth + 1) v)
+          fields;
+        if fields <> [] then pad depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let m = String.length word in
+      if !pos + m <= n && String.sub s !pos m = word then begin
+        pos := !pos + m;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          let c = s.[!pos] in
+          advance ();
+          if c = '"' then Buffer.contents buf
+          else if c = '\\' then begin
+            (if !pos >= n then fail "unterminated escape");
+            let e = s.[!pos] in
+            advance ();
+            (match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               pos := !pos + 4;
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with Failure _ -> fail "bad \\u escape"
+               in
+               if code < 256 then Buffer.add_char buf (Char.chr code)
+               else Buffer.add_char buf '?'
+             | _ -> fail "bad escape");
+            go ()
+          end
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items := parse_value () :: !items;
+              go ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          let rec go () =
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields := field () :: !fields;
+              go ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (List.rev !fields)
+        end
+      | Some c -> (
+        match c with
+        | '0' .. '9' | '-' -> parse_number ()
+        | _ -> fail (Printf.sprintf "unexpected character %C" c))
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global store *)
+
+type stat = { mutable seconds : float; mutable calls : int }
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let now = Unix.gettimeofday
+
+let spans : (string, stat) Hashtbl.t = Hashtbl.create 64
+let span_order : string list ref = ref [] (* newest first *)
+let counters : (string, float ref) Hashtbl.t = Hashtbl.create 64
+let counter_order : string list ref = ref []
+let stack : string list ref = ref [] (* full paths, innermost first *)
+
+let reset () =
+  Hashtbl.reset spans;
+  Hashtbl.reset counters;
+  span_order := [];
+  counter_order := [];
+  stack := []
+
+let resolve name =
+  match !stack with [] -> name | prefix :: _ -> prefix ^ "/" ^ name
+
+let stat_for path =
+  match Hashtbl.find_opt spans path with
+  | Some s -> s
+  | None ->
+    let s = { seconds = 0.0; calls = 0 } in
+    Hashtbl.add spans path s;
+    span_order := path :: !span_order;
+    s
+
+let counter_for path =
+  match Hashtbl.find_opt counters path with
+  | Some r -> r
+  | None ->
+    let r = ref 0.0 in
+    Hashtbl.add counters path r;
+    counter_order := path :: !counter_order;
+    r
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let path = resolve name in
+    let s = stat_for path in
+    s.calls <- s.calls + 1;
+    stack := path :: !stack;
+    let t0 = now () in
+    let finish () =
+      s.seconds <- s.seconds +. Float.max (now () -. t0) 0.0;
+      match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ()
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception exn ->
+      finish ();
+      raise exn
+  end
+
+let record_span name ~seconds ~calls =
+  if !enabled_flag then begin
+    let s = stat_for (resolve name) in
+    s.seconds <- s.seconds +. Float.max seconds 0.0;
+    s.calls <- s.calls + calls
+  end
+
+let count name v =
+  if !enabled_flag then begin
+    let r = counter_for (resolve name) in
+    r := !r +. float_of_int v
+  end
+
+let gauge name v = if !enabled_flag then counter_for (resolve name) := v
+
+(* ------------------------------------------------------------------ *)
+(* Records *)
+
+type span_stat = { path : string; seconds : float; calls : int }
+
+type record = {
+  meta : (string * Json.t) list;
+  spans : span_stat list;
+  counters : (string * float) list;
+}
+
+let capture ?(meta = []) () =
+  {
+    meta;
+    spans =
+      List.rev_map
+        (fun path ->
+          let s = Hashtbl.find spans path in
+          { path; seconds = s.seconds; calls = s.calls })
+        !span_order;
+    counters =
+      List.rev_map (fun path -> (path, !(Hashtbl.find counters path)))
+        !counter_order;
+  }
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Str "powerrchol-telemetry/v1");
+      ("meta", Json.Obj r.meta);
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("path", Json.Str s.path);
+                   ("seconds", Json.Float s.seconds);
+                   ("calls", Json.Int s.calls);
+                 ])
+             r.spans) );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.counters) );
+    ]
+
+let record_of_json j =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let obj_fields what = function
+    | Json.Obj fields -> Ok fields
+    | _ -> Error (what ^ ": expected an object")
+  in
+  let* _ = obj_fields "record" j in
+  let* meta =
+    match Json.member "meta" j with
+    | Some m -> obj_fields "meta" m
+    | None -> Error "record: missing \"meta\""
+  in
+  let* spans =
+    match Json.member "spans" j with
+    | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+          match
+            ( Json.member "path" item,
+              Option.bind (Json.member "seconds" item) Json.to_float,
+              Json.member "calls" item )
+          with
+          | Some (Json.Str path), Some seconds, Some (Json.Int calls) ->
+            go ({ path; seconds; calls } :: acc) rest
+          | _ -> Error "record: malformed span entry")
+      in
+      go [] items
+    | _ -> Error "record: missing \"spans\" list"
+  in
+  let* counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, v) :: rest -> (
+          match Json.to_float v with
+          | Some f -> go ((k, f) :: acc) rest
+          | None -> Error (Printf.sprintf "record: counter %S not numeric" k))
+      in
+      go [] fields
+    | _ -> Error "record: missing \"counters\" object"
+  in
+  Ok { meta; spans; counters }
+
+let meta_value_to_string = function
+  | Json.Str s -> s
+  | v -> Json.to_string v
+
+let record_to_text r =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "telemetry\n";
+  List.iter
+    (fun (k, v) -> add "  %-18s %s\n" k (meta_value_to_string v))
+    r.meta;
+  if r.spans <> [] then begin
+    add "spans\n";
+    let width =
+      List.fold_left (fun w s -> max w (String.length s.path)) 0 r.spans
+    in
+    List.iter
+      (fun s ->
+        let depth =
+          String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 s.path
+        in
+        add "  %s%-*s %10.6f s  (%d call%s)\n"
+          (String.make (2 * depth) ' ')
+          (max 1 (width - (2 * depth)))
+          s.path s.seconds s.calls
+          (if s.calls = 1 then "" else "s"))
+      r.spans
+  end;
+  if r.counters <> [] then begin
+    add "counters\n";
+    let width =
+      List.fold_left (fun w (k, _) -> max w (String.length k)) 0 r.counters
+    in
+    List.iter
+      (fun (k, v) ->
+        if Float.is_integer v && Float.abs v < 1e15 then
+          add "  %-*s %d\n" width k (int_of_float v)
+        else add "  %-*s %g\n" width k v)
+      r.counters
+  end;
+  Buffer.contents buf
+
+let pp_record fmt r = Format.pp_print_string fmt (record_to_text r)

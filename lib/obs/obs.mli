@@ -1,0 +1,104 @@
+(** Zero-dependency observability: span timers, counters, and telemetry
+    records with text / JSON exporters.
+
+    The layer is designed to cost (almost) nothing when disabled: every
+    entry point checks {!enabled} once and returns immediately, allocating
+    nothing on the fast path. Hot loops that cannot afford even a closure
+    per call read [enabled ()] once, accumulate privately, and flush a
+    single {!record_span} / {!count} at the end.
+
+    All state is global and single-threaded, matching the rest of the
+    code base. Timers use [Unix.gettimeofday]; elapsed times are clamped
+    at zero so a clock step backwards can never produce negative spans. *)
+
+(** {1 Minimal JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+  (** Serialize. Non-finite floats become [null] (JSON has no NaN/Inf);
+      finite floats print with enough digits to round-trip exactly. *)
+
+  val parse : string -> (t, string) result
+  (** Strict recursive-descent parser for the subset emitted by
+      {!to_string} (standard JSON; [\uXXXX] escapes below 256 decoded,
+      others replaced by [?]). *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] elsewhere. *)
+
+  val to_float : t -> float option
+  (** Numeric view: [Int] and [Float] both convert; everything else is
+      [None]. *)
+end
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and counters and clear the span stack. *)
+
+val now : unit -> float
+(** The wall clock used by the span timers (seconds). *)
+
+(** {1 Spans}
+
+    A span is a named, timed region. Nesting is tracked with a stack:
+    entering span ["factor"] inside span ["solve"] records under the path
+    ["solve/factor"]. Re-entering a path accumulates (total seconds,
+    number of calls), so per-column inner-loop spans stay cheap to
+    aggregate. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside the named span. When disabled this is
+    exactly [f ()]. Exceptions propagate; the elapsed time is recorded
+    either way. *)
+
+val record_span : string -> seconds:float -> calls:int -> unit
+(** Merge an externally measured aggregate into the span named [name]
+    under the current stack prefix — the flush half of the
+    read-[enabled]-once pattern for hot loops. No-op when disabled. *)
+
+(** {1 Counters} *)
+
+val count : string -> int -> unit
+(** Add to a (stack-prefixed) counter. No-op when disabled. *)
+
+val gauge : string -> float -> unit
+(** Set a (stack-prefixed) gauge to an absolute value. No-op when
+    disabled. *)
+
+(** {1 Telemetry records} *)
+
+type span_stat = { path : string; seconds : float; calls : int }
+
+type record = {
+  meta : (string * Json.t) list;
+      (** free-form header: solver, case, n, nnz, iterations, status, ... *)
+  spans : span_stat list;  (** first-entered order, hierarchical paths *)
+  counters : (string * float) list;  (** first-touched order *)
+}
+
+val capture : ?meta:(string * Json.t) list -> unit -> record
+(** Snapshot the current spans and counters (does not reset). *)
+
+val record_to_json : record -> Json.t
+val record_of_json : Json.t -> (record, string) result
+(** Inverse of {!record_to_json}: [record_of_json (record_to_json r) = Ok r]
+    for records with finite span times and counter values. *)
+
+val record_to_text : record -> string
+(** Human-readable report: meta lines, then the span tree indented by
+    depth, then counters. *)
+
+val pp_record : Format.formatter -> record -> unit

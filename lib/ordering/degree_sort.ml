@@ -1,6 +1,7 @@
 (* Linear-time bucket sort by degree with heavy-edge promotion inside each
    degree class: two stable passes over each bucket (heavy first). *)
 let order ?(heavy_factor = 10.0) g =
+  Obs.span "degree_sort" @@ fun () ->
   let n = Sddm.Graph.n_vertices g in
   let deg = Sddm.Graph.degrees g in
   let w_max = Sddm.Graph.max_incident_weight g in
@@ -26,6 +27,14 @@ let order ?(heavy_factor = 10.0) g =
   let light_cursor =
     Array.init (d_max + 1) (fun d -> count.(d) + heavy_in_bucket.(d))
   in
+  if Obs.enabled () then begin
+    let heavy = ref 0 in
+    for i = 0 to n - 1 do
+      if is_heavy i then incr heavy
+    done;
+    Obs.count "heavy_nodes" !heavy;
+    Obs.count "max_degree" d_max
+  end;
   let p = Array.make n 0 in
   for i = 0 to n - 1 do
     let d = deg.(i) in

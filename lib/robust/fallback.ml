@@ -56,6 +56,11 @@ let run ?(rtol = 1e-6) ~rungs problem =
     | Invalid_argument msg -> Crashed msg
     | exn -> raise exn
   in
+  let fail attempts a =
+    (* each recorded failure is one escalation to the next rung *)
+    Obs.count "robust/escalations" 1;
+    a :: attempts
+  in
   let rec go attempts = function
     | [] ->
       {
@@ -81,14 +86,15 @@ let run ?(rtol = 1e-6) ~rungs problem =
           }
         else
           go
-            ({
-               rung = rung.name;
-               failure = Unverified { residual; note = sol.note };
-             }
-            :: attempts)
+            (fail attempts
+               {
+                 rung = rung.name;
+                 failure = Unverified { residual; note = sol.note };
+               })
             rest
       | exception exn ->
-        go ({ rung = rung.name; failure = classify_exn exn } :: attempts) rest)
+        go (fail attempts { rung = rung.name; failure = classify_exn exn })
+          rest)
   in
   go [] rungs
 

@@ -1,0 +1,305 @@
+(* Observability layer: span nesting/ordering, counter semantics, JSON
+   round-trips, and the contract that a profiled pipeline solve reports
+   exactly what the PCG result reports — including on breakdown paths. *)
+
+let with_obs_enabled f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let span_paths record = List.map (fun s -> s.Obs.path) record.Obs.spans
+
+let find_span record path =
+  match List.find_opt (fun s -> s.Obs.path = path) record.Obs.spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" path
+
+let counter record name =
+  match List.assoc_opt name record.Obs.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %S not recorded" name
+
+let meta_int record key =
+  match List.assoc_opt key record.Obs.meta with
+  | Some (Obs.Json.Int i) -> i
+  | _ -> Alcotest.failf "meta %S missing or not an int" key
+
+let meta_str record key =
+  match List.assoc_opt key record.Obs.meta with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> Alcotest.failf "meta %S missing or not a string" key
+
+(* ---- spans ---- *)
+
+let test_span_nesting_and_order () =
+  with_obs_enabled @@ fun () ->
+  let spin () =
+    (* measurable but fast busy work *)
+    let acc = ref 0.0 in
+    for i = 1 to 10_000 do
+      acc := !acc +. sqrt (float_of_int i)
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  Obs.span "a" (fun () ->
+      spin ();
+      Obs.span "b" (fun () -> spin ()));
+  Obs.span "c" (fun () -> spin ());
+  Obs.span "a" (fun () -> spin ());
+  let r = Obs.capture () in
+  Alcotest.(check (list string))
+    "paths in first-entered order, nested under parents"
+    [ "a"; "a/b"; "c" ] (span_paths r);
+  let a = find_span r "a" and b = find_span r "a/b" and c = find_span r "c" in
+  Alcotest.(check int) "a entered twice" 2 a.Obs.calls;
+  Alcotest.(check int) "b entered once" 1 b.Obs.calls;
+  Alcotest.(check int) "c entered once" 1 c.Obs.calls;
+  Alcotest.(check bool) "all spans nonnegative" true
+    (List.for_all (fun s -> s.Obs.seconds >= 0.0) r.Obs.spans);
+  Alcotest.(check bool) "child time within parent time" true
+    (b.Obs.seconds <= a.Obs.seconds)
+
+let test_span_exception_still_recorded () =
+  with_obs_enabled @@ fun () ->
+  (try Obs.span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  let r = Obs.capture () in
+  let s = find_span r "boom" in
+  Alcotest.(check int) "call counted despite exception" 1 s.Obs.calls;
+  (* the stack must have been popped: a following span is top-level *)
+  Obs.span "after" (fun () -> ());
+  Alcotest.(check (list string))
+    "stack unwound after exception" [ "boom"; "after" ]
+    (span_paths (Obs.capture ()))
+
+let test_disabled_is_transparent () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let v = Obs.span "ghost" (fun () -> 42) in
+  Obs.count "ghost_counter" 7;
+  Obs.record_span "ghost2" ~seconds:1.0 ~calls:1;
+  Alcotest.(check int) "span returns the value" 42 v;
+  let r = Obs.capture () in
+  Alcotest.(check int) "no spans recorded" 0 (List.length r.Obs.spans);
+  Alcotest.(check int) "no counters recorded" 0 (List.length r.Obs.counters)
+
+let test_record_span_prefixes () =
+  with_obs_enabled @@ fun () ->
+  Obs.span "outer" (fun () ->
+      Obs.record_span "inner" ~seconds:0.25 ~calls:3);
+  let r = Obs.capture () in
+  let s = find_span r "outer/inner" in
+  Alcotest.(check int) "aggregated calls" 3 s.Obs.calls;
+  Test_util.check_float "aggregated seconds" 0.25 s.Obs.seconds
+
+(* ---- counters ---- *)
+
+let test_counter_monotonic () =
+  with_obs_enabled @@ fun () ->
+  let value () = counter (Obs.capture ()) "edges" in
+  Obs.count "edges" 3;
+  let v1 = value () in
+  Obs.count "edges" 4;
+  let v2 = value () in
+  Obs.count "edges" 0;
+  let v3 = value () in
+  Test_util.check_float "first add" 3.0 v1;
+  Test_util.check_float "accumulates" 7.0 v2;
+  Test_util.check_float "zero add is a no-op" 7.0 v3;
+  Alcotest.(check bool) "monotone" true (v1 <= v2 && v2 <= v3);
+  Obs.gauge "ratio" 1.5;
+  Obs.gauge "ratio" 0.5;
+  Test_util.check_float "gauge overwrites" 0.5
+    (counter (Obs.capture ()) "ratio")
+
+(* ---- JSON ---- *)
+
+let test_json_value_round_trip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a \"quoted\"\nline");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 0.1);
+        ("whole", Obs.Json.Float 2.0);
+        ("b", Obs.Json.Bool true);
+        ("z", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Str "x" ]);
+        ("empty", Obs.Json.Obj []);
+      ]
+  in
+  (match Obs.Json.parse (Obs.Json.to_string j) with
+   | Ok j' -> Alcotest.(check bool) "compact round trip" true (j = j')
+   | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Obs.Json.parse (Obs.Json.to_string ~indent:true j) with
+   | Ok j' -> Alcotest.(check bool) "indented round trip" true (j = j')
+   | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  match Obs.Json.parse "{\"unterminated\": " with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ()
+
+let test_record_round_trip () =
+  let r =
+    with_obs_enabled @@ fun () ->
+    Obs.span "reorder" (fun () -> ());
+    Obs.span "factor" (fun () -> Obs.record_span "sort" ~seconds:0.125 ~calls:9);
+    Obs.count "factor/sampled_edges" 12345;
+    Obs.gauge "precond_nnz_ratio" 1.0625;
+    Obs.capture
+      ~meta:
+        [
+          ("case", Obs.Json.Str "pg01");
+          ("n", Obs.Json.Int 3825);
+          ("relres", Obs.Json.Float 5.25e-7);
+          ("converged", Obs.Json.Bool true);
+        ]
+      ()
+  in
+  match Obs.record_of_json (Obs.record_to_json r) with
+  | Ok r' -> Alcotest.(check bool) "record round trip" true (r = r')
+  | Error msg -> Alcotest.failf "record_of_json failed: %s" msg
+
+let test_record_text_render () =
+  let r =
+    with_obs_enabled @@ fun () ->
+    Obs.span "pcg" (fun () -> Obs.count "iterations" 20);
+    Obs.capture ~meta:[ ("solver", Obs.Json.Str "powerrchol") ] ()
+  in
+  let text = Obs.record_to_text r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "text mentions %s" needle)
+        true
+        (let n = String.length text and m = String.length needle in
+         let rec go i =
+           i + m <= n && (String.sub text i m = needle || go (i + 1))
+         in
+         go 0))
+    [ "powerrchol"; "pcg"; "pcg/iterations"; "20" ]
+
+(* ---- profiled solves ---- *)
+
+let grid_problem () =
+  let g = Test_util.mesh_graph 12 12 in
+  let n = 144 in
+  let d = Array.make n 0.0 in
+  d.(0) <- 1.0;
+  d.(n - 1) <- 0.5;
+  let rng = Rng.create 11 in
+  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  Sddm.Problem.of_graph ~name:"obs-mesh" ~graph:g ~d ~b
+
+let test_profiled_solve_matches_result () =
+  let problem = grid_problem () in
+  let r, record = Powerrchol.Pipeline.solve_profiled ~rtol:1e-8 problem in
+  Alcotest.(check bool) "solve converged" true r.Powerrchol.Solver.converged;
+  Alcotest.(check int) "meta iterations = result iterations"
+    r.Powerrchol.Solver.iterations (meta_int record "iterations");
+  Alcotest.(check string) "meta status = result status"
+    (Krylov.Pcg.status_to_string r.Powerrchol.Solver.status)
+    (meta_str record "status");
+  Test_util.check_float "pcg/iterations counter agrees"
+    (float_of_int r.Powerrchol.Solver.iterations)
+    (counter record "pcg/iterations");
+  (* the three top-level phase spans exist and cover the total time *)
+  let top = [ "reorder"; "factor"; "pcg" ] in
+  List.iter (fun p -> ignore (find_span record p)) top;
+  let span_sum =
+    List.fold_left (fun acc p -> acc +. (find_span record p).Obs.seconds) 0.0
+      top
+  in
+  Alcotest.(check bool) "phase spans cover total solve time" true
+    (Float.abs (span_sum -. r.Powerrchol.Solver.t_total)
+    <= (0.10 *. r.Powerrchol.Solver.t_total) +. 0.005);
+  (* preconditioner size ratio recorded and sane for a mesh *)
+  let ratio = counter record "precond_nnz_ratio" in
+  Alcotest.(check bool) "nnz ratio in a sane band" true
+    (ratio > 0.1 && ratio < 10.0);
+  Alcotest.(check bool) "sampling counters present" true
+    (List.exists
+       (fun (k, _) -> k = "factor/lt_rchol/sampled_edges")
+       record.Obs.counters);
+  (* profiling must leave the global layer off afterwards *)
+  Alcotest.(check bool) "obs disabled after profiled run" false (Obs.enabled ())
+
+let test_profiled_breakdown_matches_result () =
+  (* NaN injected into the rhs (Robust.Fault): PCG must exit with a typed
+     Nonfinite breakdown, and the telemetry must mirror that result
+     rather than report a healthy solve. *)
+  let clean = grid_problem () in
+  let problem =
+    Sddm.Problem.of_graph ~name:"obs-nan-rhs" ~graph:clean.Sddm.Problem.graph
+      ~d:clean.Sddm.Problem.d
+      ~b:(Robust.Fault.inject_nan_rhs ~row:7 clean.Sddm.Problem.b)
+  in
+  let r, record = Powerrchol.Pipeline.solve_profiled problem in
+  (match r.Powerrchol.Solver.status with
+   | Krylov.Pcg.Breakdown (Krylov.Pcg.Nonfinite _) -> ()
+   | s ->
+     Alcotest.failf "expected Nonfinite breakdown, got %s"
+       (Krylov.Pcg.status_to_string s));
+  Alcotest.(check string) "meta status carries the breakdown"
+    (Krylov.Pcg.status_to_string r.Powerrchol.Solver.status)
+    (meta_str record "status");
+  Alcotest.(check int) "meta iterations = result iterations"
+    r.Powerrchol.Solver.iterations (meta_int record "iterations");
+  Test_util.check_float "pcg/iterations counter agrees"
+    (float_of_int r.Powerrchol.Solver.iterations)
+    (counter record "pcg/iterations")
+
+let test_robust_profiled_counts_escalations () =
+  (* On a healthy input the profiled robust path must report a solved
+     outcome and no fallback-rung escalations. *)
+  let problem = grid_problem () in
+  let r, record = Powerrchol.Solver.solve_robust_profiled problem in
+  Alcotest.(check bool) "solved" true (Powerrchol.Solver.robust_ok r);
+  Alcotest.(check string) "outcome meta" "solved" (meta_str record "outcome");
+  (match List.assoc_opt "robust/escalations" record.Obs.counters with
+   | Some v -> Test_util.check_float "no escalations on healthy input" 0.0 v
+   | None -> (* counter never touched: equally zero *) ());
+  Alcotest.(check int) "meta iterations matches outcome"
+    (match r.Powerrchol.Solver.outcome with
+     | Powerrchol.Solver.Robust_solved { iterations; _ } -> iterations
+     | _ -> -1)
+    (meta_int record "iterations")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and first-entered order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_still_recorded;
+          Alcotest.test_case "disabled layer is transparent" `Quick
+            test_disabled_is_transparent;
+          Alcotest.test_case "record_span prefixes under the stack" `Quick
+            test_record_span_prefixes;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "count accumulates monotonically" `Quick
+            test_counter_monotonic;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "value round trip + parse errors" `Quick
+            test_json_value_round_trip;
+          Alcotest.test_case "telemetry record round trip" `Quick
+            test_record_round_trip;
+          Alcotest.test_case "text rendering" `Quick test_record_text_render;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "profiled solve mirrors the PCG result" `Quick
+            test_profiled_solve_matches_result;
+          Alcotest.test_case "breakdown path mirrors the PCG result" `Quick
+            test_profiled_breakdown_matches_result;
+          Alcotest.test_case "robust profiled solve" `Quick
+            test_robust_profiled_counts_escalations;
+        ] );
+    ]
