@@ -13,10 +13,11 @@ test: check
 test-robust:
 	dune build @runtest-robust
 
-# Scaled-down Table 1 + regression gate against the committed baseline —
-# the same thing the CI bench-smoke job runs.
+# Scaled-down Table 1 + batched (factor-once/solve-many) phase, then the
+# regression gate against the committed baseline — the same thing the CI
+# bench-smoke job runs.
 bench-smoke:
-	BENCH_SCALE=0.05 dune exec bench/main.exe table1
+	BENCH_SCALE=0.05 dune exec bench/main.exe table1 batched
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
 	  bench_artifacts/bench.json
 

@@ -29,6 +29,17 @@ let getenv_float name default =
 
 let tol_factor = getenv_float "BENCH_TOL_FACTOR" 2.0
 let tol_abs = getenv_float "BENCH_TOL_ABS" 0.05
+
+(* The batched experiment's amortization invariant, checked within the
+   CURRENT file alone (no baseline needed): for every case carrying both a
+   "PowerRChol(batched16)" and a "PowerRChol(unbatched16)" row, the
+   batched t_total must be at most BENCH_TOL_BATCH of the unbatched one
+   (default 0.75, plus the absolute slack so microsecond-scale smoke runs
+   don't trip on jitter). *)
+let tol_batch = getenv_float "BENCH_TOL_BATCH" 0.75
+let batched_solver = "PowerRChol(batched16)"
+let unbatched_solver = "PowerRChol(unbatched16)"
+
 let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
 
 let read_json path =
@@ -111,6 +122,40 @@ let () =
             Printf.sprintf "%s/%s no longer converges" case solver
             :: !failures)
     current;
+  (* amortization invariant on the current run *)
+  let cur_tbl = index current in
+  let batched_checked = ref 0 in
+  List.iter
+    (fun row ->
+      let case, solver = key_of row in
+      if solver = batched_solver then
+        match Hashtbl.find_opt cur_tbl (case, unbatched_solver) with
+        | None ->
+          notes :=
+            Printf.sprintf "%s: batched row without unbatched counterpart"
+              case
+            :: !notes
+        | Some unbatched_row -> (
+          let total r =
+            Option.bind (Obs.Json.member "t_total" r) Obs.Json.to_float
+          in
+          match (total row, total unbatched_row) with
+          | Some b, Some u ->
+            incr batched_checked;
+            if b > (tol_batch *. u) +. tol_abs then
+              failures :=
+                Printf.sprintf
+                  "%s batched t_total %.4fs not amortized vs unbatched %.4fs \
+                   (> %.2fx + %.2fs)"
+                  case b u tol_batch tol_abs
+                :: !failures
+          | _ ->
+            notes := Printf.sprintf "%s: batched rows missing t_total" case
+                     :: !notes))
+    current;
+  if !batched_checked > 0 then
+    Printf.printf "batched amortization checked on %d case(s)\n"
+      !batched_checked;
   List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
   if !compared = 0 then
     (* an empty intersection means the gate compared nothing: make that

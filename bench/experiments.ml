@@ -499,4 +499,131 @@ let ablation () =
        ~b:p.Sddm.Problem.b ~precond:pc ()
    in
    printf " %6d %12.1f\n" res.Krylov.Pcg.iterations
-     res.Krylov.Pcg.condition_estimate);
+     res.Krylov.Pcg.condition_estimate)
+
+(* ---------------------------------------------------------------- *)
+(* The factor-once / solve-many workload: one preparation amortized over a
+   batch of right-hand sides (a DC load sweep) vs paying the factorization
+   on every solve. Emits two synthesized bench.json rows per case —
+   "PowerRChol(batched16)" and "PowerRChol(unbatched16)" — whose t_total
+   ratio the regression gate checks (BENCH_TOL_BATCH in compare.ml). *)
+
+let batched_k = 16
+
+let batched () =
+  header
+    (Printf.sprintf
+       "Batched: 1 preparation + %d solves vs %d full solves (prepared-handle \
+        engine)"
+       batched_k batched_k);
+  let case =
+    let cases = Lazy.force pg_cases in
+    match
+      Array.find_opt (fun c -> c.Powergrid.Suite.id = "pg07") cases
+    with
+    | Some c -> c
+    | None -> cases.(Array.length cases / 2)
+  in
+  let p = problem_of case in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 7 in
+  let bs =
+    Array.init batched_k (fun _ ->
+        Array.init n (fun _ -> Rng.float rng -. 0.5))
+  in
+  let solver = Powerrchol.Solver.powerrchol () in
+  (* unbatched: every right-hand side pays reorder + factor + iterate *)
+  let unbatched =
+    Array.map
+      (fun b ->
+        let pb =
+          Sddm.Problem.of_graph ~name:case.Powergrid.Suite.id
+            ~graph:p.Sddm.Problem.graph ~d:p.Sddm.Problem.d ~b
+        in
+        Powerrchol.Solver.run ~rtol solver pb)
+      bs
+  in
+  (* batched: one preparation, k marginal-cost solves off the handle *)
+  let prepared = Powerrchol.Solver.prepare solver p in
+  let batched_rs = Powerrchol.Solver.solve_many ~rtol prepared bs in
+  let sum f rs = Array.fold_left (fun acc r -> acc +. f r) 0.0 rs in
+  let sumi f rs = Array.fold_left (fun acc r -> acc + f r) 0 rs in
+  let max_res rs =
+    Array.fold_left
+      (fun acc (r : Powerrchol.Solver.result) ->
+        Float.max acc r.Powerrchol.Solver.residual)
+      0.0 rs
+  in
+  let all_conv rs =
+    Array.for_all
+      (fun (r : Powerrchol.Solver.result) -> r.Powerrchol.Solver.converged)
+      rs
+  in
+  (* aggregate a batch into one Solver.result-shaped bench row *)
+  let aggregate name ~t_reorder ~t_precond rs =
+    let t_iterate = sum (fun r -> r.Powerrchol.Solver.t_iterate) rs in
+    {
+      Powerrchol.Solver.solver = name;
+      x = rs.(Array.length rs - 1).Powerrchol.Solver.x;
+      iterations = sumi (fun r -> r.Powerrchol.Solver.iterations) rs;
+      status =
+        (if all_conv rs then Krylov.Pcg.Converged
+         else rs.(0).Powerrchol.Solver.status);
+      converged = all_conv rs;
+      residual = max_res rs;
+      t_reorder;
+      t_precond;
+      t_iterate;
+      t_total = t_reorder +. t_precond +. t_iterate;
+      factor_nnz = prepared.Powerrchol.Solver.factor_nnz;
+    }
+  in
+  let unbatched_row =
+    aggregate "PowerRChol(unbatched16)"
+      ~t_reorder:(sum (fun r -> r.Powerrchol.Solver.t_reorder) unbatched)
+      ~t_precond:(sum (fun r -> r.Powerrchol.Solver.t_precond) unbatched)
+      unbatched
+  in
+  let batched_row =
+    aggregate "PowerRChol(batched16)"
+      ~t_reorder:prepared.Powerrchol.Solver.t_reorder
+      ~t_precond:prepared.Powerrchol.Solver.t_precond batched_rs
+  in
+  let nnz = Sddm.Problem.nnz p in
+  record_custom ~case_id:case.Powergrid.Suite.id
+    ~solver:"PowerRChol(unbatched16)" ~n ~nnz unbatched_row;
+  record_custom ~case_id:case.Powergrid.Suite.id
+    ~solver:"PowerRChol(batched16)" ~n ~nnz batched_row;
+  (* the engine must not have changed the answers: prepared solves are
+     bit-identical to full solves of the same (matrix, rhs, seed) *)
+  let identical =
+    Array.for_all2
+      (fun (a : Powerrchol.Solver.result) (b : Powerrchol.Solver.result) ->
+        a.Powerrchol.Solver.x = b.Powerrchol.Solver.x)
+      unbatched batched_rs
+  in
+  printf "%-24s %9s %9s %9s %9s %6s %7s\n" "mode" "Tr" "Tf" "Ti" "Ttot" "Ni"
+    "conv";
+  hr 80;
+  let show (r : Powerrchol.Solver.result) =
+    printf "%-24s %s %s %s %s %6d %7b\n" r.Powerrchol.Solver.solver
+      (fmt_time r.Powerrchol.Solver.t_reorder)
+      (fmt_time r.Powerrchol.Solver.t_precond)
+      (fmt_time r.Powerrchol.Solver.t_iterate)
+      (fmt_time r.Powerrchol.Solver.t_total)
+      r.Powerrchol.Solver.iterations r.Powerrchol.Solver.converged
+  in
+  show unbatched_row;
+  show batched_row;
+  hr 80;
+  let ratio =
+    batched_row.Powerrchol.Solver.t_total
+    /. unbatched_row.Powerrchol.Solver.t_total
+  in
+  printf
+    "case %s: batched/unbatched total %.2fx; amortized %.4fs per solve vs \
+     %.4fs; solutions bit-identical: %b\n"
+    case.Powergrid.Suite.id ratio
+    (batched_row.Powerrchol.Solver.t_total /. float_of_int batched_k)
+    (unbatched_row.Powerrchol.Solver.t_total /. float_of_int batched_k)
+    identical

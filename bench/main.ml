@@ -18,6 +18,7 @@ let experiments =
     ("fig2", Experiments.fig2);
     ("fig3", Experiments.fig3);
     ("ablation", Experiments.ablation);
+    ("batched", Experiments.batched);
     ("micro", Micro.run);
   ]
 
@@ -41,17 +42,22 @@ let run_all () =
 let () =
   (match Array.to_list Sys.argv with
    | [ _ ] | [ _; "all" ] -> run_all ()
-   | [ _; name ] -> (
-     match List.assoc_opt name experiments with
-     | Some f ->
-       f ();
-       flush stdout
-     | None ->
-       Printf.eprintf "unknown experiment %S; available: %s all\n" name
-         (String.concat " " (List.map fst experiments));
-       exit 1)
-   | _ ->
-     Printf.eprintf "usage: main.exe [table1|...|fig3|ablation|micro|all]\n";
+   | _ :: names ->
+     (* several experiment names run in sequence and share one bench.json
+        (e.g. "table1 batched" in the CI smoke job) *)
+     List.iter
+       (fun name ->
+         match List.assoc_opt name experiments with
+         | Some f ->
+           f ();
+           flush stdout
+         | None ->
+           Printf.eprintf "unknown experiment %S; available: %s all\n" name
+             (String.concat " " (List.map fst experiments));
+           exit 1)
+       names
+   | [] ->
+     Printf.eprintf "usage: main.exe [table1|...|ablation|batched|micro|all]\n";
      exit 1);
   (* machine-readable summary of every (case, solver) measurement this
      run, diffed across commits by bench/compare.exe *)

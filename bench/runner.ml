@@ -89,6 +89,20 @@ let run case solver_id =
       :: !bench_rows;
     r
 
+(* Synthesized rows (aggregates like the batched-vs-unbatched pair) enter
+   bench.json through here; [solver] must be unique per case so the
+   regression gate keys stay stable. *)
+let record_custom ~case_id ~solver ~n ~nnz result =
+  bench_rows :=
+    {
+      row_case = case_id;
+      row_solver = solver;
+      row_n = n;
+      row_nnz = nnz;
+      row_result = result;
+    }
+    :: !bench_rows
+
 let drop_cached_problem case =
   Hashtbl.remove problem_cache case.Powergrid.Suite.id
 

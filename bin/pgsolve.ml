@@ -90,20 +90,21 @@ let generate_cmd =
 (* ---- problem loading shared by solve/compare ---- *)
 
 (* Raw (name, A, b) triple: used by --robust/--diagnose, which must see a
-   possibly-corrupted matrix BEFORE SDDM validation rejects it. *)
-let load_mtx_raw ?rhs path =
+   possibly-corrupted matrix BEFORE SDDM validation rejects it. [b], when
+   given, is the first --rhs column (already loaded by the caller). *)
+let load_mtx_raw ?b path =
   let a = Sparse.Matrix_market.read path in
   let n, _ = Sparse.Csc.dims a in
   let b =
-    match rhs with
-    | Some rhs_path -> Sparse.Matrix_market.read_vector rhs_path
+    match b with
+    | Some b -> b
     | None ->
       let rng = Rng.create 1 in
       Array.init n (fun _ -> Rng.float rng -. 0.5)
   in
   (Filename.basename path, a, b)
 
-let load_problem ?rhs netlist mtx case scale =
+let load_problem ?b netlist mtx case scale =
   match (netlist, mtx, case) with
   | Some path, None, None ->
     let parsed = Powergrid.Netlist.parse_file path in
@@ -112,7 +113,7 @@ let load_problem ?rhs netlist mtx case scale =
     in
     problem
   | None, Some path, None ->
-    let name, a, b = load_mtx_raw ?rhs path in
+    let name, a, b = load_mtx_raw ?b path in
     Sddm.Problem.of_matrix ~name ~a ~b
   | None, None, Some id ->
     let c = Powergrid.Suite.find ~scale id in
@@ -143,8 +144,10 @@ let rhs_arg =
     & opt (some string) None
     & info [ "rhs" ] ~docv:"FILE"
         ~doc:
-          "MatrixMarket array-format right-hand side (used with --mtx; \
-           default: deterministic random loads).")
+          "MatrixMarket array-format right-hand side(s) (used with --mtx; \
+           default: deterministic random loads). A file with k > 1 columns \
+           is solved as a batch: one factorization, k PCG solves \
+           (plain solve path only).")
 
 let case_arg =
   Arg.(
@@ -224,14 +227,43 @@ let solve_cmd =
   let run netlist mtx rhs case scale solver_tag rtol seed budget robust
       diagnose profile metrics_json =
     let instrument = profile || metrics_json <> None in
+    (* --rhs loads eagerly: a k-column file is a batch of k loads for the
+       same matrix (the factor-once / solve-many workload) *)
+    let rhs_cols =
+      match rhs with
+      | None -> None
+      | Some path ->
+        let cols = Sparse.Matrix_market.read_vectors path in
+        if Array.length cols = 0 then begin
+          prerr_endline "--rhs file has no columns";
+          exit 2
+        end;
+        Some cols
+    in
+    let b = Option.map (fun cols -> cols.(0)) rhs_cols in
+    let batch =
+      match rhs_cols with
+      | Some cols when Array.length cols > 1 -> Some cols
+      | _ -> None
+    in
+    if batch <> None && mtx = None then begin
+      prerr_endline "--rhs with multiple columns requires --mtx";
+      exit 2
+    end;
+    if batch <> None && (robust || diagnose) then begin
+      prerr_endline
+        "--robust/--diagnose accept a single right-hand side; pass a \
+         one-column --rhs file";
+      exit 2
+    end;
     if diagnose then begin
       let report =
         match mtx with
         | Some path ->
-          let _, a, b = load_mtx_raw ?rhs path in
+          let _, a, b = load_mtx_raw ?b path in
           Robust.Diagnose.run ~a ~b
         | None ->
-          Robust.Diagnose.of_problem (load_problem ?rhs netlist mtx case scale)
+          Robust.Diagnose.of_problem (load_problem ?b netlist mtx case scale)
       in
       Format.printf "%a@." Robust.Diagnose.pp_report report;
       exit (if Robust.Diagnose.has_fatal report then 1 else 0)
@@ -240,7 +272,7 @@ let solve_cmd =
       let r =
         match mtx with
         | Some path ->
-          let name, a, b = load_mtx_raw ?rhs path in
+          let name, a, b = load_mtx_raw ?b path in
           if instrument then begin
             let r, record =
               Powerrchol.Pipeline.solve_matrix_robust_profiled ~rtol ~seed
@@ -251,7 +283,7 @@ let solve_cmd =
           end
           else Powerrchol.Pipeline.solve_matrix_robust ~rtol ~seed ~name ~a ~b ()
         | None ->
-          let problem = load_problem ?rhs netlist mtx case scale in
+          let problem = load_problem ?b netlist mtx case scale in
           Printf.printf "%s\n" (Sddm.Problem.describe problem);
           if instrument then begin
             let r, record =
@@ -266,9 +298,69 @@ let solve_cmd =
       if not (Powerrchol.Solver.robust_ok r) then exit 1
     end
     else begin
-      let problem = load_problem ?rhs netlist mtx case scale in
+      let problem = load_problem ?b netlist mtx case scale in
       Printf.printf "%s\n" (Sddm.Problem.describe problem);
       let solver = solver_of_tag ~seed solver_tag in
+      match batch with
+      | Some cols ->
+        (* factor once through the Engine cache, then solve every column
+           against the same preparation *)
+        let k = Array.length cols in
+        let config = Printf.sprintf "seed=%d" seed in
+        let solve_batch () =
+          let prepared = Powerrchol.Engine.prepare ~config solver problem in
+          (prepared, Powerrchol.Solver.solve_many ~rtol prepared cols)
+        in
+        let prepared, results =
+          if instrument then begin
+            let (prepared, results), record =
+              Powerrchol.Solver.with_obs
+                ~meta_of:(fun ((prepared : Powerrchol.Solver.prepared), _) ->
+                  [
+                    ("mode", Obs.Json.Str "batched");
+                    ("solver", Obs.Json.Str prepared.Powerrchol.Solver.solver_name);
+                    ("case", Obs.Json.Str problem.Sddm.Problem.name);
+                    ("n", Obs.Json.Int (Sddm.Problem.n problem));
+                    ("rhs_columns", Obs.Json.Int k);
+                  ])
+                solve_batch
+            in
+            emit_telemetry ~profile ~metrics_json record;
+            (prepared, results)
+          end
+          else solve_batch ()
+        in
+        let t_prepare =
+          prepared.Powerrchol.Solver.t_reorder
+          +. prepared.Powerrchol.Solver.t_precond
+        in
+        Printf.printf
+          "batched solve: %d right-hand sides, one factorization\n\
+           prepare: %.3f s (factor nnz %d)\n"
+          k t_prepare prepared.Powerrchol.Solver.factor_nnz;
+        let t_solves = ref 0.0 in
+        Array.iteri
+          (fun i (r : Powerrchol.Solver.result) ->
+            t_solves := !t_solves +. r.Powerrchol.Solver.t_iterate;
+            Printf.printf
+              "  rhs %2d: %3d iterations, residual %.3e, %.3f s, %s\n" i
+              r.Powerrchol.Solver.iterations r.Powerrchol.Solver.residual
+              r.Powerrchol.Solver.t_iterate
+              (Krylov.Pcg.status_to_string r.Powerrchol.Solver.status))
+          results;
+        Printf.printf
+          "amortized: %.3f s per solve (vs %.3f s paying the factorization \
+           every time)\n"
+          ((t_prepare +. !t_solves) /. float_of_int k)
+          (t_prepare +. (!t_solves /. float_of_int k));
+        if
+          not
+            (Array.for_all
+               (fun (r : Powerrchol.Solver.result) ->
+                 r.Powerrchol.Solver.converged)
+               results)
+        then exit 1
+      | None ->
       let r =
         if instrument then begin
           let r, record = Powerrchol.Solver.run_profiled ~rtol solver problem in

@@ -1,0 +1,116 @@
+(* Prepared-handle cache keyed by a cheap structural fingerprint.
+
+   The factor-once / solve-many call sites (Pipeline, Transient,
+   Sensitivity, the CLI batch path) all funnel through here so that two
+   independent consumers asking for "powerrchol on this problem" share one
+   reordering + factorization. The key deliberately ignores the right-hand
+   side: a factorization depends only on the matrix (graph + excess
+   diagonal), the solver configuration, and the seed. *)
+
+type key = {
+  config : string;  (* solver name + parameters, e.g. "powerrchol;seed=..." *)
+  n : int;
+  nnz : int;
+  checksum : int64;  (* FNV-1a over edges and excess diagonal *)
+}
+
+type stats = { mutable hits : int; mutable misses : int }
+
+(* FNV-1a, 64-bit. Structural but cheap: one pass over the edge list and
+   the excess diagonal. Collisions additionally need matching (n, nnz,
+   config), and a stale hit still solves *some* SDDM system with a
+   verified residual downstream — the blast radius is a wrong answer that
+   fails verification, not silent corruption. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix h x = Int64.mul (Int64.logxor h x) fnv_prime
+
+let mix_int h i = mix h (Int64.of_int i)
+let mix_float h f = mix h (Int64.bits_of_float f)
+
+let fingerprint ~config problem =
+  let h = ref (mix_int fnv_offset (Sddm.Problem.n problem)) in
+  Sddm.Graph.iter_edges problem.Sddm.Problem.graph (fun u v w ->
+      h := mix_float (mix_int (mix_int !h u) v) w);
+  Array.iter (fun d -> h := mix_float !h d) problem.Sddm.Problem.d;
+  {
+    config;
+    n = Sddm.Problem.n problem;
+    nnz = Sddm.Problem.nnz problem;
+    checksum = !h;
+  }
+
+(* FIFO eviction: entries are pushed front, dropped from the back. The
+   cache is small (prepared handles hold O(factor_nnz) floats) and the
+   workloads that matter revisit the same handful of systems, so FIFO is
+   as good as LRU here and simpler to reason about deterministically. *)
+let default_capacity = 8
+let capacity = ref default_capacity
+let cache : (key * Solver.prepared) list ref = ref []
+let stats = { hits = 0; misses = 0 }
+
+let set_capacity c =
+  if c < 0 then invalid_arg "Engine.set_capacity: negative capacity";
+  capacity := c;
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | e :: rest -> e :: take (k - 1) rest
+  in
+  cache := take c !cache
+
+let clear () = cache := []
+
+let hits () = stats.hits
+let misses () = stats.misses
+
+let reset_stats () =
+  stats.hits <- 0;
+  stats.misses <- 0
+
+let insert key prepared =
+  if !capacity > 0 then begin
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | e :: rest -> e :: take (k - 1) rest
+    in
+    cache := (key, prepared) :: take (!capacity - 1) !cache
+  end
+
+let lookup key = List.assoc_opt key !cache
+
+let prepare_keyed ~key prepare_fn problem =
+  match lookup key with
+  | Some prepared ->
+    stats.hits <- stats.hits + 1;
+    Obs.count "engine/hit" 1;
+    prepared
+  | None ->
+    stats.misses <- stats.misses + 1;
+    Obs.count "engine/miss" 1;
+    let prepared =
+      Obs.span "prepare" (fun () -> prepare_fn problem)
+    in
+    insert key prepared;
+    prepared
+
+let prepare ?(config = "") (solver : Solver.t) problem =
+  let config = solver.Solver.name ^ ";" ^ config in
+  prepare_keyed ~key:(fingerprint ~config problem) solver.Solver.prepare
+    problem
+
+let powerrchol ?buckets ?heavy_factor ?(seed = Solver.default_seed) problem =
+  let config =
+    Printf.sprintf "powerrchol;seed=%d;buckets=%s;heavy=%s" seed
+      (match buckets with Some b -> string_of_int b | None -> "default")
+      (match heavy_factor with
+       | Some f -> Printf.sprintf "%.17g" f
+       | None -> "default")
+  in
+  prepare_keyed
+    ~key:(fingerprint ~config problem)
+    (fun problem ->
+      Solver.powerrchol_prepare ?buckets ?heavy_factor ~seed problem)
+    problem

@@ -1,0 +1,48 @@
+(** Process-wide cache of {!Solver.prepared} handles.
+
+    The factor-once / solve-many workload appears at several independent
+    call sites — {!Pipeline.solve} per matrix, {!Transient.prepare} for the
+    shifted backward-Euler system, {!Sensitivity.of_objective} for primal
+    and adjoint solves, and the CLI batch path. They all key preparations
+    here by a cheap structural fingerprint (solver config, [n], [nnz], an
+    FNV-1a checksum over the graph edges and excess diagonal — {e not} the
+    right-hand side, since a factorization is RHS-independent), so asking
+    twice for the same solver on the same system pays one reordering and
+    one factorization.
+
+    The cache is FIFO with a small default capacity ({!default_capacity});
+    handles hold O(factor nnz) floats, so the cap bounds memory, and the
+    workloads that benefit revisit the same few systems. Misses run the
+    preparation under the Obs span ["prepare"] and count ["engine/miss"];
+    hits count ["engine/hit"].
+
+    Not thread-safe — like the rest of the library, one solve at a time. *)
+
+val prepare : ?config:string -> Solver.t -> Sddm.Problem.t -> Solver.prepared
+(** [prepare ?config solver problem] returns a cached handle when the
+    fingerprint matches a previous call, otherwise runs [solver.prepare].
+    [config] must encode every parameter baked into the solver closure
+    (seed, buckets, …) that the solver's [name] does not; two solvers with
+    equal name+config must prepare identically. *)
+
+val powerrchol :
+  ?buckets:int -> ?heavy_factor:float -> ?seed:int -> Sddm.Problem.t ->
+  Solver.prepared
+(** The paper's solver through the cache, with the config string derived
+    from the actual parameters — the safe entry point for powerrchol
+    preparations (no config-string discipline required of the caller). *)
+
+val default_capacity : int
+
+val set_capacity : int -> unit
+(** Resize the cache, evicting oldest entries if shrinking. [0] disables
+    caching (every call prepares afresh). *)
+
+val clear : unit -> unit
+(** Drop all cached handles (e.g. between benchmark phases so timings
+    don't observe cross-phase reuse). Does not reset the hit/miss
+    counters. *)
+
+val hits : unit -> int
+val misses : unit -> int
+val reset_stats : unit -> unit

@@ -8,7 +8,21 @@ val solve :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?buckets:int ->
   ?heavy_factor:float -> Sddm.Problem.t -> Solver.result
 (** Run the full PowerRChol pipeline (§3.3 of the paper): Alg. 4
-    reordering, LT-RChol factorization, PCG to [rtol] (default 1e-6). *)
+    reordering, LT-RChol factorization, PCG to [rtol] (default 1e-6).
+    Preparations go through the {!Engine} cache, so solving the same
+    system again (or following up with {!solve_many}) reuses the
+    factorization; the result still reports the full preparation cost. *)
+
+val solve_many :
+  ?rtol:float -> ?max_iter:int -> ?seed:int -> ?buckets:int ->
+  ?heavy_factor:float -> Sddm.Problem.t -> float array array ->
+  Solver.prepared * Solver.result array
+(** [solve_many problem bs] factors once (through the {!Engine} cache) and
+    solves every right-hand side in [bs] against it. Each result carries
+    marginal cost only ({!Solver.solve_prepared} semantics); the returned
+    handle holds the one-time preparation cost for amortized reporting.
+    Iterates exactly like [List.map solve] — the solutions are
+    bit-identical to per-RHS {!solve} calls with the same seed. *)
 
 val solve_matrix :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?name:string ->

@@ -11,14 +11,11 @@ type gradient = {
 let of_objective ?rtol ?(seed = Solver.default_seed) p ~c =
   let n = Sddm.Problem.n p in
   assert (Array.length c = n);
-  let solver = Solver.powerrchol ~seed () in
-  let prepared = solver.Solver.prepare p in
-  let primal = Solver.iterate ?rtol solver prepared p in
-  let adjoint_problem =
-    Sddm.Problem.of_graph ~name:(p.Sddm.Problem.name ^ "+adjoint")
-      ~graph:p.Sddm.Problem.graph ~d:p.Sddm.Problem.d ~b:c
-  in
-  let adjoint = Solver.iterate ?rtol solver prepared adjoint_problem in
+  (* primal and adjoint share one preparation (A is symmetric); the
+     adjoint is just the same factorization against rhs [c] *)
+  let prepared = Engine.powerrchol ~seed p in
+  let primal = Solver.solve_prepared ?rtol ~b:p.Sddm.Problem.b prepared in
+  let adjoint = Solver.solve_prepared ?rtol ~b:c prepared in
   let x = primal.Solver.x and lambda = adjoint.Solver.x in
   let g = Sddm.Graph.coalesce p.Sddm.Problem.graph in
   let m = Sddm.Graph.n_edges g in

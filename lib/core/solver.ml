@@ -1,5 +1,8 @@
 type prepared = {
+  solver_name : string;
+  problem : Sddm.Problem.t;
   precond : Krylov.Precond.t;
+  workspace : Krylov.Pcg.Workspace.t;
   t_reorder : float;
   t_precond : float;
   factor_nnz : int;
@@ -37,11 +40,86 @@ let note_prepared problem (p : prepared) =
       /. float_of_int (max 1 (Sddm.Problem.nnz problem)));
   p
 
-let iterate ?rtol ?(max_iter = 500) solver prepared problem =
+let make_prepared ~solver_name problem ~precond ~t_reorder ~t_precond
+    ~factor_nnz =
+  note_prepared problem
+    {
+      solver_name;
+      problem;
+      precond;
+      workspace = Krylov.Pcg.Workspace.create (Sddm.Problem.n problem);
+      t_reorder;
+      t_precond;
+      factor_nnz;
+    }
+
+let prepare solver problem =
+  Obs.span "prepare" (fun () -> solver.prepare problem)
+
+let solve_prepared ?rtol ?(max_iter = 500) ?x0 ?(history = false)
+    ?(condition = false) ?b (p : prepared) =
+  let problem = p.problem in
+  let n = Sddm.Problem.n problem in
+  let b = match b with Some b -> b | None -> problem.Sddm.Problem.b in
+  if Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Solver.solve_prepared: rhs length %d, system dimension %d"
+         (Array.length b) n);
+  let x, warm_start =
+    match x0 with
+    | Some v ->
+      if Array.length v <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Solver.solve_prepared: x0 length %d, system dimension %d"
+             (Array.length v) n);
+      (Array.copy v, true)
+    | None -> (Array.make n 0.0, false)
+  in
   let t0 = now () in
   let pcg =
     Obs.span "pcg" (fun () ->
-        Krylov.Pcg.solve ?rtol ~max_iter ~a:problem.Sddm.Problem.a
+        Krylov.Pcg.solve_into ?rtol ~max_iter ~history ~condition ~warm_start
+          ~workspace:p.workspace ~x ~a:problem.Sddm.Problem.a ~b
+          ~precond:p.precond ())
+  in
+  let t_iterate = now () -. t0 in
+  {
+    solver = p.solver_name;
+    x = pcg.Krylov.Pcg.x;
+    iterations = pcg.Krylov.Pcg.iterations;
+    status = pcg.Krylov.Pcg.status;
+    converged = pcg.Krylov.Pcg.converged;
+    residual = Sddm.Problem.residual_norm_against problem ~b pcg.Krylov.Pcg.x;
+    (* marginal-cost semantics: the preparation was paid once and lives on
+       the handle, so a prepared solve reports zero reorder/factor time
+       and t_total = t_iterate. Summing many solve_prepared results plus
+       one (t_reorder + t_precond) from the handle gives the honest
+       amortized total. *)
+    t_reorder = 0.0;
+    t_precond = 0.0;
+    t_iterate;
+    t_total = t_iterate;
+    factor_nnz = p.factor_nnz;
+  }
+
+let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
+  Array.mapi
+    (fun k b ->
+      Obs.span
+        (Printf.sprintf "solve#%d" k)
+        (fun () -> solve_prepared ?rtol ?max_iter ?history ?condition ~b p))
+    bs
+
+let iterate ?rtol ?(max_iter = 500) solver prepared problem =
+  let n = Sddm.Problem.n problem in
+  let t0 = now () in
+  let pcg =
+    Obs.span "pcg" (fun () ->
+        Krylov.Pcg.solve_into ?rtol ~max_iter ~history:true ~condition:true
+          ~warm_start:false ~workspace:prepared.workspace
+          ~x:(Array.make n 0.0) ~a:problem.Sddm.Problem.a
           ~b:problem.Sddm.Problem.b ~precond:prepared.precond ())
   in
   let t_iterate = now () -. t0 in
@@ -98,13 +176,10 @@ let rand_chol_custom ~name ~sort ~sampling ~ordering ?(seed = default_seed)
           Factor.Rand_chol.factorize ~sort ~sampling ~rng gp ~d:dp)
     in
     let t2 = now () in
-    note_prepared problem
-      {
-        precond = Krylov.Precond.of_factor ~name ~perm l;
-        t_reorder = t1 -. t0;
-        t_precond = t2 -. t1;
-        factor_nnz = Factor.Lower.nnz l;
-      }
+    make_prepared ~solver_name:name problem
+      ~precond:(Krylov.Precond.of_factor ~name ~perm l)
+      ~t_reorder:(t1 -. t0) ~t_precond:(t2 -. t1)
+      ~factor_nnz:(Factor.Lower.nnz l)
   in
   { name; prepare }
 
@@ -121,41 +196,56 @@ let lt_rchol ?(ordering = Amd) ?(buckets = Factor.Lt_rchol.default_buckets)
     ~sort:(Factor.Rand_chol.Counting_sort { buckets })
     ~sampling:Factor.Rand_chol.Shared_random ~ordering ?seed ()
 
-let powerrchol ?(buckets = Factor.Lt_rchol.default_buckets)
-    ?(heavy_factor = 10.0) ?(seed = default_seed) () =
-  let prepare problem =
-    let g = problem.Sddm.Problem.graph in
-    let t0 = now () in
-    let perm =
-      Obs.span "reorder" (fun () -> Ordering.Degree_sort.order ~heavy_factor g)
-    in
-    let t1 = now () in
-    let l =
-      Obs.span "factor" (fun () ->
-          let gp = Sddm.Graph.permute g perm in
-          let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
-          let rng = Rng.create seed in
-          Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp)
-    in
-    let t2 = now () in
-    note_prepared problem
-      {
-        precond = Krylov.Precond.of_factor ~name:"powerrchol" ~perm l;
-        t_reorder = t1 -. t0;
-        t_precond = t2 -. t1;
-        factor_nnz = Factor.Lower.nnz l;
-      }
+let default_heavy_factor = 10.0
+
+(* The paper's preparation with an optional precomputed Alg. 4
+   permutation: reordering is deterministic and seed-independent, so a
+   caller holding the permutation (the robust reseed rungs) skips straight
+   to the factorization. *)
+let powerrchol_prepare ?(buckets = Factor.Lt_rchol.default_buckets)
+    ?(heavy_factor = default_heavy_factor) ?(seed = default_seed) ?perm
+    problem =
+  let g = problem.Sddm.Problem.graph in
+  let t0 = now () in
+  let perm, t_reorder =
+    match perm with
+    | Some perm -> (perm, 0.0)
+    | None ->
+      let perm =
+        Obs.span "reorder" (fun () ->
+            Ordering.Degree_sort.order ~heavy_factor g)
+      in
+      (perm, now () -. t0)
   in
-  { name = "powerrchol"; prepare }
+  let t1 = now () in
+  let l =
+    Obs.span "factor" (fun () ->
+        let gp = Sddm.Graph.permute g perm in
+        let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+        let rng = Rng.create seed in
+        Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp)
+  in
+  let t2 = now () in
+  make_prepared ~solver_name:"powerrchol" problem
+    ~precond:(Krylov.Precond.of_factor ~name:"powerrchol" ~perm l)
+    ~t_reorder ~t_precond:(t2 -. t1) ~factor_nnz:(Factor.Lower.nnz l)
+
+let powerrchol ?buckets ?heavy_factor ?seed () =
+  {
+    name = "powerrchol";
+    prepare =
+      (fun problem -> powerrchol_prepare ?buckets ?heavy_factor ?seed problem);
+  }
 
 (* ---- feGRASS solvers ---- *)
 
-let fegrass_prepare ~recover_fraction ~factorize problem =
-  let g = problem.Sddm.Problem.graph in
+let fegrass_prepare ~name ~recover_fraction ~factorize problem =
   let t0 = now () in
   let sp, sparsifier_a =
     Obs.span "factor" (fun () ->
-        let sp = Fegrass.sparsify ~recover_fraction g in
+        let sp =
+          Fegrass.sparsify ~recover_fraction problem.Sddm.Problem.graph
+        in
         (sp, Sddm.Graph.to_sddm sp.Fegrass.graph problem.Sddm.Problem.d))
   in
   let t1 = now () in
@@ -168,26 +258,25 @@ let fegrass_prepare ~recover_fraction ~factorize problem =
         factorize (Sparse.Csc.permute_sym sparsifier_a perm))
   in
   let t3 = now () in
-  note_prepared problem
-    {
-      precond = Krylov.Precond.of_factor ~name:"fegrass" ~perm l;
-      t_reorder = t2 -. t1;
-      t_precond = t3 -. t2 +. (t1 -. t0);
-      factor_nnz = Factor.Lower.nnz l;
-    }
+  make_prepared ~solver_name:name problem
+    ~precond:(Krylov.Precond.of_factor ~name:"fegrass" ~perm l)
+    ~t_reorder:(t2 -. t1)
+    ~t_precond:(t3 -. t2 +. (t1 -. t0))
+    ~factor_nnz:(Factor.Lower.nnz l)
 
 let fegrass ?(recover_fraction = 0.02) () =
   {
     name = "fegrass";
     prepare =
-      fegrass_prepare ~recover_fraction ~factorize:Factor.Chol.factorize;
+      fegrass_prepare ~name:"fegrass" ~recover_fraction
+        ~factorize:Factor.Chol.factorize;
   }
 
 let fegrass_ichol ?(recover_fraction = 0.5) ?(drop_tol = 8.5e-6) () =
   {
     name = "fegrass-ichol";
     prepare =
-      fegrass_prepare ~recover_fraction
+      fegrass_prepare ~name:"fegrass-ichol" ~recover_fraction
         ~factorize:(Factor.Ichol.factorize ~drop_tol);
   }
 
@@ -202,13 +291,8 @@ let amg_pcg ?(theta = 0.08) ?smoother () =
     in
     let t1 = now () in
     let precond = Amg.preconditioner hierarchy in
-    note_prepared problem
-      {
-        precond;
-        t_reorder = 0.0;
-        t_precond = t1 -. t0;
-        factor_nnz = precond.Krylov.Precond.nnz;
-      }
+    make_prepared ~solver_name:"amg-pcg" problem ~precond ~t_reorder:0.0
+      ~t_precond:(t1 -. t0) ~factor_nnz:precond.Krylov.Precond.nnz
   in
   { name = "amg-pcg"; prepare }
 
@@ -226,13 +310,10 @@ let direct () =
             (Sparse.Csc.permute_sym problem.Sddm.Problem.a perm))
     in
     let t2 = now () in
-    note_prepared problem
-      {
-        precond = Krylov.Precond.of_factor ~name:"direct" ~perm l;
-        t_reorder = t1 -. t0;
-        t_precond = t2 -. t1;
-        factor_nnz = Factor.Lower.nnz l;
-      }
+    make_prepared ~solver_name:"direct" problem
+      ~precond:(Krylov.Precond.of_factor ~name:"direct" ~perm l)
+      ~t_reorder:(t1 -. t0) ~t_precond:(t2 -. t1)
+      ~factor_nnz:(Factor.Lower.nnz l)
   in
   { name = "direct"; prepare }
 
@@ -242,13 +323,8 @@ let jacobi () =
     let precond =
       Obs.span "factor" (fun () -> Krylov.Precond.jacobi problem.Sddm.Problem.a)
     in
-    note_prepared problem
-      {
-        precond;
-        t_reorder = 0.0;
-        t_precond = now () -. t0;
-        factor_nnz = precond.Krylov.Precond.nnz;
-      }
+    make_prepared ~solver_name:"jacobi" problem ~precond ~t_reorder:0.0
+      ~t_precond:(now () -. t0) ~factor_nnz:precond.Krylov.Precond.nnz
   in
   { name = "jacobi"; prepare }
 
@@ -286,16 +362,53 @@ let rung_of_solver ?name ~rtol ~max_iter solver =
         });
   }
 
+let rung_of_prepared ~name ~rtol ~max_iter prepare_fn =
+  {
+    Robust.Fallback.name;
+    solve =
+      (fun problem ->
+        let p = prepare_fn problem in
+        let r = solve_prepared ~rtol ~max_iter p in
+        {
+          Robust.Fallback.x = r.x;
+          iterations = r.iterations;
+          note = Krylov.Pcg.status_to_string r.status;
+        });
+  }
+
 (* Deterministic seed derivation for the reseed-and-retry rungs. *)
 let reseed seed i = seed + (1000003 * (i + 1))
 
 let robust_rungs ?(seed = default_seed) ?(retries = 2) ~rtol ~max_iter () =
-  rung_of_solver ~rtol ~max_iter (powerrchol ~seed ())
+  (* The reseed rungs reuse the Alg. 4 permutation computed by the first
+     powerrchol rung: reordering is deterministic and seed-independent, so
+     a reseed only needs to re-run the (randomized) factorization. The
+     memo keys by physical problem identity, so on disconnected grids each
+     island component computes its own permutation exactly once. *)
+  let memo : (Sddm.Problem.t * Sparse.Perm.t) option ref = ref None in
+  let perm_for problem =
+    match !memo with
+    | Some (p, perm) when p == problem ->
+      Obs.count "robust/perm_reuse" 1;
+      perm
+    | _ ->
+      let perm =
+        Obs.span "reorder" (fun () ->
+            Ordering.Degree_sort.order ~heavy_factor:default_heavy_factor
+              problem.Sddm.Problem.graph)
+      in
+      memo := Some (problem, perm);
+      perm
+  in
+  let powerrchol_rung ~name seed =
+    rung_of_prepared ~name ~rtol ~max_iter (fun problem ->
+        powerrchol_prepare ~seed ~perm:(perm_for problem) problem)
+  in
+  powerrchol_rung ~name:"powerrchol" seed
   :: List.init retries (fun i ->
-         rung_of_solver
+         powerrchol_rung
            ~name:(Printf.sprintf "powerrchol(reseed %d)" (i + 1))
-           ~rtol ~max_iter
-           (powerrchol ~seed:(reseed seed i) ()))
+           (reseed seed i))
   @ [
       rung_of_solver ~rtol ~max_iter (rchol ~ordering:Amd ~seed ());
       rung_of_solver ~rtol ~max_iter (jacobi ());

@@ -3,10 +3,24 @@
     Every solver is a {e preparation} step (reordering + preconditioner
     construction, timed separately as the paper's [T_r] and [T_f]) followed
     by PCG iteration ([T_i], [N_i]). The benchmark tables are produced by
-    running the same problems through each [t]. *)
+    running the same problems through each [t].
+
+    Since this layer was refactored around the factor-once / solve-many
+    workload, a {!prepared} value is a first-class, reusable handle: keep
+    it and call {!solve_prepared} / {!solve_many} for every new right-hand
+    side — the reordering and factorization are paid exactly once. See
+    {!Engine} for the fingerprint cache that shares handles across
+    independent call sites. *)
 
 type prepared = {
+  solver_name : string;  (** name of the solver that built the handle *)
+  problem : Sddm.Problem.t;  (** the system the factorization belongs to *)
   precond : Krylov.Precond.t;
+  workspace : Krylov.Pcg.Workspace.t;
+      (** owned PCG iteration buffers. Ownership rule: a handle serves one
+          solve at a time — {!solve_prepared} calls on the same handle
+          must be sequential (they are everywhere in this codebase, which
+          is single-threaded). *)
   t_reorder : float;  (** seconds spent computing the permutation *)
   t_precond : float;  (** seconds spent building the preconditioner *)
   factor_nnz : int;  (** stored nonzeros of the preconditioner *)
@@ -31,13 +45,40 @@ type result = {
   factor_nnz : int;
 }
 
+val prepare : t -> Sddm.Problem.t -> prepared
+(** [prepare solver problem] reorders and factorizes once, returning the
+    reusable handle. Recorded under the Obs span ["prepare"]. *)
+
+val solve_prepared :
+  ?rtol:float -> ?max_iter:int -> ?x0:float array -> ?history:bool ->
+  ?condition:bool -> ?b:float array -> prepared -> result
+(** [solve_prepared p] runs PCG against the prepared factorization.
+    [b] defaults to the right-hand side of the prepared problem; pass a
+    different [b] (of the same dimension) to solve the same matrix for a
+    new load vector. [history] and [condition] default to [false] — the
+    batched path does not build the O(iterations) diagnostics.
+
+    {b Marginal-cost semantics:} the returned [t_reorder]/[t_precond] are
+    0 and [t_total = t_iterate]; the one-time preparation cost lives on
+    the handle. [residual] is verified against the actual [b] solved. *)
+
+val solve_many :
+  ?rtol:float -> ?max_iter:int -> ?history:bool -> ?condition:bool ->
+  prepared -> float array array -> result array
+(** [solve_many p bs] amortizes one factorization over a batch of
+    right-hand sides (sequentially; the handle owns one workspace). Each
+    solve is recorded under the Obs span ["solve#k"]. Identical to
+    calling {!solve_prepared} per column. *)
+
 val run : ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t -> result
-(** Prepare, iterate, time, and verify. [rtol] defaults to 1e-6 and
-    [max_iter] to 500, the paper's settings. *)
+(** Prepare, iterate, time, and verify — the one-shot path. [rtol]
+    defaults to 1e-6 and [max_iter] to 500, the paper's settings. *)
 
 val iterate :
   ?rtol:float -> ?max_iter:int -> t -> prepared -> Sddm.Problem.t -> result
-(** Reuse a preparation (used by the Fig. 2 tolerance sweep). *)
+(** Reuse a preparation against [problem]'s matrix and rhs (used by the
+    Fig. 2 tolerance sweep). Unlike {!solve_prepared} the result carries
+    the preparation times and [t_total] includes them. *)
 
 (** {1 Solver constructors}
 
@@ -51,6 +92,14 @@ val apply_ordering : ordering -> Sddm.Graph.t -> Sparse.Perm.t
 
 val powerrchol : ?buckets:int -> ?heavy_factor:float -> ?seed:int -> unit -> t
 (** The paper's solver: Alg. 4 reordering + LT-RChol (Alg. 3) + PCG. *)
+
+val powerrchol_prepare :
+  ?buckets:int -> ?heavy_factor:float -> ?seed:int ->
+  ?perm:Sparse.Perm.t -> Sddm.Problem.t -> prepared
+(** The paper's preparation with an optional precomputed Alg. 4
+    permutation. Reordering is deterministic and seed-independent, so a
+    caller that already holds the permutation (the robust reseed rungs)
+    skips straight to the randomized factorization. *)
 
 val rchol : ?ordering:ordering -> ?seed:int -> unit -> t
 (** Original RChol (Alg. 1) preconditioner; default AMD ordering, the
@@ -84,6 +133,7 @@ val jacobi : unit -> t
 (** Diagonal preconditioning; the weak baseline. *)
 
 val default_seed : int
+val default_heavy_factor : float
 
 (** {1 Hardened solve path}
 
@@ -131,7 +181,18 @@ val robust_rungs :
   ?seed:int -> ?retries:int -> rtol:float -> max_iter:int -> unit ->
   Robust.Fallback.rung list
 (** The default escalation chain, exposed for custom {!Robust.Fallback}
-    policies. *)
+    policies. The powerrchol rung and its reseed-and-retry rungs share one
+    Alg. 4 permutation per problem (computed by whichever rung runs first,
+    memoized by physical problem identity) — a reseed re-runs only the
+    randomized factorization. *)
+
+val rung_of_prepared :
+  name:string -> rtol:float -> max_iter:int ->
+  (Sddm.Problem.t -> prepared) -> Robust.Fallback.rung
+(** Build a fallback rung from a preparation function — the hook through
+    which rungs accept (and share) prepared handles. Exceptions raised by
+    the preparation (factorization breakdowns) are classified by
+    {!Robust.Fallback.run} like any rung failure. *)
 
 val robust_trace : robust_result -> string
 (** Deterministic one-line trace: diagnostics summary, each failed rung

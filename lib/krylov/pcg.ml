@@ -32,6 +32,32 @@ type result = {
   condition_estimate : float;
 }
 
+(* ---- reusable iteration workspace ---- *)
+
+module Workspace = struct
+  type t = {
+    n : int;
+    r : float array;
+    z : float array;
+    p : float array;
+    q : float array;
+    scratch : float array;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Pcg.Workspace.create: negative dimension";
+    {
+      n;
+      r = Array.make n 0.0;
+      z = Array.make n 0.0;
+      p = Array.make n 0.0;
+      q = Array.make n 0.0;
+      scratch = Array.make n 0.0;
+    }
+
+  let dim ws = ws.n
+end
+
 (* CG implicitly runs Lanczos: with step sizes alpha_k and direction
    updates beta_k, the tridiagonal T has
    diag_k   = 1/alpha_k + beta_{k-1}/alpha_{k-1}   (beta_0/alpha_0 := 0)
@@ -89,23 +115,38 @@ let condition_from_coefficients alphas betas =
     if lambda_min > 0.0 then lambda_max /. lambda_min else infinity
   end
 
-let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
-    ~n ~apply_a ~b ~(precond : Precond.t) () =
-  assert (Array.length b = n);
+(* The single PCG core. [x] is the caller's buffer: on entry it holds the
+   initial guess when [warm_start] (otherwise it is zeroed here), on exit
+   the solution — result.x is physically [x]. All n-vectors come from
+   [ws]; with [history] and [condition] off the loop performs no
+   allocation proportional to n or to the iteration count. *)
+let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
+    ~history:want_history ~condition:want_condition ~warm_start
+    ~(ws : Workspace.t) ~x ~apply_a ~b ~(precond : Precond.t) () =
+  let n = ws.Workspace.n in
+  if Array.length b <> n then
+    invalid_arg
+      (Printf.sprintf "Pcg.solve: rhs length %d, workspace dimension %d"
+         (Array.length b) n);
+  if Array.length x <> n then
+    invalid_arg
+      (Printf.sprintf "Pcg.solve: solution length %d, workspace dimension %d"
+         (Array.length x) n);
   (* Telemetry: read the flag once; the hot loop then pays one branch per
      operator application and nothing else. The preconditioner span covers
      the triangular solves (or whatever [precond.apply] does). *)
   let obs = Obs.enabled () in
   let t_pre = ref 0.0 and n_pre = ref 0 in
   let t_op = ref 0.0 and n_op = ref 0 in
+  let scratch = ws.Workspace.scratch in
   let apply_precond r z =
     if obs then begin
       let t0 = Obs.now () in
-      precond.apply r z;
+      precond.apply ~scratch r z;
       t_pre := !t_pre +. (Obs.now () -. t0);
       incr n_pre
     end
-    else precond.apply r z
+    else precond.apply ~scratch r z
   in
   let apply_op v w =
     if obs then begin
@@ -123,12 +164,13 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
       Obs.count "iterations" iterations
     end
   in
-  let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  if not warm_start then Array.fill x 0 n 0.0;
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then begin
     flush_obs 0;
+    Array.fill x 0 n 0.0;
     {
-      x = Array.make n 0.0;
+      x;
       iterations = 0;
       status = Converged;
       converged = true;
@@ -138,18 +180,18 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
     }
   end
   else begin
-    let r = Array.make n 0.0 in
-    (* r = b - A x0 *)
-    if x0 = None then Array.blit b 0 r 0 n
+    let r = ws.Workspace.r in
+    (* r = b - A x0; skip the operator application for a known-zero guess *)
+    if not warm_start then Array.blit b 0 r 0 n
     else begin
       apply_op x r;
       for i = 0 to n - 1 do
         r.(i) <- b.(i) -. r.(i)
       done
     end;
-    let z = Array.make n 0.0 in
-    let p = Array.make n 0.0 in
-    let q = Array.make n 0.0 in
+    let z = ws.Workspace.z in
+    let p = ws.Workspace.p in
+    let q = ws.Workspace.q in
     let history = ref [] in
     let alphas = ref [] in
     let betas = ref [] in
@@ -177,12 +219,12 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
         status := Some (Breakdown (Indefinite { iteration = !iter; curvature = pq }))
       else begin
         let alpha = !rho /. pq in
-        alphas := alpha :: !alphas;
+        if want_condition then alphas := alpha :: !alphas;
         Sparse.Vec.axpy ~alpha ~x:p ~y:x;
         Sparse.Vec.axpy ~alpha:(-.alpha) ~x:q ~y:r;
         incr iter;
         rel := Sparse.Vec.norm2 r /. b_norm;
-        history := !rel :: !history;
+        if want_history then history := !rel :: !history;
         if not (Float.is_finite !rel) then
           status := Some (Breakdown (Nonfinite { iteration = !iter }))
         else if !rel <= rtol then status := Some Converged
@@ -204,7 +246,7 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
               status := Some (Breakdown (Nonfinite { iteration = !iter }))
             else begin
               let beta = rho' /. !rho in
-              betas := beta :: !betas;
+              if want_condition then betas := beta :: !betas;
               rho := rho';
               Sparse.Vec.xpby ~x:z ~beta ~y:p
             end
@@ -226,11 +268,44 @@ let solve_operator ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?x0
       converged = (status = Converged);
       relative_residual = !rel;
       history = Array.of_list (List.rev !history);
-      condition_estimate = condition_from_coefficients alphas_trimmed !betas;
+      condition_estimate =
+        (if want_condition then
+           condition_from_coefficients alphas_trimmed !betas
+         else 1.0);
     }
   end
 
-let solve ?rtol ?max_iter ?stall_window ?x0 ~a ~b ~precond () =
+let solve_operator ?rtol ?max_iter ?stall_window ?x0 ?(history = true)
+    ?(condition = true) ~n ~apply_a ~b ~precond () =
+  let ws = Workspace.create n in
+  let x, warm_start =
+    match x0 with
+    | Some v ->
+      if Array.length v <> n then
+        invalid_arg
+          (Printf.sprintf "Pcg.solve: x0 length %d, dimension %d"
+             (Array.length v) n);
+      (Array.copy v, true)
+    | None -> (Array.make n 0.0, false)
+  in
+  solve_ws ?rtol ?max_iter ?stall_window ~history ~condition ~warm_start ~ws
+    ~x ~apply_a ~b ~precond ()
+
+let solve ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~a ~b ~precond
+    () =
   let n = Array.length b in
   let apply_a x y = Sparse.Csc.spmv_into a x y in
-  solve_operator ?rtol ?max_iter ?stall_window ?x0 ~n ~apply_a ~b ~precond ()
+  solve_operator ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~n
+    ~apply_a ~b ~precond ()
+
+let solve_operator_into ?rtol ?max_iter ?stall_window ?(history = false)
+    ?(condition = false) ?(warm_start = true) ~workspace ~x ~apply_a ~b
+    ~precond () =
+  solve_ws ?rtol ?max_iter ?stall_window ~history ~condition ~warm_start
+    ~ws:workspace ~x ~apply_a ~b ~precond ()
+
+let solve_into ?rtol ?max_iter ?stall_window ?history ?condition ?warm_start
+    ~workspace ~x ~a ~b ~precond () =
+  let apply_a v y = Sparse.Csc.spmv_into a v y in
+  solve_operator_into ?rtol ?max_iter ?stall_window ?history ?condition
+    ?warm_start ~workspace ~x ~apply_a ~b ~precond ()

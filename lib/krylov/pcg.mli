@@ -8,7 +8,15 @@
     Every exit carries a typed {!status} so callers can distinguish honest
     slow convergence ([Max_iter]) from a numerical failure ([Breakdown]) or
     a stalled iteration ([Stagnated]) — the robustness layer
-    ([Robust.Fallback]) escalates on the latter two. *)
+    ([Robust.Fallback]) escalates on the latter two.
+
+    Two entry styles:
+    - {!solve} / {!solve_operator} allocate their own buffers per call —
+      convenient for one-shot solves;
+    - {!solve_into} / {!solve_operator_into} iterate inside a caller-owned
+      {!Workspace.t} and write the solution into a caller-owned [x] —
+      the factor-once / solve-many path (transient marches, batched RHS)
+      where the loop must not allocate any n-sized array. *)
 
 type breakdown_reason =
   | Indefinite of { iteration : int; curvature : float }
@@ -31,30 +39,78 @@ val pp_status : Format.formatter -> status -> unit
 
 type result = {
   x : float array;
+      (** the solution. For the [_into] variants this is {e physically}
+          the caller's buffer (useful for zero-allocation assertions). *)
   iterations : int;  (** true count of completed iterations at exit *)
   status : status;
   converged : bool;  (** derived view: [status = Converged] *)
   relative_residual : float;  (** recurrence residual at exit *)
-  history : float array;  (** relative residual after each iteration *)
+  history : float array;
+      (** relative residual after each iteration; [[||]] when history
+          tracking is off *)
   condition_estimate : float;
       (** estimate of kappa(M^-1 A) from the extreme eigenvalues of the
           Lanczos tridiagonal implicitly built by CG (alpha/beta
-          coefficients); 1.0 when fewer than 2 iterations ran. This is the
-          quantity a preconditioner is trying to shrink, reported
-          independently of the iteration count. *)
+          coefficients); 1.0 when fewer than 2 iterations ran {e or when
+          condition tracking is off}. This is the quantity a
+          preconditioner is trying to shrink, reported independently of
+          the iteration count. *)
 }
+
+(** Preallocated iteration state: the four PCG n-vectors (r, z, p, q) plus
+    the preconditioner scratch buffer. Create once per dimension, reuse
+    across every solve of that dimension. A workspace is owned by exactly
+    one in-flight solve at a time — sharing one across interleaved solves
+    corrupts both (see the ownership rules in DESIGN.md). *)
+module Workspace : sig
+  type t
+
+  val create : int -> t
+  (** [create n] allocates the five n-vectors. *)
+
+  val dim : t -> int
+end
 
 val solve :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
+  ?history:bool -> ?condition:bool ->
   a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
-(** [solve ~a ~b ~precond ()] runs PCG. [rtol] defaults to [1e-6] (the
-    paper's setting), [max_iter] to [500] (the paper's divergence cutoff),
-    [stall_window] to [200] (iterations without a new best residual before
-    declaring {!Stagnated}), [x0] to the zero vector. If [b] is zero the
-    zero solution is returned immediately. *)
+(** [solve ~a ~b ~precond ()] runs PCG with a private, freshly allocated
+    workspace. [rtol] defaults to [1e-6] (the paper's setting), [max_iter]
+    to [500] (the paper's divergence cutoff), [stall_window] to [200]
+    (iterations without a new best residual before declaring
+    {!Stagnated}), [x0] to the zero vector. [history] and [condition]
+    default to [true] here (one-shot solves want the full diagnostics);
+    pass [false] to skip the O(iterations) residual history and the
+    Lanczos coefficient lists. If [b] is zero the zero solution is
+    returned immediately. *)
 
 val solve_operator :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
+  ?history:bool -> ?condition:bool ->
   n:int -> apply_a:(float array -> float array -> unit) ->
   b:float array -> precond:Precond.t -> unit -> result
-(** Matrix-free variant: [apply_a x y] computes [y <- A x]. *)
+(** Matrix-free variant of {!solve}: [apply_a x y] computes [y <- A x]. *)
+
+val solve_into :
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int ->
+  ?history:bool -> ?condition:bool -> ?warm_start:bool ->
+  workspace:Workspace.t -> x:float array ->
+  a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
+(** In-place solve for the factor-once / solve-many path. All iteration
+    vectors come from [workspace]; the solution is written into [x]
+    (result.[x] is physically that buffer). With [warm_start] (default
+    [true]) the entry content of [x] is the initial guess; with
+    [~warm_start:false] [x] is zeroed first and the initial residual
+    computation skips one operator application. [history] and [condition]
+    default to [false]: the march allocates nothing proportional to n or
+    to the iteration count. Raises [Invalid_argument] when [b], [x] and
+    the workspace dimensions disagree. *)
+
+val solve_operator_into :
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int ->
+  ?history:bool -> ?condition:bool -> ?warm_start:bool ->
+  workspace:Workspace.t -> x:float array ->
+  apply_a:(float array -> float array -> unit) ->
+  b:float array -> precond:Precond.t -> unit -> result
+(** Matrix-free variant of {!solve_into}. *)

@@ -1,35 +1,72 @@
 type t = {
   name : string;
   nnz : int;
-  apply : float array -> float array -> unit;
+  scratch_len : int;
+  apply : ?scratch:float array -> float array -> float array -> unit;
 }
 
 let identity n =
-  ignore n;
-  { name = "identity"; nnz = 0; apply = (fun r z -> Array.blit r 0 z 0 (Array.length r)) }
+  {
+    name = "identity";
+    nnz = 0;
+    scratch_len = 0;
+    apply =
+      (fun ?scratch:_ r z ->
+        if Array.length r <> n || Array.length z <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Precond.identity: built for dimension %d, applied to vectors \
+                of length %d -> %d"
+               n (Array.length r) (Array.length z));
+        Array.blit r 0 z 0 n);
+  }
 
 let jacobi a =
   let d = Sparse.Csc.diag a in
   let inv = Array.map (fun x ->
       if x > 0.0 then 1.0 /. x else 1.0) d
   in
+  let n = Array.length d in
   {
     name = "jacobi";
-    nnz = Array.length d;
+    nnz = n;
+    scratch_len = 0;
     apply =
-      (fun r z ->
-        for i = 0 to Array.length r - 1 do
+      (fun ?scratch:_ r z ->
+        if Array.length r <> n || Array.length z <> n then
+          invalid_arg
+            (Printf.sprintf
+               "Precond.jacobi: dimension %d, applied to length %d -> %d" n
+               (Array.length r) (Array.length z));
+        for i = 0 to n - 1 do
           z.(i) <- r.(i) *. inv.(i)
         done);
   }
 
 let of_factor ?(name = "factor") ~perm l =
-  let scratch = Array.make (Factor.Lower.dim l) 0.0 in
+  let n = Factor.Lower.dim l in
+  (* No captured scratch: the value is reentrant. Callers that care about
+     allocation (the PCG workspace loop) pass [~scratch]; callers that
+     don't pay one n-array allocation per apply. *)
   {
     name;
     nnz = Factor.Lower.nnz l;
+    scratch_len = n;
     apply =
-      (fun r z -> Factor.Lower.apply_preconditioner l ~perm ~scratch r z);
+      (fun ?scratch r z ->
+        let scratch =
+          match scratch with
+          | Some s ->
+            if Array.length s < n then
+              invalid_arg
+                (Printf.sprintf
+                   "Precond.of_factor: scratch length %d < dimension %d"
+                   (Array.length s) n);
+            s
+          | None -> Array.make n 0.0
+        in
+        Factor.Lower.apply_preconditioner l ~perm ~scratch r z);
   }
 
-let of_apply ~name ~nnz apply = { name; nnz; apply }
+let of_apply ~name ~nnz apply =
+  { name; nnz; scratch_len = 0; apply = (fun ?scratch:_ r z -> apply r z) }

@@ -2,25 +2,46 @@
 
     A preconditioner is an [apply] function computing [z <- M^-1 r] for an
     SPD operator [M], plus bookkeeping used by the benchmark tables (nnz of
-    the underlying factor, a descriptive name). *)
+    the underlying factor, a descriptive name).
+
+    {b Reentrancy.} A [t] value holds no mutable application state: two
+    interleaved or concurrent [apply] calls never corrupt each other.
+    Applications that need workspace (the triangular-solve path of
+    {!of_factor}) either use the caller-provided [~scratch] buffer or
+    allocate a fresh one per call. The PCG workspace ({!Pcg.Workspace.t})
+    owns a scratch buffer precisely so the hot loop pays no per-apply
+    allocation. *)
 
 type t = {
   name : string;
   nnz : int;  (** stored nonzeros (factor or hierarchy); 0 for identity *)
-  apply : float array -> float array -> unit;
-      (** [apply r z] writes [M^-1 r] into [z]; must not alias. *)
+  scratch_len : int;
+      (** length of the scratch buffer [apply] can use; 0 when the
+          application needs none. Always [<= n], so an n-sized buffer is
+          universally sufficient. *)
+  apply : ?scratch:float array -> float array -> float array -> unit;
+      (** [apply ?scratch r z] writes [M^-1 r] into [z]; [r] and [z] must
+          not alias. When [scratch] is omitted and [scratch_len > 0] a
+          fresh buffer is allocated for the call (documented cost: one
+          n-array per apply); pass a buffer of length [>= scratch_len] to
+          avoid it. Raises [Invalid_argument] on a length mismatch. *)
 }
 
 val identity : int -> t
-(** No preconditioning (plain CG). *)
+(** No preconditioning (plain CG). [apply] validates that both vectors
+    have length [n] — a mismatched workspace fails loudly instead of
+    silently blitting short. *)
 
 val jacobi : Sparse.Csc.t -> t
-(** Diagonal scaling. *)
+(** Diagonal scaling. Validates vector lengths like {!identity}. *)
 
 val of_factor : ?name:string -> perm:Sparse.Perm.t -> Factor.Lower.t -> t
 (** [of_factor ~perm l] applies [P^T L^-T L^-1 P] — a Cholesky-type factor
     of the reordered matrix, as produced by RChol / LT-RChol / IChol /
-    exact Cholesky. *)
+    exact Cholesky. Reentrant: scratch comes from the caller or is
+    allocated per apply, never captured. *)
 
 val of_apply : name:string -> nnz:int -> (float array -> float array -> unit) -> t
-(** Wrap an arbitrary application function (used by the AMG V-cycle). *)
+(** Wrap an arbitrary application function (used by the AMG V-cycle and
+    the Schwarz preconditioner); the wrapped function manages its own
+    state, so [scratch_len = 0]. *)

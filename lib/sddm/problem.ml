@@ -43,11 +43,13 @@ let of_graph ~name ~graph ~d ~b =
 let n p = Graph.n_vertices p.graph
 let nnz p = Sparse.Csc.nnz p.a
 
-let residual_norm p x =
-  let r = Sparse.Vec.sub p.b (Sparse.Csc.spmv p.a x) in
-  let bn = Sparse.Vec.norm2 p.b in
+let residual_norm_against p ~b x =
+  let r = Sparse.Vec.sub b (Sparse.Csc.spmv p.a x) in
+  let bn = Sparse.Vec.norm2 b in
   let rn = Sparse.Vec.norm2 r in
   if bn > 0.0 then rn /. bn else rn
+
+let residual_norm p x = residual_norm_against p ~b:p.b x
 
 let describe p =
   Printf.sprintf "%s: |V|=%d nnz=%d" p.name (n p) (nnz p)

@@ -27,5 +27,10 @@ val residual_norm : t -> float array -> float
 (** [residual_norm p x] is [||b - A x||_2 / ||b||_2] (absolute norm if
     [b = 0]). *)
 
+val residual_norm_against : t -> b:float array -> float array -> float
+(** Like {!residual_norm} but against a caller-supplied right-hand side —
+    the factor-once / solve-many path verifies each RHS against the same
+    matrix. *)
+
 val describe : t -> string
 (** One-line summary: name, |V|, nnz. *)

@@ -97,7 +97,7 @@ let parse_array_header line =
       fail "unsupported array field %S" field
   | _ -> fail "malformed MatrixMarket array header: %S" line
 
-let read_vector path =
+let read_vectors path =
   In_channel.with_open_text path (fun ic ->
       let header =
         match In_channel.input_line ic with
@@ -122,17 +122,39 @@ let read_vector path =
         with Scanf.Scan_failure _ | Failure _ ->
           fail "malformed size line %S" size_line
       in
-      if n_cols <> 1 then fail "expected a single column, got %d" n_cols;
-      Array.init n_rows (fun k ->
-          match next_data_line () with
-          | None -> fail "expected %d entries, file ended at %d" n_rows k
-          | Some l -> (
-            match float_of_string_opt (String.trim l) with
-            | Some v -> v
-            | None -> fail "malformed value %S" l)))
+      if n_rows < 0 || n_cols < 1 then
+        fail "invalid dimensions %d x %d" n_rows n_cols;
+      (* array format is column-major: column 0 completely, then column 1 *)
+      Array.init n_cols (fun j ->
+          Array.init n_rows (fun k ->
+              match next_data_line () with
+              | None ->
+                fail "expected %d entries, file ended at %d"
+                  (n_rows * n_cols)
+                  ((j * n_rows) + k)
+              | Some l -> (
+                match float_of_string_opt (String.trim l) with
+                | Some v -> v
+                | None -> fail "malformed value %S" l))))
 
-let write_vector path v =
+let read_vector path =
+  match read_vectors path with
+  | [| v |] -> v
+  | cols -> fail "expected a single column, got %d" (Array.length cols)
+
+let write_vectors path cols =
+  if Array.length cols = 0 then invalid_arg "write_vectors: no columns";
+  let n = Array.length cols.(0) in
+  Array.iter
+    (fun c ->
+      if Array.length c <> n then
+        invalid_arg "write_vectors: columns of unequal length")
+    cols;
   Out_channel.with_open_text path (fun oc ->
       Printf.fprintf oc "%%%%MatrixMarket matrix array real general\n";
-      Printf.fprintf oc "%d 1\n" (Array.length v);
-      Array.iter (fun x -> Printf.fprintf oc "%.17g\n" x) v)
+      Printf.fprintf oc "%d %d\n" n (Array.length cols);
+      Array.iter
+        (fun c -> Array.iter (fun x -> Printf.fprintf oc "%.17g\n" x) c)
+        cols)
+
+let write_vector path v = write_vectors path [| v |]

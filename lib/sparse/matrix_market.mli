@@ -23,6 +23,17 @@ val write_channel : ?symmetric:bool -> out_channel -> Csc.t -> unit
 val read_vector : string -> float array
 (** [read_vector path] loads a dense vector stored as
     [matrix array real general] with one column (the format SuiteSparse
-    uses for right-hand sides). *)
+    uses for right-hand sides). Raises [Parse_error] if the file holds
+    more than one column — use {!read_vectors} for multi-RHS files. *)
+
+val read_vectors : string -> float array array
+(** [read_vectors path] loads a dense [matrix array real general] file as
+    one array per column (column-major storage, as MatrixMarket
+    specifies). A k-column file is k right-hand sides for the same
+    matrix — the batched factor-once / solve-many input. *)
 
 val write_vector : string -> float array -> unit
+
+val write_vectors : string -> float array array -> unit
+(** [write_vectors path cols] stores the columns as one
+    [matrix array real general] file; all columns must share a length. *)

@@ -60,11 +60,16 @@ let max_abs_diff x y =
   done;
   !acc
 
+(* Indexed loop rather than [Array.iter]: the polymorphic iterator boxes
+   every element of a flat float array, turning this into an n-sized
+   allocation per call — fatal in the transient march's per-step stats. *)
 let mean x =
   let n = Array.length x in
   assert (n > 0);
   let acc = ref 0.0 in
-  Array.iter (fun v -> acc := !acc +. v) x;
+  for i = 0 to n - 1 do
+    acc := !acc +. x.(i)
+  done;
   !acc /. float_of_int n
 
 let init = Array.init

@@ -1,0 +1,275 @@
+(* Prepared-solve engine tests: factor once / solve many semantics, the
+   fingerprint cache, workspace reuse, and the zero-allocation march. *)
+
+module Solver = Powerrchol.Solver
+module Engine = Powerrchol.Engine
+module Pipeline = Powerrchol.Pipeline
+
+let grid_problem ?(nx = 20) ?(ny = 20) ?(seed = 4242) () =
+  let spec = Powergrid.Generate.default ~nx ~ny ~seed in
+  let circuit = Powergrid.Generate.generate_circuit spec in
+  Powergrid.Generate.circuit_to_problem ~name:"engine-test" circuit
+
+let with_b problem b =
+  Sddm.Problem.of_graph ~name:problem.Sddm.Problem.name
+    ~graph:problem.Sddm.Problem.graph ~d:problem.Sddm.Problem.d ~b
+
+let random_rhs ~rng n = Array.init n (fun _ -> Rng.float rng -. 0.5)
+
+(* ---- solve_many vs per-RHS full solves ---- *)
+
+let test_solve_many_bit_identical () =
+  Engine.clear ();
+  let p = grid_problem () in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 99 in
+  let bs = Array.init 4 (fun _ -> random_rhs ~rng n) in
+  (* reference: full pipeline per right-hand side *)
+  let reference = Array.map (fun b -> Pipeline.solve (with_b p b)) bs in
+  (* fresh engine so the batch pays its own (cached) preparation *)
+  Engine.clear ();
+  let _, batch = Pipeline.solve_many p bs in
+  Array.iteri
+    (fun j (r : Solver.result) ->
+      let ref_r = reference.(j) in
+      Alcotest.(check bool)
+        (Printf.sprintf "rhs %d solution bit-identical" j)
+        true
+        (r.Solver.x = ref_r.Solver.x);
+      Alcotest.(check int)
+        (Printf.sprintf "rhs %d iterations" j)
+        ref_r.Solver.iterations r.Solver.iterations;
+      Alcotest.(check bool)
+        (Printf.sprintf "rhs %d converged" j)
+        true r.Solver.converged)
+    batch;
+  (* and the engine path agrees with a from-scratch, cache-free solve *)
+  let fresh =
+    Solver.run (Solver.powerrchol ()) (with_b p bs.(0))
+  in
+  Alcotest.(check bool) "engine matches uncached Solver.run" true
+    (fresh.Solver.x = batch.(0).Solver.x)
+
+let test_prepared_reuse_identical () =
+  Engine.clear ();
+  let p = grid_problem ~seed:5151 () in
+  let prepared = Engine.powerrchol p in
+  let solves = Array.init 3 (fun _ -> Solver.solve_prepared prepared) in
+  Array.iter
+    (fun (r : Solver.result) ->
+      Alcotest.(check int) "same iterations" solves.(0).Solver.iterations
+        r.Solver.iterations;
+      Alcotest.(check (float 0.0)) "same residual" solves.(0).Solver.residual
+        r.Solver.residual;
+      Alcotest.(check bool) "same solution" true
+        (r.Solver.x = solves.(0).Solver.x);
+      Alcotest.(check (float 0.0)) "marginal cost: no reorder time" 0.0
+        r.Solver.t_reorder;
+      Alcotest.(check (float 0.0)) "marginal cost: no factor time" 0.0
+        r.Solver.t_precond)
+    solves
+
+(* ---- engine cache ---- *)
+
+let test_engine_cache_hit () =
+  Engine.clear ();
+  Engine.reset_stats ();
+  let p = grid_problem ~seed:6161 () in
+  let p1 = Engine.powerrchol p in
+  let p2 = Engine.powerrchol p in
+  Alcotest.(check bool) "second prepare is the same handle" true (p1 == p2);
+  (* the fingerprint ignores b: an equal-matrix problem with a different
+     rhs reuses the factorization *)
+  let n = Sddm.Problem.n p in
+  let p3 = Engine.powerrchol (with_b p (Array.make n 1.0)) in
+  Alcotest.(check bool) "different rhs, same matrix: cache hit" true
+    (p1 == p3);
+  Alcotest.(check int) "one miss" 1 (Engine.misses ());
+  Alcotest.(check int) "two hits" 2 (Engine.hits ())
+
+let test_engine_distinguishes_config () =
+  Engine.clear ();
+  let p = grid_problem ~seed:7171 () in
+  let a = Engine.powerrchol ~seed:1 p in
+  let b = Engine.powerrchol ~seed:2 p in
+  Alcotest.(check bool) "different seed, different handle" true (not (a == b));
+  let c = Engine.powerrchol ~seed:1 p in
+  Alcotest.(check bool) "seed 1 again: cached" true (a == c)
+
+let test_engine_capacity () =
+  Engine.clear ();
+  Engine.set_capacity 1;
+  let p1 = grid_problem ~nx:8 ~ny:8 ~seed:1 () in
+  let p2 = grid_problem ~nx:9 ~ny:9 ~seed:2 () in
+  let h1 = Engine.powerrchol p1 in
+  let _h2 = Engine.powerrchol p2 in
+  (* p1 was evicted by p2 under capacity 1 *)
+  let h1' = Engine.powerrchol p1 in
+  Alcotest.(check bool) "evicted handle re-prepared" true (not (h1 == h1'));
+  Engine.set_capacity Engine.default_capacity;
+  Engine.clear ()
+
+(* ---- transient march: trajectory + allocation discipline ---- *)
+
+let test_transient_matches_reference () =
+  (* the refactored march (one workspace, solve_into, no per-step blit)
+     must reproduce the pre-refactor trajectory: PCG over the same shifted
+     system with x0-copy semantics, step by step *)
+  let spec = Powergrid.Generate.default ~nx:14 ~ny:14 ~seed:2024 in
+  let circuit = Powergrid.Generate.generate_circuit spec in
+  let h = 1e-10 and steps = 25 and rtol = 1e-8 in
+  let waveform = Powerrchol.Transient.Waveform.pulse ~period:5e-10 ~duty:0.5 in
+  let t = Powerrchol.Transient.prepare ~rtol ~circuit ~h () in
+  let res = Powerrchol.Transient.simulate t ~steps ~waveform in
+  (* reference implementation, mirroring Transient.prepare's system *)
+  let dc = Powergrid.Generate.circuit_to_problem ~name:"ref-dc" circuit in
+  let n = Sddm.Problem.n dc in
+  let cap_over_h = Array.make n 0.0 in
+  Array.iter
+    (fun (node, farads) ->
+      cap_over_h.(node) <- cap_over_h.(node) +. (farads /. h))
+    circuit.Powergrid.Generate.caps;
+  let d_shifted =
+    Array.mapi (fun i di -> di +. cap_over_h.(i)) dc.Sddm.Problem.d
+  in
+  let shifted =
+    Sddm.Problem.of_graph ~name:"ref-be" ~graph:dc.Sddm.Problem.graph
+      ~d:d_shifted ~b:dc.Sddm.Problem.b
+  in
+  let prepared = Solver.powerrchol_prepare shifted in
+  let v = Array.make n 0.0 in
+  let rhs = Array.make n 0.0 in
+  let iters = ref 0 in
+  for k = 1 to steps do
+    let scale = waveform (float_of_int k *. h) in
+    for i = 0 to n - 1 do
+      rhs.(i) <- (scale *. dc.Sddm.Problem.b.(i)) +. (cap_over_h.(i) *. v.(i))
+    done;
+    let r =
+      Krylov.Pcg.solve ~rtol ~x0:v ~a:shifted.Sddm.Problem.a ~b:rhs
+        ~precond:prepared.Solver.precond ()
+    in
+    Array.blit r.Krylov.Pcg.x 0 v 0 n;
+    iters := !iters + r.Krylov.Pcg.iterations
+  done;
+  Alcotest.(check bool) "trajectory bit-identical" true
+    (res.Powerrchol.Transient.v_final = v);
+  Alcotest.(check int) "same total PCG iterations" !iters
+    res.Powerrchol.Transient.total_iterations
+
+let test_march_allocation_bound () =
+  (* the march must not allocate per-step n-sized arrays: with n = 1600,
+     any such allocation costs >= n words per step; the observed per-step
+     budget (result records, step stats, list cells) is a few hundred *)
+  let spec = Powergrid.Generate.default ~nx:40 ~ny:40 ~seed:3030 in
+  let circuit = Powergrid.Generate.generate_circuit spec in
+  let t = Powerrchol.Transient.prepare ~circuit ~h:1e-10 () in
+  (* warm up: first simulate call pays one-time lazy setup *)
+  ignore
+    (Powerrchol.Transient.simulate t ~steps:2
+       ~waveform:Powerrchol.Transient.Waveform.step);
+  let steps = 50 in
+  let before = Gc.minor_words () in
+  let res =
+    Powerrchol.Transient.simulate t ~steps
+      ~waveform:Powerrchol.Transient.Waveform.step
+  in
+  let words = Gc.minor_words () -. before in
+  let per_step = words /. float_of_int steps in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation per step %.0f words < 1000 (n = %d)" per_step
+       (Array.length res.Powerrchol.Transient.v_final))
+    true (per_step < 1000.0)
+
+(* ---- in-place PCG contract ---- *)
+
+let test_solve_into_caller_buffer () =
+  let p = grid_problem ~nx:6 ~ny:6 ~seed:4040 () in
+  let n = Sddm.Problem.n p in
+  let prepared = Solver.powerrchol_prepare p in
+  let ws = Krylov.Pcg.Workspace.create n in
+  let x = Array.make n 0.0 in
+  let res =
+    Krylov.Pcg.solve_into ~workspace:ws ~x ~a:p.Sddm.Problem.a
+      ~b:p.Sddm.Problem.b ~precond:prepared.Solver.precond ()
+  in
+  Alcotest.(check bool) "result.x is physically the caller buffer" true
+    (res.Krylov.Pcg.x == x);
+  Alcotest.(check bool) "history off by default" true
+    (res.Krylov.Pcg.history = [||]);
+  Alcotest.(check (float 0.0)) "condition tracking off by default" 1.0
+    res.Krylov.Pcg.condition_estimate;
+  Alcotest.(check bool) "converged" true res.Krylov.Pcg.converged
+
+let test_precond_identity_validates () =
+  let p = Krylov.Precond.identity 4 in
+  let ok = Array.make 4 1.0 in
+  p.Krylov.Precond.apply ok ok;
+  Alcotest.(check bool) "short r rejected" true
+    (match p.Krylov.Precond.apply (Array.make 3 1.0) (Array.make 4 0.0) with
+     | () -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "short z rejected" true
+    (match p.Krylov.Precond.apply (Array.make 4 1.0) (Array.make 2 0.0) with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+(* ---- robust chain determinism with shared permutation ---- *)
+
+let test_robust_trace_deterministic () =
+  (* a tight tolerance with an iteration budget too small for PCG forces
+     the powerrchol rung and both reseed rungs (which share one Alg. 4
+     permutation) to fail before direct rescues the solve; two runs must
+     be byte-identical *)
+  let p = grid_problem ~nx:10 ~ny:10 ~seed:5050 () in
+  let run () = Solver.solve_robust ~rtol:1e-10 ~max_iter:3 p in
+  let r1 = run () in
+  let r2 = run () in
+  Alcotest.(check string) "byte-identical robust trace"
+    (Solver.robust_trace r1) (Solver.robust_trace r2);
+  Alcotest.(check bool) "still solved" true (Solver.robust_ok r1);
+  (match r1.Solver.outcome with
+   | Solver.Robust_solved { attempts; _ } ->
+     Alcotest.(check bool)
+       (Printf.sprintf "escalated through %d rungs" (List.length attempts))
+       true
+       (List.length attempts >= 3)
+   | _ -> Alcotest.fail "expected Robust_solved")
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "solve-many",
+        [
+          Alcotest.test_case "bit-identical to per-RHS pipeline" `Quick
+            test_solve_many_bit_identical;
+          Alcotest.test_case "prepared handle reuse" `Quick
+            test_prepared_reuse_identical;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit on same matrix" `Quick test_engine_cache_hit;
+          Alcotest.test_case "config separates entries" `Quick
+            test_engine_distinguishes_config;
+          Alcotest.test_case "capacity eviction" `Quick test_engine_capacity;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "march matches reference" `Quick
+            test_transient_matches_reference;
+          Alcotest.test_case "march allocation bound" `Quick
+            test_march_allocation_bound;
+        ] );
+      ( "pcg-into",
+        [
+          Alcotest.test_case "caller buffer identity" `Quick
+            test_solve_into_caller_buffer;
+          Alcotest.test_case "identity precond validates" `Quick
+            test_precond_identity_validates;
+        ] );
+      ( "robust",
+        [
+          Alcotest.test_case "trace deterministic with shared perm" `Quick
+            test_robust_trace_deterministic;
+        ] );
+    ]
