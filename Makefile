@@ -1,4 +1,5 @@
-.PHONY: build check test test-robust bench-smoke fmt fmt-check clean
+.PHONY: build check check-par test test-robust bench-smoke bench-kernels \
+  fmt fmt-check clean
 
 build:
 	dune build
@@ -9,17 +10,26 @@ check:
 
 test: check
 
+# Full suite again with the multicore backend's parallel paths engaged
+# (a no-op widening on the 4.14 sequential fallback) — the CI 5.1 leg.
+check-par:
+	POWERRCHOL_DOMAINS=2 dune runtest --force
+
 # Only the robustness / fault-injection suite.
 test-robust:
 	dune build @runtest-robust
 
-# Scaled-down Table 1 + batched (factor-once/solve-many) phase, then the
-# regression gate against the committed baseline — the same thing the CI
-# bench-smoke job runs.
+# Scaled-down Table 1 + batched (factor-once/solve-many) + kernels
+# phases, then the regression gate against the committed baseline — the
+# same thing the CI bench-smoke job runs.
 bench-smoke:
-	BENCH_SCALE=0.05 dune exec bench/main.exe table1 batched
+	BENCH_SCALE=0.05 dune exec bench/main.exe table1 batched kernels
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
 	  bench_artifacts/bench.json
+
+# Just the multicore hot-path kernel micro-benchmarks (DESIGN.md §10).
+bench-kernels:
+	dune exec bench/main.exe kernels
 
 fmt:
 	dune fmt

@@ -40,6 +40,21 @@ let tol_batch = getenv_float "BENCH_TOL_BATCH" 0.75
 let batched_solver = "PowerRChol(batched16)"
 let unbatched_solver = "PowerRChol(unbatched16)"
 
+(* Kernel gates, checked within the CURRENT file's "kernels" section (when
+   the kernels experiment ran):
+
+   - the gather-form symmetric SpMV must not be slower than the scatter
+     form sequentially: gather <= BENCH_TOL_KERNEL * scatter + the
+     (sub-millisecond) kernel slack — default 1.15x, generous enough for
+     microbenchmark jitter while still catching a real inversion;
+   - when the file says gate_speedup (the run measured >= 4 domains on
+     >= 4 hardware cores), the parallel pcg_iterate variant must be at
+     least BENCH_MIN_SPEEDUP faster than the sequential one (default
+     1.5x). Narrow runs record the numbers but are not judged. *)
+let tol_kernel = getenv_float "BENCH_TOL_KERNEL" 1.15
+let tol_kernel_abs = getenv_float "BENCH_TOL_KERNEL_ABS" 2e-4
+let min_speedup = getenv_float "BENCH_MIN_SPEEDUP" 1.5
+
 let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
 
 let read_json path =
@@ -156,6 +171,56 @@ let () =
   if !batched_checked > 0 then
     Printf.printf "batched amortization checked on %d case(s)\n"
       !batched_checked;
+  (* kernel gates on the current run *)
+  let current_doc = read_json current_path in
+  let kernel_rows =
+    match Obs.Json.member "kernels" current_doc with
+    | Some (Obs.Json.List rows) -> rows
+    | _ -> []
+  in
+  let kernel_time kernel variant =
+    List.find_map
+      (fun row ->
+        if str_field "kernel" row = kernel && str_field "variant" row = variant
+        then Option.bind (Obs.Json.member "time_s" row) Obs.Json.to_float
+        else None)
+      kernel_rows
+  in
+  (match (kernel_time "spmv" "scatter", kernel_time "spmv" "gather") with
+   | Some scatter, Some gather ->
+     Printf.printf "kernel gate: sequential gather spmv %.2fx of scatter\n"
+       (scatter /. gather);
+     if gather > (tol_kernel *. scatter) +. tol_kernel_abs then
+       failures :=
+         Printf.sprintf
+           "gather spmv slower than scatter: %.3es vs %.3es (> %.2fx + %.1es)"
+           gather scatter tol_kernel tol_kernel_abs
+         :: !failures
+   | _ ->
+     if kernel_rows <> [] then
+       notes := "kernels section lacks spmv scatter/gather pair" :: !notes);
+  let wants_speedup_gate =
+    match Obs.Json.member "gate_speedup" current_doc with
+    | Some (Obs.Json.Bool b) -> b
+    | _ -> false
+  in
+  if wants_speedup_gate then begin
+    match (kernel_time "pcg_iterate" "seq", kernel_time "pcg_iterate" "par")
+    with
+    | Some seq, Some par ->
+      let speedup = seq /. par in
+      Printf.printf "kernel gate: parallel pcg iterate speedup %.2fx\n"
+        speedup;
+      if speedup < min_speedup then
+        failures :=
+          Printf.sprintf
+            "parallel pcg_iterate speedup %.2fx below the %.2fx floor"
+            speedup min_speedup
+          :: !failures
+    | _ ->
+      failures :=
+        "gate_speedup set but pcg_iterate seq/par rows missing" :: !failures
+  end;
   List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
   if !compared = 0 then
     (* an empty intersection means the gate compared nothing: make that

@@ -20,6 +20,7 @@ let experiments =
     ("ablation", Experiments.ablation);
     ("batched", Experiments.batched);
     ("micro", Micro.run);
+    ("kernels", Kernels.run);
   ]
 
 let run_all () =

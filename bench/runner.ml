@@ -106,6 +106,30 @@ let record_custom ~case_id ~solver ~n ~nnz result =
 let drop_cached_problem case =
   Hashtbl.remove problem_cache case.Powergrid.Suite.id
 
+(* ---- kernel microbenchmark rows (the "kernels" experiment) ---- *)
+
+type kernel_row = {
+  k_kernel : string;  (* "spmv" | "trisolve" | "pcg_iterate" *)
+  k_variant : string;  (* "scatter" | "gather" | "sched" | "par" ... *)
+  k_domains : int;  (* pool size the variant ran on *)
+  k_n : int;
+  k_time : float;  (* OLS seconds per run *)
+}
+
+let kernel_rows : kernel_row list ref = ref []
+
+let record_kernel ~kernel ~variant ~domains ~n ~time_s =
+  kernel_rows :=
+    { k_kernel = kernel; k_variant = variant; k_domains = domains; k_n = n;
+      k_time = time_s }
+    :: !kernel_rows
+
+(* Set by the kernels experiment when the parallel variants ran wide
+   enough (>= 4 domains on >= 4 hardware cores) for the compare gate to
+   hold them to the speedup floor; single-core CI boxes record the numbers
+   but are not judged on them. *)
+let gate_speedup = ref false
+
 (* ---- case lists (computed once so every table sees the same sizes) ---- *)
 
 let pg_cases = lazy (Powergrid.Suite.power_grid_cases ~scale ())
@@ -182,6 +206,16 @@ let bench_row_json row =
       ("factor_nnz", Obs.Json.Int r.Powerrchol.Solver.factor_nnz);
     ]
 
+let kernel_row_json row =
+  Obs.Json.Obj
+    [
+      ("kernel", Obs.Json.Str row.k_kernel);
+      ("variant", Obs.Json.Str row.k_variant);
+      ("domains", Obs.Json.Int row.k_domains);
+      ("n", Obs.Json.Int row.k_n);
+      ("time_s", Obs.Json.Float row.k_time);
+    ]
+
 let write_bench_json () =
   if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
   let path = Filename.concat artifact_dir "bench.json" in
@@ -191,12 +225,18 @@ let write_bench_json () =
         ("schema", Obs.Json.Str "powerrchol-bench/v1");
         ("scale", Obs.Json.Float scale);
         ("rtol", Obs.Json.Float rtol);
+        ("par_backend", Obs.Json.Str Par.backend);
+        ("hardware_domains", Obs.Json.Int (Par.hardware_domains ()));
+        ("domains", Obs.Json.Int (Par.effective_domains ()));
+        ("gate_speedup", Obs.Json.Bool !gate_speedup);
         ( "rows",
           Obs.Json.List (List.rev_map bench_row_json !bench_rows) );
+        ( "kernels",
+          Obs.Json.List (List.rev_map kernel_row_json !kernel_rows) );
       ]
   in
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Obs.Json.to_string ~indent:true doc);
       output_char oc '\n');
-  printf "[bench json written: %s (%d rows)]\n" path
-    (List.length !bench_rows)
+  printf "[bench json written: %s (%d rows, %d kernel rows)]\n" path
+    (List.length !bench_rows) (List.length !kernel_rows)

@@ -24,6 +24,30 @@ let seed_arg =
   let doc = "Random seed (grid generation and factorization)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel kernels (gather SpMV, level-scheduled \
+     triangular solves, batched solves). Defaults to $(b,POWERRCHOL_DOMAINS) \
+     or 1; 1 reproduces the sequential solver bit for bit. Ignored (with a \
+     warning) on a build without multicore support."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Applied before any solve runs: replaces the default pool. *)
+let apply_domains = function
+  | None -> ()
+  | Some d ->
+    if d < 1 then begin
+      prerr_endline "--domains must be >= 1";
+      exit 2
+    end;
+    if d > 1 && Par.backend = "seq" then
+      Printf.eprintf
+        "warning: this build has no multicore backend; --domains %d runs \
+         sequentially\n%!"
+        d;
+    Par.set_default_domains d
+
 let solver_names =
   [
     ("powerrchol", `Powerrchol);
@@ -225,7 +249,8 @@ let solve_cmd =
              found.")
   in
   let run netlist mtx rhs case scale solver_tag rtol seed budget robust
-      diagnose profile metrics_json =
+      diagnose profile metrics_json domains =
+    apply_domains domains;
     let instrument = profile || metrics_json <> None in
     (* --rhs loads eagerly: a k-column file is a batch of k loads for the
        same matrix (the factor-once / solve-many workload) *)
@@ -383,12 +408,13 @@ let solve_cmd =
     Term.(
       const run $ netlist_pos $ mtx_arg $ rhs_arg $ case_arg $ scale_arg
       $ solver_arg $ rtol_arg $ seed_arg $ budget $ robust_flag
-      $ diagnose_flag $ profile_flag $ metrics_json_arg)
+      $ diagnose_flag $ profile_flag $ metrics_json_arg $ domains_arg)
 
 (* ---- compare ---- *)
 
 let compare_cmd =
-  let run netlist mtx case scale rtol seed =
+  let run netlist mtx case scale rtol seed domains =
+    apply_domains domains;
     let problem = load_problem netlist mtx case scale in
     Printf.printf "%s\n" (Sddm.Problem.describe problem);
     Printf.printf "%-15s %9s %9s %9s %9s %5s %10s %6s\n" "solver" "Tr" "Tf"
@@ -408,7 +434,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ netlist_pos $ mtx_arg $ case_arg $ scale_arg $ rtol_arg
-      $ seed_arg)
+      $ seed_arg $ domains_arg)
 
 (* ---- transient ---- *)
 
@@ -439,7 +465,8 @@ let transient_cmd =
       value & opt float 0.5
       & info [ "duty" ] ~docv:"D" ~doc:"Load pulse duty cycle in [0,1].")
   in
-  let run nx ny seed rtol step steps period duty =
+  let run nx ny seed rtol step steps period duty domains =
+    apply_domains domains;
     let spec = Powergrid.Generate.default ~nx ~ny ~seed in
     let circuit = Powergrid.Generate.generate_circuit spec in
     Printf.printf "grid: %d nodes, %d decap sites; h = %.3g s, %d steps
@@ -466,7 +493,7 @@ let transient_cmd =
   Cmd.v (Cmd.info "transient" ~doc)
     Term.(
       const run $ nx $ ny $ seed_arg $ rtol_arg $ step $ steps $ period
-      $ duty)
+      $ duty $ domains_arg)
 
 let main_cmd =
   let doc = "power-grid analysis via fast randomized Cholesky (PowerRChol)" in

@@ -56,8 +56,8 @@ let make_prepared ~solver_name problem ~precond ~t_reorder ~t_precond
 let prepare solver problem =
   Obs.span "prepare" (fun () -> solver.prepare problem)
 
-let solve_prepared ?rtol ?(max_iter = 500) ?x0 ?(history = false)
-    ?(condition = false) ?b (p : prepared) =
+let solve_prepared_ws ?rtol ?(max_iter = 500) ?x0 ?(history = false)
+    ?(condition = false) ?b ~workspace (p : prepared) =
   let problem = p.problem in
   let n = Sddm.Problem.n problem in
   let b = match b with Some b -> b | None -> problem.Sddm.Problem.b in
@@ -81,8 +81,7 @@ let solve_prepared ?rtol ?(max_iter = 500) ?x0 ?(history = false)
   let pcg =
     Obs.span "pcg" (fun () ->
         Krylov.Pcg.solve_into ?rtol ~max_iter ~history ~condition ~warm_start
-          ~workspace:p.workspace ~x ~a:problem.Sddm.Problem.a ~b
-          ~precond:p.precond ())
+          ~workspace ~x ~a:problem.Sddm.Problem.a ~b ~precond:p.precond ())
   in
   let t_iterate = now () -. t0 in
   {
@@ -104,13 +103,50 @@ let solve_prepared ?rtol ?(max_iter = 500) ?x0 ?(history = false)
     factor_nnz = p.factor_nnz;
   }
 
+let solve_prepared ?rtol ?max_iter ?x0 ?history ?condition ?b (p : prepared) =
+  solve_prepared_ws ?rtol ?max_iter ?x0 ?history ?condition ?b
+    ~workspace:p.workspace p
+
 let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
-  Array.mapi
-    (fun k b ->
-      Obs.span
-        (Printf.sprintf "solve#%d" k)
-        (fun () -> solve_prepared ?rtol ?max_iter ?history ?condition ~b p))
-    bs
+  let pool = Par.default () in
+  let nb = Array.length bs in
+  if nb <= 1 || not (Par.runs_parallel pool) then
+    Array.mapi
+      (fun k b ->
+        Obs.span
+          (Printf.sprintf "solve#%d" k)
+          (fun () -> solve_prepared ?rtol ?max_iter ?history ?condition ~b p))
+      bs
+  else begin
+    (* Fan the batch across the pool, one contiguous chunk of right-hand
+       sides per domain. Each chunk gets its own PCG workspace (the
+       handle's single workspace serves one solve at a time), and the pool
+       is busy for the region's duration so every solve's inner kernels
+       run sequentially — which makes the batch results bit-identical to
+       the sequential path at any domain count. The Obs store is a global
+       single-domain structure, so telemetry is suspended across the
+       region; the batch is recorded as one "solve_many" span instead of
+       per-solve spans. *)
+    Obs.span "solve_many" (fun () ->
+        let was = Obs.enabled () in
+        Obs.set_enabled false;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_enabled was)
+          (fun () ->
+            let n = Sddm.Problem.n p.problem in
+            let results = Array.make nb None in
+            Par.parallel_for pool ~lo:0 ~hi:nb (fun lo hi ->
+                let workspace = Krylov.Pcg.Workspace.create n in
+                for k = lo to hi - 1 do
+                  results.(k) <-
+                    Some
+                      (solve_prepared_ws ?rtol ?max_iter ?history ?condition
+                         ~b:bs.(k) ~workspace p)
+                done);
+            Array.map
+              (function Some r -> r | None -> assert false)
+              results))
+  end
 
 let iterate ?rtol ?(max_iter = 500) solver prepared problem =
   let n = Sddm.Problem.n problem in
@@ -540,6 +576,8 @@ let result_meta problem (r : result) =
     ("t_iterate", Obs.Json.Float r.t_iterate);
     ("t_total", Obs.Json.Float r.t_total);
     ("factor_nnz", Obs.Json.Int r.factor_nnz);
+    ("par_backend", Obs.Json.Str Par.backend);
+    ("domains", Obs.Json.Int (Par.effective_domains ()));
   ]
 
 let run_profiled ?rtol ?max_iter solver problem =
@@ -554,6 +592,8 @@ let robust_meta_of ~case ~n ~nnz (r : robust_result) =
       ("case", Obs.Json.Str case);
       ("n", Obs.Json.Int n);
       ("nnz", Obs.Json.Int nnz);
+      ("par_backend", Obs.Json.Str Par.backend);
+      ("domains", Obs.Json.Int (Par.effective_domains ()));
     ]
   in
   common

@@ -66,9 +66,15 @@ val solve_many :
   ?rtol:float -> ?max_iter:int -> ?history:bool -> ?condition:bool ->
   prepared -> float array array -> result array
 (** [solve_many p bs] amortizes one factorization over a batch of
-    right-hand sides (sequentially; the handle owns one workspace). Each
-    solve is recorded under the Obs span ["solve#k"]. Identical to
-    calling {!solve_prepared} per column. *)
+    right-hand sides. With one domain (or a busy pool) the batch runs
+    sequentially on the handle's workspace, each solve recorded under the
+    Obs span ["solve#k"] — identical to calling {!solve_prepared} per
+    column. With more domains the batch is fanned across the default
+    {!Par} pool in contiguous chunks, one private workspace per chunk;
+    every solve's inner kernels then run sequentially, so the results are
+    bit-identical to the sequential batch at any domain count. Telemetry
+    is suspended for the parallel region (the global Obs store is not
+    domain-safe) and the batch appears as a single ["solve_many"] span. *)
 
 val run : ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t -> result
 (** Prepare, iterate, time, and verify — the one-shot path. [rtol]

@@ -1,8 +1,27 @@
+(* Level-scheduled triangular solves: columns are bucketed into dependency
+   levels (column i depends on column j when L(i,j) != 0, i > j); every
+   column in a level can be eliminated concurrently once the previous
+   levels are done. The forward solve additionally needs a row-oriented
+   copy of L so each unknown is computed by gathering (one writer per
+   x.(i)) instead of scattering column updates, which would race. Both the
+   schedule and the row form are built once per factor and cached. *)
+type schedule = {
+  n_levels : int;
+  level_ptr : int array;
+  order : int array;
+  level_of : int array;
+  row_ptr : int array;
+  row_cols : int array;
+  row_vals : float array;
+}
+
 type t = {
   n : int;
   col_ptr : int array;
   rows : int array;
   vals : float array;
+  mutable diag_cache : float array option;
+  mutable sched_cache : schedule option;
 }
 
 let of_raw ~n ~col_ptr ~rows ~vals =
@@ -21,12 +40,18 @@ let of_raw ~n ~col_ptr ~rows ~vals =
         invalid_arg "Lower: subdiagonal row out of range"
     done
   done;
-  { n; col_ptr; rows; vals }
+  { n; col_ptr; rows; vals; diag_cache = None; sched_cache = None }
 
 let nnz l = l.col_ptr.(l.n)
 let dim l = l.n
 
-let diag l = Array.init l.n (fun j -> l.vals.(l.col_ptr.(j)))
+let diag l =
+  match l.diag_cache with
+  | Some d -> d
+  | None ->
+    let d = Array.init l.n (fun j -> l.vals.(l.col_ptr.(j))) in
+    l.diag_cache <- Some d;
+    d
 
 let to_csc l =
   let t =
@@ -46,8 +71,84 @@ let of_csc a =
   of_raw ~n:n_cols ~col_ptr:lower.Sparse.Csc.col_ptr
     ~rows:lower.Sparse.Csc.row_idx ~vals:lower.Sparse.Csc.values
 
+let build_schedule l =
+  let n = l.n and col_ptr = l.col_ptr and rows = l.rows and vals = l.vals in
+  (* Dependency levels in one ascending-j pass: level_of.(j) is final by
+     the time column j is visited because every column it depends on has a
+     smaller index. *)
+  let level_of = Array.make (max n 1) 0 in
+  let max_level = ref (-1) in
+  for j = 0 to n - 1 do
+    let lj = level_of.(j) in
+    if lj > !max_level then max_level := lj;
+    for k = col_ptr.(j) + 1 to col_ptr.(j + 1) - 1 do
+      let i = rows.(k) in
+      if level_of.(i) <= lj then level_of.(i) <- lj + 1
+    done
+  done;
+  let n_levels = if n = 0 then 0 else !max_level + 1 in
+  (* Counting sort of columns by level keeps them ascending within each
+     level, so the schedule is deterministic. *)
+  let level_ptr = Array.make (n_levels + 1) 0 in
+  for j = 0 to n - 1 do
+    let lv = level_of.(j) in
+    level_ptr.(lv + 1) <- level_ptr.(lv + 1) + 1
+  done;
+  for lv = 1 to n_levels do
+    level_ptr.(lv) <- level_ptr.(lv) + level_ptr.(lv - 1)
+  done;
+  let order = Array.make (max n 1) 0 in
+  let cursor = Array.copy level_ptr in
+  for j = 0 to n - 1 do
+    let lv = level_of.(j) in
+    order.(cursor.(lv)) <- j;
+    cursor.(lv) <- cursor.(lv) + 1
+  done;
+  (* Row form of L for the gather-style forward solve. Filling it by
+     walking columns in ascending order leaves each row's entries in
+     ascending column order with the diagonal last — the same term order
+     the sequential column-scatter solve applies, so the scheduled solve
+     produces the same floating-point result. *)
+  let len = col_ptr.(n) in
+  let row_ptr = Array.make (n + 1) 0 in
+  for k = 0 to len - 1 do
+    row_ptr.(rows.(k) + 1) <- row_ptr.(rows.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let row_cols = Array.make (max len 1) 0 in
+  let row_vals = Array.make (max len 1) 0.0 in
+  let rcursor = Array.sub row_ptr 0 (max n 1) in
+  for j = 0 to n - 1 do
+    for k = col_ptr.(j) to col_ptr.(j + 1) - 1 do
+      let i = rows.(k) in
+      let pos = rcursor.(i) in
+      row_cols.(pos) <- j;
+      row_vals.(pos) <- vals.(k);
+      rcursor.(i) <- pos + 1
+    done
+  done;
+  { n_levels; level_ptr; order; level_of; row_ptr; row_cols; row_vals }
+
+let schedule l =
+  match l.sched_cache with
+  | Some s -> s
+  | None ->
+    let s = build_schedule l in
+    l.sched_cache <- Some s;
+    s
+
+(* Dimension below which the preconditioner application never takes the
+   scheduled path, and columns-per-level below which a level runs inline:
+   level barriers cost two mutex round-trips per worker, so thin levels
+   (the tail of any elimination tree) must not fan out. *)
+let par_solve_min = 4096
+let level_min_cols = 256
+
 let solve_in_place l x =
-  assert (Array.length x = l.n);
+  if Array.length x <> l.n then
+    invalid_arg "Lower.solve_in_place: vector length does not match factor";
   for j = 0 to l.n - 1 do
     let lo = l.col_ptr.(j) in
     let xj = x.(j) /. l.vals.(lo) in
@@ -59,7 +160,9 @@ let solve_in_place l x =
   done
 
 let solve_transpose_in_place l x =
-  assert (Array.length x = l.n);
+  if Array.length x <> l.n then
+    invalid_arg
+      "Lower.solve_transpose_in_place: vector length does not match factor";
   for j = l.n - 1 downto 0 do
     let lo = l.col_ptr.(j) in
     let acc = ref x.(j) in
@@ -69,21 +172,92 @@ let solve_transpose_in_place l x =
     x.(j) <- !acc /. l.vals.(lo)
   done
 
+let solve_in_place_sched l ~pool x =
+  if Array.length x <> l.n then
+    invalid_arg
+      "Lower.solve_in_place_sched: vector length does not match factor";
+  let s = schedule l in
+  let order = s.order
+  and row_ptr = s.row_ptr
+  and row_cols = s.row_cols
+  and row_vals = s.row_vals in
+  for lvl = 0 to s.n_levels - 1 do
+    Par.parallel_for pool ~min_work:level_min_cols ~lo:s.level_ptr.(lvl)
+      ~hi:s.level_ptr.(lvl + 1) (fun clo chi ->
+        for idx = clo to chi - 1 do
+          let i = order.(idx) in
+          let hi_k = row_ptr.(i + 1) in
+          let acc = ref x.(i) in
+          for k = row_ptr.(i) to hi_k - 2 do
+            acc := !acc -. (row_vals.(k) *. x.(row_cols.(k)))
+          done;
+          x.(i) <- !acc /. row_vals.(hi_k - 1)
+        done)
+  done
+
+let solve_transpose_in_place_sched l ~pool x =
+  if Array.length x <> l.n then
+    invalid_arg
+      "Lower.solve_transpose_in_place_sched: vector length does not match \
+       factor";
+  let s = schedule l in
+  let order = s.order
+  and col_ptr = l.col_ptr
+  and rows = l.rows
+  and vals = l.vals in
+  (* The backward solve is already a gather over columns (one writer per
+     x.(j)); running the levels in descending order guarantees every
+     x.(rows.(k)) read below was finalized by a deeper level. *)
+  for lvl = s.n_levels - 1 downto 0 do
+    Par.parallel_for pool ~min_work:level_min_cols ~lo:s.level_ptr.(lvl)
+      ~hi:s.level_ptr.(lvl + 1) (fun clo chi ->
+        for idx = clo to chi - 1 do
+          let j = order.(idx) in
+          let lo = col_ptr.(j) in
+          let acc = ref x.(j) in
+          for k = lo + 1 to col_ptr.(j + 1) - 1 do
+            acc := !acc -. (vals.(k) *. x.(rows.(k)))
+          done;
+          x.(j) <- !acc /. vals.(lo)
+        done)
+  done
+
 let apply_preconditioner l ~perm ~scratch r z =
   let n = l.n in
-  assert (Array.length perm = n);
-  assert (Array.length scratch = n);
-  assert (Array.length r = n && Array.length z = n);
-  (* scratch <- P r *)
-  for k = 0 to n - 1 do
-    scratch.(k) <- r.(perm.(k))
-  done;
-  solve_in_place l scratch;
-  solve_transpose_in_place l scratch;
-  (* z <- P^T scratch *)
-  for k = 0 to n - 1 do
-    z.(perm.(k)) <- scratch.(k)
-  done
+  if Array.length perm <> n then
+    invalid_arg "Lower.apply_preconditioner: perm length does not match factor";
+  if Array.length scratch < n then
+    invalid_arg "Lower.apply_preconditioner: scratch shorter than factor";
+  if Array.length r <> n || Array.length z <> n then
+    invalid_arg
+      "Lower.apply_preconditioner: vector lengths do not match factor";
+  let pool = Par.default () in
+  if n >= par_solve_min && Par.runs_parallel pool then begin
+    (* scratch <- P r *)
+    Par.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+        for k = lo to hi - 1 do
+          scratch.(k) <- r.(perm.(k))
+        done);
+    solve_in_place_sched l ~pool scratch;
+    solve_transpose_in_place_sched l ~pool scratch;
+    (* z <- P^T scratch; perm is a bijection so the writes are disjoint *)
+    Par.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+        for k = lo to hi - 1 do
+          z.(perm.(k)) <- scratch.(k)
+        done)
+  end
+  else begin
+    (* scratch <- P r *)
+    for k = 0 to n - 1 do
+      scratch.(k) <- r.(perm.(k))
+    done;
+    solve_in_place l scratch;
+    solve_transpose_in_place l scratch;
+    (* z <- P^T scratch *)
+    for k = 0 to n - 1 do
+      z.(perm.(k)) <- scratch.(k)
+    done
+  end
 
 let multiply l =
   let csc = to_csc l in

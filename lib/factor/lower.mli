@@ -6,11 +6,33 @@
     structural invariant is that each column's {e first} stored entry is its
     diagonal. Triangular solves do not need sorted columns. *)
 
+type schedule = private {
+  n_levels : int;  (** depth of the column dependency DAG *)
+  level_ptr : int array;
+      (** length [n_levels + 1]; level [lv]'s columns are
+          [order.(level_ptr.(lv)) .. order.(level_ptr.(lv+1) - 1)] *)
+  order : int array;
+      (** all columns, grouped by level, ascending within each level *)
+  level_of : int array;  (** level of each column *)
+  row_ptr : int array;
+      (** row-oriented copy of the factor for the gather-form forward
+          solve: length [n + 1] *)
+  row_cols : int array;
+      (** per row: column indices ascending, diagonal last *)
+  row_vals : float array;
+}
+(** Level schedule for parallel triangular solves: all columns of a level
+    depend only on columns of strictly earlier levels, so each level's
+    unknowns can be computed concurrently (gather form, one writer per
+    element) with a barrier between levels. *)
+
 type t = private {
   n : int;
   col_ptr : int array;  (** length [n + 1] *)
   rows : int array;
   vals : float array;
+  mutable diag_cache : float array option;
+  mutable sched_cache : schedule option;
 }
 
 val of_raw :
@@ -22,6 +44,17 @@ val nnz : t -> int
 val dim : t -> int
 
 val diag : t -> float array
+(** The diagonal of the factor. Computed on first call and cached on the
+    factor — callers must not mutate the returned array. *)
+
+val schedule : t -> schedule
+(** The level schedule (and row-form copy) of the factor, built on first
+    call and cached. {!Krylov.Precond.of_factor} forces it at
+    preparation time so the solve loop never pays the construction. *)
+
+val par_solve_min : int
+(** Factor dimension below which {!apply_preconditioner} always takes the
+    sequential path regardless of the domain count (4096). *)
 
 val to_csc : t -> Sparse.Csc.t
 (** Sorted CSC copy, for tests and inspection. *)
@@ -31,19 +64,35 @@ val of_csc : Sparse.Csc.t -> t
 
 val solve_in_place : t -> float array -> unit
 (** [solve_in_place l x] overwrites [x] with [L^-1 x] (forward
-    substitution). *)
+    substitution). Sequential column scatter. Raises [Invalid_argument]
+    when the vector length does not match the factor. *)
 
 val solve_transpose_in_place : t -> float array -> unit
 (** [solve_transpose_in_place l x] overwrites [x] with [L^-T x] (backward
-    substitution). *)
+    substitution). Sequential column gather. Raises [Invalid_argument]
+    when the vector length does not match the factor. *)
+
+val solve_in_place_sched : t -> pool:Par.pool -> float array -> unit
+(** Level-scheduled forward substitution over [pool]: levels run in
+    ascending order, each level's unknowns gathered in parallel from the
+    row-form copy. Same floating-point result as {!solve_in_place} (same
+    per-unknown term order) at any domain count. *)
+
+val solve_transpose_in_place_sched : t -> pool:Par.pool -> float array -> unit
+(** Level-scheduled backward substitution over [pool]: levels run in
+    descending order. Bit-identical to {!solve_transpose_in_place} at any
+    domain count. *)
 
 val apply_preconditioner :
   t -> perm:Sparse.Perm.t -> scratch:float array -> float array -> float array -> unit
 (** [apply_preconditioner l ~perm ~scratch r z] computes
     [z <- P^T L^-T L^-1 P r] — the PCG preconditioning step of the paper
     (§3.3 step 4), where [perm] maps new indices to old and [l] factors the
-    reordered matrix. [scratch] must have length [n]; [r] and [z] may not
-    alias. *)
+    reordered matrix. [scratch] must have length at least [n]; [r] and [z]
+    may not alias. Routes through the level-scheduled solves on the default
+    {!Par} pool when [dim l >= par_solve_min] and more than one domain is
+    available; sequential otherwise. Raises [Invalid_argument] on length
+    mismatches. *)
 
 val multiply : t -> Sparse.Csc.t
 (** [multiply l] forms [L * L^T] as CSC — the preconditioner matrix itself.

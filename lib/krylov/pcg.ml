@@ -294,7 +294,9 @@ let solve_operator ?rtol ?max_iter ?stall_window ?x0 ?(history = true)
 let solve ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~a ~b ~precond
     () =
   let n = Array.length b in
-  let apply_a x y = Sparse.Csc.spmv_into a x y in
+  (* Gather form: every caller hands a symmetric (SDDM/SPD) matrix, and
+     the gather kernel is the one that parallelizes race-free. *)
+  let apply_a x y = Sparse.Csc.spmv_sym_into a x y in
   solve_operator ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~n
     ~apply_a ~b ~precond ()
 
@@ -306,6 +308,6 @@ let solve_operator_into ?rtol ?max_iter ?stall_window ?(history = false)
 
 let solve_into ?rtol ?max_iter ?stall_window ?history ?condition ?warm_start
     ~workspace ~x ~a ~b ~precond () =
-  let apply_a v y = Sparse.Csc.spmv_into a v y in
+  let apply_a v y = Sparse.Csc.spmv_sym_into a v y in
   solve_operator_into ?rtol ?max_iter ?stall_window ?history ?condition
     ?warm_start ~workspace ~x ~apply_a ~b ~precond ()

@@ -1,0 +1,114 @@
+(* Domain-based execution backend (OCaml >= 5.0).
+
+   A fixed pool of [size - 1] worker domains plus the calling domain.
+   Workers park on a per-worker condition variable; [run] hands each
+   worker one closure, executes chunk 0 itself, then waits for every
+   worker's job slot to drain. Dispatch costs two mutex round-trips per
+   worker per parallel region, so regions must be coarse (one chunk per
+   domain) — which is exactly how {!Par.parallel_for} carves work.
+
+   Worker exceptions are captured and re-raised on the caller after the
+   join, so a failing chunk cannot leave the pool wedged. *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+  mutable failure : exn option;
+}
+
+type pool = {
+  pool_size : int;
+  workers : worker array;
+  handles : unit Domain.t array;
+  mutable live : bool;
+}
+
+let name = "domains"
+let hardware_domains () = Domain.recommended_domain_count ()
+
+let worker_loop w =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.mutex;
+    while w.job = None && not w.stop do
+      Condition.wait w.cond w.mutex
+    done;
+    if w.stop then begin
+      Mutex.unlock w.mutex;
+      running := false
+    end
+    else begin
+      let job = match w.job with Some j -> j | None -> assert false in
+      Mutex.unlock w.mutex;
+      (try job () with exn -> w.failure <- Some exn);
+      Mutex.lock w.mutex;
+      w.job <- None;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Par.create: pool size must be >= 1";
+  let workers =
+    Array.init (size - 1) (fun _ ->
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          job = None;
+          stop = false;
+          failure = None;
+        })
+  in
+  let handles =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers
+  in
+  { pool_size = size; workers; handles; live = true }
+
+let size p = p.pool_size
+
+let shutdown p =
+  if p.live then begin
+    p.live <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stop <- true;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      p.workers;
+    Array.iter Domain.join p.handles
+  end
+
+let run p f =
+  if p.pool_size = 1 then f 0
+  else begin
+    for i = 1 to p.pool_size - 1 do
+      let w = p.workers.(i - 1) in
+      Mutex.lock w.mutex;
+      w.failure <- None;
+      w.job <- Some (fun () -> f i);
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex
+    done;
+    let caller_failure = (try f 0; None with exn -> Some exn) in
+    for i = 1 to p.pool_size - 1 do
+      let w = p.workers.(i - 1) in
+      Mutex.lock w.mutex;
+      while w.job <> None do
+        Condition.wait w.cond w.mutex
+      done;
+      Mutex.unlock w.mutex
+    done;
+    let failure =
+      match caller_failure with
+      | Some _ -> caller_failure
+      | None ->
+        Array.fold_left
+          (fun acc w -> match acc with Some _ -> acc | None -> w.failure)
+          None p.workers
+    in
+    match failure with Some exn -> raise exn | None -> ()
+  end

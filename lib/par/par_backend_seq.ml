@@ -1,0 +1,24 @@
+(* Sequential execution backend (OCaml < 5.0, no Domains).
+
+   Signature-identical to the Domain backend: a "pool" remembers its size
+   and [run] executes the chunk closures one after another on the caller.
+   Because the deterministic kernels partition work by pool size, a
+   size-k sequential pool produces bit-identical results to a size-k
+   domain pool — only the wall clock differs. *)
+
+type pool = { size : int; mutable live : bool }
+
+let name = "seq"
+let hardware_domains () = 1
+
+let create size =
+  if size < 1 then invalid_arg "Par.create: pool size must be >= 1";
+  { size; live = true }
+
+let size p = p.size
+let shutdown p = p.live <- false
+
+let run p f =
+  for i = 0 to p.size - 1 do
+    f i
+  done

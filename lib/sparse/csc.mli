@@ -46,6 +46,19 @@ val spmv : t -> float array -> float array
 val spmv_into : t -> float array -> float array -> unit
 (** [spmv_into a x y] computes [y <- a * x] without allocating. *)
 
+val spmv_sym_into : t -> float array -> float array -> unit
+(** [spmv_sym_into a x y] computes [y <- a * x] for a {e symmetric} [a] in
+    gather form: [y.(i)] is accumulated from column [i] (= row [i] by
+    symmetry), so each output element is owned by exactly one writer and
+    the loop parallelizes race-free over the default {!Par} pool. The
+    caller asserts symmetry; for an asymmetric matrix this computes
+    [a^T * x]. Produces the same floating-point result as {!spmv_into} on
+    symmetric input (same per-row term order). Raises [Invalid_argument]
+    when [a] is not square or the vector lengths disagree. *)
+
+val spmv_sym : t -> float array -> float array
+(** Allocating wrapper around {!spmv_sym_into}. *)
+
 val spmv_t : t -> float array -> float array
 (** [spmv_t a x] is [a^T * x]. *)
 

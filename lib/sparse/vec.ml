@@ -8,13 +8,34 @@ let blit ~src ~dst =
   assert (Array.length src = Array.length dst);
   Array.blit src 0 dst 0 (Array.length src)
 
+(* Vectors shorter than this never fan out: the dispatch cost dwarfs the
+   loop, and keeping small problems on the plain code path preserves
+   bit-identity with the sequential build at every domain count. The
+   threshold depends only on n (never on the pool size), so a given
+   problem takes the same code path — and produces the same bits — at any
+   domain count > 1. *)
+let par_min = 16384
+
 let dot x y =
   assert (Array.length x = Array.length y);
-  let acc = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    acc := !acc +. (x.(i) *. y.(i))
-  done;
-  !acc
+  let n = Array.length x in
+  let pool = Par.default () in
+  if n < par_min || not (Par.runs_parallel pool) then begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (x.(i) *. y.(i))
+    done;
+    !acc
+  end
+  else
+    (* fixed-block pairwise-style reduction: deterministic at any domain
+       count (blocks and their summation order never depend on the pool) *)
+    Par.reduce_blocked pool ~lo:0 ~hi:n (fun lo hi ->
+        let acc = ref 0.0 in
+        for i = lo to hi - 1 do
+          acc := !acc +. (x.(i) *. y.(i))
+        done;
+        !acc)
 
 let norm2 x = sqrt (dot x x)
 
@@ -28,14 +49,26 @@ let norm_inf x =
 
 let axpy ~alpha ~x ~y =
   assert (Array.length x = Array.length y);
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- y.(i) +. (alpha *. x.(i))
-  done
+  let body lo hi =
+    for i = lo to hi - 1 do
+      y.(i) <- y.(i) +. (alpha *. x.(i))
+    done
+  in
+  let n = Array.length x in
+  let pool = Par.default () in
+  if n < par_min || not (Par.runs_parallel pool) then body 0 n
+  else Par.parallel_for pool ~lo:0 ~hi:n body
 
 let scale x alpha =
-  for i = 0 to Array.length x - 1 do
-    x.(i) <- x.(i) *. alpha
-  done
+  let body lo hi =
+    for i = lo to hi - 1 do
+      x.(i) <- x.(i) *. alpha
+    done
+  in
+  let n = Array.length x in
+  let pool = Par.default () in
+  if n < par_min || not (Par.runs_parallel pool) then body 0 n
+  else Par.parallel_for pool ~lo:0 ~hi:n body
 
 let add x y =
   assert (Array.length x = Array.length y);
@@ -47,9 +80,15 @@ let sub x y =
 
 let xpby ~x ~beta ~y =
   assert (Array.length x = Array.length y);
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- x.(i) +. (beta *. y.(i))
-  done
+  let body lo hi =
+    for i = lo to hi - 1 do
+      y.(i) <- x.(i) +. (beta *. y.(i))
+    done
+  in
+  let n = Array.length x in
+  let pool = Par.default () in
+  if n < par_min || not (Par.runs_parallel pool) then body 0 n
+  else Par.parallel_for pool ~lo:0 ~hi:n body
 
 let max_abs_diff x y =
   assert (Array.length x = Array.length y);

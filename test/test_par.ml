@@ -1,0 +1,414 @@
+(* Parallel-backend tests: pool semantics, kernel bit-identity between the
+   sequential and scheduled/gather forms, determinism across domain
+   counts, level-schedule validity, and a fault-injected stress run of the
+   batched solve path. *)
+
+module Solver = Powerrchol.Solver
+
+(* Every test that widens the default pool restores it, so suites stay
+   independent of execution order. *)
+let with_domains d f =
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_domains (Par.recommended_domains ()))
+    (fun () ->
+      Par.set_default_domains d;
+      f ())
+
+let grid_problem ?(nx = 30) ?(ny = 30) ?(seed = 6161) () =
+  let spec = Powergrid.Generate.default ~nx ~ny ~seed in
+  let circuit = Powergrid.Generate.generate_circuit spec in
+  Powergrid.Generate.circuit_to_problem ~name:"par-test" circuit
+
+let random_rhs ~rng n = Array.init n (fun _ -> Rng.float rng -. 0.5)
+
+let factor_of problem =
+  let g = problem.Sddm.Problem.graph in
+  let perm = Ordering.Degree_sort.order g in
+  let gp = Sddm.Graph.permute g perm in
+  let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+  (perm, Factor.Lt_rchol.factorize ~rng:(Rng.create 31) gp ~d:dp)
+
+(* ---- pool semantics ---- *)
+
+let test_parallel_for_partition () =
+  List.iter
+    (fun d ->
+      let pool = Par.create ~domains:d () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () ->
+          let hits = Array.make 1000 0 in
+          Par.parallel_for pool ~lo:0 ~hi:1000 (fun lo hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          Alcotest.(check bool)
+            (Printf.sprintf "every index covered once at %d domains" d)
+            true
+            (Array.for_all (fun c -> c = 1) hits)))
+    [ 1; 2; 3; 5 ]
+
+let test_parallel_for_exception () =
+  let pool = Par.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "worker exception reaches the caller"
+        (Failure "chunk") (fun () ->
+          Par.parallel_for pool ~lo:0 ~hi:300 (fun lo _hi ->
+              if lo > 0 then failwith "chunk"));
+      (* the pool must survive the failed region *)
+      let acc = ref 0 in
+      Par.parallel_for pool ~lo:0 ~hi:3 (fun lo hi ->
+          for _ = lo to hi - 1 do
+            incr acc
+          done);
+      Alcotest.(check int) "pool usable after exception" 3 !acc)
+
+let test_nested_calls_inline () =
+  let pool = Par.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      let inner_parallel = ref false in
+      Par.parallel_for pool ~lo:0 ~hi:2 (fun _ _ ->
+          (* a nested region on a busy pool must degrade to inline
+             sequential execution instead of deadlocking *)
+          if Par.runs_parallel pool then inner_parallel := true;
+          Par.parallel_for pool ~lo:0 ~hi:10 (fun _ _ -> ()));
+      Alcotest.(check bool) "nested region is inline" false !inner_parallel)
+
+let test_reduce_blocked_deterministic () =
+  let n = 50_000 in
+  let x = Array.init n (fun i -> sin (float_of_int i)) in
+  let sum_at d =
+    let pool = Par.create ~domains:d () in
+    Fun.protect
+      ~finally:(fun () -> Par.shutdown pool)
+      (fun () ->
+        Par.reduce_blocked pool ~lo:0 ~hi:n (fun lo hi ->
+            let acc = ref 0.0 in
+            for i = lo to hi - 1 do
+              acc := !acc +. x.(i)
+            done;
+            !acc))
+  in
+  let s1 = sum_at 1 and s2 = sum_at 2 and s3 = sum_at 3 and s5 = sum_at 5 in
+  (* fixed-block association: identical bits at every domain count *)
+  Alcotest.(check bool) "1 = 2 domains" true (s1 = s2);
+  Alcotest.(check bool) "2 = 3 domains" true (s2 = s3);
+  Alcotest.(check bool) "3 = 5 domains" true (s3 = s5)
+
+(* ---- vector kernels ---- *)
+
+let test_vec_kernels_match_seq () =
+  let n = 20_000 in
+  (* above Vec's parallel threshold *)
+  let rng = Rng.create 7 in
+  let x = random_rhs ~rng n in
+  let y0 = random_rhs ~rng n in
+  let seq_dot, seq_axpy, seq_xpby, seq_scale =
+    ( Sparse.Vec.dot x y0,
+      (let y = Array.copy y0 in
+       Sparse.Vec.axpy ~alpha:1.5 ~x ~y;
+       y),
+      (let y = Array.copy y0 in
+       Sparse.Vec.xpby ~x ~beta:0.25 ~y;
+       y),
+      let y = Array.copy y0 in
+      Sparse.Vec.scale y 3.0;
+      y )
+  in
+  with_domains 3 (fun () ->
+      let d = Sparse.Vec.dot x y0 in
+      Alcotest.(check bool)
+        "parallel dot within fp tolerance" true
+        (Float.abs (d -. seq_dot) <= 1e-12 *. Float.abs seq_dot);
+      let y = Array.copy y0 in
+      Sparse.Vec.axpy ~alpha:1.5 ~x ~y;
+      Alcotest.(check bool) "axpy bit-identical" true (y = seq_axpy);
+      let y = Array.copy y0 in
+      Sparse.Vec.xpby ~x ~beta:0.25 ~y;
+      Alcotest.(check bool) "xpby bit-identical" true (y = seq_xpby);
+      let y = Array.copy y0 in
+      Sparse.Vec.scale y 3.0;
+      Alcotest.(check bool) "scale bit-identical" true (y = seq_scale);
+      (* reduction determinism across parallel widths *)
+      let d3 = Sparse.Vec.dot x y0 in
+      with_domains 2 (fun () ->
+          Alcotest.(check bool)
+            "dot identical at 2 and 3 domains" true
+            (Sparse.Vec.dot x y0 = d3)))
+
+(* ---- gather SpMV ---- *)
+
+let test_spmv_gather_matches_scatter () =
+  let p = grid_problem () in
+  let a = p.Sddm.Problem.a in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 17 in
+  let x = random_rhs ~rng n in
+  let y_scatter = Array.make n 0.0 in
+  Sparse.Csc.spmv_into a x y_scatter;
+  let y_gather = Array.make n 0.0 in
+  Sparse.Csc.spmv_sym_into a x y_gather;
+  Alcotest.(check bool) "gather = scatter sequentially" true
+    (y_gather = y_scatter);
+  with_domains 3 (fun () ->
+      let y_par = Array.make n 0.0 in
+      Sparse.Csc.spmv_sym_into a x y_par;
+      Alcotest.(check bool) "gather bit-identical at 3 domains" true
+        (y_par = y_scatter));
+  Alcotest.check_raises "rectangular matrix rejected"
+    (Invalid_argument "Csc.spmv_sym_into: matrix must be square") (fun () ->
+      let t = Sparse.Triplet.create ~n_rows:2 ~n_cols:3 () in
+      Sparse.Triplet.add t 0 0 1.0;
+      Sparse.Csc.spmv_sym_into (Sparse.Csc.of_triplet t)
+        (Array.make 3 0.0) (Array.make 2 0.0))
+
+(* ---- level schedule ---- *)
+
+let test_schedule_validity () =
+  let p = grid_problem ~nx:40 ~ny:40 ~seed:2222 () in
+  let _, l = factor_of p in
+  let s = Factor.Lower.schedule l in
+  let n = Factor.Lower.dim l in
+  (* order is a permutation of 0..n-1 grouped by level *)
+  let seen = Array.make n false in
+  Array.iter
+    (fun j ->
+      Alcotest.(check bool) "order in range" true (j >= 0 && j < n);
+      Alcotest.(check bool) "order has no duplicates" false seen.(j);
+      seen.(j) <- true)
+    s.Factor.Lower.order;
+  Alcotest.(check bool) "order covers all columns" true
+    (Array.for_all Fun.id seen);
+  Alcotest.(check int) "level_ptr spans all columns" n
+    s.Factor.Lower.level_ptr.(s.Factor.Lower.n_levels);
+  for lv = 0 to s.Factor.Lower.n_levels - 1 do
+    Alcotest.(check bool) "no empty level" true
+      (s.Factor.Lower.level_ptr.(lv) < s.Factor.Lower.level_ptr.(lv + 1));
+    for idx = s.Factor.Lower.level_ptr.(lv)
+        to s.Factor.Lower.level_ptr.(lv + 1) - 1 do
+      let j = s.Factor.Lower.order.(idx) in
+      Alcotest.(check int) "level_of consistent with buckets" lv
+        s.Factor.Lower.level_of.(j)
+    done
+  done;
+  (* every dependency crosses strictly into a later level *)
+  let ok = ref true in
+  for j = 0 to n - 1 do
+    for k = l.Factor.Lower.col_ptr.(j) + 1
+        to l.Factor.Lower.col_ptr.(j + 1) - 1 do
+      let i = l.Factor.Lower.rows.(k) in
+      if s.Factor.Lower.level_of.(i) <= s.Factor.Lower.level_of.(j) then
+        ok := false
+    done
+  done;
+  Alcotest.(check bool) "dependencies strictly increase level" true !ok;
+  (* the row form is exactly the factor transposed: ascending columns,
+     diagonal last *)
+  let entries = ref 0 in
+  let ok_rows = ref true in
+  for i = 0 to n - 1 do
+    let lo = s.Factor.Lower.row_ptr.(i)
+    and hi = s.Factor.Lower.row_ptr.(i + 1) in
+    entries := !entries + (hi - lo);
+    if hi <= lo || s.Factor.Lower.row_cols.(hi - 1) <> i then
+      ok_rows := false;
+    for k = lo + 1 to hi - 1 do
+      if s.Factor.Lower.row_cols.(k - 1) >= s.Factor.Lower.row_cols.(k) then
+        ok_rows := false
+    done
+  done;
+  Alcotest.(check int) "row form holds every nonzero" (Factor.Lower.nnz l)
+    !entries;
+  Alcotest.(check bool) "rows ascending with diagonal last" true !ok_rows;
+  Alcotest.(check bool) "schedule is cached" true
+    (s == Factor.Lower.schedule l)
+
+let test_sched_solves_match_seq () =
+  let p = grid_problem ~nx:40 ~ny:40 ~seed:3333 () in
+  let perm, l = factor_of p in
+  let n = Factor.Lower.dim l in
+  let rng = Rng.create 23 in
+  let b = random_rhs ~rng n in
+  let x_seq = Array.copy b in
+  Factor.Lower.solve_in_place l x_seq;
+  Factor.Lower.solve_transpose_in_place l x_seq;
+  List.iter
+    (fun d ->
+      let pool = Par.create ~domains:d () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown pool)
+        (fun () ->
+          let x = Array.copy b in
+          Factor.Lower.solve_in_place_sched l ~pool x;
+          Factor.Lower.solve_transpose_in_place_sched l ~pool x;
+          Alcotest.(check bool)
+            (Printf.sprintf "scheduled solve matches at %d domains" d)
+            true (x = x_seq)))
+    [ 1; 2; 4 ];
+  (* the full preconditioner application agrees across the path switch *)
+  let r = random_rhs ~rng n in
+  let scratch = Array.make n 0.0 in
+  let z_seq = Array.make n 0.0 in
+  Factor.Lower.apply_preconditioner l ~perm ~scratch r z_seq;
+  with_domains 3 (fun () ->
+      let z_par = Array.make n 0.0 in
+      Factor.Lower.apply_preconditioner l ~perm ~scratch r z_par;
+      Alcotest.(check bool)
+        (Printf.sprintf "apply_preconditioner matches (n=%d)" n)
+        true (z_par = z_seq))
+
+let test_diag_cached () =
+  let p = grid_problem ~nx:10 ~ny:10 () in
+  let _, l = factor_of p in
+  let d1 = Factor.Lower.diag l in
+  Alcotest.(check bool) "diag is cached" true (d1 == Factor.Lower.diag l);
+  Alcotest.(check int) "diag has factor dimension" (Factor.Lower.dim l)
+    (Array.length d1)
+
+let test_length_checks () =
+  let p = grid_problem ~nx:10 ~ny:10 () in
+  let perm, l = factor_of p in
+  let n = Factor.Lower.dim l in
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "solve_in_place rejects short vector" true
+    (raises (fun () -> Factor.Lower.solve_in_place l (Array.make (n - 1) 0.0)));
+  Alcotest.(check bool) "solve_transpose rejects short vector" true
+    (raises (fun () ->
+         Factor.Lower.solve_transpose_in_place l (Array.make (n + 1) 0.0)));
+  Alcotest.(check bool) "apply_preconditioner rejects short scratch" true
+    (raises (fun () ->
+         Factor.Lower.apply_preconditioner l ~perm
+           ~scratch:(Array.make (n - 1) 0.0) (Array.make n 0.0)
+           (Array.make n 0.0)))
+
+(* ---- full solves across domain counts ---- *)
+
+let test_solve_deterministic_across_domains () =
+  (* 70x70 ~ 5000 unknowns: above the SpMV / trisolve thresholds (4096) so
+     the parallel kernels engage, below Vec's 16384 so the reductions stay
+     on the plain path — the solve must be bit-identical at every domain
+     count, with iteration counts matching exactly. *)
+  let p = grid_problem ~nx:70 ~ny:70 ~seed:4444 () in
+  let run_at d =
+    with_domains d (fun () -> Solver.run (Solver.powerrchol ()) p)
+  in
+  let r1 = run_at 1 in
+  Alcotest.(check bool) "baseline converges" true r1.Solver.converged;
+  List.iter
+    (fun d ->
+      let rd = run_at d in
+      Alcotest.(check int)
+        (Printf.sprintf "iterations equal at %d domains" d)
+        r1.Solver.iterations rd.Solver.iterations;
+      Alcotest.(check bool)
+        (Printf.sprintf "solution bit-identical at %d domains" d)
+        true (rd.Solver.x = r1.Solver.x))
+    [ 2; 3 ]
+
+(* ---- batched solves: parallel fan-out + fault injection stress ---- *)
+
+let test_solve_many_parallel_matches_seq () =
+  let p = grid_problem ~nx:25 ~ny:25 ~seed:5555 () in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 71 in
+  let bs = Array.init 7 (fun _ -> random_rhs ~rng n) in
+  (* poison two right-hand sides: the batch must report per-solve typed
+     breakdowns without disturbing its healthy neighbors *)
+  bs.(2) <- Robust.Fault.inject_nan_rhs ~row:5 bs.(2);
+  bs.(5) <- Robust.Fault.inject_nan_rhs ~row:0 bs.(5);
+  let prepared = Solver.powerrchol_prepare p in
+  let seq = Solver.solve_many prepared bs in
+  let par = with_domains 3 (fun () -> Solver.solve_many prepared bs) in
+  Alcotest.(check int) "batch sizes agree" (Array.length seq)
+    (Array.length par);
+  Array.iteri
+    (fun k (s : Solver.result) ->
+      let q = par.(k) in
+      Alcotest.(check string)
+        (Printf.sprintf "rhs %d status" k)
+        (Krylov.Pcg.status_to_string s.Solver.status)
+        (Krylov.Pcg.status_to_string q.Solver.status);
+      Alcotest.(check int)
+        (Printf.sprintf "rhs %d iterations" k)
+        s.Solver.iterations q.Solver.iterations;
+      Alcotest.(check bool)
+        (Printf.sprintf "rhs %d solution bit-identical" k)
+        true (q.Solver.x = s.Solver.x))
+    seq;
+  Alcotest.(check bool) "poisoned rhs broke down" false seq.(2).Solver.converged;
+  Alcotest.(check bool) "healthy rhs converged" true seq.(0).Solver.converged
+
+let test_solve_many_stress_mixed_outcomes () =
+  (* starve the iteration budget so most solves stop at Max_iterations
+     and poison one rhs: the batch must stay deterministic under the
+     parallel fan-out even when no solve converges cleanly *)
+  let p = grid_problem ~nx:20 ~ny:20 ~seed:6666 () in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 73 in
+  let bs = Array.init 9 (fun _ -> random_rhs ~rng n) in
+  bs.(4) <- Robust.Fault.inject_nan_rhs ~row:(n / 2) bs.(4);
+  let prepared = Solver.powerrchol_prepare p in
+  let seq = Solver.solve_many ~max_iter:3 prepared bs in
+  let par =
+    with_domains 4 (fun () -> Solver.solve_many ~max_iter:3 prepared bs)
+  in
+  Array.iteri
+    (fun k (s : Solver.result) ->
+      Alcotest.(check string)
+        (Printf.sprintf "stress rhs %d status" k)
+        (Krylov.Pcg.status_to_string s.Solver.status)
+        (Krylov.Pcg.status_to_string par.(k).Solver.status);
+      Alcotest.(check bool)
+        (Printf.sprintf "stress rhs %d bit-identical" k)
+        true (par.(k).Solver.x = s.Solver.x))
+    seq;
+  Alcotest.(check bool) "budget-starved rhs did not converge" false
+    seq.(0).Solver.converged;
+  Alcotest.(check bool) "poisoned rhs did not converge" false
+    seq.(4).Solver.converged
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_for partition" `Quick
+            test_parallel_for_partition;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_for_exception;
+          Alcotest.test_case "nested calls inline" `Quick
+            test_nested_calls_inline;
+          Alcotest.test_case "reduce_blocked deterministic" `Quick
+            test_reduce_blocked_deterministic;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "vec kernels match seq" `Quick
+            test_vec_kernels_match_seq;
+          Alcotest.test_case "gather spmv = scatter" `Quick
+            test_spmv_gather_matches_scatter;
+          Alcotest.test_case "level schedule validity" `Quick
+            test_schedule_validity;
+          Alcotest.test_case "scheduled solves match seq" `Quick
+            test_sched_solves_match_seq;
+          Alcotest.test_case "diag cached" `Quick test_diag_cached;
+          Alcotest.test_case "length checks raise" `Quick test_length_checks;
+        ] );
+      ( "solves",
+        [
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_solve_deterministic_across_domains;
+          Alcotest.test_case "solve_many parallel = seq" `Quick
+            test_solve_many_parallel_matches_seq;
+          Alcotest.test_case "solve_many mixed-outcome stress" `Quick
+            test_solve_many_stress_mixed_outcomes;
+        ] );
+    ]
