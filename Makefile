@@ -1,5 +1,5 @@
 .PHONY: build check check-par test test-robust bench-smoke bench-kernels \
-  fmt fmt-check clean
+  trace-smoke fmt fmt-check clean
 
 build:
 	dune build
@@ -21,11 +21,21 @@ test-robust:
 
 # Scaled-down Table 1 + batched (factor-once/solve-many) + kernels
 # phases, then the regression gate against the committed baseline — the
-# same thing the CI bench-smoke job runs.
+# same thing the CI bench-smoke job runs. The batched phase also writes
+# bench_artifacts/trace.json; passing it as the third compare argument
+# gates its structural validity alongside the timing rows.
 bench-smoke:
 	BENCH_SCALE=0.05 dune exec bench/main.exe table1 batched kernels
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
-	  bench_artifacts/bench.json
+	  bench_artifacts/bench.json bench_artifacts/trace.json
+
+# End-to-end trace smoke: solve one small case under `pgsolve --trace`,
+# then run the standalone trace-validity gate over the emitted file
+# (balanced B/E spans, monotonic timestamps per track).
+trace-smoke:
+	dune exec bin/pgsolve.exe -- solve --case pg01 --scale 0.05 \
+	  --trace /tmp/pgsolve-trace.json
+	dune exec bench/compare.exe -- --trace /tmp/pgsolve-trace.json
 
 # Just the multicore hot-path kernel micro-benchmarks (DESIGN.md §10).
 bench-kernels:

@@ -1,12 +1,19 @@
 (* Bench-regression gate.
 
-   Usage: compare.exe BASELINE.json CURRENT.json
+   Usage: compare.exe BASELINE.json CURRENT.json [TRACE.json]
+          compare.exe --trace TRACE.json
 
-   Both files follow the powerrchol-bench/v1 schema written by
+   BASELINE/CURRENT follow the powerrchol-bench/v1 schema written by
    Runner.write_bench_json. The gate fails (exit 1) when any (case,
    solver) row present in both files shows a per-phase time regression
    beyond the tolerance, or a case that converged in the baseline no
    longer converges.
+
+   A TRACE.json argument (or the --trace form alone) additionally runs
+   the trace-validity gate: the file must parse as Chrome trace-event
+   JSON and pass Obs.Trace.validate — balanced B/E events with matching
+   names and non-decreasing timestamps on every track. A malformed
+   trace fails the gate even if all timing rows are fine.
 
    Tolerances are deliberately generous — CI machines are noisy and the
    smoke run uses tiny cases — and tunable via environment:
@@ -87,12 +94,32 @@ let converged row =
   | Some (Obs.Json.Bool b) -> b
   | _ -> true
 
+let validate_trace path =
+  let doc = read_json path in
+  (match Obs.Json.member "schema" doc with
+   | Some (Obs.Json.Str s) when s <> "powerrchol-trace/v1" ->
+     Printf.printf "note: %s: unexpected trace schema %S\n" path s
+   | _ -> ());
+  match Obs.Trace.validate doc with
+  | Ok summary -> Printf.printf "trace gate OK: %s: %s\n" path summary
+  | Error msg ->
+    Printf.printf "FAIL: trace %s: %s\n" path msg;
+    exit 1
+
 let () =
   let baseline_path, current_path =
     match Sys.argv with
+    | [| _; "--trace"; t |] ->
+      validate_trace t;
+      exit 0
     | [| _; b; c |] -> (b, c)
+    | [| _; b; c; t |] ->
+      validate_trace t;
+      (b, c)
     | _ ->
-      prerr_endline "usage: compare.exe BASELINE.json CURRENT.json";
+      prerr_endline
+        "usage: compare.exe BASELINE.json CURRENT.json [TRACE.json]\n\
+        \       compare.exe --trace TRACE.json";
       exit 2
   in
   let baseline = rows_of (read_json baseline_path) baseline_path in

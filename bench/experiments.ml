@@ -626,4 +626,24 @@ let batched () =
     case.Powergrid.Suite.id ratio
     (batched_row.Powerrchol.Solver.t_total /. float_of_int batched_k)
     (unbatched_row.Powerrchol.Solver.t_total /. float_of_int batched_k)
-    identical
+    identical;
+  (* Separate from the gated timing above (which must run un-instrumented
+     so BENCH_TOL_BATCH sees clean numbers): one more batched solve with
+     telemetry + tracing armed, producing the Chrome-trace artifact next
+     to bench.json and the per-solve / per-iteration latency percentiles
+     for the "latency" section. *)
+  Obs.set_tracing true;
+  let (_ : Powerrchol.Solver.result array), record =
+    Powerrchol.Solver.with_obs
+      ~meta_of:(fun _ ->
+        [
+          ("mode", Obs.Json.Str "batched-traced");
+          ("case", Obs.Json.Str case.Powergrid.Suite.id);
+          ("rhs_columns", Obs.Json.Int batched_k);
+          ("domains", Obs.Json.Int (Par.effective_domains ()));
+        ])
+      (fun () -> Powerrchol.Solver.solve_many ~rtol prepared bs)
+  in
+  Obs.set_tracing false;
+  record_latencies ~case_id:case.Powergrid.Suite.id record;
+  write_trace_json ()

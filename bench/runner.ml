@@ -124,6 +124,40 @@ let record_kernel ~kernel ~variant ~domains ~n ~time_s =
       k_time = time_s }
     :: !kernel_rows
 
+(* ---- latency summaries (the batched experiment's traced re-run) ---- *)
+
+type latency_row = {
+  l_case : string;
+  l_hist : string; (* histogram path inside the telemetry record *)
+  l_count : int;
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_max : float;
+}
+
+let latency_rows : latency_row list ref = ref []
+
+(* Pull every non-empty histogram out of a captured telemetry record
+   (per-RHS solve_seconds, per-iteration pcg iter_seconds, ...) into the
+   bench.json "latency" section. *)
+let record_latencies ~case_id (record : Obs.record) =
+  List.iter
+    (fun (path, h) ->
+      if Obs.Hist.count h > 0 then
+        latency_rows :=
+          {
+            l_case = case_id;
+            l_hist = path;
+            l_count = Obs.Hist.count h;
+            l_p50 = Obs.Hist.percentile h 50.0;
+            l_p95 = Obs.Hist.percentile h 95.0;
+            l_p99 = Obs.Hist.percentile h 99.0;
+            l_max = Obs.Hist.max_value h;
+          }
+          :: !latency_rows)
+    record.Obs.hists
+
 (* Set by the kernels experiment when the parallel variants ran wide
    enough (>= 4 domains on >= 4 hardware cores) for the compare gate to
    hold them to the speedup floor; single-core CI boxes record the numbers
@@ -216,6 +250,30 @@ let kernel_row_json row =
       ("time_s", Obs.Json.Float row.k_time);
     ]
 
+let latency_row_json row =
+  Obs.Json.Obj
+    [
+      ("case", Obs.Json.Str row.l_case);
+      ("hist", Obs.Json.Str row.l_hist);
+      ("count", Obs.Json.Int row.l_count);
+      ("p50", Obs.Json.Float row.l_p50);
+      ("p95", Obs.Json.Float row.l_p95);
+      ("p99", Obs.Json.Float row.l_p99);
+      ("max", Obs.Json.Float row.l_max);
+    ]
+
+(* Chrome trace-event artifact next to bench.json, from whatever is in
+   the Obs trace buffers when called (the batched experiment's traced
+   re-run). compare.exe accepts it as a third argument and gates its
+   structural validity. *)
+let write_trace_json () =
+  if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
+  let path = Filename.concat artifact_dir "trace.json" in
+  Obs.Trace.write path;
+  printf "[trace written: %s (%d events, %d dropped)]\n" path
+    (List.length (Obs.Trace.events ()))
+    (Obs.Trace.dropped ())
+
 let write_bench_json () =
   if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
   let path = Filename.concat artifact_dir "bench.json" in
@@ -233,10 +291,15 @@ let write_bench_json () =
           Obs.Json.List (List.rev_map bench_row_json !bench_rows) );
         ( "kernels",
           Obs.Json.List (List.rev_map kernel_row_json !kernel_rows) );
+        ( "latency",
+          Obs.Json.List (List.rev_map latency_row_json !latency_rows) );
       ]
   in
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Obs.Json.to_string ~indent:true doc);
       output_char oc '\n');
-  printf "[bench json written: %s (%d rows, %d kernel rows)]\n" path
-    (List.length !bench_rows) (List.length !kernel_rows)
+  printf "[bench json written: %s (%d rows, %d kernel rows, %d latency rows)]\n"
+    path
+    (List.length !bench_rows)
+    (List.length !kernel_rows)
+    (List.length !latency_rows)

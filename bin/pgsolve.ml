@@ -189,16 +189,25 @@ let scale_arg =
 
 (* ---- telemetry emission shared by the solve paths ---- *)
 
-let emit_telemetry ~profile ~metrics_json record =
+let emit_telemetry ~profile ~metrics_json ~trace record =
   if profile then print_string (Obs.record_to_text record);
-  match metrics_json with
+  (match metrics_json with
+   | None -> ()
+   | Some path ->
+     Out_channel.with_open_text path (fun oc ->
+         output_string oc
+           (Obs.Json.to_string ~indent:true (Obs.record_to_json record));
+         output_char oc '\n');
+     Printf.printf "[metrics written: %s]\n" path);
+  match trace with
   | None -> ()
   | Some path ->
-    Out_channel.with_open_text path (fun oc ->
-        output_string oc
-          (Obs.Json.to_string ~indent:true (Obs.record_to_json record));
-        output_char oc '\n');
-    Printf.printf "[metrics written: %s]\n" path
+    Obs.Trace.write path;
+    Obs.set_tracing false;
+    let dropped = Obs.Trace.dropped () in
+    if dropped > 0 then
+      Printf.printf "[trace written: %s (%d events dropped)]\n" path dropped
+    else Printf.printf "[trace written: %s]\n" path
 
 let solve_cmd =
   let budget =
@@ -225,7 +234,19 @@ let solve_cmd =
           ~doc:
             "Write the machine-readable telemetry record of the solve to \
              $(docv) (implies instrumentation; schema \
-             powerrchol-telemetry/v1).")
+             powerrchol-telemetry/v2).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON timeline of the solve to $(docv) \
+             (implies instrumentation): timestamped span begin/end events and \
+             per-iteration PCG residual counters, one track per domain. Open \
+             in Perfetto (ui.perfetto.dev) or chrome://tracing; schema \
+             powerrchol-trace/v1.")
   in
   let robust_flag =
     Arg.(
@@ -249,9 +270,12 @@ let solve_cmd =
              found.")
   in
   let run netlist mtx rhs case scale solver_tag rtol seed budget robust
-      diagnose profile metrics_json domains =
+      diagnose profile metrics_json trace domains =
     apply_domains domains;
-    let instrument = profile || metrics_json <> None in
+    let instrument = profile || metrics_json <> None || trace <> None in
+    (* arm tracing before the instrumented run so the span begin/end
+       events of the whole solve land in the ring buffers *)
+    if trace <> None then Obs.set_tracing true;
     (* --rhs loads eagerly: a k-column file is a batch of k loads for the
        same matrix (the factor-once / solve-many workload) *)
     let rhs_cols =
@@ -303,7 +327,7 @@ let solve_cmd =
               Powerrchol.Pipeline.solve_matrix_robust_profiled ~rtol ~seed
                 ~name ~a ~b ()
             in
-            emit_telemetry ~profile ~metrics_json record;
+            emit_telemetry ~profile ~metrics_json ~trace record;
             r
           end
           else Powerrchol.Pipeline.solve_matrix_robust ~rtol ~seed ~name ~a ~b ()
@@ -314,7 +338,7 @@ let solve_cmd =
             let r, record =
               Powerrchol.Solver.solve_robust_profiled ~rtol ~seed problem
             in
-            emit_telemetry ~profile ~metrics_json record;
+            emit_telemetry ~profile ~metrics_json ~trace record;
             r
           end
           else Powerrchol.Pipeline.solve_robust ~rtol ~seed problem
@@ -350,7 +374,7 @@ let solve_cmd =
                   ])
                 solve_batch
             in
-            emit_telemetry ~profile ~metrics_json record;
+            emit_telemetry ~profile ~metrics_json ~trace record;
             (prepared, results)
           end
           else solve_batch ()
@@ -389,7 +413,7 @@ let solve_cmd =
       let r =
         if instrument then begin
           let r, record = Powerrchol.Solver.run_profiled ~rtol solver problem in
-          emit_telemetry ~profile ~metrics_json record;
+          emit_telemetry ~profile ~metrics_json ~trace record;
           r
         end
         else Powerrchol.Solver.run ~rtol solver problem
@@ -408,7 +432,8 @@ let solve_cmd =
     Term.(
       const run $ netlist_pos $ mtx_arg $ rhs_arg $ case_arg $ scale_arg
       $ solver_arg $ rtol_arg $ seed_arg $ budget $ robust_flag
-      $ diagnose_flag $ profile_flag $ metrics_json_arg $ domains_arg)
+      $ diagnose_flag $ profile_flag $ metrics_json_arg $ trace_arg
+      $ domains_arg)
 
 (* ---- compare ---- *)
 

@@ -110,43 +110,44 @@ let solve_prepared ?rtol ?max_iter ?x0 ?history ?condition ?b (p : prepared) =
 let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
   let pool = Par.default () in
   let nb = Array.length bs in
-  if nb <= 1 || not (Par.runs_parallel pool) then
-    Array.mapi
-      (fun k b ->
-        Obs.span
-          (Printf.sprintf "solve#%d" k)
-          (fun () -> solve_prepared ?rtol ?max_iter ?history ?condition ~b p))
-      bs
-  else begin
-    (* Fan the batch across the pool, one contiguous chunk of right-hand
-       sides per domain. Each chunk gets its own PCG workspace (the
-       handle's single workspace serves one solve at a time), and the pool
-       is busy for the region's duration so every solve's inner kernels
-       run sequentially — which makes the batch results bit-identical to
-       the sequential path at any domain count. The Obs store is a global
-       single-domain structure, so telemetry is suspended across the
-       region; the batch is recorded as one "solve_many" span instead of
-       per-solve spans. *)
-    Obs.span "solve_many" (fun () ->
-        let was = Obs.enabled () in
-        Obs.set_enabled false;
-        Fun.protect
-          ~finally:(fun () -> Obs.set_enabled was)
-          (fun () ->
-            let n = Sddm.Problem.n p.problem in
-            let results = Array.make nb None in
-            Par.parallel_for pool ~lo:0 ~hi:nb (fun lo hi ->
-                let workspace = Krylov.Pcg.Workspace.create n in
-                for k = lo to hi - 1 do
-                  results.(k) <-
-                    Some
-                      (solve_prepared_ws ?rtol ?max_iter ?history ?condition
-                         ~b:bs.(k) ~workspace p)
-                done);
-            Array.map
-              (function Some r -> r | None -> assert false)
-              results))
-  end
+  let obs = Obs.enabled () in
+  (* Each solve runs in its own "solve#k" span (k = global batch index)
+     and logs its wall time into the "solve_seconds" latency histogram.
+     On the parallel path the spans land in per-chunk Obs worker stores
+     (see Par.parallel_for), which Obs.capture merges deterministically —
+     since every solve#k path is unique, merged counter totals are
+     bit-identical to the sequential run at any domain count. *)
+  let solve_one ~workspace k b =
+    let t0 = if obs then Obs.now () else 0.0 in
+    let r =
+      Obs.span
+        (Printf.sprintf "solve#%d" k)
+        (fun () ->
+          solve_prepared_ws ?rtol ?max_iter ?history ?condition ~b ~workspace p)
+    in
+    if obs then Obs.observe "solve_seconds" (Obs.now () -. t0);
+    r
+  in
+  Obs.span "solve_many" (fun () ->
+      if nb <= 1 || not (Par.runs_parallel pool) then
+        Array.mapi (fun k b -> solve_one ~workspace:p.workspace k b) bs
+      else begin
+        (* Fan the batch across the pool, one contiguous chunk of
+           right-hand sides per domain. Each chunk gets its own PCG
+           workspace (the handle's single workspace serves one solve at
+           a time), and the pool is busy for the region's duration so
+           every solve's inner kernels run sequentially — which makes
+           the batch results bit-identical to the sequential path at any
+           domain count. *)
+        let n = Sddm.Problem.n p.problem in
+        let results = Array.make nb None in
+        Par.parallel_for pool ~lo:0 ~hi:nb (fun lo hi ->
+            let workspace = Krylov.Pcg.Workspace.create n in
+            for k = lo to hi - 1 do
+              results.(k) <- Some (solve_one ~workspace k bs.(k))
+            done);
+        Array.map (function Some r -> r | None -> assert false) results
+      end)
 
 let iterate ?rtol ?(max_iter = 500) solver prepared problem =
   let n = Sddm.Problem.n problem in

@@ -67,14 +67,20 @@ val solve_many :
   prepared -> float array array -> result array
 (** [solve_many p bs] amortizes one factorization over a batch of
     right-hand sides. With one domain (or a busy pool) the batch runs
-    sequentially on the handle's workspace, each solve recorded under the
-    Obs span ["solve#k"] — identical to calling {!solve_prepared} per
-    column. With more domains the batch is fanned across the default
-    {!Par} pool in contiguous chunks, one private workspace per chunk;
-    every solve's inner kernels then run sequentially, so the results are
-    bit-identical to the sequential batch at any domain count. Telemetry
-    is suspended for the parallel region (the global Obs store is not
-    domain-safe) and the batch appears as a single ["solve_many"] span. *)
+    sequentially on the handle's workspace; with more domains it is
+    fanned across the default {!Par} pool in contiguous chunks, one
+    private workspace per chunk; every solve's inner kernels then run
+    sequentially, so the results are bit-identical to the sequential
+    batch at any domain count.
+
+    Telemetry stays live at any domain count: the batch is one
+    ["solve_many"] span containing a ["solve#k"] span per right-hand
+    side (k = batch index), with per-solve wall times in the
+    ["solve_many/solve_seconds"] histogram. On the parallel path each
+    chunk records into its own per-domain Obs store and [Obs.capture]
+    merges them deterministically, so a profiled batch reports the same
+    span paths and bit-identical counter totals as the sequential run
+    (plus [par/busy_s#i] / [par/imbalance] load counters). *)
 
 val run : ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t -> result
 (** Prepare, iterate, time, and verify — the one-shot path. [rtol]

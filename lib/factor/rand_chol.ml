@@ -359,8 +359,11 @@ let factorize ~sort ~sampling ~rng g ~d =
     Obs.record_span "sort" ~seconds:!t_sort ~calls:!n_sort;
     Obs.record_span "merge" ~seconds:!t_merge ~calls:!n_merge;
     Obs.count "sampled_edges" !sampled;
-    Obs.count "factor_nnz" !l_len;
-    Obs.count "fill_nnz" (max 0 (!l_len - n - Sddm.Graph.n_edges g))
+    (* absolute sizes of this factorization — gauges so re-factoring in
+       the same capture overwrites instead of summing *)
+    Obs.gauge "factor_nnz" (float_of_int !l_len);
+    Obs.gauge "fill_nnz"
+      (float_of_int (max 0 (!l_len - n - Sddm.Graph.n_edges g)))
   end;
   Lower.of_raw ~n ~col_ptr
     ~rows:(Array.sub !l_rows 0 (max !l_len 1))

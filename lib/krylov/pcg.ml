@@ -136,6 +136,10 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
      operator application and nothing else. The preconditioner span covers
      the triangular solves (or whatever [precond.apply] does). *)
   let obs = Obs.enabled () in
+  let trc = obs && Obs.tracing () in
+  (* histogram handle resolved once (under the caller's span prefix);
+     the loop then records one sample per iteration with Hist.add *)
+  let iter_hist = Obs.histogram "iter_seconds" in
   let t_pre = ref 0.0 and n_pre = ref 0 in
   let t_op = ref 0.0 and n_op = ref 0 in
   let scratch = ws.Workspace.scratch in
@@ -157,17 +161,23 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
     end
     else apply_a v w
   in
-  let flush_obs iterations =
+  let flush_obs iterations rel0 rel =
     if obs then begin
       Obs.record_span "precond" ~seconds:!t_pre ~calls:!n_pre;
       Obs.record_span "spmv" ~seconds:!t_op ~calls:!n_op;
-      Obs.count "iterations" iterations
+      Obs.count "iterations" iterations;
+      Obs.gauge "relres" rel;
+      (* mean per-iteration residual contraction factor: < 1 means the
+         residual shrank geometrically at that average rate *)
+      if iterations > 0 && rel0 > 0.0 && Float.is_finite rel && rel > 0.0 then
+        Obs.gauge "contraction"
+          ((rel /. rel0) ** (1.0 /. float_of_int iterations))
     end
   in
   if not warm_start then Array.fill x 0 n 0.0;
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then begin
-    flush_obs 0;
+    flush_obs 0 0.0 0.0;
     Array.fill x 0 n 0.0;
     {
       x;
@@ -203,59 +213,68 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
     let status = ref None in
     let best = ref !rel in
     let since_best = ref 0 in
+    let rel0 = !rel in
+    if trc then Obs.trace_counter "residual" !rel;
     if !rel <= rtol then status := Some Converged
     else if not (Float.is_finite !rel) then
       (* NaN/Inf in b, x0, or A: no amount of iterating recovers *)
       status := Some (Breakdown (Nonfinite { iteration = 0 }));
     while !status = None && !iter < max_iter do
+      let it0 = if obs then Obs.now () else 0.0 in
       apply_op p q;
       let pq = Sparse.Vec.dot p q in
-      if not (Float.is_finite pq) then
-        status := Some (Breakdown (Nonfinite { iteration = !iter }))
-      else if pq <= 0.0 then
-        (* loss of positive definiteness: the operator is not SPD (or the
-           preconditioner destroyed it); report the true iteration count
-           with a typed reason instead of masquerading as max_iter *)
-        status := Some (Breakdown (Indefinite { iteration = !iter; curvature = pq }))
-      else begin
-        let alpha = !rho /. pq in
-        if want_condition then alphas := alpha :: !alphas;
-        Sparse.Vec.axpy ~alpha ~x:p ~y:x;
-        Sparse.Vec.axpy ~alpha:(-.alpha) ~x:q ~y:r;
-        incr iter;
-        rel := Sparse.Vec.norm2 r /. b_norm;
-        if want_history then history := !rel :: !history;
-        if not (Float.is_finite !rel) then
-          status := Some (Breakdown (Nonfinite { iteration = !iter }))
-        else if !rel <= rtol then status := Some Converged
-        else begin
-          if !rel < !best *. (1.0 -. 1e-6) then begin
-            best := !rel;
-            since_best := 0
-          end
-          else begin
-            incr since_best;
-            if !since_best >= stall_window then
-              status :=
-                Some (Stagnated { iteration = !iter; best_residual = !best })
-          end;
-          if !status = None then begin
-            apply_precond r z;
-            let rho' = Sparse.Vec.dot r z in
-            if not (Float.is_finite rho') then
-              status := Some (Breakdown (Nonfinite { iteration = !iter }))
-            else begin
-              let beta = rho' /. !rho in
-              if want_condition then betas := beta :: !betas;
-              rho := rho';
-              Sparse.Vec.xpby ~x:z ~beta ~y:p
-            end
-          end
-        end
+      (if not (Float.is_finite pq) then
+         status := Some (Breakdown (Nonfinite { iteration = !iter }))
+       else if pq <= 0.0 then
+         (* loss of positive definiteness: the operator is not SPD (or the
+            preconditioner destroyed it); report the true iteration count
+            with a typed reason instead of masquerading as max_iter *)
+         status := Some (Breakdown (Indefinite { iteration = !iter; curvature = pq }))
+       else begin
+         let alpha = !rho /. pq in
+         if want_condition then alphas := alpha :: !alphas;
+         Sparse.Vec.axpy ~alpha ~x:p ~y:x;
+         Sparse.Vec.axpy ~alpha:(-.alpha) ~x:q ~y:r;
+         incr iter;
+         rel := Sparse.Vec.norm2 r /. b_norm;
+         if want_history then history := !rel :: !history;
+         if not (Float.is_finite !rel) then
+           status := Some (Breakdown (Nonfinite { iteration = !iter }))
+         else if !rel <= rtol then status := Some Converged
+         else begin
+           if !rel < !best *. (1.0 -. 1e-6) then begin
+             best := !rel;
+             since_best := 0
+           end
+           else begin
+             incr since_best;
+             if !since_best >= stall_window then
+               status :=
+                 Some (Stagnated { iteration = !iter; best_residual = !best })
+           end;
+           if !status = None then begin
+             apply_precond r z;
+             let rho' = Sparse.Vec.dot r z in
+             if not (Float.is_finite rho') then
+               status := Some (Breakdown (Nonfinite { iteration = !iter }))
+             else begin
+               let beta = rho' /. !rho in
+               if want_condition then betas := beta :: !betas;
+               rho := rho';
+               Sparse.Vec.xpby ~x:z ~beta ~y:p
+             end
+           end
+         end
+       end);
+      if obs then begin
+        (match iter_hist with
+         | Some h -> Obs.Hist.add h (Obs.now () -. it0)
+         | None -> ());
+        if trc then Obs.trace_counter "residual" !rel
       end
     done;
     let status = match !status with Some s -> s | None -> Max_iter in
-    flush_obs !iter;
+    flush_obs !iter rel0 !rel;
     (* betas lags alphas by one when the loop exits after an alpha *)
     let n_beta = List.length !betas and n_alpha = List.length !alphas in
     let alphas_trimmed =

@@ -16,7 +16,14 @@
     - {!solve_into} / {!solve_operator_into} iterate inside a caller-owned
       {!Workspace.t} and write the solution into a caller-owned [x] —
       the factor-once / solve-many path (transient marches, batched RHS)
-      where the loop must not allocate any n-sized array. *)
+      where the loop must not allocate any n-sized array.
+
+    Telemetry (when [Obs.enabled ()]): aggregate [precond]/[spmv] spans
+    and an [iterations] counter, per-iteration wall times in the
+    [iter_seconds] histogram, and [relres] / [contraction] gauges (final
+    relative residual, mean per-iteration contraction factor). When
+    [Obs.tracing ()] is also armed, each iteration additionally emits a
+    [residual] counter event on the calling domain's trace track. *)
 
 type breakdown_reason =
   | Indefinite of { iteration : int; curvature : float }

@@ -1,15 +1,23 @@
-(** Zero-dependency observability: span timers, counters, and telemetry
-    records with text / JSON exporters.
+(** Zero-dependency observability: span timers, counters, latency
+    histograms, event traces, and telemetry records with text / JSON
+    exporters.
 
     The layer is designed to cost (almost) nothing when disabled: every
-    entry point checks {!enabled} once and returns immediately, allocating
-    nothing on the fast path. Hot loops that cannot afford even a closure
-    per call read [enabled ()] once, accumulate privately, and flush a
-    single {!record_span} / {!count} at the end.
+    entry point checks {!enabled} once and returns immediately,
+    allocating nothing on the fast path. Hot loops that cannot afford
+    even a closure per call read [enabled ()] once, accumulate
+    privately, and flush a single {!record_span} / {!count} at the end.
 
-    All state is global and single-threaded, matching the rest of the
-    code base. Timers use [Unix.gettimeofday]; elapsed times are clamped
-    at zero so a clock step backwards can never produce negative spans. *)
+    v2 is domain-safe. State lives in per-domain stores: the root store
+    belongs to the main domain, and [Par] workers record into worker
+    stores (one per parallel chunk) entered via {!worker_scope}.
+    {!capture} merges all stores deterministically — root first, then
+    worker slots in ascending order — summing span times and counters
+    and merging histograms, so a profiled parallel run reports the same
+    counter totals as the sequential run, in the same first-seen order.
+
+    Timers use [Unix.gettimeofday]; elapsed times are clamped at zero so
+    a clock step backwards can never produce negative spans. *)
 
 (** {1 Minimal JSON} *)
 
@@ -25,12 +33,14 @@ module Json : sig
 
   val to_string : ?indent:bool -> t -> string
   (** Serialize. Non-finite floats become [null] (JSON has no NaN/Inf);
-      finite floats print with enough digits to round-trip exactly. *)
+      finite floats print with enough digits to round-trip exactly.
+      Control characters are emitted as [\uXXXX] escapes; everything
+      else passes through as UTF-8 bytes. *)
 
   val parse : string -> (t, string) result
-  (** Strict recursive-descent parser for the subset emitted by
-      {!to_string} (standard JSON; [\uXXXX] escapes below 256 decoded,
-      others replaced by [?]). *)
+  (** Strict recursive-descent parser for standard JSON. [\uXXXX]
+      escapes decode to UTF-8 bytes; surrogate pairs combine into one
+      astral code point, and lone surrogates decode to U+FFFD. *)
 
   val member : string -> t -> t option
   (** Field lookup in an [Obj]; [None] elsewhere. *)
@@ -40,29 +50,79 @@ module Json : sig
       [None]. *)
 end
 
-(** {1 Global switch} *)
+(** {1 Histograms} *)
+
+module Hist : sig
+  type t
+  (** A log-bucketed histogram: quarter-octave buckets (four per power
+      of two, ~19% wide) spanning 2{^-120}..2{^56}, plus underflow and
+      overflow sinks. Only integer bucket counts and exact min/max are
+      stored — no float sum — so {!merge} is exactly associative and
+      merged captures are deterministic. *)
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+  (** Record one sample. Non-finite samples are ignored; zero and
+      negative samples land in the underflow bucket. *)
+
+  val count : t -> int
+
+  val min_value : t -> float
+  (** Smallest recorded sample ([infinity] when empty). *)
+
+  val max_value : t -> float
+  (** Largest recorded sample ([neg_infinity] when empty). *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100], nearest-rank. The result is
+      the geometric midpoint of the selected bucket clamped to the
+      observed min/max, so it is within half a bucket width (~9%) of
+      the true order statistic. [nan] when empty. *)
+
+  val merge : t -> t -> t
+  (** Pure elementwise merge; exactly associative and commutative. *)
+
+  val copy : t -> t
+  val to_json : t -> Json.t
+
+  val of_json : Json.t -> (t, string) result
+  (** Inverse of {!to_json} (the derived p50/p95/p99 convenience fields
+      are recomputed, not parsed). *)
+end
+
+(** {1 Global switches} *)
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+val tracing : unit -> bool
+(** Whether event tracing is armed. Trace events are only recorded when
+    both {!enabled} and {!tracing} are true. *)
+
+val set_tracing : bool -> unit
+
 val reset : unit -> unit
-(** Drop all recorded spans and counters and clear the span stack. *)
+(** Drop all recorded spans, counters, histograms, and trace buffers in
+    every store (root and workers) and clear the span stacks. The
+    enabled/tracing switches are left as they are. *)
 
 val now : unit -> float
 (** The wall clock used by the span timers (seconds). *)
 
 (** {1 Spans}
 
-    A span is a named, timed region. Nesting is tracked with a stack:
-    entering span ["factor"] inside span ["solve"] records under the path
-    ["solve/factor"]. Re-entering a path accumulates (total seconds,
-    number of calls), so per-column inner-loop spans stay cheap to
-    aggregate. *)
+    A span is a named, timed region. Nesting is tracked with a
+    per-store stack: entering span ["factor"] inside span ["solve"]
+    records under the path ["solve/factor"]. Re-entering a path
+    accumulates (total seconds, number of calls), so per-column
+    inner-loop spans stay cheap to aggregate. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside the named span. When disabled this is
     exactly [f ()]. Exceptions propagate; the elapsed time is recorded
-    either way. *)
+    either way. When tracing is armed, a begin/end event pair is also
+    written to the calling domain's trace track. *)
 
 val record_span : string -> seconds:float -> calls:int -> unit
 (** Merge an externally measured aggregate into the span named [name]
@@ -76,7 +136,44 @@ val count : string -> int -> unit
 
 val gauge : string -> float -> unit
 (** Set a (stack-prefixed) gauge to an absolute value. No-op when
-    disabled. *)
+    disabled. Use this — not {!count} — for values that describe the
+    current artifact (sizes, maxima): a counter would sum across
+    repeated runs in one capture. *)
+
+val add_absolute : string -> float -> unit
+(** Add to a counter addressed by its full path, ignoring the span
+    stack. For infrastructure totals (e.g. the [Par] pool's per-slot
+    busy times) that must land on one well-known path no matter where
+    the flushing code happens to run. No-op when disabled. *)
+
+val observe : string -> float -> unit
+(** Record one sample into a (stack-prefixed) latency histogram. No-op
+    when disabled. *)
+
+val histogram : string -> Hist.t option
+(** Resolve a (stack-prefixed) histogram handle once, for hot loops
+    that record per-iteration samples with {!Hist.add} directly.
+    [None] when disabled. *)
+
+val trace_counter : string -> float -> unit
+(** Emit a counter sample (Chrome [ph:"C"] event) on the calling
+    domain's trace track — e.g. a per-iteration residual norm. No-op
+    unless both enabled and tracing. *)
+
+(** {1 Worker scopes} *)
+
+val worker_scope : slot:int -> prefix:string -> (unit -> 'a) -> 'a
+(** [worker_scope ~slot ~prefix f] runs [f] with the calling domain's
+    recording redirected into the worker store for [slot] (created on
+    first use), its span stack seeded with [prefix] (the caller's
+    current path, so worker-recorded paths line up with the sequential
+    run). The previous store binding is restored on exit, exceptions
+    included. Used by [Par.parallel_for]; slot [i] surfaces as trace
+    track ["domain<i>"]. *)
+
+val current_prefix : unit -> string
+(** The innermost open span path of the calling domain's store, [""] at
+    top level. This is what [Par] passes to {!worker_scope}. *)
 
 (** {1 Telemetry records} *)
 
@@ -87,18 +184,71 @@ type record = {
       (** free-form header: solver, case, n, nnz, iterations, status, ... *)
   spans : span_stat list;  (** first-entered order, hierarchical paths *)
   counters : (string * float) list;  (** first-touched order *)
+  hists : (string * Hist.t) list;  (** first-touched order *)
 }
 
 val capture : ?meta:(string * Json.t) list -> unit -> record
-(** Snapshot the current spans and counters (does not reset). *)
+(** Snapshot the merge of all stores (does not reset). Merge order is
+    root store first, then worker slots ascending, so the result is
+    deterministic at any domain count. When per-slot busy-time counters
+    ([par/busy_s#i]) are present, a derived [par/imbalance] counter
+    (max busy / mean busy, 1.0 = perfectly balanced) is appended. *)
 
 val record_to_json : record -> Json.t
+(** Schema [powerrchol-telemetry/v2] (v1 plus the ["hists"] object). *)
+
 val record_of_json : Json.t -> (record, string) result
 (** Inverse of {!record_to_json}: [record_of_json (record_to_json r) = Ok r]
-    for records with finite span times and counter values. *)
+    for records with finite span times and counter values. Accepts v1
+    records (missing ["hists"] defaults to empty). *)
 
 val record_to_text : record -> string
 (** Human-readable report: meta lines, then the span tree indented by
-    depth, then counters. *)
+    depth, then counters, then histogram percentiles. *)
 
 val pp_record : Format.formatter -> record -> unit
+
+(** {1 Event traces}
+
+    When {!tracing} is armed, spans additionally log timestamped
+    begin/end events into a fixed-capacity per-domain ring buffer (one
+    Chrome trace track per domain). Begin events reserve room for their
+    matching end, so a full buffer drops whole pairs (counted in
+    {!Trace.dropped}) and never breaks B/E balance. Timestamps are
+    clamped monotonic per track. *)
+
+module Trace : sig
+  type event = {
+    track : int;  (** 0 = main, [i+1] = parallel chunk [i] *)
+    name : string;
+    phase : char;  (** 'B' | 'E' | 'C' *)
+    ts : float;  (** absolute seconds *)
+    value : float;  (** payload for 'C' events *)
+  }
+
+  val set_capacity : int -> unit
+  (** Capacity (events per track) for buffers created afterwards;
+      clamped to at least 256. Default 65536. *)
+
+  val events : unit -> event list
+  (** All recorded events, grouped by track, chronological within each
+      track. *)
+
+  val dropped : unit -> int
+  (** Total events dropped across all tracks due to full buffers. *)
+
+  val to_json : unit -> Json.t
+  (** Chrome trace-event JSON (object form): a ["traceEvents"] list
+      with process/thread-name metadata, one [tid] per track, [ts] in
+      microseconds relative to the first [set_tracing true]. Schema tag
+      [powerrchol-trace/v1]. Loadable in Perfetto / chrome://tracing. *)
+
+  val write : string -> unit
+  (** Write {!to_json} to a file (compact, one line). *)
+
+  val validate : Json.t -> (string, string) result
+  (** Structural well-formedness gate for an emitted trace: every track
+      must have balanced B/E events with matching names and
+      non-decreasing timestamps, and only phases M/B/E/C/i/I may
+      appear. [Ok summary] on success, [Error reason] otherwise. *)
+end

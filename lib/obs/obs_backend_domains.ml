@@ -1,0 +1,12 @@
+(* Domain-local current-store slot for OCaml >= 5.0.
+
+   Each domain sees its own binding, so a Par worker can point its slot
+   at a worker store without the main domain noticing. The initializer
+   runs lazily per domain the first time that domain reads the key. *)
+
+type 'a slot = 'a Domain.DLS.key
+
+let make init = Domain.DLS.new_key init
+let get = Domain.DLS.get
+let set = Domain.DLS.set
+let name = "domains"

@@ -1,0 +1,12 @@
+(* Sequential current-store slot for OCaml < 5.0.
+
+   A plain ref: there is exactly one domain, so "domain-local" degrades
+   to global. Signature-identical to the domains backend so Obs itself
+   stays version-agnostic. *)
+
+type 'a slot = 'a ref
+
+let make init = ref (init ())
+let get = ( ! )
+let set r v = r := v
+let name = "seq"

@@ -32,8 +32,10 @@ let order ?(heavy_factor = 10.0) g =
     for i = 0 to n - 1 do
       if is_heavy i then incr heavy
     done;
-    Obs.count "heavy_nodes" !heavy;
-    Obs.count "max_degree" d_max
+    (* gauges, not counters: these describe the graph being ordered, so
+       repeated preparations in one capture must not sum them *)
+    Obs.gauge "heavy_nodes" (float_of_int !heavy);
+    Obs.gauge "max_degree" (float_of_int d_max)
   end;
   let p = Array.make n 0 in
   for i = 0 to n - 1 do

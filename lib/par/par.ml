@@ -4,6 +4,10 @@ type pool = {
   (* block-partials buffer for [reduce_blocked]; grown on demand so the
      PCG hot loop allocates nothing after the first reduction *)
   mutable partials : float array;
+  (* per-chunk busy seconds for the most recent profiled region; -1.0
+     marks a slot whose chunk was empty. Single writer per slot. *)
+  busy_s : float array;
+  busy_names : string array;
 }
 
 let backend = Par_backend.name
@@ -22,7 +26,13 @@ let recommended_domains () =
 let create ?domains () =
   let d = match domains with Some d -> d | None -> recommended_domains () in
   if d < 1 then invalid_arg "Par.create: domains must be >= 1";
-  { backend_pool = Par_backend.create d; busy = false; partials = [||] }
+  {
+    backend_pool = Par_backend.create d;
+    busy = false;
+    partials = [||];
+    busy_s = Array.make d (-1.0);
+    busy_names = Array.init d (Printf.sprintf "par/busy_s#%d");
+  }
 
 let domains p = Par_backend.size p.backend_pool
 let shutdown p = Par_backend.shutdown p.backend_pool
@@ -57,6 +67,14 @@ let parallel_for p ?(min_work = 1) ~lo ~hi f =
     let d = domains p in
     if d = 1 || p.busy || len < min_work then f lo hi
     else begin
+      (* When telemetry is on, each chunk records into its own Obs
+         worker store (seeded with the caller's span prefix, so merged
+         paths match the sequential run) and its busy time is flushed
+         to par/busy_s#<slot> afterwards. When off, the closure below
+         is the bare chunk call — a single flag read per region. *)
+      let obs_on = Obs.enabled () in
+      let prefix = if obs_on then Obs.current_prefix () else "" in
+      if obs_on then Array.fill p.busy_s 0 d (-1.0);
       p.busy <- true;
       Fun.protect
         ~finally:(fun () -> p.busy <- false)
@@ -65,7 +83,20 @@ let parallel_for p ?(min_work = 1) ~lo ~hi f =
           Par_backend.run p.backend_pool (fun i ->
               let clo = lo + (i * chunk) in
               let chi = min hi (clo + chunk) in
-              if clo < chi then f clo chi))
+              if clo < chi then
+                if obs_on then
+                  Obs.worker_scope ~slot:i ~prefix (fun () ->
+                      let t0 = Obs.now () in
+                      Fun.protect
+                        ~finally:(fun () ->
+                          p.busy_s.(i) <- Float.max (Obs.now () -. t0) 0.0)
+                        (fun () -> f clo chi))
+                else f clo chi));
+      if obs_on then
+        for i = 0 to d - 1 do
+          if p.busy_s.(i) >= 0.0 then
+            Obs.add_absolute p.busy_names.(i) p.busy_s.(i)
+        done
     end
   end
 

@@ -67,7 +67,14 @@ val parallel_for :
     chunk per domain, returning when all complete. Runs [f lo hi] inline
     when the pool has one domain, is busy (nested call), or
     [hi - lo < min_work] (default [1]). [f] must only write state disjoint
-    between chunks. Worker exceptions are re-raised on the caller. *)
+    between chunks. Worker exceptions are re-raised on the caller.
+
+    When [Obs.enabled ()], each chunk runs inside [Obs.worker_scope]
+    (slot = chunk index, prefix = the caller's current span path), so
+    spans/counters recorded by chunk code merge deterministically into
+    the capture; per-chunk busy seconds are flushed to the absolute
+    counters [par/busy_s#<slot>], from which [Obs.capture] derives the
+    [par/imbalance] ratio. When disabled the region costs one flag read. *)
 
 val default_block : int
 (** Block size used by {!reduce_blocked} when [?block] is omitted (4096). *)

@@ -116,6 +116,47 @@ let test_counter_monotonic () =
 
 (* ---- JSON ---- *)
 
+let test_json_unicode_escapes () =
+  let parse_str s =
+    match Obs.Json.parse s with
+    | Ok (Obs.Json.Str v) -> v
+    | Ok _ -> Alcotest.failf "expected a string from %s" s
+    | Error msg -> Alcotest.failf "parse %s failed: %s" s msg
+  in
+  (* \uXXXX escapes must decode to real UTF-8 bytes, not '?' *)
+  Alcotest.(check string) "2-byte (U+00E9)" "\xc3\xa9" (parse_str "\"\\u00e9\"");
+  Alcotest.(check string) "3-byte (U+4E2D)" "\xe4\xb8\xad"
+    (parse_str "\"\\u4e2d\"");
+  Alcotest.(check string) "surrogate pair (U+1F600)" "\xf0\x9f\x98\x80"
+    (parse_str "\"\\ud83d\\ude00\"");
+  Alcotest.(check string) "ascii escape" "\x0b" (parse_str "\"\\u000b\"");
+  (* lone surrogates decode to U+FFFD instead of corrupting the string *)
+  Alcotest.(check string) "lone high surrogate" "\xef\xbf\xbdx"
+    (parse_str "\"\\ud800x\"");
+  Alcotest.(check string) "lone low surrogate" "\xef\xbf\xbd"
+    (parse_str "\"\\udc00\"");
+  (* malformed hex must be a parse error, not silently accepted *)
+  (match Obs.Json.parse "\"\\u00+9\"" with
+   | Ok _ -> Alcotest.fail "expected parse error on bad hex digits"
+   | Error _ -> ());
+  (* control characters are emitted as \uXXXX and round trip *)
+  let ctl = Obs.Json.Str "a\001b" in
+  let s = Obs.Json.to_string ctl in
+  Alcotest.(check bool) "control char escaped on emit" true
+    (String.length s >= 6
+    && (let rec has i =
+          i + 6 <= String.length s && (String.sub s i 6 = "\\u0001" || has (i + 1))
+        in
+        has 0));
+  (match Obs.Json.parse s with
+   | Ok v -> Alcotest.(check bool) "control char round trip" true (v = ctl)
+   | Error msg -> Alcotest.failf "reparse failed: %s" msg);
+  (* raw multibyte UTF-8 passes through emit/parse unchanged *)
+  let multi = Obs.Json.Str "caf\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x98\x80" in
+  match Obs.Json.parse (Obs.Json.to_string multi) with
+  | Ok v -> Alcotest.(check bool) "utf-8 passthrough" true (v = multi)
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
 let test_json_value_round_trip () =
   let j =
     Obs.Json.Obj
@@ -147,6 +188,7 @@ let test_record_round_trip () =
     Obs.span "factor" (fun () -> Obs.record_span "sort" ~seconds:0.125 ~calls:9);
     Obs.count "factor/sampled_edges" 12345;
     Obs.gauge "precond_nnz_ratio" 1.0625;
+    List.iter (Obs.observe "solve_seconds") [ 0.002; 0.004; 0.008; 0.016 ];
     Obs.capture
       ~meta:
         [
@@ -179,6 +221,228 @@ let test_record_text_render () =
          in
          go 0))
     [ "powerrchol"; "pcg"; "pcg/iterations"; "20" ]
+
+(* ---- histograms ---- *)
+
+let test_hist_percentiles () =
+  let h = Obs.Hist.create () in
+  for i = 1 to 1000 do
+    Obs.Hist.add h (float_of_int i *. 1e-3)
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Hist.count h);
+  Test_util.check_float "min" 1e-3 (Obs.Hist.min_value h);
+  Test_util.check_float "max" 1.0 (Obs.Hist.max_value h);
+  (* quarter-octave buckets are ~19% wide; the nearest-rank answer sits
+     within half a bucket (~9%) of the true order statistic *)
+  let check_pct p expect =
+    let got = Obs.Hist.percentile h p in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f %.4f within 15%% of %.4f" p got expect)
+      true
+      (Float.abs (got -. expect) <= 0.15 *. expect)
+  in
+  check_pct 50.0 0.5;
+  check_pct 95.0 0.95;
+  check_pct 99.0 0.99;
+  (* p100 clamps to the observed max exactly *)
+  Test_util.check_float "p100 = max" 1.0 (Obs.Hist.percentile h 100.0);
+  (* non-finite samples are ignored *)
+  Obs.Hist.add h nan;
+  Obs.Hist.add h infinity;
+  Alcotest.(check int) "non-finite ignored" 1000 (Obs.Hist.count h);
+  (* empty histogram: nan percentile, {"count":0} serialization *)
+  let e = Obs.Hist.create () in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Obs.Hist.percentile e 50.0));
+  match Obs.Hist.of_json (Obs.Hist.to_json e) with
+  | Ok e' -> Alcotest.(check int) "empty round trip" 0 (Obs.Hist.count e')
+  | Error msg -> Alcotest.failf "empty hist round trip failed: %s" msg
+
+let test_hist_merge_associative () =
+  let mk seed lo hi =
+    let h = Obs.Hist.create () in
+    let rng = Rng.create seed in
+    for _ = 1 to 200 do
+      Obs.Hist.add h (lo +. (Rng.float rng *. (hi -. lo)))
+    done;
+    h
+  in
+  let a = mk 1 1e-6 1e-3 and b = mk 2 1e-4 1e-1 and c = mk 3 1e-2 10.0 in
+  let l = Obs.Hist.merge (Obs.Hist.merge a b) c in
+  let r = Obs.Hist.merge a (Obs.Hist.merge b c) in
+  (* only int bucket counts and exact min/max are stored, so the merge is
+     exactly associative: identical JSON, not just close percentiles *)
+  Alcotest.(check string) "associative (bit-identical serialization)"
+    (Obs.Json.to_string (Obs.Hist.to_json l))
+    (Obs.Json.to_string (Obs.Hist.to_json r));
+  Alcotest.(check int) "merged count" 600 (Obs.Hist.count l);
+  (* merge is pure: inputs unchanged *)
+  Alcotest.(check int) "input a unchanged" 200 (Obs.Hist.count a);
+  (* round trip of a populated histogram *)
+  match Obs.Hist.of_json (Obs.Hist.to_json l) with
+  | Ok l' ->
+    Alcotest.(check string) "populated hist round trip"
+      (Obs.Json.to_string (Obs.Hist.to_json l))
+      (Obs.Json.to_string (Obs.Hist.to_json l'))
+  | Error msg -> Alcotest.failf "hist round trip failed: %s" msg
+
+let test_observe_reaches_capture () =
+  with_obs_enabled @@ fun () ->
+  Obs.span "solve_many" (fun () ->
+      List.iter (Obs.observe "solve_seconds") [ 0.001; 0.002; 0.004 ]);
+  let r = Obs.capture () in
+  match List.assoc_opt "solve_many/solve_seconds" r.Obs.hists with
+  | Some h ->
+    Alcotest.(check int) "hist count" 3 (Obs.Hist.count h);
+    Test_util.check_float "hist max" 0.004 (Obs.Hist.max_value h)
+  | None -> Alcotest.fail "solve_many/solve_seconds histogram not captured"
+
+(* ---- tracing ---- *)
+
+let with_tracing f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.set_tracing true;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_tracing false;
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let check_track_invariants events =
+  (* per track: balanced B/E with matching names, non-decreasing ts *)
+  let tracks = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let st =
+        match Hashtbl.find_opt tracks e.Obs.Trace.track with
+        | Some st -> st
+        | None ->
+          let st = (ref [], ref neg_infinity) in
+          Hashtbl.add tracks e.Obs.Trace.track st;
+          st
+      in
+      let stack, last_ts = st in
+      Alcotest.(check bool)
+        (Printf.sprintf "ts monotonic on track %d" e.Obs.Trace.track)
+        true
+        (e.Obs.Trace.ts >= !last_ts);
+      last_ts := e.Obs.Trace.ts;
+      match e.Obs.Trace.phase with
+      | 'B' -> stack := e.Obs.Trace.name :: !stack
+      | 'E' -> (
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "E matches innermost B" top
+            e.Obs.Trace.name;
+          stack := rest
+        | [] -> Alcotest.fail "E event with no open B")
+      | 'C' -> ()
+      | c -> Alcotest.failf "unexpected phase %c" c)
+    events;
+  Hashtbl.iter
+    (fun track (stack, _) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "track %d ends with empty stack" track)
+        [] !stack)
+    tracks
+
+let test_trace_well_formed () =
+  with_tracing @@ fun () ->
+  Obs.span "outer" (fun () ->
+      Obs.span "inner" (fun () -> Obs.trace_counter "residual" 0.5);
+      Obs.trace_counter "residual" 0.25);
+  (* an exception inside a span must still emit the matching E *)
+  (try Obs.span "boom" (fun () -> failwith "no") with Failure _ -> ());
+  let events = Obs.Trace.events () in
+  Alcotest.(check bool) "events recorded" true (List.length events >= 8);
+  check_track_invariants events;
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Trace.dropped ());
+  (match Obs.Trace.validate (Obs.Trace.to_json ()) with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.failf "validate rejected a good trace: %s" msg);
+  (* the validator must reject a hand-broken trace *)
+  let broken =
+    Obs.Json.Obj
+      [
+        ( "traceEvents",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("ph", Obs.Json.Str "B");
+                  ("name", Obs.Json.Str "orphan");
+                  ("ts", Obs.Json.Float 0.0);
+                  ("pid", Obs.Json.Int 1);
+                  ("tid", Obs.Json.Int 0);
+                ];
+            ] );
+      ]
+  in
+  match Obs.Trace.validate broken with
+  | Ok _ -> Alcotest.fail "validate accepted an unbalanced trace"
+  | Error _ -> ()
+
+let test_trace_overflow_stays_balanced () =
+  (* With a tiny ring buffer most spans are dropped, but dropping must
+     never unbalance the surviving B/E pairs. *)
+  Obs.Trace.set_capacity 0 (* clamps to the 256 floor *);
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_capacity 65536)
+  @@ fun () ->
+  with_tracing @@ fun () ->
+  for i = 0 to 999 do
+    Obs.span (Printf.sprintf "s%d" (i mod 7)) (fun () ->
+        Obs.trace_counter "v" (float_of_int i))
+  done;
+  Alcotest.(check bool) "overflow dropped events" true
+    (Obs.Trace.dropped () > 0);
+  check_track_invariants (Obs.Trace.events ());
+  match Obs.Trace.validate (Obs.Trace.to_json ()) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "overflowed trace invalid: %s" msg
+
+(* ---- disabled-path cost ---- *)
+
+let test_disabled_path_allocates_nothing () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let work = Sys.opaque_identity (fun () -> 17) in
+  (* warm up so any one-time lazy setup is excluded from the measurement *)
+  ignore (Obs.span "warm" work);
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Obs.span "ghost" work);
+    Obs.count "c" 3;
+    Obs.gauge "g" 1.5;
+    Obs.observe "o" 0.25;
+    Obs.record_span "r" ~seconds:0.5 ~calls:2;
+    Obs.trace_counter "t" 0.125
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled path allocated %.0f minor words" delta)
+    true (delta < 256.0)
+
+(* ---- gauge semantics in the ordering layer ---- *)
+
+let test_degree_sort_gauges_not_additive () =
+  (* max_degree describes the graph, so preparing twice in one profiled
+     region must report the same value as preparing once (it regressed to
+     2x under Obs.count). *)
+  let g = Test_util.mesh_graph 9 9 in
+  let once =
+    with_obs_enabled @@ fun () ->
+    ignore (Ordering.Degree_sort.order g);
+    counter (Obs.capture ()) "degree_sort/max_degree"
+  in
+  let twice =
+    with_obs_enabled @@ fun () ->
+    ignore (Ordering.Degree_sort.order g);
+    ignore (Ordering.Degree_sort.order g);
+    counter (Obs.capture ()) "degree_sort/max_degree"
+  in
+  Alcotest.(check bool) "max_degree positive" true (once > 0.0);
+  Test_util.check_float "gauge not doubled by repeated ordering" once twice
 
 (* ---- profiled solves ---- *)
 
@@ -284,14 +548,36 @@ let () =
         [
           Alcotest.test_case "count accumulates monotonically" `Quick
             test_counter_monotonic;
+          Alcotest.test_case "degree_sort reports gauges, not sums" `Quick
+            test_degree_sort_gauges_not_additive;
         ] );
       ( "json",
         [
           Alcotest.test_case "value round trip + parse errors" `Quick
             test_json_value_round_trip;
+          Alcotest.test_case "unicode escapes decode to UTF-8" `Quick
+            test_json_unicode_escapes;
           Alcotest.test_case "telemetry record round trip" `Quick
             test_record_round_trip;
           Alcotest.test_case "text rendering" `Quick test_record_text_render;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "percentiles within bucket accuracy" `Quick
+            test_hist_percentiles;
+          Alcotest.test_case "merge is exactly associative" `Quick
+            test_hist_merge_associative;
+          Alcotest.test_case "observe lands in the capture" `Quick
+            test_observe_reaches_capture;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "balanced, monotonic, validator agrees" `Quick
+            test_trace_well_formed;
+          Alcotest.test_case "ring-buffer overflow stays balanced" `Quick
+            test_trace_overflow_stays_balanced;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_path_allocates_nothing;
         ] );
       ( "pipeline",
         [

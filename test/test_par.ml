@@ -375,6 +375,100 @@ let test_solve_many_stress_mixed_outcomes () =
   Alcotest.(check bool) "poisoned rhs did not converge" false
     seq.(4).Solver.converged
 
+(* ---- batched-solve telemetry across domain counts ---- *)
+
+let profiled_batch ~domains ?(tracing = false) () =
+  let p = grid_problem ~nx:25 ~ny:25 ~seed:7777 () in
+  let n = Sddm.Problem.n p in
+  let rng = Rng.create 79 in
+  let bs = Array.init 7 (fun _ -> random_rhs ~rng n) in
+  let prepared = Solver.powerrchol_prepare p in
+  with_domains domains (fun () ->
+      if tracing then Obs.set_tracing true;
+      Fun.protect ~finally:(fun () -> if tracing then Obs.set_tracing false)
+        (fun () ->
+          Solver.with_obs ~meta_of:(fun _ -> []) (fun () ->
+              Solver.solve_many prepared bs)))
+
+let test_profiled_batch_counters_deterministic () =
+  (* The old layer had to turn itself off during the parallel fan-out;
+     the per-domain stores must now report the same record at any width:
+     merged counter totals bit-identical to the sequential run (only the
+     par/ scheduling counters — busy seconds, imbalance — are
+     width-specific), with a span for every individual solve. *)
+  let results1, record1 = profiled_batch ~domains:1 () in
+  let solver_counters (r : Obs.record) =
+    List.filter
+      (fun (k, _) -> not (String.starts_with ~prefix:"par/" k))
+      r.Obs.counters
+  in
+  List.iter
+    (fun d ->
+      let rd, recd = profiled_batch ~domains:d () in
+      Alcotest.(check bool)
+        (Printf.sprintf "solutions bit-identical at %d domains" d)
+        true
+        (Array.for_all2
+           (fun (a : Solver.result) (b : Solver.result) ->
+             a.Solver.x = b.Solver.x)
+           results1 rd);
+      (* same counters, same totals, same first-seen order: the merge is
+         root-then-slots-ascending over contiguous ascending chunks *)
+      Alcotest.(check (list (pair string (float 0.0))))
+        (Printf.sprintf "counter totals bit-identical at %d domains" d)
+        (solver_counters record1) (solver_counters recd);
+      (* every rhs got its own span, under the batch span *)
+      for k = 0 to Array.length results1 - 1 do
+        let path = Printf.sprintf "solve_many/solve#%d" k in
+        Alcotest.(check bool)
+          (Printf.sprintf "span %s present at %d domains" path d)
+          true
+          (List.exists (fun s -> s.Obs.path = path) recd.Obs.spans)
+      done;
+      (* the per-rhs latency histogram counts every solve *)
+      (match List.assoc_opt "solve_many/solve_seconds" recd.Obs.hists with
+       | Some h ->
+         Alcotest.(check int)
+           (Printf.sprintf "latency histogram counts the batch at %d" d)
+           (Array.length results1) (Obs.Hist.count h)
+       | None -> Alcotest.fail "solve_many/solve_seconds histogram missing");
+      if d >= 2 then begin
+        (* scheduling telemetry: per-domain busy seconds + imbalance *)
+        Alcotest.(check bool)
+          (Printf.sprintf "par/busy_s#0 present at %d domains" d)
+          true
+          (List.mem_assoc "par/busy_s#0" recd.Obs.counters);
+        Alcotest.(check bool)
+          (Printf.sprintf "par/busy_s#1 present at %d domains" d)
+          true
+          (List.mem_assoc "par/busy_s#1" recd.Obs.counters);
+        match List.assoc_opt "par/imbalance" recd.Obs.counters with
+        | Some r -> Alcotest.(check bool) "imbalance >= 1" true (r >= 1.0)
+        | None -> Alcotest.fail "par/imbalance missing at >= 2 domains"
+      end)
+    [ 2; 3 ]
+
+let test_trace_tracks_per_domain () =
+  let _, _ = profiled_batch ~domains:2 ~tracing:true () in
+  (* with_obs restores the previous enabled state but the trace buffers
+     survive until the next reset; inspect them before other tests run *)
+  let events = Obs.Trace.events () in
+  Fun.protect ~finally:(fun () -> Obs.reset ())
+  @@ fun () ->
+  Alcotest.(check bool) "trace recorded events" true (events <> []);
+  let tracks =
+    List.sort_uniq compare
+      (List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.track) events)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "worker tracks present (got %d track(s))"
+       (List.length tracks))
+    true
+    (List.exists (fun t -> t >= 1) tracks);
+  match Obs.Trace.validate (Obs.Trace.to_json ()) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "multi-domain trace invalid: %s" msg
+
 let () =
   Alcotest.run "par"
     [
@@ -410,5 +504,12 @@ let () =
             test_solve_many_parallel_matches_seq;
           Alcotest.test_case "solve_many mixed-outcome stress" `Quick
             test_solve_many_stress_mixed_outcomes;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "profiled batch deterministic across domains"
+            `Quick test_profiled_batch_counters_deterministic;
+          Alcotest.test_case "trace tracks per domain" `Quick
+            test_trace_tracks_per_domain;
         ] );
     ]
