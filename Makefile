@@ -1,5 +1,5 @@
 .PHONY: build check check-par test test-robust bench-smoke bench-kernels \
-  trace-smoke fmt fmt-check clean
+  trace-smoke serve-smoke fmt fmt-check clean
 
 build:
 	dune build
@@ -25,7 +25,8 @@ test-robust:
 # bench_artifacts/trace.json; passing it as the third compare argument
 # gates its structural validity alongside the timing rows.
 bench-smoke:
-	BENCH_SCALE=0.05 dune exec bench/main.exe table1 batched kernels
+	BENCH_SCALE=0.05 BENCH_SERVE_SECONDS=2 \
+	  dune exec bench/main.exe table1 batched kernels serve
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
 	  bench_artifacts/bench.json bench_artifacts/trace.json
 
@@ -40,6 +41,13 @@ trace-smoke:
 # Just the multicore hot-path kernel micro-benchmarks (DESIGN.md §10).
 bench-kernels:
 	dune exec bench/main.exe kernels
+
+# End-to-end daemon smoke: start pgserve, drive it through good, bad,
+# past-deadline, and wire-fault-injected requests with pgclient, then
+# shut it down and assert a clean drain (DESIGN.md §12).
+serve-smoke:
+	dune build bin/pgserve.exe bin/pgclient.exe
+	bash scripts/serve_smoke.sh
 
 fmt:
 	dune fmt

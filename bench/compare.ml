@@ -62,6 +62,21 @@ let tol_kernel = getenv_float "BENCH_TOL_KERNEL" 1.15
 let tol_kernel_abs = getenv_float "BENCH_TOL_KERNEL_ABS" 2e-4
 let min_speedup = getenv_float "BENCH_MIN_SPEEDUP" 1.5
 
+(* Serve gates, checked within the CURRENT file's "serve" section (when
+   the serve load-generator experiment ran):
+
+   - sustained throughput must not collapse: req_s >= BENCH_SERVE_MIN_REQS
+     (default 1.0 — a floor against a wedged solve lane, not a
+     performance target; CI boxes are slow);
+   - client-observed p99 latency must stay bounded:
+     p99_ms <= BENCH_SERVE_MAX_P99_MS (default 30000);
+   - the typed-outcome accounting must balance exactly: solved +
+     unconverged + rejected + timed_out + failed == requests and
+     untyped == 0 — under load, every request still ends in exactly one
+     typed response, never a transport error or silence. *)
+let min_reqs = getenv_float "BENCH_SERVE_MIN_REQS" 1.0
+let max_p99_ms = getenv_float "BENCH_SERVE_MAX_P99_MS" 30_000.0
+
 let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
 
 let read_json path =
@@ -248,6 +263,60 @@ let () =
       failures :=
         "gate_speedup set but pcg_iterate seq/par rows missing" :: !failures
   end;
+  (* serve gates on the current run *)
+  (match Obs.Json.member "serve" current_doc with
+   | None -> ()
+   | Some serve ->
+     let num key =
+       match Obs.Json.member key serve with
+       | Some v -> Obs.Json.to_float v
+       | None -> None
+     in
+     let int_or_zero key =
+       match num key with Some v -> int_of_float v | None -> 0
+     in
+     (match (num "requests", num "req_s", num "p99_ms") with
+      | Some requests, Some req_s, Some p99 ->
+        Printf.printf
+          "serve gate: %.0f requests, %.1f req/s, p99 %.1f ms\n" requests
+          req_s p99;
+        if requests < 1.0 then
+          failures := "serve: the load window completed zero requests"
+                      :: !failures
+        else begin
+          if req_s < min_reqs then
+            failures :=
+              Printf.sprintf
+                "serve throughput %.2f req/s below the %.2f floor" req_s
+                min_reqs
+              :: !failures;
+          if p99 > max_p99_ms then
+            failures :=
+              Printf.sprintf "serve p99 %.1f ms above the %.1f ms cap" p99
+                max_p99_ms
+              :: !failures;
+          let typed =
+            int_or_zero "solved" + int_or_zero "unconverged"
+            + int_or_zero "rejected" + int_or_zero "timed_out"
+            + int_or_zero "failed"
+          in
+          let untyped = int_or_zero "untyped" in
+          if untyped > 0 then
+            failures :=
+              Printf.sprintf
+                "serve: %d request(s) ended untyped (transport error or \
+                 silence)"
+                untyped
+              :: !failures;
+          if typed + untyped <> int_of_float requests then
+            failures :=
+              Printf.sprintf
+                "serve accounting broken: %d outcomes for %.0f requests"
+                (typed + untyped) requests
+              :: !failures
+        end
+      | _ ->
+        failures := "serve section lacks requests/req_s/p99_ms" :: !failures));
   List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
   if !compared = 0 then
     (* an empty intersection means the gate compared nothing: make that

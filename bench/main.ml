@@ -21,6 +21,7 @@ let experiments =
     ("batched", Experiments.batched);
     ("micro", Micro.run);
     ("kernels", Kernels.run);
+    ("serve", Serve_bench.run);
   ]
 
 let run_all () =

@@ -158,6 +158,12 @@ let record_latencies ~case_id (record : Obs.record) =
           :: !latency_rows)
     record.Obs.hists
 
+(* The serve experiment's summary (req/s, latency percentiles, typed
+   outcome counts) — lands in bench.json as the "serve" section, which
+   compare.exe gates on throughput and on every outcome being typed. *)
+let serve_section : Obs.Json.t option ref = ref None
+let record_serve doc = serve_section := Some doc
+
 (* Set by the kernels experiment when the parallel variants ran wide
    enough (>= 4 domains on >= 4 hardware cores) for the compare gate to
    hold them to the speedup floor; single-core CI boxes record the numbers
@@ -279,7 +285,7 @@ let write_bench_json () =
   let path = Filename.concat artifact_dir "bench.json" in
   let doc =
     Obs.Json.Obj
-      [
+      ([
         ("schema", Obs.Json.Str "powerrchol-bench/v1");
         ("scale", Obs.Json.Float scale);
         ("rtol", Obs.Json.Float rtol);
@@ -294,6 +300,10 @@ let write_bench_json () =
         ( "latency",
           Obs.Json.List (List.rev_map latency_row_json !latency_rows) );
       ]
+      @
+      match !serve_section with
+      | Some doc -> [ ("serve", doc) ]
+      | None -> [])
   in
   Out_channel.with_open_text path (fun oc ->
       output_string oc (Obs.Json.to_string ~indent:true doc);

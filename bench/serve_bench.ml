@@ -1,0 +1,150 @@
+(* Load-generator bench for the pgserve daemon: an in-process daemon on a
+   private Unix socket, hammered by concurrent client threads for a fixed
+   wall-clock window. Records sustained req/s, client-observed latency
+   percentiles, and the typed-outcome accounting (every request must end
+   in exactly one typed response — the robustness invariant the serve
+   tests enforce, here checked under sustained load and gated by
+   bench/compare.exe on the "serve" section of bench.json).
+
+   Environment:
+     BENCH_SERVE_SECONDS   measurement window (default 2.0)
+     BENCH_SERVE_CLIENTS   concurrent client threads (default 4)
+     BENCH_SERVE_SCALE     suite-case scale for the solved case
+                           (default 0.05; the factorization is prepared
+                           once during warmup, so the window measures the
+                           steady state the daemon is designed for) *)
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let seconds = getenv_float "BENCH_SERVE_SECONDS" 2.0
+let clients = getenv_int "BENCH_SERVE_CLIENTS" 4
+let case_scale = getenv_float "BENCH_SERVE_SCALE" 0.05
+
+type tally = {
+  hist : Obs.Hist.t;
+  mutable solved : int;
+  mutable unconverged : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  mutable untyped : int;  (** transport errors: gated to zero *)
+}
+
+let fresh_tally () =
+  {
+    hist = Obs.Hist.create ();
+    solved = 0;
+    unconverged = 0;
+    rejected = 0;
+    timed_out = 0;
+    failed = 0;
+    untyped = 0;
+  }
+
+let total t =
+  t.solved + t.unconverged + t.rejected + t.timed_out + t.failed + t.untyped
+
+let run () =
+  Runner.header
+    (Printf.sprintf
+       "pgserve sustained load: %d clients for %.1f s (case pg01 @ %.2f)"
+       clients seconds case_scale);
+  let addr =
+    Proto.Unix_sock
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "pgserve-bench-%d.sock" (Unix.getpid ())))
+  in
+  let config =
+    { (Serve.Daemon.default_config addr) with Serve.Daemon.queue_capacity = 8 }
+  in
+  match Serve.Daemon.start config with
+  | Error e -> Printf.printf "serve bench skipped: %s\n" e
+  | Ok daemon ->
+    Fun.protect
+      ~finally:(fun () -> Serve.Daemon.stop daemon)
+      (fun () ->
+        let req =
+          Proto.solve (Proto.Case { id = "pg01"; scale = case_scale })
+        in
+        (* warmup populates the Engine cache so the window measures the
+           factor-once / solve-many steady state *)
+        (match Serve.Client.call ~retry:Serve.Client.no_retry addr req with
+         | Ok (Proto.Solved _) -> ()
+         | Ok r ->
+           Printf.printf "warmup answered %s\n" (Proto.response_to_string r)
+         | Error e -> Printf.printf "warmup failed: %s\n" e);
+        let stop_at = Obs.now () +. seconds in
+        let tallies = Array.init clients (fun _ -> fresh_tally ()) in
+        let worker i =
+          let t = tallies.(i) in
+          while Obs.now () < stop_at do
+            let t0 = Obs.now () in
+            let outcome =
+              Serve.Client.call ~retry:Serve.Client.no_retry ~seed:(1000 + i)
+                ~io_timeout:10.0 addr req
+            in
+            Obs.Hist.add t.hist (Obs.now () -. t0);
+            match outcome with
+            | Ok (Proto.Solved { converged = true; _ }) ->
+              t.solved <- t.solved + 1
+            | Ok (Proto.Solved _) -> t.unconverged <- t.unconverged + 1
+            | Ok (Proto.Rejected _) -> t.rejected <- t.rejected + 1
+            | Ok (Proto.Timed_out _) -> t.timed_out <- t.timed_out + 1
+            | Ok _ | Error _ -> (
+              match outcome with
+              | Ok (Proto.Failed _) -> t.failed <- t.failed + 1
+              | _ -> t.untyped <- t.untyped + 1)
+          done
+        in
+        let t_start = Obs.now () in
+        let threads = Array.init clients (fun i -> Thread.create worker i) in
+        Array.iter Thread.join threads;
+        let elapsed = Obs.now () -. t_start in
+        let merged = Array.fold_left (fun acc t -> acc @ [ t ]) [] tallies in
+        let sum f = List.fold_left (fun a t -> a + f t) 0 merged in
+        let hist =
+          List.fold_left
+            (fun acc t -> Obs.Hist.merge acc t.hist)
+            (Obs.Hist.create ()) merged
+        in
+        let n = sum total in
+        let req_s = float_of_int n /. elapsed in
+        let pct p = Obs.Hist.percentile hist p *. 1000.0 in
+        Printf.printf
+          "%d requests in %.2f s: %.1f req/s\n\
+           latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n\
+           outcomes: %d solved, %d unconverged, %d rejected, %d timed out, \
+           %d failed, %d untyped\n"
+          n elapsed req_s (pct 50.0) (pct 95.0) (pct 99.0) (sum (fun t -> t.solved))
+          (sum (fun t -> t.unconverged))
+          (sum (fun t -> t.rejected))
+          (sum (fun t -> t.timed_out))
+          (sum (fun t -> t.failed))
+          (sum (fun t -> t.untyped));
+        Runner.record_serve
+          (Obs.Json.Obj
+             [
+               ("clients", Obs.Json.Int clients);
+               ("seconds", Obs.Json.Float elapsed);
+               ("case_scale", Obs.Json.Float case_scale);
+               ("requests", Obs.Json.Int n);
+               ("req_s", Obs.Json.Float req_s);
+               ("p50_ms", Obs.Json.Float (pct 50.0));
+               ("p95_ms", Obs.Json.Float (pct 95.0));
+               ("p99_ms", Obs.Json.Float (pct 99.0));
+               ("solved", Obs.Json.Int (sum (fun t -> t.solved)));
+               ("unconverged", Obs.Json.Int (sum (fun t -> t.unconverged)));
+               ("rejected", Obs.Json.Int (sum (fun t -> t.rejected)));
+               ("timed_out", Obs.Json.Int (sum (fun t -> t.timed_out)));
+               ("failed", Obs.Json.Int (sum (fun t -> t.failed)));
+               ("untyped", Obs.Json.Int (sum (fun t -> t.untyped)));
+             ]))

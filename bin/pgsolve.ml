@@ -31,51 +31,45 @@ let domains_arg =
      or 1; 1 reproduces the sequential solver bit for bit. Ignored (with a \
      warning) on a build without multicore support."
   in
-  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some string) None & info [ "domains" ] ~docv:"N" ~doc)
 
-(* Applied before any solve runs: replaces the default pool. *)
+(* Applied before any solve runs: replaces the default pool. Validation
+   lives in Par.domains_of_string so the flag and the environment variable
+   reject bad values with the same words. *)
 let apply_domains = function
   | None -> ()
-  | Some d ->
-    if d < 1 then begin
-      prerr_endline "--domains must be >= 1";
+  | Some s -> (
+    match Par.domains_of_string s with
+    | Error reason ->
+      Printf.eprintf "pgsolve: --domains %s\n" reason;
       exit 2
-    end;
-    if d > 1 && Par.backend = "seq" then
-      Printf.eprintf
-        "warning: this build has no multicore backend; --domains %d runs \
-         sequentially\n%!"
-        d;
-    Par.set_default_domains d
+    | Ok d ->
+      if d > 1 && Par.backend = "seq" then
+        Printf.eprintf
+          "warning: this build has no multicore backend; --domains %d runs \
+           sequentially\n%!"
+          d;
+      Par.set_default_domains d)
 
-let solver_names =
-  [
-    ("powerrchol", `Powerrchol);
-    ("rchol", `Rchol);
-    ("lt-rchol", `Lt_rchol);
-    ("fegrass", `Fegrass);
-    ("fegrass-ichol", `Fegrass_ichol);
-    ("amg", `Amg);
-    ("direct", `Direct);
-  ]
-
+(* The solver vocabulary is shared with the pgserve daemon and its client
+   through lib/proto, so '--solver' means the same thing everywhere. *)
 let solver_of_tag ~seed = function
-  | `Powerrchol -> Powerrchol.Solver.powerrchol ~seed ()
-  | `Rchol -> Powerrchol.Solver.rchol ~seed ()
-  | `Lt_rchol -> Powerrchol.Solver.lt_rchol ~seed ()
-  | `Fegrass -> Powerrchol.Solver.fegrass ()
-  | `Fegrass_ichol -> Powerrchol.Solver.fegrass_ichol ()
-  | `Amg -> Powerrchol.Solver.amg_pcg ()
-  | `Direct -> Powerrchol.Solver.direct ()
+  | Proto.Powerrchol -> Powerrchol.Solver.powerrchol ~seed ()
+  | Proto.Rchol -> Powerrchol.Solver.rchol ~seed ()
+  | Proto.Lt_rchol -> Powerrchol.Solver.lt_rchol ~seed ()
+  | Proto.Fegrass -> Powerrchol.Solver.fegrass ()
+  | Proto.Fegrass_ichol -> Powerrchol.Solver.fegrass_ichol ()
+  | Proto.Amg -> Powerrchol.Solver.amg_pcg ()
+  | Proto.Direct -> Powerrchol.Solver.direct ()
 
 let solver_arg =
   let doc =
     Printf.sprintf "Solver to use: %s."
-      (String.concat ", " (List.map fst solver_names))
+      (String.concat ", " (List.map fst Proto.solver_names))
   in
   Arg.(
     value
-    & opt (enum solver_names) `Powerrchol
+    & opt (enum Proto.solver_names) Proto.Powerrchol
     & info [ "solver"; "s" ] ~docv:"SOLVER" ~doc)
 
 let report_result r =
@@ -127,6 +121,19 @@ let load_mtx_raw ?b path =
       Array.init n (fun _ -> Rng.float rng -. 0.5)
   in
   (Filename.basename path, a, b)
+
+(* --robust/--diagnose promise structured failure handling: a file that
+   cannot be read or parsed is a clean exit-1 report there, never an
+   uncaught exception (the legacy plain path keeps its historical
+   behavior). *)
+let load_mtx_checked ?b path =
+  try load_mtx_raw ?b path with
+  | Sparse.Matrix_market.Parse_error msg ->
+    Printf.eprintf "pgsolve: %s: %s\n" path msg;
+    exit 1
+  | Sys_error msg ->
+    Printf.eprintf "pgsolve: %s\n" msg;
+    exit 1
 
 let load_problem ?b netlist mtx case scale =
   match (netlist, mtx, case) with
@@ -309,7 +316,7 @@ let solve_cmd =
       let report =
         match mtx with
         | Some path ->
-          let _, a, b = load_mtx_raw ?b path in
+          let _, a, b = load_mtx_checked ?b path in
           Robust.Diagnose.run ~a ~b
         | None ->
           Robust.Diagnose.of_problem (load_problem ?b netlist mtx case scale)
@@ -321,7 +328,7 @@ let solve_cmd =
       let r =
         match mtx with
         | Some path ->
-          let name, a, b = load_mtx_raw ?b path in
+          let name, a, b = load_mtx_checked ?b path in
           if instrument then begin
             let r, record =
               Powerrchol.Pipeline.solve_matrix_robust_profiled ~rtol ~seed
@@ -453,7 +460,7 @@ let compare_cmd =
           r.Powerrchol.Solver.t_iterate r.Powerrchol.Solver.t_total
           r.Powerrchol.Solver.iterations r.Powerrchol.Solver.factor_nnz
           r.Powerrchol.Solver.converged)
-      solver_names
+      Proto.solver_names
   in
   let doc = "Run every solver on one problem and tabulate the results." in
   Cmd.v (Cmd.info "compare" ~doc)

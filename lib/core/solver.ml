@@ -56,7 +56,7 @@ let make_prepared ~solver_name problem ~precond ~t_reorder ~t_precond
 let prepare solver problem =
   Obs.span "prepare" (fun () -> solver.prepare problem)
 
-let solve_prepared_ws ?rtol ?(max_iter = 500) ?x0 ?(history = false)
+let solve_prepared_ws ?rtol ?(max_iter = 500) ?deadline ?x0 ?(history = false)
     ?(condition = false) ?b ~workspace (p : prepared) =
   let problem = p.problem in
   let n = Sddm.Problem.n problem in
@@ -80,8 +80,9 @@ let solve_prepared_ws ?rtol ?(max_iter = 500) ?x0 ?(history = false)
   let t0 = now () in
   let pcg =
     Obs.span "pcg" (fun () ->
-        Krylov.Pcg.solve_into ?rtol ~max_iter ~history ~condition ~warm_start
-          ~workspace ~x ~a:problem.Sddm.Problem.a ~b ~precond:p.precond ())
+        Krylov.Pcg.solve_into ?rtol ~max_iter ?deadline ~history ~condition
+          ~warm_start ~workspace ~x ~a:problem.Sddm.Problem.a ~b
+          ~precond:p.precond ())
   in
   let t_iterate = now () -. t0 in
   {
@@ -103,11 +104,13 @@ let solve_prepared_ws ?rtol ?(max_iter = 500) ?x0 ?(history = false)
     factor_nnz = p.factor_nnz;
   }
 
-let solve_prepared ?rtol ?max_iter ?x0 ?history ?condition ?b (p : prepared) =
-  solve_prepared_ws ?rtol ?max_iter ?x0 ?history ?condition ?b
+let solve_prepared ?rtol ?max_iter ?deadline ?x0 ?history ?condition ?b
+    (p : prepared) =
+  solve_prepared_ws ?rtol ?max_iter ?deadline ?x0 ?history ?condition ?b
     ~workspace:p.workspace p
 
-let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
+let solve_many ?rtol ?max_iter ?deadline ?history ?condition (p : prepared) bs
+    =
   let pool = Par.default () in
   let nb = Array.length bs in
   let obs = Obs.enabled () in
@@ -123,7 +126,8 @@ let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
       Obs.span
         (Printf.sprintf "solve#%d" k)
         (fun () ->
-          solve_prepared_ws ?rtol ?max_iter ?history ?condition ~b ~workspace p)
+          solve_prepared_ws ?rtol ?max_iter ?deadline ?history ?condition ~b
+            ~workspace p)
     in
     if obs then Obs.observe "solve_seconds" (Obs.now () -. t0);
     r
@@ -149,13 +153,13 @@ let solve_many ?rtol ?max_iter ?history ?condition (p : prepared) bs =
         Array.map (function Some r -> r | None -> assert false) results
       end)
 
-let iterate ?rtol ?(max_iter = 500) solver prepared problem =
+let iterate ?rtol ?(max_iter = 500) ?deadline solver prepared problem =
   let n = Sddm.Problem.n problem in
   let t0 = now () in
   let pcg =
     Obs.span "pcg" (fun () ->
-        Krylov.Pcg.solve_into ?rtol ~max_iter ~history:true ~condition:true
-          ~warm_start:false ~workspace:prepared.workspace
+        Krylov.Pcg.solve_into ?rtol ~max_iter ?deadline ~history:true
+          ~condition:true ~warm_start:false ~workspace:prepared.workspace
           ~x:(Array.make n 0.0) ~a:problem.Sddm.Problem.a
           ~b:problem.Sddm.Problem.b ~precond:prepared.precond ())
   in
@@ -174,8 +178,8 @@ let iterate ?rtol ?(max_iter = 500) solver prepared problem =
     factor_nnz = prepared.factor_nnz;
   }
 
-let run ?rtol ?max_iter solver problem =
-  iterate ?rtol ?max_iter solver (solver.prepare problem) problem
+let run ?rtol ?max_iter ?deadline solver problem =
+  iterate ?rtol ?max_iter ?deadline solver (solver.prepare problem) problem
 
 (* ---- orderings ---- *)
 
@@ -385,13 +389,13 @@ and robust_outcome =
 
 let robust_ok r = match r.outcome with Robust_solved _ -> true | _ -> false
 
-let rung_of_solver ?name ~rtol ~max_iter solver =
+let rung_of_solver ?name ?deadline ~rtol ~max_iter solver =
   {
     Robust.Fallback.name =
       (match name with Some n -> n | None -> solver.name);
     solve =
       (fun problem ->
-        let r = run ~rtol ~max_iter solver problem in
+        let r = run ~rtol ~max_iter ?deadline solver problem in
         {
           Robust.Fallback.x = r.x;
           iterations = r.iterations;
@@ -399,13 +403,13 @@ let rung_of_solver ?name ~rtol ~max_iter solver =
         });
   }
 
-let rung_of_prepared ~name ~rtol ~max_iter prepare_fn =
+let rung_of_prepared ?deadline ~name ~rtol ~max_iter prepare_fn =
   {
     Robust.Fallback.name;
     solve =
       (fun problem ->
         let p = prepare_fn problem in
-        let r = solve_prepared ~rtol ~max_iter p in
+        let r = solve_prepared ~rtol ~max_iter ?deadline p in
         {
           Robust.Fallback.x = r.x;
           iterations = r.iterations;
@@ -416,7 +420,8 @@ let rung_of_prepared ~name ~rtol ~max_iter prepare_fn =
 (* Deterministic seed derivation for the reseed-and-retry rungs. *)
 let reseed seed i = seed + (1000003 * (i + 1))
 
-let robust_rungs ?(seed = default_seed) ?(retries = 2) ~rtol ~max_iter () =
+let robust_rungs ?(seed = default_seed) ?(retries = 2) ?deadline ~rtol
+    ~max_iter () =
   (* The reseed rungs reuse the Alg. 4 permutation computed by the first
      powerrchol rung: reordering is deterministic and seed-independent, so
      a reseed only needs to re-run the (randomized) factorization. The
@@ -438,7 +443,7 @@ let robust_rungs ?(seed = default_seed) ?(retries = 2) ~rtol ~max_iter () =
       perm
   in
   let powerrchol_rung ~name seed =
-    rung_of_prepared ~name ~rtol ~max_iter (fun problem ->
+    rung_of_prepared ?deadline ~name ~rtol ~max_iter (fun problem ->
         powerrchol_prepare ~seed ~perm:(perm_for problem) problem)
   in
   powerrchol_rung ~name:"powerrchol" seed
@@ -447,13 +452,13 @@ let robust_rungs ?(seed = default_seed) ?(retries = 2) ~rtol ~max_iter () =
            ~name:(Printf.sprintf "powerrchol(reseed %d)" (i + 1))
            (reseed seed i))
   @ [
-      rung_of_solver ~rtol ~max_iter (rchol ~ordering:Amd ~seed ());
-      rung_of_solver ~rtol ~max_iter (jacobi ());
-      rung_of_solver ~rtol ~max_iter (direct ());
+      rung_of_solver ?deadline ~rtol ~max_iter (rchol ~ordering:Amd ~seed ());
+      rung_of_solver ?deadline ~rtol ~max_iter (jacobi ());
+      rung_of_solver ?deadline ~rtol ~max_iter (direct ());
     ]
 
 let solve_robust ?(rtol = 1e-6) ?(max_iter = 500) ?(seed = default_seed)
-    ?(retries = 2) problem =
+    ?(retries = 2) ?deadline problem =
   let diagnostics = Robust.Diagnose.of_problem problem in
   if Robust.Diagnose.has_fatal diagnostics then
     {
@@ -467,10 +472,10 @@ let solve_robust ?(rtol = 1e-6) ?(max_iter = 500) ?(seed = default_seed)
           };
     }
   else begin
-    let rungs = robust_rungs ~seed ~retries ~rtol ~max_iter () in
+    let rungs = robust_rungs ~seed ~retries ?deadline ~rtol ~max_iter () in
     let comps = Robust.Diagnose.split_components problem in
     if Array.length comps = 1 then begin
-      let o = Robust.Fallback.run ~rtol ~rungs problem in
+      let o = Robust.Fallback.run ~rtol ?deadline ~rungs problem in
       match (o.Robust.Fallback.x, o.Robust.Fallback.winner) with
       | Some x, Some winner ->
         {
@@ -499,7 +504,9 @@ let solve_robust ?(rtol = 1e-6) ?(max_iter = 500) ?(seed = default_seed)
       let parts =
         Array.map
           (fun c ->
-            (c, Robust.Fallback.run ~rtol ~rungs c.Robust.Diagnose.problem))
+            ( c,
+              Robust.Fallback.run ~rtol ?deadline ~rungs
+                c.Robust.Diagnose.problem ))
           comps
       in
       let attempts =
@@ -625,10 +632,10 @@ let robust_meta problem =
     ~n:(Sddm.Problem.n problem)
     ~nnz:(Sddm.Problem.nnz problem)
 
-let solve_robust_profiled ?rtol ?max_iter ?seed ?retries problem =
+let solve_robust_profiled ?rtol ?max_iter ?seed ?retries ?deadline problem =
   with_obs
     ~meta_of:(robust_meta problem)
-    (fun () -> solve_robust ?rtol ?max_iter ?seed ?retries problem)
+    (fun () -> solve_robust ?rtol ?max_iter ?seed ?retries ?deadline problem)
 
 (* Deterministic one-line rendering of the whole robust run: diagnostic
    summary, every failed rung with its reason, and the final verdict. Used

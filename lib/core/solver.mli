@@ -50,12 +50,14 @@ val prepare : t -> Sddm.Problem.t -> prepared
     reusable handle. Recorded under the Obs span ["prepare"]. *)
 
 val solve_prepared :
-  ?rtol:float -> ?max_iter:int -> ?x0:float array -> ?history:bool ->
-  ?condition:bool -> ?b:float array -> prepared -> result
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?x0:float array ->
+  ?history:bool -> ?condition:bool -> ?b:float array -> prepared -> result
 (** [solve_prepared p] runs PCG against the prepared factorization.
     [b] defaults to the right-hand side of the prepared problem; pass a
     different [b] (of the same dimension) to solve the same matrix for a
-    new load vector. [history] and [condition] default to [false] — the
+    new load vector. [deadline] (absolute wall-clock instant, {!Obs.now}
+    clock) cancels the iteration cooperatively — see [Pcg.solve].
+    [history] and [condition] default to [false] — the
     batched path does not build the O(iterations) diagnostics.
 
     {b Marginal-cost semantics:} the returned [t_reorder]/[t_precond] are
@@ -63,8 +65,8 @@ val solve_prepared :
     the handle. [residual] is verified against the actual [b] solved. *)
 
 val solve_many :
-  ?rtol:float -> ?max_iter:int -> ?history:bool -> ?condition:bool ->
-  prepared -> float array array -> result array
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?history:bool ->
+  ?condition:bool -> prepared -> float array array -> result array
 (** [solve_many p bs] amortizes one factorization over a batch of
     right-hand sides. With one domain (or a busy pool) the batch runs
     sequentially on the handle's workspace; with more domains it is
@@ -82,12 +84,15 @@ val solve_many :
     span paths and bit-identical counter totals as the sequential run
     (plus [par/busy_s#i] / [par/imbalance] load counters). *)
 
-val run : ?rtol:float -> ?max_iter:int -> t -> Sddm.Problem.t -> result
+val run :
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> t -> Sddm.Problem.t ->
+  result
 (** Prepare, iterate, time, and verify — the one-shot path. [rtol]
     defaults to 1e-6 and [max_iter] to 500, the paper's settings. *)
 
 val iterate :
-  ?rtol:float -> ?max_iter:int -> t -> prepared -> Sddm.Problem.t -> result
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> t -> prepared ->
+  Sddm.Problem.t -> result
 (** Reuse a preparation against [problem]'s matrix and rhs (used by the
     Fig. 2 tolerance sweep). Unlike {!solve_prepared} the result carries
     the preparation times and [t_total] includes them. *)
@@ -180,18 +185,21 @@ and robust_outcome =
 
 val solve_robust :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
-  Sddm.Problem.t -> robust_result
+  ?deadline:float -> Sddm.Problem.t -> robust_result
 (** [rtol] defaults to 1e-6, [max_iter] to 500, [seed] to {!default_seed},
-    [retries] (reseed-and-retry rungs) to 2. Deterministic given [seed]:
-    two runs produce identical outcomes and byte-identical
-    {!robust_trace}s. *)
+    [retries] (reseed-and-retry rungs) to 2. [deadline] (absolute
+    wall-clock instant) bounds the {e whole chain}: it is propagated into
+    every rung's PCG loop and checked between rungs, so an expired budget
+    surfaces as [Timed_out] attempts instead of further escalation.
+    Without [deadline], deterministic given [seed]: two runs produce
+    identical outcomes and byte-identical {!robust_trace}s. *)
 
 val robust_ok : robust_result -> bool
 (** True iff the outcome is [Robust_solved]. *)
 
 val robust_rungs :
-  ?seed:int -> ?retries:int -> rtol:float -> max_iter:int -> unit ->
-  Robust.Fallback.rung list
+  ?seed:int -> ?retries:int -> ?deadline:float -> rtol:float ->
+  max_iter:int -> unit -> Robust.Fallback.rung list
 (** The default escalation chain, exposed for custom {!Robust.Fallback}
     policies. The powerrchol rung and its reseed-and-retry rungs share one
     Alg. 4 permutation per problem (computed by whichever rung runs first,
@@ -199,7 +207,7 @@ val robust_rungs :
     randomized factorization. *)
 
 val rung_of_prepared :
-  name:string -> rtol:float -> max_iter:int ->
+  ?deadline:float -> name:string -> rtol:float -> max_iter:int ->
   (Sddm.Problem.t -> prepared) -> Robust.Fallback.rung
 (** Build a fallback rung from a preparation function — the hook through
     which rungs accept (and share) prepared handles. Exceptions raised by
@@ -226,7 +234,7 @@ val run_profiled :
 
 val solve_robust_profiled :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
-  Sddm.Problem.t -> robust_result * Obs.record
+  ?deadline:float -> Sddm.Problem.t -> robust_result * Obs.record
 
 val with_obs :
   meta_of:('a -> (string * Obs.Json.t) list) -> (unit -> 'a) ->

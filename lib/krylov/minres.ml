@@ -1,6 +1,15 @@
+type status = Converged | Max_iter | Timed_out of { iteration : int }
+
+let status_to_string = function
+  | Converged -> "converged"
+  | Max_iter -> "max-iterations reached"
+  | Timed_out { iteration } ->
+      Printf.sprintf "timed-out at iteration %d (deadline reached)" iteration
+
 type result = {
   x : float array;
   iterations : int;
+  status : status;
   converged : bool;
   relative_residual : float;
 }
@@ -12,13 +21,25 @@ type result = {
    Givens rotations turn the tridiagonal least-squares problem into the
    three-term direction recurrence for x; |eta| tracks the
    preconditioned residual norm. *)
-let solve ?(rtol = 1e-6) ?(max_iter = 500) ~a ~b ~(precond : Precond.t) () =
+let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
+    ~(precond : Precond.t) () =
   let _, n = Sparse.Csc.dims a in
   assert (Array.length b = n);
+  let past_deadline =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Obs.now () > d
+  in
   let x = Array.make n 0.0 in
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then
-    { x; iterations = 0; converged = true; relative_residual = 0.0 }
+    {
+      x;
+      iterations = 0;
+      status = Converged;
+      converged = true;
+      relative_residual = 0.0;
+    }
   else begin
     let v = Array.copy b in
     let z = Array.make n 0.0 in
@@ -38,7 +59,10 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ~a ~b ~(precond : Precond.t) () =
     let iter = ref 0 in
     let rel = ref 1.0 in
     let gamma1 = !gamma in
-    while !rel > rtol && !iter < max_iter do
+    let timed_out = ref false in
+    while (not !timed_out) && !rel > rtol && !iter < max_iter do
+      if past_deadline () then timed_out := true
+      else begin
       for i = 0 to n - 1 do
         zn.(i) <- z.(i) /. !gamma
       done;
@@ -79,13 +103,15 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ~a ~b ~(precond : Precond.t) () =
       gamma := Float.max gamma_new 1e-300;
       incr iter;
       rel := Float.abs !eta /. gamma1
+      end
     done;
     let r = Sparse.Vec.sub b (Sparse.Csc.spmv a x) in
     let true_rel = Sparse.Vec.norm2 r /. b_norm in
-    {
-      x;
-      iterations = !iter;
-      converged = !rel <= rtol;
-      relative_residual = true_rel;
-    }
+    let converged = !rel <= rtol in
+    let status =
+      if converged then Converged
+      else if !timed_out then Timed_out { iteration = !iter }
+      else Max_iter
+    in
+    { x; iterations = !iter; status; converged; relative_residual = true_rel }
   end

@@ -8,14 +8,27 @@
 
     The preconditioner must be SPD (same requirement as PCG). *)
 
+type status =
+  | Converged
+  | Max_iter
+  | Timed_out of { iteration : int }
+      (** the caller's [deadline] passed before convergence; [x] holds the
+          best iterate so far *)
+
+val status_to_string : status -> string
+
 type result = {
   x : float array;
   iterations : int;
+  status : status;
   converged : bool;
   relative_residual : float;
       (** estimated preconditioned residual at exit, relative *)
 }
 
 val solve :
-  ?rtol:float -> ?max_iter:int -> a:Sparse.Csc.t -> b:float array ->
-  precond:Precond.t -> unit -> result
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> a:Sparse.Csc.t ->
+  b:float array -> precond:Precond.t -> unit -> result
+(** [deadline] is an absolute wall-clock instant (same clock as
+    {!Obs.now}), checked once per iteration — cooperative cancellation
+    matching {!Pcg.solve}. *)

@@ -7,10 +7,13 @@ type status =
   | Max_iter
   | Breakdown of breakdown_reason
   | Stagnated of { iteration : int; best_residual : float }
+  | Timed_out of { iteration : int }
 
 let status_to_string = function
   | Converged -> "converged"
   | Max_iter -> "max-iter"
+  | Timed_out { iteration } ->
+    Printf.sprintf "timed-out at iteration %d (deadline reached)" iteration
   | Breakdown (Indefinite { iteration; curvature }) ->
     Printf.sprintf "breakdown: indefinite operator (p'Ap = %g at iteration %d)"
       curvature iteration
@@ -120,7 +123,7 @@ let condition_from_coefficients alphas betas =
    the solution — result.x is physically [x]. All n-vectors come from
    [ws]; with [history] and [condition] off the loop performs no
    allocation proportional to n or to the iteration count. *)
-let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
+let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?deadline
     ~history:want_history ~condition:want_condition ~warm_start
     ~(ws : Workspace.t) ~x ~apply_a ~b ~(precond : Precond.t) () =
   let n = ws.Workspace.n in
@@ -215,12 +218,25 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
     let since_best = ref 0 in
     let rel0 = !rel in
     if trc then Obs.trace_counter "residual" !rel;
+    (* Cooperative cancellation: one clock read per iteration, only when a
+       deadline was requested. Checked before the operator application so
+       an expired budget never pays another SpMV + triangular solve. *)
+    let past_deadline =
+      match deadline with
+      | None -> fun () -> false
+      | Some d -> fun () -> Obs.now () > d
+    in
     if !rel <= rtol then status := Some Converged
     else if not (Float.is_finite !rel) then
       (* NaN/Inf in b, x0, or A: no amount of iterating recovers *)
-      status := Some (Breakdown (Nonfinite { iteration = 0 }));
+      status := Some (Breakdown (Nonfinite { iteration = 0 }))
+    else if past_deadline () then
+      status := Some (Timed_out { iteration = 0 });
     while !status = None && !iter < max_iter do
       let it0 = if obs then Obs.now () else 0.0 in
+      if past_deadline () then
+        status := Some (Timed_out { iteration = !iter })
+      else begin
       apply_op p q;
       let pq = Sparse.Vec.dot p q in
       (if not (Float.is_finite pq) then
@@ -272,6 +288,7 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
          | None -> ());
         if trc then Obs.trace_counter "residual" !rel
       end
+      end
     done;
     let status = match !status with Some s -> s | None -> Max_iter in
     flush_obs !iter rel0 !rel;
@@ -294,8 +311,8 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200)
     }
   end
 
-let solve_operator ?rtol ?max_iter ?stall_window ?x0 ?(history = true)
-    ?(condition = true) ~n ~apply_a ~b ~precond () =
+let solve_operator ?rtol ?max_iter ?stall_window ?deadline ?x0
+    ?(history = true) ?(condition = true) ~n ~apply_a ~b ~precond () =
   let ws = Workspace.create n in
   let x, warm_start =
     match x0 with
@@ -307,26 +324,26 @@ let solve_operator ?rtol ?max_iter ?stall_window ?x0 ?(history = true)
       (Array.copy v, true)
     | None -> (Array.make n 0.0, false)
   in
-  solve_ws ?rtol ?max_iter ?stall_window ~history ~condition ~warm_start ~ws
-    ~x ~apply_a ~b ~precond ()
+  solve_ws ?rtol ?max_iter ?stall_window ?deadline ~history ~condition
+    ~warm_start ~ws ~x ~apply_a ~b ~precond ()
 
-let solve ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~a ~b ~precond
-    () =
+let solve ?rtol ?max_iter ?stall_window ?deadline ?x0 ?history ?condition ~a
+    ~b ~precond () =
   let n = Array.length b in
   (* Gather form: every caller hands a symmetric (SDDM/SPD) matrix, and
      the gather kernel is the one that parallelizes race-free. *)
   let apply_a x y = Sparse.Csc.spmv_sym_into a x y in
-  solve_operator ?rtol ?max_iter ?stall_window ?x0 ?history ?condition ~n
-    ~apply_a ~b ~precond ()
+  solve_operator ?rtol ?max_iter ?stall_window ?deadline ?x0 ?history
+    ?condition ~n ~apply_a ~b ~precond ()
 
-let solve_operator_into ?rtol ?max_iter ?stall_window ?(history = false)
-    ?(condition = false) ?(warm_start = true) ~workspace ~x ~apply_a ~b
-    ~precond () =
-  solve_ws ?rtol ?max_iter ?stall_window ~history ~condition ~warm_start
-    ~ws:workspace ~x ~apply_a ~b ~precond ()
+let solve_operator_into ?rtol ?max_iter ?stall_window ?deadline
+    ?(history = false) ?(condition = false) ?(warm_start = true) ~workspace
+    ~x ~apply_a ~b ~precond () =
+  solve_ws ?rtol ?max_iter ?stall_window ?deadline ~history ~condition
+    ~warm_start ~ws:workspace ~x ~apply_a ~b ~precond ()
 
-let solve_into ?rtol ?max_iter ?stall_window ?history ?condition ?warm_start
-    ~workspace ~x ~a ~b ~precond () =
+let solve_into ?rtol ?max_iter ?stall_window ?deadline ?history ?condition
+    ?warm_start ~workspace ~x ~a ~b ~precond () =
   let apply_a v y = Sparse.Csc.spmv_sym_into a v y in
-  solve_operator_into ?rtol ?max_iter ?stall_window ?history ?condition
-    ?warm_start ~workspace ~x ~apply_a ~b ~precond ()
+  solve_operator_into ?rtol ?max_iter ?stall_window ?deadline ?history
+    ?condition ?warm_start ~workspace ~x ~apply_a ~b ~precond ()

@@ -40,6 +40,10 @@ type status =
   | Stagnated of { iteration : int; best_residual : float }
       (** no residual improvement for [stall_window] consecutive
           iterations; continuing is pointless *)
+  | Timed_out of { iteration : int }
+      (** the caller's [deadline] passed before convergence; [x] holds the
+          best iterate so far — cooperative cancellation for servers and
+          budgeted fallback chains *)
 
 val status_to_string : status -> string
 val pp_status : Format.formatter -> status -> unit
@@ -79,28 +83,32 @@ module Workspace : sig
 end
 
 val solve :
-  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
-  ?history:bool -> ?condition:bool ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
+  ?x0:float array -> ?history:bool -> ?condition:bool ->
   a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
 (** [solve ~a ~b ~precond ()] runs PCG with a private, freshly allocated
     workspace. [rtol] defaults to [1e-6] (the paper's setting), [max_iter]
     to [500] (the paper's divergence cutoff), [stall_window] to [200]
     (iterations without a new best residual before declaring
-    {!Stagnated}), [x0] to the zero vector. [history] and [condition]
-    default to [true] here (one-shot solves want the full diagnostics);
-    pass [false] to skip the O(iterations) residual history and the
-    Lanczos coefficient lists. If [b] is zero the zero solution is
+    {!Stagnated}), [x0] to the zero vector. [deadline] is an {e absolute}
+    wall-clock instant (same clock as {!Obs.now}); it is checked once per
+    iteration, before the operator application, and an expired budget
+    exits with {!Timed_out} carrying the true iteration count — the hook
+    through which servers cancel runaway solves cooperatively. [history]
+    and [condition] default to [true] here (one-shot solves want the full
+    diagnostics); pass [false] to skip the O(iterations) residual history
+    and the Lanczos coefficient lists. If [b] is zero the zero solution is
     returned immediately. *)
 
 val solve_operator :
-  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?x0:float array ->
-  ?history:bool -> ?condition:bool ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
+  ?x0:float array -> ?history:bool -> ?condition:bool ->
   n:int -> apply_a:(float array -> float array -> unit) ->
   b:float array -> precond:Precond.t -> unit -> result
 (** Matrix-free variant of {!solve}: [apply_a x y] computes [y <- A x]. *)
 
 val solve_into :
-  ?rtol:float -> ?max_iter:int -> ?stall_window:int ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
   ?history:bool -> ?condition:bool -> ?warm_start:bool ->
   workspace:Workspace.t -> x:float array ->
   a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
@@ -111,11 +119,12 @@ val solve_into :
     [~warm_start:false] [x] is zeroed first and the initial residual
     computation skips one operator application. [history] and [condition]
     default to [false]: the march allocates nothing proportional to n or
-    to the iteration count. Raises [Invalid_argument] when [b], [x] and
-    the workspace dimensions disagree. *)
+    to the iteration count. [deadline] behaves as in {!solve}. Raises
+    [Invalid_argument] when [b], [x] and the workspace dimensions
+    disagree. *)
 
 val solve_operator_into :
-  ?rtol:float -> ?max_iter:int -> ?stall_window:int ->
+  ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
   ?history:bool -> ?condition:bool -> ?warm_start:bool ->
   workspace:Workspace.t -> x:float array ->
   apply_a:(float array -> float array -> unit) ->

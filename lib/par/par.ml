@@ -15,13 +15,36 @@ let hardware_domains = Par_backend.hardware_domains
 
 let max_domains = 128
 
+let domains_of_string s =
+  let s = String.trim s in
+  if s = "" then Error "domain count is empty; expected a positive integer"
+  else
+    match int_of_string_opt s with
+    | None ->
+      Error
+        (Printf.sprintf
+           "invalid domain count %S: expected a positive integer (e.g. 4)" s)
+    | Some v when v < 1 ->
+      Error
+        (Printf.sprintf
+           "invalid domain count %d: must be >= 1 (1 = sequential)" v)
+    | Some v when v > max_domains ->
+      Error
+        (Printf.sprintf "domain count %d exceeds the maximum of %d" v
+           max_domains)
+    | Some v -> Ok v
+
 let recommended_domains () =
   match Sys.getenv_opt "POWERRCHOL_DOMAINS" with
   | None -> 1
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some v when v >= 1 -> min v max_domains
-    | Some _ | None -> 1)
+    match domains_of_string s with
+    | Ok v -> v
+    | Error reason ->
+      (* a misspelled environment variable must not silently run the
+         sequential solver as if nothing happened *)
+      Printf.eprintf "warning: POWERRCHOL_DOMAINS ignored: %s\n%!" reason;
+      1)
 
 let create ?domains () =
   let d = match domains with Some d -> d | None -> recommended_domains () in

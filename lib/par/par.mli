@@ -29,11 +29,20 @@ val hardware_domains : unit -> int
 (** [Domain.recommended_domain_count ()] on the domains backend; [1] on
     the sequential fallback. *)
 
+val domains_of_string : string -> (int, string) result
+(** Validate a user-supplied domain count (CLI flag or environment
+    variable): trimmed, must parse as an integer in [1 .. 128]. The
+    [Error] carries an actionable message naming the offending value —
+    shared by every entry point so a typo'd [--domains] and a typo'd
+    [POWERRCHOL_DOMAINS] fail with the same words. *)
+
 val recommended_domains : unit -> int
 (** Domain count for pools created without an explicit [~domains]: the
-    [POWERRCHOL_DOMAINS] environment variable when set to a positive
-    integer (clamped to 128), otherwise [1] — parallelism is opt-in so a
-    default build stays bit-identical to the sequential code. *)
+    [POWERRCHOL_DOMAINS] environment variable when it passes
+    {!domains_of_string}, otherwise [1] — parallelism is opt-in so a
+    default build stays bit-identical to the sequential code. A set but
+    invalid variable is ignored {e with a warning on stderr}, never
+    silently. *)
 
 val create : ?domains:int -> unit -> pool
 (** [create ()] builds a pool of [recommended_domains ()] (or [~domains])

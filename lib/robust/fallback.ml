@@ -13,6 +13,7 @@ type failure =
   | Breakdown of string
   | Unverified of { residual : float; note : string }
   | Crashed of string
+  | Timed_out of string
 
 type attempt = {
   rung : string;
@@ -33,6 +34,7 @@ let failure_to_string = function
   | Unverified { residual; note } ->
     Printf.sprintf "unverified: true residual %.6e (%s)" residual note
   | Crashed msg -> "crashed: " ^ msg
+  | Timed_out detail -> "timed-out: " ^ detail
 
 let succeeded o = o.winner <> None
 
@@ -42,7 +44,12 @@ let succeeded o = o.winner <> None
    any exception a rung leaks are converted into structured trace entries
    and the next rung is tried. Deterministic: no timing, no wall-clock state
    enters the trace. *)
-let run ?(rtol = 1e-6) ~rungs problem =
+let run ?(rtol = 1e-6) ?deadline ~rungs problem =
+  let past_deadline =
+    match deadline with
+    | None -> fun () -> false
+    | Some d -> fun () -> Obs.now () > d
+  in
   let classify_exn = function
     | Factor.Rand_chol.Breakdown { column; pivot } ->
       Breakdown
@@ -70,6 +77,27 @@ let run ?(rtol = 1e-6) ~rungs problem =
         residual = Float.infinity;
         note = "all rungs exhausted";
         attempts = List.rev attempts;
+      }
+    | rung :: rest when past_deadline () ->
+      (* the budget is gone: record every remaining rung as not-attempted
+         and stop escalating — the chain can no longer spin past any
+         deadline its caller set *)
+      let skipped =
+        List.rev_map
+          (fun r ->
+            {
+              rung = r.name;
+              failure = Timed_out "deadline expired before attempt";
+            })
+          (rung :: rest)
+      in
+      {
+        x = None;
+        winner = None;
+        iterations = 0;
+        residual = Float.infinity;
+        note = "deadline expired";
+        attempts = List.rev_append attempts (List.rev skipped);
       }
     | rung :: rest -> (
       match rung.solve problem with

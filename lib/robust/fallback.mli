@@ -26,6 +26,9 @@ type failure =
   | Unverified of { residual : float; note : string }
       (** the rung returned, but its true residual misses [rtol] *)
   | Crashed of string  (** leaked [Failure] / [Invalid_argument] *)
+  | Timed_out of string
+      (** the caller's [deadline] expired before this rung was attempted
+          (or the rung itself reported a timed-out iteration) *)
 
 type attempt = { rung : string; failure : failure }
 
@@ -38,8 +41,17 @@ type outcome = {
   attempts : attempt list;  (** failed rungs, in attempt order *)
 }
 
-val run : ?rtol:float -> rungs:rung list -> Sddm.Problem.t -> outcome
-(** [rtol] defaults to 1e-6. Unknown exceptions (Out_of_memory, ...) are
+val run :
+  ?rtol:float -> ?deadline:float -> rungs:rung list -> Sddm.Problem.t ->
+  outcome
+(** [rtol] defaults to 1e-6. [deadline] is an {e absolute} wall-clock
+    instant (same clock as {!Obs.now}); it is checked before each rung, and
+    once expired the remaining rungs are recorded as {!Timed_out} attempts
+    instead of being run — a bounded chain can no longer spin past the
+    budget its caller set. Rungs should additionally propagate the same
+    deadline into their own iteration loops (see [Pcg.solve ?deadline]) so
+    a single rung cannot overshoot either. Without [deadline] the engine is
+    fully deterministic. Unknown exceptions (Out_of_memory, ...) are
     re-raised, not swallowed. *)
 
 val succeeded : outcome -> bool

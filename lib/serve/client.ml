@@ -1,0 +1,101 @@
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_retry =
+  { attempts = 4; base_delay = 0.05; max_delay = 2.0; jitter = 0.5 }
+
+let no_retry = { attempts = 1; base_delay = 0.0; max_delay = 0.0; jitter = 0.0 }
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect addr =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match addr with
+  | Proto.Unix_sock path -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Ok fd
+    with Unix.Unix_error (e, _, _) ->
+      close fd;
+      Error (Printf.sprintf "unix:%s: %s" path (Unix.error_message e)))
+  | Proto.Tcp (host, port) -> (
+    match
+      try Ok (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        try Ok (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Error (Printf.sprintf "unknown host %S" host))
+    with
+    | Error _ as e -> e
+    | Ok ip -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (ip, port));
+        Ok fd
+      with Unix.Unix_error (e, _, _) ->
+        close fd;
+        Error
+          (Printf.sprintf "tcp:%s:%d: %s" host port (Unix.error_message e))))
+
+let request ?(io_timeout = 30.0) ?max_frame fd req =
+  match
+    Proto.write_frame
+      ~deadline:(Obs.now () +. io_timeout)
+      fd
+      (Proto.request_to_string req)
+  with
+  | Error e -> Error ("write: " ^ Proto.io_error_to_string e)
+  | Ok () -> (
+    match Proto.read_frame ~deadline:(Obs.now () +. io_timeout) ?max_frame fd with
+    | Error e -> Error ("read: " ^ Proto.io_error_to_string e)
+    | Ok payload -> (
+      match Proto.response_of_string payload with
+      | Error reason -> Error ("decode: " ^ reason)
+      | Ok resp -> Ok resp))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let retryable = function
+  | Proto.Rejected { reason } ->
+    has_prefix ~prefix:"overloaded" reason
+    || has_prefix ~prefix:"shutting-down" reason
+  | _ -> false
+
+let backoff_delay retry rng attempt =
+  (* attempt >= 1: delay before the attempt'th retry *)
+  let base =
+    Float.min retry.max_delay
+      (retry.base_delay *. (2.0 ** float_of_int (attempt - 1)))
+  in
+  let factor = 1.0 +. (retry.jitter *. (Rng.float rng -. 0.5)) in
+  Float.max 0.0 (base *. factor)
+
+let call ?(retry = default_retry) ?(seed = 42) ?io_timeout ?max_frame addr req
+    =
+  let rng = Rng.create seed in
+  let attempts = max 1 retry.attempts in
+  (* a typed shedding response that persists through every attempt is
+     returned as-is (the caller can inspect the reason); only transport
+     failures surface as [Error] *)
+  let rec go attempt last =
+    if attempt >= attempts then last
+    else begin
+      if attempt > 0 then Thread.delay (backoff_delay retry rng attempt);
+      match connect addr with
+      | Error e -> go (attempt + 1) (Error ("connect: " ^ e))
+      | Ok fd -> (
+        let r = request ?io_timeout ?max_frame fd req in
+        close fd;
+        match r with
+        | Ok resp when retryable resp -> go (attempt + 1) (Ok resp)
+        | Ok resp -> Ok resp
+        | Error e -> go (attempt + 1) (Error e))
+    end
+  in
+  go 0 (Error "no attempts made")

@@ -1,0 +1,52 @@
+(** Client side of the pgserve protocol: connect, one-shot calls, and
+    retry with exponential backoff + deterministic jitter.
+
+    The retry policy only re-tries outcomes where a retry can help and is
+    safe: connection failures, socket-level I/O errors, and typed
+    [Rejected "overloaded: ..."] / [Rejected "shutting-down: ..."] load
+    shedding. Bad requests, solver failures, and deadline expiries are
+    returned as-is — retrying them would waste server capacity (and a
+    timed-out request has already spent its budget). *)
+
+type retry = {
+  attempts : int;  (** total tries, including the first; >= 1 *)
+  base_delay : float;  (** backoff base in seconds (doubles per retry) *)
+  max_delay : float;  (** backoff cap in seconds *)
+  jitter : float;
+      (** fractional jitter in [0..1]: each delay is scaled by a
+          deterministic uniform factor in [1 - j/2, 1 + j/2] drawn from
+          the splittable {!Rng}, so retry storms from many clients
+          de-synchronize while tests stay reproducible by seed *)
+}
+
+val default_retry : retry
+(** 4 attempts, 50 ms base, 2 s cap, 0.5 jitter. *)
+
+val no_retry : retry
+(** Single attempt. *)
+
+val connect : Proto.addr -> (Unix.file_descr, string) result
+(** Open a connection (blocking connect; both transports are local/fast
+    in this codebase). The returned descriptor is owned by the caller. *)
+
+val close : Unix.file_descr -> unit
+(** Close, ignoring errors. *)
+
+val request :
+  ?io_timeout:float -> ?max_frame:int -> Unix.file_descr -> Proto.request ->
+  (Proto.response, string) result
+(** One request/response round trip on an open connection. [io_timeout]
+    (default 30 s) bounds each frame write and read separately; every
+    failure (torn frame, stall, close) comes back as [Error reason]. *)
+
+val retryable : Proto.response -> bool
+(** Whether {!call} would retry this response (overload/drain shedding). *)
+
+val call :
+  ?retry:retry -> ?seed:int -> ?io_timeout:float -> ?max_frame:int ->
+  Proto.addr -> Proto.request -> (Proto.response, string) result
+(** Connect, send, receive, close — with the retry policy applied. A typed
+    shedding response that persists through every attempt is returned
+    as-is ([Ok (Rejected _)]) so callers can inspect the reason; the
+    [Error] case carries the last {e transport} failure. [seed]
+    (default 42) makes the jitter sequence deterministic. *)

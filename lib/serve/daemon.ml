@@ -1,0 +1,609 @@
+type config = {
+  addr : Proto.addr;
+  queue_capacity : int;
+  max_connections : int;
+  idle_timeout : float;
+  io_timeout : float;
+  max_frame : int;
+  artificial_delay : float;
+  allow_shutdown : bool;
+  rtol_cap : float;
+  max_iter : int;
+  scale_cap : float;
+}
+
+let default_config addr =
+  {
+    addr;
+    queue_capacity = 32;
+    max_connections = 64;
+    idle_timeout = 30.0;
+    io_timeout = 10.0;
+    max_frame = Proto.default_max_frame;
+    artificial_delay = 0.0;
+    allow_shutdown = false;
+    rtol_cap = 1e-14;
+    max_iter = 500;
+    scale_cap = 1.0;
+  }
+
+type stats = {
+  mutable accepted_conns : int;
+  mutable rejected_conns : int;
+  mutable requests : int;
+  mutable solved : int;
+  mutable unconverged : int;
+  mutable diagnosed : int;
+  mutable failed : int;
+  mutable timed_out : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable bad_request : int;
+  mutable io_errors : int;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;  (* guards stats, counters, histograms below *)
+  solve_lock : Mutex.t;
+      (* the single solve lane: the Engine cache and solver internals are
+         not thread-safe, so admitted jobs run one at a time (intra-solve
+         parallelism comes from the Par pool) *)
+  stats : stats;
+  latency : Obs.Hist.t;  (* service seconds per admitted request *)
+  queue_wait : Obs.Hist.t;  (* seconds spent waiting for the solve lane *)
+  started : float;
+  mutable stop_flag : bool;
+  mutable active_conns : int;
+  mutable inflight : int;  (* admitted-but-unfinished solve/diagnose jobs *)
+  mutable accept_thread : Thread.t option;
+}
+
+let addr t = t.config.addr
+let stopping t = t.stop_flag
+let request_stop t = t.stop_flag <- true
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let bump t f = locked t (fun () -> f t.stats)
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- problem construction ---- *)
+
+let build_problem = function
+  | Proto.Case { id; scale } -> (
+    match Powergrid.Suite.find ~scale id with
+    | c -> Ok (c.Powergrid.Suite.build ())
+    | exception Not_found -> Error (Printf.sprintf "unknown suite case %S" id)
+    )
+  | Proto.Mtx { path } -> (
+    try
+      let a = Sparse.Matrix_market.read path in
+      let n, _ = Sparse.Csc.dims a in
+      let rng = Rng.create 1 in
+      let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+      Ok (Sddm.Problem.of_matrix ~name:(Filename.basename path) ~a ~b)
+    with
+    | Sys_error msg
+    | Sparse.Matrix_market.Parse_error msg
+    | Failure msg
+    | Invalid_argument msg ->
+      Error msg)
+
+let solver_of_tag ~seed = function
+  | Proto.Powerrchol -> Powerrchol.Solver.powerrchol ~seed ()
+  | Proto.Rchol -> Powerrchol.Solver.rchol ~seed ()
+  | Proto.Lt_rchol -> Powerrchol.Solver.lt_rchol ~seed ()
+  | Proto.Fegrass -> Powerrchol.Solver.fegrass ()
+  | Proto.Fegrass_ichol -> Powerrchol.Solver.fegrass_ichol ()
+  | Proto.Amg -> Powerrchol.Solver.amg_pcg ()
+  | Proto.Direct -> Powerrchol.Solver.direct ()
+
+(* All preparations go through the Engine cache; the config string carries
+   the seed, the one parameter baked into the solver closures that their
+   names do not encode. *)
+let prepare_cached ~tag ~seed problem =
+  match tag with
+  | Proto.Powerrchol -> Powerrchol.Engine.powerrchol ~seed problem
+  | tag ->
+    Powerrchol.Engine.prepare
+      ~config:(Printf.sprintf "seed=%d" seed)
+      (solver_of_tag ~seed tag) problem
+
+(* ---- request execution (already admitted, holding the solve lane) ---- *)
+
+let elapsed_ms t_recv = (Obs.now () -. t_recv) *. 1000.0
+
+let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
+  match build_problem spec with
+  | Error reason -> Proto.Failed { reason }
+  | Ok problem ->
+    if robust then begin
+      let r = Powerrchol.Solver.solve_robust ~rtol ~seed ?deadline problem in
+      match r.Powerrchol.Solver.outcome with
+      | Powerrchol.Solver.Robust_solved
+          { x; winner; iterations; residual; attempts } ->
+        Proto.Solved
+          {
+            solver = winner;
+            iterations;
+            residual;
+            status =
+              (if attempts = [] then "converged"
+               else
+                 Printf.sprintf "converged after %d failed rungs"
+                   (List.length attempts));
+            converged = true;
+            t_solve_ms = elapsed_ms t_recv;
+            cache_hit = false;
+            x = (if want_x then Some x else None);
+          }
+      | Powerrchol.Solver.Robust_rejected { reasons } ->
+        Proto.Failed
+          { reason = "fatal diagnostics: " ^ String.concat "; " reasons }
+      | Powerrchol.Solver.Robust_exhausted { attempts } ->
+        let timed_out =
+          List.exists
+            (fun (a : Robust.Fallback.attempt) ->
+              match a.Robust.Fallback.failure with
+              | Robust.Fallback.Timed_out _ -> true
+              | _ -> false)
+            attempts
+          ||
+          match deadline with
+          | Some d -> Obs.now () > d
+          | None -> false
+        in
+        if timed_out then Proto.Timed_out { elapsed_ms = elapsed_ms t_recv }
+        else
+          Proto.Failed
+            {
+              reason =
+                Printf.sprintf "all %d rungs exhausted"
+                  (List.length attempts);
+            }
+    end
+    else begin
+      let hits0 = Powerrchol.Engine.hits () in
+      let p = prepare_cached ~tag ~seed problem in
+      let cache_hit = Powerrchol.Engine.hits () > hits0 in
+      let r =
+        Powerrchol.Solver.solve_prepared ~rtol ~max_iter:t.config.max_iter
+          ?deadline p
+      in
+      match r.Powerrchol.Solver.status with
+      | Krylov.Pcg.Timed_out _ ->
+        Proto.Timed_out { elapsed_ms = elapsed_ms t_recv }
+      | status ->
+        Proto.Solved
+          {
+            solver = r.Powerrchol.Solver.solver;
+            iterations = r.Powerrchol.Solver.iterations;
+            residual = r.Powerrchol.Solver.residual;
+            status = Krylov.Pcg.status_to_string status;
+            converged = r.Powerrchol.Solver.converged;
+            t_solve_ms = elapsed_ms t_recv;
+            cache_hit;
+            x = (if want_x then Some r.Powerrchol.Solver.x else None);
+          }
+    end
+
+let exec_diagnose spec =
+  let report =
+    match spec with
+    | Proto.Case _ -> (
+      match build_problem spec with
+      | Error reason -> Error reason
+      | Ok problem -> Ok (Robust.Diagnose.of_problem problem))
+    | Proto.Mtx { path } -> (
+      (* raw read: diagnosis must see the matrix BEFORE SDDM validation
+         would reject it *)
+      try
+        let a = Sparse.Matrix_market.read path in
+        let n, _ = Sparse.Csc.dims a in
+        let rng = Rng.create 1 in
+        let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+        Ok (Robust.Diagnose.run ~a ~b)
+      with
+      | Sys_error msg
+      | Sparse.Matrix_market.Parse_error msg
+      | Failure msg
+      | Invalid_argument msg ->
+        Error msg)
+  in
+  match report with
+  | Error reason -> Proto.Failed { reason }
+  | Ok report ->
+    Proto.Diagnosed
+      {
+        fatal = Robust.Diagnose.has_fatal report;
+        issues =
+          List.map Robust.Diagnose.issue_to_string
+            report.Robust.Diagnose.issues;
+      }
+
+(* ---- admission control ---- *)
+
+(* Admit a job into the bounded backlog, wait for the solve lane, re-check
+   the deadline (time spent queued counts against the budget), and run.
+   Any exception the job leaks becomes a typed [Failed] response — the
+   worker lane survives every request. *)
+let run_admitted t ~t_recv ~deadline f =
+  let admit =
+    locked t (fun () ->
+        if t.stop_flag then `Stopping
+        else if t.inflight >= t.config.queue_capacity then `Full
+        else begin
+          t.inflight <- t.inflight + 1;
+          `Admitted
+        end)
+  in
+  match admit with
+  | `Stopping ->
+    bump t (fun s -> s.rejected <- s.rejected + 1);
+    Proto.Rejected { reason = "shutting-down: daemon is draining" }
+  | `Full ->
+    bump t (fun s -> s.shed <- s.shed + 1);
+    Proto.Rejected
+      {
+        reason =
+          Printf.sprintf "overloaded: queue full (capacity %d)"
+            t.config.queue_capacity;
+      }
+  | `Admitted ->
+    Fun.protect
+      ~finally:(fun () -> locked t (fun () -> t.inflight <- t.inflight - 1))
+      (fun () ->
+        Mutex.lock t.solve_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.solve_lock)
+          (fun () ->
+            locked t (fun () ->
+                Obs.Hist.add t.queue_wait (Obs.now () -. t_recv));
+            match deadline with
+            | Some d when Obs.now () > d ->
+              Proto.Timed_out { elapsed_ms = elapsed_ms t_recv }
+            | _ -> (
+              if t.config.artificial_delay > 0.0 then
+                Thread.delay t.config.artificial_delay;
+              try f () with
+              | (Out_of_memory | Stack_overflow) as exn -> raise exn
+              | exn -> Proto.Failed { reason = Printexc.to_string exn })))
+
+(* ---- metrics ---- *)
+
+let metrics t =
+  let open Obs.Json in
+  let lat, qw, snapshot =
+    locked t (fun () ->
+        let s = t.stats in
+        ( Obs.Hist.copy t.latency,
+          Obs.Hist.copy t.queue_wait,
+          ( (s.accepted_conns, s.rejected_conns, t.active_conns),
+            ( s.requests,
+              s.solved,
+              s.unconverged,
+              s.diagnosed,
+              s.failed,
+              s.timed_out ),
+            (s.shed, s.rejected, s.bad_request, s.io_errors),
+            t.inflight ) ))
+  in
+  let ( (accepted_conns, rejected_conns, active_conns),
+        (requests, solved, unconverged, diagnosed, failed, timed_out),
+        (shed, rejected, bad_request, io_errors),
+        inflight ) =
+    snapshot
+  in
+  let hits = Powerrchol.Engine.hits () in
+  let misses = Powerrchol.Engine.misses () in
+  Obj
+    [
+      ("schema", Str "pgserve-metrics/v1");
+      ("uptime_s", Float (Obs.now () -. t.started));
+      ( "connections",
+        Obj
+          [
+            ("accepted", Int accepted_conns);
+            ("active", Int active_conns);
+            ("rejected", Int rejected_conns);
+          ] );
+      ( "requests",
+        Obj
+          [
+            ("total", Int requests);
+            ("solved", Int solved);
+            ("unconverged", Int unconverged);
+            ("diagnosed", Int diagnosed);
+            ("failed", Int failed);
+            ("timed_out", Int timed_out);
+            ("shed", Int shed);
+            ("rejected", Int rejected);
+            ("bad_request", Int bad_request);
+            ("io_errors", Int io_errors);
+          ] );
+      ( "queue",
+        Obj
+          [
+            ("capacity", Int t.config.queue_capacity);
+            ("inflight", Int inflight);
+          ] );
+      ( "engine",
+        Obj
+          [
+            ("hits", Int hits);
+            ("misses", Int misses);
+            ( "hit_rate",
+              Float
+                (if hits + misses = 0 then 0.0
+                 else float_of_int hits /. float_of_int (hits + misses)) );
+          ] );
+      ("latency_s", Obs.Hist.to_json lat);
+      ("queue_wait_s", Obs.Hist.to_json qw);
+    ]
+
+(* ---- per-connection protocol loop ---- *)
+
+let record_latency t t_recv =
+  locked t (fun () -> Obs.Hist.add t.latency (Obs.now () -. t_recv))
+
+let count_outcome t = function
+  | Proto.Solved { converged; _ } ->
+    bump t (fun s ->
+        s.solved <- s.solved + 1;
+        if not converged then s.unconverged <- s.unconverged + 1)
+  | Proto.Diagnosed _ -> bump t (fun s -> s.diagnosed <- s.diagnosed + 1)
+  | Proto.Failed _ -> bump t (fun s -> s.failed <- s.failed + 1)
+  | Proto.Timed_out _ -> bump t (fun s -> s.timed_out <- s.timed_out + 1)
+  | Proto.Health_report _ | Proto.Pong | Proto.Bye | Proto.Rejected _ -> ()
+
+(* Returns (response, close_connection_after_reply). *)
+let dispatch t ~t_recv req =
+  bump t (fun s -> s.requests <- s.requests + 1);
+  match req with
+  | Proto.Ping -> (Proto.Pong, false)
+  | Proto.Health -> (Proto.Health_report (metrics t), false)
+  | Proto.Shutdown ->
+    if t.config.allow_shutdown then begin
+      request_stop t;
+      (Proto.Bye, true)
+    end
+    else begin
+      bump t (fun s -> s.rejected <- s.rejected + 1);
+      (Proto.Rejected { reason = "shutdown disabled on this daemon" }, false)
+    end
+  | Proto.Diagnose { spec } ->
+    let resp = run_admitted t ~t_recv ~deadline:None (fun () ->
+        exec_diagnose spec)
+    in
+    count_outcome t resp;
+    record_latency t t_recv;
+    (resp, false)
+  | Proto.Solve { spec; solver = tag; rtol; seed; deadline_ms; robust; want_x }
+    ->
+    let scale_ok =
+      match spec with
+      | Proto.Case { scale; _ } -> scale <= t.config.scale_cap
+      | Proto.Mtx _ -> true
+    in
+    if not scale_ok then begin
+      bump t (fun s -> s.rejected <- s.rejected + 1);
+      ( Proto.Rejected
+          {
+            reason =
+              Printf.sprintf "bad-request: scale exceeds this daemon's cap %g"
+                t.config.scale_cap;
+          },
+        false )
+    end
+    else begin
+      let rtol = Float.max rtol t.config.rtol_cap in
+      let deadline = Option.map (fun ms -> t_recv +. (ms /. 1000.0)) deadline_ms in
+      let resp =
+        run_admitted t ~t_recv ~deadline (fun () ->
+            exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust
+              ~want_x)
+      in
+      count_outcome t resp;
+      record_latency t t_recv;
+      (resp, false)
+    end
+
+(* Poll for readability in short slices so a draining daemon closes idle
+   connections within a tick instead of sitting out the full idle
+   timeout. Only whole frames are ever read: the frame read starts after
+   readability fires, so no partial bytes are dropped by the slicing. *)
+let wait_readable t fd =
+  let idle_deadline = Obs.now () +. t.config.idle_timeout in
+  let rec poll () =
+    if t.stop_flag then `Stop
+    else if Obs.now () > idle_deadline then `Idle
+    else
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> poll ()
+      | _ -> `Ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
+      | exception Unix.Unix_error _ -> `Stop
+  in
+  poll ()
+
+let send t fd resp =
+  Proto.write_frame
+    ~deadline:(Obs.now () +. t.config.io_timeout)
+    fd
+    (Proto.response_to_string resp)
+
+let handle_conn t fd =
+  Fun.protect
+    ~finally:(fun () ->
+      close_quiet fd;
+      locked t (fun () -> t.active_conns <- t.active_conns - 1))
+    (fun () ->
+      let continue = ref true in
+      while !continue do
+        match wait_readable t fd with
+        | `Stop | `Idle -> continue := false
+        | `Ready -> (
+          match
+            Proto.read_frame
+              ~deadline:(Obs.now () +. t.config.io_timeout)
+              ~max_frame:t.config.max_frame fd
+          with
+          | Error Proto.Closed -> continue := false
+          | Error (Proto.Oversized _ as e) ->
+            (* nothing was read past the header and nothing allocated;
+               the client gets one explanation, then the connection dies
+               (framing cannot be resynchronized) *)
+            bump t (fun s -> s.io_errors <- s.io_errors + 1);
+            ignore
+              (send t fd
+                 (Proto.Rejected
+                    { reason = "bad-frame: " ^ Proto.io_error_to_string e }));
+            continue := false
+          | Error _ ->
+            (* truncated / stalled / socket error: peer is gone or
+               hostile; counted, closed, never propagated *)
+            bump t (fun s -> s.io_errors <- s.io_errors + 1);
+            continue := false
+          | Ok payload -> (
+            let t_recv = Obs.now () in
+            let resp, close_after =
+              match Proto.request_of_string payload with
+              | Error reason ->
+                bump t (fun s ->
+                    s.requests <- s.requests + 1;
+                    s.bad_request <- s.bad_request + 1);
+                (Proto.Rejected { reason = "bad-request: " ^ reason }, false)
+              | Ok req -> dispatch t ~t_recv req
+            in
+            match send t fd resp with
+            | Ok () -> if close_after then continue := false
+            | Error _ ->
+              bump t (fun s -> s.io_errors <- s.io_errors + 1);
+              continue := false))
+      done)
+
+(* ---- accept loop & lifecycle ---- *)
+
+let accept_loop t =
+  while not t.stop_flag do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> request_stop t
+    | _ -> (
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        bump t (fun s -> s.accepted_conns <- s.accepted_conns + 1);
+        let admitted =
+          locked t (fun () ->
+              if t.active_conns >= t.config.max_connections then false
+              else begin
+                t.active_conns <- t.active_conns + 1;
+                true
+              end)
+        in
+        if admitted then ignore (Thread.create (fun () -> handle_conn t fd) ())
+        else begin
+          bump t (fun s -> s.rejected_conns <- s.rejected_conns + 1);
+          ignore
+            (Proto.write_frame ~deadline:(Obs.now () +. 1.0) fd
+               (Proto.response_to_string
+                  (Proto.Rejected
+                     { reason = "overloaded: connection limit reached" })));
+          close_quiet fd
+        end)
+  done;
+  close_quiet t.listen_fd
+
+let bind_listen = function
+  | Proto.Unix_sock path -> (
+    try
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Ok fd
+    with Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "bind unix:%s: %s" path (Unix.error_message e)))
+  | Proto.Tcp (host, port) -> (
+    try
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (try
+         Unix.bind fd (Unix.ADDR_INET (ip, port));
+         Unix.listen fd 64;
+         Ok fd
+       with Unix.Unix_error (e, _, _) ->
+         close_quiet fd;
+         Error
+           (Printf.sprintf "bind tcp:%s:%d: %s" host port
+              (Unix.error_message e)))
+    with Not_found -> Error (Printf.sprintf "unknown host %S" host))
+
+let start config =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match bind_listen config.addr with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+    let t =
+      {
+        config;
+        listen_fd;
+        lock = Mutex.create ();
+        solve_lock = Mutex.create ();
+        stats =
+          {
+            accepted_conns = 0;
+            rejected_conns = 0;
+            requests = 0;
+            solved = 0;
+            unconverged = 0;
+            diagnosed = 0;
+            failed = 0;
+            timed_out = 0;
+            shed = 0;
+            rejected = 0;
+            bad_request = 0;
+            io_errors = 0;
+          };
+        latency = Obs.Hist.create ();
+        queue_wait = Obs.Hist.create ();
+        started = Obs.now ();
+        stop_flag = false;
+        active_conns = 0;
+        inflight = 0;
+        accept_thread = None;
+      }
+    in
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    Ok t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  let rec drain () =
+    let active = locked t (fun () -> t.active_conns) in
+    if active > 0 then begin
+      Thread.delay 0.05;
+      drain ()
+    end
+  in
+  drain ()
+
+let stop t =
+  request_stop t;
+  wait t;
+  match t.config.addr with
+  | Proto.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Proto.Tcp _ -> ()

@@ -1,0 +1,95 @@
+(** The pgserve daemon core: a fault-tolerant solver server.
+
+    One {!t} multiplexes many concurrent client connections onto the
+    process-wide {!Powerrchol.Engine} preparation cache. The design goal
+    is that {e no client behavior can crash, hang, or wedge the daemon}:
+
+    - {b Framed I/O} uses {!Proto.read_frame} / {!Proto.write_frame}:
+      partial reads, EINTR, torn frames, garbage headers, and oversized
+      payloads all surface as typed errors that close (at worst) one
+      connection.
+    - {b Admission control} bounds the number of admitted-but-unfinished
+      solve jobs by [queue_capacity]; beyond that, requests are shed with
+      a typed [Rejected] response instead of growing an unbounded queue.
+    - {b Deadlines}: a request's [deadline_ms] starts at admission and is
+      propagated into the PCG/fallback iteration loops as cooperative
+      cancellation, so a hard problem cannot hold the solve lane past its
+      budget. Requests that expire while queued are answered [Timed_out]
+      without running at all.
+    - {b Graceful shutdown}: {!request_stop} stops accepting, in-flight
+      requests run to completion, handler threads notice within a poll
+      tick, and {!stop} returns once every connection has drained.
+
+    Solves are serialized through one internal lock (the Engine cache and
+    solver internals are not thread-safe; intra-solve parallelism comes
+    from the {!Par} pool), so [queue_capacity] is the whole backlog bound.
+
+    Every admitted request ends in exactly one typed response; every
+    outcome increments a counter visible in {!metrics}. *)
+
+type config = {
+  addr : Proto.addr;
+  queue_capacity : int;
+      (** admitted-but-unfinished solve/diagnose jobs beyond which new
+          work is shed with [Rejected "overloaded: ..."] *)
+  max_connections : int;
+      (** concurrent client connections; excess connections receive one
+          [Rejected] frame and are closed *)
+  idle_timeout : float;
+      (** seconds a connection may sit without sending a request *)
+  io_timeout : float;
+      (** per-frame read/write budget once bytes start flowing — a
+          stalled peer costs at most this long *)
+  max_frame : int;  (** frame size cap (see {!Proto.default_max_frame}) *)
+  artificial_delay : float;
+      (** test hook: seconds of sleep inserted into every solve job while
+          it holds the solve lane; makes load-shedding and drain behavior
+          reproducible in tests. 0 in production. *)
+  allow_shutdown : bool;
+      (** whether a [Shutdown] request is honored (daemon CLI enables it
+          for the smoke test; a production deployment would not) *)
+  rtol_cap : float;
+      (** lower bound on accepted request tolerances — a hostile
+          [rtol=1e-300] cannot pin the solve lane *)
+  max_iter : int;  (** PCG iteration budget per solve *)
+  scale_cap : float;
+      (** upper bound on accepted suite-case scales — bounds per-request
+          memory and time *)
+}
+
+val default_config : Proto.addr -> config
+(** Capacity 32, 64 connections, 30 s idle, 10 s io, 16 MiB frames, no
+    artificial delay, shutdown disabled, rtol capped at 1e-14, 500
+    iterations, scale capped at 1.0. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Bind, listen, and spawn the accept thread. [Error] (with a readable
+    reason) when the address cannot be bound. SIGPIPE is ignored
+    process-wide — a vanished client must surface as a typed write error,
+    not a signal. *)
+
+val addr : t -> Proto.addr
+
+val request_stop : t -> unit
+(** Begin graceful shutdown: stop accepting, let in-flight requests
+    finish. Idempotent, safe from any thread (including handlers). *)
+
+val stopping : t -> bool
+
+val wait : t -> unit
+(** Block until the server has fully drained (accept thread exited, every
+    connection closed). Polling-based, so it is safe to call from the
+    main thread while handler threads are still finishing. *)
+
+val stop : t -> unit
+(** {!request_stop} then {!wait}, then release the listening socket. *)
+
+val metrics : t -> Obs.Json.t
+(** Snapshot of the daemon's counters: connections
+    (accepted/active/rejected), request outcomes
+    (solved/failed/timed_out/shed/bad_request/io_errors), Engine cache
+    hits/misses, queue occupancy, service-time and queue-wait latency
+    histograms (with derived p50/p95/p99), uptime. Schema
+    [pgserve-metrics/v1]. *)

@@ -51,6 +51,9 @@ let read_channel ic =
     with Scanf.Scan_failure _ | Failure _ ->
       fail "malformed size line %S" size_line
   in
+  if n_rows < 0 || n_cols < 0 || entries < 0 then
+    fail "invalid size line %S: dimensions and entry count must be >= 0"
+      size_line;
   let t = Triplet.create ~capacity:(max entries 1) ~n_rows ~n_cols () in
   for k = 1 to entries do
     match next_data_line () with
@@ -72,6 +75,16 @@ let read_channel ic =
        | General -> Triplet.add t i j v
        | Symmetric -> Triplet.add_symmetric t i j v)
   done;
+  (* a payload longer than the declared count is as corrupt as a short
+     one: a truncated-then-concatenated export would otherwise load
+     silently with the surplus entries dropped *)
+  (match next_data_line () with
+   | None -> ()
+   | Some l ->
+     fail
+       "size line declared %d entries but the file continues (first extra \
+        line: %S) — truncated or corrupted export"
+       entries l);
   Csc.of_triplet t
 
 let read path = In_channel.with_open_text path read_channel
@@ -125,17 +138,27 @@ let read_vectors path =
       if n_rows < 0 || n_cols < 1 then
         fail "invalid dimensions %d x %d" n_rows n_cols;
       (* array format is column-major: column 0 completely, then column 1 *)
-      Array.init n_cols (fun j ->
-          Array.init n_rows (fun k ->
-              match next_data_line () with
-              | None ->
-                fail "expected %d entries, file ended at %d"
-                  (n_rows * n_cols)
-                  ((j * n_rows) + k)
-              | Some l -> (
-                match float_of_string_opt (String.trim l) with
-                | Some v -> v
-                | None -> fail "malformed value %S" l))))
+      let cols =
+        Array.init n_cols (fun j ->
+            Array.init n_rows (fun k ->
+                match next_data_line () with
+                | None ->
+                  fail "expected %d entries, file ended at %d"
+                    (n_rows * n_cols)
+                    ((j * n_rows) + k)
+                | Some l -> (
+                  match float_of_string_opt (String.trim l) with
+                  | Some v -> v
+                  | None -> fail "malformed value %S" l)))
+      in
+      (match next_data_line () with
+       | None -> ()
+       | Some l ->
+         fail
+           "size line declared %d x %d values but the file continues (first \
+            extra line: %S) — truncated or corrupted export"
+           n_rows n_cols l);
+      cols)
 
 let read_vector path =
   match read_vectors path with

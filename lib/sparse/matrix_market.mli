@@ -9,7 +9,10 @@ exception Parse_error of string
 
 val read : string -> Csc.t
 (** [read path] loads an .mtx file. Raises [Parse_error] on malformed input
-    and [Sys_error] on I/O failure. *)
+    and [Sys_error] on I/O failure. The declared entry count is enforced
+    both ways: a file that ends early {e or} continues past its declared
+    nnz (a truncated/concatenated export) raises [Parse_error] with the
+    offending line — it never loads silently with entries dropped. *)
 
 val read_channel : in_channel -> Csc.t
 

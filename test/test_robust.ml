@@ -188,7 +188,8 @@ let test_fallback_classifies_failures () =
           match a.Robust.Fallback.failure with
           | Robust.Fallback.Breakdown _ -> "breakdown"
           | Robust.Fallback.Unverified _ -> "unverified"
-          | Robust.Fallback.Crashed _ -> "crashed" ))
+          | Robust.Fallback.Crashed _ -> "crashed"
+          | Robust.Fallback.Timed_out _ -> "timed-out" ))
       o.Robust.Fallback.attempts
   in
   Alcotest.(check (list (pair string string)))

@@ -1,0 +1,790 @@
+(* Serve-layer tests: protocol codec round trips, framed I/O under torn
+   and hostile byte streams, cooperative deadline cancellation in the
+   iteration loops, input validation (--domains, MatrixMarket nnz), and a
+   live in-process daemon driven through overload, fault injection, and
+   graceful drain. The robustness invariant under test throughout: every
+   request ends in exactly one typed response — never a crash, never a
+   hang. *)
+
+module Csc = Sparse.Csc
+
+(* ---- codec round trips ---- *)
+
+let all_requests =
+  [
+    Proto.Ping;
+    Proto.Health;
+    Proto.Shutdown;
+    Proto.Diagnose { spec = Proto.Case { id = "pg01"; scale = 0.25 } };
+    Proto.Diagnose { spec = Proto.Mtx { path = "/tmp/grid.mtx" } };
+    Proto.solve (Proto.Case { id = "pg03"; scale = 1.0 });
+    Proto.solve ~solver:Proto.Amg ~rtol:1e-8 ~seed:7 ~deadline_ms:250.0
+      ~robust:true ~want_x:true
+      (Proto.Mtx { path = "a b/odd name.mtx" });
+  ]
+
+let all_responses =
+  [
+    Proto.Pong;
+    Proto.Bye;
+    Proto.Rejected { reason = "overloaded: queue full (capacity 4)" };
+    Proto.Timed_out { elapsed_ms = 12.5 };
+    Proto.Failed { reason = "fatal diagnostics: disconnected graph" };
+    Proto.Diagnosed { fatal = false; issues = [] };
+    Proto.Diagnosed { fatal = true; issues = [ "zero pivot"; "nan in rhs" ] };
+    Proto.Health_report
+      (Obs.Json.Obj [ ("schema", Obs.Json.Str "pgserve-metrics/v1") ]);
+    Proto.Solved
+      {
+        solver = "powerrchol";
+        iterations = 17;
+        residual = 3.2e-7;
+        status = "converged";
+        converged = true;
+        t_solve_ms = 4.25;
+        cache_hit = true;
+        x = None;
+      };
+    Proto.Solved
+      {
+        solver = "direct";
+        iterations = 0;
+        residual = 1e-15;
+        status = "direct";
+        converged = true;
+        t_solve_ms = 0.5;
+        cache_hit = false;
+        x = Some [| 1.0; -2.5; 0.0; 3.75e-3 |];
+      };
+  ]
+
+let test_request_round_trip () =
+  List.iter
+    (fun req ->
+      let s = Proto.request_to_string req in
+      match Proto.request_of_string s with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "request survives codec: %s" s)
+          true (req = req')
+      | Error e -> Alcotest.failf "decode failed on %s: %s" s e)
+    all_requests
+
+let test_response_round_trip () =
+  List.iter
+    (fun resp ->
+      let s = Proto.response_to_string resp in
+      match Proto.response_of_string s with
+      | Ok resp' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "response survives codec: %s" s)
+          true (resp = resp')
+      | Error e -> Alcotest.failf "decode failed on %s: %s" s e)
+    all_responses
+
+let test_decode_rejects_garbage () =
+  let bad =
+    [
+      "";
+      "not json";
+      "{}";
+      "{\"op\":\"warp-core\"}";
+      "{\"op\":\"solve\"}";
+      (* missing spec *)
+      "{\"op\":\"solve\",\"case\":\"pg01\",\"scale\":\"big\"}";
+      "[1,2,3]";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Proto.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoder accepted garbage: %S" s)
+    bad
+
+(* ---- framed I/O on a socketpair ---- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+let test_frame_round_trip () =
+  with_socketpair (fun a b ->
+      let payload = Proto.request_to_string Proto.Ping in
+      (match Proto.write_frame a payload with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "write: %s" (Proto.io_error_to_string e));
+      match Proto.read_frame b with
+      | Ok got -> Alcotest.(check string) "frame intact" payload got
+      | Error e -> Alcotest.failf "read: %s" (Proto.io_error_to_string e))
+
+let test_frame_back_to_back () =
+  with_socketpair (fun a b ->
+      let payloads = [ "first"; "second frame"; String.make 4096 'x' ] in
+      List.iter
+        (fun p ->
+          match Proto.write_frame a p with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %s" (Proto.io_error_to_string e))
+        payloads;
+      List.iter
+        (fun p ->
+          match Proto.read_frame b with
+          | Ok got -> Alcotest.(check string) "frames stay separated" p got
+          | Error e -> Alcotest.failf "read: %s" (Proto.io_error_to_string e))
+        payloads)
+
+let test_frame_drip_fed () =
+  (* one byte at a time from a writer thread: read_frame must accumulate
+     partial reads into an intact frame *)
+  with_socketpair (fun a b ->
+      let payload = "{\"op\":\"ping\"}" in
+      let raw = Proto.encode_header (String.length payload) ^ payload in
+      let writer =
+        Thread.create
+          (fun () ->
+            String.iter
+              (fun c ->
+                write_all a (String.make 1 c);
+                Thread.delay 0.002)
+              raw)
+          ()
+      in
+      let got = Proto.read_frame ~deadline:(Obs.now () +. 5.0) b in
+      Thread.join writer;
+      match got with
+      | Ok s -> Alcotest.(check string) "drip-fed frame reassembled" payload s
+      | Error e -> Alcotest.failf "read: %s" (Proto.io_error_to_string e))
+
+let test_frame_truncated () =
+  with_socketpair (fun a b ->
+      let payload = "{\"op\":\"ping\"}" in
+      write_all a (Proto.encode_header 100);
+      write_all a payload;
+      Unix.close a;
+      match Proto.read_frame b with
+      | Error (Proto.Truncated { got; expected }) ->
+        Alcotest.(check int) "expected from header" 100 expected;
+        Alcotest.(check int) "got what was sent" (String.length payload) got
+      | Error e ->
+        Alcotest.failf "wanted Truncated, got %s" (Proto.io_error_to_string e)
+      | Ok _ -> Alcotest.fail "truncated frame decoded as complete")
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      write_all a (Proto.encode_header 1_000_000);
+      match Proto.read_frame ~max_frame:1024 b with
+      | Error (Proto.Oversized { declared; limit }) ->
+        Alcotest.(check int) "declared" 1_000_000 declared;
+        Alcotest.(check int) "limit" 1024 limit
+      | Error e ->
+        Alcotest.failf "wanted Oversized, got %s" (Proto.io_error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized header accepted")
+
+let test_frame_deadline () =
+  with_socketpair (fun _a b ->
+      let t0 = Obs.now () in
+      match Proto.read_frame ~deadline:(t0 +. 0.15) b with
+      | Error Proto.Deadline ->
+        let waited = Obs.now () -. t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "returned near the deadline (%.3fs)" waited)
+          true
+          (waited >= 0.10 && waited < 2.0)
+      | Error e ->
+        Alcotest.failf "wanted Deadline, got %s" (Proto.io_error_to_string e)
+      | Ok _ -> Alcotest.fail "read_frame returned data from a silent peer")
+
+let test_frame_clean_close () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Proto.read_frame b with
+      | Error Proto.Closed -> ()
+      | Error e ->
+        Alcotest.failf "wanted Closed, got %s" (Proto.io_error_to_string e)
+      | Ok _ -> Alcotest.fail "read from a closed peer succeeded")
+
+(* ---- cooperative deadline cancellation in the iteration loops ---- *)
+
+let test_pcg_deadline () =
+  let p = Test_util.random_problem ~seed:611 ~n:200 ~m:600 in
+  let res =
+    Krylov.Pcg.solve ~rtol:1e-12 ~deadline:(Obs.now () -. 1.0)
+      ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+      ~precond:(Krylov.Precond.identity 200) ()
+  in
+  (match res.Krylov.Pcg.status with
+   | Krylov.Pcg.Timed_out { iteration } ->
+     Alcotest.(check int) "cancelled before iterating" 0 iteration
+   | s ->
+     Alcotest.failf "wanted Timed_out, got %s" (Krylov.Pcg.status_to_string s));
+  Alcotest.(check bool) "not converged" false res.Krylov.Pcg.converged
+
+let test_pcg_deadline_mid_loop () =
+  (* a deadline a few ms out lands mid-iteration on a hard problem: the
+     loop must stop early with the best iterate so far, not run to
+     max_iter *)
+  let p = Test_util.random_problem ~seed:612 ~n:400 ~m:1200 in
+  let res =
+    Krylov.Pcg.solve ~rtol:1e-14 ~max_iter:100_000
+      ~deadline:(Obs.now () +. 0.02) ~a:p.Sddm.Problem.a ~b:p.Sddm.Problem.b
+      ~precond:(Krylov.Precond.identity 400) ()
+  in
+  match res.Krylov.Pcg.status with
+  | Krylov.Pcg.Timed_out { iteration } ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stopped at iteration %d, not the budget" iteration)
+      true
+      (iteration < 100_000)
+  | Krylov.Pcg.Converged -> () (* tiny machine solved it inside 20 ms: fine *)
+  | s ->
+    Alcotest.failf "wanted Timed_out/Converged, got %s"
+      (Krylov.Pcg.status_to_string s)
+
+let test_minres_deadline () =
+  let a = Csc.of_dense [| [| 4.0; -1.0 |]; [| -1.0; 3.0 |] |] in
+  let res =
+    Krylov.Minres.solve ~deadline:(Obs.now () -. 1.0) ~a ~b:[| 1.0; 2.0 |]
+      ~precond:(Krylov.Precond.identity 2) ()
+  in
+  match res.Krylov.Minres.status with
+  | Krylov.Minres.Timed_out { iteration } ->
+    Alcotest.(check int) "cancelled before iterating" 0 iteration
+  | s ->
+    Alcotest.failf "wanted Timed_out, got %s"
+      (Krylov.Minres.status_to_string s)
+
+let test_fallback_deadline_skips_rungs () =
+  let p = Test_util.random_problem ~seed:613 ~n:30 ~m:80 in
+  let ran = ref 0 in
+  let rung name : Robust.Fallback.rung =
+    {
+      Robust.Fallback.name;
+      solve =
+        (fun _ ->
+          incr ran;
+          failwith "should not run");
+    }
+  in
+  let outcome =
+    Robust.Fallback.run
+      ~deadline:(Obs.now () -. 1.0)
+      ~rungs:[ rung "first"; rung "second"; rung "third" ]
+      p
+  in
+  Alcotest.(check int) "no rung executed" 0 !ran;
+  Alcotest.(check bool) "no solution" true (outcome.Robust.Fallback.x = None);
+  Alcotest.(check int) "every rung recorded as an attempt" 3
+    (List.length outcome.Robust.Fallback.attempts);
+  List.iter
+    (fun a ->
+      match a.Robust.Fallback.failure with
+      | Robust.Fallback.Timed_out _ -> ()
+      | f ->
+        Alcotest.failf "rung %s recorded as %s, wanted timed-out"
+          a.Robust.Fallback.rung
+          (Robust.Fallback.failure_to_string f))
+    outcome.Robust.Fallback.attempts
+
+(* ---- input validation satellites ---- *)
+
+let test_domains_of_string () =
+  let ok s expected =
+    match Par.domains_of_string s with
+    | Ok d -> Alcotest.(check int) (Printf.sprintf "%S parses" s) expected d
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  let bad s =
+    match Par.domains_of_string s with
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S error is actionable: %s" s e)
+        true
+        (String.length e > 10)
+    | Ok d -> Alcotest.failf "%S accepted as %d" s d
+  in
+  ok "1" 1;
+  ok "4" 4;
+  ok " 8 " 8;
+  ok "128" 128;
+  bad "";
+  bad "0";
+  bad "-3";
+  bad "abc";
+  bad "2.5";
+  bad "4x";
+  bad "129"
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "mm-test" ".mtx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc contents);
+      f path)
+
+let test_mtx_trailing_entries () =
+  (* declared nnz smaller than the data actually present: a concatenated
+     or corrupted export must be rejected, not silently truncated *)
+  let contents =
+    "%%MatrixMarket matrix coordinate real symmetric\n\
+     2 2 2\n\
+     1 1 2.0\n\
+     2 2 2.0\n\
+     1 2 -1.0\n"
+  in
+  with_temp_file contents (fun path ->
+      match Sparse.Matrix_market.read path with
+      | exception Sparse.Matrix_market.Parse_error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the mismatch: %s" msg)
+          true
+          (String.length msg > 10)
+      | _ -> Alcotest.fail "extra entries past the declared nnz accepted")
+
+let test_mtx_negative_size () =
+  let contents =
+    "%%MatrixMarket matrix coordinate real symmetric\n2 -2 1\n1 1 2.0\n"
+  in
+  with_temp_file contents (fun path ->
+      match Sparse.Matrix_market.read path with
+      | exception Sparse.Matrix_market.Parse_error _ -> ()
+      | _ -> Alcotest.fail "negative dimension accepted")
+
+let test_mtx_exact_nnz_still_reads () =
+  let contents =
+    "%%MatrixMarket matrix coordinate real symmetric\n\
+     2 2 3\n\
+     1 1 2.0\n\
+     2 2 2.0\n\
+     2 1 -1.0\n"
+  in
+  with_temp_file contents (fun path ->
+      let a = Sparse.Matrix_market.read path in
+      Alcotest.(check int) "n" 2 (fst (Csc.dims a)))
+
+(* ---- live daemon ---- *)
+
+let sock_counter = ref 0
+
+let fresh_addr () =
+  incr sock_counter;
+  Proto.Unix_sock
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "pgserve-test-%d-%d.sock" (Unix.getpid ())
+          !sock_counter))
+
+let with_daemon ?(tweak = fun c -> c) f =
+  let addr = fresh_addr () in
+  let config = tweak (Serve.Daemon.default_config addr) in
+  match Serve.Daemon.start config with
+  | Error e -> Alcotest.failf "daemon failed to start: %s" e
+  | Ok t ->
+    Fun.protect ~finally:(fun () -> Serve.Daemon.stop t) (fun () -> f t addr)
+
+let call_ok ?retry addr req =
+  match Serve.Client.call ?retry ~io_timeout:10.0 addr req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "call failed: %s" e
+
+let test_daemon_ping_solve_cache () =
+  with_daemon (fun _t addr ->
+      (match call_ok addr Proto.Ping with
+       | Proto.Pong -> ()
+       | r -> Alcotest.failf "ping answered %s" (Proto.response_to_string r));
+      let solve_req =
+        Proto.solve ~want_x:true (Proto.Case { id = "pg01"; scale = 0.05 })
+      in
+      (match call_ok addr solve_req with
+       | Proto.Solved { converged; x = Some x; _ } ->
+         Alcotest.(check bool) "first solve converges" true converged;
+         Alcotest.(check bool) "solution vector present" true
+           (Array.length x > 0)
+       | r ->
+         Alcotest.failf "solve answered %s" (Proto.response_to_string r));
+      (* same fingerprint again: the Engine cache must serve it *)
+      (match call_ok addr solve_req with
+       | Proto.Solved { cache_hit; converged; _ } ->
+         Alcotest.(check bool) "second solve converges" true converged;
+         Alcotest.(check bool) "factorization came from the cache" true
+           cache_hit
+       | r ->
+         Alcotest.failf "cached solve answered %s"
+           (Proto.response_to_string r));
+      match call_ok addr Proto.Health with
+      | Proto.Health_report doc -> (
+        match Obs.Json.member "schema" doc with
+        | Some (Obs.Json.Str s) ->
+          Alcotest.(check string) "metrics schema" "pgserve-metrics/v1" s
+        | _ -> Alcotest.fail "metrics lack a schema field")
+      | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r))
+
+let test_daemon_expired_deadline () =
+  with_daemon (fun _t addr ->
+      match
+        call_ok addr
+          (Proto.solve ~deadline_ms:0.0
+             (Proto.Case { id = "pg01"; scale = 0.05 }))
+      with
+      | Proto.Timed_out _ -> ()
+      | r ->
+        Alcotest.failf "expired deadline answered %s"
+          (Proto.response_to_string r))
+
+let test_daemon_bad_requests () =
+  with_daemon (fun _t addr ->
+      (* unknown case id: typed failure, not a crash *)
+      (match
+         call_ok addr (Proto.solve (Proto.Case { id = "pg99"; scale = 0.05 }))
+       with
+       | Proto.Failed _ | Proto.Rejected _ -> ()
+       | r ->
+         Alcotest.failf "unknown case answered %s"
+           (Proto.response_to_string r));
+      (* unreadable mtx path: same *)
+      (match
+         call_ok addr
+           (Proto.solve (Proto.Mtx { path = "/nonexistent/nowhere.mtx" }))
+       with
+       | Proto.Failed _ | Proto.Rejected _ -> ()
+       | r ->
+         Alcotest.failf "missing mtx answered %s" (Proto.response_to_string r));
+      (* hostile scale: bounded by scale_cap *)
+      match
+        call_ok addr (Proto.solve (Proto.Case { id = "pg01"; scale = 50.0 }))
+      with
+      | Proto.Rejected { reason } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "reason is typed: %s" reason)
+          true
+          (String.length reason > 0)
+      | r ->
+        Alcotest.failf "oversized scale answered %s"
+          (Proto.response_to_string r))
+
+let test_daemon_survives_fault_injection () =
+  with_daemon
+    ~tweak:(fun c -> { c with Serve.Daemon.io_timeout = 0.4 })
+    (fun _t addr ->
+      let connect () =
+        match Serve.Client.connect addr with
+        | Ok fd -> fd
+        | Error e -> Alcotest.failf "connect: %s" e
+      in
+      let ping_alive label =
+        match call_ok addr Proto.Ping with
+        | Proto.Pong -> ()
+        | r ->
+          Alcotest.failf "daemon unhealthy after %s: %s" label
+            (Proto.response_to_string r)
+      in
+      let payload = Proto.request_to_string Proto.Ping in
+      (* garbage payload: typed bad-request reply, connection survives *)
+      let fd = connect () in
+      Robust.Fault.send_garbage_frame fd;
+      (match Proto.read_frame ~deadline:(Obs.now () +. 5.0) fd with
+       | Ok s -> (
+         match Proto.response_of_string s with
+         | Ok (Proto.Rejected { reason }) ->
+           Alcotest.(check bool)
+             (Printf.sprintf "garbage answered: %s" reason)
+             true
+             (String.length reason > 0)
+         | Ok r ->
+           Alcotest.failf "garbage answered %s" (Proto.response_to_string r)
+         | Error e -> Alcotest.failf "undecodable reply: %s" e)
+       | Error e ->
+         Alcotest.failf "no reply to garbage: %s" (Proto.io_error_to_string e));
+      (* ...and the same connection still works *)
+      (match Proto.write_frame fd payload with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "write: %s" (Proto.io_error_to_string e));
+      (match Proto.read_frame ~deadline:(Obs.now () +. 5.0) fd with
+       | Ok s ->
+         Alcotest.(check bool) "connection survived the garbage frame" true
+           (Proto.response_of_string s = Ok Proto.Pong)
+       | Error e ->
+         Alcotest.failf "post-garbage ping: %s" (Proto.io_error_to_string e));
+      Serve.Client.close fd;
+      (* torn frame left hanging: the io deadline reaps the connection *)
+      let fd = connect () in
+      Robust.Fault.send_truncated_frame fd payload;
+      (match Proto.read_frame ~deadline:(Obs.now () +. 5.0) fd with
+       | Error (Proto.Closed | Proto.Truncated _) -> ()
+       | Error e ->
+         Alcotest.failf "torn frame: wanted the connection reaped, got %s"
+           (Proto.io_error_to_string e)
+       | Ok s -> Alcotest.failf "torn frame answered %S" s);
+      Serve.Client.close fd;
+      ping_alive "torn frame";
+      (* hostile length header: bounded rejection, never an allocation *)
+      let fd = connect () in
+      Robust.Fault.send_oversized_header fd;
+      (match Proto.read_frame ~deadline:(Obs.now () +. 5.0) fd with
+       | Ok s -> (
+         match Proto.response_of_string s with
+         | Ok (Proto.Rejected _) -> ()
+         | _ -> Alcotest.failf "oversized header answered %S" s)
+       | Error (Proto.Closed | Proto.Truncated _) -> ()
+       | Error e ->
+         Alcotest.failf "oversized header: %s" (Proto.io_error_to_string e));
+      Serve.Client.close fd;
+      ping_alive "oversized header";
+      (* disconnect mid-request *)
+      let fd = connect () in
+      Robust.Fault.disconnect_mid_request fd payload;
+      ping_alive "mid-request disconnect";
+      (* drip-fed frame slower than the io budget: reaped, daemon alive *)
+      let fd = connect () in
+      Robust.Fault.send_stalled_frame ~stall:0.06 ~chunk:1 fd
+        (String.sub payload 0 8);
+      Serve.Client.close fd;
+      ping_alive "stalled frame")
+
+let test_daemon_load_shedding () =
+  (* capacity 1 and a slow solve lane: concurrent requests must shed with
+     a typed overload rejection, and every caller must get an answer *)
+  with_daemon
+    ~tweak:(fun c ->
+      {
+        c with
+        Serve.Daemon.queue_capacity = 1;
+        artificial_delay = 0.4;
+      })
+    (fun _t addr ->
+      let n = 4 in
+      let results = Array.make n (Error "never ran") in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Serve.Client.call ~retry:Serve.Client.no_retry
+                    ~io_timeout:15.0 addr
+                    (Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 })))
+              ())
+      in
+      Array.iter Thread.join threads;
+      let solved = ref 0 and shed = ref 0 in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok (Proto.Solved _) -> incr solved
+          | Ok (Proto.Rejected { reason }) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "client %d shed with a typed reason: %s" i
+                 reason)
+              true
+              (String.length reason >= String.length "overloaded"
+              && String.sub reason 0 10 = "overloaded");
+            incr shed
+          | Ok r ->
+            Alcotest.failf "client %d got %s" i (Proto.response_to_string r)
+          | Error e -> Alcotest.failf "client %d transport error: %s" i e)
+        results;
+      Alcotest.(check int) "every request answered" n (!solved + !shed);
+      Alcotest.(check bool)
+        (Printf.sprintf "%d solved / %d shed" !solved !shed)
+        true
+        (!solved >= 1 && !shed >= 1);
+      (* the shed counter made it into the metrics *)
+      match call_ok addr Proto.Health with
+      | Proto.Health_report doc ->
+        let shed_metric =
+          match Obs.Json.member "requests" doc with
+          | Some reqs -> (
+            match Obs.Json.member "shed" reqs with
+            | Some (Obs.Json.Int k) -> k
+            | _ -> -1)
+          | None -> -1
+        in
+        Alcotest.(check int) "metrics count the shed requests" !shed
+          shed_metric
+      | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r))
+
+let test_daemon_retry_rides_out_overload () =
+  (* same overload, but with the backoff policy: the retried client must
+     eventually land its request *)
+  with_daemon
+    ~tweak:(fun c ->
+      {
+        c with
+        Serve.Daemon.queue_capacity = 1;
+        artificial_delay = 0.25;
+      })
+    (fun _t addr ->
+      let blocker =
+        Thread.create
+          (fun () ->
+            ignore
+              (Serve.Client.call ~retry:Serve.Client.no_retry ~io_timeout:15.0
+                 addr
+                 (Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 }))))
+          ()
+      in
+      Thread.delay 0.05;
+      let retried =
+        Serve.Client.call
+          ~retry:
+            {
+              Serve.Client.attempts = 8;
+              base_delay = 0.1;
+              max_delay = 0.5;
+              jitter = 0.5;
+            }
+          ~io_timeout:15.0 addr
+          (Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 }))
+      in
+      Thread.join blocker;
+      match retried with
+      | Ok (Proto.Solved { converged; _ }) ->
+        Alcotest.(check bool) "retried request solved" true converged
+      | Ok r ->
+        Alcotest.failf "retried request got %s" (Proto.response_to_string r)
+      | Error e -> Alcotest.failf "retried request failed: %s" e)
+
+let test_daemon_graceful_drain () =
+  with_daemon
+    ~tweak:(fun c ->
+      {
+        c with
+        Serve.Daemon.allow_shutdown = true;
+        artificial_delay = 0.3;
+      })
+    (fun t addr ->
+      (* park one slow request in flight, then ask for shutdown *)
+      let inflight = ref (Error "never ran") in
+      let worker =
+        Thread.create
+          (fun () ->
+            inflight :=
+              Serve.Client.call ~retry:Serve.Client.no_retry ~io_timeout:15.0
+                addr
+                (Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 })))
+          ()
+      in
+      Thread.delay 0.1;
+      (match call_ok addr Proto.Shutdown with
+       | Proto.Bye -> ()
+       | r ->
+         Alcotest.failf "shutdown answered %s" (Proto.response_to_string r));
+      Alcotest.(check bool) "daemon reports stopping" true
+        (Serve.Daemon.stopping t);
+      Serve.Daemon.wait t;
+      Thread.join worker;
+      (* the in-flight request drained to a typed completion *)
+      (match !inflight with
+       | Ok (Proto.Solved { converged; _ }) ->
+         Alcotest.(check bool) "in-flight request completed" true converged
+       | Ok (Proto.Rejected _) ->
+         (* admitted-after-stop would also be typed; accept it *)
+         ()
+       | Ok r ->
+         Alcotest.failf "in-flight request got %s"
+           (Proto.response_to_string r)
+       | Error e -> Alcotest.failf "in-flight request lost: %s" e);
+      (* new connections are refused once drained *)
+      match Serve.Client.connect addr with
+      | Error _ -> ()
+      | Ok fd ->
+        (* socket file may still accept; the daemon must not answer *)
+        let resp = Serve.Client.request ~io_timeout:0.5 fd Proto.Ping in
+        Serve.Client.close fd;
+        (match resp with
+         | Error _ -> ()
+         | Ok (Proto.Rejected _) -> ()
+         | Ok r ->
+           Alcotest.failf "drained daemon answered %s"
+             (Proto.response_to_string r)))
+
+let test_daemon_shutdown_disabled () =
+  with_daemon (fun t addr ->
+      (match call_ok addr Proto.Shutdown with
+       | Proto.Rejected _ -> ()
+       | r ->
+         Alcotest.failf "disabled shutdown answered %s"
+           (Proto.response_to_string r));
+      Alcotest.(check bool) "daemon keeps running" false
+        (Serve.Daemon.stopping t);
+      match call_ok addr Proto.Ping with
+      | Proto.Pong -> ()
+      | r -> Alcotest.failf "ping answered %s" (Proto.response_to_string r))
+
+(* ---- suite ---- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "request round trip" `Quick
+            test_request_round_trip;
+          Alcotest.test_case "response round trip" `Quick
+            test_response_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_decode_rejects_garbage;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "round trip" `Quick test_frame_round_trip;
+          Alcotest.test_case "back-to-back frames" `Quick
+            test_frame_back_to_back;
+          Alcotest.test_case "drip-fed partial reads" `Quick
+            test_frame_drip_fed;
+          Alcotest.test_case "truncated frame" `Quick test_frame_truncated;
+          Alcotest.test_case "oversized header" `Quick test_frame_oversized;
+          Alcotest.test_case "read deadline" `Quick test_frame_deadline;
+          Alcotest.test_case "clean close" `Quick test_frame_clean_close;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "pcg expired deadline" `Quick test_pcg_deadline;
+          Alcotest.test_case "pcg mid-loop cancellation" `Quick
+            test_pcg_deadline_mid_loop;
+          Alcotest.test_case "minres expired deadline" `Quick
+            test_minres_deadline;
+          Alcotest.test_case "fallback skips rungs" `Quick
+            test_fallback_deadline_skips_rungs;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "domains_of_string" `Quick
+            test_domains_of_string;
+          Alcotest.test_case "mtx trailing entries" `Quick
+            test_mtx_trailing_entries;
+          Alcotest.test_case "mtx negative size" `Quick
+            test_mtx_negative_size;
+          Alcotest.test_case "mtx exact nnz reads" `Quick
+            test_mtx_exact_nnz_still_reads;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ping, solve, cache, health" `Quick
+            test_daemon_ping_solve_cache;
+          Alcotest.test_case "expired deadline" `Quick
+            test_daemon_expired_deadline;
+          Alcotest.test_case "bad requests stay typed" `Quick
+            test_daemon_bad_requests;
+          Alcotest.test_case "survives fault injection" `Quick
+            test_daemon_survives_fault_injection;
+          Alcotest.test_case "load shedding" `Quick test_daemon_load_shedding;
+          Alcotest.test_case "retry rides out overload" `Quick
+            test_daemon_retry_rides_out_overload;
+          Alcotest.test_case "graceful drain" `Quick
+            test_daemon_graceful_drain;
+          Alcotest.test_case "shutdown disabled by default" `Quick
+            test_daemon_shutdown_disabled;
+        ] );
+    ]
