@@ -77,6 +77,22 @@ let min_speedup = getenv_float "BENCH_MIN_SPEEDUP" 1.5
 let min_reqs = getenv_float "BENCH_SERVE_MIN_REQS" 1.0
 let max_p99_ms = getenv_float "BENCH_SERVE_MAX_P99_MS" 30_000.0
 
+(* Memory gates, checked within the CURRENT file's "memory" section (when
+   the scale experiment ran):
+
+   - CSC storage must stay flat: bytes_per_nnz <= BENCH_MAX_BYTES_PER_NNZ
+     (default 24.0 — an int64-index CSC entry costs 16 bytes of value +
+     row index plus amortized column pointers; the int32 default sits
+     near 12.7, so the ceiling catches any silent reintroduction of
+     boxed storage at either index width);
+   - the process peak RSS must stay inside the budget:
+     peak_rss_kb <= BENCH_MAX_RSS_KB (default 4194304 — 4 GiB; the
+     scale-smoke job sets the real envelope and double-checks it from
+     outside via /usr/bin/time -v). A recorded 0 means /proc was
+     unavailable, which is noted but not fatal. *)
+let max_bytes_per_nnz = getenv_float "BENCH_MAX_BYTES_PER_NNZ" 24.0
+let max_rss_kb = getenv_float "BENCH_MAX_RSS_KB" 4_194_304.0
+
 let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
 
 let read_json path =
@@ -317,6 +333,38 @@ let () =
         end
       | _ ->
         failures := "serve section lacks requests/req_s/p99_ms" :: !failures));
+  (* memory gates on the current run *)
+  (match Obs.Json.member "memory" current_doc with
+   | None -> ()
+   | Some memory ->
+     let num key =
+       match Obs.Json.member key memory with
+       | Some v -> Obs.Json.to_float v
+       | None -> None
+     in
+     (match (num "bytes_per_nnz", num "peak_rss_kb") with
+      | Some bpn, Some rss ->
+        Printf.printf
+          "memory gate: %.2f bytes/nnz, peak RSS %.0f kB (budget %.0f kB)\n"
+          bpn rss max_rss_kb;
+        if bpn > max_bytes_per_nnz then
+          failures :=
+            Printf.sprintf
+              "CSC storage %.2f bytes/nnz above the %.2f ceiling" bpn
+              max_bytes_per_nnz
+            :: !failures;
+        if rss = 0.0 then
+          notes :=
+            "memory section recorded peak_rss_kb = 0 (/proc unavailable)"
+            :: !notes
+        else if rss > max_rss_kb then
+          failures :=
+            Printf.sprintf
+              "peak RSS %.0f kB above the %.0f kB budget" rss max_rss_kb
+            :: !failures
+      | _ ->
+        failures :=
+          "memory section lacks bytes_per_nnz/peak_rss_kb" :: !failures));
   List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
   if !compared = 0 then
     (* an empty intersection means the gate compared nothing: make that

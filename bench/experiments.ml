@@ -529,7 +529,7 @@ let batched () =
   let rng = Rng.create 7 in
   let bs =
     Array.init batched_k (fun _ ->
-        Array.init n (fun _ -> Rng.float rng -. 0.5))
+        Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5))
   in
   let solver = Powerrchol.Solver.powerrchol () in
   (* unbatched: every right-hand side pays reorder + factor + iterate *)
@@ -647,3 +647,68 @@ let batched () =
   Obs.set_tracing false;
   record_latencies ~case_id:case.Powergrid.Suite.id record;
   write_trace_json ()
+
+(* ---------------------------------------------------------------- *)
+
+(* The paper-scale leg of Fig. 3 (Table 1 runs up to 6e7 nodes; our sweep
+   above stops near 5e5): one >= SCALE_NODES-unknown power grid built by
+   the chunked generator, solved once by PowerRChol, with storage
+   accounting — peak RSS (VmHWM), CSC bytes per nonzero, and the index
+   width — recorded as the bench.json "memory" section and the
+   seconds-per-Mnnz row appended to fig3's CSV. The scale-smoke CI job
+   gates both through bench/compare.exe. *)
+let scale () =
+  let target =
+    match Sys.getenv_opt "SCALE_NODES" with
+    | Some s -> (try int_of_string s with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  header
+    (Printf.sprintf
+       "Scale: Fig. 3 seconds-per-Mnnz at %d+ nodes, with memory accounting"
+       target);
+  let case = Powergrid.Suite.scale_case ~target_nodes:target () in
+  let t0 = Unix.gettimeofday () in
+  let p = problem_of case in
+  let t_generate = Unix.gettimeofday () -. t0 in
+  let n = Sddm.Problem.n p and nnz = Sddm.Problem.nnz p in
+  let csc_bytes = Sparse.Csc.bytes p.Sddm.Problem.a in
+  let bytes_per_nnz = float_of_int csc_bytes /. float_of_int (max nnz 1) in
+  printf "case %s: n = %d, nnz = %d, generated in %.1f s\n"
+    case.Powergrid.Suite.id n nnz t_generate;
+  printf "CSC storage: %d bytes (%.2f bytes/nnz, %d-bit indices)\n" csc_bytes
+    bytes_per_nnz Sparse.Idx.bits;
+  let r = run case Powerrchol_s in
+  let mnnz = float_of_int nnz /. 1e6 in
+  let per = r_total r /. mnnz in
+  let peak_kb = peak_rss_kb () in
+  printf
+    "PowerRChol: %.3f s total (%.3f s/Mnnz), %d iterations%s, relres %.2e\n"
+    (r_total r) per (r_iters r) (conv_mark r) r.Powerrchol.Solver.residual;
+  printf "peak RSS: %d kB (%.2f kB per node)\n" peak_kb
+    (float_of_int peak_kb /. float_of_int n);
+  (* fig3's CSV carries five solver columns; only PowerRChol runs at this
+     scale, the baseline columns stay empty *)
+  Runner.append_csv "fig3_seconds_per_mnnz.csv"
+    ~header:
+      "case,nnz,feGRASS,feGRASS-IChol,AMG-PCG,RChol(AMD),PowerRChol"
+    [
+      Printf.sprintf "%s,%d,,,,,%.6f" case.Powergrid.Suite.id nnz per;
+    ];
+  record_memory
+    (Obs.Json.Obj
+       [
+         ("case", Obs.Json.Str case.Powergrid.Suite.id);
+         ("n", Obs.Json.Int n);
+         ("nnz", Obs.Json.Int nnz);
+         ("t_generate", Obs.Json.Float t_generate);
+         ("csc_bytes", Obs.Json.Int csc_bytes);
+         ("bytes_per_nnz", Obs.Json.Float bytes_per_nnz);
+         ("index_bits", Obs.Json.Int Sparse.Idx.bits);
+         ("factor_nnz", Obs.Json.Int r.Powerrchol.Solver.factor_nnz);
+         ("peak_rss_kb", Obs.Json.Int peak_kb);
+         ("seconds_per_mnnz", Obs.Json.Float per);
+       ]);
+  (* the 1e6-node problem is the largest thing this process holds — drop
+     it so any experiment running after us isn't squeezed *)
+  drop_cached_problem case

@@ -22,7 +22,8 @@ let fixture =
      let g = p.Sddm.Problem.graph in
      let perm = Ordering.Degree_sort.order g in
      let gp = Sddm.Graph.permute g perm in
-     let dp = Sparse.Perm.apply_vec perm p.Sddm.Problem.d in
+     let d = p.Sddm.Problem.d in
+     let dp = Array.init (Array.length perm) (fun k -> d.(perm.(k))) in
      let l = Factor.Lt_rchol.factorize ~rng:(Rng.create 11) gp ~d:dp in
      (* force the level schedule outside every timed region *)
      ignore (Factor.Lower.schedule l);
@@ -65,13 +66,13 @@ let run () =
   let p, perm, l = Lazy.force fixture in
   let a = p.Sddm.Problem.a in
   let n = Sddm.Problem.n p in
-  let x = Array.init n (fun i -> float_of_int (i mod 23) /. 23.0) in
-  let y = Array.make n 0.0 in
-  let z = Array.make n 0.0 in
-  let w = Array.make n 0.0 in
-  let scratch = Array.make n 0.0 in
-  let b0 = Array.init n (fun i -> float_of_int ((i * 7) mod 31) /. 31.0) in
-  let t = Array.make n 0.0 in
+  let x = Sparse.Vec.init n (fun i -> float_of_int (i mod 23) /. 23.0) in
+  let y = Sparse.Vec.create n in
+  let z = Sparse.Vec.create n in
+  let w = Sparse.Vec.create n in
+  let scratch = Sparse.Vec.create n in
+  let b0 = Sparse.Vec.init n (fun i -> float_of_int ((i * 7) mod 31) /. 31.0) in
+  let t = Sparse.Vec.create n in
   Runner.header
     (Printf.sprintf
        "kernels: hot-path microbenchmarks (n = %d, backend %s, parallel \
@@ -94,12 +95,12 @@ let run () =
       let pool1 = Par.create ~domains:1 () in
       ignore
         (measure ~kernel:"trisolve" ~variant:"seq" ~domains:1 ~n (fun () ->
-             Array.blit b0 0 t 0 n;
+             Sparse.Vec.blit ~src:b0 ~dst:t;
              Factor.Lower.solve_in_place l t;
              Factor.Lower.solve_transpose_in_place l t));
       ignore
         (measure ~kernel:"trisolve" ~variant:"sched" ~domains:1 ~n (fun () ->
-             Array.blit b0 0 t 0 n;
+             Sparse.Vec.blit ~src:b0 ~dst:t;
              Factor.Lower.solve_in_place_sched l ~pool:pool1 t;
              Factor.Lower.solve_transpose_in_place_sched l ~pool:pool1 t));
       Par.shutdown pool1;
@@ -122,7 +123,7 @@ let run () =
         ignore
           (measure ~kernel:"trisolve" ~variant:"sched-par"
              ~domains:par_domains ~n (fun () ->
-               Array.blit b0 0 t 0 n;
+               Sparse.Vec.blit ~src:b0 ~dst:t;
                Factor.Lower.solve_in_place_sched l ~pool:poolN t;
                Factor.Lower.solve_transpose_in_place_sched l ~pool:poolN t));
         let t_pcg_par =

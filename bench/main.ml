@@ -19,6 +19,7 @@ let experiments =
     ("fig3", Experiments.fig3);
     ("ablation", Experiments.ablation);
     ("batched", Experiments.batched);
+    ("scale", Experiments.scale);
     ("micro", Micro.run);
     ("kernels", Kernels.run);
     ("serve", Serve_bench.run);
@@ -33,7 +34,9 @@ let run_all () =
      see DESIGN.md and EXPERIMENTS.md.\n";
   List.iter
     (fun (name, f) ->
-      if name <> "micro" then begin
+      (* micro is opt-in (slow bechamel sampling); scale is opt-in (builds
+         a 1e6-node grid — the scheduled scale-smoke CI job runs it) *)
+      if name <> "micro" && name <> "scale" then begin
         let t0 = Unix.gettimeofday () in
         f ();
         Printf.printf "[%s completed in %.1f s]\n%!" name

@@ -77,7 +77,7 @@ let test_table4 =
          d.(0) <- 1.0;
          let perm = Ordering.Degree_sort.order g in
          let gp = Sddm.Graph.permute g perm in
-         let dp = Sparse.Perm.apply_vec perm d in
+         let dp = Array.init 4000 (fun k -> d.(perm.(k))) in
          ignore (Factor.Lt_rchol.factorize ~rng:(Rng.create 2) gp ~d:dp)))
 
 (* Fig. 1 kernel: the merging preprocessing *)
@@ -92,9 +92,9 @@ let test_fig2 =
   let s = Powerrchol.Solver.powerrchol () in
   let prep = s.Powerrchol.Solver.prepare p in
   let n = Sddm.Problem.n p in
-  let r = Array.init n (fun i -> float_of_int (i mod 17) /. 17.0) in
-  let z = Array.make n 0.0 in
-  let y = Array.make n 0.0 in
+  let r = Sparse.Vec.init n (fun i -> float_of_int (i mod 17) /. 17.0) in
+  let z = Sparse.Vec.create n in
+  let y = Sparse.Vec.create n in
   Test.make_grouped ~name:"fig2-pcg-iteration"
     [
       Test.make ~name:"spmv"

@@ -164,6 +164,33 @@ let record_latencies ~case_id (record : Obs.record) =
 let serve_section : Obs.Json.t option ref = ref None
 let record_serve doc = serve_section := Some doc
 
+(* The scale experiment's storage accounting (peak RSS, bytes/nnz,
+   index width) — the bench.json "memory" section, gated by compare.exe
+   against the RSS budget and the bytes-per-nonzero ceiling. *)
+let memory_section : Obs.Json.t option ref = ref None
+let record_memory doc = memory_section := Some doc
+
+(* Peak resident set size of this process in kB, from the kernel's
+   high-water mark (VmHWM). Returns 0 where /proc is unavailable; the
+   scale gate then relies on the CI job's /usr/bin/time -v envelope. *)
+let peak_rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" (fun ic ->
+            let rec scan () =
+              match In_channel.input_line ic with
+              | None -> 0
+              | Some line ->
+                (match String.index_opt line ':' with
+                 | Some i when String.sub line 0 i = "VmHWM" ->
+                   let rest = String.sub line (i + 1) (String.length line - i - 1) in
+                   (try Scanf.sscanf rest " %d kB" (fun kb -> kb)
+                    with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
+                 | _ -> scan ())
+            in
+            scan ())
+  with
+  | kb -> kb
+  | exception Sys_error _ -> 0
+
 (* Set by the kernels experiment when the parallel variants ran wide
    enough (>= 4 domains on >= 4 hardware cores) for the compare gate to
    hold them to the speedup floor; single-core CI boxes record the numbers
@@ -220,6 +247,21 @@ let with_csv name f =
   let path = Filename.concat artifact_dir name in
   Out_channel.with_open_text path f;
   printf "[csv written: %s]\n" path
+
+(* Append rows to an artifact CSV, creating it with [header] first when
+   absent (the scale experiment extends fig3's sweep without rerunning
+   the 28-case table). *)
+let append_csv name ~header:header_line rows =
+  if not (Sys.file_exists artifact_dir) then Sys.mkdir artifact_dir 0o755;
+  let path = Filename.concat artifact_dir name in
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if fresh then output_string oc (header_line ^ "\n");
+      List.iter (fun row -> output_string oc (row ^ "\n")) rows);
+  printf "[csv appended: %s (%d row(s))]\n" path (List.length rows)
 
 (* ---- bench.json: machine-readable summary for the CI regression gate ----
 
@@ -300,9 +342,12 @@ let write_bench_json () =
         ( "latency",
           Obs.Json.List (List.rev_map latency_row_json !latency_rows) );
       ]
+      @ (match !serve_section with
+        | Some doc -> [ ("serve", doc) ]
+        | None -> [])
       @
-      match !serve_section with
-      | Some doc -> [ ("serve", doc) ]
+      match !memory_section with
+      | Some doc -> [ ("memory", doc) ]
       | None -> [])
   in
   Out_channel.with_open_text path (fun oc ->

@@ -118,7 +118,7 @@ let load_mtx_raw ?b path =
     | Some b -> b
     | None ->
       let rng = Rng.create 1 in
-      Array.init n (fun _ -> Rng.float rng -. 0.5)
+      Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5)
   in
   (Filename.basename path, a, b)
 

@@ -35,7 +35,7 @@ let () =
 
   (* lowest node voltage = worst IR drop *)
   let worst = ref (0, infinity) in
-  Array.iteri
+  Sparse.Vec.iteri
     (fun i v -> if v < snd !worst then worst := (i, v))
     result.Powerrchol.Solver.x;
   let worst_idx, worst_v = !worst in
@@ -52,8 +52,8 @@ let () =
   Array.iteri
     (fun idx name ->
       let orig = int_of_string (String.sub name 1 (String.length name - 1)) in
-      let predicted = vdd -. drop.Powerrchol.Solver.x.(orig) in
-      let err = Float.abs (predicted -. result.Powerrchol.Solver.x.(idx)) in
+      let predicted = vdd -. drop.Powerrchol.Solver.x.{orig} in
+      let err = Float.abs (predicted -. result.Powerrchol.Solver.x.{idx}) in
       if err > !max_err then max_err := err)
     node_names;
   Format.printf

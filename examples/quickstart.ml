@@ -24,8 +24,8 @@ let () =
      through 10 S), right-hand side = injected currents. *)
   let d = Array.make 9 0.0 in
   d.(node 0 0) <- 10.0;
-  let b = Array.make 9 0.0 in
-  b.(node 2 2) <- -1.0;
+  let b = Sparse.Vec.create 9 in
+  b.{node 2 2} <- -1.0;
 
   let problem = Sddm.Problem.of_graph ~name:"quickstart" ~graph ~d ~b in
 
@@ -36,7 +36,7 @@ let () =
   Format.printf "node voltages (V):@.";
   for y = 0 to 2 do
     for x = 0 to 2 do
-      Format.printf "  %+.4f" result.Powerrchol.Solver.x.(node x y)
+      Format.printf "  %+.4f" result.Powerrchol.Solver.x.{node x y}
     done;
     Format.printf "@."
   done;

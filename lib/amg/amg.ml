@@ -4,13 +4,13 @@ type prolongation =
 
 type level = {
   a : Sparse.Csc.t;
-  diag : float array;
+  diag : Sparse.Vec.t;
   prolong : prolongation;
   n_coarse : int;
   (* scratch vectors reused across cycles *)
-  r : float array;
-  bc : float array;
-  xc : float array;
+  r : Sparse.Vec.t;
+  bc : Sparse.Vec.t;
+  xc : Sparse.Vec.t;
 }
 
 type smoother =
@@ -32,7 +32,7 @@ let aggregate ~theta a =
   let _, n = Sparse.Csc.dims a in
   let diag = Sparse.Csc.diag a in
   let strong i j v =
-    i <> j && Float.abs v >= theta *. sqrt (Float.abs (diag.(i) *. diag.(j)))
+    i <> j && Float.abs v >= theta *. sqrt (Float.abs (diag.{i} *. diag.{j}))
   in
   let agg = Array.make n (-1) in
   let count = ref 0 in
@@ -100,46 +100,53 @@ let smoothed_prolongation ~omega a agg n_coarse =
   let p_tent = Sparse.Csc.of_triplet t in
   let ap = Sparse.Csc.mul a p_tent in
   let diag = Sparse.Csc.diag a in
+  let nnz_ap = Sparse.Csc.nnz ap in
   let scaled =
     Sparse.Csc.drop
       (Sparse.Csc.of_raw ~n_rows ~n_cols:n_coarse
          ~col_ptr:ap.Sparse.Csc.col_ptr ~row_idx:ap.Sparse.Csc.row_idx
          ~values:
-           (Array.mapi
-              (fun k v ->
-                let i = ap.Sparse.Csc.row_idx.(k) in
-                if k < Sparse.Csc.nnz ap then omega *. v /. diag.(i) else v)
-              ap.Sparse.Csc.values))
+           (Sparse.Vec.init
+              (Sparse.Vec.length ap.Sparse.Csc.values)
+              (fun k ->
+                let v = Sparse.Vec.get ap.Sparse.Csc.values k in
+                if k < nnz_ap then
+                  let i = Sparse.Idx.get ap.Sparse.Csc.row_idx k in
+                  omega *. v /. diag.{i}
+                else v)))
       (fun _ _ v -> v <> 0.0)
   in
   Sparse.Csc.add p_tent (Sparse.Csc.scale scaled (-1.0))
 
 (* ---- smoothing: Gauss-Seidel using symmetry (row i = column i) ---- *)
 
-let gs_forward a diag b x =
+let gs_forward a (diag : Sparse.Vec.t) (b : Sparse.Vec.t)
+    (x : Sparse.Vec.t) =
   let _, n = Sparse.Csc.dims a in
   for i = 0 to n - 1 do
-    let acc = ref b.(i) in
+    let acc = ref b.{i} in
     Sparse.Csc.iter_col a i (fun k v ->
-        if k <> i then acc := !acc -. (v *. x.(k)));
-    x.(i) <- !acc /. diag.(i)
+        if k <> i then acc := !acc -. (v *. x.{k}));
+    x.{i} <- !acc /. diag.{i}
   done
 
-let gs_backward a diag b x =
+let gs_backward a (diag : Sparse.Vec.t) (b : Sparse.Vec.t)
+    (x : Sparse.Vec.t) =
   let _, n = Sparse.Csc.dims a in
   for i = n - 1 downto 0 do
-    let acc = ref b.(i) in
+    let acc = ref b.{i} in
     Sparse.Csc.iter_col a i (fun k v ->
-        if k <> i then acc := !acc -. (v *. x.(k)));
-    x.(i) <- !acc /. diag.(i)
+        if k <> i then acc := !acc -. (v *. x.{k}));
+    x.{i} <- !acc /. diag.{i}
   done
 
 (* damped Jacobi sweep using the level's residual buffer as scratch *)
-let jacobi_sweep omega a diag r b x =
+let jacobi_sweep omega a (diag : Sparse.Vec.t) r (b : Sparse.Vec.t)
+    (x : Sparse.Vec.t) =
   let _, n = Sparse.Csc.dims a in
   Sparse.Csc.spmv_into a x r;
   for i = 0 to n - 1 do
-    x.(i) <- x.(i) +. (omega *. (b.(i) -. r.(i)) /. diag.(i))
+    x.{i} <- x.{i} +. (omega *. (b.{i} -. r.{i}) /. diag.{i})
   done
 
 (* ---- hierarchy construction ---- *)
@@ -170,9 +177,9 @@ let build ?(theta = 0.08) ?(max_levels = 20) ?(coarse_size = 200)
             diag = Sparse.Csc.diag a;
             prolong;
             n_coarse;
-            r = Array.make n 0.0;
-            bc = Array.make n_coarse 0.0;
-            xc = Array.make n_coarse 0.0;
+            r = Sparse.Vec.create n;
+            bc = Sparse.Vec.create n_coarse;
+            xc = Sparse.Vec.create n_coarse;
           }
         in
         grow (level :: levels) a_c (depth + 1)
@@ -220,15 +227,15 @@ let grid_sizes t =
   let sizes = Array.map (fun l -> snd (Sparse.Csc.dims l.a)) t.levels in
   Array.append sizes [| snd (Sparse.Csc.dims t.coarse) |]
 
-let rec cycle t depth b x =
+let rec cycle t depth (b : Sparse.Vec.t) (x : Sparse.Vec.t) =
   if depth = Array.length t.levels then begin
     let sol = Factor.Chol.solve_factored t.coarse_factor b in
-    Array.blit sol 0 x 0 (Array.length x)
+    Sparse.Vec.blit ~src:sol ~dst:x
   end
   else begin
     let l = t.levels.(depth) in
-    let n = Array.length x in
-    Array.fill x 0 n 0.0;
+    let n = Sparse.Vec.length x in
+    Sparse.Vec.fill x 0.0;
     for _ = 1 to t.pre_sweeps do
       match t.smoother with
       | Gauss_seidel -> gs_forward l.a l.diag b x
@@ -237,28 +244,28 @@ let rec cycle t depth b x =
     (* restrict residual: bc = P^T (b - A x) *)
     Sparse.Csc.spmv_into l.a x l.r;
     for i = 0 to n - 1 do
-      l.r.(i) <- b.(i) -. l.r.(i)
+      l.r.{i} <- b.{i} -. l.r.{i}
     done;
     (match l.prolong with
      | Piecewise agg ->
-       Array.fill l.bc 0 l.n_coarse 0.0;
+       Sparse.Vec.fill l.bc 0.0;
        for i = 0 to n - 1 do
-         l.bc.(agg.(i)) <- l.bc.(agg.(i)) +. l.r.(i)
+         l.bc.{agg.(i)} <- l.bc.{agg.(i)} +. l.r.{i}
        done
      | Matrix p ->
        let restricted = Sparse.Csc.spmv_t p l.r in
-       Array.blit restricted 0 l.bc 0 l.n_coarse);
+       Sparse.Vec.blit ~src:restricted ~dst:l.bc);
     cycle t (depth + 1) l.bc l.xc;
     (* prolong and correct: x += P xc *)
     (match l.prolong with
      | Piecewise agg ->
        for i = 0 to n - 1 do
-         x.(i) <- x.(i) +. l.xc.(agg.(i))
+         x.{i} <- x.{i} +. l.xc.{agg.(i)}
        done
      | Matrix p ->
        let lift = Sparse.Csc.spmv p l.xc in
        for i = 0 to n - 1 do
-         x.(i) <- x.(i) +. lift.(i)
+         x.{i} <- x.{i} +. lift.{i}
        done);
     for _ = 1 to t.post_sweeps do
       match t.smoother with
@@ -273,24 +280,24 @@ let solve ?(rtol = 1e-6) ?(max_iter = 100) t b =
   let a =
     if Array.length t.levels = 0 then t.coarse else t.levels.(0).a
   in
-  let n = Array.length b in
-  let x = Array.make n 0.0 in
-  let e = Array.make n 0.0 in
-  let r = Array.make n 0.0 in
+  let n = Sparse.Vec.length b in
+  let x = Sparse.Vec.create n in
+  let e = Sparse.Vec.create n in
+  let r = Sparse.Vec.create n in
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then (x, 0, true)
   else begin
     let cycles = ref 0 in
     let rel = ref 1.0 in
-    Array.blit b 0 r 0 n;
+    Sparse.Vec.blit ~src:b ~dst:r;
     while !rel > rtol && !cycles < max_iter do
       v_cycle t r e;
       for i = 0 to n - 1 do
-        x.(i) <- x.(i) +. e.(i)
+        x.{i} <- x.{i} +. e.{i}
       done;
       Sparse.Csc.spmv_into a x r;
       for i = 0 to n - 1 do
-        r.(i) <- b.(i) -. r.(i)
+        r.{i} <- b.{i} -. r.{i}
       done;
       rel := Sparse.Vec.norm2 r /. b_norm;
       incr cycles

@@ -40,13 +40,13 @@ val operator_complexity : t -> float
 val grid_sizes : t -> int array
 (** Unknown counts per level, finest first. *)
 
-val v_cycle : t -> float array -> float array -> unit
+val v_cycle : t -> Sparse.Vec.t -> Sparse.Vec.t -> unit
 (** [v_cycle t b x] runs one V-cycle for [A x = b] starting from [x = 0]
     and writes the result into [x]. *)
 
 val solve :
-  ?rtol:float -> ?max_iter:int -> t -> float array ->
-  float array * int * bool
+  ?rtol:float -> ?max_iter:int -> t -> Sparse.Vec.t ->
+  Sparse.Vec.t * int * bool
 (** Standalone AMG iteration (repeated V-cycles, no Krylov acceleration):
     returns [(x, cycles, converged)]. *)
 

@@ -15,7 +15,7 @@ val solve :
 
 val solve_many :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?buckets:int ->
-  ?heavy_factor:float -> Sddm.Problem.t -> float array array ->
+  ?heavy_factor:float -> Sddm.Problem.t -> Sparse.Vec.t array ->
   Solver.prepared * Solver.result array
 (** [solve_many problem bs] factors once (through the {!Engine} cache) and
     solves every right-hand side in [bs] against it. Each result carries
@@ -26,7 +26,7 @@ val solve_many :
 
 val solve_matrix :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?name:string ->
-  a:Sparse.Csc.t -> b:float array -> unit -> Solver.result
+  a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit -> Solver.result
 (** Like {!solve} but validates and splits a raw matrix first. Raises
     [Invalid_argument] if [a] is not SDDM. *)
 
@@ -56,7 +56,7 @@ val solve_robust :
 
 val solve_matrix_robust :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
-  ?name:string -> a:Sparse.Csc.t -> b:float array -> unit ->
+  ?name:string -> a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit ->
   Solver.robust_result
 (** Like {!solve_robust} but accepts a raw, possibly corrupted matrix: the
     pre-flight diagnostics run {e before} SDDM validation, so NaN entries,
@@ -65,7 +65,7 @@ val solve_matrix_robust :
 
 val solve_matrix_robust_profiled :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?retries:int ->
-  ?name:string -> a:Sparse.Csc.t -> b:float array -> unit ->
+  ?name:string -> a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit ->
   Solver.robust_result * Obs.record
 (** {!solve_matrix_robust} with the observability layer enabled (see
     {!Solver.solve_robust_profiled}). Diagnostics-rejected inputs still

@@ -21,7 +21,7 @@ let is_sdd a =
 let reduce a ~b =
   if not (is_sdd a) then invalid_arg "Sdd.reduce: matrix is not SDD";
   let _, n = Sparse.Csc.dims a in
-  assert (Array.length b = n);
+  assert (Sparse.Vec.length b = n);
   let edges = ref [] in
   let off_abs = Array.make n 0.0 in
   let diag = Array.make n 0.0 in
@@ -48,14 +48,17 @@ let reduce a ~b =
   let graph =
     Sddm.Graph.create ~n:(2 * n) ~edges:(Array.of_list !edges)
   in
-  let bb = Array.append b (Array.map (fun v -> -.v) b) in
+  let bb =
+    Sparse.Vec.init (2 * n) (fun i ->
+        if i < n then Sparse.Vec.get b i else -.Sparse.Vec.get b (i - n))
+  in
   Sddm.Problem.of_graph ~name:"sdd-doubled" ~graph ~d ~b:bb
 
-let recover y =
-  let n2 = Array.length y in
+let recover (y : Sparse.Vec.t) =
+  let n2 = Sparse.Vec.length y in
   assert (n2 mod 2 = 0);
   let n = n2 / 2 in
-  Array.init n (fun i -> (y.(i) -. y.(n + i)) /. 2.0)
+  Sparse.Vec.init n (fun i -> (y.{i} -. y.{n + i}) /. 2.0)
 
 let solve ?rtol ?seed ~a ~b () =
   let doubled = reduce a ~b in

@@ -17,16 +17,16 @@
 val is_sdd : Sparse.Csc.t -> bool
 (** Symmetric with [a_ii >= sum_j |a_ij|] (up to rounding). *)
 
-val reduce : Sparse.Csc.t -> b:float array -> Sddm.Problem.t
+val reduce : Sparse.Csc.t -> b:Sparse.Vec.t -> Sddm.Problem.t
 (** [reduce a ~b] builds the doubled SDDM problem (size [2n]). Raises
     [Invalid_argument] if [a] is not SDD. *)
 
-val recover : float array -> float array
+val recover : Sparse.Vec.t -> Sparse.Vec.t
 (** [recover y] maps the doubled solution back: length [2n] -> [n]. *)
 
 val solve :
-  ?rtol:float -> ?seed:int -> a:Sparse.Csc.t -> b:float array -> unit ->
-  float array * Solver.result
+  ?rtol:float -> ?seed:int -> a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit ->
+  Sparse.Vec.t * Solver.result
 (** Solve a general SDD system with the PowerRChol pipeline through the
     reduction; returns the recovered solution and the raw solver result
     on the doubled system. *)

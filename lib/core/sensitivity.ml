@@ -10,7 +10,7 @@ type gradient = {
    dA/dd_u = e_u e_u^T, so dphi/dd_u = -lambda_u x_u. *)
 let of_objective ?rtol ?(seed = Solver.default_seed) p ~c =
   let n = Sddm.Problem.n p in
-  assert (Array.length c = n);
+  assert (Sparse.Vec.length c = n);
   (* primal and adjoint share one preparation (A is symmetric); the
      adjoint is just the same factorization against rhs [c] *)
   let prepared = Engine.powerrchol ~seed p in
@@ -22,19 +22,18 @@ let of_objective ?rtol ?(seed = Solver.default_seed) p ~c =
   let d_edges = Array.make m 0.0 in
   for e = 0 to m - 1 do
     let u, v, _ = Sddm.Graph.edge g e in
-    d_edges.(e) <- -.((x.(u) -. x.(v)) *. (lambda.(u) -. lambda.(v)))
+    d_edges.(e) <- -.((x.{u} -. x.{v}) *. (lambda.{u} -. lambda.{v}))
   done;
-  let d_pads = Array.init n (fun i -> -.(x.(i) *. lambda.(i))) in
+  let d_pads = Array.init n (fun i -> -.(x.{i} *. lambda.{i})) in
   { d_edges; d_pads; objective = Sparse.Vec.dot c x }
 
 let worst_node_drop ?rtol ?seed p =
   let primal = Pipeline.solve ?rtol ?seed p in
   let worst = ref 0 in
-  Array.iteri
-    (fun i v -> if v > primal.Solver.x.(!worst) then worst := i)
-    primal.Solver.x;
-  let c = Array.make (Sddm.Problem.n p) 0.0 in
-  c.(!worst) <- 1.0;
+  let px = primal.Solver.x in
+  Sparse.Vec.iteri (fun i v -> if v > px.{!worst} then worst := i) px;
+  let c = Sparse.Vec.create (Sddm.Problem.n p) in
+  c.{!worst} <- 1.0;
   (!worst, of_objective ?rtol ?seed p ~c)
 
 let most_critical_edges p gradient k =

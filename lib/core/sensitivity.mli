@@ -20,7 +20,7 @@ type gradient = {
 }
 
 val of_objective :
-  ?rtol:float -> ?seed:int -> Sddm.Problem.t -> c:float array -> gradient
+  ?rtol:float -> ?seed:int -> Sddm.Problem.t -> c:Sparse.Vec.t -> gradient
 (** [of_objective p ~c] computes phi = c^T x and its gradient. *)
 
 val worst_node_drop :

@@ -15,7 +15,7 @@ type t = {
 
 type result = {
   solver : string;
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   status : Krylov.Pcg.status;
   converged : bool;
@@ -61,21 +61,21 @@ let solve_prepared_ws ?rtol ?(max_iter = 500) ?deadline ?x0 ?(history = false)
   let problem = p.problem in
   let n = Sddm.Problem.n problem in
   let b = match b with Some b -> b | None -> problem.Sddm.Problem.b in
-  if Array.length b <> n then
+  if Sparse.Vec.length b <> n then
     invalid_arg
       (Printf.sprintf
          "Solver.solve_prepared: rhs length %d, system dimension %d"
-         (Array.length b) n);
+         (Sparse.Vec.length b) n);
   let x, warm_start =
     match x0 with
     | Some v ->
-      if Array.length v <> n then
+      if Sparse.Vec.length v <> n then
         invalid_arg
           (Printf.sprintf
              "Solver.solve_prepared: x0 length %d, system dimension %d"
-             (Array.length v) n);
-      (Array.copy v, true)
-    | None -> (Array.make n 0.0, false)
+             (Sparse.Vec.length v) n);
+      (Sparse.Vec.copy v, true)
+    | None -> (Sparse.Vec.create n, false)
   in
   let t0 = now () in
   let pcg =
@@ -160,7 +160,7 @@ let iterate ?rtol ?(max_iter = 500) ?deadline solver prepared problem =
     Obs.span "pcg" (fun () ->
         Krylov.Pcg.solve_into ?rtol ~max_iter ?deadline ~history:true
           ~condition:true ~warm_start:false ~workspace:prepared.workspace
-          ~x:(Array.make n 0.0) ~a:problem.Sddm.Problem.a
+          ~x:(Sparse.Vec.create n) ~a:problem.Sddm.Problem.a
           ~b:problem.Sddm.Problem.b ~precond:prepared.precond ())
   in
   let t_iterate = now () -. t0 in
@@ -212,7 +212,8 @@ let rand_chol_custom ~name ~sort ~sampling ~ordering ?(seed = default_seed)
     let l =
       Obs.span "factor" (fun () ->
           let gp = Sddm.Graph.permute g perm in
-          let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+          let d = problem.Sddm.Problem.d in
+          let dp = Array.init (Array.length perm) (fun k -> d.(perm.(k))) in
           let rng = Rng.create seed in
           Factor.Rand_chol.factorize ~sort ~sampling ~rng gp ~d:dp)
     in
@@ -262,7 +263,8 @@ let powerrchol_prepare ?(buckets = Factor.Lt_rchol.default_buckets)
   let l =
     Obs.span "factor" (fun () ->
         let gp = Sddm.Graph.permute g perm in
-        let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+        let d = problem.Sddm.Problem.d in
+        let dp = Array.init (Array.length perm) (fun k -> d.(perm.(k))) in
         let rng = Rng.create seed in
         Factor.Lt_rchol.factorize ~buckets ~rng gp ~d:dp)
   in
@@ -378,7 +380,7 @@ type robust_result = {
 
 and robust_outcome =
   | Robust_solved of {
-      x : float array;
+      x : Sparse.Vec.t;
       winner : string;
       iterations : int;
       residual : float;

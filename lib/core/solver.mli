@@ -33,7 +33,7 @@ type t = {
 
 type result = {
   solver : string;
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   status : Krylov.Pcg.status;  (** typed PCG exit status *)
   converged : bool;  (** derived view: [status = Converged] *)
@@ -50,8 +50,8 @@ val prepare : t -> Sddm.Problem.t -> prepared
     reusable handle. Recorded under the Obs span ["prepare"]. *)
 
 val solve_prepared :
-  ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?x0:float array ->
-  ?history:bool -> ?condition:bool -> ?b:float array -> prepared -> result
+  ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?x0:Sparse.Vec.t ->
+  ?history:bool -> ?condition:bool -> ?b:Sparse.Vec.t -> prepared -> result
 (** [solve_prepared p] runs PCG against the prepared factorization.
     [b] defaults to the right-hand side of the prepared problem; pass a
     different [b] (of the same dimension) to solve the same matrix for a
@@ -66,7 +66,7 @@ val solve_prepared :
 
 val solve_many :
   ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?history:bool ->
-  ?condition:bool -> prepared -> float array array -> result array
+  ?condition:bool -> prepared -> Sparse.Vec.t array -> result array
 (** [solve_many p bs] amortizes one factorization over a batch of
     right-hand sides. With one domain (or a busy pool) the batch runs
     sequentially on the handle's workspace; with more domains it is
@@ -168,7 +168,7 @@ type robust_result = {
 
 and robust_outcome =
   | Robust_solved of {
-      x : float array;
+      x : Sparse.Vec.t;
       winner : string;
           (** rung that produced the verified solution; for multi-island
               solves, the distinct winning rungs joined with [+] *)

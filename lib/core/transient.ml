@@ -1,7 +1,7 @@
 type t = {
   problem : Sddm.Problem.t;  (* the shifted system G + C/h, b = DC loads *)
   cap_over_h : float array;
-  b_dc : float array;
+  b_dc : Sparse.Vec.t;
   h : float;
   prepared : Solver.prepared;  (* factorization + PCG workspace, reused *)
   t_prepare : float;
@@ -17,7 +17,7 @@ type step_stats = {
 
 type result = {
   steps : step_stats array;
-  v_final : float array;
+  v_final : Sparse.Vec.t;
   peak_drop : float;
   peak_time : float;
   total_iterations : int;
@@ -81,8 +81,8 @@ let simulate t ~steps ~waveform =
   assert (steps > 0);
   let n = Sddm.Problem.n t.problem in
   let a = t.problem.Sddm.Problem.a in
-  let v = Array.make n 0.0 in
-  let rhs = Array.make n 0.0 in
+  let v = Sparse.Vec.create n in
+  let rhs = Sparse.Vec.create n in
   let stats = ref [] in
   let total_iterations = ref 0 in
   let peak_drop = ref 0.0 in
@@ -91,8 +91,9 @@ let simulate t ~steps ~waveform =
   for k = 1 to steps do
     let time = float_of_int k *. t.h in
     let scale = waveform time in
+    let b_dc = t.b_dc in
     for i = 0 to n - 1 do
-      rhs.(i) <- (scale *. t.b_dc.(i)) +. (t.cap_over_h.(i) *. v.(i))
+      rhs.{i} <- (scale *. b_dc.{i}) +. (t.cap_over_h.(i) *. v.{i})
     done;
     (* in-place solve: [v] is both the warm start and the output buffer,
        and the handle's workspace supplies the r/z/p/q iteration vectors —

@@ -30,7 +30,7 @@ type step_stats = {
 
 type result = {
   steps : step_stats array;
-  v_final : float array;  (** final drop vector *)
+  v_final : Sparse.Vec.t;  (** final drop vector *)
   peak_drop : float;  (** max over all steps *)
   peak_time : float;  (** when the peak occurred *)
   total_iterations : int;
@@ -51,7 +51,7 @@ val simulate :
     from the all-zero drop state. [waveform time] scales the DC load
     vector at each step (values in [0, inf); 1 = full DC load). *)
 
-val dc_drop : t -> float array
+val dc_drop : t -> Sparse.Vec.t
 (** Steady-state drop under full load, for comparing transient peaks
     against the DC answer. *)
 

@@ -58,10 +58,10 @@ let factorize a =
     vals.(cursor.(k)) <- sqrt !d;
     cursor.(k) <- cursor.(k) + 1
   done;
-  Lower.of_raw ~n ~col_ptr ~rows ~vals
+  Lower.of_arrays ~n ~col_ptr ~rows ~vals
 
 let solve_factored l b =
-  let x = Array.copy b in
+  let x = Sparse.Vec.copy b in
   Lower.solve_in_place l x;
   Lower.solve_transpose_in_place l x;
   x

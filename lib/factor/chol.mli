@@ -13,8 +13,8 @@ val factorize : Sparse.Csc.t -> Lower.t
     fill-reducing permutation is wanted). Raises
     {!Not_positive_definite}. *)
 
-val solve : Sparse.Csc.t -> float array -> float array
+val solve : Sparse.Csc.t -> Sparse.Vec.t -> Sparse.Vec.t
 (** [solve a b] factors and solves in one call (no reuse). *)
 
-val solve_factored : Lower.t -> float array -> float array
+val solve_factored : Lower.t -> Sparse.Vec.t -> Sparse.Vec.t
 (** Triangular solve pair with a precomputed factor. *)

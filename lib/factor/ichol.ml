@@ -127,7 +127,7 @@ let attempt ~drop_tol ~alpha a =
     Array.blit col_rows.(jc) 0 rows col_ptr.(jc) col_len.(jc);
     Array.blit col_vals.(jc) 0 vals col_ptr.(jc) col_len.(jc)
   done;
-  Lower.of_raw ~n ~col_ptr ~rows ~vals
+  Lower.of_arrays ~n ~col_ptr ~rows ~vals
 
 let factorize ?(drop_tol = 1e-4) ?(initial_shift = 1e-3) ?(max_tries = 12) a =
   Obs.span "ichol" @@ fun () ->

@@ -57,17 +57,17 @@ let factorize a =
     vals.(cursor.(k)) <- 1.0;
     cursor.(k) <- cursor.(k) + 1
   done;
-  { l = Lower.of_raw ~n ~col_ptr ~rows ~vals; d }
+  { l = Lower.of_arrays ~n ~col_ptr ~rows ~vals; d }
 
 (* Note on the update loop above: column j of L stores l_ij while x carried
    y = (L D)_kj-ish partial sums; using y (not lkj) against stored l_ij
    implements x_i -= l_ij * d_j * l_kj since vals are l_ij and y = d_j l_kj. *)
 
 let solve_factored f b =
-  let x = Array.copy b in
+  let x = Sparse.Vec.copy b in
   Lower.solve_in_place f.l x;
-  for i = 0 to Array.length x - 1 do
-    x.(i) <- x.(i) /. f.d.(i)
+  for i = 0 to Sparse.Vec.length x - 1 do
+    x.{i} <- x.{i} /. f.d.(i)
   done;
   Lower.solve_transpose_in_place f.l x;
   x
@@ -76,13 +76,13 @@ let solve a b = solve_factored (factorize a) b
 
 let to_cholesky f =
   let n = Lower.dim f.l in
-  let col_ptr = Array.copy f.l.Lower.col_ptr in
-  let rows = Array.copy f.l.Lower.rows in
-  let vals = Array.copy f.l.Lower.vals in
+  let col_ptr = Sparse.Idx.copy f.l.Lower.col_ptr in
+  let rows = Sparse.Idx.copy f.l.Lower.rows in
+  let vals = Sparse.Vec.copy f.l.Lower.vals in
   for j = 0 to n - 1 do
     let s = sqrt f.d.(j) in
-    for p = col_ptr.(j) to col_ptr.(j + 1) - 1 do
-      vals.(p) <- vals.(p) *. s
+    for p = Sparse.Idx.get col_ptr j to Sparse.Idx.get col_ptr (j + 1) - 1 do
+      vals.{p} <- vals.{p} *. s
     done
   done;
   Lower.of_raw ~n ~col_ptr ~rows ~vals

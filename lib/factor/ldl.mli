@@ -16,11 +16,11 @@ type t = {
 val factorize : Sparse.Csc.t -> t
 (** Factor a symmetric positive definite matrix in natural order. *)
 
-val solve_factored : t -> float array -> float array
+val solve_factored : t -> Sparse.Vec.t -> Sparse.Vec.t
 (** [solve_factored f b] solves [A x = b] as
     [L^T x = D^-1 (L^-1 b)]. *)
 
-val solve : Sparse.Csc.t -> float array -> float array
+val solve : Sparse.Csc.t -> Sparse.Vec.t -> Sparse.Vec.t
 
 val to_cholesky : t -> Lower.t
 (** Rescale into the Cholesky factor [L * sqrt(D)] — useful for comparing

@@ -1,3 +1,7 @@
+open Sparse.Idx.Ops
+module Idx = Sparse.Idx
+module Vec = Sparse.Vec
+
 (* Level-scheduled triangular solves: columns are bucketed into dependency
    levels (column i depends on column j when L(i,j) != 0, i > j); every
    column in a level can be eliminated concurrently once the previous
@@ -10,46 +14,51 @@ type schedule = {
   level_ptr : int array;
   order : int array;
   level_of : int array;
-  row_ptr : int array;
-  row_cols : int array;
-  row_vals : float array;
+  row_ptr : Idx.t;
+  row_cols : Idx.t;
+  row_vals : Vec.t;
 }
 
 type t = {
   n : int;
-  col_ptr : int array;
-  rows : int array;
-  vals : float array;
-  mutable diag_cache : float array option;
+  col_ptr : Idx.t;
+  rows : Idx.t;
+  vals : Vec.t;
+  mutable diag_cache : Vec.t option;
   mutable sched_cache : schedule option;
 }
 
 let of_raw ~n ~col_ptr ~rows ~vals =
-  if Array.length col_ptr <> n + 1 then invalid_arg "Lower: bad col_ptr";
-  if col_ptr.(0) <> 0 then invalid_arg "Lower: col_ptr.(0) <> 0";
-  let len = col_ptr.(n) in
-  if Array.length rows < len || Array.length vals < len then
+  if Idx.length col_ptr <> n + 1 then invalid_arg "Lower: bad col_ptr";
+  if col_ptr.%(0) <> 0 then invalid_arg "Lower: col_ptr.(0) <> 0";
+  let len = col_ptr.%(n) in
+  if Idx.length rows < len || Vec.length vals < len then
     invalid_arg "Lower: rows/vals too short";
   for j = 0 to n - 1 do
-    let lo = col_ptr.(j) and hi = col_ptr.(j + 1) in
+    let lo = col_ptr.%(j) and hi = col_ptr.%(j + 1) in
     if lo >= hi then invalid_arg "Lower: empty column (missing diagonal)";
-    if rows.(lo) <> j then invalid_arg "Lower: first entry must be diagonal";
-    if not (vals.(lo) > 0.0) then invalid_arg "Lower: nonpositive diagonal";
+    if rows.%(lo) <> j then invalid_arg "Lower: first entry must be diagonal";
+    if not (Vec.get vals lo > 0.0) then
+      invalid_arg "Lower: nonpositive diagonal";
     for k = lo + 1 to hi - 1 do
-      if rows.(k) <= j || rows.(k) >= n then
+      if rows.%(k) <= j || rows.%(k) >= n then
         invalid_arg "Lower: subdiagonal row out of range"
     done
   done;
   { n; col_ptr; rows; vals; diag_cache = None; sched_cache = None }
 
-let nnz l = l.col_ptr.(l.n)
+let of_arrays ~n ~col_ptr ~rows ~vals =
+  of_raw ~n ~col_ptr:(Idx.of_array col_ptr) ~rows:(Idx.of_array rows)
+    ~vals:(Vec.of_array vals)
+
+let nnz l = l.col_ptr.%(l.n)
 let dim l = l.n
 
 let diag l =
   match l.diag_cache with
   | Some d -> d
   | None ->
-    let d = Array.init l.n (fun j -> l.vals.(l.col_ptr.(j))) in
+    let d = Vec.init l.n (fun j -> Vec.get l.vals l.col_ptr.%(j)) in
     l.diag_cache <- Some d;
     d
 
@@ -58,8 +67,8 @@ let to_csc l =
     Sparse.Triplet.create ~capacity:(max (nnz l) 1) ~n_rows:l.n ~n_cols:l.n ()
   in
   for j = 0 to l.n - 1 do
-    for k = l.col_ptr.(j) to l.col_ptr.(j + 1) - 1 do
-      Sparse.Triplet.add t l.rows.(k) j l.vals.(k)
+    for k = l.col_ptr.%(j) to l.col_ptr.%(j + 1) - 1 do
+      Sparse.Triplet.add t l.rows.%(k) j (Vec.get l.vals k)
     done
   done;
   Sparse.Csc.of_triplet t
@@ -81,8 +90,8 @@ let build_schedule l =
   for j = 0 to n - 1 do
     let lj = level_of.(j) in
     if lj > !max_level then max_level := lj;
-    for k = col_ptr.(j) + 1 to col_ptr.(j + 1) - 1 do
-      let i = rows.(k) in
+    for k = col_ptr.%(j) + 1 to col_ptr.%(j + 1) - 1 do
+      let i = rows.%(k) in
       if level_of.(i) <= lj then level_of.(i) <- lj + 1
     done
   done;
@@ -109,24 +118,24 @@ let build_schedule l =
      ascending column order with the diagonal last — the same term order
      the sequential column-scatter solve applies, so the scheduled solve
      produces the same floating-point result. *)
-  let len = col_ptr.(n) in
-  let row_ptr = Array.make (n + 1) 0 in
+  let len = col_ptr.%(n) in
+  let row_ptr = Idx.make (n + 1) in
   for k = 0 to len - 1 do
-    row_ptr.(rows.(k) + 1) <- row_ptr.(rows.(k) + 1) + 1
+    row_ptr.%(rows.%(k) + 1) <- row_ptr.%(rows.%(k) + 1) + 1
   done;
   for i = 1 to n do
-    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+    row_ptr.%(i) <- row_ptr.%(i) + row_ptr.%(i - 1)
   done;
-  let row_cols = Array.make (max len 1) 0 in
-  let row_vals = Array.make (max len 1) 0.0 in
-  let rcursor = Array.sub row_ptr 0 (max n 1) in
+  let row_cols = Idx.make (max len 1) in
+  let row_vals = Vec.create (max len 1) in
+  let rcursor = Idx.sub (Idx.copy row_ptr) 0 (max n 1) in
   for j = 0 to n - 1 do
-    for k = col_ptr.(j) to col_ptr.(j + 1) - 1 do
-      let i = rows.(k) in
-      let pos = rcursor.(i) in
-      row_cols.(pos) <- j;
-      row_vals.(pos) <- vals.(k);
-      rcursor.(i) <- pos + 1
+    for k = col_ptr.%(j) to col_ptr.%(j + 1) - 1 do
+      let i = rows.%(k) in
+      let pos = rcursor.%(i) in
+      row_cols.%(pos) <- j;
+      Vec.set row_vals pos (Vec.get vals k);
+      rcursor.%(i) <- pos + 1
     done
   done;
   { n_levels; level_ptr; order; level_of; row_ptr; row_cols; row_vals }
@@ -146,34 +155,39 @@ let schedule l =
 let par_solve_min = 4096
 let level_min_cols = 256
 
-let solve_in_place l x =
-  if Array.length x <> l.n then
+let solve_in_place l (x : Vec.t) =
+  if Vec.length x <> l.n then
     invalid_arg "Lower.solve_in_place: vector length does not match factor";
   for j = 0 to l.n - 1 do
-    let lo = l.col_ptr.(j) in
-    let xj = x.(j) /. l.vals.(lo) in
-    x.(j) <- xj;
+    let lo = l.col_ptr.%(j) in
+    let xj = x.{j} /. Vec.get l.vals lo in
+    x.{j} <- xj;
     if xj <> 0.0 then
-      for k = lo + 1 to l.col_ptr.(j + 1) - 1 do
-        x.(l.rows.(k)) <- x.(l.rows.(k)) -. (l.vals.(k) *. xj)
+      for k = lo + 1 to l.col_ptr.%(j + 1) - 1 do
+        let i = Idx.unsafe_get l.rows k in
+        Vec.unsafe_set x i
+          (Vec.unsafe_get x i -. (Vec.unsafe_get l.vals k *. xj))
       done
   done
 
-let solve_transpose_in_place l x =
-  if Array.length x <> l.n then
+let solve_transpose_in_place l (x : Vec.t) =
+  if Vec.length x <> l.n then
     invalid_arg
       "Lower.solve_transpose_in_place: vector length does not match factor";
   for j = l.n - 1 downto 0 do
-    let lo = l.col_ptr.(j) in
-    let acc = ref x.(j) in
-    for k = lo + 1 to l.col_ptr.(j + 1) - 1 do
-      acc := !acc -. (l.vals.(k) *. x.(l.rows.(k)))
+    let lo = l.col_ptr.%(j) in
+    let acc = ref x.{j} in
+    for k = lo + 1 to l.col_ptr.%(j + 1) - 1 do
+      acc :=
+        !acc
+        -. (Vec.unsafe_get l.vals k
+            *. Vec.unsafe_get x (Idx.unsafe_get l.rows k))
     done;
-    x.(j) <- !acc /. l.vals.(lo)
+    x.{j} <- !acc /. Vec.get l.vals lo
   done
 
-let solve_in_place_sched l ~pool x =
-  if Array.length x <> l.n then
+let solve_in_place_sched l ~pool (x : Vec.t) =
+  if Vec.length x <> l.n then
     invalid_arg
       "Lower.solve_in_place_sched: vector length does not match factor";
   let s = schedule l in
@@ -186,17 +200,20 @@ let solve_in_place_sched l ~pool x =
       ~hi:s.level_ptr.(lvl + 1) (fun clo chi ->
         for idx = clo to chi - 1 do
           let i = order.(idx) in
-          let hi_k = row_ptr.(i + 1) in
-          let acc = ref x.(i) in
-          for k = row_ptr.(i) to hi_k - 2 do
-            acc := !acc -. (row_vals.(k) *. x.(row_cols.(k)))
+          let hi_k = row_ptr.%(i + 1) in
+          let acc = ref x.{i} in
+          for k = row_ptr.%(i) to hi_k - 2 do
+            acc :=
+              !acc
+              -. (Vec.unsafe_get row_vals k
+                  *. Vec.unsafe_get x (Idx.unsafe_get row_cols k))
           done;
-          x.(i) <- !acc /. row_vals.(hi_k - 1)
+          x.{i} <- !acc /. Vec.get row_vals (hi_k - 1)
         done)
   done
 
-let solve_transpose_in_place_sched l ~pool x =
-  if Array.length x <> l.n then
+let solve_transpose_in_place_sched l ~pool (x : Vec.t) =
+  if Vec.length x <> l.n then
     invalid_arg
       "Lower.solve_transpose_in_place_sched: vector length does not match \
        factor";
@@ -213,12 +230,15 @@ let solve_transpose_in_place_sched l ~pool x =
       ~hi:s.level_ptr.(lvl + 1) (fun clo chi ->
         for idx = clo to chi - 1 do
           let j = order.(idx) in
-          let lo = col_ptr.(j) in
-          let acc = ref x.(j) in
-          for k = lo + 1 to col_ptr.(j + 1) - 1 do
-            acc := !acc -. (vals.(k) *. x.(rows.(k)))
+          let lo = col_ptr.%(j) in
+          let acc = ref x.{j} in
+          for k = lo + 1 to col_ptr.%(j + 1) - 1 do
+            acc :=
+              !acc
+              -. (Vec.unsafe_get vals k
+                  *. Vec.unsafe_get x (Idx.unsafe_get rows k))
           done;
-          x.(j) <- !acc /. vals.(lo)
+          x.{j} <- !acc /. Vec.get vals lo
         done)
   done
 
@@ -226,9 +246,9 @@ let apply_preconditioner l ~perm ~scratch r z =
   let n = l.n in
   if Array.length perm <> n then
     invalid_arg "Lower.apply_preconditioner: perm length does not match factor";
-  if Array.length scratch < n then
+  if Vec.length scratch < n then
     invalid_arg "Lower.apply_preconditioner: scratch shorter than factor";
-  if Array.length r <> n || Array.length z <> n then
+  if Vec.length r <> n || Vec.length z <> n then
     invalid_arg
       "Lower.apply_preconditioner: vector lengths do not match factor";
   let pool = Par.default () in
@@ -236,26 +256,26 @@ let apply_preconditioner l ~perm ~scratch r z =
     (* scratch <- P r *)
     Par.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
         for k = lo to hi - 1 do
-          scratch.(k) <- r.(perm.(k))
+          Vec.set scratch k (Vec.get r perm.(k))
         done);
     solve_in_place_sched l ~pool scratch;
     solve_transpose_in_place_sched l ~pool scratch;
     (* z <- P^T scratch; perm is a bijection so the writes are disjoint *)
     Par.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
         for k = lo to hi - 1 do
-          z.(perm.(k)) <- scratch.(k)
+          Vec.set z perm.(k) (Vec.get scratch k)
         done)
   end
   else begin
     (* scratch <- P r *)
     for k = 0 to n - 1 do
-      scratch.(k) <- r.(perm.(k))
+      Vec.set scratch k (Vec.get r perm.(k))
     done;
     solve_in_place l scratch;
     solve_transpose_in_place l scratch;
     (* z <- P^T scratch *)
     for k = 0 to n - 1 do
-      z.(perm.(k)) <- scratch.(k)
+      Vec.set z perm.(k) (Vec.get scratch k)
     done
   end
 

@@ -4,7 +4,11 @@
     sorted — the randomized factorizations emit neighbors in weight order
     and sorting them would break LT-RChol's linear-time bound. The only
     structural invariant is that each column's {e first} stored entry is its
-    diagonal. Triangular solves do not need sorted columns. *)
+    diagonal. Triangular solves do not need sorted columns.
+
+    Storage is Bigarray-backed like {!Sparse.Csc}: index arrays are
+    {!Sparse.Idx.t} (int32 by default, native word under
+    [POWERRCHOL_IDX64]) and values are {!Sparse.Vec.t}. *)
 
 type schedule = private {
   n_levels : int;  (** depth of the column dependency DAG *)
@@ -14,12 +18,12 @@ type schedule = private {
   order : int array;
       (** all columns, grouped by level, ascending within each level *)
   level_of : int array;  (** level of each column *)
-  row_ptr : int array;
+  row_ptr : Sparse.Idx.t;
       (** row-oriented copy of the factor for the gather-form forward
           solve: length [n + 1] *)
-  row_cols : int array;
+  row_cols : Sparse.Idx.t;
       (** per row: column indices ascending, diagonal last *)
-  row_vals : float array;
+  row_vals : Sparse.Vec.t;
 }
 (** Level schedule for parallel triangular solves: all columns of a level
     depend only on columns of strictly earlier levels, so each level's
@@ -28,22 +32,27 @@ type schedule = private {
 
 type t = private {
   n : int;
-  col_ptr : int array;  (** length [n + 1] *)
-  rows : int array;
-  vals : float array;
-  mutable diag_cache : float array option;
+  col_ptr : Sparse.Idx.t;  (** length [n + 1] *)
+  rows : Sparse.Idx.t;
+  vals : Sparse.Vec.t;
+  mutable diag_cache : Sparse.Vec.t option;
   mutable sched_cache : schedule option;
 }
 
 val of_raw :
-  n:int -> col_ptr:int array -> rows:int array -> vals:float array -> t
+  n:int -> col_ptr:Sparse.Idx.t -> rows:Sparse.Idx.t -> vals:Sparse.Vec.t -> t
 (** Validates: diagonal-first columns, in-bounds subdiagonal rows, strictly
     positive diagonal values. *)
+
+val of_arrays :
+  n:int -> col_ptr:int array -> rows:int array -> vals:float array -> t
+(** {!of_raw} from plain OCaml arrays (copies into Bigarray storage).
+    Convenience for tests and small fixtures. *)
 
 val nnz : t -> int
 val dim : t -> int
 
-val diag : t -> float array
+val diag : t -> Sparse.Vec.t
 (** The diagonal of the factor. Computed on first call and cached on the
     factor — callers must not mutate the returned array. *)
 
@@ -62,29 +71,30 @@ val to_csc : t -> Sparse.Csc.t
 val of_csc : Sparse.Csc.t -> t
 (** From a lower-triangular CSC matrix with positive diagonal. *)
 
-val solve_in_place : t -> float array -> unit
+val solve_in_place : t -> Sparse.Vec.t -> unit
 (** [solve_in_place l x] overwrites [x] with [L^-1 x] (forward
     substitution). Sequential column scatter. Raises [Invalid_argument]
     when the vector length does not match the factor. *)
 
-val solve_transpose_in_place : t -> float array -> unit
+val solve_transpose_in_place : t -> Sparse.Vec.t -> unit
 (** [solve_transpose_in_place l x] overwrites [x] with [L^-T x] (backward
     substitution). Sequential column gather. Raises [Invalid_argument]
     when the vector length does not match the factor. *)
 
-val solve_in_place_sched : t -> pool:Par.pool -> float array -> unit
+val solve_in_place_sched : t -> pool:Par.pool -> Sparse.Vec.t -> unit
 (** Level-scheduled forward substitution over [pool]: levels run in
     ascending order, each level's unknowns gathered in parallel from the
     row-form copy. Same floating-point result as {!solve_in_place} (same
     per-unknown term order) at any domain count. *)
 
-val solve_transpose_in_place_sched : t -> pool:Par.pool -> float array -> unit
+val solve_transpose_in_place_sched : t -> pool:Par.pool -> Sparse.Vec.t -> unit
 (** Level-scheduled backward substitution over [pool]: levels run in
     descending order. Bit-identical to {!solve_transpose_in_place} at any
     domain count. *)
 
 val apply_preconditioner :
-  t -> perm:Sparse.Perm.t -> scratch:float array -> float array -> float array -> unit
+  t -> perm:Sparse.Perm.t -> scratch:Sparse.Vec.t -> Sparse.Vec.t ->
+  Sparse.Vec.t -> unit
 (** [apply_preconditioner l ~perm ~scratch r z] computes
     [z <- P^T L^-T L^-1 P r] — the PCG preconditioning step of the paper
     (§3.3 step 4), where [perm] maps new indices to old and [l] factors the

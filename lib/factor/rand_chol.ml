@@ -209,29 +209,30 @@ let factorize ~sort ~sampling ~rng g ~d =
       column_push cols.(a) b w);
   let dvec = Array.copy d in
   let ws = make_workspace n in
-  (* --- output factor, built incrementally --- *)
+  (* --- output factor, built incrementally in Bigarray storage --- *)
   let cap0 = max (Sddm.Graph.n_edges g + n) 16 in
-  let l_rows = ref (Array.make cap0 0) in
-  let l_vals = ref (Array.make cap0 0.0) in
+  let l_rows = ref (Sparse.Idx.make cap0) in
+  let l_vals = ref (Sparse.Vec.create cap0) in
   let l_len = ref 0 in
-  let col_ptr = Array.make (n + 1) 0 in
+  let col_ptr = Sparse.Idx.make (n + 1) in
   let l_push i v =
-    if !l_len = Array.length !l_rows then begin
+    if !l_len = Sparse.Idx.length !l_rows then begin
       let cap = 2 * !l_len in
-      let r = Array.make cap 0 and x = Array.make cap 0.0 in
-      Array.blit !l_rows 0 r 0 !l_len;
-      Array.blit !l_vals 0 x 0 !l_len;
+      Sparse.Idx.check_index_capacity ~what:"Rand_chol.factorize" cap;
+      let r = Sparse.Idx.make cap and x = Sparse.Vec.create cap in
+      Sparse.Idx.blit ~src:!l_rows ~dst:(Sparse.Idx.sub r 0 !l_len);
+      Sparse.Vec.blit ~src:!l_vals ~dst:(Sparse.Vec.sub_view x 0 !l_len);
       l_rows := r;
       l_vals := x
     end;
-    !l_rows.(!l_len) <- i;
-    !l_vals.(!l_len) <- v;
+    Sparse.Idx.set !l_rows !l_len i;
+    Sparse.Vec.set !l_vals !l_len v;
     l_len := !l_len + 1
   in
   let stamp = ref 0 in
 
   for k = 0 to n - 1 do
-    col_ptr.(k) <- !l_len;
+    Sparse.Idx.set col_ptr k !l_len;
     let c = cols.(k) in
     (* ---- gather and coalesce the live neighbors of k ---- *)
     incr stamp;
@@ -354,7 +355,7 @@ let factorize ~sort ~sampling ~rng g ~d =
       end
     end
   done;
-  col_ptr.(n) <- !l_len;
+  Sparse.Idx.set col_ptr n !l_len;
   if obs then begin
     Obs.record_span "sort" ~seconds:!t_sort ~calls:!n_sort;
     Obs.record_span "merge" ~seconds:!t_merge ~calls:!n_merge;
@@ -366,5 +367,5 @@ let factorize ~sort ~sampling ~rng g ~d =
       (float_of_int (max 0 (!l_len - n - Sddm.Graph.n_edges g)))
   end;
   Lower.of_raw ~n ~col_ptr
-    ~rows:(Array.sub !l_rows 0 (max !l_len 1))
-    ~vals:(Array.sub !l_vals 0 (max !l_len 1))
+    ~rows:(Sparse.Idx.sub !l_rows 0 (max !l_len 1))
+    ~vals:(Sparse.Vec.sub_view !l_vals 0 (max !l_len 1))

@@ -1,5 +1,5 @@
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   converged : bool;
   relative_residual : float;
@@ -12,16 +12,20 @@ type result = {
 
 let scaled_operator a =
   let d = Sparse.Csc.diag a in
-  let s = Array.map (fun v -> if v > 0.0 then 1.0 /. sqrt v else 1.0) d in
-  let n = Array.length d in
-  let tmp = Array.make n 0.0 in
-  let apply x y =
+  let n = Sparse.Vec.length d in
+  let s =
+    Sparse.Vec.init n (fun i ->
+        let v = d.{i} in
+        if v > 0.0 then 1.0 /. sqrt v else 1.0)
+  in
+  let tmp = Sparse.Vec.create n in
+  let apply (x : Sparse.Vec.t) (y : Sparse.Vec.t) =
     for i = 0 to n - 1 do
-      tmp.(i) <- x.(i) *. s.(i)
+      tmp.{i} <- x.{i} *. s.{i}
     done;
     Sparse.Csc.spmv_into a tmp y;
     for i = 0 to n - 1 do
-      y.(i) <- y.(i) *. s.(i)
+      y.{i} <- y.{i} *. s.{i}
     done
   in
   (apply, s)
@@ -31,15 +35,15 @@ let estimate_bounds ?(iters = 30) ?rng a =
   let rng = match rng with Some r -> r | None -> Rng.create 1234 in
   let apply, s = scaled_operator a in
   (* power method for lambda_max *)
-  let v = Array.init n (fun _ -> Rng.float rng -. 0.5) in
-  let w = Array.make n 0.0 in
+  let v = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
+  let w = Sparse.Vec.create n in
   let lambda = ref 1.0 in
   for _ = 1 to iters do
     apply v w;
     let norm = Sparse.Vec.norm2 w in
     if norm > 0.0 then begin
       lambda := norm /. Sparse.Vec.norm2 v;
-      Array.blit w 0 v 0 n;
+      Sparse.Vec.blit ~src:w ~dst:v;
       Sparse.Vec.scale v (1.0 /. norm)
     end
   done;
@@ -49,14 +53,14 @@ let estimate_bounds ?(iters = 30) ?rng a =
      worst row; use the matrix-wide floor, clamped. *)
   let diag = Sparse.Csc.diag a in
   let floor_ =
-    Sparse.Csc.fold_nonzeros a ~init:(Array.map (fun x -> x) diag)
+    Sparse.Csc.fold_nonzeros a ~init:(Sparse.Vec.copy diag)
       ~f:(fun acc i j v ->
-        if i <> j then acc.(j) <- acc.(j) -. Float.abs v;
+        if i <> j then acc.{j} <- acc.{j} -. Float.abs v;
         acc)
   in
   let lambda_min = ref infinity in
   for i = 0 to n - 1 do
-    let scaled = floor_.(i) *. s.(i) *. s.(i) in
+    let scaled = floor_.{i} *. s.{i} *. s.{i} in
     if scaled < !lambda_min then lambda_min := scaled
   done;
   let lambda_min = Float.max !lambda_min (1e-6 *. lambda_max) in
@@ -64,16 +68,21 @@ let estimate_bounds ?(iters = 30) ?rng a =
 
 let solve ?(rtol = 1e-6) ?(max_iter = 1000) ?bounds ~a ~b () =
   let _, n = Sparse.Csc.dims a in
-  assert (Array.length b = n);
+  assert (Sparse.Vec.length b = n);
   let lambda_min, lambda_max =
     match bounds with Some bs -> bs | None -> estimate_bounds a
   in
   assert (lambda_min > 0.0 && lambda_max >= lambda_min);
   let apply, s = scaled_operator a in
-  let bs = Array.mapi (fun i bi -> bi *. s.(i)) b in
+  let bs = Sparse.Vec.init n (fun i -> b.{i} *. s.{i}) in
   let b_norm = Sparse.Vec.norm2 bs in
   if b_norm = 0.0 then
-    { x = Array.make n 0.0; iterations = 0; converged = true; relative_residual = 0.0 }
+    {
+      x = Sparse.Vec.create n;
+      iterations = 0;
+      converged = true;
+      relative_residual = 0.0;
+    }
   else begin
     (* standard Chebyshev iteration (Templates, alg. on p. 48):
        theta = center, delta = half-width, sigma = theta/delta;
@@ -82,10 +91,10 @@ let solve ?(rtol = 1e-6) ?(max_iter = 1000) ?bounds ~a ~b () =
        d_k = rho_k rho_{k-1} d_{k-1} + (2 rho_k / delta) r. *)
     let theta = (lambda_max +. lambda_min) /. 2.0 in
     let delta = (lambda_max -. lambda_min) /. 2.0 in
-    let y = Array.make n 0.0 in
-    let r = Array.copy bs in
-    let d_vec = Array.make n 0.0 in
-    let w = Array.make n 0.0 in
+    let y = Sparse.Vec.create n in
+    let r = Sparse.Vec.copy bs in
+    let d_vec = Sparse.Vec.create n in
+    let w = Sparse.Vec.create n in
     let sigma = if delta > 0.0 then theta /. delta else infinity in
     let rho = ref (1.0 /. sigma) in
     let iter = ref 0 in
@@ -93,32 +102,32 @@ let solve ?(rtol = 1e-6) ?(max_iter = 1000) ?bounds ~a ~b () =
     while !rel > rtol && !iter < max_iter do
       if !iter = 0 then
         for i = 0 to n - 1 do
-          d_vec.(i) <- r.(i) /. theta
+          d_vec.{i} <- r.{i} /. theta
         done
       else if delta = 0.0 then
         (* degenerate single-point spectrum: Richardson iteration *)
         for i = 0 to n - 1 do
-          d_vec.(i) <- r.(i) /. theta
+          d_vec.{i} <- r.{i} /. theta
         done
       else begin
         let rho' = 1.0 /. ((2.0 *. sigma) -. !rho) in
         let c1 = rho' *. !rho in
         let c2 = 2.0 *. rho' /. delta in
         for i = 0 to n - 1 do
-          d_vec.(i) <- (c1 *. d_vec.(i)) +. (c2 *. r.(i))
+          d_vec.{i} <- (c1 *. d_vec.{i}) +. (c2 *. r.{i})
         done;
         rho := rho'
       end;
       for i = 0 to n - 1 do
-        y.(i) <- y.(i) +. d_vec.(i)
+        y.{i} <- y.{i} +. d_vec.{i}
       done;
       apply d_vec w;
       for i = 0 to n - 1 do
-        r.(i) <- r.(i) -. w.(i)
+        r.{i} <- r.{i} -. w.{i}
       done;
       incr iter;
       rel := Sparse.Vec.norm2 r /. b_norm
     done;
-    let x = Array.mapi (fun i yi -> yi *. s.(i)) y in
+    let x = Sparse.Vec.init n (fun i -> y.{i} *. s.{i}) in
     { x; iterations = !iter; converged = !rel <= rtol; relative_residual = !rel }
   end

@@ -8,7 +8,7 @@
     baseline and as a building block for experiments. *)
 
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   converged : bool;
   relative_residual : float;
@@ -24,6 +24,6 @@ val estimate_bounds :
 
 val solve :
   ?rtol:float -> ?max_iter:int -> ?bounds:float * float ->
-  a:Sparse.Csc.t -> b:float array -> unit -> result
+  a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit -> result
 (** Jacobi-scaled Chebyshev iteration. [bounds] defaults to
     {!estimate_bounds}' answer. *)

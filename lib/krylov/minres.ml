@@ -7,7 +7,7 @@ let status_to_string = function
       Printf.sprintf "timed-out at iteration %d (deadline reached)" iteration
 
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   status : status;
   converged : bool;
@@ -24,13 +24,13 @@ type result = {
 let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
     ~(precond : Precond.t) () =
   let _, n = Sparse.Csc.dims a in
-  assert (Array.length b = n);
+  assert (Sparse.Vec.length b = n);
   let past_deadline =
     match deadline with
     | None -> fun () -> false
     | Some d -> fun () -> Obs.now () > d
   in
-  let x = Array.make n 0.0 in
+  let x = Sparse.Vec.create n in
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then
     {
@@ -41,21 +41,21 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
       relative_residual = 0.0;
     }
   else begin
-    let v = Array.copy b in
-    let z = Array.make n 0.0 in
+    let v = Sparse.Vec.copy b in
+    let z = Sparse.Vec.create n in
     precond.Precond.apply v z;
     let gamma = ref (sqrt (Sparse.Vec.dot z v)) in
     assert (!gamma > 0.0);
     let eta = ref !gamma in
     let s_old = ref 0.0 and s = ref 0.0 in
     let c_old = ref 1.0 and c = ref 1.0 in
-    let vn = Array.make n 0.0 in
+    let vn = Sparse.Vec.create n in
     (* the previous normalized Lanczos vector vn_{j-1} *)
-    let zn = Array.make n 0.0 in
-    let w = Array.make n 0.0 in
+    let zn = Sparse.Vec.create n in
+    let w = Sparse.Vec.create n in
     (* w = w_{j-1}, w_old = w_{j-2} entering each step *)
-    let w_old = Array.make n 0.0 in
-    let az = Array.make n 0.0 in
+    let w_old = Sparse.Vec.create n in
+    let az = Sparse.Vec.create n in
     let iter = ref 0 in
     let rel = ref 1.0 in
     let gamma1 = !gamma in
@@ -64,7 +64,7 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
       if past_deadline () then timed_out := true
       else begin
       for i = 0 to n - 1 do
-        zn.(i) <- z.(i) /. !gamma
+        zn.{i} <- z.{i} /. !gamma
       done;
       Sparse.Csc.spmv_into a zn az;
       let delta = Sparse.Vec.dot zn az in
@@ -72,9 +72,9 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
          vn_{j-1}; vn holds vn_{j-1} on entry (zero on the first step) and
          receives vn_j for the next one *)
       for i = 0 to n - 1 do
-        let vni = v.(i) /. !gamma in
-        v.(i) <- az.(i) -. (delta *. vni) -. (!gamma *. vn.(i));
-        vn.(i) <- vni
+        let vni = v.{i} /. !gamma in
+        v.{i} <- az.{i} -. (delta *. vni) -. (!gamma *. vn.{i});
+        vn.{i} <- vni
       done;
       precond.Precond.apply v z;
       let gamma_new = sqrt (Float.max (Sparse.Vec.dot z v) 0.0) in
@@ -86,14 +86,14 @@ let solve ?(rtol = 1e-6) ?(max_iter = 500) ?deadline ~a ~b
       let s_new = gamma_new /. alpha1 in
       for i = 0 to n - 1 do
         let next =
-          (zn.(i) -. (alpha3 *. w_old.(i)) -. (alpha2 *. w.(i))) /. alpha1
+          (zn.{i} -. (alpha3 *. w_old.{i}) -. (alpha2 *. w.{i})) /. alpha1
         in
-        w_old.(i) <- w.(i);
-        w.(i) <- next
+        w_old.{i} <- w.{i};
+        w.{i} <- next
       done;
       let step = c_new *. !eta in
       for i = 0 to n - 1 do
-        x.(i) <- x.(i) +. (step *. w.(i))
+        x.{i} <- x.{i} +. (step *. w.{i})
       done;
       eta := -.s_new *. !eta;
       s_old := !s;

@@ -18,7 +18,7 @@ type status =
 val status_to_string : status -> string
 
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   status : status;
   converged : bool;
@@ -28,7 +28,7 @@ type result = {
 
 val solve :
   ?rtol:float -> ?max_iter:int -> ?deadline:float -> a:Sparse.Csc.t ->
-  b:float array -> precond:Precond.t -> unit -> result
+  b:Sparse.Vec.t -> precond:Precond.t -> unit -> result
 (** [deadline] is an absolute wall-clock instant (same clock as
     {!Obs.now}), checked once per iteration — cooperative cancellation
     matching {!Pcg.solve}. *)

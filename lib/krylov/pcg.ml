@@ -26,7 +26,7 @@ let status_to_string = function
 let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)
 
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   status : status;
   converged : bool;
@@ -40,22 +40,22 @@ type result = {
 module Workspace = struct
   type t = {
     n : int;
-    r : float array;
-    z : float array;
-    p : float array;
-    q : float array;
-    scratch : float array;
+    r : Sparse.Vec.t;
+    z : Sparse.Vec.t;
+    p : Sparse.Vec.t;
+    q : Sparse.Vec.t;
+    scratch : Sparse.Vec.t;
   }
 
   let create n =
     if n < 0 then invalid_arg "Pcg.Workspace.create: negative dimension";
     {
       n;
-      r = Array.make n 0.0;
-      z = Array.make n 0.0;
-      p = Array.make n 0.0;
-      q = Array.make n 0.0;
-      scratch = Array.make n 0.0;
+      r = Sparse.Vec.create n;
+      z = Sparse.Vec.create n;
+      p = Sparse.Vec.create n;
+      q = Sparse.Vec.create n;
+      scratch = Sparse.Vec.create n;
     }
 
   let dim ws = ws.n
@@ -127,14 +127,14 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?deadline
     ~history:want_history ~condition:want_condition ~warm_start
     ~(ws : Workspace.t) ~x ~apply_a ~b ~(precond : Precond.t) () =
   let n = ws.Workspace.n in
-  if Array.length b <> n then
+  if Sparse.Vec.length b <> n then
     invalid_arg
       (Printf.sprintf "Pcg.solve: rhs length %d, workspace dimension %d"
-         (Array.length b) n);
-  if Array.length x <> n then
+         (Sparse.Vec.length b) n);
+  if Sparse.Vec.length x <> n then
     invalid_arg
       (Printf.sprintf "Pcg.solve: solution length %d, workspace dimension %d"
-         (Array.length x) n);
+         (Sparse.Vec.length x) n);
   (* Telemetry: read the flag once; the hot loop then pays one branch per
      operator application and nothing else. The preconditioner span covers
      the triangular solves (or whatever [precond.apply] does). *)
@@ -177,11 +177,11 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?deadline
           ((rel /. rel0) ** (1.0 /. float_of_int iterations))
     end
   in
-  if not warm_start then Array.fill x 0 n 0.0;
+  if not warm_start then Sparse.Vec.fill x 0.0;
   let b_norm = Sparse.Vec.norm2 b in
   if b_norm = 0.0 then begin
     flush_obs 0 0.0 0.0;
-    Array.fill x 0 n 0.0;
+    Sparse.Vec.fill x 0.0;
     {
       x;
       iterations = 0;
@@ -195,11 +195,11 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?deadline
   else begin
     let r = ws.Workspace.r in
     (* r = b - A x0; skip the operator application for a known-zero guess *)
-    if not warm_start then Array.blit b 0 r 0 n
+    if not warm_start then Sparse.Vec.blit ~src:b ~dst:r
     else begin
       apply_op x r;
       for i = 0 to n - 1 do
-        r.(i) <- b.(i) -. r.(i)
+        r.{i} <- b.{i} -. r.{i}
       done
     end;
     let z = ws.Workspace.z in
@@ -209,7 +209,7 @@ let solve_ws ?(rtol = 1e-6) ?(max_iter = 500) ?(stall_window = 200) ?deadline
     let alphas = ref [] in
     let betas = ref [] in
     apply_precond r z;
-    Array.blit z 0 p 0 n;
+    Sparse.Vec.blit ~src:z ~dst:p;
     let rho = ref (Sparse.Vec.dot r z) in
     let iter = ref 0 in
     let rel = ref (Sparse.Vec.norm2 r /. b_norm) in
@@ -317,19 +317,19 @@ let solve_operator ?rtol ?max_iter ?stall_window ?deadline ?x0
   let x, warm_start =
     match x0 with
     | Some v ->
-      if Array.length v <> n then
+      if Sparse.Vec.length v <> n then
         invalid_arg
           (Printf.sprintf "Pcg.solve: x0 length %d, dimension %d"
-             (Array.length v) n);
-      (Array.copy v, true)
-    | None -> (Array.make n 0.0, false)
+             (Sparse.Vec.length v) n);
+      (Sparse.Vec.copy v, true)
+    | None -> (Sparse.Vec.create n, false)
   in
   solve_ws ?rtol ?max_iter ?stall_window ?deadline ~history ~condition
     ~warm_start ~ws ~x ~apply_a ~b ~precond ()
 
 let solve ?rtol ?max_iter ?stall_window ?deadline ?x0 ?history ?condition ~a
     ~b ~precond () =
-  let n = Array.length b in
+  let n = Sparse.Vec.length b in
   (* Gather form: every caller hands a symmetric (SDDM/SPD) matrix, and
      the gather kernel is the one that parallelizes race-free. *)
   let apply_a x y = Sparse.Csc.spmv_sym_into a x y in

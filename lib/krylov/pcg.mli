@@ -49,7 +49,7 @@ val status_to_string : status -> string
 val pp_status : Format.formatter -> status -> unit
 
 type result = {
-  x : float array;
+  x : Sparse.Vec.t;
       (** the solution. For the [_into] variants this is {e physically}
           the caller's buffer (useful for zero-allocation assertions). *)
   iterations : int;  (** true count of completed iterations at exit *)
@@ -84,8 +84,8 @@ end
 
 val solve :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
-  ?x0:float array -> ?history:bool -> ?condition:bool ->
-  a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
+  ?x0:Sparse.Vec.t -> ?history:bool -> ?condition:bool ->
+  a:Sparse.Csc.t -> b:Sparse.Vec.t -> precond:Precond.t -> unit -> result
 (** [solve ~a ~b ~precond ()] runs PCG with a private, freshly allocated
     workspace. [rtol] defaults to [1e-6] (the paper's setting), [max_iter]
     to [500] (the paper's divergence cutoff), [stall_window] to [200]
@@ -102,16 +102,16 @@ val solve :
 
 val solve_operator :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
-  ?x0:float array -> ?history:bool -> ?condition:bool ->
-  n:int -> apply_a:(float array -> float array -> unit) ->
-  b:float array -> precond:Precond.t -> unit -> result
+  ?x0:Sparse.Vec.t -> ?history:bool -> ?condition:bool ->
+  n:int -> apply_a:(Sparse.Vec.t -> Sparse.Vec.t -> unit) ->
+  b:Sparse.Vec.t -> precond:Precond.t -> unit -> result
 (** Matrix-free variant of {!solve}: [apply_a x y] computes [y <- A x]. *)
 
 val solve_into :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
   ?history:bool -> ?condition:bool -> ?warm_start:bool ->
-  workspace:Workspace.t -> x:float array ->
-  a:Sparse.Csc.t -> b:float array -> precond:Precond.t -> unit -> result
+  workspace:Workspace.t -> x:Sparse.Vec.t ->
+  a:Sparse.Csc.t -> b:Sparse.Vec.t -> precond:Precond.t -> unit -> result
 (** In-place solve for the factor-once / solve-many path. All iteration
     vectors come from [workspace]; the solution is written into [x]
     (result.[x] is physically that buffer). With [warm_start] (default
@@ -126,7 +126,7 @@ val solve_into :
 val solve_operator_into :
   ?rtol:float -> ?max_iter:int -> ?stall_window:int -> ?deadline:float ->
   ?history:bool -> ?condition:bool -> ?warm_start:bool ->
-  workspace:Workspace.t -> x:float array ->
-  apply_a:(float array -> float array -> unit) ->
-  b:float array -> precond:Precond.t -> unit -> result
+  workspace:Workspace.t -> x:Sparse.Vec.t ->
+  apply_a:(Sparse.Vec.t -> Sparse.Vec.t -> unit) ->
+  b:Sparse.Vec.t -> precond:Precond.t -> unit -> result
 (** Matrix-free variant of {!solve_into}. *)

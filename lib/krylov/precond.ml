@@ -1,8 +1,10 @@
+module Vec = Sparse.Vec
+
 type t = {
   name : string;
   nnz : int;
   scratch_len : int;
-  apply : ?scratch:float array -> float array -> float array -> unit;
+  apply : ?scratch:Vec.t -> Vec.t -> Vec.t -> unit;
 }
 
 let identity n =
@@ -12,34 +14,36 @@ let identity n =
     scratch_len = 0;
     apply =
       (fun ?scratch:_ r z ->
-        if Array.length r <> n || Array.length z <> n then
+        if Vec.length r <> n || Vec.length z <> n then
           invalid_arg
             (Printf.sprintf
                "Precond.identity: built for dimension %d, applied to vectors \
                 of length %d -> %d"
-               n (Array.length r) (Array.length z));
-        Array.blit r 0 z 0 n);
+               n (Vec.length r) (Vec.length z));
+        Vec.blit ~src:r ~dst:z);
   }
 
 let jacobi a =
   let d = Sparse.Csc.diag a in
-  let inv = Array.map (fun x ->
-      if x > 0.0 then 1.0 /. x else 1.0) d
+  let n = Vec.length d in
+  let inv =
+    Vec.init n (fun i ->
+        let x = Vec.get d i in
+        if x > 0.0 then 1.0 /. x else 1.0)
   in
-  let n = Array.length d in
   {
     name = "jacobi";
     nnz = n;
     scratch_len = 0;
     apply =
       (fun ?scratch:_ r z ->
-        if Array.length r <> n || Array.length z <> n then
+        if Vec.length r <> n || Vec.length z <> n then
           invalid_arg
             (Printf.sprintf
                "Precond.jacobi: dimension %d, applied to length %d -> %d" n
-               (Array.length r) (Array.length z));
+               (Vec.length r) (Vec.length z));
         for i = 0 to n - 1 do
-          z.(i) <- r.(i) *. inv.(i)
+          Vec.unsafe_set z i (Vec.unsafe_get r i *. Vec.unsafe_get inv i)
         done);
   }
 
@@ -61,13 +65,13 @@ let of_factor ?(name = "factor") ~perm l =
         let scratch =
           match scratch with
           | Some s ->
-            if Array.length s < n then
+            if Vec.length s < n then
               invalid_arg
                 (Printf.sprintf
                    "Precond.of_factor: scratch length %d < dimension %d"
-                   (Array.length s) n);
+                   (Vec.length s) n);
             s
-          | None -> Array.make n 0.0
+          | None -> Vec.create n
         in
         Factor.Lower.apply_preconditioner l ~perm ~scratch r z);
   }

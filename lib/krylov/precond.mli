@@ -19,7 +19,7 @@ type t = {
       (** length of the scratch buffer [apply] can use; 0 when the
           application needs none. Always [<= n], so an n-sized buffer is
           universally sufficient. *)
-  apply : ?scratch:float array -> float array -> float array -> unit;
+  apply : ?scratch:Sparse.Vec.t -> Sparse.Vec.t -> Sparse.Vec.t -> unit;
       (** [apply ?scratch r z] writes [M^-1 r] into [z]; [r] and [z] must
           not alias. When [scratch] is omitted and [scratch_len > 0] a
           fresh buffer is allocated for the call (documented cost: one
@@ -41,7 +41,8 @@ val of_factor : ?name:string -> perm:Sparse.Perm.t -> Factor.Lower.t -> t
     exact Cholesky. Reentrant: scratch comes from the caller or is
     allocated per apply, never captured. *)
 
-val of_apply : name:string -> nnz:int -> (float array -> float array -> unit) -> t
+val of_apply :
+  name:string -> nnz:int -> (Sparse.Vec.t -> Sparse.Vec.t -> unit) -> t
 (** Wrap an arbitrary application function (used by the AMG V-cycle and
     the Schwarz preconditioner); the wrapped function manages its own
     state, so [scratch_len = 0]. *)

@@ -32,7 +32,7 @@ let blocks ?(block_size = 512) g =
 type block = {
   members : int array;  (* global indices, including overlap *)
   factor : Factor.Lower.t;
-  local_r : float array;
+  local_r : Sparse.Vec.t;
 }
 
 let grow_overlap g ~overlap ~members ~mark ~stamp =
@@ -97,24 +97,24 @@ let preconditioner ?(block_size = 512) ?(overlap = 1) p =
               (Sparse.Csc.add sub
                  (Sparse.Csc.scale (Sparse.Csc.identity k) eps))
         in
-        { members; factor; local_r = Array.make (Array.length members) 0.0 })
+        { members; factor; local_r = Sparse.Vec.create (Array.length members) })
       partition
   in
   let nnz =
     Array.fold_left (fun acc b -> acc + Factor.Lower.nnz b.factor) 0 built
   in
-  let apply r z =
-    Array.fill z 0 n 0.0;
+  let apply (r : Sparse.Vec.t) (z : Sparse.Vec.t) =
+    Sparse.Vec.fill z 0.0;
     Array.iter
       (fun b ->
         let k = Array.length b.members in
         for li = 0 to k - 1 do
-          b.local_r.(li) <- r.(b.members.(li))
+          b.local_r.{li} <- r.{b.members.(li)}
         done;
         Factor.Lower.solve_in_place b.factor b.local_r;
         Factor.Lower.solve_transpose_in_place b.factor b.local_r;
         for li = 0 to k - 1 do
-          z.(b.members.(li)) <- z.(b.members.(li)) +. b.local_r.(li)
+          z.{b.members.(li)} <- z.{b.members.(li)} +. b.local_r.{li}
         done)
       built
   in

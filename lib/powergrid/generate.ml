@@ -53,7 +53,15 @@ let node_count spec =
   let cx, cy = top_dims spec in
   (spec.nx * spec.ny) + (cx * cy)
 
-let generate_circuit spec =
+(* Single-pass streamed emission of every circuit element, in a fixed
+   deterministic order (one shared RNG stream). The resistor callback
+   receives ohms; pads receive pad resistance; loads amps; caps farads.
+   A union-find over the emitted edges runs inline so the repair pass
+   (stitching blockage-isolated pockets back to the top mesh) needs no
+   second traversal of the edge set — the whole grid is produced without
+   ever materializing an edge list, which is what lets the paper-scale
+   (1e6+ node) cases fit in RAM. *)
+let iter_circuit spec ~res ~pad ~load ~cap =
   assert (spec.nx >= 2 && spec.ny >= 2);
   assert (spec.coarse_pitch >= 2);
   assert (spec.pad_pitch >= 1);
@@ -65,13 +73,25 @@ let generate_circuit spec =
   let top_base = nx * ny in
   let top i j = top_base + (j * cx) + i in
   let n_nodes = top_base + (cx * cy) in
-  let resistors = ref [] in
+  let parent = Array.init n_nodes (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let emit u v r =
+    let ru = find u and rv = find v in
+    if ru <> rv then parent.(ru) <- rv;
+    res u v r
+  in
   let jittered g =
     g *. (1.0 +. (spec.jitter *. ((2.0 *. Rng.float rng) -. 1.0)))
   in
   let add_res u v g =
     let g = jittered g in
-    resistors := (u, v, 1.0 /. g) :: !resistors
+    emit u v (1.0 /. g)
   in
   (* Regional wire-width heterogeneity: real grids route different blocks
      with different wire widths, so segment conductance varies by orders
@@ -88,7 +108,7 @@ let generate_circuit spec =
   let region_of x y = region.(((y / block) * bx) + (x / block)) in
   (* Bottom-layer mesh with random blockages. Removal keeps the grid
      connected in practice because the missing fraction is small and vias
-     tie the layers together; connectivity is validated at the end. *)
+     tie the layers together; connectivity is validated by the caller. *)
   for y = 0 to ny - 1 do
     for x = 0 to nx - 1 do
       let g_here = spec.wire_conductance *. region_of x y in
@@ -113,65 +133,57 @@ let generate_circuit spec =
       let x = min (i * spec.coarse_pitch) (nx - 1) in
       let y = min (j * spec.coarse_pitch) (ny - 1) in
       let g = spec.via_conductance *. (0.5 +. Rng.exponential rng 1.0) in
-      resistors := (top i j, bottom x y, 1.0 /. g) :: !resistors
+      emit (top i j) (bottom x y) (1.0 /. g)
     done
   done;
   (* Pads on the top layer, every pad_pitch-th node of the top mesh. *)
-  let pads = ref [] in
   let pad_index = ref 0 in
   for j = 0 to cy - 1 do
     for i = 0 to cx - 1 do
       if !pad_index mod spec.pad_pitch = 0 then
-        pads := (top i j, 1.0 /. spec.pad_conductance) :: !pads;
+        pad (top i j) (1.0 /. spec.pad_conductance);
       incr pad_index
     done
   done;
   (* Loads on random bottom nodes; each load site also carries decoupling
      capacitance (on-die decap sits next to the switching cells). *)
-  let loads = ref [] in
-  let caps = ref [] in
   for y = 0 to ny - 1 do
     for x = 0 to nx - 1 do
       if Rng.float rng < spec.load_fraction then begin
-        loads := (bottom x y, spec.load_max *. Rng.float_open rng) :: !loads;
-        caps := (bottom x y, 1e-12 *. (0.5 +. Rng.float rng)) :: !caps
+        load (bottom x y) (spec.load_max *. Rng.float_open rng);
+        cap (bottom x y) (1e-12 *. (0.5 +. Rng.float rng))
       end
     done
   done;
   (* Repair pass: random blockages can isolate a pocket of the bottom
      mesh from every via. Stitch each such component back to the top
      layer with one extra via, like the stitching vias inserted during
-     physical verification. *)
-  let parent = Array.init n_nodes (fun i -> i) in
-  let rec find i =
-    if parent.(i) = i then i
-    else begin
-      parent.(i) <- find parent.(i);
-      parent.(i)
-    end
-  in
-  List.iter
-    (fun (u, v, _) ->
-      let ru = find u and rv = find v in
-      if ru <> rv then parent.(ru) <- rv)
-    !resistors;
+     physical verification. [emit] unions the stitch edge, so the rest of
+     the pocket resolves to the main component and is not stitched twice. *)
   let main = find (top 0 0) in
-  let stitched = Hashtbl.create 8 in
   for y = 0 to ny - 1 do
     for x = 0 to nx - 1 do
       let node = bottom x y in
-      let root = find node in
-      if root <> main && not (Hashtbl.mem stitched root) then begin
-        Hashtbl.replace stitched root ();
+      if find node <> main then begin
         let i = min ((x + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cx - 1) in
         let j = min ((y + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cy - 1) in
-        resistors := (top i j, node, 1.0 /. spec.via_conductance) :: !resistors;
-        parent.(root) <- main
+        emit (top i j) node (1.0 /. spec.via_conductance)
       end
     done
-  done;
+  done
+
+let generate_circuit spec =
+  let resistors = ref [] in
+  let pads = ref [] in
+  let loads = ref [] in
+  let caps = ref [] in
+  iter_circuit spec
+    ~res:(fun u v r -> resistors := (u, v, r) :: !resistors)
+    ~pad:(fun node r -> pads := (node, r) :: !pads)
+    ~load:(fun node amps -> loads := (node, amps) :: !loads)
+    ~cap:(fun node farads -> caps := (node, farads) :: !caps);
   {
-    n_nodes;
+    n_nodes = node_count spec;
     resistors = Array.of_list !resistors;
     pads = Array.of_list !pads;
     loads = Array.of_list !loads;
@@ -179,18 +191,10 @@ let generate_circuit spec =
     vdd = 1.8;
   }
 
-let circuit_to_problem ~name c =
-  let edges =
-    Array.map (fun (u, v, r) -> (u, v, 1.0 /. r)) c.resistors
-  in
-  let graph = Sddm.Graph.coalesce (Sddm.Graph.create ~n:c.n_nodes ~edges) in
-  let d = Array.make c.n_nodes 0.0 in
-  Array.iter (fun (node, r) -> d.(node) <- d.(node) +. (1.0 /. r)) c.pads;
-  let b = Array.make c.n_nodes 0.0 in
-  Array.iter (fun (node, amps) -> b.(node) <- b.(node) +. amps) c.loads;
-  (* Sanity: every component must contain a pad, otherwise the system is
-     singular. The generator's pad placement guarantees this for the top
-     mesh; bottom components are tied in through vias. *)
+(* Sanity: every component must contain a pad, otherwise the system is
+   singular. The generator's pad placement guarantees this for the top
+   mesh; bottom components are tied in through vias. *)
+let validate_grounded ~graph ~d =
   let labels, n_comp = Sddm.Graph.connected_components graph in
   if n_comp > 1 then begin
     let has_pad = Array.make n_comp false in
@@ -202,12 +206,67 @@ let circuit_to_problem ~name c =
             (Printf.sprintf
                "Generate: component %d has no pad (grid disconnected)" comp))
       has_pad
-  end;
+  end
+
+let circuit_to_problem ~name c =
+  let edges =
+    Array.map (fun (u, v, r) -> (u, v, 1.0 /. r)) c.resistors
+  in
+  let graph = Sddm.Graph.coalesce (Sddm.Graph.create ~n:c.n_nodes ~edges) in
+  let d = Array.make c.n_nodes 0.0 in
+  Array.iter (fun (node, r) -> d.(node) <- d.(node) +. (1.0 /. r)) c.pads;
+  let b = Sparse.Vec.create c.n_nodes in
+  Array.iter (fun (node, amps) -> b.{node} <- b.{node} +. amps) c.loads;
+  validate_grounded ~graph ~d;
   Sddm.Problem.of_graph ~name ~graph ~d ~b
 
+(* The chunked build: elements stream out of [iter_circuit] straight into
+   flat int/float edge arrays (grown by doubling) and the d/b vectors —
+   no per-edge boxing, so peak memory is the final problem plus one edge
+   buffer. Produces exactly the problem [circuit_to_problem] builds from
+   [generate_circuit spec]: the coalesced graph sorts edges and the only
+   possible duplicate (a stitch doubling a via) sums two terms, which is
+   order-independent. *)
 let generate spec =
   let name = Printf.sprintf "pg-%dx%d-s%d" spec.nx spec.ny spec.seed in
-  circuit_to_problem ~name (generate_circuit spec)
+  let n = node_count spec in
+  let capacity = ref ((2 * n) + (n / 4) + 64) in
+  let us = ref (Array.make !capacity 0) in
+  let vs = ref (Array.make !capacity 0) in
+  let ws = ref (Array.make !capacity 0.0) in
+  let len = ref 0 in
+  let push u v g =
+    if !len = !capacity then begin
+      let c' = 2 * !capacity in
+      let grow a zero =
+        let a' = Array.make c' zero in
+        Array.blit !a 0 a' 0 !capacity;
+        a := a'
+      in
+      grow us 0;
+      grow vs 0;
+      grow ws 0.0;
+      capacity := c'
+    end;
+    !us.(!len) <- u;
+    !vs.(!len) <- v;
+    !ws.(!len) <- g;
+    incr len
+  in
+  let d = Array.make n 0.0 in
+  let b = Sparse.Vec.create n in
+  iter_circuit spec
+    ~res:(fun u v r -> push u v (1.0 /. r))
+    ~pad:(fun node r -> d.(node) <- d.(node) +. (1.0 /. r))
+    ~load:(fun node amps -> b.{node} <- b.{node} +. amps)
+    ~cap:(fun _ _ -> ());
+  let graph =
+    Sddm.Graph.coalesce
+      (Sddm.Graph.of_arrays ~n ~us:(Array.sub !us 0 !len)
+         ~vs:(Array.sub !vs 0 !len) ~ws:(Array.sub !ws 0 !len))
+  in
+  validate_grounded ~graph ~d;
+  Sddm.Problem.of_graph ~name ~graph ~d ~b
 
 type dual = {
   vdd_grid : circuit;

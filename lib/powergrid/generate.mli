@@ -47,7 +47,27 @@ val default : nx:int -> ny:int -> seed:int -> spec
     variation over 16-cell blocks, and ~1 pF of decap at every load. *)
 
 val generate : spec -> Sddm.Problem.t
-(** Build the problem. The name encodes nx, ny and the seed. *)
+(** Build the problem. The name encodes nx, ny and the seed.
+
+    This is the chunked path: circuit elements stream out of
+    {!iter_circuit} directly into flat edge arrays and the [d]/[b]
+    vectors, so no boxed per-element representation is ever built and
+    1e6+-node grids fit in RAM. The result is identical to
+    [circuit_to_problem ~name (generate_circuit spec)]. *)
+
+val iter_circuit :
+  spec ->
+  res:(int -> int -> float -> unit) ->
+  pad:(int -> float -> unit) ->
+  load:(int -> float -> unit) ->
+  cap:(int -> float -> unit) ->
+  unit
+(** [iter_circuit spec ~res ~pad ~load ~cap] emits every circuit element
+    exactly once, in a fixed deterministic order: [res u v ohms] per
+    resistor (repair stitches last), [pad node ohms], [load node amps],
+    [cap node farads]. The streamed building block behind {!generate} and
+    the scale bench — callers consume elements without the generator ever
+    holding the grid. *)
 
 val node_count : spec -> int
 (** Number of unknowns [generate] will produce (both layers). *)

@@ -6,15 +6,15 @@ type report = {
   violations : int;
 }
 
-let analyze ?(budget = 0.05) ?(top = 10) drops =
-  let n = Array.length drops in
+let analyze ?(budget = 0.05) ?(top = 10) (drops : Sparse.Vec.t) =
+  let n = Sparse.Vec.length drops in
   assert (n > 0);
-  let sorted = Array.mapi (fun i v -> (i, v)) drops in
+  let sorted = Array.init n (fun i -> (i, drops.{i})) in
   Array.sort (fun (_, a) (_, b) -> compare b a) sorted;
   let mean = Sparse.Vec.mean drops in
   let p99_index = min (n - 1) (n / 100) in
   let violations = ref 0 in
-  Array.iter (fun v -> if v > budget then incr violations) drops;
+  Sparse.Vec.iteri (fun _ v -> if v > budget then incr violations) drops;
   {
     max_drop = snd sorted.(0);
     mean_drop = mean;

@@ -11,7 +11,7 @@ type report = {
   violations : int;  (** nodes above the budget *)
 }
 
-val analyze : ?budget:float -> ?top:int -> float array -> report
+val analyze : ?budget:float -> ?top:int -> Sparse.Vec.t -> report
 (** [analyze drops] computes the summary. [budget] (default 0.05 V, a
     typical 3–5% of a 1.8 V supply) sets the violation threshold; [top]
     (default 10) the number of worst nodes reported. *)

@@ -62,11 +62,12 @@ let merge ?(factor = 200.0) p =
       (Sddm.Graph.create ~n:nc ~edges:(Array.of_list !edges))
   in
   let d = Array.make nc 0.0 in
-  let b = Array.make nc 0.0 in
+  let b = Sparse.Vec.create nc in
+  let pb = p.Sddm.Problem.b in
   for i = 0 to n - 1 do
     let c = representative.(i) in
     d.(c) <- d.(c) +. p.Sddm.Problem.d.(i);
-    b.(c) <- b.(c) +. p.Sddm.Problem.b.(i)
+    b.{c} <- b.{c} +. pb.{i}
   done;
   let name = p.Sddm.Problem.name ^ "+merged" in
   {
@@ -75,5 +76,6 @@ let merge ?(factor = 200.0) p =
     n_merged_edges = !n_merged;
   }
 
-let expand t xc =
-  Array.map (fun c -> xc.(c)) t.representative
+let expand t (xc : Sparse.Vec.t) =
+  Sparse.Vec.init (Array.length t.representative) (fun i ->
+      xc.{t.representative.(i)})

@@ -27,5 +27,5 @@ val merge : ?factor:float -> Sddm.Problem.t -> t
     regional wire-conductance variation, a lower threshold starts merging
     ordinary wires that carry real voltage gradients, not just vias. *)
 
-val expand : t -> float array -> float array
+val expand : t -> Sparse.Vec.t -> Sparse.Vec.t
 (** Map a contracted solution back to all original nodes. *)

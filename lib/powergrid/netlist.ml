@@ -153,7 +153,7 @@ let to_problem ?(name = "netlist") t =
   let node_names = Array.of_list (List.rev !names) in
   let edges = ref [] in
   let d = Array.make n 0.0 in
-  let b = Array.make n 0.0 in
+  let b = Sparse.Vec.create n in
   List.iter
     (fun c ->
       if c.value <= 0.0 then
@@ -164,10 +164,10 @@ let to_problem ?(name = "netlist") t =
       | -1, -1 -> ()
       | -1, v ->
         d.(v) <- d.(v) +. g;
-        b.(v) <- b.(v) +. (g *. Hashtbl.find fixed c.n_plus)
+        b.{v} <- b.{v} +. (g *. Hashtbl.find fixed c.n_plus)
       | u, -1 ->
         d.(u) <- d.(u) +. g;
-        b.(u) <- b.(u) +. (g *. Hashtbl.find fixed c.n_minus)
+        b.{u} <- b.{u} +. (g *. Hashtbl.find fixed c.n_minus)
       | u, v when u = v -> ()
       | u, v -> edges := (u, v, g) :: !edges)
     t.resistors;
@@ -175,8 +175,8 @@ let to_problem ?(name = "netlist") t =
     (fun c ->
       (* current c.value flows from n_plus through the source to n_minus *)
       let u = intern c.n_plus and v = intern c.n_minus in
-      if u >= 0 then b.(u) <- b.(u) -. c.value;
-      if v >= 0 then b.(v) <- b.(v) +. c.value)
+      if u >= 0 then b.{u} <- b.{u} -. c.value;
+      if v >= 0 then b.{v} <- b.{v} +. c.value)
     t.currents;
   let graph =
     Sddm.Graph.coalesce

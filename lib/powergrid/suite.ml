@@ -61,7 +61,7 @@ let graph_problem ~id ~seed g =
   let n = Sddm.Graph.n_vertices g in
   let d = sprinkle_ground ~seed:(seed + 17) ~fraction:0.01 ~value:1.0 n in
   let rng = Rng.create (seed + 29) in
-  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
   Sddm.Problem.of_graph ~name:id ~graph:g ~d ~b
 
 let other_specs ~scale =
@@ -152,9 +152,29 @@ let find ?scale key =
   | Some c -> c
   | None -> raise Not_found
 
+(* Paper-scale single case: smallest square grid with at least
+   [target_nodes] unknowns (both layers counted). Built by the chunked
+   generator, so requesting 1e6+ nodes does not hold a boxed grid in
+   RAM. *)
+let scale_case ?(seed = 3100) ~target_nodes () =
+  if target_nodes < 24 * 24 then
+    invalid_arg "Suite.scale_case: target too small";
+  (* node_count(side) = side^2 + ceil(side/4)^2, monotone in side *)
+  let side = ref (int_of_float (sqrt (float_of_int target_nodes /. 1.0625))) in
+  while Generate.node_count (Generate.default ~nx:!side ~ny:!side ~seed)
+        < target_nodes do
+    incr side
+  done;
+  let side = !side in
+  {
+    id = Printf.sprintf "scale-%d" target_nodes;
+    analog_of = "fig3-scale";
+    build = (fun () -> Generate.generate (Generate.default ~nx:side ~ny:side ~seed));
+  }
+
 let random_rhs p ~seed =
   let rng = Rng.create seed in
   let n = Sddm.Problem.n p in
-  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
   Sddm.Problem.of_graph ~name:p.Sddm.Problem.name ~graph:p.Sddm.Problem.graph
     ~d:p.Sddm.Problem.d ~b

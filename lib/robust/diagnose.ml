@@ -147,7 +147,7 @@ let run ~a ~b =
   (* non-finite rhs *)
   let nfb_count = ref 0 in
   let nfb_first = ref None in
-  Array.iteri
+  Sparse.Vec.iteri
     (fun i v ->
       if not (Float.is_finite v) then begin
         if !nfb_first = None then nfb_first := Some (i, v);
@@ -335,14 +335,16 @@ let split_components (p : Sddm.Problem.t) =
           Sddm.Graph.create ~n:sizes.(c) ~edges:(Array.of_list edges.(c))
         in
         let d = Array.map (fun gi -> p.Sddm.Problem.d.(gi)) idx in
-        let b = Array.map (fun gi -> p.Sddm.Problem.b.(gi)) idx in
+        let pb = p.Sddm.Problem.b in
+        let b = Sparse.Vec.init (Array.length idx) (fun li -> pb.{idx.(li)}) in
         let name = Printf.sprintf "%s#c%d" p.Sddm.Problem.name c in
         { indices = idx; problem = Sddm.Problem.of_graph ~name ~graph:sub_g ~d ~b })
   end
 
 let assemble ~n parts =
-  let x = Array.make n 0.0 in
+  let x = Sparse.Vec.create n in
   List.iter
-    (fun (c, xc) -> Array.iteri (fun li gi -> x.(gi) <- xc.(li)) c.indices)
+    (fun (c, (xc : Sparse.Vec.t)) ->
+      Array.iteri (fun li gi -> x.{gi} <- xc.{li}) c.indices)
     parts;
   x

@@ -43,7 +43,7 @@ type report = {
   issues : issue list;
 }
 
-val run : a:Sparse.Csc.t -> b:float array -> report
+val run : a:Sparse.Csc.t -> b:Sparse.Vec.t -> report
 (** Full pre-flight scan. Safe on arbitrarily corrupted input (never
     raises); cost is O(nnz log nnz) dominated by the symmetry probe. *)
 
@@ -76,6 +76,6 @@ val split_components : Sddm.Problem.t -> component array
     island's sub-matrix, excess diagonal, and rhs are extracted so the
     islands can be solved independently. *)
 
-val assemble : n:int -> (component * float array) list -> float array
+val assemble : n:int -> (component * Sparse.Vec.t) list -> Sparse.Vec.t
 (** [assemble ~n parts] scatters per-component solutions back into a
     length-[n] global vector (the inverse of {!split_components}). *)

@@ -1,5 +1,5 @@
 type solution = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   note : string;
 }
@@ -21,7 +21,7 @@ type attempt = {
 }
 
 type outcome = {
-  x : float array option;
+  x : Sparse.Vec.t option;
   winner : string option;
   iterations : int;
   residual : float;

@@ -10,7 +10,7 @@
     runs with the same seed produce byte-identical traces. *)
 
 type solution = {
-  x : float array;
+  x : Sparse.Vec.t;
   iterations : int;
   note : string;  (** solver-reported status, recorded in the trace *)
 }
@@ -33,7 +33,7 @@ type failure =
 type attempt = { rung : string; failure : failure }
 
 type outcome = {
-  x : float array option;  (** [Some] iff a rung succeeded *)
+  x : Sparse.Vec.t option;  (** [Some] iff a rung succeeded *)
   winner : string option;  (** name of the successful rung *)
   iterations : int;
   residual : float;  (** verified true relative residual, [inf] if none *)

@@ -26,9 +26,10 @@ let inject_nan ?(entry = 0) a =
       Some (if !k = entry then Float.nan else v))
 
 (* Copy of [b] with [b.(row)] replaced by NaN. *)
-let inject_nan_rhs ?(row = 0) b =
-  let b' = Array.copy b in
-  if Array.length b' > 0 then b'.(min row (Array.length b' - 1)) <- Float.nan;
+let inject_nan_rhs ?(row = 0) (b : Sparse.Vec.t) =
+  let b' = Sparse.Vec.copy b in
+  let n = Sparse.Vec.length b' in
+  if n > 0 then b'.{min row (n - 1)} <- Float.nan;
   b'
 
 (* Shrink (or flip the sign of) one diagonal entry so the row is no longer

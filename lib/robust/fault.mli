@@ -9,7 +9,7 @@
 val inject_nan : ?entry:int -> Sparse.Csc.t -> Sparse.Csc.t
 (** Replace the [entry]-th stored nonzero (default 0) with NaN. *)
 
-val inject_nan_rhs : ?row:int -> float array -> float array
+val inject_nan_rhs : ?row:int -> Sparse.Vec.t -> Sparse.Vec.t
 (** Copy of the rhs with one NaN entry. *)
 
 val break_dominance : ?row:int -> ?factor:float -> Sparse.Csc.t -> Sparse.Csc.t

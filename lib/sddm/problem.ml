@@ -1,7 +1,7 @@
 type t = {
   name : string;
   a : Sparse.Csc.t;
-  b : float array;
+  b : Sparse.Vec.t;
   graph : Graph.t;
   d : float array;
 }
@@ -12,12 +12,12 @@ let of_matrix ~name ~a ~b =
     invalid_arg
       (Printf.sprintf "Problem.of_matrix %S: matrix not square (%d x %d)" name
          n_rows n_cols);
-  if Array.length b <> n_rows then
+  if Sparse.Vec.length b <> n_rows then
     invalid_arg
       (Printf.sprintf
          "Problem.of_matrix %S: rhs length %d does not match matrix \
           dimension %d"
-         name (Array.length b) n_rows);
+         name (Sparse.Vec.length b) n_rows);
   let graph, d =
     try Graph.of_sddm a
     with Invalid_argument msg ->
@@ -33,11 +33,11 @@ let of_graph ~name ~graph ~d ~b =
          "Problem.of_graph %S: excess-diagonal length %d does not match %d \
           vertices"
          name (Array.length d) n);
-  if Array.length b <> n then
+  if Sparse.Vec.length b <> n then
     invalid_arg
       (Printf.sprintf
          "Problem.of_graph %S: rhs length %d does not match %d vertices" name
-         (Array.length b) n);
+         (Sparse.Vec.length b) n);
   { name; a = Graph.to_sddm graph d; b; graph; d }
 
 let n p = Graph.n_vertices p.graph

@@ -86,7 +86,7 @@ let build_problem = function
       let a = Sparse.Matrix_market.read path in
       let n, _ = Sparse.Csc.dims a in
       let rng = Rng.create 1 in
-      let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+      let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
       Ok (Sddm.Problem.of_matrix ~name:(Filename.basename path) ~a ~b)
     with
     | Sys_error msg
@@ -141,7 +141,7 @@ let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
             converged = true;
             t_solve_ms = elapsed_ms t_recv;
             cache_hit = false;
-            x = (if want_x then Some x else None);
+            x = (if want_x then Some (Sparse.Vec.to_array x) else None);
           }
       | Powerrchol.Solver.Robust_rejected { reasons } ->
         Proto.Failed
@@ -189,7 +189,10 @@ let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
             converged = r.Powerrchol.Solver.converged;
             t_solve_ms = elapsed_ms t_recv;
             cache_hit;
-            x = (if want_x then Some r.Powerrchol.Solver.x else None);
+            x =
+              (if want_x then
+                 Some (Sparse.Vec.to_array r.Powerrchol.Solver.x)
+               else None);
           }
     end
 
@@ -207,7 +210,7 @@ let exec_diagnose spec =
         let a = Sparse.Matrix_market.read path in
         let n, _ = Sparse.Csc.dims a in
         let rng = Rng.create 1 in
-        let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+        let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
         Ok (Robust.Diagnose.run ~a ~b)
       with
       | Sys_error msg

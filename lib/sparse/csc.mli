@@ -5,14 +5,20 @@
     [col_ptr.(j) .. col_ptr.(j+1) - 1] of [row_idx] / [values], with row
     indices sorted strictly ascending within each column (guaranteed by every
     constructor here). Explicit zeros are permitted but constructors drop
-    them unless noted. *)
+    them unless noted.
+
+    Storage is Bigarray-backed: [values] is a {!Vec.t} (flat float64) and
+    the index arrays are {!Idx.t}, whose element width (int32 by default,
+    native word under [POWERRCHOL_IDX64]) is picked at build time. On the
+    32-bit-index build every constructor raises [Invalid_argument] with an
+    actionable message for matrices at or beyond 2^31 nonzeros. *)
 
 type t = private {
   n_rows : int;
   n_cols : int;
-  col_ptr : int array;
-  row_idx : int array;
-  values : float array;
+  col_ptr : Idx.t;
+  row_idx : Idx.t;
+  values : Vec.t;
 }
 
 val dims : t -> int * int
@@ -23,6 +29,18 @@ val of_triplet : Triplet.t -> t
     to exactly [0.] are kept (they are structurally meaningful), entries
     added as [0.] are kept too. Rows sorted per column. *)
 
+val of_bucketed :
+  n_rows:int -> n_cols:int -> col_ptr:Idx.t -> row_idx:Idx.t -> values:Vec.t -> t
+(** Finish a bucketed two-pass build without a triplet list: [col_ptr]
+    holds the per-column bucket boundaries (prefix sums, so bucket [j]
+    spans [col_ptr.(j) .. col_ptr.(j+1) - 1]) and [row_idx]/[values] the
+    bucket contents in arrival order, possibly unsorted and with
+    duplicates. Sorts each column, sums duplicates, and takes ownership of
+    the buffers (they are compacted in place). The duplicate-summation
+    order is shared with {!of_triplet}, so a stream-built matrix is
+    bit-for-bit identical to the triplet-built one. The caller must have
+    bounds-checked the row indices. *)
+
 val of_dense : float array array -> t
 (** Build from a row-major dense matrix, dropping exact zeros. Test helper. *)
 
@@ -30,8 +48,8 @@ val to_dense : t -> float array array
 (** Expand to row-major dense. Test helper; O(n_rows * n_cols). *)
 
 val of_raw :
-  n_rows:int -> n_cols:int -> col_ptr:int array -> row_idx:int array ->
-  values:float array -> t
+  n_rows:int -> n_cols:int -> col_ptr:Idx.t -> row_idx:Idx.t ->
+  values:Vec.t -> t
 (** Wrap pre-built arrays. Validates the CSC invariants (monotone pointers,
     in-bounds sorted rows); raises [Invalid_argument] on violation. *)
 
@@ -40,13 +58,13 @@ val identity : int -> t
 val get : t -> int -> int -> float
 (** [get a i j] is [a(i,j)], 0. if not stored. Binary search per call. *)
 
-val spmv : t -> float array -> float array
+val spmv : t -> Vec.t -> Vec.t
 (** [spmv a x] allocates [a * x]. *)
 
-val spmv_into : t -> float array -> float array -> unit
+val spmv_into : t -> Vec.t -> Vec.t -> unit
 (** [spmv_into a x y] computes [y <- a * x] without allocating. *)
 
-val spmv_sym_into : t -> float array -> float array -> unit
+val spmv_sym_into : t -> Vec.t -> Vec.t -> unit
 (** [spmv_sym_into a x y] computes [y <- a * x] for a {e symmetric} [a] in
     gather form: [y.(i)] is accumulated from column [i] (= row [i] by
     symmetry), so each output element is owned by exactly one writer and
@@ -56,10 +74,10 @@ val spmv_sym_into : t -> float array -> float array -> unit
     symmetric input (same per-row term order). Raises [Invalid_argument]
     when [a] is not square or the vector lengths disagree. *)
 
-val spmv_sym : t -> float array -> float array
+val spmv_sym : t -> Vec.t -> Vec.t
 (** Allocating wrapper around {!spmv_sym_into}. *)
 
-val spmv_t : t -> float array -> float array
+val spmv_t : t -> Vec.t -> Vec.t
 (** [spmv_t a x] is [a^T * x]. *)
 
 val transpose : t -> t
@@ -77,7 +95,7 @@ val lower : t -> t
 val upper : t -> t
 (** Keep entries with [row <= col]. *)
 
-val diag : t -> float array
+val diag : t -> Vec.t
 (** Diagonal as a dense vector (0. where absent); square matrices only. *)
 
 val map : t -> (float -> float) -> t
@@ -104,3 +122,7 @@ val frobenius_diff : t -> t -> float
 
 val one_norm : t -> float
 (** Maximum column sum of absolute values. *)
+
+val bytes : t -> int
+(** Resident bytes of the CSC storage proper (pointers + rows + values);
+    the bytes/nnz figure the scale bench reports is [bytes a / nnz a]. *)

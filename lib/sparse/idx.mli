@@ -1,0 +1,52 @@
+(** Bigarray-backed index arrays for sparse storage.
+
+    The element width is selected at build time (see [lib/sparse/dune]):
+    the default backend stores [int32] (4 bytes per index, enough for any
+    matrix with fewer than 2^31 nonzeros), and setting [POWERRCHOL_IDX64]
+    in the build environment switches to a native-word backend whose
+    indices round-trip exactly up to [max_int]. Both expose plain [int]
+    at the API; the narrow build's constructors must guard against
+    overflow with {!check_index_capacity}. *)
+
+type t
+
+val bits : int
+(** Index width of this build: 32 or 64. *)
+
+val bytes_per_index : int
+
+val max_index : int
+(** Largest value representable by this build's index element. *)
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val unsafe_get : t -> int -> int
+(** No bounds check; the caller must have validated the index. *)
+
+val unsafe_set : t -> int -> int -> unit
+
+val make : int -> t
+(** [make n] is a zero-filled index array of length [n]. *)
+
+val fill : t -> int -> unit
+val init : int -> (int -> int) -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val copy : t -> t
+val blit : src:t -> dst:t -> unit
+
+val sub : t -> int -> int -> t
+(** Zero-copy view sharing the underlying storage. *)
+
+val check_index_capacity : what:string -> int -> unit
+(** [check_index_capacity ~what n] raises [Invalid_argument] with an
+    actionable message when [n] exceeds {!max_index}. *)
+
+(** Indexing sugar: [open Sparse.Idx.Ops] enables [a.%(i)] and
+    [a.%(i) <- v]. *)
+module Ops : sig
+  val ( .%() ) : t -> int -> int
+  val ( .%()<- ) : t -> int -> int -> unit
+end

@@ -1,0 +1,26 @@
+(* 32-bit index storage: 4 bytes per index in a GC-opaque Bigarray.
+   Selected by default (see lib/sparse/dune); every matrix this build can
+   represent has fewer than 2^31 rows, columns, and nonzeros, which the
+   constructors in Csc/Lower enforce with an actionable error. The
+   accessors are tiny and [@inline]-annotated so the Int32 boxing
+   introduced by Bigarray's int32 kind collapses at the use site. *)
+
+open Bigarray
+
+type t = (int32, int32_elt, c_layout) Array1.t
+
+let bits = 32
+let bytes_per_index = 4
+let max_index = Int32.to_int Int32.max_int
+let length (a : t) = Array1.dim a
+let[@inline] get (a : t) i = Int32.to_int (Array1.get a i)
+let[@inline] set (a : t) i v = Array1.set a i (Int32.of_int v)
+let[@inline] unsafe_get (a : t) i = Int32.to_int (Array1.unsafe_get a i)
+let[@inline] unsafe_set (a : t) i v = Array1.unsafe_set a i (Int32.of_int v)
+
+let make n : t =
+  let a = Array1.create int32 c_layout n in
+  Array1.fill a 0l;
+  a
+
+let fill (a : t) v = Array1.fill a (Int32.of_int v)

@@ -27,6 +27,10 @@ let parse_header line =
      | s -> fail "unsupported symmetry %S" s)
   | _ -> fail "malformed MatrixMarket header: %S" line
 
+(* ---- triplet-based channel reader -------------------------------------
+   Kept as the reference path: it works on any (non-seekable) channel, and
+   the streaming reader below is tested bit-for-bit against it. *)
+
 let read_channel ic =
   let header =
     match In_channel.input_line ic with
@@ -87,17 +91,163 @@ let read_channel ic =
        entries l);
   Csc.of_triplet t
 
-let read path = In_channel.with_open_text path read_channel
+let read_triplet path = In_channel.with_open_text path read_channel
+
+(* ---- streaming two-pass reader ----------------------------------------
+   Builds the CSC directly: pass 1 counts entries per column, pass 2 fills
+   the bucketed arrays, and Csc.of_bucketed sorts/coalesces in place. No
+   triplet list is ever materialized, so peak memory is the final CSC plus
+   one cursor array — the difference between loading and not loading a
+   paper-scale grid. All parse failures report the 1-based line number. *)
+
+type stream = { ic : in_channel; mutable line : int }
+
+let stream_line st =
+  match In_channel.input_line st.ic with
+  | None -> None
+  | Some l ->
+    st.line <- st.line + 1;
+    Some l
+
+let rec next_data st =
+  match stream_line st with
+  | None -> None
+  | Some l ->
+    let l = String.trim l in
+    if l = "" || l.[0] = '%' then next_data st else Some l
+
+let parse_entry ~line l =
+  let i, j, v =
+    try Scanf.sscanf l " %d %d %s" (fun a b c -> (a, b, float_of_string c))
+    with Scanf.Scan_failure _ | Failure _ ->
+      fail "line %d: malformed entry line %S" line l
+  in
+  (i, j, v)
+
+(* Header + size line; returns the parsed sizes. Shared by both passes so
+   the second pass skips exactly the same prefix it counted. *)
+let stream_prelude st =
+  let header =
+    match stream_line st with Some l -> l | None -> fail "empty file"
+  in
+  let sym = parse_header header in
+  let size_line =
+    match next_data st with
+    | Some l -> l
+    | None -> fail "missing size line"
+  in
+  let size_ln = st.line in
+  let n_rows, n_cols, entries =
+    try Scanf.sscanf size_line " %d %d %d" (fun a b c -> (a, b, c))
+    with Scanf.Scan_failure _ | Failure _ ->
+      fail "line %d: malformed size line %S" size_ln size_line
+  in
+  if n_rows < 0 || n_cols < 0 || entries < 0 then
+    fail "line %d: invalid size line %S: dimensions and entry count must be \
+          >= 0"
+      size_ln size_line;
+  (sym, n_rows, n_cols, entries)
+
+let read path =
+  (* Pass 1: count per-column entries (including the symmetric mirror). *)
+  let sym, n_rows, n_cols, entries, counts, expanded =
+    In_channel.with_open_text path (fun ic ->
+        let st = { ic; line = 0 } in
+        let sym, n_rows, n_cols, entries = stream_prelude st in
+        Idx.check_index_capacity ~what:"Matrix_market.read"
+          (max n_rows n_cols);
+        let counts = Idx.make (n_cols + 1) in
+        let expanded = ref 0 in
+        for k = 1 to entries do
+          match next_data st with
+          | None ->
+            fail "line %d: expected %d entries, file ended at %d" st.line
+              entries (k - 1)
+          | Some l ->
+            let line = st.line in
+            let i, j, _ = parse_entry ~line l in
+            if i < 1 || i > n_rows || j < 1 || j > n_cols then
+              fail "line %d: entry (%d,%d) out of bounds" line i j;
+            Idx.set counts j (Idx.get counts j + 1);
+            incr expanded;
+            if sym = Symmetric && i <> j then begin
+              Idx.set counts i (Idx.get counts i + 1);
+              incr expanded
+            end
+        done;
+        (match next_data st with
+         | None -> ()
+         | Some l ->
+           fail
+             "line %d: size line declared %d entries but the file continues \
+              (first extra line: %S) — truncated or corrupted export"
+             st.line entries l);
+        (sym, n_rows, n_cols, entries, counts, !expanded))
+  in
+  Idx.check_index_capacity ~what:"Matrix_market.read" expanded;
+  (* counts.(j) currently holds column j-1's count (1-based file indices
+     landed one slot up), which is exactly the layout a prefix sum turns
+     into bucket boundaries. *)
+  let col_ptr = counts in
+  for j = 1 to n_cols do
+    Idx.set col_ptr j (Idx.get col_ptr j + Idx.get col_ptr (j - 1))
+  done;
+  let row_idx = Idx.make (max expanded 1) in
+  let values = Vec.create (max expanded 1) in
+  let cursor = Idx.copy col_ptr in
+  (* Pass 2: fill the buckets in file order (the same per-column arrival
+     order the triplet path produces, so coalescing is bit-identical). *)
+  In_channel.with_open_text path (fun ic ->
+      let st = { ic; line = 0 } in
+      let _ = stream_prelude st in
+      let put i j v =
+        let k = Idx.get cursor j in
+        Idx.set row_idx k i;
+        Vec.set values k v;
+        Idx.set cursor j (k + 1)
+      in
+      for k = 1 to entries do
+        match next_data st with
+        | None ->
+          fail "line %d: file shrank between passes (%d of %d entries)"
+            st.line (k - 1) entries
+        | Some l ->
+          let line = st.line in
+          let i, j, v = parse_entry ~line l in
+          if i < 1 || i > n_rows || j < 1 || j > n_cols then
+            fail "line %d: entry (%d,%d) out of bounds" line i j;
+          let i = i - 1 and j = j - 1 in
+          put i j v;
+          if sym = Symmetric && i <> j then put j i v
+      done);
+  Csc.of_bucketed ~n_rows ~n_cols ~col_ptr ~row_idx ~values
+
+(* ---- writers ----------------------------------------------------------- *)
 
 let write_channel ?(symmetric = false) oc a =
   let n_rows, n_cols = Csc.dims a in
   let header_sym = if symmetric then "symmetric" else "general" in
   Printf.fprintf oc "%%%%MatrixMarket matrix coordinate real %s\n" header_sym;
-  let emit = if symmetric then Csc.lower a else a in
-  Printf.fprintf oc "%d %d %d\n" n_rows n_cols (Csc.nnz emit);
-  for j = 0 to n_cols - 1 do
-    Csc.iter_col emit j (fun i v -> Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v)
-  done
+  if symmetric then begin
+    (* Stream the lower triangle without materializing it: count first so
+       the size line is exact, then emit. *)
+    let count =
+      Csc.fold_nonzeros a ~init:0 ~f:(fun acc i j _ ->
+          if i >= j then acc + 1 else acc)
+    in
+    Printf.fprintf oc "%d %d %d\n" n_rows n_cols count;
+    for j = 0 to n_cols - 1 do
+      Csc.iter_col a j (fun i v ->
+          if i >= j then Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v)
+    done
+  end
+  else begin
+    Printf.fprintf oc "%d %d %d\n" n_rows n_cols (Csc.nnz a);
+    for j = 0 to n_cols - 1 do
+      Csc.iter_col a j (fun i v ->
+          Printf.fprintf oc "%d %d %.17g\n" (i + 1) (j + 1) v)
+    done
+  end
 
 let write ?symmetric path a =
   Out_channel.with_open_text path (fun oc -> write_channel ?symmetric oc a)
@@ -112,52 +262,47 @@ let parse_array_header line =
 
 let read_vectors path =
   In_channel.with_open_text path (fun ic ->
+      let st = { ic; line = 0 } in
       let header =
-        match In_channel.input_line ic with
+        match stream_line st with
         | Some l -> l
         | None -> fail "empty file"
       in
       parse_array_header header;
-      let rec next_data_line () =
-        match In_channel.input_line ic with
-        | None -> None
-        | Some l ->
-          let l = String.trim l in
-          if l = "" || l.[0] = '%' then next_data_line () else Some l
-      in
       let size_line =
-        match next_data_line () with
+        match next_data st with
         | Some l -> l
         | None -> fail "missing size line"
       in
+      let size_ln = st.line in
       let n_rows, n_cols =
         try Scanf.sscanf size_line " %d %d" (fun a b -> (a, b))
         with Scanf.Scan_failure _ | Failure _ ->
-          fail "malformed size line %S" size_line
+          fail "line %d: malformed size line %S" size_ln size_line
       in
       if n_rows < 0 || n_cols < 1 then
-        fail "invalid dimensions %d x %d" n_rows n_cols;
+        fail "line %d: invalid dimensions %d x %d" size_ln n_rows n_cols;
       (* array format is column-major: column 0 completely, then column 1 *)
       let cols =
         Array.init n_cols (fun j ->
-            Array.init n_rows (fun k ->
-                match next_data_line () with
+            Vec.init n_rows (fun k ->
+                match next_data st with
                 | None ->
-                  fail "expected %d entries, file ended at %d"
-                    (n_rows * n_cols)
+                  fail "line %d: expected %d entries, file ended at %d"
+                    st.line (n_rows * n_cols)
                     ((j * n_rows) + k)
                 | Some l -> (
                   match float_of_string_opt (String.trim l) with
                   | Some v -> v
-                  | None -> fail "malformed value %S" l)))
+                  | None -> fail "line %d: malformed value %S" st.line l)))
       in
-      (match next_data_line () with
+      (match next_data st with
        | None -> ()
        | Some l ->
          fail
-           "size line declared %d x %d values but the file continues (first \
-            extra line: %S) — truncated or corrupted export"
-           n_rows n_cols l);
+           "line %d: size line declared %d x %d values but the file \
+            continues (first extra line: %S) — truncated or corrupted export"
+           st.line n_rows n_cols l);
       cols)
 
 let read_vector path =
@@ -167,17 +312,17 @@ let read_vector path =
 
 let write_vectors path cols =
   if Array.length cols = 0 then invalid_arg "write_vectors: no columns";
-  let n = Array.length cols.(0) in
+  let n = Vec.length cols.(0) in
   Array.iter
     (fun c ->
-      if Array.length c <> n then
+      if Vec.length c <> n then
         invalid_arg "write_vectors: columns of unequal length")
     cols;
   Out_channel.with_open_text path (fun oc ->
       Printf.fprintf oc "%%%%MatrixMarket matrix array real general\n";
       Printf.fprintf oc "%d %d\n" n (Array.length cols);
       Array.iter
-        (fun c -> Array.iter (fun x -> Printf.fprintf oc "%.17g\n" x) c)
+        (fun c -> Vec.iteri (fun _ x -> Printf.fprintf oc "%.17g\n" x) c)
         cols)
 
 let write_vector path v = write_vectors path [| v |]

@@ -8,35 +8,49 @@
 exception Parse_error of string
 
 val read : string -> Csc.t
-(** [read path] loads an .mtx file. Raises [Parse_error] on malformed input
-    and [Sys_error] on I/O failure. The declared entry count is enforced
-    both ways: a file that ends early {e or} continues past its declared
-    nnz (a truncated/concatenated export) raises [Parse_error] with the
-    offending line — it never loads silently with entries dropped. *)
+(** [read path] loads an .mtx file with the streaming two-pass reader: the
+    first pass counts entries per column, the second fills the CSC buckets
+    directly — no triplet list is materialized, so peak memory is the
+    final matrix plus one cursor array. The result is bit-for-bit
+    identical to {!read_triplet}. Raises [Parse_error] on malformed input
+    (every message from this path carries the 1-based line number) and
+    [Sys_error] on I/O failure. The declared entry count is enforced both
+    ways: a file that ends early {e or} continues past its declared nnz (a
+    truncated/concatenated export) raises [Parse_error] with the offending
+    line — it never loads silently with entries dropped. *)
+
+val read_triplet : string -> Csc.t
+(** [read_triplet path] loads via the materialized-triplet path
+    ({!read_channel} on the opened file). Reference implementation for the
+    streaming reader; prefer {!read}, which peaks at roughly a third of
+    the memory. *)
 
 val read_channel : in_channel -> Csc.t
+(** Triplet-based reader over any channel (channels cannot be rewound, so
+    the two-pass streaming build needs a path — see {!read}). *)
 
 val write : ?symmetric:bool -> string -> Csc.t -> unit
 (** [write ~symmetric path a] stores [a]; with [~symmetric:true] (default
     false) only the lower triangle is emitted under a [symmetric] header
-    (the matrix must actually be symmetric). *)
+    (the matrix must actually be symmetric). The triangle is streamed
+    straight from [a] — no lower-triangular copy is materialized. *)
 
 val write_channel : ?symmetric:bool -> out_channel -> Csc.t -> unit
 
-val read_vector : string -> float array
+val read_vector : string -> Vec.t
 (** [read_vector path] loads a dense vector stored as
     [matrix array real general] with one column (the format SuiteSparse
     uses for right-hand sides). Raises [Parse_error] if the file holds
     more than one column — use {!read_vectors} for multi-RHS files. *)
 
-val read_vectors : string -> float array array
+val read_vectors : string -> Vec.t array
 (** [read_vectors path] loads a dense [matrix array real general] file as
     one array per column (column-major storage, as MatrixMarket
     specifies). A k-column file is k right-hand sides for the same
     matrix — the batched factor-once / solve-many input. *)
 
-val write_vector : string -> float array -> unit
+val write_vector : string -> Vec.t -> unit
 
-val write_vectors : string -> float array array -> unit
+val write_vectors : string -> Vec.t array -> unit
 (** [write_vectors path cols] stores the columns as one
     [matrix array real general] file; all columns must share a length. *)

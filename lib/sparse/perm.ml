@@ -24,16 +24,16 @@ let compose p q =
   assert (Array.length p = Array.length q);
   Array.map (fun i -> q.(i)) p
 
-let apply_vec p x =
-  assert (Array.length p = Array.length x);
-  Array.map (fun i -> x.(i)) p
+let apply_vec p (x : Vec.t) : Vec.t =
+  assert (Array.length p = Vec.length x);
+  Vec.init (Array.length p) (fun k -> Vec.get x p.(k))
 
-let apply_inv_vec p y =
+let apply_inv_vec p (y : Vec.t) : Vec.t =
   let n = Array.length p in
-  assert (n = Array.length y);
-  let x = Array.make n 0.0 in
+  assert (n = Vec.length y);
+  let x = Vec.create n in
   for k = 0 to n - 1 do
-    x.(p.(k)) <- y.(k)
+    Vec.set x p.(k) (Vec.get y k)
   done;
   x
 

@@ -21,11 +21,11 @@ val compose : t -> t -> t
     [r.(k) = q.(p.(k))], i.e. reordering by [r] is reordering by [q]
     followed by reordering by [p]. *)
 
-val apply_vec : t -> float array -> float array
+val apply_vec : t -> Vec.t -> Vec.t
 (** [apply_vec p x] builds the reordered vector [y] with [y.(k) = x.(p.(k))]
     — the action of [P] on [x]. *)
 
-val apply_inv_vec : t -> float array -> float array
+val apply_inv_vec : t -> Vec.t -> Vec.t
 (** [apply_inv_vec p y] undoes [apply_vec]: returns [x] with
     [x.(p.(k)) = y.(k)] — the action of [P^T]. *)
 

@@ -1,12 +1,54 @@
-let create n = Array.make n 0.0
+open Bigarray
 
-let copy = Array.copy
+type t = (float, float64_elt, c_layout) Array1.t
 
-let fill x v = Array.fill x 0 (Array.length x) v
+let length (x : t) = Array1.dim x
 
-let blit ~src ~dst =
-  assert (Array.length src = Array.length dst);
-  Array.blit src 0 dst 0 (Array.length src)
+let create n : t =
+  (* Array1.create leaves the buffer uninitialized, unlike Array.make. *)
+  let x = Array1.create float64 c_layout n in
+  Array1.fill x 0.0;
+  x
+
+let make n v : t =
+  let x = Array1.create float64 c_layout n in
+  Array1.fill x v;
+  x
+
+external get : t -> int -> float = "%caml_ba_ref_1"
+external set : t -> int -> float -> unit = "%caml_ba_set_1"
+external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+let init n f : t =
+  let x = Array1.create float64 c_layout n in
+  for i = 0 to n - 1 do
+    x.{i} <- f i
+  done;
+  x
+
+let of_array (src : float array) : t =
+  init (Array.length src) (Array.get src)
+
+let to_array (x : t) = Array.init (length x) (Array1.get x)
+
+let copy (x : t) : t =
+  let y = Array1.create float64 c_layout (length x) in
+  Array1.blit x y;
+  y
+
+let fill (x : t) v = Array1.fill x v
+
+let blit ~(src : t) ~(dst : t) =
+  if length src <> length dst then invalid_arg "Vec.blit: length mismatch";
+  Array1.blit src dst
+
+let sub_view (x : t) ofs len : t = Array1.sub x ofs len
+
+let iteri f (x : t) =
+  for i = 0 to length x - 1 do
+    f i x.{i}
+  done
 
 (* Vectors shorter than this never fan out: the dispatch cost dwarfs the
    loop, and keeping small problems on the plain code path preserves
@@ -16,14 +58,14 @@ let blit ~src ~dst =
    domain count > 1. *)
 let par_min = 16384
 
-let dot x y =
-  assert (Array.length x = Array.length y);
-  let n = Array.length x in
+let dot (x : t) (y : t) =
+  assert (length x = length y);
+  let n = length x in
   let pool = Par.default () in
   if n < par_min || not (Par.runs_parallel pool) then begin
     let acc = ref 0.0 in
     for i = 0 to n - 1 do
-      acc := !acc +. (x.(i) *. y.(i))
+      acc := !acc +. (x.{i} *. y.{i})
     done;
     !acc
   end
@@ -33,82 +75,77 @@ let dot x y =
     Par.reduce_blocked pool ~lo:0 ~hi:n (fun lo hi ->
         let acc = ref 0.0 in
         for i = lo to hi - 1 do
-          acc := !acc +. (x.(i) *. y.(i))
+          acc := !acc +. (x.{i} *. y.{i})
         done;
         !acc)
 
 let norm2 x = sqrt (dot x x)
 
-let norm_inf x =
+let norm_inf (x : t) =
   let acc = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    let a = Float.abs x.(i) in
+  for i = 0 to length x - 1 do
+    let a = Float.abs x.{i} in
     if a > !acc then acc := a
   done;
   !acc
 
-let axpy ~alpha ~x ~y =
-  assert (Array.length x = Array.length y);
+let axpy ~alpha ~(x : t) ~(y : t) =
+  assert (length x = length y);
   let body lo hi =
     for i = lo to hi - 1 do
-      y.(i) <- y.(i) +. (alpha *. x.(i))
+      y.{i} <- y.{i} +. (alpha *. x.{i})
     done
   in
-  let n = Array.length x in
+  let n = length x in
   let pool = Par.default () in
   if n < par_min || not (Par.runs_parallel pool) then body 0 n
   else Par.parallel_for pool ~lo:0 ~hi:n body
 
-let scale x alpha =
+let scale (x : t) alpha =
   let body lo hi =
     for i = lo to hi - 1 do
-      x.(i) <- x.(i) *. alpha
+      x.{i} <- x.{i} *. alpha
     done
   in
-  let n = Array.length x in
+  let n = length x in
   let pool = Par.default () in
   if n < par_min || not (Par.runs_parallel pool) then body 0 n
   else Par.parallel_for pool ~lo:0 ~hi:n body
 
-let add x y =
-  assert (Array.length x = Array.length y);
-  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+let add (x : t) (y : t) : t =
+  assert (length x = length y);
+  init (length x) (fun i -> x.{i} +. y.{i})
 
-let sub x y =
-  assert (Array.length x = Array.length y);
-  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+let sub (x : t) (y : t) : t =
+  assert (length x = length y);
+  init (length x) (fun i -> x.{i} -. y.{i})
 
-let xpby ~x ~beta ~y =
-  assert (Array.length x = Array.length y);
+let xpby ~(x : t) ~beta ~(y : t) =
+  assert (length x = length y);
   let body lo hi =
     for i = lo to hi - 1 do
-      y.(i) <- x.(i) +. (beta *. y.(i))
+      y.{i} <- x.{i} +. (beta *. y.{i})
     done
   in
-  let n = Array.length x in
+  let n = length x in
   let pool = Par.default () in
   if n < par_min || not (Par.runs_parallel pool) then body 0 n
   else Par.parallel_for pool ~lo:0 ~hi:n body
 
-let max_abs_diff x y =
-  assert (Array.length x = Array.length y);
+let max_abs_diff (x : t) (y : t) =
+  assert (length x = length y);
   let acc = ref 0.0 in
-  for i = 0 to Array.length x - 1 do
-    let d = Float.abs (x.(i) -. y.(i)) in
+  for i = 0 to length x - 1 do
+    let d = Float.abs (x.{i} -. y.{i}) in
     if d > !acc then acc := d
   done;
   !acc
 
-(* Indexed loop rather than [Array.iter]: the polymorphic iterator boxes
-   every element of a flat float array, turning this into an n-sized
-   allocation per call — fatal in the transient march's per-step stats. *)
-let mean x =
-  let n = Array.length x in
+let mean (x : t) =
+  let n = length x in
   assert (n > 0);
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
-    acc := !acc +. x.(i)
+    acc := !acc +. x.{i}
   done;
   !acc /. float_of_int n
-
-let init = Array.init

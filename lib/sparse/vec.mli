@@ -1,44 +1,72 @@
 (** Dense vector kernels used throughout the solvers.
 
-    All functions operate on [float array] and check dimensions with
-    assertions; none of them allocates unless the name says so ([map],
-    [copy], ...). *)
+    A vector is a flat [float64] Bigarray: unboxed, GC-opaque (the major
+    heap never scans it), and shareable with future C kernels without
+    copying. The type is exposed as an alias so consumers can index with
+    the standard [x.{i}] sugar; dimension mismatches raise via assertions
+    or [Invalid_argument]. None of the kernels allocates unless the name
+    says so ([add], [copy], ...). *)
 
-val create : int -> float array
-(** [create n] is a zero vector of length [n]. *)
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-val copy : float array -> float array
+val length : t -> int
 
-val fill : float array -> float -> unit
+val create : int -> t
+(** [create n] is a zero vector of length [n] (explicitly zero-filled —
+    Bigarray allocation does not clear). *)
 
-val blit : src:float array -> dst:float array -> unit
+val make : int -> float -> t
+(** [make n v] is a length-[n] vector with every component [v]. *)
+
+(* The element accessors are the Bigarray primitives themselves, not
+   wrappers: a cross-module call returning [float] boxes its result on
+   every invocation (the solver hot loops would pay two minor words per
+   element read), whereas an [external "%caml_ba_..."] compiles to the
+   same unboxed access as [x.{i}] at every call site. *)
+
+external get : t -> int -> float = "%caml_ba_ref_1"
+external set : t -> int -> float -> unit = "%caml_ba_set_1"
+
+external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+(** No bounds check; the caller must have validated the index. *)
+
+external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+val init : int -> (int -> float) -> t
+val of_array : float array -> t
+val to_array : t -> float array
+val copy : t -> t
+val fill : t -> float -> unit
+
+val blit : src:t -> dst:t -> unit
 (** Copy [src] into [dst]; lengths must match. *)
 
-val dot : float array -> float array -> float
+val sub_view : t -> int -> int -> t
+(** Zero-copy slice sharing the underlying storage. *)
 
-val norm2 : float array -> float
+val iteri : (int -> float -> unit) -> t -> unit
+val dot : t -> t -> float
+
+val norm2 : t -> float
 (** Euclidean norm. *)
 
-val norm_inf : float array -> float
+val norm_inf : t -> float
 
-val axpy : alpha:float -> x:float array -> y:float array -> unit
+val axpy : alpha:float -> x:t -> y:t -> unit
 (** [y <- alpha * x + y]. *)
 
-val scale : float array -> float -> unit
+val scale : t -> float -> unit
 (** [x <- alpha * x], in place. *)
 
-val add : float array -> float array -> float array
+val add : t -> t -> t
 (** Fresh vector [x + y]. *)
 
-val sub : float array -> float array -> float array
+val sub : t -> t -> t
 (** Fresh vector [x - y]. *)
 
-val xpby : x:float array -> beta:float -> y:float array -> unit
+val xpby : x:t -> beta:float -> y:t -> unit
 (** [y <- x + beta * y]; the PCG direction update. *)
 
-val max_abs_diff : float array -> float array -> float
+val max_abs_diff : t -> t -> float
 (** Componentwise infinity distance between two vectors. *)
 
-val mean : float array -> float
-
-val init : int -> (int -> float) -> float array
+val mean : t -> float

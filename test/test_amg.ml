@@ -8,7 +8,7 @@ let mesh_problem ~side ~seed =
   for _ = 1 to max 1 (n / 50) do
     d.(Rng.int rng n) <- 2.0
   done;
-  let b = Array.init n (fun _ -> Rng.float rng) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng) in
   Sddm.Problem.of_graph ~name:"mesh" ~graph:g ~d ~b
 
 let test_hierarchy_shrinks () =
@@ -42,7 +42,7 @@ let test_v_cycle_reduces_error () =
   let x_exact = Factor.Chol.solve a b in
   let a_norm2 e = Sparse.Vec.dot e (Csc.spmv a e) in
   let e0 = a_norm2 x_exact in
-  let x = Array.make (Array.length b) 0.0 in
+  let x = Sparse.Vec.create (Sparse.Vec.length b) in
   Amg.v_cycle h b x;
   let e1 = a_norm2 (Sparse.Vec.sub x_exact x) in
   Alcotest.(check bool)
@@ -75,7 +75,7 @@ let test_small_matrix_direct () =
   let p = Test_util.random_problem ~seed:611 ~n:30 ~m:70 in
   let h = Amg.build p.Sddm.Problem.a in
   Alcotest.(check int) "single level" 1 (Amg.n_levels h);
-  let x = Array.make 30 0.0 in
+  let x = Sparse.Vec.create 30 in
   Amg.v_cycle h p.Sddm.Problem.b x;
   Alcotest.(check bool) "direct solve exact" true
     (Sddm.Problem.residual_norm p x < 1e-10)
@@ -125,9 +125,9 @@ let prop_amg_preconditioner_spd_proxy =
       let h = Amg.build p.Sddm.Problem.a in
       let n = Sddm.Problem.n p in
       let rng = Rng.create (seed + 5) in
-      let r = Array.init n (fun _ -> Rng.float rng -. 0.5) in
-      let s = Array.init n (fun _ -> Rng.float rng -. 0.5) in
-      let mr = Array.make n 0.0 and ms = Array.make n 0.0 in
+      let r = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
+      let s = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
+      let mr = Sparse.Vec.create n and ms = Sparse.Vec.create n in
       Amg.v_cycle h r mr;
       Amg.v_cycle h s ms;
       let lhs = Sparse.Vec.dot mr s and rhs = Sparse.Vec.dot r ms in

@@ -18,7 +18,7 @@ let all_solvers () =
 let test_single_node () =
   let graph = Sddm.Graph.create ~n:1 ~edges:[||] in
   let p =
-    Sddm.Problem.of_graph ~name:"one" ~graph ~d:[| 4.0 |] ~b:[| 8.0 |]
+    Sddm.Problem.of_graph ~name:"one" ~graph ~d:[| 4.0 |] ~b:(Test_util.vec [| 8.0 |])
   in
   List.iter
     (fun s ->
@@ -26,7 +26,7 @@ let test_single_node () =
       Alcotest.(check bool)
         (s.Powerrchol.Solver.name ^ " solves 1x1")
         true r.Powerrchol.Solver.converged;
-      Alcotest.(check (float 1e-9)) "x = b/d" 2.0 r.Powerrchol.Solver.x.(0))
+      Alcotest.(check (float 1e-9)) "x = b/d" 2.0 r.Powerrchol.Solver.x.{0})
     (all_solvers ())
 
 (* ---- two nodes, one edge ---- *)
@@ -35,7 +35,7 @@ let test_two_nodes () =
   let graph = Sddm.Graph.create ~n:2 ~edges:[| (0, 1, 3.0) |] in
   let d = [| 1.0; 0.0 |] in
   let b = [| 0.0; 1.0 |] in
-  let p = Sddm.Problem.of_graph ~name:"two" ~graph ~d ~b in
+  let p = Sddm.Problem.of_graph ~name:"two" ~graph ~d ~b:(Test_util.vec b) in
   let expected =
     Test_util.dense_solve (Sparse.Csc.to_dense p.Sddm.Problem.a) b
   in
@@ -45,7 +45,8 @@ let test_two_nodes () =
       Alcotest.(check bool)
         (s.Powerrchol.Solver.name ^ " exact on 2x2")
         true
-        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x expected < 1e-8))
+        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x (Test_util.vec expected)
+         < 1e-8))
     (all_solvers ())
 
 (* ---- disconnected components, each grounded ---- *)
@@ -58,7 +59,7 @@ let test_disconnected_components () =
   let d = [| 1.0; 0.0; 0.0; 0.5; 0.0; 0.0 |] in
   let rng = Rng.create 3 in
   let b = Array.init 6 (fun _ -> Rng.float rng) in
-  let p = Sddm.Problem.of_graph ~name:"disc" ~graph ~d ~b in
+  let p = Sddm.Problem.of_graph ~name:"disc" ~graph ~d ~b:(Test_util.vec b) in
   let expected =
     Test_util.dense_solve (Sparse.Csc.to_dense p.Sddm.Problem.a) b
   in
@@ -68,7 +69,8 @@ let test_disconnected_components () =
       Alcotest.(check bool)
         (s.Powerrchol.Solver.name ^ " handles components")
         true
-        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x expected < 1e-6))
+        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x (Test_util.vec expected)
+         < 1e-6))
     [
       Powerrchol.Solver.powerrchol ();
       Powerrchol.Solver.lt_rchol ();
@@ -85,18 +87,18 @@ let test_extreme_weights () =
   in
   let d = [| 1e3; 0.0; 0.0; 0.0 |] in
   let b = [| 1.0; -1.0; 2.0; 0.5 |] in
-  let p = Sddm.Problem.of_graph ~name:"extreme" ~graph ~d ~b in
+  let p = Sddm.Problem.of_graph ~name:"extreme" ~graph ~d ~b:(Test_util.vec b) in
   let expected =
     Test_util.dense_solve (Sparse.Csc.to_dense p.Sddm.Problem.a) b
   in
   List.iter
     (fun s ->
       let r = Powerrchol.Solver.run ~rtol:1e-12 s p in
-      let scale = Sparse.Vec.norm_inf expected in
+      let scale = Sparse.Vec.norm_inf (Test_util.vec expected) in
       Alcotest.(check bool)
         (s.Powerrchol.Solver.name ^ " survives 12 decades")
         true
-        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x expected
+        (Sparse.Vec.max_abs_diff r.Powerrchol.Solver.x (Test_util.vec expected)
          < 1e-6 *. scale))
     [
       Powerrchol.Solver.powerrchol ();
@@ -113,7 +115,7 @@ let test_parallel_edges () =
   in
   let d = [| 1.0; 0.0; 0.0 |] in
   let b = [| 1.0; 0.0; 1.0 |] in
-  let p = Sddm.Problem.of_graph ~name:"parallel" ~graph ~d ~b in
+  let p = Sddm.Problem.of_graph ~name:"parallel" ~graph ~d ~b:(Test_util.vec b) in
   (* matrix must equal the coalesced version's *)
   let g2 =
     Sddm.Graph.create ~n:3 ~edges:[| (0, 1, 3.0); (1, 2, 1.5) |]
@@ -139,7 +141,7 @@ let test_complete_graph () =
   d.(7) <- 1.0;
   let rng = Rng.create 5 in
   let b = Array.init n (fun _ -> Rng.float rng) in
-  let p = Sddm.Problem.of_graph ~name:"clique" ~graph ~d ~b in
+  let p = Sddm.Problem.of_graph ~name:"clique" ~graph ~d ~b:(Test_util.vec b) in
   List.iter
     (fun s ->
       let r = Powerrchol.Solver.run s p in
@@ -155,7 +157,7 @@ let test_long_path () =
   let graph = Test_util.path_graph n in
   let d = Array.make n 0.0 in
   d.(0) <- 1.0;
-  let b = Array.make n 1e-6 in
+  let b = Sparse.Vec.make n 1e-6 in
   let p = Sddm.Problem.of_graph ~name:"path" ~graph ~d ~b in
   (* trees factor exactly: one PCG iteration expected *)
   let r = Powerrchol.Pipeline.solve p in
@@ -171,7 +173,7 @@ let test_big_star () =
   let graph = Test_util.star_graph n in
   let d = Array.make n 0.0 in
   d.(0) <- 1.0;
-  let b = Array.make n 1e-6 in
+  let b = Sparse.Vec.make n 1e-6 in
   let p = Sddm.Problem.of_graph ~name:"star" ~graph ~d ~b in
   let r = Powerrchol.Pipeline.solve p in
   Alcotest.(check bool) "big star converges" true r.Powerrchol.Solver.converged
@@ -182,7 +184,7 @@ let test_zero_rhs_pipeline () =
   let p0 = Test_util.random_problem ~seed:951 ~n:50 ~m:120 in
   let p =
     Sddm.Problem.of_graph ~name:"zero" ~graph:p0.Sddm.Problem.graph
-      ~d:p0.Sddm.Problem.d ~b:(Array.make 50 0.0)
+      ~d:p0.Sddm.Problem.d ~b:(Sparse.Vec.create 50)
   in
   let r = Powerrchol.Pipeline.solve p in
   Alcotest.(check bool) "zero in, zero out" true

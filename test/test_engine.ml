@@ -14,7 +14,7 @@ let with_b problem b =
   Sddm.Problem.of_graph ~name:problem.Sddm.Problem.name
     ~graph:problem.Sddm.Problem.graph ~d:problem.Sddm.Problem.d ~b
 
-let random_rhs ~rng n = Array.init n (fun _ -> Rng.float rng -. 0.5)
+let random_rhs ~rng n = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5)
 
 (* ---- solve_many vs per-RHS full solves ---- *)
 
@@ -81,7 +81,7 @@ let test_engine_cache_hit () =
   (* the fingerprint ignores b: an equal-matrix problem with a different
      rhs reuses the factorization *)
   let n = Sddm.Problem.n p in
-  let p3 = Engine.powerrchol (with_b p (Array.make n 1.0)) in
+  let p3 = Engine.powerrchol (with_b p (Sparse.Vec.make n 1.0)) in
   Alcotest.(check bool) "different rhs, same matrix: cache hit" true
     (p1 == p3);
   Alcotest.(check int) "one miss" 1 (Engine.misses ());
@@ -137,19 +137,19 @@ let test_transient_matches_reference () =
       ~d:d_shifted ~b:dc.Sddm.Problem.b
   in
   let prepared = Solver.powerrchol_prepare shifted in
-  let v = Array.make n 0.0 in
-  let rhs = Array.make n 0.0 in
+  let v = Sparse.Vec.create n in
+  let rhs = Sparse.Vec.create n in
   let iters = ref 0 in
   for k = 1 to steps do
     let scale = waveform (float_of_int k *. h) in
     for i = 0 to n - 1 do
-      rhs.(i) <- (scale *. dc.Sddm.Problem.b.(i)) +. (cap_over_h.(i) *. v.(i))
+      rhs.{i} <- (scale *. dc.Sddm.Problem.b.{i}) +. (cap_over_h.(i) *. v.{i})
     done;
     let r =
       Krylov.Pcg.solve ~rtol ~x0:v ~a:shifted.Sddm.Problem.a ~b:rhs
         ~precond:prepared.Solver.precond ()
     in
-    Array.blit r.Krylov.Pcg.x 0 v 0 n;
+    Sparse.Vec.blit ~src:r.Krylov.Pcg.x ~dst:v;
     iters := !iters + r.Krylov.Pcg.iterations
   done;
   Alcotest.(check bool) "trajectory bit-identical" true
@@ -178,7 +178,7 @@ let test_march_allocation_bound () =
   let per_step = words /. float_of_int steps in
   Alcotest.(check bool)
     (Printf.sprintf "allocation per step %.0f words < 1000 (n = %d)" per_step
-       (Array.length res.Powerrchol.Transient.v_final))
+       (Sparse.Vec.length res.Powerrchol.Transient.v_final))
     true (per_step < 1000.0)
 
 (* ---- in-place PCG contract ---- *)
@@ -188,7 +188,7 @@ let test_solve_into_caller_buffer () =
   let n = Sddm.Problem.n p in
   let prepared = Solver.powerrchol_prepare p in
   let ws = Krylov.Pcg.Workspace.create n in
-  let x = Array.make n 0.0 in
+  let x = Sparse.Vec.create n in
   let res =
     Krylov.Pcg.solve_into ~workspace:ws ~x ~a:p.Sddm.Problem.a
       ~b:p.Sddm.Problem.b ~precond:prepared.Solver.precond ()
@@ -203,14 +203,18 @@ let test_solve_into_caller_buffer () =
 
 let test_precond_identity_validates () =
   let p = Krylov.Precond.identity 4 in
-  let ok = Array.make 4 1.0 in
+  let ok = Sparse.Vec.make 4 1.0 in
   p.Krylov.Precond.apply ok ok;
   Alcotest.(check bool) "short r rejected" true
-    (match p.Krylov.Precond.apply (Array.make 3 1.0) (Array.make 4 0.0) with
+    (match
+       p.Krylov.Precond.apply (Sparse.Vec.make 3 1.0) (Sparse.Vec.create 4)
+     with
      | () -> false
      | exception Invalid_argument _ -> true);
   Alcotest.(check bool) "short z rejected" true
-    (match p.Krylov.Precond.apply (Array.make 4 1.0) (Array.make 2 0.0) with
+    (match
+       p.Krylov.Precond.apply (Sparse.Vec.make 4 1.0) (Sparse.Vec.create 2)
+     with
      | () -> false
      | exception Invalid_argument _ -> true)
 

@@ -41,12 +41,12 @@ let test_sdd_solve_matches_dense () =
   let a = random_sdd ~seed:1003 ~n in
   let rng = Rng.create 1005 in
   let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
-  let x, r = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b () in
+  let x, r = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b:(Test_util.vec b) () in
   Alcotest.(check bool) "doubled system converged" true
     r.Powerrchol.Solver.converged;
   let x_ref = Test_util.dense_solve (Csc.to_dense a) b in
   Alcotest.(check bool) "matches dense solve" true
-    (Sparse.Vec.max_abs_diff x x_ref < 1e-8)
+    (Sparse.Vec.max_abs_diff x (Test_util.vec x_ref) < 1e-8)
 
 let test_sdd_reduce_of_sddm_is_two_copies () =
   (* a matrix that is already SDDM: the doubled system is block diagonal
@@ -62,7 +62,7 @@ let test_sdd_reduce_of_sddm_is_two_copies () =
 let test_sdd_rejects_non_sdd () =
   let a = Csc.of_dense [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
   Alcotest.(check bool) "raises" true
-    (match Powerrchol.Sdd.reduce a ~b:[| 1.0; 1.0 |] with
+    (match Powerrchol.Sdd.reduce a ~b:(Test_util.vec [| 1.0; 1.0 |]) with
      | _ -> false
      | exception Invalid_argument _ -> true)
 
@@ -73,8 +73,8 @@ let prop_sdd_solve =
       let a = random_sdd ~seed ~n in
       let rng = Rng.create (seed + 9) in
       let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
-      let x, _ = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b () in
-      let x_ref = Test_util.dense_solve (Csc.to_dense a) b in
+      let x, _ = Powerrchol.Sdd.solve ~rtol:1e-12 ~a ~b:(Test_util.vec b) () in
+      let x_ref = Test_util.vec (Test_util.dense_solve (Csc.to_dense a) b) in
       Sparse.Vec.max_abs_diff x x_ref
       < 1e-6 *. (1.0 +. Sparse.Vec.norm_inf x_ref))
 
@@ -96,7 +96,7 @@ let fd_check ~p ~node ~grad ~edge =
       ~b:p.Sddm.Problem.b
   in
   let x2 = Factor.Chol.solve p2.Sddm.Problem.a p2.Sddm.Problem.b in
-  let fd = (x2.(node) -. grad.Powerrchol.Sensitivity.objective) /. eps in
+  let fd = (x2.{node} -. grad.Powerrchol.Sensitivity.objective) /. eps in
   (grad.Powerrchol.Sensitivity.d_edges.(edge), fd)
 
 let test_gradient_matches_finite_difference () =
@@ -147,10 +147,12 @@ let test_objective_linear_form () =
   let p = Test_util.random_problem ~seed:1019 ~n:60 ~m:150 in
   let n = Sddm.Problem.n p in
   let grad =
-    Powerrchol.Sensitivity.of_objective ~rtol:1e-12 p ~c:(Array.make n 1.0)
+    Powerrchol.Sensitivity.of_objective ~rtol:1e-12 p ~c:(Sparse.Vec.make n 1.0)
   in
   let x = Factor.Chol.solve p.Sddm.Problem.a p.Sddm.Problem.b in
-  let total = Array.fold_left ( +. ) 0.0 x in
+  let total = ref 0.0 in
+  Sparse.Vec.iteri (fun _ v -> total := !total +. v) x;
+  let total = !total in
   Alcotest.(check bool) "objective is sum of solution" true
     (Float.abs (grad.Powerrchol.Sensitivity.objective -. total)
      < 1e-8 *. (1.0 +. Float.abs total))

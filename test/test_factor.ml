@@ -9,31 +9,31 @@ let spd_problem ~seed ~n ~m =
 
 let sample_lower () =
   (* L = [2 0 0; 1 3 0; 0 4 5] in diag-first column storage *)
-  Factor.Lower.of_raw ~n:3 ~col_ptr:[| 0; 2; 4; 5 |] ~rows:[| 0; 1; 1; 2; 2 |]
-    ~vals:[| 2.0; 1.0; 3.0; 4.0; 5.0 |]
+  Factor.Lower.of_arrays ~n:3 ~col_ptr:[| 0; 2; 4; 5 |]
+    ~rows:[| 0; 1; 1; 2; 2 |] ~vals:[| 2.0; 1.0; 3.0; 4.0; 5.0 |]
 
 let test_lower_validation () =
   Alcotest.check_raises "diag must come first"
     (Invalid_argument "Lower: first entry must be diagonal") (fun () ->
       ignore
-        (Factor.Lower.of_raw ~n:2 ~col_ptr:[| 0; 2; 3 |] ~rows:[| 1; 0; 1 |]
-           ~vals:[| 1.0; 1.0; 1.0 |]));
+        (Factor.Lower.of_arrays ~n:2 ~col_ptr:[| 0; 2; 3 |]
+           ~rows:[| 1; 0; 1 |] ~vals:[| 1.0; 1.0; 1.0 |]));
   Alcotest.check_raises "positive diagonal required"
     (Invalid_argument "Lower: nonpositive diagonal") (fun () ->
       ignore
-        (Factor.Lower.of_raw ~n:1 ~col_ptr:[| 0; 1 |] ~rows:[| 0 |]
+        (Factor.Lower.of_arrays ~n:1 ~col_ptr:[| 0; 1 |] ~rows:[| 0 |]
            ~vals:[| 0.0 |]))
 
 let test_lower_solves () =
   let l = sample_lower () in
   (* forward: L x = b *)
-  let x = [| 4.0; 11.0; 22.0 |] in
+  let x = Test_util.vec [| 4.0; 11.0; 22.0 |] in
   Factor.Lower.solve_in_place l x;
-  Alcotest.(check (array (float 1e-12))) "forward" [| 2.0; 3.0; 2.0 |] x;
+  Test_util.check_vec ~eps:1e-12 "forward" [| 2.0; 3.0; 2.0 |] x;
   (* backward: L^T y = c *)
-  let y = [| 15.0; 23.0; 10.0 |] in
+  let y = Test_util.vec [| 15.0; 23.0; 10.0 |] in
   Factor.Lower.solve_transpose_in_place l y;
-  Alcotest.(check (array (float 1e-12))) "backward" [| 5.0; 5.0; 2.0 |] y
+  Test_util.check_vec ~eps:1e-12 "backward" [| 5.0; 5.0; 2.0 |] y
 
 let test_lower_multiply_roundtrip () =
   let l = sample_lower () in
@@ -55,12 +55,12 @@ let test_apply_preconditioner_identity_perm () =
   let l = sample_lower () in
   let a = Factor.Lower.multiply l in
   let perm = Sparse.Perm.identity 3 in
-  let scratch = Array.make 3 0.0 in
-  let r = [| 1.0; 2.0; 3.0 |] in
-  let z = Array.make 3 0.0 in
+  let scratch = Vec.create 3 in
+  let r = Test_util.vec [| 1.0; 2.0; 3.0 |] in
+  let z = Vec.create 3 in
   Factor.Lower.apply_preconditioner l ~perm ~scratch r z;
   (* z = (L L^T)^-1 r, so A z = r *)
-  Alcotest.(check (array (float 1e-9))) "A z = r" r (Csc.spmv a z)
+  Test_util.check_vec ~eps:1e-9 "A z = r" (Test_util.arr r) (Csc.spmv a z)
 
 let test_apply_preconditioner_with_perm () =
   let p = Test_util.random_problem ~seed:401 ~n:25 ~m:60 in
@@ -69,9 +69,9 @@ let test_apply_preconditioner_with_perm () =
   let perm = Sparse.Perm.random rng 25 in
   let pa = Csc.permute_sym a perm in
   let l = Factor.Chol.factorize pa in
-  let scratch = Array.make 25 0.0 in
-  let r = Array.init 25 (fun _ -> Rng.float rng) in
-  let z = Array.make 25 0.0 in
+  let scratch = Vec.create 25 in
+  let r = Vec.init 25 (fun _ -> Rng.float rng) in
+  let z = Vec.create 25 in
   Factor.Lower.apply_preconditioner l ~perm ~scratch r z;
   (* exact factor of the permuted matrix: z must solve A z = r *)
   Alcotest.(check bool) "A z = r through permutation" true
@@ -135,9 +135,9 @@ let test_chol_solve_matches_dense () =
   let p = Test_util.random_problem ~seed:413 ~n:30 ~m:80 in
   let a = p.Sddm.Problem.a and b = p.Sddm.Problem.b in
   let x = Factor.Chol.solve a b in
-  let x_ref = Test_util.dense_solve (Csc.to_dense a) b in
+  let x_ref = Test_util.dense_solve (Csc.to_dense a) (Test_util.arr b) in
   Alcotest.(check bool) "matches dense solve" true
-    (Vec.max_abs_diff x x_ref < 1e-9)
+    (Vec.max_abs_diff x (Test_util.vec x_ref) < 1e-9)
 
 let test_chol_not_pd () =
   let a = Csc.of_dense [| [| 1.0; -2.0 |]; [| -2.0; 1.0 |] |] in
@@ -149,7 +149,7 @@ let test_chol_not_pd () =
 let test_chol_diag_matrix () =
   let a = Csc.of_dense [| [| 4.0; 0.0 |]; [| 0.0; 9.0 |] |] in
   let l = Factor.Chol.factorize a in
-  Alcotest.(check (array (float 1e-12))) "sqrt diag" [| 2.0; 3.0 |]
+  Test_util.check_vec ~eps:1e-12 "sqrt diag" [| 2.0; 3.0 |]
     (Factor.Lower.diag l)
 
 (* ---- LDL ---- *)
@@ -173,8 +173,8 @@ let test_ldl_solve () =
 let test_ldl_unit_diagonal () =
   let a = spd_problem ~seed:418 ~n:25 ~m:70 in
   let f = Factor.Ldl.factorize a in
-  Array.iter
-    (fun v -> Alcotest.(check (float 0.0)) "unit diag" 1.0 v)
+  Sparse.Vec.iteri
+    (fun _ v -> Alcotest.(check (float 0.0)) "unit diag" 1.0 v)
     (Factor.Lower.diag f.Factor.Ldl.l);
   Array.iter
     (fun v -> Alcotest.(check bool) "positive pivot" true (v > 0.0))
@@ -327,8 +327,8 @@ let test_rand_chol_diag_positive () =
   let g, d = Test_util.random_sddm ~seed:431 ~n:150 ~m:500 in
   let rng = Rng.create 433 in
   let l = Factor.Lt_rchol.factorize ~rng g ~d in
-  Array.iter
-    (fun v -> Alcotest.(check bool) "positive diag" true (v > 0.0))
+  Sparse.Vec.iteri
+    (fun _ v -> Alcotest.(check bool) "positive diag" true (v > 0.0))
     (Factor.Lower.diag l)
 
 let test_unbiasedness () =
@@ -378,7 +378,7 @@ let precondition_quality_cases =
             d.(Rng.int rng n) <- 5.0
           done;
           let a = Sddm.Graph.to_sddm g d in
-          let b = Array.init n (fun _ -> Rng.float rng) in
+          let b = Vec.init n (fun _ -> Rng.float rng) in
           let l = factorize (Rng.create 439) g d in
           let pc = Krylov.Precond.of_factor ~perm:(Sparse.Perm.identity n) l in
           let res = Krylov.Pcg.solve ~a ~b ~precond:pc () in
@@ -399,7 +399,12 @@ let prop_rand_chol_factors_random_sddm =
       let rng = Rng.create (seed + 7) in
       let l = Factor.Lt_rchol.factorize ~rng g ~d in
       Factor.Lower.dim l = n
-      && Array.for_all (fun v -> v > 0.0) (Factor.Lower.diag l))
+      &&
+      let ok = ref true in
+      Sparse.Vec.iteri
+        (fun _ v -> if not (v > 0.0) then ok := false)
+        (Factor.Lower.diag l);
+      !ok)
 
 let prop_rand_chol_any_permutation =
   QCheck.Test.make
@@ -410,10 +415,10 @@ let prop_rand_chol_any_permutation =
       let rng = Rng.create (seed + 11) in
       let perm = Sparse.Perm.random rng n in
       let gp = Sddm.Graph.permute g perm in
-      let dp = Sparse.Perm.apply_vec perm d in
+      let dp = Array.init n (fun k -> d.(perm.(k))) in
       let l = Factor.Lt_rchol.factorize ~rng gp ~d:dp in
       let a = Sddm.Graph.to_sddm g d in
-      let b = Array.init n (fun _ -> Rng.float rng) in
+      let b = Vec.init n (fun _ -> Rng.float rng) in
       let pc = Krylov.Precond.of_factor ~perm l in
       let res = Krylov.Pcg.solve ~a ~b ~precond:pc () in
       res.Krylov.Pcg.converged)

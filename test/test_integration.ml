@@ -141,7 +141,7 @@ let test_solve_matrix_rejects_non_sddm () =
   let bad = Sparse.Csc.of_dense [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |] in
   Alcotest.(check bool) "rejected" true
     (match
-       Powerrchol.Pipeline.solve_matrix ~a:bad ~b:[| 1.0; 1.0 |] ()
+       Powerrchol.Pipeline.solve_matrix ~a:bad ~b:(Test_util.vec [| 1.0; 1.0 |]) ()
      with
      | _ -> false
      | exception Invalid_argument _ -> true)

@@ -453,7 +453,7 @@ let grid_problem () =
   d.(0) <- 1.0;
   d.(n - 1) <- 0.5;
   let rng = Rng.create 11 in
-  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
   Sddm.Problem.of_graph ~name:"obs-mesh" ~graph:g ~d ~b
 
 let test_profiled_solve_matches_result () =

@@ -19,13 +19,14 @@ let grid_problem ?(nx = 30) ?(ny = 30) ?(seed = 6161) () =
   let circuit = Powergrid.Generate.generate_circuit spec in
   Powergrid.Generate.circuit_to_problem ~name:"par-test" circuit
 
-let random_rhs ~rng n = Array.init n (fun _ -> Rng.float rng -. 0.5)
+let random_rhs ~rng n = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5)
 
 let factor_of problem =
   let g = problem.Sddm.Problem.graph in
   let perm = Ordering.Degree_sort.order g in
   let gp = Sddm.Graph.permute g perm in
-  let dp = Sparse.Perm.apply_vec perm problem.Sddm.Problem.d in
+  let d = problem.Sddm.Problem.d in
+  let dp = Array.init (Array.length perm) (fun k -> d.(perm.(k))) in
   (perm, Factor.Lt_rchol.factorize ~rng:(Rng.create 31) gp ~d:dp)
 
 (* ---- pool semantics ---- *)
@@ -109,13 +110,13 @@ let test_vec_kernels_match_seq () =
   let y0 = random_rhs ~rng n in
   let seq_dot, seq_axpy, seq_xpby, seq_scale =
     ( Sparse.Vec.dot x y0,
-      (let y = Array.copy y0 in
+      (let y = Sparse.Vec.copy y0 in
        Sparse.Vec.axpy ~alpha:1.5 ~x ~y;
        y),
-      (let y = Array.copy y0 in
+      (let y = Sparse.Vec.copy y0 in
        Sparse.Vec.xpby ~x ~beta:0.25 ~y;
        y),
-      let y = Array.copy y0 in
+      let y = Sparse.Vec.copy y0 in
       Sparse.Vec.scale y 3.0;
       y )
   in
@@ -124,13 +125,13 @@ let test_vec_kernels_match_seq () =
       Alcotest.(check bool)
         "parallel dot within fp tolerance" true
         (Float.abs (d -. seq_dot) <= 1e-12 *. Float.abs seq_dot);
-      let y = Array.copy y0 in
+      let y = Sparse.Vec.copy y0 in
       Sparse.Vec.axpy ~alpha:1.5 ~x ~y;
       Alcotest.(check bool) "axpy bit-identical" true (y = seq_axpy);
-      let y = Array.copy y0 in
+      let y = Sparse.Vec.copy y0 in
       Sparse.Vec.xpby ~x ~beta:0.25 ~y;
       Alcotest.(check bool) "xpby bit-identical" true (y = seq_xpby);
-      let y = Array.copy y0 in
+      let y = Sparse.Vec.copy y0 in
       Sparse.Vec.scale y 3.0;
       Alcotest.(check bool) "scale bit-identical" true (y = seq_scale);
       (* reduction determinism across parallel widths *)
@@ -148,14 +149,14 @@ let test_spmv_gather_matches_scatter () =
   let n = Sddm.Problem.n p in
   let rng = Rng.create 17 in
   let x = random_rhs ~rng n in
-  let y_scatter = Array.make n 0.0 in
+  let y_scatter = Sparse.Vec.create n in
   Sparse.Csc.spmv_into a x y_scatter;
-  let y_gather = Array.make n 0.0 in
+  let y_gather = Sparse.Vec.create n in
   Sparse.Csc.spmv_sym_into a x y_gather;
   Alcotest.(check bool) "gather = scatter sequentially" true
     (y_gather = y_scatter);
   with_domains 3 (fun () ->
-      let y_par = Array.make n 0.0 in
+      let y_par = Sparse.Vec.create n in
       Sparse.Csc.spmv_sym_into a x y_par;
       Alcotest.(check bool) "gather bit-identical at 3 domains" true
         (y_par = y_scatter));
@@ -164,7 +165,7 @@ let test_spmv_gather_matches_scatter () =
       let t = Sparse.Triplet.create ~n_rows:2 ~n_cols:3 () in
       Sparse.Triplet.add t 0 0 1.0;
       Sparse.Csc.spmv_sym_into (Sparse.Csc.of_triplet t)
-        (Array.make 3 0.0) (Array.make 2 0.0))
+        (Sparse.Vec.create 3) (Sparse.Vec.create 2))
 
 (* ---- level schedule ---- *)
 
@@ -198,9 +199,9 @@ let test_schedule_validity () =
   (* every dependency crosses strictly into a later level *)
   let ok = ref true in
   for j = 0 to n - 1 do
-    for k = l.Factor.Lower.col_ptr.(j) + 1
-        to l.Factor.Lower.col_ptr.(j + 1) - 1 do
-      let i = l.Factor.Lower.rows.(k) in
+    for k = Sparse.Idx.get l.Factor.Lower.col_ptr j + 1
+        to Sparse.Idx.get l.Factor.Lower.col_ptr (j + 1) - 1 do
+      let i = Sparse.Idx.get l.Factor.Lower.rows k in
       if s.Factor.Lower.level_of.(i) <= s.Factor.Lower.level_of.(j) then
         ok := false
     done
@@ -211,14 +212,15 @@ let test_schedule_validity () =
   let entries = ref 0 in
   let ok_rows = ref true in
   for i = 0 to n - 1 do
-    let lo = s.Factor.Lower.row_ptr.(i)
-    and hi = s.Factor.Lower.row_ptr.(i + 1) in
+    let lo = Sparse.Idx.get s.Factor.Lower.row_ptr i
+    and hi = Sparse.Idx.get s.Factor.Lower.row_ptr (i + 1) in
     entries := !entries + (hi - lo);
-    if hi <= lo || s.Factor.Lower.row_cols.(hi - 1) <> i then
+    if hi <= lo || Sparse.Idx.get s.Factor.Lower.row_cols (hi - 1) <> i then
       ok_rows := false;
     for k = lo + 1 to hi - 1 do
-      if s.Factor.Lower.row_cols.(k - 1) >= s.Factor.Lower.row_cols.(k) then
-        ok_rows := false
+      if Sparse.Idx.get s.Factor.Lower.row_cols (k - 1)
+         >= Sparse.Idx.get s.Factor.Lower.row_cols k
+      then ok_rows := false
     done
   done;
   Alcotest.(check int) "row form holds every nonzero" (Factor.Lower.nnz l)
@@ -233,7 +235,7 @@ let test_sched_solves_match_seq () =
   let n = Factor.Lower.dim l in
   let rng = Rng.create 23 in
   let b = random_rhs ~rng n in
-  let x_seq = Array.copy b in
+  let x_seq = Sparse.Vec.copy b in
   Factor.Lower.solve_in_place l x_seq;
   Factor.Lower.solve_transpose_in_place l x_seq;
   List.iter
@@ -242,7 +244,7 @@ let test_sched_solves_match_seq () =
       Fun.protect
         ~finally:(fun () -> Par.shutdown pool)
         (fun () ->
-          let x = Array.copy b in
+          let x = Sparse.Vec.copy b in
           Factor.Lower.solve_in_place_sched l ~pool x;
           Factor.Lower.solve_transpose_in_place_sched l ~pool x;
           Alcotest.(check bool)
@@ -251,11 +253,11 @@ let test_sched_solves_match_seq () =
     [ 1; 2; 4 ];
   (* the full preconditioner application agrees across the path switch *)
   let r = random_rhs ~rng n in
-  let scratch = Array.make n 0.0 in
-  let z_seq = Array.make n 0.0 in
+  let scratch = Sparse.Vec.create n in
+  let z_seq = Sparse.Vec.create n in
   Factor.Lower.apply_preconditioner l ~perm ~scratch r z_seq;
   with_domains 3 (fun () ->
-      let z_par = Array.make n 0.0 in
+      let z_par = Sparse.Vec.create n in
       Factor.Lower.apply_preconditioner l ~perm ~scratch r z_par;
       Alcotest.(check bool)
         (Printf.sprintf "apply_preconditioner matches (n=%d)" n)
@@ -267,7 +269,7 @@ let test_diag_cached () =
   let d1 = Factor.Lower.diag l in
   Alcotest.(check bool) "diag is cached" true (d1 == Factor.Lower.diag l);
   Alcotest.(check int) "diag has factor dimension" (Factor.Lower.dim l)
-    (Array.length d1)
+    (Sparse.Vec.length d1)
 
 let test_length_checks () =
   let p = grid_problem ~nx:10 ~ny:10 () in
@@ -279,15 +281,15 @@ let test_length_checks () =
     | exception Invalid_argument _ -> true
   in
   Alcotest.(check bool) "solve_in_place rejects short vector" true
-    (raises (fun () -> Factor.Lower.solve_in_place l (Array.make (n - 1) 0.0)));
+    (raises (fun () -> Factor.Lower.solve_in_place l (Sparse.Vec.create (n - 1))));
   Alcotest.(check bool) "solve_transpose rejects short vector" true
     (raises (fun () ->
-         Factor.Lower.solve_transpose_in_place l (Array.make (n + 1) 0.0)));
+         Factor.Lower.solve_transpose_in_place l (Sparse.Vec.create (n + 1))));
   Alcotest.(check bool) "apply_preconditioner rejects short scratch" true
     (raises (fun () ->
          Factor.Lower.apply_preconditioner l ~perm
-           ~scratch:(Array.make (n - 1) 0.0) (Array.make n 0.0)
-           (Array.make n 0.0)))
+           ~scratch:(Sparse.Vec.create (n - 1)) (Sparse.Vec.create n)
+           (Sparse.Vec.create n)))
 
 (* ---- full solves across domain counts ---- *)
 

@@ -15,7 +15,9 @@ let test_generate_structure () =
   Alcotest.(check bool) "has pads" true (pads > 0);
   (* loads exist *)
   Alcotest.(check bool) "has loads" true
-    (Array.exists (fun x -> x > 0.0) p.Sddm.Problem.b);
+    (let found = ref false in
+     Sparse.Vec.iteri (fun _ x -> if x > 0.0 then found := true) p.Sddm.Problem.b;
+     !found);
   (* connected *)
   let _, n_comp = G.connected_components p.Sddm.Problem.graph in
   Alcotest.(check int) "connected" 1 n_comp
@@ -30,6 +32,20 @@ let test_generate_deterministic () =
   in
   Alcotest.(check bool) "different seed differs" true
     (Sparse.Csc.frobenius_diff p1.Sddm.Problem.a p3.Sddm.Problem.a > 0.0)
+
+let test_generate_chunked_equals_circuit () =
+  (* [generate] builds through the chunked flat-array path; its output
+     must be bit-for-bit the problem built from the materialized circuit *)
+  let chunked = Powergrid.Generate.generate small_spec in
+  let circuit = Powergrid.Generate.generate_circuit small_spec in
+  let reference =
+    Powergrid.Generate.circuit_to_problem ~name:"equiv" circuit
+  in
+  Test_util.check_float "same matrix" 0.0
+    (Sparse.Csc.frobenius_diff chunked.Sddm.Problem.a
+       reference.Sddm.Problem.a);
+  Test_util.check_float "same rhs" 0.0
+    (Sparse.Vec.max_abs_diff chunked.Sddm.Problem.b reference.Sddm.Problem.b)
 
 let test_generate_heavy_vias () =
   (* Alg. 4's premise: the grid must contain edges much heavier than
@@ -46,8 +62,8 @@ let test_solution_physical () =
   let p = Powergrid.Generate.generate small_spec in
   let r = Powerrchol.Pipeline.solve p in
   Alcotest.(check bool) "converged" true r.Powerrchol.Solver.converged;
-  Array.iter
-    (fun v -> Alcotest.(check bool) "drop >= 0" true (v >= -1e-9))
+  Sparse.Vec.iteri
+    (fun _ v -> Alcotest.(check bool) "drop >= 0" true (v >= -1e-9))
     r.Powerrchol.Solver.x;
   Alcotest.(check bool) "drop below vdd" true
     (Sparse.Vec.norm_inf r.Powerrchol.Solver.x < 1.8)
@@ -75,7 +91,7 @@ let test_netlist_voltage_divider () =
   Alcotest.(check int) "one unknown" 1 (Sddm.Problem.n problem);
   Alcotest.(check string) "node name" "mid" node_names.(0);
   let x = Factor.Chol.solve problem.Sddm.Problem.a problem.Sddm.Problem.b in
-  Test_util.check_float ~eps:1e-9 "divider voltage" 1.0 x.(0)
+  Test_util.check_float ~eps:1e-9 "divider voltage" 1.0 x.{0}
 
 let test_netlist_current_source_sign () =
   (* single node with R to ground and a 1 A draw: v = -I*R *)
@@ -84,7 +100,7 @@ let test_netlist_current_source_sign () =
   in
   let { Powergrid.Netlist.problem; _ } = Powergrid.Netlist.to_problem nl in
   let x = Factor.Chol.solve problem.Sddm.Problem.a problem.Sddm.Problem.b in
-  Test_util.check_float ~eps:1e-9 "ohm's law" (-2.0) x.(0)
+  Test_util.check_float ~eps:1e-9 "ohm's law" (-2.0) x.{0}
 
 let test_netlist_errors () =
   let check_parse_error name text =
@@ -126,8 +142,8 @@ let test_netlist_roundtrip () =
       let orig = int_of_string (String.sub name 1 (String.length name - 1)) in
       Alcotest.(check (float 1e-8))
         (Printf.sprintf "node %s" name)
-        (circuit.Powergrid.Generate.vdd -. drop.(orig))
-        v.(idx))
+        (circuit.Powergrid.Generate.vdd -. drop.{orig})
+        v.{idx})
     node_names
 
 (* ---- dual rail ---- *)
@@ -166,9 +182,9 @@ let test_dual_rail_netlist_roundtrip () =
     (fun idx name ->
       let node = int_of_string (String.sub name 2 (String.length name - 2)) in
       let expected =
-        if name.[1] = 'V' then vdd -. vdrop.(node) else gdrop.(node)
+        if name.[1] = 'V' then vdd -. vdrop.{node} else gdrop.{node}
       in
-      Alcotest.(check (float 1e-9)) name expected v.(idx))
+      Alcotest.(check (float 1e-9)) name expected v.{idx})
     node_names
 
 let test_dual_rail_total_collapse () =
@@ -184,11 +200,11 @@ let test_dual_rail_total_collapse () =
   Array.iter
     (fun (node, _) ->
       let collapse =
-        rv.Powerrchol.Solver.x.(node) +. rg.Powerrchol.Solver.x.(node)
+        rv.Powerrchol.Solver.x.{node} +. rg.Powerrchol.Solver.x.{node}
       in
       Alcotest.(check bool) "collapse >= each component" true
-        (collapse >= rv.Powerrchol.Solver.x.(node) -. 1e-12
-        && collapse >= rg.Powerrchol.Solver.x.(node) -. 1e-12))
+        (collapse >= rv.Powerrchol.Solver.x.{node} -. 1e-12
+        && collapse >= rg.Powerrchol.Solver.x.{node} -. 1e-12))
     dual.Powergrid.Generate.vdd_grid.Powergrid.Generate.loads
 
 (* ---- merge ---- *)
@@ -223,7 +239,7 @@ let test_merge_no_heavy_edges () =
   let g = Test_util.mesh_graph 8 8 in
   let d = Array.make 64 0.0 in
   d.(0) <- 1.0;
-  let b = Array.make 64 0.01 in
+  let b = Sparse.Vec.make 64 0.01 in
   let p = Sddm.Problem.of_graph ~name:"uniform" ~graph:g ~d ~b in
   let m = Powergrid.Merge.merge ~factor:50.0 p in
   Alcotest.(check int) "same size" 64 (Sddm.Problem.n m.Powergrid.Merge.problem);
@@ -232,7 +248,7 @@ let test_merge_no_heavy_edges () =
 (* ---- ir drop ---- *)
 
 let test_ir_drop_report () =
-  let drops = [| 0.01; 0.08; 0.03; 0.002; 0.06 |] in
+  let drops = Test_util.vec [| 0.01; 0.08; 0.03; 0.002; 0.06 |] in
   let r = Powergrid.Ir_drop.analyze ~budget:0.05 ~top:2 drops in
   Test_util.check_float "max" 0.08 r.Powergrid.Ir_drop.max_drop;
   Alcotest.(check int) "violations" 2 r.Powergrid.Ir_drop.violations;
@@ -358,6 +374,8 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_generate_structure;
           Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "chunked equals circuit path" `Quick
+            test_generate_chunked_equals_circuit;
           Alcotest.test_case "heavy vias" `Quick test_generate_heavy_vias;
           Alcotest.test_case "physical solution" `Quick test_solution_physical;
         ] );

@@ -12,7 +12,7 @@ let mesh_problem ?(w = 8) ?(h = 8) () =
   d.(0) <- 1.0;
   d.(n - 1) <- 0.5;
   let rng = Rng.create 7 in
-  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
   Sddm.Problem.of_graph ~name:"mesh" ~graph:g ~d ~b
 
 let healthy_pair () =
@@ -41,7 +41,7 @@ let test_pcg_indefinite_true_iteration () =
      breakdown carrying the TRUE iteration count, not max_iter (the old
      code set iter := max_iter to force loop exit, lying in the report). *)
   let a = Sparse.Csc.of_dense [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
-  let b = [| 1.0; 0.0 |] in
+  let b = Test_util.vec [| 1.0; 0.0 |] in
   let max_iter = 50 in
   let r =
     Krylov.Pcg.solve ~rtol:1e-12 ~max_iter ~a ~b
@@ -59,11 +59,11 @@ let test_pcg_indefinite_true_iteration () =
 
 let test_pcg_nan_rhs_breakdown () =
   let p = mesh_problem () in
-  let b = Array.copy p.Sddm.Problem.b in
-  b.(3) <- Float.nan;
+  let b = Sparse.Vec.copy p.Sddm.Problem.b in
+  b.{3} <- Float.nan;
   let r =
     Krylov.Pcg.solve ~a:p.Sddm.Problem.a ~b
-      ~precond:(Krylov.Precond.identity (Array.length b)) ()
+      ~precond:(Krylov.Precond.identity (Sparse.Vec.length b)) ()
   in
   match r.Krylov.Pcg.status with
   | Krylov.Pcg.Breakdown (Krylov.Pcg.Nonfinite _) -> ()
@@ -78,8 +78,8 @@ let test_pcg_stagnation () =
   let p = mesh_problem ~w:8 ~h:8 () in
   let deficient =
     Krylov.Precond.of_apply ~name:"rank-deficient" ~nnz:0 (fun r z ->
-        Array.blit r 0 z 0 (Array.length r);
-        z.(0) <- 0.0)
+        Sparse.Vec.blit ~src:r ~dst:z;
+        z.{0} <- 0.0)
   in
   let r =
     Krylov.Pcg.solve ~rtol:1e-6 ~max_iter:5000 ~stall_window:30
@@ -131,9 +131,9 @@ let test_split_components_matches_dense () =
   let expected =
     Test_util.dense_solve
       (Sparse.Csc.to_dense p.Sddm.Problem.a)
-      p.Sddm.Problem.b
+      (Test_util.arr p.Sddm.Problem.b)
   in
-  Array.iteri
+  Sparse.Vec.iteri
     (fun i xi -> Test_util.check_float ~eps:1e-6 "assembled x" expected.(i) xi)
     x
 
@@ -148,7 +148,7 @@ let liar_rung =
       (fun p ->
         (* claims success, returns garbage: the true-residual check must
            catch it *)
-        { Robust.Fallback.x = Array.make (Sddm.Problem.n p) 0.0;
+        { Robust.Fallback.x = Sparse.Vec.create (Sddm.Problem.n p);
           iterations = 1; note = "converged" });
   }
 
@@ -293,9 +293,9 @@ let test_fault_grounded_island_recovers () =
      let expected =
        Test_util.dense_solve
          (Sparse.Csc.to_dense p.Sddm.Problem.a)
-         p.Sddm.Problem.b
+         (Test_util.arr p.Sddm.Problem.b)
      in
-     Array.iteri
+     Sparse.Vec.iteri
        (fun i xi ->
          Test_util.check_float ~eps:1e-6 "island solution" expected.(i) xi)
        x

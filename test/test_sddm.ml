@@ -55,7 +55,7 @@ let test_components () =
 let test_laplacian_rowsums () =
   let g, _ = Test_util.random_sddm ~seed:3 ~n:12 ~m:30 in
   let l = G.laplacian g in
-  let ones = Array.make 12 1.0 in
+  let ones = Sparse.Vec.make 12 1.0 in
   let y = Csc.spmv l ones in
   Alcotest.(check bool) "L 1 = 0" true (Sparse.Vec.norm_inf y < 1e-12)
 
@@ -92,17 +92,17 @@ let test_problem_residual () =
   Alcotest.(check int) "n" 12 n;
   (* residual of the exact solution is ~0 *)
   let dense = Csc.to_dense p.Sddm.Problem.a in
-  let x = Test_util.dense_solve dense p.Sddm.Problem.b in
+  let x = Test_util.dense_solve dense (Test_util.arr p.Sddm.Problem.b) in
   Alcotest.(check bool) "exact solution residual" true
-    (Sddm.Problem.residual_norm p x < 1e-10);
+    (Sddm.Problem.residual_norm p (Test_util.vec x) < 1e-10);
   (* residual of zero is 1 *)
   Test_util.check_float ~eps:1e-12 "zero residual" 1.0
-    (Sddm.Problem.residual_norm p (Array.make n 0.0))
+    (Sddm.Problem.residual_norm p (Sparse.Vec.create n))
 
 let test_problem_of_matrix_rejects_non_sddm () =
   let bad = Csc.of_dense [| [| 1.0; 0.5 |]; [| 0.5; 1.0 |] |] in
   Alcotest.(check bool) "rejected" true
-    (match Sddm.Problem.of_matrix ~name:"bad" ~a:bad ~b:[| 1.0; 1.0 |] with
+    (match Sddm.Problem.of_matrix ~name:"bad" ~a:bad ~b:(Test_util.vec [| 1.0; 1.0 |]) with
      | _ -> false
      | exception Invalid_argument _ -> true)
 
@@ -123,7 +123,7 @@ let prop_laplacian_psd_proxy =
       let g, _ = Test_util.random_sddm ~seed ~n ~m:(m + 1) in
       let l = G.laplacian g in
       let rng = Rng.create (seed + 99) in
-      let x = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+      let x = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
       Sparse.Vec.dot x (Csc.spmv l x) >= -1e-10)
 
 let prop_coalesce_idempotent =

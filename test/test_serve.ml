@@ -255,7 +255,7 @@ let test_pcg_deadline_mid_loop () =
 let test_minres_deadline () =
   let a = Csc.of_dense [| [| 4.0; -1.0 |]; [| -1.0; 3.0 |] |] in
   let res =
-    Krylov.Minres.solve ~deadline:(Obs.now () -. 1.0) ~a ~b:[| 1.0; 2.0 |]
+    Krylov.Minres.solve ~deadline:(Obs.now () -. 1.0) ~a ~b:(Test_util.vec [| 1.0; 2.0 |])
       ~precond:(Krylov.Precond.identity 2) ()
   in
   match res.Krylov.Minres.status with

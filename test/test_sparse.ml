@@ -3,6 +3,9 @@ module Triplet = Sparse.Triplet
 module Perm = Sparse.Perm
 module Vec = Sparse.Vec
 
+let v = Test_util.vec
+let arr = Test_util.arr
+
 (* random dense matrix and its sparse twin *)
 let random_pair ~seed ~n_rows ~n_cols ~density =
   let rng = Rng.create seed in
@@ -18,29 +21,30 @@ let random_pair ~seed ~n_rows ~n_cols ~density =
 (* ---- Vec ---- *)
 
 let test_vec_dot () =
-  Test_util.check_float "dot" 32.0 (Vec.dot [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |])
+  Test_util.check_float "dot" 32.0
+    (Vec.dot (v [| 1.0; 2.0; 3.0 |]) (v [| 4.0; 5.0; 6.0 |]))
 
 let test_vec_norms () =
-  Test_util.check_float "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
-  Test_util.check_float "norm_inf" 4.0 (Vec.norm_inf [| 3.0; -4.0 |])
+  Test_util.check_float "norm2" 5.0 (Vec.norm2 (v [| 3.0; 4.0 |]));
+  Test_util.check_float "norm_inf" 4.0 (Vec.norm_inf (v [| 3.0; -4.0 |]))
 
 let test_vec_axpy () =
-  let y = [| 1.0; 1.0 |] in
-  Vec.axpy ~alpha:2.0 ~x:[| 1.0; 3.0 |] ~y;
-  Alcotest.(check (array (float 1e-12))) "axpy" [| 3.0; 7.0 |] y
+  let y = v [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 ~x:(v [| 1.0; 3.0 |]) ~y;
+  Test_util.check_vec ~eps:1e-12 "axpy" [| 3.0; 7.0 |] y
 
 let test_vec_xpby () =
-  let y = [| 1.0; 2.0 |] in
-  Vec.xpby ~x:[| 10.0; 20.0 |] ~beta:0.5 ~y;
-  Alcotest.(check (array (float 1e-12))) "xpby" [| 10.5; 21.0 |] y
+  let y = v [| 1.0; 2.0 |] in
+  Vec.xpby ~x:(v [| 10.0; 20.0 |]) ~beta:0.5 ~y;
+  Test_util.check_vec ~eps:1e-12 "xpby" [| 10.5; 21.0 |] y
 
 let test_vec_misc () =
-  Test_util.check_float "mean" 2.0 (Vec.mean [| 1.0; 2.0; 3.0 |]);
+  Test_util.check_float "mean" 2.0 (Vec.mean (v [| 1.0; 2.0; 3.0 |]));
   Test_util.check_float "max_abs_diff" 3.0
-    (Vec.max_abs_diff [| 1.0; 5.0 |] [| 2.0; 2.0 |]);
-  let x = [| 1.0; -2.0 |] in
+    (Vec.max_abs_diff (v [| 1.0; 5.0 |]) (v [| 2.0; 2.0 |]));
+  let x = v [| 1.0; -2.0 |] in
   Vec.scale x (-2.0);
-  Alcotest.(check (array (float 1e-12))) "scale" [| -2.0; 4.0 |] x
+  Test_util.check_vec ~eps:1e-12 "scale" [| -2.0; 4.0 |] x
 
 (* ---- Perm ---- *)
 
@@ -59,10 +63,10 @@ let test_perm_validity () =
 let test_perm_apply_roundtrip () =
   let rng = Rng.create 31 in
   let p = Perm.random rng 20 in
-  let x = Array.init 20 (fun i -> float_of_int i) in
+  let x = Vec.init 20 (fun i -> float_of_int i) in
   let y = Perm.apply_vec p x in
   let x' = Perm.apply_inv_vec p y in
-  Alcotest.(check (array (float 0.0))) "roundtrip" x x'
+  Alcotest.(check (array (float 0.0))) "roundtrip" (arr x) (arr x')
 
 let test_perm_of_order () =
   let p = Perm.of_order [| 3.0; 1.0; 2.0; 1.0 |] in
@@ -100,8 +104,10 @@ let test_dense_roundtrip () =
 let test_of_raw_validation () =
   let bad () =
     ignore
-      (Csc.of_raw ~n_rows:2 ~n_cols:2 ~col_ptr:[| 0; 2; 2 |]
-         ~row_idx:[| 1; 0 |] ~values:[| 1.0; 2.0 |])
+      (Csc.of_raw ~n_rows:2 ~n_cols:2
+         ~col_ptr:(Sparse.Idx.of_array [| 0; 2; 2 |])
+         ~row_idx:(Sparse.Idx.of_array [| 1; 0 |])
+         ~values:(v [| 1.0; 2.0 |]))
   in
   Alcotest.check_raises "unsorted rows rejected"
     (Invalid_argument "Csc: rows must be strictly ascending within a column")
@@ -109,8 +115,8 @@ let test_of_raw_validation () =
 
 let test_identity () =
   let i5 = Csc.identity 5 in
-  let x = Array.init 5 (fun i -> float_of_int i) in
-  Alcotest.(check (array (float 0.0))) "I x = x" x (Csc.spmv i5 x)
+  let x = Vec.init 5 (fun i -> float_of_int i) in
+  Alcotest.(check (array (float 0.0))) "I x = x" (arr x) (arr (Csc.spmv i5 x))
 
 (* ---- Csc kernels vs dense reference ---- *)
 
@@ -119,14 +125,14 @@ let test_spmv () =
   let rng = Rng.create 43 in
   let x = Array.init 10 (fun _ -> Rng.float rng) in
   let expected = Test_util.dense_matvec dense x in
-  Alcotest.(check (array (float 1e-12))) "spmv" expected (Csc.spmv a x)
+  Test_util.check_vec ~eps:1e-12 "spmv" expected (Csc.spmv a (v x))
 
 let test_spmv_t () =
   let dense, a = random_pair ~seed:47 ~n_rows:12 ~n_cols:8 ~density:0.4 in
   let rng = Rng.create 49 in
   let x = Array.init 12 (fun _ -> Rng.float rng) in
   let expected = Test_util.dense_matvec (Test_util.dense_transpose dense) x in
-  Alcotest.(check (array (float 1e-12))) "spmv_t" expected (Csc.spmv_t a x)
+  Test_util.check_vec ~eps:1e-12 "spmv_t" expected (Csc.spmv_t a (v x))
 
 let test_transpose () =
   let dense, a = random_pair ~seed:53 ~n_rows:11 ~n_cols:14 ~density:0.3 in
@@ -182,7 +188,7 @@ let test_lower_upper () =
   Csc.fold_nonzeros u ~init:() ~f:(fun () i j _ ->
       Alcotest.(check bool) "upper" true (i <= j));
   (* lower + upper - diag = a *)
-  let d = Csc.diag a in
+  let d = arr (Csc.diag a) in
   let total = Csc.add l u in
   let fixed =
     Csc.add total
@@ -194,7 +200,7 @@ let test_lower_upper () =
 
 let test_diag_one_norm () =
   let a = Csc.of_dense [| [| 2.0; -3.0 |]; [| 1.0; 4.0 |] |] in
-  Alcotest.(check (array (float 0.0))) "diag" [| 2.0; 4.0 |] (Csc.diag a);
+  Test_util.check_vec ~eps:0.0 "diag" [| 2.0; 4.0 |] (Csc.diag a);
   Test_util.check_float "one_norm" 7.0 (Csc.one_norm a)
 
 let test_symmetrize_check () =
@@ -225,12 +231,12 @@ let test_mtx_roundtrip_symmetric () =
 
 let test_mtx_vector_roundtrip () =
   let rng = Rng.create 109 in
-  let v = Array.init 37 (fun _ -> Rng.float rng -. 0.5) in
+  let x = Vec.init 37 (fun _ -> Rng.float rng -. 0.5) in
   let path = Filename.temp_file "powerrchol" ".mtx" in
-  Sparse.Matrix_market.write_vector path v;
-  let v' = Sparse.Matrix_market.read_vector path in
+  Sparse.Matrix_market.write_vector path x;
+  let x' = Sparse.Matrix_market.read_vector path in
   Sys.remove path;
-  Alcotest.(check (array (float 0.0))) "vector roundtrip" v v'
+  Alcotest.(check (array (float 0.0))) "vector roundtrip" (arr x) (arr x')
 
 let test_mtx_vector_rejects_matrix () =
   let path = Filename.temp_file "powerrchol" ".mtx" in
@@ -287,6 +293,90 @@ let test_mtx_nonfinite_values_load () =
   Test_util.check_float "inf stored" infinity (Csc.get a 1 1);
   Test_util.check_float "finite neighbor" 1.5 (Csc.get a 1 0)
 
+(* The streaming two-pass reader must agree with the materialized-triplet
+   reference not just numerically but bit-for-bit: same column pointers,
+   same row order, same value bits (nan payloads included). *)
+let check_csc_identical name (a : Csc.t) (b : Csc.t) =
+  Alcotest.(check (pair int int)) (name ^ ": dims") (Csc.dims a) (Csc.dims b);
+  Alcotest.(check (array int))
+    (name ^ ": col_ptr")
+    (Sparse.Idx.to_array a.Csc.col_ptr)
+    (Sparse.Idx.to_array b.Csc.col_ptr);
+  Alcotest.(check (array int))
+    (name ^ ": row_idx")
+    (Sparse.Idx.to_array a.Csc.row_idx)
+    (Sparse.Idx.to_array b.Csc.row_idx);
+  let bits x = Array.map Int64.bits_of_float (arr x) in
+  Alcotest.(check (array int64))
+    (name ^ ": value bits")
+    (bits a.Csc.values) (bits b.Csc.values)
+
+let test_mtx_streaming_equals_triplet () =
+  let with_file content f =
+    let path = Filename.temp_file "powerrchol" ".mtx" in
+    Out_channel.with_open_text path (fun oc -> output_string oc content);
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let with_written ?symmetric a f =
+    let path = Filename.temp_file "powerrchol" ".mtx" in
+    Sparse.Matrix_market.write ?symmetric path a;
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  let check name path =
+    check_csc_identical name
+      (Sparse.Matrix_market.read_triplet path)
+      (Sparse.Matrix_market.read path)
+  in
+  (* the same fixtures the roundtrip/header tests above exercise *)
+  let _, general = random_pair ~seed:103 ~n_rows:12 ~n_cols:7 ~density:0.3 in
+  with_written general (check "general");
+  let g, d = Test_util.random_sddm ~seed:107 ~n:18 ~m:40 in
+  let sddm = Sddm.Graph.to_sddm g d in
+  with_written ~symmetric:true sddm (check "symmetric");
+  with_file
+    "%%MatrixMarket\tmatrix\tcoordinate\treal\tgeneral\r\n2 2 2\r\n1 1 3.0\r\n2 2 4.0\r\n"
+    (check "tab/CRLF");
+  with_file
+    "%%MatrixMarket  MATRIX   Coordinate  Real  Symmetric\n2 2 2\n1 1 1.0\n2 1 -0.5\n"
+    (check "mixed-case");
+  with_file
+    "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 nan\n2 2 inf\n2 1 1.5\n"
+    (check "nan/inf");
+  (* duplicate coordinates: both paths must sum them in the same order *)
+  with_file
+    "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 0.1\n3 2 5.0\n1 1 0.2\n1 1 0.3\n"
+    (check "duplicates")
+
+(* ---- index width ---- *)
+
+let test_idx_width () =
+  if Sparse.Idx.bits = 64 then begin
+    (* forced-int64 build: indices beyond 2^31 must round-trip exactly,
+       which is what lets nnz >= 2^31 matrices address their buffers *)
+    let big = [| 0; 1; 0x7FFF_FFFF; 0x8000_0000; 0x2_0000_0001 |] in
+    let idx = Sparse.Idx.of_array big in
+    Alcotest.(check (array int)) "of_array/to_array beyond 2^31" big
+      (Sparse.Idx.to_array idx);
+    Sparse.Idx.set idx 0 0x1_2345_6789;
+    Alcotest.(check int) "set/get beyond 2^31" 0x1_2345_6789
+      (Sparse.Idx.get idx 0);
+    Sparse.Idx.check_index_capacity ~what:"test" 0x1_0000_0000
+  end
+  else begin
+    Alcotest.(check int) "default build is int32" 32 Sparse.Idx.bits;
+    (* narrow build: capacity guard must reject counts past 2^31 - 1 with
+       an actionable error instead of silently truncating *)
+    let rejected =
+      match Sparse.Idx.check_index_capacity ~what:"test" 0x8000_0000 with
+      | () -> false
+      | exception Invalid_argument _ -> true
+    in
+    Alcotest.(check bool) "capacity guard rejects 2^31" true rejected;
+    let max = Sparse.Idx.max_index in
+    let idx = Sparse.Idx.of_array [| 0; max |] in
+    Alcotest.(check int) "max_index round-trips" max (Sparse.Idx.get idx 1)
+  end
+
 (* ---- properties ---- *)
 
 let sddm_gen =
@@ -307,8 +397,8 @@ let prop_spmv_linear =
       let a = Sddm.Graph.to_sddm g d in
       let n = Sddm.Graph.n_vertices g in
       let rng = Rng.create 1 in
-      let x = Array.init n (fun _ -> Rng.float rng) in
-      let y = Array.init n (fun _ -> Rng.float rng) in
+      let x = Vec.init n (fun _ -> Rng.float rng) in
+      let y = Vec.init n (fun _ -> Rng.float rng) in
       let lhs = Csc.spmv a (Vec.add x y) in
       let rhs = Vec.add (Csc.spmv a x) (Csc.spmv a y) in
       Vec.max_abs_diff lhs rhs < 1e-10)
@@ -332,8 +422,8 @@ let prop_transpose_spmv =
       let a = Sddm.Graph.to_sddm g d in
       let n = Sddm.Graph.n_vertices g in
       let rng = Rng.create 3 in
-      let x = Array.init n (fun _ -> Rng.float rng) in
-      let y = Array.init n (fun _ -> Rng.float rng) in
+      let x = Vec.init n (fun _ -> Rng.float rng) in
+      let y = Vec.init n (fun _ -> Rng.float rng) in
       let lhs = Vec.dot x (Csc.spmv a y) in
       let rhs = Vec.dot (Csc.spmv_t a x) y in
       Float.abs (lhs -. rhs) < 1e-9 *. (1.0 +. Float.abs lhs))
@@ -391,7 +481,11 @@ let () =
           Alcotest.test_case "vector roundtrip" `Quick test_mtx_vector_roundtrip;
           Alcotest.test_case "vector rejects matrix" `Quick
             test_mtx_vector_rejects_matrix;
+          Alcotest.test_case "streaming equals triplet bit-for-bit" `Quick
+            test_mtx_streaming_equals_triplet;
         ] );
+      ( "idx",
+        [ Alcotest.test_case "index width round-trip" `Quick test_idx_width ] );
       ( "property",
         Test_util.qcheck
           [

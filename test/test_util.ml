@@ -3,6 +3,19 @@
 let check_float ?(eps = 1e-9) msg expected actual =
   Alcotest.(check (float eps)) msg expected actual
 
+(* ---- Bigarray vector shims ----
+
+   The numeric vectors are Bigarray-backed ({!Sparse.Vec.t}); tests state
+   fixtures and expectations as plain [float array] literals and convert at
+   the boundary. *)
+
+let vec = Sparse.Vec.of_array
+let arr = Sparse.Vec.to_array
+
+let check_vec ?(eps = 1e-9) msg (expected : float array) (actual : Sparse.Vec.t)
+    =
+  Alcotest.(check (array (float eps))) msg expected (arr actual)
+
 (* ---- graph fixtures ---- *)
 
 let mesh_graph w h =
@@ -51,7 +64,7 @@ let random_sddm ~seed ~n ~m =
 let random_problem ~seed ~n ~m =
   let g, d = random_sddm ~seed ~n ~m in
   let rng = Rng.create (seed + 2) in
-  let b = Array.init n (fun _ -> Rng.float rng -. 0.5) in
+  let b = Sparse.Vec.init n (fun _ -> Rng.float rng -. 0.5) in
   Sddm.Problem.of_graph ~name:(Printf.sprintf "rand-%d" seed) ~graph:g ~d ~b
 
 (* ---- dense reference linear algebra ---- *)
