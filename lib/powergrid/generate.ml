@@ -158,16 +158,20 @@ let iter_circuit spec ~res ~pad ~load ~cap =
   (* Repair pass: random blockages can isolate a pocket of the bottom
      mesh from every via. Stitch each such component back to the top
      layer with one extra via, like the stitching vias inserted during
-     physical verification. [emit] unions the stitch edge, so the rest of
-     the pocket resolves to the main component and is not stitched twice. *)
+     physical verification. The pocket root is unioned INTO [main]
+     directly — not through [emit], whose union direction would crown
+     the pocket root and invalidate [main] — so the rest of the pocket
+     resolves to the main component and is not stitched twice. *)
   let main = find (top 0 0) in
   for y = 0 to ny - 1 do
     for x = 0 to nx - 1 do
       let node = bottom x y in
-      if find node <> main then begin
+      let root = find node in
+      if root <> main then begin
         let i = min ((x + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cx - 1) in
         let j = min ((y + (spec.coarse_pitch / 2)) / spec.coarse_pitch) (cy - 1) in
-        emit (top i j) node (1.0 /. spec.via_conductance)
+        parent.(root) <- main;
+        res (top i j) node (1.0 /. spec.via_conductance)
       end
     done
   done

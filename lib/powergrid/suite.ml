@@ -159,10 +159,20 @@ let find ?scale key =
 let scale_case ?(seed = 3100) ~target_nodes () =
   if target_nodes < 24 * 24 then
     invalid_arg "Suite.scale_case: target too small";
-  (* node_count(side) = side^2 + ceil(side/4)^2, monotone in side *)
-  let side = ref (int_of_float (sqrt (float_of_int target_nodes /. 1.0625))) in
-  while Generate.node_count (Generate.default ~nx:!side ~ny:!side ~seed)
-        < target_nodes do
+  (* node_count(side) = side^2 + ceil(side/4)^2, monotone in side. The
+     sqrt estimate can land on either side of the answer (the ceil term
+     overshoots by up to ~side/2), so walk down to below the target
+     before walking up to the smallest satisfying side. *)
+  let node_count side =
+    Generate.node_count (Generate.default ~nx:side ~ny:side ~seed)
+  in
+  let side =
+    ref (max 2 (int_of_float (sqrt (float_of_int target_nodes /. 1.0625))))
+  in
+  while !side > 2 && node_count (!side - 1) >= target_nodes do
+    decr side
+  done;
+  while node_count !side < target_nodes do
     incr side
   done;
   let side = !side in

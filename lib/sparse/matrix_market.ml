@@ -58,6 +58,8 @@ let read_channel ic =
   if n_rows < 0 || n_cols < 0 || entries < 0 then
     fail "invalid size line %S: dimensions and entry count must be >= 0"
       size_line;
+  if sym = Symmetric && n_rows <> n_cols then
+    fail "symmetric matrix must be square, got %d x %d" n_rows n_cols;
   let t = Triplet.create ~capacity:(max entries 1) ~n_rows ~n_cols () in
   for k = 1 to entries do
     match next_data_line () with
@@ -146,6 +148,13 @@ let stream_prelude st =
     fail "line %d: invalid size line %S: dimensions and entry count must be \
           >= 0"
       size_ln size_line;
+  (* A symmetric non-square declaration would otherwise escape the parse
+     contract: the count pass mirrors entry (i,j) to row index i inside a
+     length-(n_cols+1) counts array, turning a malformed file into a raw
+     bounds crash instead of a positioned Parse_error. *)
+  if sym = Symmetric && n_rows <> n_cols then
+    fail "line %d: symmetric matrix must be square, got %d x %d" size_ln
+      n_rows n_cols;
   (sym, n_rows, n_cols, entries)
 
 let read path =

@@ -47,6 +47,49 @@ let test_generate_chunked_equals_circuit () =
   Test_util.check_float "same rhs" 0.0
     (Sparse.Vec.max_abs_diff chunked.Sddm.Problem.b reference.Sddm.Problem.b)
 
+let test_repair_stitches_minimal () =
+  (* Heavy blockage forces pockets of the bottom mesh cut off from every
+     via; the repair pass must stitch each pocket back exactly once. A
+     redundant stitch (both endpoints already in one component) means the
+     pass lost track of the main component's root — the regression here
+     added O(nx*ny) spurious vias once the first pocket was stitched.
+     Stitches are identified by emission order: iter_circuit documents
+     that repair resistors come last, after pads and loads. *)
+  let spec =
+    {
+      (Powergrid.Generate.default ~nx:30 ~ny:30 ~seed:801) with
+      missing_fraction = 0.4;
+    }
+  in
+  let n = Powergrid.Generate.node_count spec in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let in_repair = ref false in
+  let stitches = ref 0 and redundant = ref 0 in
+  Powergrid.Generate.iter_circuit spec
+    ~res:(fun u v _ ->
+      let ru = find u and rv = find v in
+      if !in_repair then begin
+        incr stitches;
+        if ru = rv then incr redundant
+      end;
+      if ru <> rv then parent.(ru) <- rv)
+    ~pad:(fun _ _ -> in_repair := true)
+    ~load:(fun _ _ -> in_repair := true)
+    ~cap:(fun _ _ -> ());
+  Alcotest.(check bool) "repair path exercised" true (!stitches > 0);
+  Alcotest.(check int) "every stitch merges two components" 0 !redundant;
+  (* and the repaired grid is a single grounded component end to end *)
+  let p = Powergrid.Generate.generate spec in
+  let _, n_comp = G.connected_components p.Sddm.Problem.graph in
+  Alcotest.(check int) "connected after repair" 1 n_comp
+
 let test_generate_heavy_vias () =
   (* Alg. 4's premise: the grid must contain edges much heavier than
      average *)
@@ -318,6 +361,30 @@ let test_suite_all_28 () =
   let all = Powergrid.Suite.all_cases () in
   Alcotest.(check int) "28 cases" 28 (Array.length all)
 
+let test_suite_scale_case_minimal () =
+  (* scale_case promises the smallest square grid meeting the node
+     target; compare against a brute-force scan from below (the sqrt
+     estimate alone can land above the minimum). *)
+  let node_count side =
+    Powergrid.Generate.node_count
+      (Powergrid.Generate.default ~nx:side ~ny:side ~seed:3100)
+  in
+  List.iter
+    (fun target ->
+      let case = Powergrid.Suite.scale_case ~target_nodes:target () in
+      let n = Sddm.Problem.n (case.Powergrid.Suite.build ()) in
+      let side = ref 2 in
+      while node_count !side < target do
+        incr side
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "minimal grid for target %d" target)
+        (node_count !side) n;
+      Alcotest.(check bool)
+        (Printf.sprintf "meets target %d" target)
+        true (n >= target))
+    [ 576; 600; 1000; 2047; 4096; 10000 ]
+
 let test_suite_small_scale_builds () =
   (* tiny scale so every case builds fast; checks SDDM validity *)
   let all = Powergrid.Suite.all_cases ~scale:0.004 () in
@@ -376,6 +443,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
           Alcotest.test_case "chunked equals circuit path" `Quick
             test_generate_chunked_equals_circuit;
+          Alcotest.test_case "repair stitches minimal" `Quick
+            test_repair_stitches_minimal;
           Alcotest.test_case "heavy vias" `Quick test_generate_heavy_vias;
           Alcotest.test_case "physical solution" `Quick test_solution_physical;
         ] );
@@ -417,6 +486,8 @@ let () =
         [
           Alcotest.test_case "lookup" `Quick test_suite_case_lookup;
           Alcotest.test_case "28 cases" `Quick test_suite_all_28;
+          Alcotest.test_case "scale_case minimal" `Quick
+            test_suite_scale_case_minimal;
           Alcotest.test_case "all build at tiny scale" `Slow
             test_suite_small_scale_builds;
         ] );

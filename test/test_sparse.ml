@@ -250,6 +250,31 @@ let test_mtx_vector_rejects_matrix () =
   Sys.remove path;
   Alcotest.(check bool) "multi-column rejected" true rejected
 
+let test_mtx_rejects_nonsquare_symmetric () =
+  (* A symmetric declaration on a non-square size line must fail the
+     parse contract (positioned Parse_error) in both readers — the
+     streaming count pass would otherwise mirror a row index into a
+     column-sized array and die with a raw bounds error. *)
+  let content =
+    "%%MatrixMarket matrix coordinate real symmetric\n3 2 2\n1 1 1.0\n3 2 \
+     -0.5\n"
+  in
+  let path = Filename.temp_file "powerrchol" ".mtx" in
+  Out_channel.with_open_text path (fun oc -> output_string oc content);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) "streaming reader rejects" true
+        (match Sparse.Matrix_market.read path with
+         | _ -> false
+         | exception Sparse.Matrix_market.Parse_error msg ->
+           (* the error must carry the size line's position *)
+           String.length msg >= 6 && String.sub msg 0 6 = "line 2");
+      Alcotest.(check bool) "triplet reader rejects" true
+        (match Sparse.Matrix_market.read_triplet path with
+         | _ -> false
+         | exception Sparse.Matrix_market.Parse_error _ -> true))
+
 let test_mtx_rejects_garbage () =
   Alcotest.(check bool) "parse error raised" true
     (match Sparse.Matrix_market.read "/dev/null" with
@@ -472,6 +497,8 @@ let () =
           Alcotest.test_case "general roundtrip" `Quick test_mtx_roundtrip_general;
           Alcotest.test_case "symmetric roundtrip" `Quick test_mtx_roundtrip_symmetric;
           Alcotest.test_case "garbage rejected" `Quick test_mtx_rejects_garbage;
+          Alcotest.test_case "non-square symmetric rejected" `Quick
+            test_mtx_rejects_nonsquare_symmetric;
           Alcotest.test_case "tab/CRLF header tolerated" `Quick
             test_mtx_header_whitespace;
           Alcotest.test_case "mixed-case header tolerated" `Quick
