@@ -1,5 +1,5 @@
 .PHONY: build check check-par test test-robust bench-smoke bench-kernels \
-  trace-smoke serve-smoke fmt fmt-check clean
+  trace-smoke serve-smoke eco-smoke fmt fmt-check clean
 
 build:
 	dune build
@@ -29,6 +29,18 @@ bench-smoke:
 	  dune exec bench/main.exe table1 batched kernels serve
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
 	  bench_artifacts/bench.json bench_artifacts/trace.json
+
+# ECO edit-storm smoke: drive a storm of localized grid edits through
+# the versioned session layer on a reduced grid, then gate the
+# amortization ratio (an incremental edit must cost at most
+# BENCH_EDIT_AMORT of a from-scratch prepare+solve) and convergence of
+# every re-solve. CI runs this on both toolchain legs; the full-size
+# (330x330, >= 1e5 nodes) run is the default `bench/main.exe edits`.
+eco-smoke:
+	BENCH_EDIT_NX=120 BENCH_EDIT_NY=120 BENCH_EDIT_COUNT=24 \
+	  dune exec bench/main.exe edits
+	dune exec bench/compare.exe bench_artifacts/baseline.json \
+	  bench_artifacts/bench.json
 
 # End-to-end trace smoke: solve one small case under `pgsolve --trace`,
 # then run the standalone trace-validity gate over the emitted file

@@ -93,6 +93,17 @@ let max_p99_ms = getenv_float "BENCH_SERVE_MAX_P99_MS" 30_000.0
 let max_bytes_per_nnz = getenv_float "BENCH_MAX_BYTES_PER_NNZ" 24.0
 let max_rss_kb = getenv_float "BENCH_MAX_RSS_KB" 4_194_304.0
 
+(* Edit-storm gates, checked within the CURRENT file's "edits" section
+   (when the ECO experiment ran):
+
+   - the session layer must actually amortize: the mean (update + solve)
+     cost of an edit must stay at or below BENCH_EDIT_AMORT times the
+     from-scratch (prepare + solve) baseline — default 0.5, i.e. an
+     incremental edit costs at most half a full re-preparation;
+   - every post-edit re-solve must have converged: a fast but wrong
+     factor is not an amortization. *)
+let max_edit_amort = getenv_float "BENCH_EDIT_AMORT" 0.5
+
 let phases = [ "t_reorder"; "t_factor"; "t_iterate"; "t_total" ]
 
 let read_json path =
@@ -365,6 +376,38 @@ let () =
       | _ ->
         failures :=
           "memory section lacks bytes_per_nnz/peak_rss_kb" :: !failures));
+  (* edit-storm gates on the current run *)
+  (match Obs.Json.member "edits" current_doc with
+   | None -> ()
+   | Some edits ->
+     let num key =
+       match Obs.Json.member key edits with
+       | Some v -> Obs.Json.to_float v
+       | None -> None
+     in
+     (match (num "ratio", num "count") with
+      | Some ratio, Some count ->
+        Printf.printf
+          "edits gate: %.0f edits, amortized ratio %.3fx (cap %.2fx)\n"
+          count ratio max_edit_amort;
+        if count < 1.0 then
+          failures := "edits: the storm applied zero edits" :: !failures
+        else begin
+          if ratio > max_edit_amort then
+            failures :=
+              Printf.sprintf
+                "edit amortization %.3fx above the %.2fx cap (update+solve \
+                 per edit vs from-scratch prepare+solve)"
+                ratio max_edit_amort
+              :: !failures;
+          match Obs.Json.member "all_converged" edits with
+          | Some (Obs.Json.Bool true) -> ()
+          | Some (Obs.Json.Bool false) ->
+            failures :=
+              "edits: a post-edit re-solve failed to converge" :: !failures
+          | _ -> failures := "edits section lacks all_converged" :: !failures
+        end
+      | _ -> failures := "edits section lacks ratio/count" :: !failures));
   List.iter (fun n -> Printf.printf "note: %s\n" n) (List.rev !notes);
   if !compared = 0 then
     (* an empty intersection means the gate compared nothing: make that

@@ -23,6 +23,7 @@ let experiments =
     ("micro", Micro.run);
     ("kernels", Kernels.run);
     ("serve", Serve_bench.run);
+    ("edits", Eco_bench.run);
   ]
 
 let run_all () =

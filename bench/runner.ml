@@ -170,6 +170,12 @@ let record_serve doc = serve_section := Some doc
 let memory_section : Obs.Json.t option ref = ref None
 let record_memory doc = memory_section := Some doc
 
+(* The ECO edit-storm experiment's summary (per-rung counts, amortized
+   update+solve cost vs a from-scratch prepare) — the bench.json "edits"
+   section, gated by compare.exe on the amortization ratio. *)
+let edits_section : Obs.Json.t option ref = ref None
+let record_edits doc = edits_section := Some doc
+
 (* Peak resident set size of this process in kB, from the kernel's
    high-water mark (VmHWM). Returns 0 where /proc is unavailable; the
    scale gate then relies on the CI job's /usr/bin/time -v envelope. *)
@@ -345,9 +351,12 @@ let write_bench_json () =
       @ (match !serve_section with
         | Some doc -> [ ("serve", doc) ]
         | None -> [])
+      @ (match !memory_section with
+        | Some doc -> [ ("memory", doc) ]
+        | None -> [])
       @
-      match !memory_section with
-      | Some doc -> [ ("memory", doc) ]
+      match !edits_section with
+      | Some doc -> [ ("edits", doc) ]
       | None -> [])
   in
   Out_channel.with_open_text path (fun oc ->

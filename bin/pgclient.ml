@@ -30,6 +30,7 @@ let op_arg =
       ("ping", `Ping);
       ("health", `Health);
       ("solve", `Solve);
+      ("update", `Update);
       ("diagnose", `Diagnose);
       ("shutdown", `Shutdown);
     ]
@@ -43,6 +44,55 @@ let case_arg =
   Arg.(
     value & opt string "pg01"
     & info [ "case" ] ~docv:"ID" ~doc:"Suite case id to solve server-side.")
+
+(* One ECO edit for the [update] op, colon-separated to stay
+   shell-friendly: "set-conductance:U:V:SIEMENS",
+   "scale-conductance:U:V:FACTOR", "add-resistor:U:V:SIEMENS",
+   "set-excess:NODE:SIEMENS", "set-load:NODE:AMPS". *)
+let edit_of_spec s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --edit %S (want kind:node(s):value, e.g. set-load:7:0.02 or \
+          scale-conductance:3:4:2.0)"
+         s)
+  in
+  let int s = int_of_string_opt s and num s = float_of_string_opt s in
+  match String.split_on_char ':' s with
+  | [ "set-conductance"; u; v; w ] -> (
+    match (int u, int v, num w) with
+    | Some u, Some v, Some siemens ->
+      Ok (Sddm.Edit.Set_conductance { u; v; siemens })
+    | _ -> fail ())
+  | [ "scale-conductance"; u; v; f ] -> (
+    match (int u, int v, num f) with
+    | Some u, Some v, Some factor ->
+      Ok (Sddm.Edit.Scale_conductance { u; v; factor })
+    | _ -> fail ())
+  | [ "add-resistor"; u; v; w ] -> (
+    match (int u, int v, num w) with
+    | Some u, Some v, Some siemens ->
+      Ok (Sddm.Edit.Add_resistor { u; v; siemens })
+    | _ -> fail ())
+  | [ "set-excess"; node; w ] -> (
+    match (int node, num w) with
+    | Some node, Some siemens -> Ok (Sddm.Edit.Set_excess { node; siemens })
+    | _ -> fail ())
+  | [ "set-load"; node; a ] -> (
+    match (int node, num a) with
+    | Some node, Some amps -> Ok (Sddm.Edit.Set_load { node; amps })
+    | _ -> fail ())
+  | _ -> fail ()
+
+let edits_arg =
+  let doc =
+    "ECO edit for the $(b,update) op (repeatable, applied in order): \
+     $(b,set-conductance:U:V:S), $(b,scale-conductance:U:V:F), \
+     $(b,add-resistor:U:V:S), $(b,set-excess:NODE:S), \
+     $(b,set-load:NODE:A). An update with no edits re-solves the \
+     session's current state."
+  in
+  Arg.(value & opt_all string [] & info [ "edit" ] ~docv:"SPEC" ~doc)
 
 let scale_arg =
   Arg.(
@@ -167,6 +217,31 @@ let print_response ~json resp =
          Printf.printf "x: n=%d, first %d: %s\n" (Array.length x) k
            (String.concat ", "
               (List.init k (fun i -> Printf.sprintf "%.6e" x.(i)))))
+    | Proto.Updated
+        {
+          session;
+          version;
+          rung;
+          iterations;
+          residual;
+          converged;
+          t_update_ms;
+          t_solve_ms;
+          x;
+        } ->
+      Printf.printf
+        "updated session %d to version %d via %s rung: %d iterations, \
+         residual %.3e%s (update %.1f ms + solve %.1f ms)\n"
+        session version rung iterations residual
+        (if converged then "" else " [NOT CONVERGED]")
+        t_update_ms t_solve_ms;
+      (match x with
+       | None -> ()
+       | Some x ->
+         let k = min 4 (Array.length x) in
+         Printf.printf "x: n=%d, first %d: %s\n" (Array.length x) k
+           (String.concat ", "
+              (List.init k (fun i -> Printf.sprintf "%.6e" x.(i)))))
     | Proto.Diagnosed { fatal; issues } ->
       Printf.printf "diagnosed: %s\n"
         (if fatal then "FATAL" else "clean/recoverable");
@@ -179,6 +254,7 @@ let print_response ~json resp =
 
 let exit_code = function
   | Proto.Solved { converged; _ } -> if converged then 0 else 1
+  | Proto.Updated { converged; _ } -> if converged then 0 else 1
   | Proto.Diagnosed { fatal; _ } -> if fatal then 1 else 0
   | Proto.Pong | Proto.Bye | Proto.Health_report _ -> 0
   | Proto.Rejected _ -> 3
@@ -232,7 +308,7 @@ let run_inject addr mode stall timeout =
 (* ---- main ---- *)
 
 let run connect op case scale mtx solver rtol seed deadline_ms robust want_x
-    retries timeout json inject stall =
+    edits retries timeout json inject stall =
   match Proto.addr_of_string connect with
   | Error e ->
     Printf.eprintf "pgclient: bad --connect address: %s\n" e;
@@ -252,6 +328,18 @@ let run connect op case scale mtx solver rtol seed deadline_ms robust want_x
       | `Diagnose -> Proto.Diagnose { spec }
       | `Solve ->
         Proto.solve ~solver ~rtol ~seed ?deadline_ms ~robust ~want_x spec
+      | `Update ->
+        let edits =
+          List.map
+            (fun spec ->
+              match edit_of_spec spec with
+              | Ok e -> e
+              | Error msg ->
+                Printf.eprintf "pgclient: %s\n" msg;
+                exit 2)
+            edits
+        in
+        Proto.update ~rtol ~seed ?deadline_ms ~want_x ~edits spec
     in
     let retry = { Serve.Client.default_retry with Serve.Client.attempts = max 1 retries } in
     match Serve.Client.call ~retry ~seed ~io_timeout:timeout addr req with
@@ -269,7 +357,7 @@ let cmd =
     Term.(
       const run $ connect_arg $ op_arg $ case_arg $ scale_arg $ mtx_arg
       $ solver_arg $ rtol_arg $ seed_arg $ deadline_arg $ robust_arg
-      $ want_x_arg $ retries_arg $ timeout_arg $ json_arg $ inject_arg
-      $ stall_arg)
+      $ want_x_arg $ edits_arg $ retries_arg $ timeout_arg $ json_arg
+      $ inject_arg $ stall_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -527,9 +527,87 @@ let transient_cmd =
       const run $ nx $ ny $ seed_arg $ rtol_arg $ step $ steps $ period
       $ duty $ domains_arg)
 
+(* ---- edit-storm (ECO flow) ---- *)
+
+let edit_storm_cmd =
+  let nx =
+    Arg.(value & opt int 120 & info [ "nx" ] ~docv:"N" ~doc:"Grid width.")
+  in
+  let ny =
+    Arg.(value & opt int 120 & info [ "ny" ] ~docv:"N" ~doc:"Grid height.")
+  in
+  let count =
+    Arg.(
+      value & opt int 32
+      & info [ "edits" ] ~docv:"N" ~doc:"Number of edit scenarios to apply.")
+  in
+  let run nx ny seed rtol count domains =
+    apply_domains domains;
+    let spec = Powergrid.Generate.default ~nx ~ny ~seed in
+    let circuit = Powergrid.Generate.generate_circuit spec in
+    let problem =
+      Powergrid.Generate.circuit_to_problem ~name:"edit-storm" circuit
+    in
+    let scenarios = Powergrid.Eco.storm ~seed ~spec circuit ~count in
+    Printf.printf "grid: %s; %d edit scenarios (max support %d nodes)\n"
+      (Sddm.Problem.describe problem)
+      (Array.length scenarios)
+      (Powergrid.Eco.max_support scenarios);
+    let t0 = Unix.gettimeofday () in
+    let session = Powerrchol.Engine.Session.create ~seed problem in
+    let r0 = Powerrchol.Engine.Session.solve ~rtol session in
+    let t_baseline = Unix.gettimeofday () -. t0 in
+    Printf.printf "initial prepare+solve %.3f s (%d iterations)\n" t_baseline
+      r0.Powerrchol.Solver.iterations;
+    let module S = Powerrchol.Engine.Session in
+    let rung_counts = Hashtbl.create 4 in
+    let t_updates = ref 0.0 and t_solves = ref 0.0 in
+    let iterations = ref 0 and worst_residual = ref 0.0 in
+    Array.iter
+      (fun sc ->
+        let report = Powerrchol.Engine.update session sc.Powergrid.Eco.edits in
+        let rung = S.rung_name report.S.rung in
+        Hashtbl.replace rung_counts rung
+          (1 + Option.value ~default:0 (Hashtbl.find_opt rung_counts rung));
+        t_updates := !t_updates +. report.S.t_update;
+        let t1 = Unix.gettimeofday () in
+        let r = S.solve ~rtol session in
+        t_solves := !t_solves +. (Unix.gettimeofday () -. t1);
+        iterations := !iterations + r.Powerrchol.Solver.iterations;
+        worst_residual := Float.max !worst_residual r.Powerrchol.Solver.residual;
+        if not r.Powerrchol.Solver.converged then
+          Printf.printf "  scenario %d (%s): DID NOT CONVERGE\n"
+            sc.Powergrid.Eco.index sc.Powergrid.Eco.label)
+      scenarios;
+    S.close session;
+    let n = Array.length scenarios in
+    Printf.printf "rungs taken:";
+    List.iter
+      (fun rung ->
+        match Hashtbl.find_opt rung_counts rung with
+        | Some c -> Printf.printf " %s=%d" rung c
+        | None -> ())
+      [ "rhs-only"; "local"; "low-rank"; "full" ];
+    print_newline ();
+    let amortized = (!t_updates +. !t_solves) /. float_of_int n in
+    Printf.printf
+      "storm: %d updates in %.3f s + %d PCG iterations in %.3f s\n" n
+      !t_updates !iterations !t_solves;
+    Printf.printf
+      "amortized %.4f s per edit (%.2fx of from-scratch %.3f s); worst \
+       residual %.2e\n"
+      amortized
+      (amortized /. t_baseline)
+      t_baseline !worst_residual
+  in
+  let doc = "ECO edit storm against a versioned solver session." in
+  Cmd.v (Cmd.info "edit-storm" ~doc)
+    Term.(const run $ nx $ ny $ seed_arg $ rtol_arg $ count $ domains_arg)
+
 let main_cmd =
   let doc = "power-grid analysis via fast randomized Cholesky (PowerRChol)" in
   let info = Cmd.info "pgsolve" ~version:"1.0.0" ~doc in
-  Cmd.group info [ generate_cmd; solve_cmd; compare_cmd; transient_cmd ]
+  Cmd.group info
+    [ generate_cmd; solve_cmd; compare_cmd; transient_cmd; edit_storm_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

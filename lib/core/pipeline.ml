@@ -24,6 +24,13 @@ let solve_many ?rtol ?max_iter ?seed ?buckets ?heavy_factor problem bs =
   let prepared = Engine.powerrchol ?buckets ?heavy_factor ?seed problem in
   (prepared, Solver.solve_many ?rtol ?max_iter prepared bs)
 
+let open_session ?seed ?buckets ?heavy_factor problem =
+  Engine.Session.create ?seed ?buckets ?heavy_factor problem
+
+let resolve ?rtol ?max_iter session edits =
+  let report = Engine.Session.update session edits in
+  (report, Engine.Session.solve ?rtol ?max_iter session)
+
 let solve_profiled ?rtol ?max_iter ?seed ?buckets ?heavy_factor problem =
   let solver = Solver.powerrchol ?buckets ?heavy_factor ?seed () in
   Solver.run_profiled ?rtol ?max_iter solver problem

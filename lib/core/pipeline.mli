@@ -24,6 +24,20 @@ val solve_many :
     Iterates exactly like [List.map solve] — the solutions are
     bit-identical to per-RHS {!solve} calls with the same seed. *)
 
+val open_session :
+  ?seed:int -> ?buckets:int -> ?heavy_factor:float -> Sddm.Problem.t ->
+  Engine.Session.t
+(** Open a versioned incremental-solve session on [problem] (see
+    {!Engine.Session}): the ECO entry point for workloads that edit the
+    grid between solves. *)
+
+val resolve :
+  ?rtol:float -> ?max_iter:int -> Engine.Session.t -> Sddm.Edit.t list ->
+  Engine.Session.update_report * Solver.result
+(** [resolve session edits] applies the edits through the cheapest
+    applicable update rung and solves the edited system — the
+    edit-solve-repeat loop as one call. Pass [[]] to just re-solve. *)
+
 val solve_matrix :
   ?rtol:float -> ?max_iter:int -> ?seed:int -> ?name:string ->
   a:Sparse.Csc.t -> b:Sparse.Vec.t -> unit -> Solver.result

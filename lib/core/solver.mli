@@ -49,6 +49,13 @@ val prepare : t -> Sddm.Problem.t -> prepared
 (** [prepare solver problem] reorders and factorizes once, returning the
     reusable handle. Recorded under the Obs span ["prepare"]. *)
 
+val make_prepared :
+  solver_name:string -> Sddm.Problem.t -> precond:Krylov.Precond.t ->
+  t_reorder:float -> t_precond:float -> factor_nnz:int -> prepared
+(** Assemble a handle from its parts (fresh PCG workspace, preconditioner
+    size gauge recorded). The construction path shared by every solver's
+    [prepare] and by {!Engine}'s session layer. *)
+
 val solve_prepared :
   ?rtol:float -> ?max_iter:int -> ?deadline:float -> ?x0:Sparse.Vec.t ->
   ?history:bool -> ?condition:bool -> ?b:Sparse.Vec.t -> prepared -> result

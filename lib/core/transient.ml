@@ -1,12 +1,18 @@
 type t = {
-  problem : Sddm.Problem.t;  (* the shifted system G + C/h, b = DC loads *)
+  session : Engine.Session.t;
+      (* owns the shifted system G + C/h (b = DC loads), its updatable
+         factorization, and the PCG workspace; grid edits between marches
+         go through the session's incremental update rungs *)
   cap_over_h : float array;
   b_dc : Sparse.Vec.t;
   h : float;
-  prepared : Solver.prepared;  (* factorization + PCG workspace, reused *)
   t_prepare : float;
   rtol : float;
 }
+
+(* The current shifted problem: re-read per use, because a pattern-growing
+   edit replaces the session's problem record wholesale. *)
+let problem t = Engine.Session.problem t.session
 
 type step_stats = {
   time : float;
@@ -48,21 +54,23 @@ let prepare ?(rtol = 1e-6) ?(seed = Solver.default_seed)
     Sddm.Problem.of_graph ~name:"transient-be" ~graph:dc.Sddm.Problem.graph
       ~d:d_shifted ~b:dc.Sddm.Problem.b
   in
-  (* one-time PowerRChol preparation on the shifted matrix, through the
-     Engine cache (re-preparing the same circuit at the same step is free) *)
-  let prepared = Engine.powerrchol ~seed problem in
+  (* one-time PowerRChol preparation on the shifted matrix, as a versioned
+     session so grid edits between marches re-validate incrementally
+     instead of re-preparing from scratch *)
+  let session = Engine.Session.create ~seed problem in
   {
-    problem;
+    session;
     cap_over_h;
     b_dc = dc.Sddm.Problem.b;
     h;
-    prepared;
     t_prepare = Unix.gettimeofday () -. t0;
     rtol;
   }
 
+let update t edits = Engine.Session.update t.session edits
+
 let dc_drop t =
-  let dc_problem = t.problem in
+  let dc_problem = problem t in
   (* solve G v = b: the unshifted system; rebuild it from the shifted one
      by removing C/h from the excess diagonal *)
   let d =
@@ -79,8 +87,13 @@ let dc_drop t =
 
 let simulate t ~steps ~waveform =
   assert (steps > 0);
-  let n = Sddm.Problem.n t.problem in
-  let a = t.problem.Sddm.Problem.a in
+  (* capture the session's current preparation and matrix once per march:
+     updates between marches are picked up here, updates mid-march are
+     not a supported interleaving (the library is single-threaded) *)
+  let prepared = Engine.Session.prepared t.session in
+  let be_problem = problem t in
+  let n = Sddm.Problem.n be_problem in
+  let a = be_problem.Sddm.Problem.a in
   let v = Sparse.Vec.create n in
   let rhs = Sparse.Vec.create n in
   let stats = ref [] in
@@ -100,8 +113,8 @@ let simulate t ~steps ~waveform =
        the march allocates no n-sized arrays per step *)
     let res =
       Krylov.Pcg.solve_into ~rtol:t.rtol ~warm_start:true
-        ~workspace:t.prepared.Solver.workspace ~x:v ~a ~b:rhs
-        ~precond:t.prepared.Solver.precond ()
+        ~workspace:prepared.Solver.workspace ~x:v ~a ~b:rhs
+        ~precond:prepared.Solver.precond ()
     in
     assert (res.Krylov.Pcg.x == v);
     total_iterations := !total_iterations + res.Krylov.Pcg.iterations;

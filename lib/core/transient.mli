@@ -45,6 +45,21 @@ val prepare :
     PowerRChol pipeline (Alg. 4 + LT-RChol). Raises [Invalid_argument] if
     the circuit has no capacitance at all (use DC analysis instead). *)
 
+val problem : t -> Sddm.Problem.t
+(** The current shifted backward-Euler system [G + C/h]. Re-read after
+    {!update}: a pattern-growing edit replaces the record wholesale. *)
+
+val update : t -> Sddm.Edit.t list -> Engine.Session.update_report
+(** Apply grid edits (ECO flow) to the shifted system between marches,
+    through the session's incremental update rungs ({!Engine.Session}).
+    Edits address the {e shifted} matrix: conductance edits mean exactly
+    what they do at DC, while [Set_excess node s] sets the node's pad
+    conductance {e plus} its [C/h] contribution to [s]. The next
+    {!simulate} (and {!dc_drop}) picks up the edited matrix and the
+    revalidated preconditioner; the PCG workspace — and with it
+    warm-started iteration state — survives every rung, including the
+    full re-prepare. *)
+
 val simulate :
   t -> steps:int -> waveform:(float -> float) -> result
 (** [simulate t ~steps ~waveform] marches [steps] backward-Euler steps

@@ -19,6 +19,18 @@ val ereach :
     from [stamp] on entry for unvisited nodes; the caller supplies a fresh
     [stamp] per call. [mark.(k)] is set to [stamp]. *)
 
+val reach :
+  parent:int array -> seeds:int array -> mark:int array -> stamp:int ->
+  limit:int -> int
+(** [reach ~parent ~seeds ~mark ~stamp ~limit] marks (with [stamp]) every
+    node on a root-ward path from any seed — the ancestor closure of the
+    seed set, i.e. exactly the columns whose factor values an edit at the
+    seeds can touch — and returns its size. Marked walks keep the cost
+    proportional to the output. Returns [-1] (leaving a partial marking)
+    as soon as the closure exceeds [limit]; [mark] entries must differ
+    from [stamp] on entry. Raises [Invalid_argument] on an out-of-range
+    seed. *)
+
 val row_counts : Sparse.Csc.t -> int array
 (** [row_counts a] gives, per column [j], the number of subdiagonal nonzeros
     of column [j] of the exact factor [L] (diagonal excluded). Computed by

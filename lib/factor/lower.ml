@@ -17,6 +17,9 @@ type schedule = {
   row_ptr : Idx.t;
   row_cols : Idx.t;
   row_vals : Vec.t;
+  pos_in_row : Idx.t;
+      (* column-storage index -> position in row_vals, so in-place value
+         updates can keep the row-form copy coherent without a rebuild *)
 }
 
 type t = {
@@ -128,6 +131,7 @@ let build_schedule l =
   done;
   let row_cols = Idx.make (max len 1) in
   let row_vals = Vec.create (max len 1) in
+  let pos_in_row = Idx.make (max len 1) in
   let rcursor = Idx.sub (Idx.copy row_ptr) 0 (max n 1) in
   for j = 0 to n - 1 do
     for k = col_ptr.%(j) to col_ptr.%(j + 1) - 1 do
@@ -135,10 +139,20 @@ let build_schedule l =
       let pos = rcursor.%(i) in
       row_cols.%(pos) <- j;
       Vec.set row_vals pos (Vec.get vals k);
+      pos_in_row.%(k) <- pos;
       rcursor.%(i) <- pos + 1
     done
   done;
-  { n_levels; level_ptr; order; level_of; row_ptr; row_cols; row_vals }
+  {
+    n_levels;
+    level_ptr;
+    order;
+    level_of;
+    row_ptr;
+    row_cols;
+    row_vals;
+    pos_in_row;
+  }
 
 let schedule l =
   match l.sched_cache with
@@ -278,6 +292,42 @@ let apply_preconditioner l ~perm ~scratch r z =
       Vec.set z perm.(k) (Vec.get scratch k)
     done
   end
+
+let col_nnz l j = l.col_ptr.%(j + 1) - l.col_ptr.%(j)
+
+let refactor_columns l ~cols ~emit =
+  let n = l.n in
+  let max_len = ref 0 in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n then
+        invalid_arg "Lower.refactor_columns: column out of range";
+      let len = l.col_ptr.%(j + 1) - l.col_ptr.%(j) in
+      if len > !max_len then max_len := len)
+    cols;
+  let buf = Vec.create (max !max_len 1) in
+  let diag = l.diag_cache in
+  let sched = l.sched_cache in
+  Array.iter
+    (fun j ->
+      let lo = l.col_ptr.%(j) and hi = l.col_ptr.%(j + 1) in
+      emit j buf;
+      if not (Vec.get buf 0 > 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Lower.refactor_columns: nonpositive diagonal %g in column %d"
+             (Vec.get buf 0) j);
+      for k = lo to hi - 1 do
+        let v = Vec.get buf (k - lo) in
+        Vec.set l.vals k v;
+        match sched with
+        | Some s -> Vec.set s.row_vals s.pos_in_row.%(k) v
+        | None -> ()
+      done;
+      match diag with
+      | Some d -> Vec.set d j (Vec.get buf 0)
+      | None -> ())
+    cols
 
 let multiply l =
   let csc = to_csc l in

@@ -24,6 +24,9 @@ type schedule = private {
   row_cols : Sparse.Idx.t;
       (** per row: column indices ascending, diagonal last *)
   row_vals : Sparse.Vec.t;
+  pos_in_row : Sparse.Idx.t;
+      (** column-storage index -> position in [row_vals]; lets
+          {!refactor_columns} keep the row-form copy coherent in place *)
 }
 (** Level schedule for parallel triangular solves: all columns of a level
     depend only on columns of strictly earlier levels, so each level's
@@ -103,6 +106,24 @@ val apply_preconditioner :
     {!Par} pool when [dim l >= par_solve_min] and more than one domain is
     available; sequential otherwise. Raises [Invalid_argument] on length
     mismatches. *)
+
+val col_nnz : t -> int -> int
+(** Stored entries of one column (diagonal included). *)
+
+val refactor_columns :
+  t -> cols:int array -> emit:(int -> Sparse.Vec.t -> unit) -> unit
+(** [refactor_columns l ~cols ~emit] overwrites the stored {e values} of
+    each listed column in place, keeping the pattern: for each column [j]
+    of [cols] in order, [emit j buf] must fill [buf.(0 .. col_nnz - 1)]
+    with the new values in stored order (diagonal first, strictly
+    positive — checked). A column's storage is updated before the next
+    column's [emit] runs, so [emit] may read already-refactored columns.
+    The cached diagonal and the schedule's row-form values are co-updated
+    through {!schedule}'s [pos_in_row] map; because the pattern is
+    unchanged the level structure stays valid, so neither cache is
+    invalidated or rebuilt. Raises [Invalid_argument] on an out-of-range
+    column or a nonpositive diagonal (the factor may then hold a mix of
+    old and new values — callers escalate to a full re-factorization). *)
 
 val multiply : t -> Sparse.Csc.t
 (** [multiply l] forms [L * L^T] as CSC — the preconditioner matrix itself.

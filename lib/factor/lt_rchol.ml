@@ -5,3 +5,9 @@ let factorize ?(buckets = default_buckets) ~rng g ~d =
   Rand_chol.factorize
     ~sort:(Rand_chol.Counting_sort { buckets })
     ~sampling:Rand_chol.Shared_random ~rng g ~d
+
+let factorize_updatable ?(buckets = default_buckets) ~rng g ~d =
+  Obs.span "lt_rchol" @@ fun () ->
+  Rand_chol.factorize_updatable
+    ~sort:(Rand_chol.Counting_sort { buckets })
+    ~sampling:Rand_chol.Shared_random ~rng g ~d

@@ -9,3 +9,9 @@ val factorize :
   ?buckets:int -> rng:Rng.t -> Sddm.Graph.t -> d:float array -> Lower.t
 (** See {!Rand_chol.factorize}; this is
     [factorize ~sort:(Counting_sort ...) ~sampling:Shared_random]. *)
+
+val factorize_updatable :
+  ?buckets:int -> rng:Rng.t -> Sddm.Graph.t -> d:float array ->
+  Rand_chol.updatable
+(** {!Rand_chol.factorize_updatable} with the LT-RChol parameterization —
+    the factorization behind the session layer's incremental updates. *)

@@ -181,8 +181,60 @@ let counting_sort ws ~buckets ~m ~stamp =
   (* copy back so nbrs holds the (approximately) sorted order *)
   Array.blit ws.sorted 0 ws.nbrs 0 m
 
-let factorize ~sort ~sampling ~rng g ~d =
-  let g = Sddm.Graph.coalesce g in
+(* ------------------------------------------------------------------ *)
+(* Recording for updatable factorizations: the sampling decisions of one
+   factorization run, captured so edited inputs can be re-eliminated over
+   the {e fixed} pattern without consuming any randomness. Per column we
+   keep the pivot [d_k], the excess diagonal at pivot time, and one slot
+   per sampled fill edge ([fill_a = -1] marks the rare slot whose fill was
+   dropped at factorization time; it stays dropped forever because the
+   pattern is frozen). Slot [fill_ptr.(k) + j] corresponds to neighbor
+   position [j] of column [k]'s stored pattern, which is what lets the
+   refactor recompute the fill value from the same prefix sums. *)
+
+type recorder = {
+  r_d_elim : float array;  (* pivot d_k per column *)
+  r_d_exc : float array;  (* dvec at pivot per column *)
+  r_fill_ptr : int array;  (* n+1: slot range per source column *)
+  mutable r_fill_a : int array;  (* target column (min endpoint); -1 = dropped *)
+  mutable r_fill_b : int array;  (* fill row (max endpoint) *)
+  mutable r_fill_w : float array;  (* current fill weight *)
+  mutable r_fill_len : int;
+}
+
+let make_recorder n =
+  {
+    r_d_elim = Array.make n 0.0;
+    r_d_exc = Array.make n 0.0;
+    r_fill_ptr = Array.make (n + 1) 0;
+    r_fill_a = Array.make 16 0;
+    r_fill_b = Array.make 16 0;
+    r_fill_w = Array.make 16 0.0;
+    r_fill_len = 0;
+  }
+
+let recorder_push r a b w =
+  if r.r_fill_len = Array.length r.r_fill_a then begin
+    let cap = max (2 * r.r_fill_len) 16 in
+    let grow_i src =
+      let dst = Array.make cap 0 in
+      Array.blit src 0 dst 0 r.r_fill_len;
+      dst
+    in
+    let fw = Array.make cap 0.0 in
+    Array.blit r.r_fill_w 0 fw 0 r.r_fill_len;
+    r.r_fill_a <- grow_i r.r_fill_a;
+    r.r_fill_b <- grow_i r.r_fill_b;
+    r.r_fill_w <- fw
+  end;
+  r.r_fill_a.(r.r_fill_len) <- a;
+  r.r_fill_b.(r.r_fill_len) <- b;
+  r.r_fill_w.(r.r_fill_len) <- w;
+  r.r_fill_len <- r.r_fill_len + 1
+
+(* [g] must already be coalesced (both external entry points guarantee
+   it); the recorder's edge indices refer to the coalesced edge order. *)
+let factorize_gen ~sort ~sampling ~rng ~record g ~d =
   let n = Sddm.Graph.n_vertices g in
   assert (Array.length d = n);
   (* Telemetry: [obs] is read once so the disabled fast path costs a
@@ -265,6 +317,11 @@ let factorize ~sort ~sampling ~rng g ~d =
        NaN-contaminated weights as well *)
     if not (d_k > 0.0 && d_k < infinity) then
       raise (Breakdown { column = k; pivot = d_k });
+    (match record with
+     | Some r ->
+       r.r_d_elim.(k) <- d_k;
+       r.r_d_exc.(k) <- dvec.(k)
+     | None -> ());
     (* ---- sort neighbors by weight (ascending) ---- *)
     let st0 = if obs then Obs.now () else 0.0 in
     (match sort with
@@ -349,11 +406,21 @@ let factorize ~sort ~sampling ~rng g ~d =
           if w_new > 0.0 && n_j <> n_l then begin
             let a = min n_j n_l and b = max n_j n_l in
             column_push cols.(a) b w_new;
-            incr sampled
+            incr sampled;
+            match record with
+            | Some r -> recorder_push r a b w_new
+            | None -> ()
           end
+          else
+            match record with
+            | Some r -> recorder_push r (-1) 0 0.0
+            | None -> ()
         done
       end
-    end
+    end;
+    match record with
+    | Some r -> r.r_fill_ptr.(k + 1) <- r.r_fill_len
+    | None -> ()
   done;
   Sparse.Idx.set col_ptr n !l_len;
   if obs then begin
@@ -369,3 +436,319 @@ let factorize ~sort ~sampling ~rng g ~d =
   Lower.of_raw ~n ~col_ptr
     ~rows:(Sparse.Idx.sub !l_rows 0 (max !l_len 1))
     ~vals:(Sparse.Vec.sub_view !l_vals 0 (max !l_len 1))
+
+let factorize ~sort ~sampling ~rng g ~d =
+  factorize_gen ~sort ~sampling ~rng ~record:None (Sddm.Graph.coalesce g) ~d
+
+(* ------------------------------------------------------------------ *)
+(* Updatable factorizations: fixed-pattern value-only re-elimination.
+
+   The pattern of L and every sampling decision (neighbor order, fill
+   targets) are frozen at factorization time; editing edge weights or the
+   excess diagonal re-runs only the {e arithmetic} of the elimination, on
+   exactly the columns whose values can change — the ancestor closure of
+   the edited columns in the factor's elimination structure. No RNG is
+   consumed, so a refactor is deterministic and leaves every other
+   column's values bit-identical.
+
+   Per column [k] the recomputation needs three ingredients, all
+   recoverable from the frozen record plus the current factor values:
+
+   - the coalesced neighbor weights: the column's base edges (current
+     weights) plus the recorded fill edges targeting it, whose values
+     were refreshed when their (strictly smaller) source columns were
+     re-eliminated earlier in the same ascending sweep;
+   - the running excess diagonal [dvec(k)]: the edited base excess plus
+     one contribution per stored entry of row [k] of L — eliminating
+     column [s] bumped [dvec(k)] by [d_exc(s) * wval_s(k) / d_elim(s)],
+     and [wval_s(k) = -L(k,s) * L(s,s)] recovers the weight from the
+     factor itself, so the contribution is [-L(k,s) * d_exc(s) / L(s,s)]
+     (gathered from the schedule's row form, which refactor_columns keeps
+     coherent);
+   - the pivot [d_k = dvec(k) + sum of neighbor weights], in stored
+     pattern order — the same summation order as the original run. *)
+
+type updatable = {
+  u_n : int;
+  u_l : Lower.t;
+  (* current (edited) inputs, owned by the updatable *)
+  u_ews : float array;  (* coalesced edge weights *)
+  u_ed : float array;  (* excess diagonal *)
+  u_eus : int array;  (* coalesced edge endpoints, u < v *)
+  u_evs : int array;
+  u_edge_of : (int * int, int) Hashtbl.t;
+  (* base incidence: per column, its base edges (structure only) *)
+  u_base_ptr : int array;  (* n+1 *)
+  u_base_rows : int array;  (* other endpoint *)
+  u_base_widx : int array;  (* index into u_ews *)
+  (* frozen elimination record *)
+  u_rec : recorder;
+  u_ft_ptr : int array;  (* n+1: live fill slots grouped by target column *)
+  u_ft_idx : int array;
+  u_parent : int array;  (* etree of the factor: min subdiagonal row *)
+  (* dirty seed columns since the last successful refactor *)
+  mutable u_dirty : int list;
+  (* scratch *)
+  u_mark : int array;
+  mutable u_stamp : int;
+  u_wval : float array;
+  u_wmark : int array;
+  mutable u_wstamp : int;
+  mutable u_pfs : float array;  (* prefix sums over one column's pattern *)
+}
+
+let factorize_updatable ~sort ~sampling ~rng g ~d =
+  let g = Sddm.Graph.coalesce g in
+  let n = Sddm.Graph.n_vertices g in
+  let r = make_recorder n in
+  let l = factorize_gen ~sort ~sampling ~rng ~record:(Some r) g ~d in
+  (* base incidence and the edge index, in coalesced edge order *)
+  let m = Sddm.Graph.n_edges g in
+  let ews = Array.make (max m 1) 0.0 in
+  let eus = Array.make (max m 1) 0 in
+  let evs = Array.make (max m 1) 0 in
+  let edge_of = Hashtbl.create (max m 16) in
+  let base_ptr = Array.make (n + 1) 0 in
+  let k = ref 0 in
+  Sddm.Graph.iter_edges g (fun u v w ->
+      eus.(!k) <- u;
+      evs.(!k) <- v;
+      ews.(!k) <- w;
+      Hashtbl.replace edge_of (u, v) !k;
+      base_ptr.(u + 1) <- base_ptr.(u + 1) + 1;
+      incr k);
+  for i = 1 to n do
+    base_ptr.(i) <- base_ptr.(i) + base_ptr.(i - 1)
+  done;
+  let base_rows = Array.make (max m 1) 0 in
+  let base_widx = Array.make (max m 1) 0 in
+  let cursor = Array.copy base_ptr in
+  for e = 0 to m - 1 do
+    let u = eus.(e) in
+    base_rows.(cursor.(u)) <- evs.(e);
+    base_widx.(cursor.(u)) <- e;
+    cursor.(u) <- cursor.(u) + 1
+  done;
+  (* live fill slots grouped by target column *)
+  let ft_ptr = Array.make (n + 1) 0 in
+  for s = 0 to r.r_fill_len - 1 do
+    if r.r_fill_a.(s) >= 0 then
+      ft_ptr.(r.r_fill_a.(s) + 1) <- ft_ptr.(r.r_fill_a.(s) + 1) + 1
+  done;
+  for i = 1 to n do
+    ft_ptr.(i) <- ft_ptr.(i) + ft_ptr.(i - 1)
+  done;
+  let ft_idx = Array.make (max ft_ptr.(n) 1) 0 in
+  let fcursor = Array.copy ft_ptr in
+  for s = 0 to r.r_fill_len - 1 do
+    let a = r.r_fill_a.(s) in
+    if a >= 0 then begin
+      ft_idx.(fcursor.(a)) <- s;
+      fcursor.(a) <- fcursor.(a) + 1
+    end
+  done;
+  (* factor etree: parent = min subdiagonal row of the column *)
+  let parent = Array.make n (-1) in
+  let col_ptr = l.Lower.col_ptr and rows = l.Lower.rows in
+  let open Sparse.Idx.Ops in
+  for j = 0 to n - 1 do
+    let p = ref max_int in
+    for q = col_ptr.%(j) + 1 to col_ptr.%(j + 1) - 1 do
+      if rows.%(q) < !p then p := rows.%(q)
+    done;
+    if !p < max_int then parent.(j) <- !p
+  done;
+  (* force the caches the refactor gathers through *)
+  ignore (Lower.diag l);
+  ignore (Lower.schedule l);
+  {
+    u_n = n;
+    u_l = l;
+    u_ews = ews;
+    u_ed = Array.copy d;
+    u_eus = eus;
+    u_evs = evs;
+    u_edge_of = edge_of;
+    u_base_ptr = base_ptr;
+    u_base_rows = base_rows;
+    u_base_widx = base_widx;
+    u_rec = r;
+    u_ft_ptr = ft_ptr;
+    u_ft_idx = ft_idx;
+    u_parent = parent;
+    u_dirty = [];
+    u_mark = Array.make n (-1);
+    u_stamp = 0;
+    u_wval = Array.make n 0.0;
+    u_wmark = Array.make n (-1);
+    u_wstamp = 0;
+    u_pfs = Array.make 16 0.0;
+  }
+
+let factor u = u.u_l
+let parent u = u.u_parent
+let find_edge u i j = Hashtbl.find_opt u.u_edge_of (min i j, max i j)
+let edge_weight u e = u.u_ews.(e)
+let excess u i = u.u_ed.(i)
+let dirty u = u.u_dirty <> []
+
+let set_edge_weight u e w =
+  if not (w >= 0.0 && w < infinity) then
+    invalid_arg "Rand_chol.set_edge_weight: weight must be finite nonnegative";
+  if u.u_ews.(e) <> w then begin
+    u.u_ews.(e) <- w;
+    u.u_dirty <- u.u_eus.(e) :: u.u_dirty
+  end
+
+let set_excess u i s =
+  if not (s >= 0.0 && s < infinity) then
+    invalid_arg "Rand_chol.set_excess: excess must be finite nonnegative";
+  if u.u_ed.(i) <> s then begin
+    u.u_ed.(i) <- s;
+    u.u_dirty <- i :: u.u_dirty
+  end
+
+type refactor_outcome =
+  | Refactored of { columns : int }
+  | Too_large of { limit : int }
+
+(* The exact closure sweep: extend the seed marking through the factor's
+   column patterns in one ascending pass (column k's values feed every
+   subdiagonal row of column k — both the excess-diagonal bump and the
+   fill edges land inside that row set). The etree walk is a cheap
+   output-bounded upper-b... lower bound used to abort early: the etree
+   ancestor union is always a subset of the exact closure, so if it
+   already exceeds the limit there is nothing to sweep. *)
+let refactor u ~max_fraction =
+  match u.u_dirty with
+  | [] -> Refactored { columns = 0 }
+  | seeds_list ->
+    let n = u.u_n in
+    let l = u.u_l in
+    let limit =
+      max 1 (int_of_float (max_fraction *. float_of_int n))
+    in
+    let seeds = Array.of_list seeds_list in
+    u.u_stamp <- u.u_stamp + 1;
+    let stamp = u.u_stamp in
+    let est =
+      Etree.reach ~parent:u.u_parent ~seeds ~mark:u.u_mark ~stamp ~limit
+    in
+    if est < 0 then Too_large { limit }
+    else begin
+      let col_ptr = l.Lower.col_ptr and rows = l.Lower.rows in
+      let open Sparse.Idx.Ops in
+      let kmin = Array.fold_left min seeds.(0) seeds in
+      let count = ref 0 in
+      let over = ref false in
+      let scols = ref (Array.make 64 0) in
+      let k = ref kmin in
+      while (not !over) && !k < n do
+        if u.u_mark.(!k) = stamp then begin
+          if !count = Array.length !scols then begin
+            let bigger = Array.make (2 * !count) 0 in
+            Array.blit !scols 0 bigger 0 !count;
+            scols := bigger
+          end;
+          !scols.(!count) <- !k;
+          incr count;
+          if !count > limit then over := true
+          else
+            for q = col_ptr.%(!k) + 1 to col_ptr.%(!k + 1) - 1 do
+              u.u_mark.(rows.%(q)) <- stamp
+            done
+        end;
+        incr k
+      done;
+      if !over then Too_large { limit }
+      else begin
+        let cols = Array.sub !scols 0 !count in
+        let sched = Lower.schedule l in
+        let dvec = ref 0.0 in
+        let emit kc buf =
+          let lo = col_ptr.%(kc) and hi = col_ptr.%(kc + 1) in
+          let m = hi - lo - 1 in
+          (* gather current neighbor weights over the frozen pattern *)
+          u.u_wstamp <- u.u_wstamp + 1;
+          let wtag = u.u_wstamp in
+          let touch i w =
+            if u.u_wmark.(i) = wtag then u.u_wval.(i) <- u.u_wval.(i) +. w
+            else begin
+              u.u_wmark.(i) <- wtag;
+              u.u_wval.(i) <- w
+            end
+          in
+          for q = u.u_base_ptr.(kc) to u.u_base_ptr.(kc + 1) - 1 do
+            touch u.u_base_rows.(q) u.u_ews.(u.u_base_widx.(q))
+          done;
+          for t = u.u_ft_ptr.(kc) to u.u_ft_ptr.(kc + 1) - 1 do
+            let s = u.u_ft_idx.(t) in
+            touch u.u_rec.r_fill_b.(s) u.u_rec.r_fill_w.(s)
+          done;
+          (* running excess diagonal: base excess plus the bump from every
+             earlier column whose pattern contains kc (= row kc of L,
+             diagonal last in the row form) *)
+          let ldiag = Lower.diag l in
+          let acc = ref u.u_ed.(kc) in
+          let rlo = sched.Lower.row_ptr.%(kc)
+          and rhi = sched.Lower.row_ptr.%(kc + 1) in
+          for p = rlo to rhi - 2 do
+            let s = sched.Lower.row_cols.%(p) in
+            let lks = Sparse.Vec.get sched.Lower.row_vals p in
+            acc :=
+              !acc
+              +. (-.lks *. u.u_rec.r_d_exc.(s) /. Sparse.Vec.get ldiag s)
+          done;
+          dvec := !acc;
+          (* pivot over the stored pattern order *)
+          let d_k = ref !dvec in
+          for q = lo + 1 to hi - 1 do
+            let i = rows.%(q) in
+            if u.u_wmark.(i) <> wtag then begin
+              (* a frozen-pattern neighbor whose every contributing edge
+                 now has zero weight still occupies its slot *)
+              u.u_wmark.(i) <- wtag;
+              u.u_wval.(i) <- 0.0
+            end;
+            d_k := !d_k +. u.u_wval.(i)
+          done;
+          let d_k = !d_k in
+          if not (d_k > 0.0 && d_k < infinity) then
+            raise (Breakdown { column = kc; pivot = d_k });
+          let sqrt_dk = sqrt d_k in
+          Sparse.Vec.set buf 0 sqrt_dk;
+          for q = lo + 1 to hi - 1 do
+            Sparse.Vec.set buf (q - lo) (-.u.u_wval.(rows.%(q)) /. sqrt_dk)
+          done;
+          u.u_rec.r_d_elim.(kc) <- d_k;
+          u.u_rec.r_d_exc.(kc) <- !dvec;
+          (* refresh this column's fill-edge weights from the new prefix
+             sums; dropped slots stay dropped (frozen pattern) *)
+          if m > 1 then begin
+            if Array.length u.u_pfs < m then
+              u.u_pfs <- Array.make (max (2 * m) 16) 0.0;
+            let acc = ref 0.0 in
+            for q = 0 to m - 1 do
+              acc := !acc +. u.u_wval.(rows.%(lo + 1 + q));
+              u.u_pfs.(q) <- !acc
+            done;
+            let total = u.u_pfs.(m - 1) in
+            let slot0 = u.u_rec.r_fill_ptr.(kc) in
+            for j = 0 to m - 2 do
+              let s = slot0 + j in
+              if u.u_rec.r_fill_a.(s) >= 0 then begin
+                let w_new =
+                  (total -. u.u_pfs.(j))
+                  *. u.u_wval.(rows.%(lo + 1 + j))
+                  /. d_k
+                in
+                u.u_rec.r_fill_w.(s) <- Float.max w_new 0.0
+              end
+            done
+          end
+        in
+        Lower.refactor_columns l ~cols ~emit;
+        u.u_dirty <- [];
+        Refactored { columns = !count }
+      end
+    end

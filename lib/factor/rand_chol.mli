@@ -48,3 +48,76 @@ val factorize :
 val expected_clique_weight : d_k:float -> w_i:float -> w_j:float -> float
 (** The exact clique edge weight [w_i * w_j / d_k] that the sampled edge is
     an unbiased estimator of. Exposed for the unbiasedness property test. *)
+
+(** {1 Updatable factorizations}
+
+    An {!updatable} freezes the {e pattern} of the factor and every
+    sampling decision made while building it, and keeps enough of the
+    elimination record (pivots, running excess diagonals, fill-edge
+    weights grouped by source and by target column) to re-run only the
+    {e arithmetic} of the elimination after an edge-weight or
+    excess-diagonal edit. A refactor touches exactly the ancestor closure
+    of the edited columns in the factor's structure, consumes no
+    randomness, and leaves every other column bit-identical — the basis
+    of the session layer's etree-local update rung. *)
+
+type updatable
+
+val factorize_updatable :
+  sort:sort -> sampling:sampling -> rng:Rng.t -> Sddm.Graph.t ->
+  d:float array -> updatable
+(** Like {!factorize} but additionally records the elimination so the
+    factor's values can be recomputed in place after edits. The factor
+    produced is bit-identical to {!factorize} with the same inputs. The
+    level schedule and diagonal caches are forced eagerly (the refactor
+    gathers through the row form). *)
+
+val factor : updatable -> Lower.t
+(** The live factor. Its values are mutated in place by {!refactor};
+    the {!Lower.t} handle itself stays valid across updates, so a
+    preconditioner built from it keeps working after a refactor. *)
+
+val parent : updatable -> int array
+(** The factor's elimination tree (parent = least subdiagonal row of each
+    column; roots [-1]). Do not mutate. *)
+
+val find_edge : updatable -> int -> int -> int option
+(** Slot of the coalesced edge between two vertices, if present in the
+    frozen pattern. Order-insensitive. *)
+
+val edge_weight : updatable -> int -> float
+val excess : updatable -> int -> float
+
+val set_edge_weight : updatable -> int -> float -> unit
+(** Stage a new weight for an edge slot (zero allowed — the slot stays in
+    the pattern, electrically removed). Marks the edge's lower endpoint
+    dirty; takes effect at the next {!refactor}. Raises [Invalid_argument]
+    on a negative or non-finite weight. *)
+
+val set_excess : updatable -> int -> float -> unit
+(** Stage a new excess-diagonal (grounding) value for a vertex. *)
+
+val dirty : updatable -> bool
+(** Whether any staged edit awaits a {!refactor}. *)
+
+type refactor_outcome =
+  | Refactored of { columns : int }
+      (** The factor now satisfies the elimination recurrence for the
+          edited inputs with the frozen structural choices (up to
+          floating-point re-association); [columns] were recomputed.
+          Note this is {e not} what a fresh {!factorize} would produce —
+          sorting and sampling decisions depend on the values — but it is
+          an equally valid randomized factorization of the edited
+          matrix. *)
+  | Too_large of { limit : int }
+      (** The ancestor closure of the dirty columns exceeds [limit]
+          columns; nothing was changed and the edits stay staged — the
+          caller should fall back to a full re-factorization. *)
+
+val refactor : updatable -> max_fraction:float -> refactor_outcome
+(** Apply all staged edits by recomputing the values of the affected
+    columns in ascending order. [max_fraction] bounds the work:
+    closures larger than [max_fraction * n] columns return [Too_large]
+    without touching the factor. May raise {!Breakdown} if an edit makes
+    a pivot nonpositive (the factor is then partially updated — escalate
+    to a full re-factorization). *)

@@ -83,6 +83,14 @@ type request =
       robust : bool;
       want_x : bool;
     }
+  | Update of {
+      spec : problem_spec;
+      edits : Sddm.Edit.t list;
+      rtol : float;
+      seed : int;
+      deadline_ms : float option;
+      want_x : bool;
+    }
   | Diagnose of { spec : problem_spec }
   | Health
   | Ping
@@ -91,6 +99,10 @@ type request =
 let solve ?(solver = Powerrchol) ?(rtol = 1e-6) ?(seed = 42) ?deadline_ms
     ?(robust = false) ?(want_x = false) spec =
   Solve { spec; solver; rtol; seed; deadline_ms; robust; want_x }
+
+let update ?(rtol = 1e-6) ?(seed = 42) ?deadline_ms ?(want_x = false)
+    ~edits spec =
+  Update { spec; edits; rtol; seed; deadline_ms; want_x }
 
 (* ---- responses ---- *)
 
@@ -105,6 +117,17 @@ type response =
       cache_hit : bool;
       x : float array option;
     }
+  | Updated of {
+      session : int;
+      version : int;
+      rung : string;
+      iterations : int;
+      residual : float;
+      converged : bool;
+      t_update_ms : float;
+      t_solve_ms : float;
+      x : float array option;
+    }
   | Diagnosed of { fatal : bool; issues : string list }
   | Health_report of J.t
   | Pong
@@ -115,6 +138,7 @@ type response =
 
 let response_ok = function
   | Solved { converged; _ } -> converged
+  | Updated { converged; _ } -> converged
   | Diagnosed { fatal; _ } -> not fatal
   | Health_report _ | Pong | Bye -> true
   | Rejected _ | Timed_out _ | Failed _ -> false
@@ -144,6 +168,99 @@ let int_member key j =
   | Some (J.Float f) when Float.is_integer f -> Some (int_of_float f)
   | _ -> None
 
+(* One edit: {"edit": "<op>", ...} with u/v for edge ops, node for nodal
+   ops, and a single "value" field (siemens, scale factor, or amps). *)
+let edit_to_json = function
+  | Sddm.Edit.Set_conductance { u; v; siemens } ->
+    J.Obj
+      [
+        ("edit", J.Str "set-conductance");
+        ("u", J.Int u);
+        ("v", J.Int v);
+        ("value", J.Float siemens);
+      ]
+  | Sddm.Edit.Scale_conductance { u; v; factor } ->
+    J.Obj
+      [
+        ("edit", J.Str "scale-conductance");
+        ("u", J.Int u);
+        ("v", J.Int v);
+        ("value", J.Float factor);
+      ]
+  | Sddm.Edit.Add_resistor { u; v; siemens } ->
+    J.Obj
+      [
+        ("edit", J.Str "add-resistor");
+        ("u", J.Int u);
+        ("v", J.Int v);
+        ("value", J.Float siemens);
+      ]
+  | Sddm.Edit.Set_excess { node; siemens } ->
+    J.Obj
+      [
+        ("edit", J.Str "set-excess");
+        ("node", J.Int node);
+        ("value", J.Float siemens);
+      ]
+  | Sddm.Edit.Set_load { node; amps } ->
+    J.Obj
+      [ ("edit", J.Str "set-load"); ("node", J.Int node); ("value", J.Float amps) ]
+
+let edit_of_json j =
+  let field name =
+    match int_member name j with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "edit: missing integer %S" name)
+  in
+  let value () =
+    match float_member "value" j with
+    | Some v -> Ok v
+    | None -> Error "edit: missing number \"value\""
+  in
+  match str_member "edit" j with
+  | None -> Error "edit: missing \"edit\" field"
+  | Some op -> (
+    let ( let* ) = Result.bind in
+    match op with
+    | "set-conductance" ->
+      let* u = field "u" in
+      let* v = field "v" in
+      let* siemens = value () in
+      Ok (Sddm.Edit.Set_conductance { u; v; siemens })
+    | "scale-conductance" ->
+      let* u = field "u" in
+      let* v = field "v" in
+      let* factor = value () in
+      Ok (Sddm.Edit.Scale_conductance { u; v; factor })
+    | "add-resistor" ->
+      let* u = field "u" in
+      let* v = field "v" in
+      let* siemens = value () in
+      Ok (Sddm.Edit.Add_resistor { u; v; siemens })
+    | "set-excess" ->
+      let* node = field "node" in
+      let* siemens = value () in
+      Ok (Sddm.Edit.Set_excess { node; siemens })
+    | "set-load" ->
+      let* node = field "node" in
+      let* amps = value () in
+      Ok (Sddm.Edit.Set_load { node; amps })
+    | op -> Error (Printf.sprintf "edit: unknown op %S" op))
+
+let edits_of_json j =
+  match J.member "edits" j with
+  | Some (J.List vs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | v :: rest -> (
+        match edit_of_json v with
+        | Ok e -> go (e :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] vs
+  | Some _ -> Error "invalid \"edits\" (must be a list)"
+  | None -> Error "missing \"edits\" list"
+
 let spec_of_json j =
   match (str_member "case" j, str_member "mtx" j) with
   | Some id, None -> (
@@ -167,6 +284,25 @@ let request_to_json = function
         ("rtol", J.Float rtol);
         ("seed", J.Int seed);
         ("robust", J.Bool robust);
+        ("want_x", J.Bool want_x);
+      ]
+    in
+    let deadline =
+      match deadline_ms with
+      | Some ms -> [ ("deadline_ms", J.Float ms) ]
+      | None -> []
+    in
+    let spec_fields =
+      match spec_to_json spec with J.Obj fields -> fields | _ -> []
+    in
+    J.Obj (base @ deadline @ spec_fields)
+  | Update { spec; edits; rtol; seed; deadline_ms; want_x } ->
+    let base =
+      [
+        ("op", J.Str "update");
+        ("edits", J.List (List.map edit_to_json edits));
+        ("rtol", J.Float rtol);
+        ("seed", J.Int seed);
         ("want_x", J.Bool want_x);
       ]
     in
@@ -233,6 +369,35 @@ let request_of_json j =
     let robust = Option.value (bool_member "robust" j) ~default:false in
     let want_x = Option.value (bool_member "want_x" j) ~default:false in
     Ok (Solve { spec; solver; rtol; seed; deadline_ms; robust; want_x })
+  | Some "update" ->
+    let* spec = spec_of_json j in
+    let* edits = edits_of_json j in
+    let* rtol =
+      match J.member "rtol" j with
+      | None -> Ok 1e-6
+      | Some v -> (
+        match J.to_float v with
+        | Some r when Float.is_finite r && r > 0.0 -> Ok r
+        | _ -> Error "invalid rtol (must be a finite number > 0)")
+    in
+    let* seed =
+      match J.member "seed" j with
+      | None -> Ok 42
+      | Some _ -> (
+        match int_member "seed" j with
+        | Some s -> Ok s
+        | None -> Error "invalid seed (must be an integer)")
+    in
+    let* deadline_ms =
+      match J.member "deadline_ms" j with
+      | None | Some J.Null -> Ok None
+      | Some v -> (
+        match J.to_float v with
+        | Some ms when Float.is_finite ms && ms >= 0.0 -> Ok (Some ms)
+        | _ -> Error "invalid deadline_ms (must be a finite number >= 0)")
+    in
+    let want_x = Option.value (bool_member "want_x" j) ~default:false in
+    Ok (Update { spec; edits; rtol; seed; deadline_ms; want_x })
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
 
 let response_to_json = function
@@ -248,6 +413,38 @@ let response_to_json = function
         ("converged", J.Bool converged);
         ("t_solve_ms", J.Float t_solve_ms);
         ("cache_hit", J.Bool cache_hit);
+      ]
+    in
+    let x_field =
+      match x with
+      | Some x ->
+        [ ("x", J.List (Array.to_list (Array.map (fun v -> J.Float v) x))) ]
+      | None -> []
+    in
+    J.Obj (base @ x_field)
+  | Updated
+      {
+        session;
+        version;
+        rung;
+        iterations;
+        residual;
+        converged;
+        t_update_ms;
+        t_solve_ms;
+        x;
+      } ->
+    let base =
+      [
+        ("status", J.Str "updated");
+        ("session", J.Int session);
+        ("version", J.Int version);
+        ("rung", J.Str rung);
+        ("iterations", J.Int iterations);
+        ("residual", J.Float residual);
+        ("converged", J.Bool converged);
+        ("t_update_ms", J.Float t_update_ms);
+        ("t_solve_ms", J.Float t_solve_ms);
       ]
     in
     let x_field =
@@ -274,25 +471,26 @@ let response_to_json = function
     J.Obj [ ("status", J.Str "failed"); ("reason", J.Str reason) ]
   | Bye -> J.Obj [ ("status", J.Str "bye") ]
 
+let x_of_json j =
+  match J.member "x" j with
+  | Some (J.List vs) ->
+    let arr = Array.of_list vs in
+    let out = Array.make (Array.length arr) 0.0 in
+    let ok = ref true in
+    Array.iteri
+      (fun i v ->
+        match J.to_float v with
+        | Some f -> out.(i) <- f
+        | None -> ok := false)
+      arr;
+    if !ok then Some out else None
+  | _ -> None
+
 let response_of_json j =
   match str_member "status" j with
   | None -> Error "missing \"status\" field"
   | Some "ok" ->
-    let x =
-      match J.member "x" j with
-      | Some (J.List vs) ->
-        let arr = Array.of_list vs in
-        let out = Array.make (Array.length arr) 0.0 in
-        let ok = ref true in
-        Array.iteri
-          (fun i v ->
-            match J.to_float v with
-            | Some f -> out.(i) <- f
-            | None -> ok := false)
-          arr;
-        if !ok then Some out else None
-      | _ -> None
-    in
+    let x = x_of_json j in
     Ok
       (Solved
          {
@@ -306,6 +504,23 @@ let response_of_json j =
              Option.value (float_member "t_solve_ms" j) ~default:0.0;
            cache_hit = Option.value (bool_member "cache_hit" j) ~default:false;
            x;
+         })
+  | Some "updated" ->
+    Ok
+      (Updated
+         {
+           session = Option.value (int_member "session" j) ~default:0;
+           version = Option.value (int_member "version" j) ~default:0;
+           rung = Option.value (str_member "rung" j) ~default:"?";
+           iterations = Option.value (int_member "iterations" j) ~default:0;
+           residual = Option.value (float_member "residual" j) ~default:nan;
+           converged =
+             Option.value (bool_member "converged" j) ~default:false;
+           t_update_ms =
+             Option.value (float_member "t_update_ms" j) ~default:0.0;
+           t_solve_ms =
+             Option.value (float_member "t_solve_ms" j) ~default:0.0;
+           x = x_of_json j;
          })
   | Some "diagnosed" ->
     let issues =

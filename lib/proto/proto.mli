@@ -74,6 +74,19 @@ type request =
       robust : bool;  (** route through the hardened fallback chain *)
       want_x : bool;  (** include the full solution vector in the reply *)
     }
+  | Update of {
+      spec : problem_spec;
+      edits : Sddm.Edit.t list;  (** applied as one batch, in order *)
+      rtol : float;
+      seed : int;
+      deadline_ms : float option;
+      want_x : bool;
+    }
+      (** incremental re-solve (ECO flow): the daemon opens — or reuses —
+          a versioned {!Engine.Session} for [(spec, seed)], applies the
+          edits through the cheapest update rung, and solves the edited
+          system. An empty edit list re-solves the session's current
+          state. *)
   | Diagnose of { spec : problem_spec }
   | Health  (** metrics snapshot: counters, latency percentiles, cache *)
   | Ping
@@ -84,6 +97,11 @@ val solve :
   ?robust:bool -> ?want_x:bool -> problem_spec -> request
 (** Request constructor with the daemon's defaults ([powerrchol], 1e-6,
     seed 42, no deadline). *)
+
+val update :
+  ?rtol:float -> ?seed:int -> ?deadline_ms:float -> ?want_x:bool ->
+  edits:Sddm.Edit.t list -> problem_spec -> request
+(** {!Update} constructor with the same defaults as {!solve}. *)
 
 (** {1 Responses}
 
@@ -100,6 +118,19 @@ type response =
       t_solve_ms : float;  (** server-side service time *)
       cache_hit : bool;  (** the Engine served a prepared factorization *)
       x : float array option;  (** present iff the request set [want_x] *)
+    }
+  | Updated of {
+      session : int;  (** daemon-side session id *)
+      version : int;  (** session version after the update *)
+      rung : string;
+          (** update rung taken: [rhs-only] / [local] / [low-rank] /
+              [full] *)
+      iterations : int;
+      residual : float;  (** true relative residual of the re-solve *)
+      converged : bool;
+      t_update_ms : float;  (** server-side edit + revalidation time *)
+      t_solve_ms : float;  (** server-side PCG time *)
+      x : float array option;
     }
   | Diagnosed of { fatal : bool; issues : string list }
   | Health_report of Obs.Json.t  (** free-form metrics document *)

@@ -43,6 +43,21 @@ let split t =
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
 
+(* Stateless keyed derivation: mix the two key words through one splitmix64
+   round each before seeding, so adjacent (seed, index) pairs land far
+   apart. Unlike [split], no generator state is consumed — the stream for a
+   given key is a pure function of the key, which is what makes per-edit
+   streams identical at any domain count and in any evaluation order. *)
+let keyed ~seed index =
+  let state = ref (Int64.of_int seed) in
+  let a = splitmix64_next state in
+  state := Int64.logxor a (Int64.of_int index);
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
 (* 53 random bits scaled to [0,1). *)
 let float t =
   let bits = Int64.shift_right_logical (int64 t) 11 in

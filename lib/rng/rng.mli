@@ -17,6 +17,12 @@ val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. Used
     to give each benchmark case its own stream. *)
 
+val keyed : seed:int -> int -> t
+(** [keyed ~seed index] builds a generator purely from the pair
+    [(seed, index)] — no ambient state is read or advanced, so the stream
+    is identical regardless of evaluation order or domain count. Used to
+    give each edit of an edit-storm scenario its own reproducible stream. *)
+
 val copy : t -> t
 (** Duplicate the state; the copy evolves independently. *)
 

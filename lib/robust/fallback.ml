@@ -14,6 +14,7 @@ type failure =
   | Unverified of { residual : float; note : string }
   | Crashed of string
   | Timed_out of string
+  | Skipped of string
 
 type attempt = {
   rung : string;
@@ -35,6 +36,9 @@ let failure_to_string = function
     Printf.sprintf "unverified: true residual %.6e (%s)" residual note
   | Crashed msg -> "crashed: " ^ msg
   | Timed_out detail -> "timed-out: " ^ detail
+  | Skipped reason -> "skipped: " ^ reason
+
+let skipped ~rung ~reason = { rung; failure = Skipped reason }
 
 let succeeded o = o.winner <> None
 

@@ -29,8 +29,17 @@ type failure =
   | Timed_out of string
       (** the caller's [deadline] expired before this rung was attempted
           (or the rung itself reported a timed-out iteration) *)
+  | Skipped of string
+      (** the rung was not attempted by policy — e.g. the update engine
+          ruling out an incremental rung whose preconditions fail (pattern
+          growth, closure too large). Mirrors the [Timed_out]
+          unattempted-rung convention: the trace still names every rung. *)
 
 type attempt = { rung : string; failure : failure }
+
+val skipped : rung:string -> reason:string -> attempt
+(** An unattempted-rung trace entry with {!Skipped}; used by callers that
+    rule out rungs by policy before invoking {!run}. *)
 
 type outcome = {
   x : Sparse.Vec.t option;  (** [Some] iff a rung succeeded *)

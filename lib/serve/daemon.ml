@@ -10,6 +10,7 @@ type config = {
   rtol_cap : float;
   max_iter : int;
   scale_cap : float;
+  max_sessions : int;
 }
 
 let default_config addr =
@@ -25,6 +26,7 @@ let default_config addr =
     rtol_cap = 1e-14;
     max_iter = 500;
     scale_cap = 1.0;
+    max_sessions = 4;
   }
 
 type stats = {
@@ -33,6 +35,7 @@ type stats = {
   mutable requests : int;
   mutable solved : int;
   mutable unconverged : int;
+  mutable updated : int;
   mutable diagnosed : int;
   mutable failed : int;
   mutable timed_out : int;
@@ -58,6 +61,11 @@ type t = {
   mutable active_conns : int;
   mutable inflight : int;  (* admitted-but-unfinished solve/diagnose jobs *)
   mutable accept_thread : Thread.t option;
+  sessions : (string, Powerrchol.Engine.Session.t) Hashtbl.t;
+      (* ECO sessions keyed by (spec, seed); bounded by max_sessions.
+         Created/used only while holding the solve lane; the table itself
+         is mutated under [lock] so metrics can read its size. *)
+  mutable session_order : string list;  (* FIFO eviction order, oldest last *)
 }
 
 let addr t = t.config.addr
@@ -196,6 +204,81 @@ let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
           }
     end
 
+(* ---- ECO sessions ---- *)
+
+let session_key spec seed =
+  match spec with
+  | Proto.Case { id; scale } -> Printf.sprintf "case:%s@%g#%d" id scale seed
+  | Proto.Mtx { path } -> Printf.sprintf "mtx:%s#%d" path seed
+
+(* Find or open the session for (spec, seed). Runs while holding the solve
+   lane; the table mutation itself is under [lock] so Health can read the
+   open-session count from any thread. *)
+let find_session t ~spec ~seed =
+  let key = session_key spec seed in
+  match locked t (fun () -> Hashtbl.find_opt t.sessions key) with
+  | Some s -> Ok s
+  | None -> (
+    match build_problem spec with
+    | Error reason -> Error reason
+    | Ok problem ->
+      let s = Powerrchol.Engine.Session.create ~seed problem in
+      let evicted =
+        locked t (fun () ->
+            Hashtbl.replace t.sessions key s;
+            t.session_order <- key :: t.session_order;
+            if Hashtbl.length t.sessions > t.config.max_sessions then begin
+              match List.rev t.session_order with
+              | oldest :: _ ->
+                let victim = Hashtbl.find_opt t.sessions oldest in
+                Hashtbl.remove t.sessions oldest;
+                t.session_order <-
+                  List.filter (fun k -> k <> oldest) t.session_order;
+                victim
+              | [] -> None
+            end
+            else None)
+      in
+      Option.iter Powerrchol.Engine.Session.close evicted;
+      Ok s)
+
+let exec_update t ~t_recv ~spec ~edits ~rtol ~seed ~deadline ~want_x =
+  match find_session t ~spec ~seed with
+  | Error reason -> Proto.Failed { reason }
+  | Ok session -> (
+    match Powerrchol.Engine.Session.update session edits with
+    | exception Invalid_argument reason -> Proto.Failed { reason }
+    | report ->
+      let t_update_ms =
+        report.Powerrchol.Engine.Session.t_update *. 1000.0
+      in
+      let t0 = Obs.now () in
+      let r =
+        Powerrchol.Engine.Session.solve ~rtol ~max_iter:t.config.max_iter
+          ?deadline session
+      in
+      (match r.Powerrchol.Solver.status with
+       | Krylov.Pcg.Timed_out _ ->
+         Proto.Timed_out { elapsed_ms = elapsed_ms t_recv }
+       | _ ->
+         Proto.Updated
+           {
+             session = Powerrchol.Engine.Session.id session;
+             version = report.Powerrchol.Engine.Session.version;
+             rung =
+               Powerrchol.Engine.Session.rung_name
+                 report.Powerrchol.Engine.Session.rung;
+             iterations = r.Powerrchol.Solver.iterations;
+             residual = r.Powerrchol.Solver.residual;
+             converged = r.Powerrchol.Solver.converged;
+             t_update_ms;
+             t_solve_ms = (Obs.now () -. t0) *. 1000.0;
+             x =
+               (if want_x then
+                  Some (Sparse.Vec.to_array r.Powerrchol.Solver.x)
+                else None);
+           }))
+
 let exec_diagnose spec =
   let report =
     match spec with
@@ -291,16 +374,17 @@ let metrics t =
             ( s.requests,
               s.solved,
               s.unconverged,
+              s.updated,
               s.diagnosed,
               s.failed,
               s.timed_out ),
             (s.shed, s.rejected, s.bad_request, s.io_errors),
-            t.inflight ) ))
+            (t.inflight, Hashtbl.length t.sessions) ) ))
   in
   let ( (accepted_conns, rejected_conns, active_conns),
-        (requests, solved, unconverged, diagnosed, failed, timed_out),
+        (requests, solved, unconverged, updated, diagnosed, failed, timed_out),
         (shed, rejected, bad_request, io_errors),
-        inflight ) =
+        (inflight, open_sessions) ) =
     snapshot
   in
   let hits = Powerrchol.Engine.hits () in
@@ -322,6 +406,7 @@ let metrics t =
             ("total", Int requests);
             ("solved", Int solved);
             ("unconverged", Int unconverged);
+            ("updated", Int updated);
             ("diagnosed", Int diagnosed);
             ("failed", Int failed);
             ("timed_out", Int timed_out);
@@ -345,6 +430,15 @@ let metrics t =
               Float
                 (if hits + misses = 0 then 0.0
                  else float_of_int hits /. float_of_int (hits + misses)) );
+            ("evictions", Int (Powerrchol.Engine.evictions ()));
+            ("live_handles", Int (Powerrchol.Engine.live_handles ()));
+          ] );
+      ( "sessions",
+        Obj
+          [
+            ("open", Int open_sessions);
+            ("capacity", Int t.config.max_sessions);
+            ("updates", Int updated);
           ] );
       ("latency_s", Obs.Hist.to_json lat);
       ("queue_wait_s", Obs.Hist.to_json qw);
@@ -359,6 +453,10 @@ let count_outcome t = function
   | Proto.Solved { converged; _ } ->
     bump t (fun s ->
         s.solved <- s.solved + 1;
+        if not converged then s.unconverged <- s.unconverged + 1)
+  | Proto.Updated { converged; _ } ->
+    bump t (fun s ->
+        s.updated <- s.updated + 1;
         if not converged then s.unconverged <- s.unconverged + 1)
   | Proto.Diagnosed _ -> bump t (fun s -> s.diagnosed <- s.diagnosed + 1)
   | Proto.Failed _ -> bump t (fun s -> s.failed <- s.failed + 1)
@@ -411,6 +509,35 @@ let dispatch t ~t_recv req =
         run_admitted t ~t_recv ~deadline (fun () ->
             exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust
               ~want_x)
+      in
+      count_outcome t resp;
+      record_latency t t_recv;
+      (resp, false)
+    end
+  | Proto.Update { spec; edits; rtol; seed; deadline_ms; want_x } ->
+    let scale_ok =
+      match spec with
+      | Proto.Case { scale; _ } -> scale <= t.config.scale_cap
+      | Proto.Mtx _ -> true
+    in
+    if not scale_ok then begin
+      bump t (fun s -> s.rejected <- s.rejected + 1);
+      ( Proto.Rejected
+          {
+            reason =
+              Printf.sprintf "bad-request: scale exceeds this daemon's cap %g"
+                t.config.scale_cap;
+          },
+        false )
+    end
+    else begin
+      let rtol = Float.max rtol t.config.rtol_cap in
+      let deadline =
+        Option.map (fun ms -> t_recv +. (ms /. 1000.0)) deadline_ms
+      in
+      let resp =
+        run_admitted t ~t_recv ~deadline (fun () ->
+            exec_update t ~t_recv ~spec ~edits ~rtol ~seed ~deadline ~want_x)
       in
       count_outcome t resp;
       record_latency t t_recv;
@@ -573,6 +700,7 @@ let start config =
             requests = 0;
             solved = 0;
             unconverged = 0;
+            updated = 0;
             diagnosed = 0;
             failed = 0;
             timed_out = 0;
@@ -588,6 +716,8 @@ let start config =
         active_conns = 0;
         inflight = 0;
         accept_thread = None;
+        sessions = Hashtbl.create 8;
+        session_order = [];
       }
     in
     t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());

@@ -55,12 +55,16 @@ type config = {
   scale_cap : float;
       (** upper bound on accepted suite-case scales — bounds per-request
           memory and time *)
+  max_sessions : int;
+      (** concurrently open ECO sessions ({!Proto.Update} state); beyond
+          this the oldest session is closed FIFO — a later update on its
+          spec transparently re-opens it with a fresh preparation *)
 }
 
 val default_config : Proto.addr -> config
 (** Capacity 32, 64 connections, 30 s idle, 10 s io, 16 MiB frames, no
     artificial delay, shutdown disabled, rtol capped at 1e-14, 500
-    iterations, scale capped at 1.0. *)
+    iterations, scale capped at 1.0, 4 sessions. *)
 
 type t
 
@@ -89,7 +93,8 @@ val stop : t -> unit
 val metrics : t -> Obs.Json.t
 (** Snapshot of the daemon's counters: connections
     (accepted/active/rejected), request outcomes
-    (solved/failed/timed_out/shed/bad_request/io_errors), Engine cache
-    hits/misses, queue occupancy, service-time and queue-wait latency
-    histograms (with derived p50/p95/p99), uptime. Schema
-    [pgserve-metrics/v1]. *)
+    (solved/updated/failed/timed_out/shed/bad_request/io_errors), Engine
+    cache statistics (hits/misses/hit_rate/evictions/live_handles), open
+    ECO session count and capacity, queue occupancy, service-time and
+    queue-wait latency histograms (with derived p50/p95/p99), uptime.
+    Schema [pgserve-metrics/v1]. *)

@@ -218,6 +218,208 @@ let test_precond_identity_validates () =
      | () -> false
      | exception Invalid_argument _ -> true)
 
+(* ---- versioned sessions (incremental re-solve) ---- *)
+
+module Session = Engine.Session
+
+(* From-scratch reference for an edit history: what a fresh prepare of the
+   edited system produces. The session's correctness contract is that its
+   solutions agree with this within solver tolerance after ANY update
+   sequence, whatever rungs were taken. *)
+let scratch_solve ?rtol p edits =
+  let edited = Sddm.Edit.edited_problem p edits in
+  let prepared = Solver.powerrchol_prepare edited in
+  (edited, Solver.solve_prepared ?rtol prepared)
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  for i = 0 to Sparse.Vec.length a - 1 do
+    m := Float.max !m (abs_float (a.{i} -. b.{i}))
+  done;
+  !m
+
+let find_edge_of p =
+  (* some existing bottom-mesh edge, deterministically *)
+  let e = ref None in
+  Sddm.Graph.iter_edges p.Sddm.Problem.graph (fun u v w ->
+      if !e = None && w > 0.0 then e := Some (u, v));
+  match !e with Some uv -> uv | None -> Alcotest.fail "no edges"
+
+let test_session_rhs_only_rung () =
+  Engine.clear ();
+  let p = grid_problem ~nx:12 ~ny:12 ~seed:8101 () in
+  let s = Session.create p in
+  let h0 = Session.prepared s in
+  let edits = [ Sddm.Edit.Set_load { node = 7; amps = 0.02 } ] in
+  let report = Engine.update s edits in
+  Alcotest.(check bool) "rhs-only rung" true
+    (report.Session.rung = Session.Rhs_only);
+  Alcotest.(check int) "version bumped" 1 (Session.version s);
+  Alcotest.(check bool) "handle untouched" true (Session.prepared s == h0);
+  let r = Session.solve s in
+  let _, ref_r = scratch_solve p edits in
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "matches scratch (diff %.3e)"
+       (max_abs_diff r.Solver.x ref_r.Solver.x))
+    true
+    (max_abs_diff r.Solver.x ref_r.Solver.x < 1e-6);
+  Session.close s
+
+let test_session_local_rung_matches_scratch () =
+  Engine.clear ();
+  let p = grid_problem ~nx:16 ~ny:16 ~seed:8202 () in
+  (* max_fraction 1.0: the etree-local rung always gets the budget, so a
+     value-only edit must take it *)
+  let s = Session.create ~max_fraction:1.0 p in
+  let u, v = find_edge_of p in
+  let edits =
+    [
+      Sddm.Edit.Scale_conductance { u; v; factor = 4.0 };
+      Sddm.Edit.Set_excess { node = u; siemens = 0.5 };
+    ]
+  in
+  let report = Engine.update s edits in
+  Alcotest.(check bool) "local rung" true (report.Session.rung = Session.Local);
+  Alcotest.(check bool) "re-eliminated some columns" true
+    (report.Session.columns > 0);
+  Alcotest.(check bool) "no skipped rungs" true (report.Session.skipped = []);
+  let r = Session.solve s in
+  let edited, ref_r = scratch_solve p edits in
+  (* true-residual verification against an independently built edited
+     matrix: the factor preconditions the EDITED system *)
+  let true_res = Sddm.Problem.residual_norm edited r.Solver.x in
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "true residual %.3e <= 1e-5" true_res)
+    true (true_res <= 1e-5);
+  Alcotest.(check bool)
+    (Printf.sprintf "matches scratch (diff %.3e)"
+       (max_abs_diff r.Solver.x ref_r.Solver.x))
+    true
+    (max_abs_diff r.Solver.x ref_r.Solver.x < 1e-5);
+  Session.close s
+
+let test_session_low_rank_rung () =
+  Engine.clear ();
+  let p = grid_problem ~nx:16 ~ny:16 ~seed:8303 () in
+  (* max_fraction 0: the local rung's budget is one column, so any real
+     edit overflows it and the small-support Woodbury rung must catch *)
+  let s = Session.create ~max_fraction:0.0 p in
+  let u, v = find_edge_of p in
+  let edits = [ Sddm.Edit.Scale_conductance { u; v; factor = 3.0 } ] in
+  let report = Engine.update s edits in
+  Alcotest.(check bool) "low-rank rung" true
+    (report.Session.rung = Session.Low_rank);
+  Alcotest.(check int) "support is the two endpoints" 2
+    report.Session.support;
+  Alcotest.(check bool) "local rung skipped with reason" true
+    (match report.Session.skipped with
+     | [ { Robust.Fallback.rung = "local"; failure = Robust.Fallback.Skipped _ } ]
+       -> true
+     | _ -> false);
+  let r = Session.solve s in
+  let edited, ref_r = scratch_solve p edits in
+  let true_res = Sddm.Problem.residual_norm edited r.Solver.x in
+  Alcotest.(check bool) "converged" true r.Solver.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "true residual %.3e <= 1e-5" true_res)
+    true (true_res <= 1e-5);
+  Alcotest.(check bool)
+    (Printf.sprintf "matches scratch (diff %.3e)"
+       (max_abs_diff r.Solver.x ref_r.Solver.x))
+    true
+    (max_abs_diff r.Solver.x ref_r.Solver.x < 1e-5);
+  (* deltas accumulate: a second edit through the same rung still
+     preconditions the doubly-edited matrix *)
+  let edits2 = [ Sddm.Edit.Set_excess { node = v; siemens = 0.25 } ] in
+  let report2 = Engine.update s edits2 in
+  Alcotest.(check bool) "still low-rank" true
+    (report2.Session.rung = Session.Low_rank);
+  let r2 = Session.solve s in
+  let edited2, ref2 = scratch_solve p (edits @ edits2) in
+  let res2 = Sddm.Problem.residual_norm edited2 r2.Solver.x in
+  Alcotest.(check bool)
+    (Printf.sprintf "accumulated true residual %.3e <= 1e-5" res2)
+    true (res2 <= 1e-5);
+  Alcotest.(check bool)
+    (Printf.sprintf "accumulated matches scratch (diff %.3e)"
+       (max_abs_diff r2.Solver.x ref2.Solver.x))
+    true
+    (max_abs_diff r2.Solver.x ref2.Solver.x < 1e-5);
+  Session.close s
+
+let test_session_full_rung_bit_identical () =
+  Engine.clear ();
+  let p = grid_problem ~nx:12 ~ny:12 ~seed:8404 () in
+  let s = Session.create p in
+  let ws0 = (Session.prepared s).Solver.workspace in
+  (* connect two far-apart nodes that share no edge: pattern growth *)
+  let n = Sddm.Problem.n p in
+  let edits = [ Sddm.Edit.Add_resistor { u = 0; v = n - 1; siemens = 2.0 } ] in
+  let report = Engine.update s edits in
+  Alcotest.(check bool) "full rung" true (report.Session.rung = Session.Full);
+  Alcotest.(check int) "both incremental rungs skipped" 2
+    (List.length report.Session.skipped);
+  Alcotest.(check bool) "workspace survives the re-prepare" true
+    ((Session.prepared s).Solver.workspace == ws0);
+  let r = Session.solve s in
+  let _, ref_r = scratch_solve p edits in
+  (* the full rung IS a from-scratch prepare: bit-for-bit agreement *)
+  Alcotest.(check bool) "bit-identical to scratch" true
+    (r.Solver.x = ref_r.Solver.x);
+  Alcotest.(check int) "same iterations" ref_r.Solver.iterations
+    r.Solver.iterations;
+  Session.close s
+
+let test_session_edit_storm_stays_correct () =
+  Engine.clear ();
+  let spec = Powergrid.Generate.default ~nx:20 ~ny:20 ~seed:8505 in
+  let circuit = Powergrid.Generate.generate_circuit spec in
+  let p = Powergrid.Generate.circuit_to_problem ~name:"storm" circuit in
+  let scenarios = Powergrid.Eco.storm ~seed:11 ~spec circuit ~count:12 in
+  Alcotest.(check bool) "edits stay local" true
+    (Powergrid.Eco.max_support scenarios <= 16);
+  let s = Session.create p in
+  let history = ref [] in
+  Array.iteri
+    (fun i sc ->
+      let report = Engine.update s sc.Powergrid.Eco.edits in
+      history := !history @ sc.Powergrid.Eco.edits;
+      Alcotest.(check int)
+        (Printf.sprintf "version after scenario %d" i)
+        (i + 1) (Session.version s);
+      let r = Session.solve s in
+      let edited = Sddm.Edit.edited_problem p !history in
+      let true_res = Sddm.Problem.residual_norm edited r.Solver.x in
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %d (%s, rung %s): true residual %.3e" i
+           sc.Powergrid.Eco.label
+           (Session.rung_name report.Session.rung)
+           true_res)
+        true
+        (r.Solver.converged && true_res <= 1e-5))
+    scenarios;
+  Session.close s
+
+let test_session_cache_versioning () =
+  Engine.clear ();
+  Engine.reset_stats ();
+  let p = grid_problem ~nx:10 ~ny:10 ~seed:8606 () in
+  let live0 = Engine.live_handles () in
+  let s = Session.create ~max_fraction:1.0 p in
+  Alcotest.(check int) "session holds one handle" (live0 + 1)
+    (Engine.live_handles ());
+  let ev0 = Engine.evictions () in
+  let u, v = find_edge_of p in
+  ignore (Engine.update s [ Sddm.Edit.Scale_conductance { u; v; factor = 2.0 } ]);
+  Alcotest.(check int) "still one handle after update" (live0 + 1)
+    (Engine.live_handles ());
+  Alcotest.(check bool) "old version evicted" true (Engine.evictions () > ev0);
+  Session.close s;
+  Alcotest.(check int) "closed session releases its handle" live0
+    (Engine.live_handles ())
+
 (* ---- robust chain determinism with shared permutation ---- *)
 
 let test_robust_trace_deterministic () =
@@ -275,5 +477,19 @@ let () =
         [
           Alcotest.test_case "trace deterministic with shared perm" `Quick
             test_robust_trace_deterministic;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "rhs-only rung" `Quick test_session_rhs_only_rung;
+          Alcotest.test_case "local rung matches scratch" `Quick
+            test_session_local_rung_matches_scratch;
+          Alcotest.test_case "low-rank rung matches scratch" `Quick
+            test_session_low_rank_rung;
+          Alcotest.test_case "full rung bit-identical" `Quick
+            test_session_full_rung_bit_identical;
+          Alcotest.test_case "edit storm stays correct" `Quick
+            test_session_edit_storm_stays_correct;
+          Alcotest.test_case "cache versioning" `Quick
+            test_session_cache_versioning;
         ] );
     ]

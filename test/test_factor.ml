@@ -423,6 +423,163 @@ let prop_rand_chol_any_permutation =
       let res = Krylov.Pcg.solve ~a ~b ~precond:pc () in
       res.Krylov.Pcg.converged)
 
+(* ---- updatable (fixed-pattern incremental re-factorization) ---- *)
+
+(* Stage value-preserving excess round-trips on every node so the next
+   refactor recomputes the whole factor — the reference against which the
+   closure-limited (local) refactor is checked. *)
+let mark_all_dirty u =
+  let n = Factor.Lower.dim (Factor.Rand_chol.factor u) in
+  for i = 0 to n - 1 do
+    let s = Factor.Rand_chol.excess u i in
+    Factor.Rand_chol.set_excess u i (s +. 1.0);
+    Factor.Rand_chol.set_excess u i s
+  done
+
+let edge_slot u (a, b) =
+  match Factor.Rand_chol.find_edge u a b with
+  | Some e -> e
+  | None -> Alcotest.fail (Printf.sprintf "edge (%d,%d) not found" a b)
+
+let test_updatable_matches_plain () =
+  let g, d = Test_util.random_sddm ~seed:501 ~n:150 ~m:450 in
+  let l_plain = Factor.Lt_rchol.factorize ~rng:(Rng.create 7) g ~d in
+  let u = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 7) g ~d in
+  Test_util.check_float "bit-identical to plain factorize" 0.0
+    (Csc.frobenius_diff
+       (Factor.Lower.to_csc l_plain)
+       (Factor.Lower.to_csc (Factor.Rand_chol.factor u)))
+
+let test_updatable_local_matches_global () =
+  let g, d = Test_util.random_sddm ~seed:503 ~n:200 ~m:600 in
+  let u1 = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 9) g ~d in
+  let u2 = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 9) g ~d in
+  (* same edits on both: scale a backbone edge, reground a node *)
+  List.iter
+    (fun u ->
+      let e = edge_slot u (20, 21) in
+      Factor.Rand_chol.set_edge_weight u e
+        (10.0 *. Factor.Rand_chol.edge_weight u e);
+      Factor.Rand_chol.set_excess u 40 3.0)
+    [ u1; u2 ];
+  mark_all_dirty u2;
+  let local_cols =
+    match Factor.Rand_chol.refactor u1 ~max_fraction:1.0 with
+    | Factor.Rand_chol.Refactored { columns } -> columns
+    | Factor.Rand_chol.Too_large _ -> Alcotest.fail "local refactor refused"
+  in
+  (match Factor.Rand_chol.refactor u2 ~max_fraction:1.0 with
+  | Factor.Rand_chol.Refactored { columns } ->
+    Alcotest.(check int) "global refactor touches every column" 200 columns
+  | Factor.Rand_chol.Too_large _ -> Alcotest.fail "global refactor refused");
+  Alcotest.(check bool) "local closure bounded by n" true (local_cols <= 200);
+  Alcotest.(check bool) "edits consumed" true
+    (not (Factor.Rand_chol.dirty u1));
+  Alcotest.(check bool) "local = global within fp noise" true
+    (Csc.frobenius_diff
+       (Factor.Lower.to_csc (Factor.Rand_chol.factor u1))
+       (Factor.Lower.to_csc (Factor.Rand_chol.factor u2))
+    < 1e-9)
+
+let test_updatable_exact_on_tree () =
+  (* path grounded at one end: randomized elimination is exact on trees,
+     so after a refactor L L^T must equal the edited matrix exactly *)
+  let n = 100 in
+  let g = Test_util.path_graph n in
+  let d = Array.make n 0.0 in
+  d.(0) <- 2.0;
+  let u = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 11) g ~d in
+  let e = edge_slot u (0, 1) in
+  Factor.Rand_chol.set_edge_weight u e 5.0;
+  (* editing the first edge touches every ancestor: a tight budget refuses *)
+  (match Factor.Rand_chol.refactor u ~max_fraction:0.05 with
+  | Factor.Rand_chol.Too_large _ -> ()
+  | Factor.Rand_chol.Refactored _ -> Alcotest.fail "expected Too_large");
+  Alcotest.(check bool) "edits stay staged after refusal" true
+    (Factor.Rand_chol.dirty u);
+  (match Factor.Rand_chol.refactor u ~max_fraction:1.0 with
+  | Factor.Rand_chol.Refactored { columns } ->
+    Alcotest.(check int) "closure is the whole path" n columns
+  | Factor.Rand_chol.Too_large _ -> Alcotest.fail "refactor refused");
+  let edited =
+    Sddm.Graph.create ~n
+      ~edges:
+        (Array.init (n - 1) (fun i ->
+             (i, i + 1, if i = 0 then 5.0 else 1.0 +. float_of_int (i mod 4))))
+  in
+  let a' = Sddm.Graph.to_sddm edited d in
+  Alcotest.(check bool) "L L^T = edited A on a tree" true
+    (Csc.frobenius_diff a'
+       (Factor.Lower.multiply (Factor.Rand_chol.factor u))
+    < 1e-9)
+
+let test_updatable_preconditions_after_edits () =
+  let w = 20 and h = 20 in
+  let n = w * h in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let i = (y * w) + x in
+      if x + 1 < w then edges := (i, i + 1, 1.0) :: !edges;
+      if y + 1 < h then edges := (i, i + w, 1.0) :: !edges
+    done
+  done;
+  let edges = Array.of_list !edges in
+  let d = Array.make n 0.0 in
+  d.(0) <- 4.0;
+  d.(n - 1) <- 4.0;
+  let g = Sddm.Graph.create ~n ~edges in
+  let u = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 13) g ~d in
+  (* strengthen one wire, electrically remove another (pattern slot kept),
+     reground a node — then solve against the edited matrix *)
+  let strengthen = (210, 211) and remove = (45, 65) in
+  Factor.Rand_chol.set_edge_weight u (edge_slot u strengthen) 50.0;
+  Factor.Rand_chol.set_edge_weight u (edge_slot u remove) 0.0;
+  Factor.Rand_chol.set_excess u (n / 2) 2.0;
+  (match Factor.Rand_chol.refactor u ~max_fraction:1.0 with
+  | Factor.Rand_chol.Refactored _ -> ()
+  | Factor.Rand_chol.Too_large _ -> Alcotest.fail "refactor refused");
+  let edited_edges =
+    Array.of_list
+      (List.filter_map
+         (fun (a, b, w) ->
+           if (a, b) = remove then None
+           else if (a, b) = strengthen then Some (a, b, 50.0)
+           else Some (a, b, w))
+         (Array.to_list edges))
+  in
+  let d' = Array.copy d in
+  d'.(n / 2) <- 2.0;
+  let a' = Sddm.Graph.to_sddm (Sddm.Graph.create ~n ~edges:edited_edges) d' in
+  let pc =
+    Krylov.Precond.of_factor
+      ~perm:(Sparse.Perm.identity n)
+      (Factor.Rand_chol.factor u)
+  in
+  let b = Vec.init n (fun i -> sin (float_of_int i)) in
+  let res = Krylov.Pcg.solve ~a:a' ~b ~precond:pc () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pcg converges on the edited matrix (%d iters)"
+       res.Krylov.Pcg.iterations)
+    true
+    (res.Krylov.Pcg.converged && res.Krylov.Pcg.iterations < 200);
+  Alcotest.(check bool) "true residual small" true
+    (Vec.max_abs_diff (Csc.spmv a' res.Krylov.Pcg.x) b < 1e-5)
+
+let test_updatable_breakdown_on_unground () =
+  let n = 50 in
+  let g = Test_util.path_graph n in
+  let d = Array.make n 0.0 in
+  d.(0) <- 2.0;
+  let u = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 17) g ~d in
+  (* removing the only ground connection makes the matrix singular: the
+     refactor must surface a typed Breakdown, not silently succeed *)
+  Factor.Rand_chol.set_excess u 0 0.0;
+  Alcotest.(check bool) "raises Breakdown" true
+    (match Factor.Rand_chol.refactor u ~max_fraction:1.0 with
+    | _ -> false
+    | exception Factor.Rand_chol.Breakdown { pivot; _ } -> not (pivot > 0.0))
+
 let () =
   Alcotest.run "factor"
     [
@@ -489,6 +646,19 @@ let () =
               test_expected_clique_weight;
           ]
         @ precondition_quality_cases );
+      ( "updatable",
+        [
+          Alcotest.test_case "matches plain factorize" `Quick
+            test_updatable_matches_plain;
+          Alcotest.test_case "local refactor = global recompute" `Quick
+            test_updatable_local_matches_global;
+          Alcotest.test_case "exact on trees after edits" `Quick
+            test_updatable_exact_on_tree;
+          Alcotest.test_case "preconditions the edited matrix" `Quick
+            test_updatable_preconditions_after_edits;
+          Alcotest.test_case "breakdown on ungrounding" `Quick
+            test_updatable_breakdown_on_unground;
+        ] );
       ( "property",
         Test_util.qcheck
           [ prop_rand_chol_factors_random_sddm; prop_rand_chol_any_permutation ] );

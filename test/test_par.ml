@@ -315,6 +315,36 @@ let test_solve_deterministic_across_domains () =
         true (rd.Solver.x = r1.Solver.x))
     [ 2; 3 ]
 
+let test_keyed_rng_deterministic_across_domains () =
+  (* the ECO storm generator and any parallel sampling code key their
+     generators by (seed, index) instead of drawing from a shared stream,
+     so the values must not depend on which domain handles which index —
+     or on the domain count at all *)
+  let draw_at d =
+    with_domains d (fun () ->
+        let out = Array.make 10_000 0.0 in
+        Par.parallel_for (Par.default ()) ~lo:0 ~hi:10_000 (fun clo chi ->
+            for i = clo to chi - 1 do
+              let rng = Rng.keyed ~seed:97 i in
+              out.(i) <- Rng.float rng +. float_of_int (Rng.int rng 1000)
+            done);
+        out)
+  in
+  let seq = draw_at 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "keyed draws bit-identical at %d domains" d)
+        true
+        (draw_at d = seq))
+    [ 2; 4 ];
+  (* distinct indices must decorrelate: a keyed stream is not a shifted
+     copy of its neighbor *)
+  let distinct = Hashtbl.create 64 in
+  Array.iter (fun x -> Hashtbl.replace distinct x ()) seq;
+  Alcotest.(check bool) "indices decorrelated" true
+    (Hashtbl.length distinct > 9_900)
+
 (* ---- batched solves: parallel fan-out + fault injection stress ---- *)
 
 let test_solve_many_parallel_matches_seq () =
@@ -502,6 +532,8 @@ let () =
         [
           Alcotest.test_case "deterministic across domains" `Quick
             test_solve_deterministic_across_domains;
+          Alcotest.test_case "keyed rng deterministic across domains" `Quick
+            test_keyed_rng_deterministic_across_domains;
           Alcotest.test_case "solve_many parallel = seq" `Quick
             test_solve_many_parallel_matches_seq;
           Alcotest.test_case "solve_many mixed-outcome stress" `Quick

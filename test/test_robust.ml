@@ -189,7 +189,8 @@ let test_fallback_classifies_failures () =
           | Robust.Fallback.Breakdown _ -> "breakdown"
           | Robust.Fallback.Unverified _ -> "unverified"
           | Robust.Fallback.Crashed _ -> "crashed"
-          | Robust.Fallback.Timed_out _ -> "timed-out" ))
+          | Robust.Fallback.Timed_out _ -> "timed-out"
+          | Robust.Fallback.Skipped _ -> "skipped" ))
       o.Robust.Fallback.attempts
   in
   Alcotest.(check (list (pair string string)))

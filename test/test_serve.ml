@@ -21,6 +21,17 @@ let all_requests =
     Proto.solve ~solver:Proto.Amg ~rtol:1e-8 ~seed:7 ~deadline_ms:250.0
       ~robust:true ~want_x:true
       (Proto.Mtx { path = "a b/odd name.mtx" });
+    Proto.update ~edits:[] (Proto.Case { id = "pg01"; scale = 0.1 });
+    Proto.update ~rtol:1e-8 ~seed:3 ~deadline_ms:500.0 ~want_x:true
+      ~edits:
+        [
+          Sddm.Edit.Set_conductance { u = 0; v = 5; siemens = 2.5 };
+          Sddm.Edit.Scale_conductance { u = 1; v = 2; factor = 1e-6 };
+          Sddm.Edit.Add_resistor { u = 3; v = 9; siemens = 0.125 };
+          Sddm.Edit.Set_excess { node = 4; siemens = 0.5 };
+          Sddm.Edit.Set_load { node = 7; amps = -0.25 };
+        ]
+      (Proto.Mtx { path = "/tmp/grid.mtx" });
   ]
 
 let all_responses =
@@ -431,6 +442,85 @@ let test_daemon_ping_solve_cache () =
         | _ -> Alcotest.fail "metrics lack a schema field")
       | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r))
 
+let test_daemon_update_session () =
+  with_daemon (fun _t addr ->
+      let spec = Proto.Case { id = "pg01"; scale = 0.05 } in
+      (* first update opens a session; rhs-only edits keep it cheap *)
+      let req1 =
+        Proto.update ~want_x:true
+          ~edits:[ Sddm.Edit.Set_load { node = 3; amps = 0.02 } ]
+          spec
+      in
+      let session1, x1 =
+        match call_ok addr req1 with
+        | Proto.Updated
+            { session; version; rung; converged; x = Some x; _ } ->
+          Alcotest.(check int) "first update is version 1" 1 version;
+          Alcotest.(check string) "rhs-only rung" "rhs-only" rung;
+          Alcotest.(check bool) "converged" true converged;
+          (session, x)
+        | r ->
+          Alcotest.failf "update answered %s" (Proto.response_to_string r)
+      in
+      (* second update must land on the SAME session, one version later,
+         and a value edit takes an incremental rung, not a re-prepare *)
+      let req2 =
+        Proto.update ~want_x:true
+          ~edits:[ Sddm.Edit.Set_excess { node = 0; siemens = 0.4 } ]
+          spec
+      in
+      (match call_ok addr req2 with
+       | Proto.Updated
+           { session; version; rung; converged; residual; x = Some x; _ } ->
+         Alcotest.(check int) "session reused" session1 session;
+         Alcotest.(check int) "version advanced" 2 version;
+         Alcotest.(check bool)
+           (Printf.sprintf "incremental rung (got %s)" rung)
+           true
+           (rung = "local" || rung = "low-rank");
+         Alcotest.(check bool) "converged" true converged;
+         Alcotest.(check bool)
+           (Printf.sprintf "residual %.3e small" residual)
+           true (residual <= 1e-5);
+         Alcotest.(check bool) "edit moved the solution" true (x <> x1)
+       | r ->
+         Alcotest.failf "second update answered %s"
+           (Proto.response_to_string r));
+      (* a bad edit must come back typed, not kill the session *)
+      (match call_ok addr
+               (Proto.update
+                  ~edits:[ Sddm.Edit.Set_load { node = -1; amps = 0.0 } ]
+                  spec)
+       with
+       | Proto.Failed _ -> ()
+       | r ->
+         Alcotest.failf "invalid edit answered %s"
+           (Proto.response_to_string r));
+      (* ... and the session survives with its version intact *)
+      (match call_ok addr (Proto.update ~edits:[] spec) with
+       | Proto.Updated { session; version; rung; _ } ->
+         Alcotest.(check int) "session still alive" session1 session;
+         Alcotest.(check int) "failed batch did not bump version" 3 version;
+         Alcotest.(check string) "empty batch is rhs-only" "rhs-only" rung
+       | r ->
+         Alcotest.failf "empty update answered %s"
+           (Proto.response_to_string r));
+      (* the Health surface reports the session table *)
+      match call_ok addr Proto.Health with
+      | Proto.Health_report doc -> (
+        match Obs.Json.member "sessions" doc with
+        | Some sessions -> (
+          (match Obs.Json.member "open" sessions with
+           | Some (Obs.Json.Int n) ->
+             Alcotest.(check int) "one open session" 1 n
+           | _ -> Alcotest.fail "sessions.open missing");
+          match Obs.Json.member "updates" sessions with
+          | Some (Obs.Json.Int n) ->
+            Alcotest.(check bool) "update counter advanced" true (n >= 3)
+          | _ -> Alcotest.fail "sessions.updates missing")
+        | None -> Alcotest.fail "metrics lack a sessions object")
+      | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r))
+
 let test_daemon_expired_deadline () =
   with_daemon (fun _t addr ->
       match
@@ -773,6 +863,8 @@ let () =
         [
           Alcotest.test_case "ping, solve, cache, health" `Quick
             test_daemon_ping_solve_cache;
+          Alcotest.test_case "update sessions" `Quick
+            test_daemon_update_session;
           Alcotest.test_case "expired deadline" `Quick
             test_daemon_expired_deadline;
           Alcotest.test_case "bad requests stay typed" `Quick
