@@ -19,14 +19,16 @@ check-par:
 test-robust:
 	dune build @runtest-robust
 
-# Scaled-down Table 1 + batched (factor-once/solve-many) + kernels
-# phases, then the regression gate against the committed baseline — the
-# same thing the CI bench-smoke job runs. The batched phase also writes
-# bench_artifacts/trace.json; passing it as the third compare argument
-# gates its structural validity alongside the timing rows.
+# Scaled-down Table 1 + batched (factor-once/solve-many) + kernels +
+# factor (parallel numeric phase: 1-domain vs wide factorization,
+# bitwise identity + speedup) phases, then the regression gate against
+# the committed baseline — the same thing the CI bench-smoke job runs.
+# The batched phase also writes bench_artifacts/trace.json; passing it
+# as the third compare argument gates its structural validity alongside
+# the timing rows.
 bench-smoke:
 	BENCH_SCALE=0.05 BENCH_SERVE_SECONDS=2 \
-	  dune exec bench/main.exe table1 batched kernels serve
+	  dune exec bench/main.exe table1 batched kernels factor serve
 	dune exec bench/compare.exe bench_artifacts/baseline.json \
 	  bench_artifacts/bench.json bench_artifacts/trace.json
 

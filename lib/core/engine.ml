@@ -347,8 +347,8 @@ module Session = struct
     remove_config ~count_evictions:(s.version > 0) (session_config s);
     insert key s.prepared
 
-  (* The session's preparation: Alg. 4 ordering + LT-RChol factorization,
-     identical (bit-for-bit, same seed discipline) to
+  (* The session's preparation: partitioned ordering + LT-RChol
+     factorization, identical (bit-for-bit, same seed discipline) to
      [Solver.powerrchol_prepare], but through the updatable factorization
      so later edits can re-eliminate in place. *)
   let build ~seed ~buckets ~heavy_factor problem =
@@ -356,7 +356,7 @@ module Session = struct
     let t0 = Unix.gettimeofday () in
     let perm =
       Obs.span "reorder" (fun () ->
-          Ordering.Degree_sort.order ~heavy_factor g)
+          Ordering.Partitioned.order ~heavy_factor g)
     in
     let t1 = Unix.gettimeofday () in
     let upd =

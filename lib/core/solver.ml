@@ -183,7 +183,13 @@ let run ?rtol ?max_iter ?deadline solver problem =
 
 (* ---- orderings ---- *)
 
-type ordering = Amd | Natural | Degree_sort | Rcm | Nested_dissection
+type ordering =
+  | Amd
+  | Natural
+  | Degree_sort
+  | Rcm
+  | Nested_dissection
+  | Partitioned
 
 let ordering_name = function
   | Amd -> "amd"
@@ -191,6 +197,7 @@ let ordering_name = function
   | Degree_sort -> "alg4"
   | Rcm -> "rcm"
   | Nested_dissection -> "nd"
+  | Partitioned -> "part"
 
 let apply_ordering ordering g =
   match ordering with
@@ -199,6 +206,7 @@ let apply_ordering ordering g =
   | Degree_sort -> Ordering.Degree_sort.order g
   | Rcm -> Ordering.Rcm.order g
   | Nested_dissection -> Ordering.Nested_dissection.order g
+  | Partitioned -> Ordering.Partitioned.order g
 
 (* ---- randomized-Cholesky solvers ---- *)
 
@@ -253,9 +261,13 @@ let powerrchol_prepare ?(buckets = Factor.Lt_rchol.default_buckets)
     match perm with
     | Some perm -> (perm, 0.0)
     | None ->
+      (* Partitioned = recursive bisection with Alg. 4 degree sort inside
+         each block: same local fill behavior as plain Alg. 4, but the
+         elimination tree gains independent branches so the multicore
+         factorization has subtrees to schedule (DESIGN.md §15). *)
       let perm =
         Obs.span "reorder" (fun () ->
-            Ordering.Degree_sort.order ~heavy_factor g)
+            Ordering.Partitioned.order ~heavy_factor g)
       in
       (perm, now () -. t0)
   in

@@ -109,21 +109,32 @@ val iterate :
     All randomized solvers are deterministic given [seed]
     (default [20240623]). *)
 
-type ordering = Amd | Natural | Degree_sort | Rcm | Nested_dissection
+type ordering =
+  | Amd
+  | Natural
+  | Degree_sort
+  | Rcm
+  | Nested_dissection
+  | Partitioned
+      (** Recursive bisection with Alg. 4 degree sort inside each block
+          ([Ordering.Partitioned]) — the ordering that gives the
+          elimination tree independent branches for the multicore
+          factorization. Named ["part"]. *)
 
 val ordering_name : ordering -> string
 val apply_ordering : ordering -> Sddm.Graph.t -> Sparse.Perm.t
 
 val powerrchol : ?buckets:int -> ?heavy_factor:float -> ?seed:int -> unit -> t
-(** The paper's solver: Alg. 4 reordering + LT-RChol (Alg. 3) + PCG. *)
+(** The paper's solver: partitioned Alg. 4 reordering + LT-RChol (Alg. 3)
+    + PCG. *)
 
 val powerrchol_prepare :
   ?buckets:int -> ?heavy_factor:float -> ?seed:int ->
   ?perm:Sparse.Perm.t -> Sddm.Problem.t -> prepared
-(** The paper's preparation with an optional precomputed Alg. 4
-    permutation. Reordering is deterministic and seed-independent, so a
-    caller that already holds the permutation (the robust reseed rungs)
-    skips straight to the randomized factorization. *)
+(** The paper's preparation with an optional precomputed permutation
+    (partitioned Alg. 4 by default). Reordering is deterministic and
+    seed-independent, so a caller that already holds the permutation (the
+    robust reseed rungs) skips straight to the randomized factorization. *)
 
 val rchol : ?ordering:ordering -> ?seed:int -> unit -> t
 (** Original RChol (Alg. 1) preconditioner; default AMD ordering, the

@@ -20,7 +20,23 @@
       them with the two-pointer merge of Alg. 2 (O(d) total).
 
     RChol = [Exact_sort] + [Per_neighbor];
-    LT-RChol = [Counting_sort] + [Shared_random]. *)
+    LT-RChol = [Counting_sort] + [Shared_random].
+
+    {b Parallel numeric phase} (DESIGN.md §15). The elimination is
+    scheduled over the default {!Par} pool: the elimination tree of the
+    input graph is cut into independent subtree units ({!Etree.cut})
+    eliminated concurrently, followed by the level-scheduled separator.
+    Every column draws its randomness from a private stream keyed by
+    [(one draw from ~rng, column index)], the partition depends only on
+    the graph, and cross-boundary effects replay in a canonical order —
+    so the factor is {e bit-identical at every domain count}, including
+    the sequential pool.
+
+    {b Migration note.} The switch from one shared random cursor to
+    per-column keyed streams changed the factor values once (same
+    distribution, same quality — a different realization of the same
+    sampler). Downstream exact-value baselines were refreshed with it;
+    determinism guarantees hold as before from this point on. *)
 
 type sort =
   | Exact_sort
@@ -120,4 +136,11 @@ val refactor : updatable -> max_fraction:float -> refactor_outcome
     closures larger than [max_fraction * n] columns return [Too_large]
     without touching the factor. May raise {!Breakdown} if an edit makes
     a pivot nonpositive (the factor is then partially updated — escalate
-    to a full re-factorization). *)
+    to a full re-factorization).
+
+    Large closures re-eliminate in parallel: the closure is grouped by
+    the factorization's subtree units (independent by the etree argument)
+    and fanned over the default {!Par} pool via
+    {!Lower.refactor_columns_grouped}, separator columns last. The values
+    are a pure function of the committed state, so the result is
+    bit-identical to the sequential sweep at any domain count. *)

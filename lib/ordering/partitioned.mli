@@ -1,0 +1,16 @@
+(** Partition-aware degree-sort ordering (Alg. 4 + recursive bisection).
+
+    Recursively bisects the graph with BFS level cuts (separators emitted
+    after both halves), then degree-sorts every block on its induced
+    subgraph. The resulting elimination tree has one independent branch per
+    leaf block, which is what lets {!Factor.Etree.cut} schedule the
+    randomized factorization across domains; plain {!Degree_sort} produces a
+    near-path tree with no extractable subtree parallelism. Deterministic:
+    depends only on the graph and the parameters, never on domain count. *)
+
+val order : ?heavy_factor:float -> ?leaf_fraction:float -> Sddm.Graph.t -> Sparse.Perm.t
+(** [order g] returns a permutation (position -> vertex). [heavy_factor] is
+    forwarded to the per-block {!Degree_sort.order}. [leaf_fraction]
+    (default 1/64) bounds leaf blocks to [max 1024 (ceil (f * n))]
+    vertices; graphs at or below the floor degenerate to a single
+    degree-sorted block. *)

@@ -48,15 +48,25 @@ let split t =
    apart. Unlike [split], no generator state is consumed — the stream for a
    given key is a pure function of the key, which is what makes per-edit
    streams identical at any domain count and in any evaluation order. *)
-let keyed ~seed index =
+let reseed_keyed t ~seed index =
   let state = ref (Int64.of_int seed) in
   let a = splitmix64_next state in
   state := Int64.logxor a (Int64.of_int index);
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  t.s0 <- splitmix64_next state;
+  t.s1 <- splitmix64_next state;
+  t.s2 <- splitmix64_next state;
+  t.s3 <- splitmix64_next state
+
+let keyed ~seed index =
+  let t = { s0 = 0L; s1 = 0L; s2 = 0L; s3 = 0L } in
+  reseed_keyed t ~seed index;
+  t
+
+(* A keyed base seed drawn from an ambient generator: one [int64] draw,
+   masked to a nonnegative OCaml int. Callers derive per-item streams with
+   [keyed ~seed:(derive_key rng) item] — the single draw keeps the existing
+   [~rng] APIs while making every downstream stream order-independent. *)
+let derive_key t = Int64.to_int (Int64.shift_right_logical (int64 t) 2)
 
 (* 53 random bits scaled to [0,1). *)
 let float t =

@@ -23,6 +23,19 @@ val keyed : seed:int -> int -> t
     is identical regardless of evaluation order or domain count. Used to
     give each edit of an edit-storm scenario its own reproducible stream. *)
 
+val reseed_keyed : t -> seed:int -> int -> unit
+(** [reseed_keyed t ~seed index] re-initializes [t] in place to the exact
+    state [keyed ~seed index] would return, without allocating. Hot loops
+    (one keyed stream per eliminated column) reuse a single generator this
+    way. *)
+
+val derive_key : t -> int
+(** [derive_key t] draws once from [t] and returns a nonnegative int suitable
+    as the [~seed] of a family of [keyed] streams. Consuming exactly one draw
+    keeps existing [~rng] entry points source-compatible while decoupling all
+    downstream sampling from draw order — the basis of the factorization's
+    bit-identical-at-any-domain-count contract. *)
+
 val copy : t -> t
 (** Duplicate the state; the copy evolves independently. *)
 

@@ -580,6 +580,184 @@ let test_updatable_breakdown_on_unground () =
     | _ -> false
     | exception Factor.Rand_chol.Breakdown { pivot; _ } -> not (pivot > 0.0))
 
+(* ---- parallel elimination scheduling (DESIGN.md §15) ---- *)
+
+(* Every test that widens the default pool restores it, so suites stay
+   independent of execution order. *)
+let with_domains d f =
+  Fun.protect
+    ~finally:(fun () -> Par.set_default_domains (Par.recommended_domains ()))
+    (fun () ->
+      Par.set_default_domains d;
+      f ())
+
+(* A mesh under the partitioned ordering — the configuration whose etree
+   actually has independent subtrees, so multi-domain runs genuinely
+   exercise the unit fan-out rather than collapsing into the separator. *)
+let partitioned_mesh ~w ~h =
+  let g = Test_util.mesh_graph w h in
+  let n = w * h in
+  let d = Array.make n 0.0 in
+  d.(0) <- 1.0;
+  d.(n - 1) <- 0.5;
+  let perm = Ordering.Partitioned.order ~leaf_fraction:(1.0 /. 16.0) g in
+  let gp = Sddm.Graph.permute g perm in
+  let dp = Array.init n (fun k -> d.(perm.(k))) in
+  (gp, dp)
+
+let factor_fingerprint l =
+  let buf = Buffer.create 4096 in
+  let n = Factor.Lower.dim l in
+  for k = 0 to n do
+    Buffer.add_string buf
+      (string_of_int (Sparse.Idx.get l.Factor.Lower.col_ptr k));
+    Buffer.add_char buf ';'
+  done;
+  for q = 0 to Factor.Lower.nnz l - 1 do
+    Buffer.add_string buf (string_of_int (Sparse.Idx.get l.Factor.Lower.rows q));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf
+      (Printf.sprintf "%h" (Sparse.Vec.get l.Factor.Lower.vals q));
+    Buffer.add_char buf ';'
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_factor_bit_identical_across_domains () =
+  let gp, dp = partitioned_mesh ~w:64 ~h:64 in
+  let run ~sort ~sampling d =
+    with_domains d (fun () ->
+        factor_fingerprint
+          (Factor.Rand_chol.factorize ~sort ~sampling ~rng:(Rng.create 99) gp
+             ~d:dp))
+  in
+  List.iter
+    (fun (name, sort, sampling) ->
+      let at1 = run ~sort ~sampling 1 in
+      List.iter
+        (fun d ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s factor at %d domains = 1 domain" name d)
+            at1
+            (run ~sort ~sampling d))
+        [ 2; 4 ])
+    [
+      ( "lt-rchol",
+        Factor.Rand_chol.Counting_sort
+          { buckets = Factor.Lt_rchol.default_buckets },
+        Factor.Rand_chol.Shared_random );
+      ("rchol", Factor.Rand_chol.Exact_sort, Factor.Rand_chol.Per_neighbor);
+    ]
+
+let test_factor_breakdown_from_worker_domain () =
+  (* A small ungrounded component rides along with a big grounded mesh:
+     the whole small component fits under the unit cap, so its singular
+     pivot fires inside a worker domain at p >= 2. The typed Breakdown
+     must cross the domain boundary unchanged. *)
+  let w, h = (40, 40) in
+  let mesh = Test_util.mesh_graph w h in
+  let n_mesh = w * h in
+  let extra = 40 in
+  let n = n_mesh + extra in
+  let edges = ref [] in
+  Sddm.Graph.iter_edges mesh (fun u v wt -> edges := (u, v, wt) :: !edges);
+  for i = 0 to extra - 2 do
+    edges := (n_mesh + i, n_mesh + i + 1, 1.0) :: !edges
+  done;
+  let g = Sddm.Graph.create ~n ~edges:(Array.of_list !edges) in
+  let d = Array.make n 0.0 in
+  d.(0) <- 1.0;
+  (* no ground anywhere in the appended path: singular *)
+  let check_domains dom =
+    with_domains dom (fun () ->
+        match
+          Factor.Lt_rchol.factorize ~rng:(Rng.create 5) g ~d
+        with
+        | _ -> Alcotest.failf "expected Breakdown at %d domains" dom
+        | exception Factor.Rand_chol.Breakdown { pivot; column } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "nonpositive pivot surfaced at %d domains" dom)
+            true
+            ((not (pivot > 0.0)) && column >= 0 && column < n))
+  in
+  List.iter check_domains [ 1; 2; 4 ]
+
+let test_refactor_grouped_matches_sequential () =
+  (* A closure bigger than the parallel threshold, refactored at 1 and 4
+     domains: the grouped path must produce the same bits, and the
+     refactored factor must satisfy the same values a fresh sequential
+     updatable run reaches after the same edits. *)
+  let gp, dp = partitioned_mesh ~w:48 ~h:48 in
+  let run d =
+    with_domains d (fun () ->
+        let u =
+          Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 7) gp ~d:dp
+        in
+        (* touch several spread-out columns so the ancestor closure spans
+           multiple units plus the separator *)
+        let n = Array.length dp in
+        List.iter
+          (fun k ->
+            let k = k mod n in
+            Factor.Rand_chol.set_excess u k
+              (Factor.Rand_chol.excess u k +. 0.25))
+          [ 3; n / 4; n / 2; (3 * n) / 4 ];
+        (match Factor.Rand_chol.refactor u ~max_fraction:1.0 with
+        | Factor.Rand_chol.Refactored { columns } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "closure crosses the parallel threshold (%d)"
+               columns)
+            true (columns > 512)
+        | Factor.Rand_chol.Too_large _ -> Alcotest.fail "unexpected Too_large");
+        factor_fingerprint (Factor.Rand_chol.factor u))
+  in
+  let seq = run 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "refactor at %d domains = 1 domain" d)
+        seq (run d))
+    [ 2; 4 ]
+
+let test_refactor_scratch_cached () =
+  (* Satellite regression: the second refactor over the same closure must
+     not rebuild the level schedule / row form (O(nnz) allocation) nor
+     allocate a fresh column buffer — everything is cached on the factor
+     and the updatable. *)
+  let gp, dp = partitioned_mesh ~w:40 ~h:40 in
+  let u = Factor.Lt_rchol.factorize_updatable ~rng:(Rng.create 13) gp ~d:dp in
+  let l = Factor.Rand_chol.factor u in
+  let bump () =
+    Factor.Rand_chol.set_excess u 2 (Factor.Rand_chol.excess u 2 +. 0.125);
+    match Factor.Rand_chol.refactor u ~max_fraction:1.0 with
+    | Factor.Rand_chol.Refactored _ -> ()
+    | Factor.Rand_chol.Too_large _ -> Alcotest.fail "unexpected Too_large"
+  in
+  bump ();
+  let sched_before = Factor.Lower.schedule l in
+  let diag_before = Factor.Lower.diag l in
+  let bufs_before = l.Factor.Lower.refactor_bufs in
+  let alloc_of f =
+    let before = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. before
+  in
+  let a2 = alloc_of bump in
+  let a3 = alloc_of bump in
+  Alcotest.(check bool) "schedule not rebuilt" true
+    (sched_before == Factor.Lower.schedule l);
+  Alcotest.(check bool) "diag cache not rebuilt" true
+    (diag_before == Factor.Lower.diag l);
+  Alcotest.(check bool) "column scratch reused" true
+    (bufs_before == l.Factor.Lower.refactor_bufs
+    && Array.length bufs_before > 0);
+  (* steady state: a warm refactor's allocation is flat, not growing —
+     a reintroduced per-call cache rebuild would show as a3 >> a2 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state allocation flat (%.0f then %.0f words)" a2
+       a3)
+    true
+    (a3 <= (1.25 *. a2) +. 1024.0)
+
 let () =
   Alcotest.run "factor"
     [
@@ -658,6 +836,17 @@ let () =
             test_updatable_preconditions_after_edits;
           Alcotest.test_case "breakdown on ungrounding" `Quick
             test_updatable_breakdown_on_unground;
+        ] );
+      ( "parallel scheduling",
+        [
+          Alcotest.test_case "bit-identical across domains" `Quick
+            test_factor_bit_identical_across_domains;
+          Alcotest.test_case "breakdown crosses worker domains" `Quick
+            test_factor_breakdown_from_worker_domain;
+          Alcotest.test_case "grouped refactor = sequential" `Quick
+            test_refactor_grouped_matches_sequential;
+          Alcotest.test_case "refactor scratch cached" `Quick
+            test_refactor_scratch_cached;
         ] );
       ( "property",
         Test_util.qcheck
