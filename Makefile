@@ -1,5 +1,5 @@
 .PHONY: build check check-par test test-robust bench-smoke bench-kernels \
-  trace-smoke serve-smoke eco-smoke fmt fmt-check clean
+  trace-smoke serve-smoke eco-smoke monitor-smoke fmt fmt-check clean
 
 build:
 	dune build
@@ -62,6 +62,14 @@ bench-kernels:
 serve-smoke:
 	dune build bin/pgserve.exe bin/pgclient.exe
 	bash scripts/serve_smoke.sh
+
+# Monitoring-surface smoke: metrics listener scrape + Prometheus text
+# format validation, structured access-log JSONL/unique-id checks, and a
+# pgtop dashboard frame (DESIGN.md §16).
+monitor-smoke:
+	dune build bin/pgserve.exe bin/pgclient.exe bin/pgtop.exe \
+	  bench/compare.exe
+	bash scripts/monitor_smoke.sh
 
 fmt:
 	dune fmt

@@ -2,6 +2,15 @@
 
    Usage: compare.exe BASELINE.json CURRENT.json [TRACE.json]
           compare.exe --trace TRACE.json
+          compare.exe --prom FILE
+          compare.exe --access-log FILE
+
+   The --prom form validates a Prometheus text-format scrape (as served
+   by pgserve's /metrics listener) with Obs.Prom.validate: TYPE before
+   samples, legal names and label quoting, monotone non-decreasing
+   histogram buckets, +Inf bucket equal to _count. The --access-log form
+   validates a pgserve structured access log: every line parses as JSON,
+   carries the required fields, and request ids are unique.
 
    BASELINE/CURRENT follow the powerrchol-bench/v1 schema written by
    Runner.write_bench_json. The gate fails (exit 1) when any (case,
@@ -91,6 +100,15 @@ let min_factor_speedup = getenv_float "BENCH_FACTOR_SPEEDUP" 1.5
 let min_reqs = getenv_float "BENCH_SERVE_MIN_REQS" 1.0
 let max_p99_ms = getenv_float "BENCH_SERVE_MAX_P99_MS" 30_000.0
 
+(* Observability-overhead gate, checked within the serve section's
+   "overhead" sub-document (when the serve bench ran its baseline vs
+   instrumented phase): instrumentation — Obs counters/spans, rolling
+   windows, the access log — may cost at most BENCH_OBS_OVERHEAD of
+   baseline throughput (default 1.03, i.e. <= 3%). Slices too small to
+   judge (< 20 requests on either side) are noted, not failed: a ratio
+   computed from a handful of requests is jitter, not signal. *)
+let max_obs_overhead = getenv_float "BENCH_OBS_OVERHEAD" 1.03
+
 (* Memory gates, checked within the CURRENT file's "memory" section (when
    the scale experiment ran):
 
@@ -162,11 +180,69 @@ let validate_trace path =
     Printf.printf "FAIL: trace %s: %s\n" path msg;
     exit 1
 
+let read_text path =
+  try In_channel.with_open_text path In_channel.input_all
+  with Sys_error msg ->
+    Printf.eprintf "compare: cannot read %s: %s\n" path msg;
+    exit 2
+
+let validate_prom path =
+  match Obs.Prom.validate (read_text path) with
+  | Ok summary -> Printf.printf "prom gate OK: %s: %s\n" path summary
+  | Error msg ->
+    Printf.printf "FAIL: prom %s: %s\n" path msg;
+    exit 1
+
+(* Every line of a pgserve access log must parse as a JSON object with
+   the full field set, and the request ids must be unique — the same ids
+   that name the request's Obs span tree. *)
+let validate_access_log path =
+  let required =
+    [ "ts"; "id"; "op"; "outcome"; "bytes_in"; "bytes_out"; "latency_ms" ]
+  in
+  let seen = Hashtbl.create 64 in
+  let lines =
+    String.split_on_char '\n' (read_text path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then begin
+    Printf.printf "FAIL: access log %s is empty\n" path;
+    exit 1
+  end;
+  List.iteri
+    (fun i line ->
+      let fail msg =
+        Printf.printf "FAIL: access log %s line %d: %s\n" path (i + 1) msg;
+        exit 1
+      in
+      match Obs.Json.parse line with
+      | Error msg -> fail ("not JSON: " ^ msg)
+      | Ok (Obs.Json.Obj _ as j) -> (
+        List.iter
+          (fun k ->
+            if Obs.Json.member k j = None then fail ("missing field " ^ k))
+          required;
+        match Obs.Json.member "id" j with
+        | Some (Obs.Json.Str id) ->
+          if Hashtbl.mem seen id then fail ("duplicate request id " ^ id)
+          else Hashtbl.add seen id ()
+        | _ -> fail "id is not a string")
+      | Ok _ -> fail "not a JSON object")
+    lines;
+  Printf.printf "access-log gate OK: %s: %d line(s), all ids unique\n" path
+    (List.length lines)
+
 let () =
   let baseline_path, current_path =
     match Sys.argv with
     | [| _; "--trace"; t |] ->
       validate_trace t;
+      exit 0
+    | [| _; "--prom"; f |] ->
+      validate_prom f;
+      exit 0
+    | [| _; "--access-log"; f |] ->
+      validate_access_log f;
       exit 0
     | [| _; b; c |] -> (b, c)
     | [| _; b; c; t |] ->
@@ -175,7 +251,9 @@ let () =
     | _ ->
       prerr_endline
         "usage: compare.exe BASELINE.json CURRENT.json [TRACE.json]\n\
-        \       compare.exe --trace TRACE.json";
+        \       compare.exe --trace TRACE.json\n\
+        \       compare.exe --prom FILE\n\
+        \       compare.exe --access-log FILE";
       exit 2
   in
   let baseline = rows_of (read_json baseline_path) baseline_path in
@@ -399,7 +477,41 @@ let () =
               :: !failures
         end
       | _ ->
-        failures := "serve section lacks requests/req_s/p99_ms" :: !failures));
+        failures := "serve section lacks requests/req_s/p99_ms" :: !failures);
+     (* observability overhead: baseline vs instrumented throughput *)
+     match Obs.Json.member "overhead" serve with
+     | None -> notes := "serve section has no overhead sub-document" :: !notes
+     | Some oh -> (
+       let onum key =
+         match Obs.Json.member key oh with
+         | Some v -> Obs.Json.to_float v
+         | None -> None
+       in
+       match (onum "base_requests", onum "instr_requests", onum "ratio") with
+       | Some bn, Some inr, Some ratio ->
+         Printf.printf
+           "obs overhead gate: ratio %.3fx (baseline %.0f reqs, \
+            instrumented %.0f reqs, cap %.2fx)\n"
+           ratio bn inr max_obs_overhead;
+         if bn < 20.0 || inr < 20.0 then
+           notes :=
+             Printf.sprintf
+               "obs overhead not judged: too few requests (%.0f baseline, \
+                %.0f instrumented)"
+               bn inr
+             :: !notes
+         else if ratio > max_obs_overhead then
+           failures :=
+             Printf.sprintf
+               "observability overhead %.3fx above the %.2fx cap \
+                (baseline %.0f vs instrumented %.0f requests)"
+               ratio max_obs_overhead bn inr
+             :: !failures
+       | _ ->
+         failures :=
+           "serve overhead sub-document lacks base_requests/\
+            instr_requests/ratio"
+           :: !failures));
   (* memory gates on the current run *)
   (match Obs.Json.member "memory" current_doc with
    | None -> ()

@@ -3,6 +3,7 @@
    Operations:
      ping       liveness round trip
      health     metrics snapshot (counters, latency percentiles, cache)
+     metrics    same snapshot; with --prom, Prometheus text format
      solve      solve a suite case or .mtx file server-side
      diagnose   pre-flight diagnostics server-side
      shutdown   ask the daemon to drain and exit (if it allows that)
@@ -29,6 +30,7 @@ let op_arg =
     [
       ("ping", `Ping);
       ("health", `Health);
+      ("metrics", `Metrics);
       ("solve", `Solve);
       ("update", `Update);
       ("diagnose", `Diagnose);
@@ -166,6 +168,14 @@ let json_arg =
   Arg.(
     value & flag
     & info [ "json" ] ~doc:"Print the raw JSON response on stdout.")
+
+let prom_arg =
+  Arg.(
+    value & flag
+    & info [ "prom" ]
+        ~doc:
+          "With the $(b,metrics) or $(b,health) op: render the report as \
+           Prometheus text format 0.0.4 instead of JSON.")
 
 let inject_arg =
   let modes =
@@ -308,7 +318,7 @@ let run_inject addr mode stall timeout =
 (* ---- main ---- *)
 
 let run connect op case scale mtx solver rtol seed deadline_ms robust want_x
-    edits retries timeout json inject stall =
+    edits retries timeout json prom inject stall =
   match Proto.addr_of_string connect with
   | Error e ->
     Printf.eprintf "pgclient: bad --connect address: %s\n" e;
@@ -323,7 +333,7 @@ let run connect op case scale mtx solver rtol seed deadline_ms robust want_x
     let req =
       match op with
       | `Ping -> Proto.Ping
-      | `Health -> Proto.Health
+      | `Health | `Metrics -> Proto.Health
       | `Shutdown -> Proto.Shutdown
       | `Diagnose -> Proto.Diagnose { spec }
       | `Solve ->
@@ -346,9 +356,19 @@ let run connect op case scale mtx solver rtol seed deadline_ms robust want_x
     | Error e ->
       Printf.eprintf "pgclient: %s\n" e;
       exit 1
-    | Ok resp ->
-      print_response ~json resp;
-      exit (exit_code resp))
+    | Ok resp -> (
+      match resp with
+      | Proto.Health_report j when prom -> (
+        match Serve.Health.to_prom j with
+        | Ok text ->
+          print_string text;
+          exit 0
+        | Error e ->
+          Printf.eprintf "pgclient: %s\n" e;
+          exit 1)
+      | _ ->
+        print_response ~json resp;
+        exit (exit_code resp)))
 
 let cmd =
   let doc = "Client for the pgserve solver daemon." in
@@ -358,6 +378,6 @@ let cmd =
       const run $ connect_arg $ op_arg $ case_arg $ scale_arg $ mtx_arg
       $ solver_arg $ rtol_arg $ seed_arg $ deadline_arg $ robust_arg
       $ want_x_arg $ edits_arg $ retries_arg $ timeout_arg $ json_arg
-      $ inject_arg $ stall_arg)
+      $ prom_arg $ inject_arg $ stall_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -69,6 +69,32 @@ let max_iter_arg =
   let doc = "PCG iteration budget per solve." in
   Arg.(value & opt int 500 & info [ "max-iter" ] ~docv:"N" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Serve Prometheus text format on a second listener: $(b,tcp:host:port) \
+     (port 0 picks a free one; the bound address is printed) or \
+     $(b,unix:/path). Plain HTTP, $(b,GET /metrics)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"ADDR" ~doc)
+
+let access_log_arg =
+  let doc =
+    "Append one JSON line per request to $(docv) (fields: ts, id, op, \
+     outcome, reason, rung, iterations, residual, bytes_in, bytes_out, \
+     latency_ms)."
+  in
+  Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+
+let access_log_max_bytes_arg =
+  let doc =
+    "Rotate the access log when it would exceed $(docv) bytes (the old file \
+     is kept as FILE.1)."
+  in
+  Arg.(
+    value
+    & opt int (10 * 1024 * 1024)
+    & info [ "access-log-max-bytes" ] ~docv:"BYTES" ~doc)
+
 let domains_arg =
   let doc =
     "Worker domains for the parallel kernels. Defaults to \
@@ -92,8 +118,19 @@ let apply_domains = function
       Par.set_default_domains d)
 
 let run listen queue_capacity max_connections idle_timeout io_timeout
-    max_frame artificial_delay allow_shutdown scale_cap max_iter domains =
+    max_frame artificial_delay allow_shutdown scale_cap max_iter metrics
+    access_log access_log_max_bytes domains =
   apply_domains domains;
+  let metrics_addr =
+    match metrics with
+    | None -> None
+    | Some s -> (
+      match Proto.addr_of_string s with
+      | Error e ->
+        Printf.eprintf "pgserve: bad --metrics address: %s\n" e;
+        exit 2
+      | Ok a -> Some a)
+  in
   match Proto.addr_of_string listen with
   | Error e ->
     Printf.eprintf "pgserve: bad --listen address: %s\n" e;
@@ -111,6 +148,9 @@ let run listen queue_capacity max_connections idle_timeout io_timeout
         allow_shutdown;
         scale_cap;
         max_iter;
+        metrics_addr;
+        access_log;
+        access_log_max_bytes;
       }
     in
     match Serve.Daemon.start config with
@@ -120,6 +160,13 @@ let run listen queue_capacity max_connections idle_timeout io_timeout
     | Ok t ->
       Printf.printf "pgserve: listening on %s (queue %d, %d connections)\n%!"
         (Proto.addr_to_string addr) queue_capacity max_connections;
+      (match Serve.Daemon.metrics_addr t with
+       | Some a ->
+         Printf.printf "pgserve: metrics on %s\n%!" (Proto.addr_to_string a)
+       | None -> ());
+      Option.iter
+        (fun f -> Printf.printf "pgserve: access log at %s\n%!" f)
+        access_log;
       (* Signal handlers only flip the stop flag — no locks, no
          allocation — so a signal can never deadlock the daemon. *)
       let stop _ = Serve.Daemon.request_stop t in
@@ -140,6 +187,7 @@ let cmd =
       const run $ listen_arg $ queue_capacity_arg $ max_connections_arg
       $ idle_timeout_arg $ io_timeout_arg $ max_frame_arg
       $ artificial_delay_arg $ allow_shutdown_arg $ scale_cap_arg
-      $ max_iter_arg $ domains_arg)
+      $ max_iter_arg $ metrics_arg $ access_log_arg
+      $ access_log_max_bytes_arg $ domains_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,188 @@
+(* pgtop: a live terminal dashboard for a running pgserve daemon.
+
+   Polls the Health endpoint on an interval, parses the
+   pgserve-metrics/v2 report with Serve.Health, and redraws a compact
+   dashboard: throughput and error rates over the rolling 1m/5m/15m
+   windows, latency percentiles with a sparkline of the service-time
+   histogram, queue/session occupancy, and the fallback ladder.
+
+   When stdout is a terminal the screen is cleared between frames; when
+   piped, frames are separated by a blank line so the output stays
+   greppable.
+
+   Examples:
+     pgtop --connect unix:/tmp/pgserve.sock
+     pgtop --connect tcp:127.0.0.1:7070 --interval 1 --iterations 3 *)
+
+open Cmdliner
+
+let connect_arg =
+  let doc = "Daemon address ($(b,unix:)path or $(b,tcp:)host:port)." in
+  Arg.(
+    value
+    & opt string "unix:/tmp/pgserve.sock"
+    & info [ "connect"; "c" ] ~docv:"ADDR" ~doc)
+
+let interval_arg =
+  let doc = "Seconds between polls." in
+  Arg.(value & opt float 2.0 & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc)
+
+let iterations_arg =
+  let doc = "Stop after $(docv) frames (default: run until interrupted)." in
+  Arg.(
+    value & opt (some int) None & info [ "iterations" ] ~docv:"N" ~doc)
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(* Compress the histogram's occupied bucket range into [width] columns,
+   each column the sum of its buckets, drawn with eighth-block glyphs. *)
+let sparkline ?(width = 40) h =
+  match Obs.Hist.bucket_counts h with
+  | [] -> String.make width ' '
+  | counts ->
+    let lo = fst (List.hd counts) in
+    let hi = fst (List.nth counts (List.length counts - 1)) in
+    let span = max 1 (hi - lo + 1) in
+    let cols = Array.make (min width span) 0 in
+    let ncols = Array.length cols in
+    List.iter
+      (fun (i, c) ->
+        let col = (i - lo) * ncols / span in
+        cols.(col) <- cols.(col) + c)
+      counts;
+    let peak = Array.fold_left max 1 cols in
+    let buf = Buffer.create (width * 3) in
+    Array.iter
+      (fun c ->
+        if c = 0 then Buffer.add_char buf ' '
+        else begin
+          let lvl = (c * 7 + peak - 1) / peak in
+          Buffer.add_string buf spark_levels.(min 7 lvl)
+        end)
+      cols;
+    Buffer.contents buf
+
+let pct h p =
+  if Obs.Hist.count h = 0 then 0.0 else Obs.Hist.percentile h p *. 1000.0
+
+let fmt_uptime s =
+  let s = int_of_float s in
+  if s < 60 then Printf.sprintf "%ds" s
+  else if s < 3600 then Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+  else Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+
+let render (v : Serve.Health.view) =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "pgserve %s  up %s  conns %d active / %d accepted / %d rejected"
+    v.Serve.Health.schema (fmt_uptime v.Serve.Health.uptime_s)
+    v.Serve.Health.conns_active v.Serve.Health.conns_accepted
+    v.Serve.Health.conns_rejected;
+  line
+    "queue %d/%d inflight  sessions %d/%d  engine hit-rate %.0f%% (%d hits, \
+     %d misses)"
+    v.Serve.Health.inflight v.Serve.Health.queue_capacity
+    v.Serve.Health.sessions_open v.Serve.Health.sessions_capacity
+    (100.0 *. v.Serve.Health.engine_hit_rate)
+    v.Serve.Health.engine_hits v.Serve.Health.engine_misses;
+  line "";
+  line
+    "requests %d  solved %d  updated %d  diagnosed %d  unconverged %d  \
+     failed %d  timed-out %d  shed %d  rejected %d  bad %d  io-err %d"
+    v.Serve.Health.requests_total v.Serve.Health.solved
+    v.Serve.Health.updated v.Serve.Health.diagnosed
+    v.Serve.Health.unconverged v.Serve.Health.failed
+    v.Serve.Health.timed_out v.Serve.Health.shed v.Serve.Health.rejected
+    v.Serve.Health.bad_request v.Serve.Health.io_errors;
+  line "";
+  (match v.Serve.Health.windows with
+   | [] -> line "(no rolling windows: v1 report)"
+   | ws ->
+     line "%-5s %10s %10s %8s %9s %9s %9s" "win" "req/s" "fb-rate" "errors"
+       "p50 ms" "p95 ms" "p99 ms";
+     List.iter
+       (fun (w : Serve.Health.window) ->
+         let p q =
+           match w.Serve.Health.latency with
+           | Some h -> pct h q
+           | None -> 0.0
+         in
+         line "%-5s %10.2f %10.3f %8.0f %9.2f %9.2f %9.2f"
+           w.Serve.Health.label w.Serve.Health.req_s
+           w.Serve.Health.fallback_rate w.Serve.Health.errors (p 50.0)
+           (p 95.0) (p 99.0))
+       ws);
+  line "";
+  (match v.Serve.Health.latency with
+   | Some h when Obs.Hist.count h > 0 ->
+     line "latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%d samples)"
+       (pct h 50.0) (pct h 95.0) (pct h 99.0) (Obs.Hist.count h);
+     line "  %s" (sparkline h)
+   | _ -> line "latency  (no samples yet)");
+  (match v.Serve.Health.queue_wait with
+   | Some h when Obs.Hist.count h > 0 ->
+     line "queue-wait  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms" (pct h 50.0)
+       (pct h 95.0) (pct h 99.0)
+   | _ -> ());
+  line "";
+  line "fallback  engaged %d  escalations %d%s%s"
+    v.Serve.Health.fallback_engaged v.Serve.Health.fallback_escalations
+    (match v.Serve.Health.fallback_last_rung with
+     | Some r -> "  last rung " ^ r
+     | None -> "")
+    (match v.Serve.Health.fallback_last_residual with
+     | Some r -> Printf.sprintf "  residual %.2e" r
+     | None -> "");
+  (match v.Serve.Health.fallback_rungs with
+   | [] -> ()
+   | rungs ->
+     List.iter
+       (fun (name, wins) -> line "  %-28s %6d won" name wins)
+       rungs);
+  Buffer.contents b
+
+let run connect interval iterations =
+  match Proto.addr_of_string connect with
+  | Error e ->
+    Printf.eprintf "pgtop: bad --connect address: %s\n" e;
+    exit 2
+  | Ok addr ->
+    let tty = Unix.isatty Unix.stdout in
+    let frames = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (match
+         Serve.Client.call ~retry:Serve.Client.no_retry addr Proto.Health
+       with
+       | Error e ->
+         Printf.eprintf "pgtop: %s\n" e;
+         exit 1
+       | Ok (Proto.Health_report j) -> (
+         match Serve.Health.of_json j with
+         | Error e ->
+           Printf.eprintf "pgtop: bad health report: %s\n" e;
+           exit 1
+         | Ok v ->
+           if tty then print_string "\027[H\027[2J";
+           print_string (render v);
+           if not tty then print_newline ();
+           flush stdout)
+       | Ok resp ->
+         Printf.eprintf "pgtop: unexpected response: %s\n"
+           (Obs.Json.to_string (Proto.response_to_json resp));
+         exit 1);
+      incr frames;
+      (match iterations with
+       | Some n when !frames >= n -> continue := false
+       | _ -> Thread.delay interval)
+    done
+
+let cmd =
+  let doc = "Live terminal dashboard for the pgserve daemon." in
+  Cmd.v
+    (Cmd.info "pgtop" ~doc)
+    Term.(const run $ connect_arg $ interval_arg $ iterations_arg)
+
+let () = exit (Cmd.eval cmd)

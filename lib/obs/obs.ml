@@ -374,6 +374,23 @@ module Hist = struct
   let min_value h = h.min_v
   let max_value h = h.max_v
 
+  (* Upper edge of bucket [i]: the underflow sink ends at the lowest
+     representable edge, interior bucket [i] at 2^(min_exp + i/4), and
+     the overflow sink is unbounded. Exposed so exporters (Prometheus
+     cumulative [le] buckets, dashboard sparklines) can label buckets
+     without knowing the quarter-octave layout. *)
+  let bucket_upper_edge i =
+    if i <= 0 then 2.0 ** float_of_int min_exp
+    else if i >= n_buckets - 1 then infinity
+    else 2.0 ** (float_of_int min_exp +. (float_of_int i /. 4.0))
+
+  let bucket_counts h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (i, h.counts.(i)) :: !acc
+    done;
+    !acc
+
   let copy h =
     { total = h.total; min_v = h.min_v; max_v = h.max_v;
       counts = Array.copy h.counts }
@@ -456,6 +473,489 @@ module Hist = struct
         with Exit -> Error "hist: malformed bucket entry")
       | _ -> Error "hist: missing min/max/buckets")
     | _ -> Error "hist: missing count"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows *)
+
+module Window = struct
+  (* A ring of fixed wall-clock buckets: bucket [e mod n] holds the
+     total recorded during epoch e = floor(now / bucket_s). Slots are
+     lazily zeroed when revisited after a wrap, so neither recording nor
+     querying ever scans more than the ring. Like [Hist], only plain
+     sums are kept, so window queries are deterministic given the
+     samples and their timestamps ([?now] is injectable for tests). *)
+
+  let wall = Unix.gettimeofday
+
+  type t = {
+    bucket_s : float;
+    n : int;
+    epochs : int array; (* epoch stamped into each slot; -1 = never *)
+    vals : float array;
+  }
+
+  let create ?(bucket_s = 5.0) ?(slots = 181) () =
+    let n = max 2 slots in
+    {
+      bucket_s = (if bucket_s > 0.0 then bucket_s else 5.0);
+      n;
+      epochs = Array.make n (-1);
+      vals = Array.make n 0.0;
+    }
+
+  let epoch_of t now = int_of_float (Float.floor (now /. t.bucket_s))
+
+  let add ?now t v =
+    let now = match now with Some x -> x | None -> wall () in
+    let e = epoch_of t now in
+    if e >= 0 then begin
+      let i = e mod t.n in
+      if t.epochs.(i) <> e then begin
+        t.epochs.(i) <- e;
+        t.vals.(i) <- 0.0
+      end;
+      t.vals.(i) <- t.vals.(i) +. v
+    end
+
+  (* Sum over the last ceil(span_s / bucket_s) buckets, current
+     (partial) bucket included; clamped to the ring depth. *)
+  let sum ?now t ~span_s =
+    let now = match now with Some x -> x | None -> wall () in
+    let e = epoch_of t now in
+    let k =
+      let k = int_of_float (Float.ceil (span_s /. t.bucket_s)) in
+      if k < 1 then 1 else if k > t.n then t.n else k
+    in
+    let acc = ref 0.0 in
+    for j = 0 to k - 1 do
+      let ej = e - j in
+      if ej >= 0 then begin
+        let i = ej mod t.n in
+        if t.epochs.(i) = ej then acc := !acc +. t.vals.(i)
+      end
+    done;
+    !acc
+
+  let rate ?now t ~span_s =
+    if span_s <= 0.0 then 0.0 else sum ?now t ~span_s /. span_s
+
+  (* Same ring, one histogram per slot: [merged] folds the live slots
+     with [Hist.merge], which is exactly associative, so a windowed
+     percentile is as deterministic as a lifetime one. *)
+  type hist = {
+    h_bucket_s : float;
+    h_n : int;
+    h_epochs : int array;
+    hists : Hist.t array;
+  }
+
+  let create_hist ?(bucket_s = 5.0) ?(slots = 181) () =
+    let n = max 2 slots in
+    {
+      h_bucket_s = (if bucket_s > 0.0 then bucket_s else 5.0);
+      h_n = n;
+      h_epochs = Array.make n (-1);
+      hists = Array.init n (fun _ -> Hist.create ());
+    }
+
+  let hist_epoch_of w now = int_of_float (Float.floor (now /. w.h_bucket_s))
+
+  let observe ?now w v =
+    let now = match now with Some x -> x | None -> wall () in
+    let e = hist_epoch_of w now in
+    if e >= 0 then begin
+      let i = e mod w.h_n in
+      if w.h_epochs.(i) <> e then begin
+        w.h_epochs.(i) <- e;
+        w.hists.(i) <- Hist.create ()
+      end;
+      Hist.add w.hists.(i) v
+    end
+
+  let merged ?now w ~span_s =
+    let now = match now with Some x -> x | None -> wall () in
+    let e = hist_epoch_of w now in
+    let k =
+      let k = int_of_float (Float.ceil (span_s /. w.h_bucket_s)) in
+      if k < 1 then 1 else if k > w.h_n then w.h_n else k
+    in
+    let acc = ref (Hist.create ()) in
+    for j = k - 1 downto 0 do
+      let ej = e - j in
+      if ej >= 0 then begin
+        let i = ej mod w.h_n in
+        if w.h_epochs.(i) = ej then acc := Hist.merge !acc w.hists.(i)
+      end
+    done;
+    !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+module Prom = struct
+  (* Prometheus text format 0.0.4 rendering plus a structural validator
+     (the bundled fallback for environments without promtool). *)
+
+  type metric =
+    | Counter of { name : string; help : string; value : float }
+    | Gauge of { name : string; help : string; value : float }
+    | Histogram of { name : string; help : string; hist : Hist.t }
+
+  let name_start_ok c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+  let name_ok c = name_start_ok c || (c >= '0' && c <= '9')
+
+  (* Map an Obs path ("serve/requests") onto the metric-name alphabet
+     [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+  let metric_name s =
+    let b = Buffer.create (String.length s + 1) in
+    String.iteri
+      (fun i c ->
+        let c = if name_ok c then c else '_' in
+        if i = 0 && not (name_start_ok c) then Buffer.add_char b '_';
+        Buffer.add_char b c)
+      s;
+    if Buffer.length b = 0 then "_" else Buffer.contents b
+
+  (* Prometheus floats are Go floats: NaN / +Inf / -Inf spelled out. *)
+  let value_repr f =
+    if Float.is_nan f then "NaN"
+    else if f = infinity then "+Inf"
+    else if f = neg_infinity then "-Inf"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let escape_help s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let render metrics =
+    let b = Buffer.create 1024 in
+    let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    let head name help kind =
+      if help <> "" then add "# HELP %s %s\n" name (escape_help help);
+      add "# TYPE %s %s\n" name kind
+    in
+    List.iter
+      (fun m ->
+        match m with
+        | Counter { name; help; value } ->
+          let name = metric_name name in
+          head name help "counter";
+          add "%s %s\n" name (value_repr value)
+        | Gauge { name; help; value } ->
+          let name = metric_name name in
+          head name help "gauge";
+          add "%s %s\n" name (value_repr value)
+        | Histogram { name; help; hist } ->
+          let name = metric_name name in
+          head name help "histogram";
+          let total = Hist.count hist in
+          let cum = ref 0 in
+          (* The stored histogram has no float sum (that is what makes
+             its merge exact); approximate _sum from bucket midpoints
+             clamped to the observed min/max. *)
+          let sum = ref 0.0 in
+          List.iter
+            (fun (i, c) ->
+              cum := !cum + c;
+              add "%s_bucket{le=\"%s\"} %d\n" name
+                (value_repr (Hist.bucket_upper_edge i))
+                !cum;
+              let mid =
+                if i <= 0 then Hist.min_value hist
+                else
+                  let lo = Hist.bucket_upper_edge (i - 1)
+                  and hi = Hist.bucket_upper_edge i in
+                  if Float.is_finite hi then sqrt (lo *. hi)
+                  else Hist.max_value hist
+              in
+              let mid =
+                Float.min (Hist.max_value hist)
+                  (Float.max (Hist.min_value hist) mid)
+              in
+              sum := !sum +. (float_of_int c *. mid))
+            (Hist.bucket_counts hist);
+          add "%s_bucket{le=\"+Inf\"} %d\n" name total;
+          add "%s_sum %s\n" name (value_repr (if total = 0 then 0.0 else !sum));
+          add "%s_count %d\n" name total)
+      metrics;
+    Buffer.contents b
+
+  (* ---- validator ---- *)
+
+  type family = {
+    mutable ftype : string; (* "" until a TYPE line names it *)
+    mutable sampled : bool;
+    mutable buckets : (float * float) list; (* le, cumulative count *)
+    mutable count_v : float option;
+  }
+
+  let validate text =
+    let err = ref None in
+    let fail line msg =
+      if !err = None then err := Some (Printf.sprintf "line %d: %s" line msg)
+    in
+    let families : (string, family) Hashtbl.t = Hashtbl.create 16 in
+    let family name =
+      match Hashtbl.find_opt families name with
+      | Some f -> f
+      | None ->
+        let f =
+          { ftype = ""; sampled = false; buckets = []; count_v = None }
+        in
+        Hashtbl.add families name f;
+        f
+    in
+    (* strip the histogram-series suffix so _bucket/_sum/_count samples
+       attach to their family *)
+    let base_of name =
+      let strip suffix =
+        let ls = String.length suffix and ln = String.length name in
+        if ln > ls && String.sub name (ln - ls) ls = suffix then
+          Some (String.sub name 0 (ln - ls))
+        else None
+      in
+      match strip "_bucket" with
+      | Some b when (family b).ftype = "histogram" -> (b, `Bucket)
+      | _ -> (
+        match strip "_sum" with
+        | Some b when (family b).ftype = "histogram" -> (b, `Sum)
+        | _ -> (
+          match strip "_count" with
+          | Some b when (family b).ftype = "histogram" -> (b, `Count)
+          | _ -> (name, `Plain)))
+    in
+    let valid_name s =
+      s <> ""
+      && name_start_ok s.[0]
+      && String.for_all name_ok s
+    in
+    let parse_float s =
+      match s with
+      | "+Inf" | "Inf" -> Some infinity
+      | "-Inf" -> Some neg_infinity
+      | "NaN" -> Some Float.nan
+      | s -> float_of_string_opt s
+    in
+    let n_samples = ref 0 in
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        if !err <> None || line = "" then ()
+        else if line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: kind ->
+            let kind = String.concat " " kind in
+            if not (valid_name name) then
+              fail lineno (Printf.sprintf "bad metric name %S" name)
+            else if
+              not
+                (List.mem kind
+                   [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+            then fail lineno (Printf.sprintf "bad TYPE %S" kind)
+            else begin
+              let f = family name in
+              if f.sampled then
+                fail lineno
+                  (Printf.sprintf "TYPE %s after its samples" name)
+              else if f.ftype <> "" then
+                fail lineno (Printf.sprintf "duplicate TYPE for %s" name)
+              else f.ftype <- kind
+            end
+          | "#" :: "HELP" :: name :: _ ->
+            if not (valid_name name) then
+              fail lineno (Printf.sprintf "bad metric name %S" name)
+          | _ -> () (* free-form comment *)
+        end
+        else begin
+          (* sample line: name[{labels}] value [timestamp] *)
+          let name_end =
+            let rec go j =
+              if j < String.length line && name_ok line.[j] then go (j + 1)
+              else j
+            in
+            go 0
+          in
+          let name = String.sub line 0 name_end in
+          if not (valid_name name) then
+            fail lineno (Printf.sprintf "bad metric name at %S" line)
+          else begin
+            let rest =
+              String.sub line name_end (String.length line - name_end)
+            in
+            (* split off the label block, honoring quoted strings *)
+            let labels, rest =
+              if rest <> "" && rest.[0] = '{' then begin
+                let buf = Buffer.create 32 in
+                let j = ref 1 and closed = ref false and quoted = ref false in
+                while (not !closed) && !j < String.length rest do
+                  let c = rest.[!j] in
+                  (if !quoted then begin
+                     if c = '\\' && !j + 1 < String.length rest then begin
+                       Buffer.add_char buf c;
+                       incr j;
+                       Buffer.add_char buf rest.[!j]
+                     end
+                     else begin
+                       if c = '"' then quoted := false;
+                       Buffer.add_char buf c
+                     end
+                   end
+                   else if c = '"' then begin
+                     quoted := true;
+                     Buffer.add_char buf c
+                   end
+                   else if c = '}' then closed := true
+                   else Buffer.add_char buf c);
+                  incr j
+                done;
+                if not !closed then begin
+                  fail lineno "unterminated label block";
+                  (None, "")
+                end
+                else
+                  ( Some (Buffer.contents buf),
+                    String.sub rest !j (String.length rest - !j) )
+              end
+              else (None, rest)
+            in
+            let le = ref None in
+            (match labels with
+             | None -> ()
+             | Some body ->
+               if body <> "" then
+                 (* split on commas outside quotes *)
+                 let parts = ref [] and buf = Buffer.create 16 in
+                 let quoted = ref false in
+                 String.iter
+                   (fun c ->
+                     if c = '"' then begin
+                       quoted := not !quoted;
+                       Buffer.add_char buf c
+                     end
+                     else if c = ',' && not !quoted then begin
+                       parts := Buffer.contents buf :: !parts;
+                       Buffer.clear buf
+                     end
+                     else Buffer.add_char buf c)
+                   body;
+                 if Buffer.length buf > 0 then
+                   parts := Buffer.contents buf :: !parts;
+                 List.iter
+                   (fun part ->
+                     match String.index_opt part '=' with
+                     | None -> fail lineno (Printf.sprintf "bad label %S" part)
+                     | Some eq ->
+                       let k = String.sub part 0 eq in
+                       let v =
+                         String.sub part (eq + 1)
+                           (String.length part - eq - 1)
+                       in
+                       if
+                         not
+                           (valid_name k
+                           && not (String.contains k ':'))
+                       then
+                         fail lineno (Printf.sprintf "bad label name %S" k)
+                       else if
+                         String.length v < 2
+                         || v.[0] <> '"'
+                         || v.[String.length v - 1] <> '"'
+                       then
+                         fail lineno
+                           (Printf.sprintf "label %s value not quoted" k)
+                       else if k = "le" then
+                         le :=
+                           parse_float (String.sub v 1 (String.length v - 2)))
+                   (List.rev !parts));
+            if !err = None then begin
+              let fields =
+                List.filter (fun s -> s <> "")
+                  (String.split_on_char ' '
+                     (String.concat " " (String.split_on_char '\t' rest)))
+              in
+              match fields with
+              | value :: timestamp -> (
+                match parse_float value with
+                | None -> fail lineno (Printf.sprintf "bad value %S" value)
+                | Some v -> (
+                  incr n_samples;
+                  let base, role = base_of name in
+                  let f = family base in
+                  f.sampled <- true;
+                  (match role with
+                   | `Bucket -> (
+                     match !le with
+                     | None -> fail lineno "histogram bucket without le label"
+                     | Some edge -> f.buckets <- (edge, v) :: f.buckets)
+                   | `Count -> f.count_v <- Some v
+                   | `Sum | `Plain -> ());
+                  match timestamp with
+                  | [] -> ()
+                  | [ ts ] ->
+                    if int_of_string_opt ts = None then
+                      fail lineno (Printf.sprintf "bad timestamp %S" ts)
+                  | _ -> fail lineno "trailing fields after timestamp"))
+              | [] -> fail lineno "sample without a value"
+            end
+          end
+        end)
+      lines;
+    (* histogram invariants: cumulative counts non-decreasing in le, and
+       the +Inf bucket equal to _count *)
+    if !err = None then
+      Hashtbl.iter
+        (fun name f ->
+          if f.ftype = "histogram" && !err = None then begin
+            let buckets =
+              List.stable_sort
+                (fun (a, _) (b, _) -> compare (a : float) b)
+                (List.rev f.buckets)
+            in
+            let rec mono prev = function
+              | [] -> ()
+              | (edge, c) :: rest ->
+                if c < prev then
+                  fail 0
+                    (Printf.sprintf
+                       "histogram %s: bucket le=%s count %g below previous %g"
+                       name (value_repr edge) c prev)
+                else mono c rest
+            in
+            mono 0.0 buckets;
+            if f.sampled && f.buckets = [] then
+              fail 0 (Printf.sprintf "histogram %s has no buckets" name);
+            (match (List.rev buckets, f.count_v) with
+             | (edge, last) :: _, Some count when edge = infinity ->
+               if last <> count then
+                 fail 0
+                   (Printf.sprintf
+                      "histogram %s: +Inf bucket %g <> count %g" name last
+                      count)
+             | (edge, _) :: _, _ when edge <> infinity ->
+               fail 0
+                 (Printf.sprintf "histogram %s lacks a +Inf bucket" name)
+             | _ -> ())
+          end)
+        families;
+    match !err with
+    | Some msg -> Error msg
+    | None ->
+      Ok
+        (Printf.sprintf "%d sample(s) across %d famil(ies)" !n_samples
+           (Hashtbl.length families))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -937,7 +1437,12 @@ let record_of_json j =
         | (k, v) :: rest -> (
           match Json.to_float v with
           | Some f -> go ((k, f) :: acc) rest
-          | None -> Error (Printf.sprintf "record: counter %S not numeric" k))
+          | None -> (
+            (* non-finite counters serialize as null (JSON has no
+               NaN/Inf); accept them back so every record round-trips *)
+            match v with
+            | Json.Null -> go ((k, Float.nan) :: acc) rest
+            | _ -> Error (Printf.sprintf "record: counter %S not numeric" k)))
       in
       go [] fields
     | _ -> Error "record: missing \"counters\" object"

@@ -89,6 +89,90 @@ module Hist : sig
   val of_json : Json.t -> (t, string) result
   (** Inverse of {!to_json} (the derived p50/p95/p99 convenience fields
       are recomputed, not parsed). *)
+
+  val bucket_counts : t -> (int * int) list
+  (** Non-empty buckets as [(index, count)] pairs in ascending index
+      order. Indices are stable across processes (the bucket layout is a
+      compile-time constant), so exporters can label them with
+      {!bucket_upper_edge}. *)
+
+  val bucket_upper_edge : int -> float
+  (** Upper edge of bucket [i]: the underflow sink (index 0) ends at the
+      lowest representable edge, interior buckets at
+      2{^min_exp + i/4}, and the overflow sink is [infinity]. *)
+end
+
+(** {1 Rolling windows} *)
+
+module Window : sig
+  (** Rolling-window aggregation: a ring of fixed wall-clock buckets
+      (epoch [floor(now / bucket_s)] lands in slot [epoch mod slots]),
+      lazily zeroed on wrap. Queries sum the most recent
+      [ceil(span_s / bucket_s)] buckets including the current partial
+      one, so a window is deterministic given the samples and their
+      timestamps — [?now] is injectable everywhere for tests and
+      defaults to the wall clock. *)
+
+  type t
+  (** A windowed counter. *)
+
+  val create : ?bucket_s:float -> ?slots:int -> unit -> t
+  (** Default 5-second buckets, 181 slots (covers a 15-minute window
+      plus the current partial bucket). [slots] is clamped to >= 2. *)
+
+  val add : ?now:float -> t -> float -> unit
+  val sum : ?now:float -> t -> span_s:float -> float
+
+  val rate : ?now:float -> t -> span_s:float -> float
+  (** [sum /. span_s]; [0.0] when [span_s <= 0.0]. *)
+
+  type hist
+  (** A windowed histogram: one {!Hist.t} per slot. *)
+
+  val create_hist : ?bucket_s:float -> ?slots:int -> unit -> hist
+  val observe : ?now:float -> hist -> float -> unit
+
+  val merged : ?now:float -> hist -> span_s:float -> Hist.t
+  (** Merge the live slots covering the window, oldest first. Because
+      {!Hist.merge} is exactly associative, the result is a pure
+      function of the recorded samples. *)
+end
+
+(** {1 Prometheus exposition} *)
+
+module Prom : sig
+  (** Prometheus text exposition format 0.0.4: rendering of counters,
+      gauges, and log-bucketed {!Hist} histograms (cumulative [le]
+      buckets), plus a structural validator used as the bundled
+      fallback where promtool is unavailable. *)
+
+  type metric =
+    | Counter of { name : string; help : string; value : float }
+    | Gauge of { name : string; help : string; value : float }
+    | Histogram of { name : string; help : string; hist : Hist.t }
+
+  val metric_name : string -> string
+  (** Map an Obs path (["serve/requests"]) onto the metric-name
+      alphabet [[a-zA-Z_:][a-zA-Z0-9_:]*] (slashes and other separators
+      become underscores; a leading digit gains a [_] prefix). *)
+
+  val render : metric list -> string
+  (** Render [# HELP] / [# TYPE] headers and samples. Histograms emit
+      cumulative [_bucket{le="..."}] series (one per non-empty bucket,
+      ascending, plus [+Inf]), [_count], and a [_sum] approximated from
+      bucket geometric midpoints clamped to the observed min/max (the
+      histogram stores no float sum — that is what makes its merge
+      exact). Non-finite values render as [NaN] / [+Inf] / [-Inf],
+      which the text format allows. *)
+
+  val validate : string -> (string, string) result
+  (** Structural checker for text-format 0.0.4 exposition: metric and
+      label names must match the grammar, label values must be quoted,
+      sample values must parse as floats ([+Inf]/[-Inf]/[NaN]
+      included), [TYPE] lines must precede their samples and not
+      repeat, and histogram families must have cumulative bucket counts
+      that are non-decreasing in [le] with a [+Inf] bucket equal to
+      [_count]. [Ok summary] on success. *)
 end
 
 (** {1 Global switches} *)

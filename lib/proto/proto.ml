@@ -17,7 +17,7 @@ let addr_of_string s =
       let host = String.sub rest 0 i in
       let port = String.sub rest (i + 1) (String.length rest - i - 1) in
       match int_of_string_opt port with
-      | Some p when p > 0 && p < 65536 ->
+      | Some p when p >= 0 && p < 65536 ->
         Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
       | Some p -> Error (Printf.sprintf "tcp port %d out of range" p)
       | None -> Error (Printf.sprintf "malformed tcp port %S" port))

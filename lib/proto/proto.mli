@@ -30,7 +30,8 @@ type addr =
 
 val addr_of_string : string -> (addr, string) result
 (** Parses ["unix:/path/to.sock"] and ["tcp:host:port"]. A bare path
-    containing ['/'] is accepted as a Unix socket path. *)
+    containing ['/'] is accepted as a Unix socket path. Port [0] is
+    accepted (bind an ephemeral port — used by the metrics listener). *)
 
 val addr_to_string : addr -> string
 (** Inverse of {!addr_of_string} (canonical [unix:]/[tcp:] form). *)

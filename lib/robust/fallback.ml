@@ -70,6 +70,7 @@ let run ?(rtol = 1e-6) ?deadline ~rungs problem =
   let fail attempts a =
     (* each recorded failure is one escalation to the next rung *)
     Obs.count "robust/escalations" 1;
+    Obs.count ("robust/failed/" ^ a.rung) 1;
     a :: attempts
   in
   let rec go attempts = function
@@ -107,7 +108,9 @@ let run ?(rtol = 1e-6) ?deadline ~rungs problem =
       match rung.solve problem with
       | sol ->
         let residual = Sddm.Problem.residual_norm problem sol.x in
-        if Float.is_finite residual && residual <= rtol then
+        if Float.is_finite residual && residual <= rtol then begin
+          Obs.count ("robust/won/" ^ rung.name) 1;
+          Obs.gauge "robust/residual" residual;
           {
             x = Some sol.x;
             winner = Some rung.name;
@@ -116,6 +119,7 @@ let run ?(rtol = 1e-6) ?deadline ~rungs problem =
             note = sol.note;
             attempts = List.rev attempts;
           }
+        end
         else
           go
             (fail attempts

@@ -11,6 +11,9 @@ type config = {
   max_iter : int;
   scale_cap : float;
   max_sessions : int;
+  metrics_addr : Proto.addr option;
+  access_log : string option;
+  access_log_max_bytes : int;
 }
 
 let default_config addr =
@@ -27,6 +30,9 @@ let default_config addr =
     max_iter = 500;
     scale_cap = 1.0;
     max_sessions = 4;
+    metrics_addr = None;
+    access_log = None;
+    access_log_max_bytes = 10 * 1024 * 1024;
   }
 
 type stats = {
@@ -66,6 +72,29 @@ type t = {
          Created/used only while holding the solve lane; the table itself
          is mutated under [lock] so metrics can read its size. *)
   mutable session_order : string list;  (* FIFO eviction order, oldest last *)
+  (* request ids: boot tag + monotonic sequence, minted per frame *)
+  boot_tag : string;
+  mutable req_seq : int;
+  (* rolling windows (guarded by [lock], like the lifetime hists) *)
+  w_requests : Obs.Window.t;
+  w_fallbacks : Obs.Window.t;
+  w_errors : Obs.Window.t;
+  w_latency : Obs.Window.hist;
+  (* fallback / rung surfacing (guarded by [lock]) *)
+  mutable fb_engaged : int;
+  mutable fb_escalations : int;
+  mutable fb_last_rung : string;
+  mutable fb_last_residual : float;
+  fb_rungs : (string, int) Hashtbl.t;
+  mutable fb_rung_order : string list;  (* first-won order, newest first *)
+  (* structured access log (its own lock: log writes must not contend
+     with the metrics path) *)
+  log_lock : Mutex.t;
+  mutable log_chan : out_channel option;
+  mutable log_bytes : int;
+  (* metrics listener *)
+  mutable metrics_bound : Proto.addr option;
+  mutable metrics_thread : Thread.t option;
 }
 
 let addr t = t.config.addr
@@ -80,6 +109,137 @@ let locked t f =
 
 let bump t f = locked t (fun () -> f t.stats)
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- request ids ---- *)
+
+(* "<boot>-<seq>": the boot tag makes ids unique across restarts, the
+   sequence across requests. The same id names the request everywhere:
+   access-log line, Obs span tree (path "req/<id>/..."), error text. *)
+let next_request_id t =
+  locked t (fun () ->
+      t.req_seq <- t.req_seq + 1;
+      Printf.sprintf "%s-%06d" t.boot_tag t.req_seq)
+
+(* ---- fallback / rung surfacing ---- *)
+
+(* Record which rung answered a request (robust-chain winner or ECO
+   update rung) and how many escalations it took to get there. *)
+let note_rung t ?(escalations = 0) ?residual rung =
+  locked t (fun () ->
+      if escalations > 0 then begin
+        t.fb_engaged <- t.fb_engaged + 1;
+        t.fb_escalations <- t.fb_escalations + escalations;
+        Obs.Window.add t.w_fallbacks (float_of_int escalations)
+      end;
+      if rung <> "" then begin
+        t.fb_last_rung <- rung;
+        (match Hashtbl.find_opt t.fb_rungs rung with
+         | Some n -> Hashtbl.replace t.fb_rungs rung (n + 1)
+         | None ->
+           Hashtbl.add t.fb_rungs rung 1;
+           t.fb_rung_order <- rung :: t.fb_rung_order);
+        match residual with
+        | Some r -> t.fb_last_residual <- r
+        | None -> ()
+      end)
+
+(* ---- structured access log ---- *)
+
+let log_open_quiet path =
+  try Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  with Sys_error _ -> None
+
+(* One JSONL line per request, written after the response frame. Size-
+   based rotation: when the next line would cross the cap, FILE is
+   renamed to FILE.1 (replacing any previous FILE.1) and reopened. *)
+let access_log_write t line =
+  match t.config.access_log with
+  | None -> ()
+  | Some path ->
+    Mutex.lock t.log_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.log_lock)
+      (fun () ->
+        (match t.log_chan with
+         | Some _ -> ()
+         | None ->
+           t.log_chan <- log_open_quiet path;
+           t.log_bytes <-
+             (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0));
+        let len = String.length line + 1 in
+        (match t.log_chan with
+         | Some oc
+           when t.log_bytes > 0
+                && t.log_bytes + len > t.config.access_log_max_bytes ->
+           close_out_noerr oc;
+           (try Sys.rename path (path ^ ".1") with Sys_error _ -> ());
+           t.log_chan <- log_open_quiet path;
+           t.log_bytes <- 0
+         | _ -> ());
+        match t.log_chan with
+        | None -> ()
+        | Some oc ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          t.log_bytes <- t.log_bytes + len)
+
+let access_log_close t =
+  Mutex.lock t.log_lock;
+  (match t.log_chan with Some oc -> close_out_noerr oc | None -> ());
+  t.log_chan <- None;
+  Mutex.unlock t.log_lock
+
+let op_name = function
+  | Proto.Ping -> "ping"
+  | Proto.Health -> "health"
+  | Proto.Shutdown -> "shutdown"
+  | Proto.Solve _ -> "solve"
+  | Proto.Update _ -> "update"
+  | Proto.Diagnose _ -> "diagnose"
+
+let outcome_name = function
+  | Proto.Pong -> "pong"
+  | Proto.Bye -> "bye"
+  | Proto.Health_report _ -> "health"
+  | Proto.Solved { converged; _ } ->
+    if converged then "solved" else "unconverged"
+  | Proto.Updated { converged; _ } ->
+    if converged then "updated" else "unconverged"
+  | Proto.Diagnosed _ -> "diagnosed"
+  | Proto.Rejected _ -> "rejected"
+  | Proto.Timed_out _ -> "timed_out"
+  | Proto.Failed _ -> "failed"
+
+let access_line ~id ~op ~resp ~bytes_in ~bytes_out ~t_recv =
+  let open Obs.Json in
+  let opt_str = function Some s -> Str s | None -> Null in
+  let reason, rung, iterations, residual =
+    match resp with
+    | Proto.Rejected { reason } | Proto.Failed { reason } ->
+      (Some reason, None, None, None)
+    | Proto.Solved { solver; iterations; residual; _ } ->
+      (None, Some solver, Some iterations, Some residual)
+    | Proto.Updated { rung; iterations; residual; _ } ->
+      (None, Some rung, Some iterations, Some residual)
+    | _ -> (None, None, None, None)
+  in
+  to_string
+    (Obj
+       [
+         ("ts", Float t_recv);
+         ("id", Str id);
+         ("op", Str op);
+         ("outcome", Str (outcome_name resp));
+         ("reason", opt_str reason);
+         ("rung", opt_str rung);
+         ( "iterations",
+           match iterations with Some i -> Int i | None -> Null );
+         ("residual", match residual with Some r -> Float r | None -> Null);
+         ("bytes_in", Int bytes_in);
+         ("bytes_out", Int bytes_out);
+         ("latency_ms", Float ((Obs.now () -. t_recv) *. 1000.0));
+       ])
 
 (* ---- problem construction ---- *)
 
@@ -136,6 +296,7 @@ let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
       match r.Powerrchol.Solver.outcome with
       | Powerrchol.Solver.Robust_solved
           { x; winner; iterations; residual; attempts } ->
+        note_rung t ~escalations:(List.length attempts) ~residual winner;
         Proto.Solved
           {
             solver = winner;
@@ -155,6 +316,7 @@ let exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust ~want_x =
         Proto.Failed
           { reason = "fatal diagnostics: " ^ String.concat "; " reasons }
       | Powerrchol.Solver.Robust_exhausted { attempts } ->
+        note_rung t ~escalations:(List.length attempts) "";
         let timed_out =
           List.exists
             (fun (a : Robust.Fallback.attempt) ->
@@ -257,17 +419,20 @@ let exec_update t ~t_recv ~spec ~edits ~rtol ~seed ~deadline ~want_x =
         Powerrchol.Engine.Session.solve ~rtol ~max_iter:t.config.max_iter
           ?deadline session
       in
+      let rung_name =
+        Powerrchol.Engine.Session.rung_name
+          report.Powerrchol.Engine.Session.rung
+      in
       (match r.Powerrchol.Solver.status with
        | Krylov.Pcg.Timed_out _ ->
          Proto.Timed_out { elapsed_ms = elapsed_ms t_recv }
        | _ ->
+         note_rung t ~residual:r.Powerrchol.Solver.residual rung_name;
          Proto.Updated
            {
              session = Powerrchol.Engine.Session.id session;
              version = report.Powerrchol.Engine.Session.version;
-             rung =
-               Powerrchol.Engine.Session.rung_name
-                 report.Powerrchol.Engine.Session.rung;
+             rung = rung_name;
              iterations = r.Powerrchol.Solver.iterations;
              residual = r.Powerrchol.Solver.residual;
              converged = r.Powerrchol.Solver.converged;
@@ -319,7 +484,7 @@ let exec_diagnose spec =
    the deadline (time spent queued counts against the budget), and run.
    Any exception the job leaks becomes a typed [Failed] response — the
    worker lane survives every request. *)
-let run_admitted t ~t_recv ~deadline f =
+let run_admitted t ~t_recv ~req_id ~deadline f =
   let admit =
     locked t (fun () ->
         if t.stop_flag then `Stopping
@@ -357,17 +522,42 @@ let run_admitted t ~t_recv ~deadline f =
             | _ -> (
               if t.config.artificial_delay > 0.0 then
                 Thread.delay t.config.artificial_delay;
-              try f () with
+              (* the span opens while holding the solve lane, so the
+                 root store's span stack is never touched concurrently;
+                 the whole solver span tree of this request nests under
+                 "req/<id>" — the same id the access-log line carries *)
+              try Obs.span ("req/" ^ req_id) f with
               | (Out_of_memory | Stack_overflow) as exn -> raise exn
               | exn -> Proto.Failed { reason = Printexc.to_string exn })))
 
 (* ---- metrics ---- *)
 
+(* One rolling window projected to JSON; runs under [lock]. *)
+let window_json t ~now ~label ~span_s =
+  let open Obs.Json in
+  let requests = Obs.Window.sum ~now t.w_requests ~span_s in
+  let fallbacks = Obs.Window.sum ~now t.w_fallbacks ~span_s in
+  let errors = Obs.Window.sum ~now t.w_errors ~span_s in
+  Obj
+    [
+      ("label", Str label);
+      ("span_s", Float span_s);
+      ("requests", Float requests);
+      ("req_s", Float (Obs.Window.rate ~now t.w_requests ~span_s));
+      ("fallbacks", Float fallbacks);
+      ( "fallback_rate",
+        Float (if requests > 0.0 then fallbacks /. requests else 0.0) );
+      ("errors", Float errors);
+      ( "latency_s",
+        Obs.Hist.to_json (Obs.Window.merged ~now t.w_latency ~span_s) );
+    ]
+
 let metrics t =
   let open Obs.Json in
-  let lat, qw, snapshot =
+  let lat, qw, snapshot, windows, fallback =
     locked t (fun () ->
         let s = t.stats in
+        let now = Obs.now () in
         ( Obs.Hist.copy t.latency,
           Obs.Hist.copy t.queue_wait,
           ( (s.accepted_conns, s.rejected_conns, t.active_conns),
@@ -379,7 +569,30 @@ let metrics t =
               s.failed,
               s.timed_out ),
             (s.shed, s.rejected, s.bad_request, s.io_errors),
-            (t.inflight, Hashtbl.length t.sessions) ) ))
+            (t.inflight, Hashtbl.length t.sessions) ),
+          List
+            [
+              window_json t ~now ~label:"1m" ~span_s:60.0;
+              window_json t ~now ~label:"5m" ~span_s:300.0;
+              window_json t ~now ~label:"15m" ~span_s:900.0;
+            ],
+          Obj
+            [
+              ("engaged", Int t.fb_engaged);
+              ("escalations", Int t.fb_escalations);
+              ( "last_rung",
+                if t.fb_last_rung = "" then Null else Str t.fb_last_rung );
+              ( "last_residual",
+                if Float.is_finite t.fb_last_residual then
+                  Float t.fb_last_residual
+                else Null );
+              ( "rungs",
+                Obj
+                  (List.rev_map
+                     (fun rung ->
+                       (rung, Int (Hashtbl.find t.fb_rungs rung)))
+                     t.fb_rung_order) );
+            ] ))
   in
   let ( (accepted_conns, rejected_conns, active_conns),
         (requests, solved, unconverged, updated, diagnosed, failed, timed_out),
@@ -391,7 +604,9 @@ let metrics t =
   let misses = Powerrchol.Engine.misses () in
   Obj
     [
-      ("schema", Str "pgserve-metrics/v1");
+      (* v2 = the exact v1 field set (paths and types unchanged, so v1
+         consumers keep parsing their subset) + windows + fallback *)
+      ("schema", Str "pgserve-metrics/v2");
       ("uptime_s", Float (Obs.now () -. t.started));
       ( "connections",
         Obj
@@ -442,30 +657,137 @@ let metrics t =
           ] );
       ("latency_s", Obs.Hist.to_json lat);
       ("queue_wait_s", Obs.Hist.to_json qw);
+      ("windows", windows);
+      ("fallback", fallback);
     ]
+
+let metrics_text t =
+  match Health.to_prom (metrics t) with
+  | Ok text -> text
+  | Error e -> Printf.sprintf "# render error: %s\n" e
+
+(* ---- metrics listener (plain HTTP 1.0, GET /metrics only) ---- *)
+
+(* Deliberately minimal: one request per connection, bounded read of the
+   request line, no keep-alive. A Prometheus scraper (or curl) is the
+   only intended client; everything else gets a 404/405 and a close. *)
+
+let http_write_all fd msg =
+  let rec go off =
+    if off < String.length msg then
+      match Unix.write_substring fd msg off (String.length msg - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let http_respond fd ~status ~content_type body =
+  http_write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\n\
+        Content-Type: %s\r\n\
+        Content-Length: %d\r\n\
+        Connection: close\r\n\
+        \r\n\
+        %s"
+       status content_type (String.length body) body)
+
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let deadline = Obs.now () +. 2.0 in
+  let rec go () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> Some (String.trim (String.sub (Buffer.contents buf) 0 i))
+    | None ->
+      if Obs.now () > deadline || Buffer.length buf > 4096 then None
+      else begin
+        match Unix.select [ fd ] [] [] 0.25 with
+        | [], _, _ -> go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> None
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error _ -> None)
+      end
+  in
+  go ()
+
+let metrics_conn t fd =
+  Fun.protect
+    ~finally:(fun () -> close_quiet fd)
+    (fun () ->
+      match read_request_line fd with
+      | None -> ()
+      | Some line -> (
+        match String.split_on_char ' ' line with
+        | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+          http_respond fd ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (metrics_text t)
+        | "GET" :: _ ->
+          http_respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found; try /metrics\n"
+        | _ ->
+          http_respond fd ~status:"405 Method Not Allowed"
+            ~content_type:"text/plain" "only GET is supported\n"))
+
+let metrics_loop t fd =
+  while not t.stop_flag do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> request_stop t
+    | _ -> (
+      match Unix.accept fd with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+      | cfd, _ -> metrics_conn t cfd)
+  done;
+  close_quiet fd
 
 (* ---- per-connection protocol loop ---- *)
 
 let record_latency t t_recv =
-  locked t (fun () -> Obs.Hist.add t.latency (Obs.now () -. t_recv))
+  locked t (fun () ->
+      let dt = Obs.now () -. t_recv in
+      Obs.Hist.add t.latency dt;
+      Obs.Window.observe t.w_latency dt)
 
-let count_outcome t = function
+let count_outcome t resp =
+  let err () = locked t (fun () -> Obs.Window.add t.w_errors 1.0) in
+  match resp with
   | Proto.Solved { converged; _ } ->
     bump t (fun s ->
         s.solved <- s.solved + 1;
-        if not converged then s.unconverged <- s.unconverged + 1)
+        if not converged then s.unconverged <- s.unconverged + 1);
+    if not converged then err ()
   | Proto.Updated { converged; _ } ->
     bump t (fun s ->
         s.updated <- s.updated + 1;
-        if not converged then s.unconverged <- s.unconverged + 1)
+        if not converged then s.unconverged <- s.unconverged + 1);
+    if not converged then err ()
   | Proto.Diagnosed _ -> bump t (fun s -> s.diagnosed <- s.diagnosed + 1)
-  | Proto.Failed _ -> bump t (fun s -> s.failed <- s.failed + 1)
-  | Proto.Timed_out _ -> bump t (fun s -> s.timed_out <- s.timed_out + 1)
+  | Proto.Failed _ ->
+    bump t (fun s -> s.failed <- s.failed + 1);
+    err ()
+  | Proto.Timed_out _ ->
+    bump t (fun s -> s.timed_out <- s.timed_out + 1);
+    err ()
   | Proto.Health_report _ | Proto.Pong | Proto.Bye | Proto.Rejected _ -> ()
 
 (* Returns (response, close_connection_after_reply). *)
-let dispatch t ~t_recv req =
-  bump t (fun s -> s.requests <- s.requests + 1);
+let dispatch t ~t_recv ~req_id req =
+  locked t (fun () ->
+      t.stats.requests <- t.stats.requests + 1;
+      Obs.Window.add t.w_requests 1.0);
   match req with
   | Proto.Ping -> (Proto.Pong, false)
   | Proto.Health -> (Proto.Health_report (metrics t), false)
@@ -479,7 +801,7 @@ let dispatch t ~t_recv req =
       (Proto.Rejected { reason = "shutdown disabled on this daemon" }, false)
     end
   | Proto.Diagnose { spec } ->
-    let resp = run_admitted t ~t_recv ~deadline:None (fun () ->
+    let resp = run_admitted t ~t_recv ~req_id ~deadline:None (fun () ->
         exec_diagnose spec)
     in
     count_outcome t resp;
@@ -506,7 +828,7 @@ let dispatch t ~t_recv req =
       let rtol = Float.max rtol t.config.rtol_cap in
       let deadline = Option.map (fun ms -> t_recv +. (ms /. 1000.0)) deadline_ms in
       let resp =
-        run_admitted t ~t_recv ~deadline (fun () ->
+        run_admitted t ~t_recv ~req_id ~deadline (fun () ->
             exec_solve t ~t_recv ~spec ~tag ~rtol ~seed ~deadline ~robust
               ~want_x)
       in
@@ -536,7 +858,7 @@ let dispatch t ~t_recv req =
         Option.map (fun ms -> t_recv +. (ms /. 1000.0)) deadline_ms
       in
       let resp =
-        run_admitted t ~t_recv ~deadline (fun () ->
+        run_admitted t ~t_recv ~req_id ~deadline (fun () ->
             exec_update t ~t_recv ~spec ~edits ~rtol ~seed ~deadline ~want_x)
       in
       count_outcome t resp;
@@ -602,16 +924,31 @@ let handle_conn t fd =
             continue := false
           | Ok payload -> (
             let t_recv = Obs.now () in
-            let resp, close_after =
+            let req_id = next_request_id t in
+            let op, resp, close_after =
               match Proto.request_of_string payload with
               | Error reason ->
                 bump t (fun s ->
                     s.requests <- s.requests + 1;
                     s.bad_request <- s.bad_request + 1);
-                (Proto.Rejected { reason = "bad-request: " ^ reason }, false)
-              | Ok req -> dispatch t ~t_recv req
+                ( "bad",
+                  Proto.Rejected { reason = "bad-request: " ^ reason },
+                  false )
+              | Ok req ->
+                let resp, close_after = dispatch t ~t_recv ~req_id req in
+                (op_name req, resp, close_after)
             in
-            match send t fd resp with
+            let body = Proto.response_to_string resp in
+            let sent =
+              Proto.write_frame
+                ~deadline:(Obs.now () +. t.config.io_timeout)
+                fd body
+            in
+            access_log_write t
+              (access_line ~id:req_id ~op ~resp
+                 ~bytes_in:(String.length payload)
+                 ~bytes_out:(String.length body) ~t_recv);
+            match sent with
             | Ok () -> if close_after then continue := false
             | Error _ ->
               bump t (fun s -> s.io_errors <- s.io_errors + 1);
@@ -682,49 +1019,103 @@ let bind_listen = function
               (Unix.error_message e)))
     with Not_found -> Error (Printf.sprintf "unknown host %S" host))
 
+(* The boot tag makes request ids unique across daemon restarts without
+   any shared state: pid + coarse start time, hex. *)
+let make_boot_tag () =
+  Printf.sprintf "%x-%x"
+    (Unix.getpid () land 0xffffff)
+    (int_of_float (Unix.time ()) land 0xffffff)
+
 let start config =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match bind_listen config.addr with
   | Error _ as e -> e
-  | Ok listen_fd ->
-    let t =
-      {
-        config;
-        listen_fd;
-        lock = Mutex.create ();
-        solve_lock = Mutex.create ();
-        stats =
-          {
-            accepted_conns = 0;
-            rejected_conns = 0;
-            requests = 0;
-            solved = 0;
-            unconverged = 0;
-            updated = 0;
-            diagnosed = 0;
-            failed = 0;
-            timed_out = 0;
-            shed = 0;
-            rejected = 0;
-            bad_request = 0;
-            io_errors = 0;
-          };
-        latency = Obs.Hist.create ();
-        queue_wait = Obs.Hist.create ();
-        started = Obs.now ();
-        stop_flag = false;
-        active_conns = 0;
-        inflight = 0;
-        accept_thread = None;
-        sessions = Hashtbl.create 8;
-        session_order = [];
-      }
+  | Ok listen_fd -> (
+    let metrics_bind =
+      match config.metrics_addr with
+      | None -> Ok None
+      | Some addr -> (
+        match bind_listen addr with
+        | Error e ->
+          close_quiet listen_fd;
+          Error e
+        | Ok fd ->
+          (* tcp port 0: surface the port the kernel actually picked *)
+          let bound =
+            match addr with
+            | Proto.Tcp (host, 0) -> (
+              match Unix.getsockname fd with
+              | Unix.ADDR_INET (_, port) -> Proto.Tcp (host, port)
+              | _ | (exception Unix.Unix_error _) -> addr)
+            | a -> a
+          in
+          Ok (Some (fd, bound)))
     in
-    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
-    Ok t
+    match metrics_bind with
+    | Error e -> Error e
+    | Ok metrics ->
+      let t =
+        {
+          config;
+          listen_fd;
+          lock = Mutex.create ();
+          solve_lock = Mutex.create ();
+          stats =
+            {
+              accepted_conns = 0;
+              rejected_conns = 0;
+              requests = 0;
+              solved = 0;
+              unconverged = 0;
+              updated = 0;
+              diagnosed = 0;
+              failed = 0;
+              timed_out = 0;
+              shed = 0;
+              rejected = 0;
+              bad_request = 0;
+              io_errors = 0;
+            };
+          latency = Obs.Hist.create ();
+          queue_wait = Obs.Hist.create ();
+          started = Obs.now ();
+          stop_flag = false;
+          active_conns = 0;
+          inflight = 0;
+          accept_thread = None;
+          sessions = Hashtbl.create 8;
+          session_order = [];
+          boot_tag = make_boot_tag ();
+          req_seq = 0;
+          w_requests = Obs.Window.create ();
+          w_fallbacks = Obs.Window.create ();
+          w_errors = Obs.Window.create ();
+          w_latency = Obs.Window.create_hist ();
+          fb_engaged = 0;
+          fb_escalations = 0;
+          fb_last_rung = "";
+          fb_last_residual = Float.nan;
+          fb_rungs = Hashtbl.create 8;
+          fb_rung_order = [];
+          log_lock = Mutex.create ();
+          log_chan = None;
+          log_bytes = 0;
+          metrics_bound = Option.map snd metrics;
+          metrics_thread = None;
+        }
+      in
+      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+      (match metrics with
+       | Some (fd, _) ->
+         t.metrics_thread <- Some (Thread.create (fun () -> metrics_loop t fd) ())
+       | None -> ());
+      Ok t)
+
+let metrics_addr t = t.metrics_bound
 
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.metrics_thread with Some th -> Thread.join th | None -> ());
   let rec drain () =
     let active = locked t (fun () -> t.active_conns) in
     if active > 0 then begin
@@ -737,6 +1128,11 @@ let wait t =
 let stop t =
   request_stop t;
   wait t;
-  match t.config.addr with
-  | Proto.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-  | Proto.Tcp _ -> ()
+  access_log_close t;
+  let unlink_sock = function
+    | Proto.Unix_sock path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Proto.Tcp _ -> ()
+  in
+  unlink_sock t.config.addr;
+  Option.iter unlink_sock t.metrics_bound

@@ -59,12 +59,25 @@ type config = {
       (** concurrently open ECO sessions ({!Proto.Update} state); beyond
           this the oldest session is closed FIFO — a later update on its
           spec transparently re-opens it with a fresh preparation *)
+  metrics_addr : Proto.addr option;
+      (** when set, a second listener serving Prometheus text format
+          0.0.4 over plain HTTP ([GET /metrics]). [Tcp (host, 0)] binds
+          an ephemeral port; {!metrics_addr} reports the real one. *)
+  access_log : string option;
+      (** when set, one JSON line per request is appended to this file
+          (fields: ts, id, op, outcome, reason, rung, iterations,
+          residual, bytes_in, bytes_out, latency_ms) *)
+  access_log_max_bytes : int;
+      (** size-based rotation bound: when the next line would cross it,
+          the file is renamed to [FILE.1] (replacing any previous one)
+          and a fresh file is started *)
 }
 
 val default_config : Proto.addr -> config
 (** Capacity 32, 64 connections, 30 s idle, 10 s io, 16 MiB frames, no
     artificial delay, shutdown disabled, rtol capped at 1e-14, 500
-    iterations, scale capped at 1.0, 4 sessions. *)
+    iterations, scale capped at 1.0, 4 sessions, no metrics listener,
+    no access log, 10 MiB rotation bound. *)
 
 type t
 
@@ -75,6 +88,10 @@ val start : config -> (t, string) result
     not a signal. *)
 
 val addr : t -> Proto.addr
+
+val metrics_addr : t -> Proto.addr option
+(** The address the metrics listener actually bound (ephemeral TCP
+    ports resolved), or [None] when no metrics listener was requested. *)
 
 val request_stop : t -> unit
 (** Begin graceful shutdown: stop accepting, let in-flight requests
@@ -88,7 +105,8 @@ val wait : t -> unit
     main thread while handler threads are still finishing. *)
 
 val stop : t -> unit
-(** {!request_stop} then {!wait}, then release the listening socket. *)
+(** {!request_stop} then {!wait}, then release the listening sockets and
+    close the access log. *)
 
 val metrics : t -> Obs.Json.t
 (** Snapshot of the daemon's counters: connections
@@ -96,5 +114,13 @@ val metrics : t -> Obs.Json.t
     (solved/updated/failed/timed_out/shed/bad_request/io_errors), Engine
     cache statistics (hits/misses/hit_rate/evictions/live_handles), open
     ECO session count and capacity, queue occupancy, service-time and
-    queue-wait latency histograms (with derived p50/p95/p99), uptime.
-    Schema [pgserve-metrics/v1]. *)
+    queue-wait latency histograms (with derived p50/p95/p99), uptime,
+    rolling 1m/5m/15m windows (req/s, fallback rate, errors, windowed
+    latency), and the fallback block (engagements, escalations, per-rung
+    win counts, last winning rung and residual). Schema
+    [pgserve-metrics/v2]; the v1 field set is an unchanged subset (see
+    {!Health}). *)
+
+val metrics_text : t -> string
+(** {!metrics} rendered as Prometheus text format 0.0.4 — the same body
+    the metrics listener serves on [GET /metrics]. *)

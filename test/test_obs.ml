@@ -297,6 +297,238 @@ let test_observe_reaches_capture () =
     Test_util.check_float "hist max" 0.004 (Obs.Hist.max_value h)
   | None -> Alcotest.fail "solve_many/solve_seconds histogram not captured"
 
+let test_hist_single_sample_and_sinks () =
+  (* one sample: every percentile is that sample, exactly (clamped to
+     the observed min/max, not a bucket edge) *)
+  let h = Obs.Hist.create () in
+  Obs.Hist.add h 0.0123;
+  List.iter
+    (fun p ->
+      Test_util.check_float
+        (Printf.sprintf "p%.0f of a single sample" p)
+        0.0123 (Obs.Hist.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* overflow sink: values past the top edge land in the last bucket,
+     whose upper edge reports +inf; percentiles still clamp to the true
+     observed max, not to infinity *)
+  let o = Obs.Hist.create () in
+  Obs.Hist.add o 1e60;
+  Obs.Hist.add o 2e60;
+  Alcotest.(check int) "overflow count" 2 (Obs.Hist.count o);
+  Test_util.check_float "overflow max is exact" 2e60 (Obs.Hist.max_value o);
+  Alcotest.(check bool) "overflow percentile finite" true
+    (Float.is_finite (Obs.Hist.percentile o 99.0));
+  (* underflow sink symmetrically *)
+  let u = Obs.Hist.create () in
+  Obs.Hist.add u 1e-50;
+  Test_util.check_float "underflow min is exact" 1e-50 (Obs.Hist.min_value u);
+  Test_util.check_float "underflow percentile clamps" 1e-50
+    (Obs.Hist.percentile u 50.0);
+  (* bucket_counts lists only occupied buckets, in ascending order, and
+     their totals add back to count *)
+  let m = Obs.Hist.create () in
+  List.iter (Obs.Hist.add m) [ 1e-4; 1e-2; 1.0; 1.0; 1e60 ];
+  let bc = Obs.Hist.bucket_counts m in
+  Alcotest.(check bool) "buckets ascending" true
+    (List.sort compare bc = bc);
+  Alcotest.(check int) "bucket totals = count" (Obs.Hist.count m)
+    (List.fold_left (fun a (_, c) -> a + c) 0 bc);
+  List.iter
+    (fun (i, _) ->
+      Alcotest.(check bool) "upper edge positive" true
+        (Obs.Hist.bucket_upper_edge i > 0.0))
+    bc
+
+let qcheck_hist_merge_laws =
+  let open QCheck in
+  let samples = small_list (map Float.abs float) in
+  let hist_of xs =
+    let h = Obs.Hist.create () in
+    List.iter (Obs.Hist.add h) xs;
+    h
+  in
+  let ser h = Obs.Json.to_string (Obs.Hist.to_json h) in
+  [
+    Test.make ~count:200 ~name:"hist merge is associative"
+      (triple samples samples samples)
+      (fun (a, b, c) ->
+        let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+        ser (Obs.Hist.merge (Obs.Hist.merge ha hb) hc)
+        = ser (Obs.Hist.merge ha (Obs.Hist.merge hb hc)));
+    Test.make ~count:200 ~name:"hist merge is commutative"
+      (pair samples samples)
+      (fun (a, b) ->
+        let ha = hist_of a and hb = hist_of b in
+        ser (Obs.Hist.merge ha hb) = ser (Obs.Hist.merge hb ha));
+    Test.make ~count:200 ~name:"empty hist is a merge identity" samples
+      (fun a ->
+        let ha = hist_of a in
+        ser (Obs.Hist.merge ha (Obs.Hist.create ())) = ser ha);
+  ]
+
+(* ---- rolling windows ---- *)
+
+let test_window_sums_and_rollover () =
+  let w = Obs.Window.create ~bucket_s:5.0 ~slots:181 () in
+  let t0 = 1_000_000.0 in
+  Obs.Window.add ~now:t0 w 3.0;
+  Obs.Window.add ~now:t0 w 2.0;
+  Obs.Window.add ~now:(t0 +. 30.0) w 5.0;
+  (* both bursts inside the minute *)
+  Test_util.check_float "1m sum sees both bursts" 10.0
+    (Obs.Window.sum ~now:(t0 +. 30.0) w ~span_s:60.0);
+  Test_util.check_float "1m rate" (10.0 /. 60.0)
+    (Obs.Window.rate ~now:(t0 +. 30.0) w ~span_s:60.0);
+  (* 65 s later the first burst has aged out of the minute but not the
+     five-minute window *)
+  Test_util.check_float "old burst aged out of 1m" 5.0
+    (Obs.Window.sum ~now:(t0 +. 65.0) w ~span_s:60.0);
+  Test_util.check_float "still inside 5m" 10.0
+    (Obs.Window.sum ~now:(t0 +. 65.0) w ~span_s:300.0);
+  (* ring rollover: with 4 slots of 1 s, writing 10 s later lands in the
+     same slot — the stale epoch must be zeroed, not accumulated *)
+  let r = Obs.Window.create ~bucket_s:1.0 ~slots:4 () in
+  Obs.Window.add ~now:100.0 r 7.0;
+  Obs.Window.add ~now:110.0 r 1.0;
+  Test_util.check_float "stale slot zeroed on rollover" 1.0
+    (Obs.Window.sum ~now:110.0 r ~span_s:4.0);
+  (* queries never read slots older than their epoch: a stale ring with
+     no fresh writes sums to zero *)
+  Test_util.check_float "stale ring reads zero" 0.0
+    (Obs.Window.sum ~now:500.0 r ~span_s:4.0)
+
+let test_window_hist_merged () =
+  let wh = Obs.Window.create_hist ~bucket_s:1.0 ~slots:10 () in
+  let t0 = 2_000.0 in
+  Obs.Window.observe ~now:t0 wh 0.001;
+  Obs.Window.observe ~now:t0 wh 0.002;
+  Obs.Window.observe ~now:(t0 +. 3.0) wh 0.004;
+  let h = Obs.Window.merged ~now:(t0 +. 3.0) wh ~span_s:5.0 in
+  Alcotest.(check int) "merged window sees all three" 3 (Obs.Hist.count h);
+  Test_util.check_float "merged max" 0.004 (Obs.Hist.max_value h);
+  (* a narrower span drops the older slot *)
+  let recent = Obs.Window.merged ~now:(t0 +. 3.0) wh ~span_s:2.0 in
+  Alcotest.(check int) "narrow window sees one" 1 (Obs.Hist.count recent);
+  (* after the ring wraps (10 slots of 1 s), the old samples are gone *)
+  Obs.Window.observe ~now:(t0 +. 20.0) wh 0.008;
+  let later = Obs.Window.merged ~now:(t0 +. 20.0) wh ~span_s:9.0 in
+  Alcotest.(check int) "wrapped ring forgets" 1 (Obs.Hist.count later)
+
+(* ---- Prometheus exposition ---- *)
+
+let test_prom_render_and_validate () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.add h) [ 0.001; 0.002; 0.002; 0.004; 0.5 ];
+  let metrics =
+    [
+      Obs.Prom.Counter
+        { name = "test_requests_total"; help = "requests"; value = 42.0 };
+      Obs.Prom.Gauge
+        { name = "test_inflight"; help = "in flight"; value = 3.0 };
+      Obs.Prom.Gauge
+        { name = "test_last_residual"; help = "may be NaN"; value = Float.nan };
+      Obs.Prom.Histogram
+        { name = "test_latency_seconds"; help = "latency"; hist = h };
+    ]
+  in
+  let text = Obs.Prom.render metrics in
+  (match Obs.Prom.validate text with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "bundled validator rejected own render: %s" e);
+  let lines = String.split_on_char '\n' text in
+  let has prefix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  Alcotest.(check bool) "TYPE for the counter" true
+    (has "# TYPE test_requests_total counter");
+  Alcotest.(check bool) "NaN gauge rendered" true (has "test_last_residual NaN");
+  Alcotest.(check bool) "+Inf bucket present" true
+    (has "test_latency_seconds_bucket{le=\"+Inf\"} 5");
+  Alcotest.(check bool) "_count matches" true (has "test_latency_seconds_count 5");
+  (* cumulative bucket counts are non-decreasing in le *)
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        let p = "test_latency_seconds_bucket{" in
+        if
+          String.length l > String.length p
+          && String.sub l 0 (String.length p) = p
+        then
+          match String.rindex_opt l ' ' with
+          | Some i ->
+            float_of_string_opt
+              (String.sub l (i + 1) (String.length l - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "buckets cumulative non-decreasing" true
+    (List.sort compare bucket_counts = bucket_counts);
+  (* metric_name maps Obs paths onto the legal alphabet *)
+  Alcotest.(check string) "path sanitized" "robust_won_jacobi_pcg"
+    (Obs.Prom.metric_name "robust/won/jacobi-pcg");
+  Alcotest.(check bool) "leading digit escaped" true
+    (String.get (Obs.Prom.metric_name "1m") 0 <> '1')
+
+let test_prom_validator_rejects_malformed () =
+  let expect_error what doc =
+    match Obs.Prom.validate doc with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  expect_error "samples before TYPE"
+    "test_total 1\n# TYPE test_total counter\n";
+  expect_error "illegal metric name" "# TYPE 9bad counter\n9bad 1\n";
+  expect_error "unquoted label value"
+    "# TYPE t_bucket histogram\nt_bucket{le=+Inf} 1\nt_count 1\n";
+  expect_error "non-numeric sample" "# TYPE t counter\nt pineapple\n";
+  expect_error "decreasing histogram buckets"
+    "# TYPE t histogram\n\
+     t_bucket{le=\"0.1\"} 5\n\
+     t_bucket{le=\"1\"} 3\n\
+     t_bucket{le=\"+Inf\"} 5\n\
+     t_sum 1\n\
+     t_count 5\n";
+  expect_error "+Inf bucket disagrees with _count"
+    "# TYPE t histogram\n\
+     t_bucket{le=\"+Inf\"} 4\n\
+     t_sum 1\n\
+     t_count 5\n"
+
+let test_record_null_counter_round_trip () =
+  (* non-finite counters/gauges serialize as JSON null; the parser must
+     accept them back (as NaN) instead of rejecting the record *)
+  let r =
+    with_obs_enabled @@ fun () ->
+    Obs.gauge "residual" Float.nan;
+    Obs.count "requests" 3;
+    Obs.capture ()
+  in
+  let j = Obs.record_to_json r in
+  (match Obs.Json.member "residual" (Option.get (Obs.Json.member "counters" j))
+   with
+   | Some v ->
+     Alcotest.(check string)
+       "NaN gauge serializes as null" "null" (Obs.Json.to_string v)
+   | None -> Alcotest.fail "gauge missing from counters");
+  (* and parse it back from the serialized text, where it really is a
+     JSON null token *)
+  let j =
+    match Obs.Json.parse (Obs.Json.to_string j) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "re-parse of serialized record failed: %s" e
+  in
+  match Obs.record_of_json j with
+  | Error e -> Alcotest.failf "record with null counter rejected: %s" e
+  | Ok r' -> (
+    match List.assoc_opt "residual" r'.Obs.counters with
+    | Some v -> Alcotest.(check bool) "null parses as NaN" true (Float.is_nan v)
+    | None -> Alcotest.fail "residual counter lost in round trip")
+
 (* ---- tracing ---- *)
 
 let with_tracing f =
@@ -569,6 +801,25 @@ let () =
             test_hist_merge_associative;
           Alcotest.test_case "observe lands in the capture" `Quick
             test_observe_reaches_capture;
+          Alcotest.test_case "single sample, sinks, bucket walk" `Quick
+            test_hist_single_sample_and_sinks;
+        ]
+        @ Test_util.qcheck qcheck_hist_merge_laws );
+      ( "windows",
+        [
+          Alcotest.test_case "sums, rates, rollover" `Quick
+            test_window_sums_and_rollover;
+          Alcotest.test_case "windowed histogram merge" `Quick
+            test_window_hist_merged;
+        ] );
+      ( "prom",
+        [
+          Alcotest.test_case "render validates and is cumulative" `Quick
+            test_prom_render_and_validate;
+          Alcotest.test_case "validator rejects malformed expositions" `Quick
+            test_prom_validator_rejects_malformed;
+          Alcotest.test_case "null counters round trip as NaN" `Quick
+            test_record_null_counter_round_trip;
         ] );
       ( "tracing",
         [

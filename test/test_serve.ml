@@ -44,7 +44,26 @@ let all_responses =
     Proto.Diagnosed { fatal = false; issues = [] };
     Proto.Diagnosed { fatal = true; issues = [ "zero pivot"; "nan in rhs" ] };
     Proto.Health_report
-      (Obs.Json.Obj [ ("schema", Obs.Json.Str "pgserve-metrics/v1") ]);
+      (Obs.Json.Obj
+         [
+           ("schema", Obs.Json.Str "pgserve-metrics/v2");
+           ( "windows",
+             Obs.Json.List
+               [
+                 Obs.Json.Obj
+                   [
+                     ("label", Obs.Json.Str "1m");
+                     ("span_s", Obs.Json.Float 60.0);
+                     ("req_s", Obs.Json.Float 2.5);
+                   ];
+               ] );
+           ( "fallback",
+             Obs.Json.Obj
+               [
+                 ("engaged", Obs.Json.Int 1);
+                 ("last_rung", Obs.Json.Str "jacobi-pcg");
+               ] );
+         ]);
     Proto.Solved
       {
         solver = "powerrchol";
@@ -438,7 +457,7 @@ let test_daemon_ping_solve_cache () =
       | Proto.Health_report doc -> (
         match Obs.Json.member "schema" doc with
         | Some (Obs.Json.Str s) ->
-          Alcotest.(check string) "metrics schema" "pgserve-metrics/v1" s
+          Alcotest.(check string) "metrics schema" "pgserve-metrics/v2" s
         | _ -> Alcotest.fail "metrics lack a schema field")
       | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r))
 
@@ -812,6 +831,345 @@ let test_daemon_shutdown_disabled () =
       | Proto.Pong -> ()
       | r -> Alcotest.failf "ping answered %s" (Proto.response_to_string r))
 
+(* ---- monitoring surface: v2 health, access log, metrics listener ---- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* access-log lines land after the response frame is already on the
+   wire, so give the logger a moment to catch up before asserting *)
+let wait_for ?(timeout = 5.0) pred =
+  let deadline = Obs.now () +. timeout in
+  let rec go () =
+    if (try pred () with Sys_error _ -> false) then ()
+    else if Obs.now () > deadline then ()
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_health_v2_typed_view () =
+  with_daemon (fun t addr ->
+      let solve_req = Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 }) in
+      (match call_ok addr solve_req with
+       | Proto.Solved _ -> ()
+       | r -> Alcotest.failf "solve answered %s" (Proto.response_to_string r));
+      let doc =
+        match call_ok addr Proto.Health with
+        | Proto.Health_report doc -> doc
+        | r -> Alcotest.failf "health answered %s" (Proto.response_to_string r)
+      in
+      let v =
+        match Serve.Health.of_json doc with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "v2 report failed to parse: %s" e
+      in
+      Alcotest.(check string) "schema" "pgserve-metrics/v2" v.Serve.Health.schema;
+      Alcotest.(check (list string))
+        "three rolling windows" [ "1m"; "5m"; "15m" ]
+        (List.map (fun w -> w.Serve.Health.label) v.Serve.Health.windows);
+      List.iter
+        (fun w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "window %s saw the solve" w.Serve.Health.label)
+            true
+            (w.Serve.Health.requests >= 1.0 && w.Serve.Health.req_s > 0.0))
+        v.Serve.Health.windows;
+      Alcotest.(check bool) "lifetime latency histogram present" true
+        (v.Serve.Health.latency <> None);
+      Alcotest.(check int) "requests counted" 2 v.Serve.Health.requests_total;
+      (* the v1 subset rides inside the v2 document untouched: a v1
+         consumer reading the raw JSON still finds its fields *)
+      (match Obs.Json.member "requests" doc with
+       | Some reqs -> (
+         match Obs.Json.member "solved" reqs with
+         | Some (Obs.Json.Int 1) -> ()
+         | _ -> Alcotest.fail "v1 field requests.solved changed shape")
+       | None -> Alcotest.fail "v1 requests object missing from v2 doc");
+      (* and the daemon-side Prometheus rendering validates *)
+      match Obs.Prom.validate (Serve.Daemon.metrics_text t) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "metrics_text failed validation: %s" e)
+
+let test_health_v1_doc_still_parses () =
+  (* a hand-built v1 report (no windows, no fallback block) must parse
+     into the same typed view, with the new surfaces empty *)
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "pgserve-metrics/v1");
+        ("uptime_s", Obs.Json.Float 12.5);
+        ( "requests",
+          Obs.Json.Obj
+            [ ("total", Obs.Json.Int 7); ("solved", Obs.Json.Int 6) ] );
+        ("queue", Obs.Json.Obj [ ("capacity", Obs.Json.Int 4) ]);
+      ]
+  in
+  match Serve.Health.of_json doc with
+  | Error e -> Alcotest.failf "v1 doc rejected: %s" e
+  | Ok v ->
+    Alcotest.(check string) "schema" "pgserve-metrics/v1" v.Serve.Health.schema;
+    Alcotest.(check int) "total" 7 v.Serve.Health.requests_total;
+    Alcotest.(check int) "capacity" 4 v.Serve.Health.queue_capacity;
+    Alcotest.(check int) "no windows" 0 (List.length v.Serve.Health.windows);
+    Alcotest.(check int) "no fallback engagements" 0
+      v.Serve.Health.fallback_engaged;
+    Alcotest.(check (list (pair string int))) "no rung wins" []
+      v.Serve.Health.fallback_rungs
+
+let with_access_log_daemon ?max_bytes f =
+  let log =
+    Filename.temp_file
+      (Printf.sprintf "pgserve-access-%d" (Unix.getpid ()))
+      ".jsonl"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove log with Sys_error _ -> ());
+      try Sys.remove (log ^ ".1") with Sys_error _ -> ())
+    (fun () ->
+      with_daemon
+        ~tweak:(fun c ->
+          {
+            c with
+            Serve.Daemon.access_log = Some log;
+            access_log_max_bytes =
+              Option.value max_bytes
+                ~default:c.Serve.Daemon.access_log_max_bytes;
+          })
+        (fun t addr -> f t addr log))
+
+let test_access_log_one_line_per_request () =
+  with_access_log_daemon (fun _t addr log ->
+      let solve_req = Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 }) in
+      ignore (call_ok addr Proto.Ping);
+      (match call_ok addr solve_req with
+       | Proto.Solved _ -> ()
+       | r -> Alcotest.failf "solve answered %s" (Proto.response_to_string r));
+      (match call_ok addr (Proto.solve (Proto.Case { id = "pg99"; scale = 1.0 }))
+       with
+       | Proto.Failed _ -> ()
+       | r ->
+         Alcotest.failf "bad case answered %s" (Proto.response_to_string r));
+      ignore (call_ok addr Proto.Health);
+      wait_for (fun () -> List.length (read_lines log) = 4);
+      let lines = read_lines log in
+      Alcotest.(check int) "one line per request" 4 (List.length lines);
+      let ids = Hashtbl.create 8 in
+      let field line name =
+        match Obs.Json.parse line with
+        | Error e -> Alcotest.failf "access line is not JSON (%s): %s" e line
+        | Ok j -> (
+          match Obs.Json.member name j with
+          | Some v -> v
+          | None -> Alcotest.failf "access line lacks %S: %s" name line)
+      in
+      List.iter
+        (fun line ->
+          (match field line "id" with
+           | Obs.Json.Str id ->
+             Alcotest.(check bool)
+               (Printf.sprintf "request id %s unique" id)
+               false (Hashtbl.mem ids id);
+             Hashtbl.replace ids id ()
+           | _ -> Alcotest.fail "id is not a string");
+          List.iter
+            (fun k -> ignore (field line k))
+            [ "ts"; "op"; "outcome"; "bytes_in"; "bytes_out"; "latency_ms" ])
+        lines;
+      (* outcomes landed where they should *)
+      (* lines are written when each handler finishes, so their order can
+         differ from request order — compare as a multiset *)
+      let outcomes =
+        List.map
+          (fun line ->
+            match field line "outcome" with
+            | Obs.Json.Str s -> s
+            | _ -> "?")
+          lines
+      in
+      Alcotest.(check (list string))
+        "typed outcomes"
+        (List.sort compare [ "pong"; "solved"; "failed"; "health" ])
+        (List.sort compare outcomes))
+
+let test_access_log_rotation () =
+  (* a cap smaller than a handful of lines forces a rotation: FILE is
+     renamed to FILE.1 and the live log starts over *)
+  with_access_log_daemon ~max_bytes:400 (fun _t addr log ->
+      for _ = 1 to 6 do
+        ignore (call_ok addr Proto.Ping)
+      done;
+      wait_for (fun () ->
+          Sys.file_exists (log ^ ".1") && read_lines log <> []);
+      Alcotest.(check bool) "rotated file exists" true
+        (Sys.file_exists (log ^ ".1"));
+      (* only one rotated generation is kept, so older lines may be gone;
+         what must hold: both files are non-empty valid JSONL and the
+         live log never grows past the cap *)
+      let live = read_lines log and rotated = read_lines (log ^ ".1") in
+      Alcotest.(check bool) "live log non-empty" true (live <> []);
+      Alcotest.(check bool) "rotated log non-empty" true (rotated <> []);
+      Alcotest.(check bool) "nothing fabricated" true
+        (List.length live + List.length rotated <= 6);
+      List.iter
+        (fun line ->
+          match Obs.Json.parse line with
+          | Ok _ -> ()
+          | Error e ->
+            Alcotest.failf "line split across rotation (%s): %s" e line)
+        (live @ rotated);
+      Alcotest.(check bool) "live log stays under the cap" true
+        ((Unix.stat log).Unix.st_size <= 400))
+
+let test_access_log_ids_match_spans () =
+  (* the id on each access-log line is the same id that names the
+     request's Obs span subtree (path "req/<id>/...") *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      with_access_log_daemon (fun _t addr log ->
+          let solve_req =
+            Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 })
+          in
+          (match call_ok addr solve_req with
+           | Proto.Solved _ -> ()
+           | r ->
+             Alcotest.failf "solve answered %s" (Proto.response_to_string r));
+          wait_for (fun () -> read_lines log <> []);
+          let record = Obs.capture () in
+          let span_ids =
+            List.filter_map
+              (fun s ->
+                let p = s.Obs.path in
+                if String.length p > 4 && String.sub p 0 4 = "req/" then
+                  let rest = String.sub p 4 (String.length p - 4) in
+                  match String.index_opt rest '/' with
+                  | Some i -> Some (String.sub rest 0 i)
+                  | None -> Some rest
+                else None)
+              record.Obs.spans
+          in
+          let logged_ids =
+            List.filter_map
+              (fun line ->
+                match Obs.Json.parse line with
+                | Ok j -> (
+                  match Obs.Json.member "id" j with
+                  | Some (Obs.Json.Str id) -> Some id
+                  | _ -> None)
+                | Error _ -> None)
+              (read_lines log)
+          in
+          Alcotest.(check bool) "solve produced a request span" true
+            (span_ids <> []);
+          List.iter
+            (fun id ->
+              Alcotest.(check bool)
+                (Printf.sprintf "span id %s appears in the access log" id)
+                true (List.mem id logged_ids))
+            span_ids))
+
+let http_get addr path =
+  match addr with
+  | Proto.Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+        in
+        drain ();
+        Buffer.contents buf)
+  | _ -> Alcotest.fail "metrics listener did not bind a TCP address"
+
+let split_http_response raw =
+  let sep = "\r\n\r\n" in
+  let rec find i =
+    if i + String.length sep > String.length raw then None
+    else if String.sub raw i (String.length sep) = sep then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "no header/body separator in %S" raw
+  | Some i ->
+    let headers = String.sub raw 0 i in
+    let body =
+      String.sub raw
+        (i + String.length sep)
+        (String.length raw - i - String.length sep)
+    in
+    (headers, body)
+
+let test_metrics_http_listener () =
+  with_daemon
+    ~tweak:(fun c ->
+      { c with Serve.Daemon.metrics_addr = Some (Proto.Tcp ("127.0.0.1", 0)) })
+    (fun t addr ->
+      ignore
+        (call_ok addr (Proto.solve (Proto.Case { id = "pg01"; scale = 0.05 })));
+      let maddr =
+        match Serve.Daemon.metrics_addr t with
+        | Some a -> a
+        | None -> Alcotest.fail "daemon reports no metrics address"
+      in
+      (* the ephemeral port 0 must have been resolved to a real one *)
+      (match maddr with
+       | Proto.Tcp (_, port) ->
+         Alcotest.(check bool) "ephemeral port resolved" true (port > 0)
+       | _ -> Alcotest.fail "metrics address is not TCP");
+      let headers, body = split_http_response (http_get maddr "/metrics") in
+      Alcotest.(check bool) "200 OK" true
+        (String.length headers >= 12 && String.sub headers 9 3 = "200");
+      Alcotest.(check bool) "prometheus content type" true
+        (let ct = "text/plain; version=0.0.4" in
+         let rec has i =
+           i + String.length ct <= String.length headers
+           && (String.sub headers i (String.length ct) = ct || has (i + 1))
+         in
+         has 0);
+      (match Obs.Prom.validate body with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "scraped body failed validation: %s" e);
+      Alcotest.(check bool) "core family present" true
+        (let needle = "pgserve_requests_total" in
+         let rec has i =
+           i + String.length needle <= String.length body
+           && (String.sub body i (String.length needle) = needle || has (i + 1))
+         in
+         has 0);
+      (* anything else is a 404 *)
+      let headers404, _ = split_http_response (http_get maddr "/other") in
+      Alcotest.(check bool) "GET /other -> 404" true
+        (String.length headers404 >= 12 && String.sub headers404 9 3 = "404"))
+
 (* ---- suite ---- *)
 
 let () =
@@ -878,5 +1236,20 @@ let () =
             test_daemon_graceful_drain;
           Alcotest.test_case "shutdown disabled by default" `Quick
             test_daemon_shutdown_disabled;
+        ] );
+      ( "monitoring",
+        [
+          Alcotest.test_case "v2 health parses into the typed view" `Quick
+            test_health_v2_typed_view;
+          Alcotest.test_case "v1 documents still parse" `Quick
+            test_health_v1_doc_still_parses;
+          Alcotest.test_case "access log: one JSONL line per request" `Quick
+            test_access_log_one_line_per_request;
+          Alcotest.test_case "access log rotates at the size cap" `Quick
+            test_access_log_rotation;
+          Alcotest.test_case "request ids correlate log and spans" `Quick
+            test_access_log_ids_match_spans;
+          Alcotest.test_case "metrics HTTP listener" `Quick
+            test_metrics_http_listener;
         ] );
     ]
